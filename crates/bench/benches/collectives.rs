@@ -1,0 +1,42 @@
+//! Criterion comparison of the collective cost models (the ablation of
+//! DESIGN.md section 8): hierarchical NCCL-style vs flat worst-link, over
+//! a spread of payloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use madmax_core::{CollectiveModel, FlatWorstLink, HierarchicalNccl};
+use madmax_hw::catalog;
+use madmax_hw::units::ByteCount;
+use madmax_parallel::comm::CommPosition;
+use madmax_parallel::{CollectiveKind, CommReq, CommScope, Urgency};
+
+fn req(bytes: f64) -> CommReq {
+    CommReq {
+        collective: CollectiveKind::AllReduce,
+        scope: CommScope::Global,
+        group_size: 128,
+        payload: ByteCount::new(bytes),
+        urgency: Urgency::Deferred,
+        position: CommPosition::AfterCompute,
+        label: "bench".to_owned(),
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    let sys = catalog::zionex_dlrm_system();
+    let mut group = c.benchmark_group("collective_models");
+    for mb in [1.0, 64.0, 1024.0] {
+        let r = req(mb * 1e6);
+        group.bench_with_input(BenchmarkId::new("hierarchical", mb as u64), &r, |b, r| {
+            b.iter(|| black_box(HierarchicalNccl.time(black_box(r), &sys)))
+        });
+        group.bench_with_input(BenchmarkId::new("flat_worst_link", mb as u64), &r, |b, r| {
+            b.iter(|| black_box(FlatWorstLink.time(black_box(r), &sys)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

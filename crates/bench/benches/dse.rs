@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the design-space-exploration layer: the cost of
+//! a full Fig. 11 sweep and a joint Fig. 10 search, plus the prefetch and
+//! utilization-model ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use madmax_core::{Simulation, UtilizationModel};
+use madmax_dse::{optimize, sweep_class, SearchOptions};
+use madmax_hw::catalog;
+use madmax_model::{LayerClass, ModelId};
+use madmax_parallel::{Plan, Task};
+
+fn bench_sweep_and_search(c: &mut Criterion) {
+    let model = ModelId::DlrmA.build();
+    let sys = catalog::zionex_dlrm_system();
+    let base = Plan::fsdp_baseline(&model);
+    c.bench_function("fig11_dense_sweep", |b| {
+        b.iter(|| {
+            black_box(sweep_class(
+                black_box(&model),
+                &sys,
+                &base,
+                LayerClass::Dense,
+                &Task::Pretraining,
+            ))
+        })
+    });
+    c.bench_function("fig10_joint_search_dlrm_a", |b| {
+        b.iter(|| {
+            black_box(
+                optimize(black_box(&model), &sys, &Task::Pretraining, &SearchOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let mut group = c.benchmark_group("ablations");
+    for prefetch in [false, true] {
+        let mut plan = Plan::fsdp_baseline(&model);
+        plan.options.fsdp_prefetch = prefetch;
+        group.bench_function(format!("llama_prefetch_{prefetch}"), |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap(),
+                )
+            })
+        });
+    }
+    let vit = madmax_model::vit::vit(&madmax_model::vit::VIT_FAMILY[2], 4096);
+    let vit_sys = catalog::zionex_dlrm_system();
+    let vit_plan = Plan::fsdp_baseline(&vit);
+    for (name, util) in [
+        ("constant", UtilizationModel::Constant),
+        ("workload_dependent", UtilizationModel::vit_default()),
+    ] {
+        group.bench_function(format!("vit_utilization_{name}"), |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(&vit, &vit_sys, &vit_plan, Task::Pretraining)
+                        .with_utilization(util)
+                        .run()
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_and_search, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the DESIGN.md section 8 ablation studies.
+fn main() {
+    madmax_bench::emit("ablations", &madmax_bench::experiments::ablations::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 3.
+fn main() {
+    madmax_bench::emit("fig03_model_characterization", &madmax_bench::experiments::characterization::fig03());
+}

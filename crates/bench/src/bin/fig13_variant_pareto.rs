@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 13.
+fn main() {
+    madmax_bench::emit("fig13_variant_pareto", &madmax_bench::experiments::strategy_figs::fig13());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 19.
+fn main() {
+    madmax_bench::emit("fig19_hardware_scaling", &madmax_bench::experiments::hardware_figs::fig19());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 20.
+fn main() {
+    madmax_bench::emit("fig20_execution_breakdown", &madmax_bench::experiments::hardware_figs::fig20());
+}

@@ -1,0 +1,227 @@
+//! `madmax` — command-line driver for the performance model.
+//!
+//! ```text
+//! madmax list                                # models and systems
+//! madmax simulate --model dlrm-a --system zionex \
+//!        --task pretraining --dense "(TP, DDP)"
+//! madmax search   --model gpt-3 --system llama --task inference
+//! madmax config   --model dlrm-b --out /tmp/cfgs   # emit the 3 JSON files
+//! madmax simulate --config-dir /tmp/cfgs           # run from JSON configs
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use madmax_core::config::{ExperimentSpec, SimulationConfig};
+use madmax_core::Simulation;
+use madmax_dse::{optimize, SearchOptions};
+use madmax_hw::{catalog, ClusterSpec};
+use madmax_model::{LayerClass, ModelArch, ModelId};
+use madmax_parallel::{HierStrategy, Plan, Task};
+
+fn models() -> BTreeMap<&'static str, ModelId> {
+    BTreeMap::from([
+        ("dlrm-a", ModelId::DlrmA),
+        ("dlrm-a-transformer", ModelId::DlrmATransformer),
+        ("dlrm-a-moe", ModelId::DlrmAMoe),
+        ("dlrm-b", ModelId::DlrmB),
+        ("dlrm-b-transformer", ModelId::DlrmBTransformer),
+        ("dlrm-b-moe", ModelId::DlrmBMoe),
+        ("gpt-3", ModelId::Gpt3),
+        ("llama", ModelId::Llama),
+        ("llama2", ModelId::Llama2),
+        ("llm-moe", ModelId::LlmMoe),
+    ])
+}
+
+fn systems() -> BTreeMap<&'static str, fn() -> ClusterSpec> {
+    BTreeMap::from([
+        ("zionex", catalog::zionex_dlrm_system as fn() -> ClusterSpec),
+        ("llama", catalog::llama_llm_system),
+        ("h100", || catalog::h100_cluster(16)),
+        ("superpod", || catalog::h100_superpod_cluster(16)),
+        ("mi250x", catalog::mi250x_cluster),
+        ("mi300x", catalog::mi300x_cluster),
+        ("gaudi2", catalog::gaudi2_cluster),
+    ])
+}
+
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            let value =
+                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?.clone();
+            flags.insert(key.to_owned(), value);
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+}
+
+fn parse_task(s: &str) -> Result<Task, String> {
+    match s {
+        "pretraining" | "pretrain" | "train" => Ok(Task::Pretraining),
+        "inference" | "infer" => Ok(Task::Inference),
+        "finetune-dense" | "finetune-mlp" => Ok(Task::finetune_only(LayerClass::Dense)),
+        "finetune-embedding" | "finetune-emb" => Ok(Task::finetune_only(LayerClass::Embedding)),
+        other => Err(format!("unknown task `{other}`")),
+    }
+}
+
+fn lookup_model(args: &Args) -> Result<ModelArch, String> {
+    let name = args.get("model").ok_or("missing --model")?;
+    models()
+        .get(name)
+        .map(|id| id.build())
+        .ok_or_else(|| format!("unknown model `{name}` (see `madmax list`)"))
+}
+
+fn lookup_system(args: &Args) -> Result<ClusterSpec, String> {
+    let name = args.get("system").ok_or("missing --system")?;
+    systems()
+        .get(name)
+        .map(|f| f())
+        .ok_or_else(|| format!("unknown system `{name}` (see `madmax list`)"))
+}
+
+fn build_plan(model: &ModelArch, args: &Args) -> Result<Plan, String> {
+    let mut plan = Plan::fsdp_baseline(model);
+    for (flag, class) in [
+        ("embedding", LayerClass::Embedding),
+        ("dense", LayerClass::Dense),
+        ("transformer", LayerClass::Transformer),
+        ("moe", LayerClass::Moe),
+    ] {
+        if let Some(notation) = args.get(flag) {
+            let strategy: HierStrategy = notation.parse().map_err(|e| format!("{e}"))?;
+            plan = plan.with_strategy(class, strategy);
+        }
+    }
+    Ok(plan)
+}
+
+fn print_report(model: &ModelArch, system: &ClusterSpec, plan: &Plan, task: &Task) -> Result<(), String> {
+    let report = Simulation::new(model, system, plan, task.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
+    println!("workload:        {} ({task})", model.name);
+    println!("system:          {}", system.name);
+    println!("plan:            {}", plan.summary());
+    println!("iteration:       {:.3} ms (serialized {:.3} ms)",
+             report.iteration_time.as_ms(), report.serialized_time.as_ms());
+    match model.batch_unit {
+        madmax_model::BatchUnit::Samples => println!("throughput:      {:.3} MQPS", report.mqps()),
+        madmax_model::BatchUnit::Tokens => {
+            println!("throughput:      {:.0} tokens/s", report.tokens_per_sec())
+        }
+    }
+    println!("comm exposed:    {:.2} ms of {:.2} ms ({:.1}%)",
+             report.exposed_comm.as_ms(), report.comm_time.as_ms(),
+             report.exposed_fraction() * 100.0);
+    println!("memory/device:   {:.1} GB", report.memory.total().as_gb());
+    for (k, t) in &report.comm_by_collective {
+        println!("  {k:<14} {:.3} ms", t.as_ms());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("usage: madmax <list|simulate|search|config> [flags]".to_owned());
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("models:");
+            for (name, id) in models() {
+                let s = id.build().stats();
+                println!("  {name:<22} {}", madmax_hw::units::human_params(s.params_total));
+            }
+            println!("systems:");
+            for (name, f) in systems() {
+                let c = f();
+                println!("  {name:<22} {} x{}", c.device.name, c.total_devices());
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let args = Args::parse(rest)?;
+            if let Some(dir) = args.get("config-dir") {
+                let dir = std::path::Path::new(dir);
+                let cfg = SimulationConfig::from_json_files(
+                    dir.join("model.json"),
+                    dir.join("system.json"),
+                    dir.join("experiment.json"),
+                )
+                .map_err(|e| e.to_string())?;
+                return print_report(
+                    &cfg.model,
+                    &cfg.system,
+                    &cfg.experiment.plan,
+                    &cfg.experiment.task,
+                );
+            }
+            let model = lookup_model(&args)?;
+            let system = lookup_system(&args)?;
+            let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
+            let plan = build_plan(&model, &args)?;
+            print_report(&model, &system, &plan, &task)
+        }
+        "search" => {
+            let args = Args::parse(rest)?;
+            let model = lookup_model(&args)?;
+            let system = lookup_system(&args)?;
+            let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
+            let options = SearchOptions {
+                ignore_memory_limits: args.get("unconstrained") == Some("true"),
+                classes: None,
+            };
+            let r = optimize(&model, &system, &task, &options).map_err(|e| e.to_string())?;
+            println!("evaluated {} plans ({} OOM)", r.evaluated, r.oom);
+            println!("baseline:  {:.3} ms/iter", r.baseline.iteration_time.as_ms());
+            println!("best:      {:.3} ms/iter ({:.2}x) with {}",
+                     r.best.iteration_time.as_ms(), r.speedup(), r.winning_strategies());
+            Ok(())
+        }
+        "config" => {
+            let args = Args::parse(rest)?;
+            let model = lookup_model(&args)?;
+            let system = args
+                .get("system")
+                .map(|_| lookup_system(&args))
+                .transpose()?
+                .unwrap_or_else(catalog::zionex_dlrm_system);
+            let out = args.get("out").ok_or("missing --out <dir>")?;
+            let plan = build_plan(&model, &args)?;
+            let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
+            SimulationConfig { model, system, experiment: ExperimentSpec { task, plan } }
+                .write_split(out)
+                .map_err(|e| e.to_string())?;
+            println!("wrote model.json / system.json / experiment.json to {out}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Runs every table/figure experiment and persists results under
+//! `results/`.
+use madmax_bench::{emit, experiments as e};
+
+type Experiment = (&'static str, fn() -> String);
+
+fn main() {
+    let runs: Vec<Experiment> = vec![
+        ("table1_validation", || e::tables::table1()),
+        ("table2_model_suite", || e::tables::table2()),
+        ("table3_systems", || e::tables::table3()),
+        ("table4_hw_specs", || e::tables::table4()),
+        ("fig01_pareto_frontier", || {
+            e::hardware_figs::fig16("Fig. 1: Resource-performance pareto frontier (cloud DLRM-A)")
+        }),
+        ("fig03_model_characterization", || e::characterization::fig03()),
+        ("fig04_fleet_characterization", || e::characterization::fig04()),
+        ("fig06_sample_streams", || e::validation_figs::fig06()),
+        ("fig07_dlrm_validation", || e::validation_figs::fig07()),
+        ("fig08_vit_validation", || e::validation_figs::fig08()),
+        ("fig09_fsdp_prefetch", || e::validation_figs::fig09()),
+        ("fig10_pretraining_speedup", || e::strategy_figs::fig10()),
+        ("fig11_dlrm_strategy_sweep", || e::strategy_figs::fig11()),
+        ("fig12_dlrm_variants", || e::strategy_figs::fig12()),
+        ("fig13_variant_pareto", || e::strategy_figs::fig13()),
+        ("fig14_task_diversity", || e::strategy_figs::fig14()),
+        ("fig15_context_length", || e::strategy_figs::fig15()),
+        ("fig16_cloud_instances", || {
+            e::hardware_figs::fig16("Fig. 16: Cloud instance configurations and workload mappings")
+        }),
+        ("fig17_gpu_generations", || e::hardware_figs::fig17()),
+        ("fig18_commodity_hardware", || e::hardware_figs::fig18()),
+        ("fig19_hardware_scaling", || e::hardware_figs::fig19()),
+        ("fig20_execution_breakdown", || e::hardware_figs::fig20()),
+        ("ablations", || e::ablations::run()),
+    ];
+    for (name, f) in runs {
+        eprintln!(">>> {name}");
+        emit(name, &f());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I.
+fn main() {
+    madmax_bench::emit("table1_validation", &madmax_bench::experiments::tables::table1());
+}

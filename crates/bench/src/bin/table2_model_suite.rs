@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II.
+fn main() {
+    madmax_bench::emit("table2_model_suite", &madmax_bench::experiments::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table III.
+fn main() {
+    madmax_bench::emit("table3_systems", &madmax_bench::experiments::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table IV.
+fn main() {
+    madmax_bench::emit("table4_hw_specs", &madmax_bench::experiments::tables::table4());
+}

@@ -1,0 +1,9 @@
+//! One module per paper table/figure; each experiment exposes a `run`-style
+//! function returning the rendered report.
+
+pub mod ablations;
+pub mod characterization;
+pub mod hardware_figs;
+pub mod strategy_figs;
+pub mod tables;
+pub mod validation_figs;

@@ -1,0 +1,27 @@
+//! # madmax-bench
+//!
+//! The MAD-Max experiment harness: one module (and one runnable binary)
+//! per table and figure of the paper's evaluation. Each experiment's
+//! `run()` returns the rendered report; binaries print it and persist a
+//! copy under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where experiment outputs are persisted.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Prints an experiment's report and saves it to `results/<name>.txt`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(format!("{name}.txt")), content);
+    }
+}

@@ -1,0 +1,483 @@
+//! Trace construction: turns (model, system, plan, task) into per-device
+//! compute + communication streams with explicit data dependencies
+//! (Section IV-C: "Piecing Together Computation and Comm. Streams").
+//!
+//! The builder walks the model's layer groups in execution order for the
+//! forward pass and in reverse for the backward pass. Embedding groups form
+//! a side chain (their blocking All2All joins the dense chain at the
+//! feature-combination stage, exactly as in the paper's Fig. 6), FSDP
+//! AllGathers are issued eagerly when prefetching is enabled (Fig. 9), and
+//! weight-gradient collectives land on a separate lower-priority stream so
+//! they drain behind blocking traffic.
+
+use madmax_hw::units::Seconds;
+use madmax_hw::ClusterSpec;
+use madmax_model::{LayerKind, ModelArch};
+use madmax_parallel::comm::CommPosition;
+use madmax_parallel::{derive_layer_comm, CommReq, Plan, Task, Urgency};
+
+use crate::collective::CollectiveModel;
+use crate::compute::{
+    backward_flops_factor, compute_time, device_flops_fwd, device_lookup_bytes, lookup_time,
+    optimizer_time, UtilizationModel,
+};
+use crate::trace::{OpId, OpKind, Phase, StreamId, Trace, TraceOp};
+
+/// Inputs to trace construction.
+#[derive(Debug)]
+pub struct TraceBuilder<'a> {
+    /// Model architecture.
+    pub model: &'a ModelArch,
+    /// Target system.
+    pub cluster: &'a ClusterSpec,
+    /// Workload-to-system mapping.
+    pub plan: &'a Plan,
+    /// Task (pre-training / fine-tuning / inference).
+    pub task: &'a Task,
+    /// Collective cost model.
+    pub collective_model: &'a dyn CollectiveModel,
+    /// Compute-utilization model.
+    pub utilization: UtilizationModel,
+}
+
+impl<'a> TraceBuilder<'a> {
+    fn comm_op(
+        &self,
+        trace: &mut Trace,
+        req: &CommReq,
+        phase: Phase,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        prefix: &str,
+    ) -> OpId {
+        trace.push(TraceOp {
+            name: format!("{prefix}.{}", req.label),
+            stream,
+            kind: OpKind::Collective { kind: req.collective },
+            phase,
+            duration: self.collective_model.time(req, self.cluster),
+            deps,
+        })
+    }
+
+    /// Builds the full per-iteration trace.
+    pub fn build(&self) -> Trace {
+        let mut trace = Trace::new();
+        let local_batch =
+            self.model.global_batch as f64 / self.cluster.total_devices() as f64;
+        let prefetch = self.plan.options.fsdp_prefetch;
+
+        // Per-group communication plans (identical across instances).
+        let comms: Vec<_> = self
+            .model
+            .groups
+            .iter()
+            .map(|g| derive_layer_comm(g, self.plan, self.model, self.cluster, self.task, local_batch))
+            .collect();
+
+        // ---------------- Forward pass ----------------
+        let mut last_out: Option<OpId> = None; // dense-chain tail
+        let mut pending_join: Vec<OpId> = Vec::new(); // embedding-side outputs
+        let mut last_compute: Option<OpId> = None; // for just-in-time gathers
+
+        for (gi, group) in self.model.groups.iter().enumerate() {
+            let comm = &comms[gi];
+            let is_embedding = group.kind.is_memory_bound();
+            let is_side_branch_input = matches!(group.kind, LayerKind::Mlp(_));
+
+            for inst in 0..group.repeat {
+                let prefix = if group.repeat > 1 {
+                    format!("fwd[{inst}]")
+                } else {
+                    "fwd".to_owned()
+                };
+
+                // Input dependencies of this layer's compute.
+                let mut base_deps: Vec<OpId> = Vec::new();
+                if is_embedding {
+                    // Embedding lookups start from iteration inputs.
+                } else {
+                    if let Some(l) = last_out {
+                        base_deps.push(l);
+                    }
+                    if !is_side_branch_input && !pending_join.is_empty() {
+                        // Feature-combination stage: consume embedding outputs.
+                        base_deps.append(&mut pending_join);
+                    }
+                }
+
+                // Pre-compute collectives (FSDP gathers, MoE dispatch).
+                let mut gate_deps: Vec<OpId> = Vec::new();
+                for req in comm.forward.iter().filter(|r| r.position == CommPosition::BeforeCompute) {
+                    if req.payload.is_zero() {
+                        continue;
+                    }
+                    let deps = match req.urgency {
+                        Urgency::Prefetchable if prefetch => vec![],
+                        Urgency::Prefetchable => last_compute.into_iter().collect(),
+                        _ => base_deps.clone(),
+                    };
+                    let id = self.comm_op(&mut trace, req, Phase::Forward, StreamId::Comm, deps, &prefix);
+                    if req.urgency == Urgency::Blocking {
+                        // e.g. MoE dispatch carries the layer input.
+                        base_deps = vec![id];
+                    } else {
+                        gate_deps.push(id);
+                    }
+                }
+
+                // The layer's compute (or HBM lookup) op.
+                let mut deps = base_deps;
+                deps.extend(gate_deps);
+                deps.sort_unstable();
+                deps.dedup();
+                let compute_id = if is_embedding {
+                    let bytes = device_lookup_bytes(group, self.model, self.cluster);
+                    trace.push(TraceOp {
+                        name: format!("{prefix}.{}.lookup", group.name),
+                        stream: StreamId::Compute,
+                        kind: OpKind::Lookup,
+                        phase: Phase::Forward,
+                        duration: lookup_time(bytes, self.cluster),
+                        deps,
+                    })
+                } else {
+                    let strategy = self.plan.strategy_for(group.class);
+                    let flops =
+                        device_flops_fwd(group, self.model, self.cluster, &strategy, local_batch);
+                    trace.push(TraceOp {
+                        name: format!("{prefix}.{}", group.name),
+                        stream: StreamId::Compute,
+                        kind: OpKind::Gemm { class: group.class },
+                        phase: Phase::Forward,
+                        duration: compute_time(flops, self.model, self.cluster, &self.utilization),
+                        deps,
+                    })
+                };
+                last_compute = Some(compute_id);
+
+                // Post-compute blocking collectives (TP AllReduce, embedding
+                // All2All, MoE combine).
+                let mut out = compute_id;
+                for req in comm.forward.iter().filter(|r| r.position == CommPosition::AfterCompute) {
+                    if req.payload.is_zero() {
+                        continue;
+                    }
+                    out = self.comm_op(&mut trace, req, Phase::Forward, StreamId::Comm, vec![out], &prefix);
+                }
+
+                if is_embedding {
+                    pending_join.push(out);
+                } else {
+                    last_out = Some(out);
+                }
+            }
+        }
+
+        let final_fwd = last_out
+            .or_else(|| pending_join.last().copied())
+            .unwrap_or(OpId(0));
+
+        // ---------------- Backward pass ----------------
+        if self.task.has_backward() && !trace.is_empty() {
+            let mut last_bwd = final_fwd;
+            let mut grad_ops: Vec<OpId> = Vec::new();
+
+            for (gi, group) in self.model.groups.iter().enumerate().rev() {
+                if !self.task.trains(group.class) {
+                    continue; // frozen layers' gradient work is omitted
+                }
+                let comm = &comms[gi];
+                let is_embedding = group.kind.is_memory_bound();
+
+                for inst in (0..group.repeat).rev() {
+                    let prefix = if group.repeat > 1 {
+                        format!("bwd[{inst}]")
+                    } else {
+                        "bwd".to_owned()
+                    };
+
+                    if is_embedding {
+                        // Gradients are routed back to shard owners, then
+                        // scattered into HBM; both off the dense critical
+                        // path.
+                        let mut dep = vec![last_bwd];
+                        for req in &comm.grad {
+                            if req.payload.is_zero() {
+                                continue;
+                            }
+                            let id = self.comm_op(
+                                &mut trace,
+                                req,
+                                Phase::Backward,
+                                StreamId::GradComm,
+                                dep.clone(),
+                                &prefix,
+                            );
+                            dep = vec![id];
+                        }
+                        let bytes = device_lookup_bytes(group, self.model, self.cluster);
+                        let scatter = trace.push(TraceOp {
+                            name: format!("{prefix}.{}.grad_scatter", group.name),
+                            stream: StreamId::Compute,
+                            kind: OpKind::Lookup,
+                            phase: Phase::Backward,
+                            duration: lookup_time(bytes, self.cluster),
+                            deps: dep,
+                        });
+                        grad_ops.push(scatter);
+                        continue;
+                    }
+
+                    // Pre-compute backward collectives (FSDP re-gather,
+                    // MoE combine_bwd).
+                    let mut base_deps = vec![last_bwd];
+                    let mut gate_deps: Vec<OpId> = Vec::new();
+                    for req in comm.backward.iter().filter(|r| r.position == CommPosition::BeforeCompute)
+                    {
+                        if req.payload.is_zero() {
+                            continue;
+                        }
+                        let deps = match req.urgency {
+                            Urgency::Prefetchable if prefetch => vec![],
+                            Urgency::Prefetchable => vec![last_bwd],
+                            _ => base_deps.clone(),
+                        };
+                        let id =
+                            self.comm_op(&mut trace, req, Phase::Backward, StreamId::Comm, deps, &prefix);
+                        if req.urgency == Urgency::Blocking {
+                            base_deps = vec![id];
+                        } else {
+                            gate_deps.push(id);
+                        }
+                    }
+
+                    // Backward compute: weight + input gradients, plus a
+                    // forward recompute for checkpointed blocks.
+                    let recompute = self.plan.options.activation_checkpointing
+                        && matches!(
+                            group.kind,
+                            LayerKind::TransformerBlock(_) | LayerKind::Moe(_)
+                        );
+                    let strategy = self.plan.strategy_for(group.class);
+                    let flops =
+                        device_flops_fwd(group, self.model, self.cluster, &strategy, local_batch)
+                            * backward_flops_factor(recompute);
+                    let mut deps = base_deps;
+                    deps.extend(gate_deps);
+                    deps.sort_unstable();
+                    deps.dedup();
+                    let bwd_compute = trace.push(TraceOp {
+                        name: format!("{prefix}.{}", group.name),
+                        stream: StreamId::Compute,
+                        kind: OpKind::Gemm { class: group.class },
+                        phase: Phase::Backward,
+                        duration: compute_time(flops, self.model, self.cluster, &self.utilization),
+                        deps,
+                    });
+                    last_bwd = bwd_compute;
+
+                    // Post-compute blocking backward collectives.
+                    for req in comm.backward.iter().filter(|r| r.position == CommPosition::AfterCompute)
+                    {
+                        if req.payload.is_zero() {
+                            continue;
+                        }
+                        last_bwd = self.comm_op(
+                            &mut trace,
+                            req,
+                            Phase::Backward,
+                            StreamId::Comm,
+                            vec![last_bwd],
+                            &prefix,
+                        );
+                    }
+
+                    // Weight-gradient collectives: deferred, off the
+                    // critical path until the optimizer.
+                    for req in &comm.grad {
+                        if req.payload.is_zero() {
+                            continue;
+                        }
+                        let id = self.comm_op(
+                            &mut trace,
+                            req,
+                            Phase::Backward,
+                            StreamId::GradComm,
+                            vec![bwd_compute],
+                            &prefix,
+                        );
+                        grad_ops.push(id);
+                    }
+                }
+            }
+
+            // Optimizer step waits on every gradient.
+            let mut deps = grad_ops;
+            deps.push(last_bwd);
+            deps.sort_unstable();
+            deps.dedup();
+            let opt_dur = optimizer_time(self.model, self.cluster, self.plan, self.task);
+            if opt_dur > Seconds::ZERO {
+                trace.push(TraceOp {
+                    name: "update.optimizer".to_owned(),
+                    stream: StreamId::Compute,
+                    kind: OpKind::Optimizer,
+                    phase: Phase::Update,
+                    duration: opt_dur,
+                    deps,
+                });
+            }
+        }
+
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::HierarchicalNccl;
+    use madmax_hw::catalog;
+    use madmax_model::ModelId;
+    use madmax_parallel::CollectiveKind;
+
+    fn build(model: &ModelArch, task: &Task) -> Trace {
+        let cluster = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(model);
+        TraceBuilder {
+            model,
+            cluster: &cluster,
+            plan: &plan,
+            task,
+            collective_model: &HierarchicalNccl,
+            utilization: UtilizationModel::Constant,
+        }
+        .build()
+    }
+
+    #[test]
+    fn dlrm_forward_matches_fig6_structure() {
+        let model = ModelId::DlrmA.build();
+        let trace = build(&model, &Task::Inference);
+        let names: Vec<&str> = trace.ops().iter().map(|o| o.name.as_str()).collect();
+        // Lookup before A2A; A2A consumed by the interaction stage, not the
+        // bottom MLP.
+        let lookup = names.iter().position(|n| n.contains("lookup")).unwrap();
+        let a2a = names.iter().position(|n| n.contains("a2a")).unwrap();
+        let bottom = names.iter().position(|n| n.contains("bottom_mlp") && !n.contains(".ag")).unwrap();
+        let interaction = names.iter().position(|n| n.contains("feature_interaction")).unwrap();
+        assert!(lookup < a2a);
+        let a2a_op = &trace.ops()[a2a];
+        assert_eq!(a2a_op.deps, vec![OpId(lookup)]);
+        // Bottom MLP does not depend on the A2A...
+        assert!(!trace.ops()[bottom].deps.contains(&OpId(a2a)));
+        // ...but the interaction does, plus the bottom MLP.
+        let ideps = &trace.ops()[interaction].deps;
+        assert!(ideps.contains(&OpId(a2a)), "{ideps:?}");
+        assert!(ideps.contains(&OpId(bottom)), "{ideps:?}");
+    }
+
+    #[test]
+    fn inference_has_no_backward_ops() {
+        let model = ModelId::DlrmA.build();
+        let trace = build(&model, &Task::Inference);
+        assert!(trace.ops().iter().all(|o| o.phase == Phase::Forward));
+    }
+
+    #[test]
+    fn pretraining_emits_gradient_collectives_and_optimizer() {
+        let model = ModelId::DlrmA.build();
+        let trace = build(&model, &Task::Pretraining);
+        let has_rs = trace.ops().iter().any(|o| {
+            matches!(o.kind, OpKind::Collective { kind: CollectiveKind::ReduceScatter })
+        });
+        assert!(has_rs, "FSDP baseline must reduce-scatter gradients");
+        let opt = trace.ops().iter().find(|o| o.kind == OpKind::Optimizer).unwrap();
+        assert!(!opt.deps.is_empty());
+        // Gradient collectives live on the deferred stream.
+        assert!(trace.stream_ops(StreamId::GradComm).count() >= 2);
+    }
+
+    #[test]
+    fn finetune_embedding_skips_dense_backward() {
+        let model = ModelId::DlrmA.build();
+        let trace = build(&model, &Task::finetune_only(madmax_model::LayerClass::Embedding));
+        // No backward GEMMs: the paper's Insight 5 simplification.
+        let bwd_gemms = trace
+            .ops()
+            .iter()
+            .filter(|o| o.phase == Phase::Backward && matches!(o.kind, OpKind::Gemm { .. }))
+            .count();
+        assert_eq!(bwd_gemms, 0);
+        // But the embedding gradient exchange and scatter exist.
+        assert!(trace.ops().iter().any(|o| o.name.contains("a2a_bwd")));
+        assert!(trace.ops().iter().any(|o| o.name.contains("grad_scatter")));
+    }
+
+    #[test]
+    fn llm_trace_has_per_block_instances() {
+        let model = ModelId::Gpt3.build();
+        let cluster = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let trace = TraceBuilder {
+            model: &model,
+            cluster: &cluster,
+            plan: &plan,
+            task: &Task::Pretraining,
+            collective_model: &HierarchicalNccl,
+            utilization: UtilizationModel::Constant,
+        }
+        .build();
+        let fwd_blocks = trace
+            .ops()
+            .iter()
+            .filter(|o| o.phase == Phase::Forward && matches!(o.kind, OpKind::Gemm { .. }))
+            .count();
+        assert_eq!(fwd_blocks, 96);
+        // 96 forward gathers + 96 backward gathers + 96 reduce-scatters
+        // (plus the embedding's), all nonzero.
+        let ags = trace
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Collective { kind: CollectiveKind::AllGather }))
+            .count();
+        assert!(ags >= 192, "{ags}");
+    }
+
+    #[test]
+    fn prefetch_removes_gather_dependencies() {
+        let model = ModelId::Gpt3.build();
+        let cluster = catalog::llama_llm_system();
+        let mut plan = Plan::fsdp_baseline(&model);
+        let task = Task::Pretraining;
+        plan.options.fsdp_prefetch = true;
+        let with = TraceBuilder {
+            model: &model,
+            cluster: &cluster,
+            plan: &plan,
+            task: &task,
+            collective_model: &HierarchicalNccl,
+            utilization: UtilizationModel::Constant,
+        }
+        .build();
+        plan.options.fsdp_prefetch = false;
+        let without = TraceBuilder {
+            model: &model,
+            cluster: &cluster,
+            plan: &plan,
+            task: &task,
+            collective_model: &HierarchicalNccl,
+            utilization: UtilizationModel::Constant,
+        }
+        .build();
+        let dep_count = |t: &Trace| -> usize {
+            t.ops()
+                .iter()
+                .filter(|o| o.name.contains(".ag"))
+                .map(|o| o.deps.len())
+                .sum()
+        };
+        assert!(dep_count(&with) < dep_count(&without));
+    }
+}

@@ -1,0 +1,122 @@
+//! # madmax-core
+//!
+//! The MAD-Max distributed ML performance model (Hsia et al., ISCA 2024):
+//! given a model architecture, a distributed system, a task, and a
+//! hierarchical parallelization plan, it generates per-device execution
+//! traces (compute + communication streams with data dependencies), replays
+//! them on a two-stream overlap simulator, and reports throughput,
+//! serialized/overlapped execution, exposed communication, and per-
+//! collective breakdowns (Section IV of the paper).
+//!
+//! See [`Simulation`] for the main entry point and the `validation` module
+//! for the paper's Table I / Fig. 7-9 reference experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod collective;
+pub mod compute;
+pub mod config;
+pub mod metrics;
+pub mod perf;
+pub mod sim;
+pub mod trace;
+pub mod validation;
+
+pub use collective::{CollectiveModel, FlatWorstLink, HierarchicalNccl};
+pub use compute::UtilizationModel;
+pub use metrics::IterationReport;
+pub use perf::{simulate, Simulation};
+pub use sim::{schedule, OpWindow, Schedule};
+pub use trace::{OpId, OpKind, Phase, StreamId, Trace, TraceOp};
+
+#[cfg(test)]
+mod cross_module_tests {
+    use crate::{simulate, Simulation};
+    use madmax_hw::catalog;
+    use madmax_model::ModelId;
+    use madmax_parallel::{Plan, Task};
+
+    #[test]
+    fn report_serde_round_trip() {
+        let model = ModelId::DlrmB.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let js = serde_json::to_string(&r).unwrap();
+        let back: crate::IterationReport = serde_json::from_str(&js).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn trace_serde_round_trip() {
+        let model = ModelId::DlrmB.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let (_, trace, _) =
+            Simulation::new(&model, &sys, &plan, Task::Pretraining).run_with_trace().unwrap();
+        let js = serde_json::to_string(&trace).unwrap();
+        let back: crate::Trace = serde_json::from_str(&js).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn faster_compute_shrinks_gemm_only() {
+        use madmax_hw::DeviceScaling;
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let fast = sys.scaled(&DeviceScaling::compute_only(10.0));
+        let plan = Plan::fsdp_baseline(&model);
+        let base = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let scaled = simulate(&model, &fast, &plan, Task::Pretraining).unwrap();
+        assert!((scaled.gemm_time.as_secs() - base.gemm_time.as_secs() / 10.0).abs() < 1e-9);
+        assert_eq!(scaled.lookup_time, base.lookup_time);
+        assert_eq!(scaled.comm_time, base.comm_time);
+    }
+
+    #[test]
+    fn faster_hbm_shrinks_lookups_only() {
+        use madmax_hw::DeviceScaling;
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let fast = sys.scaled(&DeviceScaling::mem_bw_only(10.0));
+        let plan = Plan::fsdp_baseline(&model);
+        let base = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let scaled = simulate(&model, &fast, &plan, Task::Pretraining).unwrap();
+        assert!(scaled.lookup_time < base.lookup_time);
+        assert_eq!(scaled.gemm_time, base.gemm_time);
+    }
+
+    #[test]
+    fn bigger_batch_amortizes_fixed_communication() {
+        // Doubling the global batch less than doubles iteration time for
+        // FSDP workloads (parameter gathers are batch-independent).
+        let mut model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let r1 = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        model.global_batch *= 2;
+        let r2 = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        assert!(r2.iteration_time > r1.iteration_time);
+        assert!(r2.iteration_time.as_secs() < 2.0 * r1.iteration_time.as_secs());
+        assert!(r2.samples_per_sec() > r1.samples_per_sec());
+    }
+
+    #[test]
+    fn inference_runs_forward_collectives_only() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let train = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let infer = simulate(&model, &sys, &plan, Task::Inference).unwrap();
+        use madmax_parallel::CollectiveKind;
+        // No gradient reduce-scatter at inference.
+        assert!(!infer.comm_by_collective.contains_key(&CollectiveKind::ReduceScatter));
+        assert!(train.comm_by_collective.contains_key(&CollectiveKind::ReduceScatter));
+        // Forward All2All halves (no gradient exchange).
+        let a2a_t = train.comm_by_collective[&CollectiveKind::AllToAll];
+        let a2a_i = infer.comm_by_collective[&CollectiveKind::AllToAll];
+        assert!((a2a_t.as_secs() / a2a_i.as_secs() - 2.0).abs() < 1e-6);
+    }
+}

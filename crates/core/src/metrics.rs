@@ -1,0 +1,295 @@
+//! Iteration-level performance metrics and breakdowns: overall throughput,
+//! serialized and overlapped execution, exposed communication, and the
+//! per-collective / per-layer-class splits used across Figs. 4, 7, and 20.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use madmax_hw::units::Seconds;
+use madmax_model::{BatchUnit, LayerClass, ModelArch};
+use madmax_parallel::{CollectiveKind, MemoryBreakdown};
+
+use crate::sim::{difference_measure, union_measure, Schedule};
+use crate::trace::{OpKind, StreamId, Trace};
+
+/// Everything MAD-Max reports about one training/inference iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Overlapped (wall-clock) iteration time: the schedule makespan.
+    pub iteration_time: Seconds,
+    /// Serialized iteration time: the sum of every op's duration.
+    pub serialized_time: Seconds,
+    /// Total GEMM time on the compute stream.
+    pub gemm_time: Seconds,
+    /// Total embedding lookup/scatter time.
+    pub lookup_time: Seconds,
+    /// Optimizer-step time.
+    pub optimizer_time: Seconds,
+    /// Sum of all collective durations.
+    pub comm_time: Seconds,
+    /// Collective durations by primitive.
+    pub comm_by_collective: BTreeMap<CollectiveKind, Seconds>,
+    /// GEMM durations by layer class.
+    pub gemm_by_class: BTreeMap<LayerClass, Seconds>,
+    /// Wall-clock time when communication channels are busy but the
+    /// compute stream is idle (the paper's *exposed communication*).
+    pub exposed_comm: Seconds,
+    /// Per-collective exposure (each op's window minus compute-busy time;
+    /// may sum to slightly more than `exposed_comm` when the two comm
+    /// streams are simultaneously exposed).
+    pub exposed_by_collective: BTreeMap<CollectiveKind, Seconds>,
+    /// Per-device memory footprint of this mapping.
+    pub memory: MemoryBreakdown,
+    /// Global batch (samples or sequences) per iteration.
+    pub global_batch: usize,
+    /// Tokens per iteration (== samples for sample-based models).
+    pub tokens_per_iteration: f64,
+    /// Throughput accounting unit.
+    pub batch_unit: BatchUnit,
+}
+
+impl IterationReport {
+    /// Builds the report by sweeping the scheduled trace.
+    pub fn from_schedule(
+        trace: &Trace,
+        schedule: &Schedule,
+        model: &ModelArch,
+        memory: MemoryBreakdown,
+    ) -> Self {
+        let mut gemm_time = Seconds::ZERO;
+        let mut lookup_time = Seconds::ZERO;
+        let mut optimizer_time = Seconds::ZERO;
+        let mut comm_time = Seconds::ZERO;
+        let mut comm_by_collective = BTreeMap::new();
+        let mut gemm_by_class = BTreeMap::new();
+
+        let mut compute_busy: Vec<(f64, f64)> = Vec::new();
+        let mut comm_busy: Vec<(f64, f64)> = Vec::new();
+
+        for (op, w) in trace.ops().iter().zip(&schedule.windows) {
+            let span = (w.start.as_secs(), w.finish.as_secs());
+            match op.kind {
+                OpKind::Gemm { class } => {
+                    gemm_time += op.duration;
+                    *gemm_by_class.entry(class).or_insert(Seconds::ZERO) += op.duration;
+                }
+                OpKind::Lookup => lookup_time += op.duration,
+                OpKind::Optimizer => optimizer_time += op.duration,
+                OpKind::Collective { kind } => {
+                    comm_time += op.duration;
+                    *comm_by_collective.entry(kind).or_insert(Seconds::ZERO) += op.duration;
+                }
+            }
+            if op.stream == StreamId::Compute {
+                compute_busy.push(span);
+            } else {
+                comm_busy.push(span);
+            }
+        }
+
+        let exposed =
+            difference_measure(&mut comm_busy.clone(), &mut compute_busy.clone());
+
+        // Per-collective exposure: each comm op's own window minus compute.
+        let mut exposed_by_collective: BTreeMap<CollectiveKind, Seconds> = BTreeMap::new();
+        {
+            let mut compute_sorted = compute_busy.clone();
+            union_measure(&mut compute_sorted); // sorts + merges in place semantics
+            for (op, w) in trace.ops().iter().zip(&schedule.windows) {
+                if let OpKind::Collective { kind } = op.kind {
+                    let mut own = vec![(w.start.as_secs(), w.finish.as_secs())];
+                    let e = difference_measure(&mut own, &mut compute_busy.clone());
+                    *exposed_by_collective.entry(kind).or_insert(Seconds::ZERO) +=
+                        Seconds::new(e);
+                }
+            }
+        }
+
+        Self {
+            iteration_time: schedule.makespan,
+            serialized_time: trace.serialized_time(),
+            gemm_time,
+            lookup_time,
+            optimizer_time,
+            comm_time,
+            comm_by_collective,
+            gemm_by_class,
+            exposed_comm: Seconds::new(exposed),
+            exposed_by_collective,
+            memory,
+            global_batch: model.global_batch,
+            tokens_per_iteration: model.tokens_per_iteration(),
+            batch_unit: model.batch_unit,
+        }
+    }
+
+    /// Total compute-stream time (GEMM + lookups + optimizer).
+    pub fn compute_time(&self) -> Seconds {
+        self.gemm_time + self.lookup_time + self.optimizer_time
+    }
+
+    /// Samples (or sequences) processed per second.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.global_batch as f64 / self.iteration_time.as_secs()
+    }
+
+    /// Throughput in millions of queries per second (the paper's DLRM
+    /// metric).
+    pub fn mqps(&self) -> f64 {
+        self.samples_per_sec() / 1e6
+    }
+
+    /// Tokens processed per second (the LLM metric).
+    pub fn tokens_per_sec(&self) -> f64 {
+        self.tokens_per_iteration / self.iteration_time.as_secs()
+    }
+
+    /// Fraction of communication time that is exposed (not hidden behind
+    /// compute), in `[0, 1]`.
+    pub fn exposed_fraction(&self) -> f64 {
+        if self.comm_time.is_zero() {
+            0.0
+        } else {
+            (self.exposed_comm / self.comm_time).min(1.0)
+        }
+    }
+
+    /// Fraction of communication hidden behind compute (Fig. 4b's
+    /// "overlapped" share).
+    pub fn overlap_fraction(&self) -> f64 {
+        1.0 - self.exposed_fraction()
+    }
+
+    /// Wall-clock speedup of this mapping over `baseline` (same workload).
+    pub fn speedup_over(&self, baseline: &IterationReport) -> f64 {
+        baseline.iteration_time / self.iteration_time
+    }
+
+    /// Serialized-time fraction spent in a collective.
+    pub fn comm_share(&self, kind: CollectiveKind) -> f64 {
+        let t = self.comm_by_collective.get(&kind).copied().unwrap_or(Seconds::ZERO);
+        if self.comm_time.is_zero() {
+            0.0
+        } else {
+            t / self.comm_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::schedule;
+    use crate::trace::{OpId, Phase, TraceOp};
+
+    fn toy_model() -> ModelArch {
+        madmax_model::ModelId::DlrmB.build()
+    }
+
+    fn op(name: &str, stream: StreamId, kind: OpKind, ms: f64, deps: Vec<OpId>) -> TraceOp {
+        TraceOp {
+            name: name.to_owned(),
+            stream,
+            kind,
+            phase: Phase::Forward,
+            duration: Seconds::from_ms(ms),
+            deps,
+        }
+    }
+
+    #[test]
+    fn report_accounts_all_categories() {
+        let mut t = Trace::new();
+        let a = t.push(op(
+            "lookup",
+            StreamId::Compute,
+            OpKind::Lookup,
+            4.0,
+            vec![],
+        ));
+        let b = t.push(op(
+            "a2a",
+            StreamId::Comm,
+            OpKind::Collective { kind: CollectiveKind::AllToAll },
+            6.0,
+            vec![a],
+        ));
+        t.push(op(
+            "mlp",
+            StreamId::Compute,
+            OpKind::Gemm { class: LayerClass::Dense },
+            5.0,
+            vec![b],
+        ));
+        let s = schedule(&t);
+        let model = toy_model();
+        let r = IterationReport::from_schedule(&t, &s, &model, MemoryBreakdown::default());
+
+        assert!((r.serialized_time.as_ms() - 15.0).abs() < 1e-9);
+        assert!((r.iteration_time.as_ms() - 15.0).abs() < 1e-9, "fully serial chain");
+        assert!((r.lookup_time.as_ms() - 4.0).abs() < 1e-9);
+        assert!((r.gemm_time.as_ms() - 5.0).abs() < 1e-9);
+        assert!((r.comm_time.as_ms() - 6.0).abs() < 1e-9);
+        // The A2A runs [4,10] with no concurrent compute: fully exposed.
+        assert!((r.exposed_comm.as_ms() - 6.0).abs() < 1e-9);
+        assert!((r.exposed_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(r.overlap_fraction(), 0.0);
+        assert!((r.comm_share(CollectiveKind::AllToAll) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapped_comm_is_hidden() {
+        let mut t = Trace::new();
+        t.push(op(
+            "mlp",
+            StreamId::Compute,
+            OpKind::Gemm { class: LayerClass::Dense },
+            10.0,
+            vec![],
+        ));
+        t.push(op(
+            "ar",
+            StreamId::GradComm,
+            OpKind::Collective { kind: CollectiveKind::AllReduce },
+            8.0,
+            vec![],
+        ));
+        let s = schedule(&t);
+        let model = toy_model();
+        let r = IterationReport::from_schedule(&t, &s, &model, MemoryBreakdown::default());
+        assert!((r.iteration_time.as_ms() - 10.0).abs() < 1e-9);
+        assert_eq!(r.exposed_comm, Seconds::ZERO);
+        assert!((r.overlap_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_units() {
+        let mut t = Trace::new();
+        t.push(op(
+            "mlp",
+            StreamId::Compute,
+            OpKind::Gemm { class: LayerClass::Dense },
+            100.0,
+            vec![],
+        ));
+        let s = schedule(&t);
+        let model = toy_model(); // 256K global batch, sample-based
+        let r = IterationReport::from_schedule(&t, &s, &model, MemoryBreakdown::default());
+        assert!((r.samples_per_sec() - 262_144.0 / 0.1).abs() < 1.0);
+        assert!((r.mqps() - 2.62144).abs() < 1e-3);
+        assert_eq!(r.batch_unit, BatchUnit::Samples);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_iteration_times() {
+        let mut t1 = Trace::new();
+        t1.push(op("a", StreamId::Compute, OpKind::Lookup, 10.0, vec![]));
+        let mut t2 = Trace::new();
+        t2.push(op("a", StreamId::Compute, OpKind::Lookup, 5.0, vec![]));
+        let model = toy_model();
+        let r1 = IterationReport::from_schedule(&t1, &schedule(&t1), &model, MemoryBreakdown::default());
+        let r2 = IterationReport::from_schedule(&t2, &schedule(&t2), &model, MemoryBreakdown::default());
+        assert!((r2.speedup_over(&r1) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! The top-level MAD-Max entry point: configure a simulation of one
+//! (model, system, plan, task) combination and obtain an
+//! [`IterationReport`].
+
+use madmax_hw::ClusterSpec;
+use madmax_model::ModelArch;
+use madmax_parallel::{check_memory, Plan, PlanError, Task};
+
+use crate::builder::TraceBuilder;
+use crate::collective::{CollectiveModel, HierarchicalNccl};
+use crate::compute::UtilizationModel;
+use crate::metrics::IterationReport;
+use crate::sim::{schedule, Schedule};
+use crate::trace::Trace;
+
+/// A configured MAD-Max simulation.
+///
+/// # Examples
+///
+/// ```
+/// use madmax_core::Simulation;
+/// use madmax_hw::catalog;
+/// use madmax_model::ModelId;
+/// use madmax_parallel::{Plan, Task};
+///
+/// # fn main() -> Result<(), madmax_parallel::PlanError> {
+/// let model = ModelId::DlrmA.build();
+/// let system = catalog::zionex_dlrm_system();
+/// let plan = Plan::fsdp_baseline(&model);
+/// let report = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+/// assert!(report.mqps() > 0.5 && report.mqps() < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    model: &'a ModelArch,
+    cluster: &'a ClusterSpec,
+    plan: &'a Plan,
+    task: Task,
+    collective_model: &'a dyn CollectiveModel,
+    utilization: UtilizationModel,
+}
+
+/// The default collective model instance.
+static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation with the default NCCL-style collective model
+    /// and constant compute utilization.
+    pub fn new(model: &'a ModelArch, cluster: &'a ClusterSpec, plan: &'a Plan, task: Task) -> Self {
+        Self {
+            model,
+            cluster,
+            plan,
+            task,
+            collective_model: &DEFAULT_COLLECTIVES,
+            utilization: UtilizationModel::Constant,
+        }
+    }
+
+    /// Replaces the collective cost model (ablation studies).
+    #[must_use]
+    pub fn with_collective_model(mut self, m: &'a dyn CollectiveModel) -> Self {
+        self.collective_model = m;
+        self
+    }
+
+    /// Replaces the compute-utilization model (e.g. the workload-dependent
+    /// MFU model of Fig. 8).
+    #[must_use]
+    pub fn with_utilization(mut self, u: UtilizationModel) -> Self {
+        self.utilization = u;
+        self
+    }
+
+    /// Builds the trace without scheduling (for inspection / Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the plan is invalid or the mapping does not fit in
+    /// device memory.
+    pub fn build_trace(&self) -> Result<Trace, PlanError> {
+        check_memory(self.model, self.cluster, self.plan, &self.task)?;
+        Ok(TraceBuilder {
+            model: self.model,
+            cluster: self.cluster,
+            plan: self.plan,
+            task: &self.task,
+            collective_model: self.collective_model,
+            utilization: self.utilization,
+        }
+        .build())
+    }
+
+    /// Runs the simulation end to end.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the plan is invalid ([`PlanError::InvalidStrategy`]) or
+    /// the mapping does not fit in device memory
+    /// ([`PlanError::OutOfMemory`]), unless the plan ignores memory limits.
+    pub fn run(&self) -> Result<IterationReport, PlanError> {
+        let (report, _, _) = self.run_with_trace()?;
+        Ok(report)
+    }
+
+    /// Runs the simulation, also returning the trace and schedule for
+    /// timeline rendering.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), PlanError> {
+        let memory = check_memory(self.model, self.cluster, self.plan, &self.task)?;
+        let trace = TraceBuilder {
+            model: self.model,
+            cluster: self.cluster,
+            plan: self.plan,
+            task: &self.task,
+            collective_model: self.collective_model,
+            utilization: self.utilization,
+        }
+        .build();
+        let sched = schedule(&trace);
+        let report = IterationReport::from_schedule(&trace, &sched, self.model, memory);
+        Ok((report, trace, sched))
+    }
+}
+
+/// One-shot convenience wrapper around [`Simulation`].
+///
+/// # Errors
+///
+/// Same conditions as [`Simulation::run`].
+pub fn simulate(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: Task,
+) -> Result<IterationReport, PlanError> {
+    Simulation::new(model, cluster, plan, task).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::FlatWorstLink;
+    use madmax_hw::catalog;
+    use madmax_model::{LayerClass, ModelId};
+    use madmax_parallel::{HierStrategy, Strategy};
+
+    #[test]
+    fn dlrm_baseline_runs_and_is_sane() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        assert!(r.iteration_time.as_ms() > 10.0 && r.iteration_time.as_ms() < 200.0);
+        assert!(r.serialized_time >= r.iteration_time);
+        assert!(r.exposed_comm <= r.comm_time);
+        assert!(r.mqps() > 0.3 && r.mqps() < 5.0, "{}", r.mqps());
+    }
+
+    #[test]
+    fn oom_plans_fail() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model)
+            .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Ddp));
+        assert!(matches!(
+            simulate(&model, &sys, &plan, Task::Pretraining),
+            Err(PlanError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn inference_is_faster_than_training() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let train = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let infer = simulate(&model, &sys, &plan, Task::Inference).unwrap();
+        assert!(infer.iteration_time < train.iteration_time);
+    }
+
+    #[test]
+    fn collective_model_ablation_changes_results() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let hier = Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap();
+        let flat_model = FlatWorstLink;
+        let flat = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .with_collective_model(&flat_model)
+            .run()
+            .unwrap();
+        assert!(flat.comm_time > hier.comm_time);
+    }
+
+    #[test]
+    fn trace_inspection_available() {
+        let model = ModelId::DlrmB.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let (report, trace, sched) = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run_with_trace()
+            .unwrap();
+        assert_eq!(trace.len(), sched.windows.len());
+        assert!((trace.serialized_time() / report.serialized_time - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,200 @@
+//! Two-stream overlap simulator: executes a [`Trace`] with in-order streams
+//! and data-dependency stalls, assuming kernels launch as soon as their
+//! dependencies resolve (Section IV-C: "Computation-Communication
+//! Overlap").
+
+use serde::{Deserialize, Serialize};
+
+use madmax_hw::units::Seconds;
+
+use crate::trace::{StreamId, Trace};
+
+/// Start/finish times of one op after scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpWindow {
+    /// Time the op begins executing.
+    pub start: Seconds,
+    /// Time the op completes.
+    pub finish: Seconds,
+}
+
+/// The scheduled timeline of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per-op windows, parallel to `trace.ops()`.
+    pub windows: Vec<OpWindow>,
+    /// Completion time of the last op (the overlapped iteration time).
+    pub makespan: Seconds,
+}
+
+/// Executes `trace` with list scheduling: each stream runs its ops in issue
+/// order, and an op starts at `max(stream available, deps finished)`.
+///
+/// The trace's issue order is a topological order (enforced by
+/// [`Trace::push`]), so one forward sweep suffices and the result is
+/// deterministic.
+pub fn schedule(trace: &Trace) -> Schedule {
+    let mut stream_avail: std::collections::BTreeMap<StreamId, Seconds> =
+        std::collections::BTreeMap::new();
+    let mut windows = Vec::with_capacity(trace.len());
+    let mut makespan = Seconds::ZERO;
+
+    for op in trace.ops() {
+        let avail = stream_avail.get(&op.stream).copied().unwrap_or(Seconds::ZERO);
+        let deps_done = op
+            .deps
+            .iter()
+            .map(|d| windows[d.0] as OpWindow)
+            .map(|w| w.finish)
+            .fold(Seconds::ZERO, Seconds::max);
+        let start = avail.max(deps_done);
+        let finish = start + op.duration;
+        stream_avail.insert(op.stream, finish);
+        makespan = makespan.max(finish);
+        windows.push(OpWindow { start, finish });
+    }
+    Schedule { windows, makespan }
+}
+
+/// Measures the total time in `intervals` (a possibly-overlapping set)
+/// covered by their union.
+pub fn union_measure(intervals: &mut [(f64, f64)]) -> f64 {
+    if intervals.is_empty() {
+        return 0.0;
+    }
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite interval bounds"));
+    let mut total = 0.0;
+    let (mut cur_s, mut cur_e) = intervals[0];
+    for &(s, e) in intervals.iter().skip(1) {
+        if s > cur_e {
+            total += cur_e - cur_s;
+            (cur_s, cur_e) = (s, e);
+        } else {
+            cur_e = cur_e.max(e);
+        }
+    }
+    total + (cur_e - cur_s)
+}
+
+/// Measures `|a \ b|`: time covered by union(`a`) but not union(`b`).
+pub fn difference_measure(a: &mut [(f64, f64)], b: &mut [(f64, f64)]) -> f64 {
+    let a_measure = union_measure(a);
+    if b.is_empty() {
+        return a_measure;
+    }
+    // |a \ b| = |a| - |a ∩ b|; compute the intersection by sweeping the two
+    // (now sorted, disjoint) unions.
+    let a_merged = merged(a);
+    let b_merged = merged(b);
+    let mut inter = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a_merged.len() && j < b_merged.len() {
+        let (as_, ae) = a_merged[i];
+        let (bs, be) = b_merged[j];
+        let lo = as_.max(bs);
+        let hi = ae.min(be);
+        if hi > lo {
+            inter += hi - lo;
+        }
+        if ae < be {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    a_measure - inter
+}
+
+fn merged(sorted: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+    for &(s, e) in sorted {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{OpId, OpKind, Phase, TraceOp};
+    use madmax_model::LayerClass;
+
+    fn op(name: &str, stream: StreamId, ms: f64, deps: Vec<OpId>) -> TraceOp {
+        TraceOp {
+            name: name.to_owned(),
+            stream,
+            kind: OpKind::Gemm { class: LayerClass::Dense },
+            phase: Phase::Forward,
+            duration: Seconds::from_ms(ms),
+            deps,
+        }
+    }
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut t = Trace::new();
+        t.push(op("c", StreamId::Compute, 10.0, vec![]));
+        t.push(op("k", StreamId::Comm, 10.0, vec![]));
+        let s = schedule(&t);
+        assert!((s.makespan.as_ms() - 10.0).abs() < 1e-9, "full overlap");
+        assert!((t.serialized_time().as_ms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_stall() {
+        let mut t = Trace::new();
+        let a = t.push(op("a", StreamId::Compute, 10.0, vec![]));
+        t.push(op("b", StreamId::Comm, 5.0, vec![a]));
+        let s = schedule(&t);
+        assert!((s.windows[1].start.as_ms() - 10.0).abs() < 1e-9);
+        assert!((s.makespan.as_ms() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streams_are_in_order() {
+        let mut t = Trace::new();
+        let a = t.push(op("blocker", StreamId::Compute, 10.0, vec![]));
+        t.push(op("k1", StreamId::Comm, 5.0, vec![a])); // waits for a
+        t.push(op("k2", StreamId::Comm, 5.0, vec![])); // no deps, but queued after k1
+        let s = schedule(&t);
+        assert!((s.windows[2].start.as_ms() - 15.0).abs() < 1e-9, "in-order stream");
+        assert!((s.makespan.as_ms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let mut t = Trace::new();
+        let a = t.push(op("a", StreamId::Compute, 2.0, vec![]));
+        let b = t.push(op("b", StreamId::Comm, 8.0, vec![a]));
+        let c = t.push(op("c", StreamId::Compute, 3.0, vec![a]));
+        t.push(op("d", StreamId::Compute, 1.0, vec![b, c]));
+        let s = schedule(&t);
+        // d waits for the slower branch (b finishes at 10).
+        assert!((s.windows[3].start.as_ms() - 10.0).abs() < 1e-9);
+        assert!((s.makespan.as_ms() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_and_difference_measures() {
+        let mut a = vec![(0.0, 5.0), (3.0, 8.0), (10.0, 12.0)];
+        assert!((union_measure(&mut a.clone()) - 10.0).abs() < 1e-12);
+        let mut b = vec![(4.0, 11.0)];
+        // a \ b = [0,4) + [11,12) = 5.
+        assert!((difference_measure(&mut a, &mut b) - 5.0).abs() < 1e-12);
+        // Empty cases.
+        assert_eq!(union_measure(&mut []), 0.0);
+        assert_eq!(difference_measure(&mut [], &mut [(0.0, 1.0)]), 0.0);
+        assert!((difference_measure(&mut [(0.0, 2.0)], &mut []) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_schedules() {
+        let t = Trace::new();
+        let s = schedule(&t);
+        assert_eq!(s.makespan, Seconds::ZERO);
+        assert!(s.windows.is_empty());
+    }
+}

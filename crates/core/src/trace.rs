@@ -1,0 +1,194 @@
+//! Execution-trace representation: the "detailed record capturing the
+//! sequence and duration of both compute and communication events (i.e.,
+//! streams) on each device" (Section IV-A).
+//!
+//! Because execution is SPMD, MAD-Max builds the trace of one
+//! representative device.
+
+use serde::{Deserialize, Serialize};
+
+use madmax_hw::units::Seconds;
+use madmax_model::LayerClass;
+use madmax_parallel::CollectiveKind;
+
+/// Hardware queue an op occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StreamId {
+    /// SMs + HBM: GEMMs, embedding lookups, optimizer updates.
+    Compute,
+    /// Blocking/prefetchable collectives (the "communication stream").
+    Comm,
+    /// Weight-gradient collectives (FSDP/DDP issue these on a separate
+    /// lower-priority channel so they drain behind blocking traffic).
+    GradComm,
+}
+
+impl StreamId {
+    /// Whether this stream moves bytes between devices.
+    pub fn is_comm(self) -> bool {
+        matches!(self, StreamId::Comm | StreamId::GradComm)
+    }
+}
+
+/// Iteration phase an op belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Forward pass.
+    Forward,
+    /// Backward pass (gradient flow).
+    Backward,
+    /// Parameter update.
+    Update,
+}
+
+/// What an op does, for breakdown accounting (Figs. 4, 7, 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Matrix compute (MLP/transformer/MoE/interaction).
+    Gemm {
+        /// The layer class executing.
+        class: LayerClass,
+    },
+    /// HBM-bound embedding lookup or gradient scatter.
+    Lookup,
+    /// A communication collective.
+    Collective {
+        /// Which primitive.
+        kind: CollectiveKind,
+    },
+    /// Optimizer step.
+    Optimizer,
+}
+
+/// Index of an op within its [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub usize);
+
+/// One event on a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Display name, e.g. `"fwd.embedding_tables.a2a"`.
+    pub name: String,
+    /// Queue this op occupies.
+    pub stream: StreamId,
+    /// Category for breakdowns.
+    pub kind: OpKind,
+    /// Iteration phase.
+    pub phase: Phase,
+    /// Modeled execution time.
+    pub duration: Seconds,
+    /// Ops that must finish before this one starts (data dependencies).
+    pub deps: Vec<OpId>,
+}
+
+/// A per-device execution trace: ops in issue order (which is also a
+/// topological order of the dependency graph).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an op, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency refers to a later op (the trace must stay
+    /// topologically ordered).
+    pub fn push(&mut self, op: TraceOp) -> OpId {
+        let id = OpId(self.ops.len());
+        assert!(
+            op.deps.iter().all(|d| d.0 < id.0),
+            "dependency cycle: op {} depends on a later op",
+            op.name
+        );
+        self.ops.push(op);
+        id
+    }
+
+    /// All ops in issue order.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Sum of all op durations: the paper's *serialized* execution time.
+    pub fn serialized_time(&self) -> Seconds {
+        self.ops.iter().map(|o| o.duration).sum()
+    }
+
+    /// Ops on a given stream.
+    pub fn stream_ops(&self, stream: StreamId) -> impl Iterator<Item = (OpId, &TraceOp)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(move |(_, o)| o.stream == stream)
+            .map(|(i, o)| (OpId(i), o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str, stream: StreamId, ms: f64, deps: Vec<OpId>) -> TraceOp {
+        TraceOp {
+            name: name.to_owned(),
+            stream,
+            kind: OpKind::Lookup,
+            phase: Phase::Forward,
+            duration: Seconds::from_ms(ms),
+            deps,
+        }
+    }
+
+    #[test]
+    fn push_returns_sequential_ids() {
+        let mut t = Trace::new();
+        let a = t.push(op("a", StreamId::Compute, 1.0, vec![]));
+        let b = t.push(op("b", StreamId::Comm, 2.0, vec![a]));
+        assert_eq!(a, OpId(0));
+        assert_eq!(b, OpId(1));
+        assert_eq!(t.len(), 2);
+        assert!((t.serialized_time().as_ms() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn forward_dependency_rejected() {
+        let mut t = Trace::new();
+        t.push(op("bad", StreamId::Compute, 1.0, vec![OpId(5)]));
+    }
+
+    #[test]
+    fn stream_filtering() {
+        let mut t = Trace::new();
+        t.push(op("a", StreamId::Compute, 1.0, vec![]));
+        t.push(op("b", StreamId::Comm, 1.0, vec![]));
+        t.push(op("c", StreamId::Compute, 1.0, vec![]));
+        assert_eq!(t.stream_ops(StreamId::Compute).count(), 2);
+        assert_eq!(t.stream_ops(StreamId::Comm).count(), 1);
+        assert_eq!(t.stream_ops(StreamId::GradComm).count(), 0);
+    }
+
+    #[test]
+    fn comm_stream_classification() {
+        assert!(!StreamId::Compute.is_comm());
+        assert!(StreamId::Comm.is_comm());
+        assert!(StreamId::GradComm.is_comm());
+    }
+}

@@ -1,0 +1,210 @@
+//! The paper's validation experiments (Table I, Figs. 7-9): measured
+//! reference values from real large-scale training runs, and helpers that
+//! compare MAD-Max's predictions against them.
+//!
+//! The measured side of every comparison is inherited from the paper
+//! itself (the raw production traces are Meta-internal); this module
+//! reproduces the *model* side and reports prediction accuracy the same
+//! way the paper does: `accuracy = 1 - |measured - predicted| / measured`.
+
+use madmax_hw::catalog;
+use madmax_hw::units::Seconds;
+use madmax_model::{ModelArch, ModelId};
+use madmax_parallel::{Plan, PlanError, Task};
+
+use crate::metrics::IterationReport;
+use crate::perf::Simulation;
+
+/// Prediction accuracy as the paper reports it (in percent).
+pub fn accuracy_pct(measured: f64, predicted: f64) -> f64 {
+    (1.0 - (measured - predicted).abs() / measured) * 100.0
+}
+
+/// One validation comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationPoint {
+    /// Workload / metric description.
+    pub metric: String,
+    /// Published measured value.
+    pub measured: f64,
+    /// Value the paper's own model predicted (where reported).
+    pub paper_model: Option<f64>,
+    /// Our reproduction's prediction.
+    pub predicted: f64,
+    /// Unit label for display.
+    pub unit: &'static str,
+}
+
+impl ValidationPoint {
+    /// Accuracy of our prediction vs the measurement, in percent.
+    pub fn accuracy(&self) -> f64 {
+        accuracy_pct(self.measured, self.predicted)
+    }
+}
+
+/// Measured reference values from Table I.
+pub mod reference {
+    /// DLRM-A serialized iteration time on 128 A100s (ms).
+    pub const DLRM_A_SERIALIZED_MS: f64 = 67.40;
+    /// DLRM-A % communication exposed.
+    pub const DLRM_A_EXPOSED_PCT: f64 = 82.37;
+    /// DLRM-A training throughput (MQPS), from Mudigere et al.
+    pub const DLRM_A_MQPS: f64 = 1.2;
+    /// DLRM-B training throughput (MQPS).
+    pub const DLRM_B_MQPS: f64 = 3.4;
+    /// LLaMA-70B aggregate GPU hours for 306k steps on 2048 A100s.
+    pub const LLAMA_70B_GPU_HOURS_306K: f64 = 1_022_361.0;
+    /// LLaMA training steps used in the GPU-hours validation.
+    pub const LLAMA_70B_STEPS: f64 = 306_000.0;
+    /// Days to train 1.4T tokens (Touvron et al. report ~21 days).
+    pub const LLAMA_DAYS_1_4T_TOKENS: f64 = 20.83;
+    /// Total training tokens for the days-to-train validation.
+    pub const LLAMA_TOTAL_TOKENS: f64 = 1.4e12;
+    /// The paper's own model prediction: DLRM-A serialized time (ms).
+    pub const PAPER_DLRM_A_SERIALIZED_MS: f64 = 65.30;
+    /// Paper-model % exposed for DLRM-A.
+    pub const PAPER_DLRM_A_EXPOSED_PCT: f64 = 75.46;
+    /// Paper-model DLRM-A throughput.
+    pub const PAPER_DLRM_A_MQPS: f64 = 1.21;
+    /// Paper-model DLRM-B throughput.
+    pub const PAPER_DLRM_B_MQPS: f64 = 3.06;
+    /// Paper-model LLaMA GPU-hours.
+    pub const PAPER_LLAMA_GPU_HOURS: f64 = 863_397.0;
+    /// Paper-model LLaMA days.
+    pub const PAPER_LLAMA_DAYS: f64 = 19.21;
+    /// Fig. 9: observed communication overlap of the prefetch-optimized
+    /// FSDP LLaMA run (%), vs the paper model's 93%.
+    pub const FSDP_PREFETCH_OVERLAP_OBSERVED_PCT: f64 = 98.0;
+    /// Fig. 9: the paper model's predicted overlap (%).
+    pub const PAPER_FSDP_PREFETCH_OVERLAP_PCT: f64 = 93.0;
+}
+
+/// Simulates DLRM-A pre-training on the 128-GPU ZionEX system with the
+/// production mapping (sharded embeddings + FSDP dense).
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] if the baseline mapping were infeasible
+/// (it is not).
+pub fn dlrm_a_production_report() -> Result<IterationReport, PlanError> {
+    let model = ModelId::DlrmA.build();
+    let sys = catalog::zionex_dlrm_system();
+    let plan = Plan::fsdp_baseline(&model);
+    Simulation::new(&model, &sys, &plan, Task::Pretraining).run()
+}
+
+/// Simulates DLRM-B pre-training on the same platform.
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] if the baseline mapping were infeasible.
+pub fn dlrm_b_production_report() -> Result<IterationReport, PlanError> {
+    let model = ModelId::DlrmB.build();
+    let sys = catalog::zionex_dlrm_system();
+    let plan = Plan::fsdp_baseline(&model);
+    Simulation::new(&model, &sys, &plan, Task::Pretraining).run()
+}
+
+/// Simulates LLaMA-70B pre-training on the 2048-GPU A100-80GB system.
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] if the baseline mapping were infeasible.
+pub fn llama_70b_report() -> Result<(ModelArch, IterationReport), PlanError> {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let plan = Plan::fsdp_baseline(&model);
+    let r = Simulation::new(&model, &sys, &plan, Task::Pretraining).run()?;
+    Ok((model, r))
+}
+
+/// Aggregate GPU-hours to run `steps` iterations of `iter_time` on
+/// `devices` accelerators.
+pub fn gpu_hours(iter_time: Seconds, steps: f64, devices: usize) -> f64 {
+    iter_time.as_hours() * steps * devices as f64
+}
+
+/// Produces the full Table I comparison.
+///
+/// # Errors
+///
+/// Propagates simulation errors (none expected for the baselines).
+pub fn table_i() -> Result<Vec<ValidationPoint>, PlanError> {
+    use reference as r;
+    let a = dlrm_a_production_report()?;
+    let b = dlrm_b_production_report()?;
+    let (llama, l) = llama_70b_report()?;
+    let llama_steps_1_4t = r::LLAMA_TOTAL_TOKENS / llama.tokens_per_iteration();
+
+    Ok(vec![
+        ValidationPoint {
+            metric: "DLRM-A serialized iteration time".into(),
+            measured: r::DLRM_A_SERIALIZED_MS,
+            paper_model: Some(r::PAPER_DLRM_A_SERIALIZED_MS),
+            predicted: a.serialized_time.as_ms(),
+            unit: "ms",
+        },
+        ValidationPoint {
+            metric: "DLRM-A % communication exposed".into(),
+            measured: r::DLRM_A_EXPOSED_PCT,
+            paper_model: Some(r::PAPER_DLRM_A_EXPOSED_PCT),
+            predicted: a.exposed_fraction() * 100.0,
+            unit: "%",
+        },
+        ValidationPoint {
+            metric: "DLRM-A throughput".into(),
+            measured: r::DLRM_A_MQPS,
+            paper_model: Some(r::PAPER_DLRM_A_MQPS),
+            predicted: a.mqps(),
+            unit: "MQPS",
+        },
+        ValidationPoint {
+            metric: "DLRM-B throughput".into(),
+            measured: r::DLRM_B_MQPS,
+            paper_model: Some(r::PAPER_DLRM_B_MQPS),
+            predicted: b.mqps(),
+            unit: "MQPS",
+        },
+        ValidationPoint {
+            metric: "LLaMA-70B GPU hours (306k steps, 2048 A100s)".into(),
+            measured: r::LLAMA_70B_GPU_HOURS_306K,
+            paper_model: Some(r::PAPER_LLAMA_GPU_HOURS),
+            predicted: gpu_hours(l.iteration_time, r::LLAMA_70B_STEPS, 2048),
+            unit: "hrs",
+        },
+        ValidationPoint {
+            metric: "LLaMA days to train 1.4T tokens".into(),
+            measured: r::LLAMA_DAYS_1_4T_TOKENS,
+            paper_model: Some(r::PAPER_LLAMA_DAYS),
+            predicted: (l.iteration_time * llama_steps_1_4t).as_days(),
+            unit: "days",
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_formula_matches_paper() {
+        // 67.40 measured vs 65.30 predicted -> 96.89%.
+        assert!((accuracy_pct(67.40, 65.30) - 96.88).abs() < 0.05);
+    }
+
+    #[test]
+    fn table_i_rows_exist_and_are_accurate() {
+        let rows = table_i().unwrap();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.accuracy() > 80.0,
+                "{}: measured {} vs predicted {} ({:.1}%)",
+                row.metric,
+                row.measured,
+                row.predicted,
+                row.accuracy()
+            );
+        }
+    }
+}

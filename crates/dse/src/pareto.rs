@@ -1,0 +1,106 @@
+//! Pareto-frontier extraction for resource/performance trade-off plots
+//! (Figs. 1, 13, 16).
+
+/// A candidate design point: lower `cost` and higher `value` are better.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint<T> {
+    /// Resource axis (per-device memory, aggregate GPU-hours, ...).
+    pub cost: f64,
+    /// Performance axis (throughput, 1/elapsed-time, ...).
+    pub value: f64,
+    /// The design this point represents.
+    pub payload: T,
+}
+
+impl<T> ParetoPoint<T> {
+    /// Creates a point.
+    pub fn new(cost: f64, value: f64, payload: T) -> Self {
+        Self { cost, value, payload }
+    }
+
+    /// Whether `self` dominates `other` (no worse on both axes, strictly
+    /// better on at least one).
+    pub fn dominates(&self, other: &Self) -> bool {
+        self.cost <= other.cost
+            && self.value >= other.value
+            && (self.cost < other.cost || self.value > other.value)
+    }
+}
+
+/// Extracts the Pareto frontier (minimize cost, maximize value), sorted by
+/// increasing cost. Non-finite points are excluded.
+pub fn pareto_frontier<T: Clone>(points: &[ParetoPoint<T>]) -> Vec<ParetoPoint<T>> {
+    let mut sorted: Vec<&ParetoPoint<T>> = points
+        .iter()
+        .filter(|p| p.cost.is_finite() && p.value.is_finite())
+        .collect();
+    sorted.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .expect("finite")
+            .then(b.value.partial_cmp(&a.value).expect("finite"))
+    });
+    let mut frontier: Vec<ParetoPoint<T>> = Vec::new();
+    let mut best_value = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.value > best_value {
+            best_value = p.value;
+            frontier.push(p.clone());
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<ParetoPoint<usize>> {
+        v.iter().enumerate().map(|(i, &(c, val))| ParetoPoint::new(c, val, i)).collect()
+    }
+
+    #[test]
+    fn frontier_keeps_nondominated() {
+        let points = pts(&[(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (4.0, 4.0), (2.5, 3.0)]);
+        let f = pareto_frontier(&points);
+        let coords: Vec<(f64, f64)> = f.iter().map(|p| (p.cost, p.value)).collect();
+        assert_eq!(coords, vec![(1.0, 1.0), (2.0, 3.0), (4.0, 4.0)]);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = ParetoPoint::new(1.0, 2.0, ());
+        let b = ParetoPoint::new(2.0, 2.0, ());
+        let c = ParetoPoint::new(1.0, 2.0, ());
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "equal points do not dominate");
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let points = pts(&[(5.0, 1.0), (1.0, 5.0), (3.0, 3.0)]);
+        let f = pareto_frontier(&points);
+        // With (1.0, 5.0) first, nothing else qualifies.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].payload, 1);
+    }
+
+    #[test]
+    fn nan_points_excluded() {
+        let points = pts(&[(f64::NAN, 1.0), (1.0, 1.0)]);
+        assert_eq!(pareto_frontier(&points).len(), 1);
+    }
+
+    #[test]
+    fn every_input_is_dominated_by_or_on_frontier() {
+        let points = pts(&[(1.0, 1.0), (2.0, 0.5), (1.5, 2.0), (3.0, 2.5), (2.9, 2.6)]);
+        let f = pareto_frontier(&points);
+        for p in &points {
+            let covered = f
+                .iter()
+                .any(|fp| fp.dominates(p) || (fp.cost == p.cost && fp.value == p.value));
+            assert!(covered, "point ({}, {}) uncovered", p.cost, p.value);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Joint strategy search: the optimizer behind Figs. 10, 17, and 18 —
+//! "tuning parallelization strategies at the layer-type granularity".
+
+use madmax_core::{simulate, IterationReport};
+use madmax_hw::ClusterSpec;
+use madmax_model::{LayerClass, ModelArch};
+use madmax_parallel::{HierStrategy, Plan, PlanError, Task};
+
+/// Search configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOptions {
+    /// Explore mappings beyond current memory capacities (the orange bars
+    /// of Fig. 10).
+    pub ignore_memory_limits: bool,
+    /// Restrict the search to these classes (others keep the baseline
+    /// assignment). `None` searches every class present in the model.
+    pub classes: Option<Vec<LayerClass>>,
+}
+
+/// Result of a joint search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The throughput-optimal plan found.
+    pub best_plan: Plan,
+    /// Its simulation report.
+    pub best: IterationReport,
+    /// The FSDP-baseline report for the same workload.
+    pub baseline: IterationReport,
+    /// Plans evaluated.
+    pub evaluated: usize,
+    /// Plans rejected for memory infeasibility.
+    pub oom: usize,
+}
+
+impl SearchResult {
+    /// Throughput improvement of the best plan over the FSDP baseline.
+    pub fn speedup(&self) -> f64 {
+        self.best.speedup_over(&self.baseline)
+    }
+
+    /// Paper-style summary of the winning per-class strategies.
+    pub fn winning_strategies(&self) -> String {
+        self.best_plan.summary()
+    }
+}
+
+fn classes_in(model: &ModelArch) -> Vec<LayerClass> {
+    let mut v: Vec<LayerClass> = Vec::new();
+    for g in &model.groups {
+        if !v.contains(&g.class) {
+            v.push(g.class);
+        }
+    }
+    v
+}
+
+/// Exhaustively searches per-class hierarchical strategies for the
+/// throughput-optimal plan.
+///
+/// # Errors
+///
+/// Returns the baseline's error if even the FSDP baseline is infeasible;
+/// otherwise always finds at least the baseline itself.
+pub fn optimize(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    task: &Task,
+    options: &SearchOptions,
+) -> Result<SearchResult, PlanError> {
+    let mut base_plan = Plan::fsdp_baseline(model);
+    base_plan.options.ignore_memory_limits = options.ignore_memory_limits;
+    let baseline = simulate(model, cluster, &base_plan, task.clone())?;
+
+    let classes: Vec<LayerClass> = match &options.classes {
+        Some(c) => c.clone(),
+        None => classes_in(model),
+    };
+    let per_class: Vec<Vec<HierStrategy>> = classes
+        .iter()
+        .map(|&c| HierStrategy::enumerate_for(c))
+        .collect();
+
+    // Cartesian product over per-class strategy choices.
+    let mut best_plan = base_plan.clone();
+    let mut best = baseline.clone();
+    let mut evaluated = 0usize;
+    let mut oom = 0usize;
+    let total: usize = per_class.iter().map(Vec::len).product();
+    for mut idx in 0..total {
+        let mut plan = base_plan.clone();
+        for (ci, choices) in per_class.iter().enumerate() {
+            let choice = choices[idx % choices.len()];
+            idx /= choices.len();
+            plan = plan.with_strategy(classes[ci], choice);
+        }
+        evaluated += 1;
+        match simulate(model, cluster, &plan, task.clone()) {
+            Ok(r) => {
+                if r.iteration_time < best.iteration_time {
+                    best = r;
+                    best_plan = plan;
+                }
+            }
+            Err(PlanError::OutOfMemory { .. }) => oom += 1,
+            Err(PlanError::InvalidStrategy { .. }) => {}
+        }
+    }
+
+    Ok(SearchResult { best_plan, best, baseline, evaluated, oom })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_hw::catalog;
+    use madmax_model::ModelId;
+
+    #[test]
+    fn optimized_beats_baseline_for_dlrm() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let r = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+        assert!(r.speedup() >= 1.0);
+        assert!(r.speedup() < 4.0, "speedup {:.2} suspicious", r.speedup());
+        assert!(r.evaluated > 100);
+        assert!(r.oom > 0, "some DLRM mappings must be infeasible");
+    }
+
+    #[test]
+    fn unconstrained_search_at_least_matches_constrained() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let constrained =
+            optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+        let unconstrained = optimize(
+            &model,
+            &sys,
+            &Task::Pretraining,
+            &SearchOptions { ignore_memory_limits: true, classes: None },
+        )
+        .unwrap();
+        assert!(unconstrained.best.iteration_time <= constrained.best.iteration_time);
+        assert_eq!(unconstrained.oom, 0);
+    }
+
+    #[test]
+    fn restricted_search_touches_only_listed_classes() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let r = optimize(
+            &model,
+            &sys,
+            &Task::Pretraining,
+            &SearchOptions { ignore_memory_limits: false, classes: Some(vec![LayerClass::Dense]) },
+        )
+        .unwrap();
+        // Embedding stays at the baseline sharding.
+        assert_eq!(
+            r.best_plan.strategy_for(LayerClass::Embedding),
+            Plan::fsdp_baseline(&model).strategy_for(LayerClass::Embedding)
+        );
+        assert_eq!(r.evaluated, 12);
+    }
+}

@@ -1,0 +1,99 @@
+//! # madmax-model
+//!
+//! Model-architecture substrate for MAD-Max: the layer taxonomy with
+//! analytical parameter/FLOPs/bytes counting (Section IV-B of the paper)
+//! and builders for the full evaluation suite of Table II — DLRM-A/B with
+//! Transformer and MoE variants, GPT-3 175B, LLaMA-65B, LLaMA-2 70B, the
+//! 1.8T LLM-MoE, and the ViT validation family.
+//!
+//! # Example
+//!
+//! ```
+//! use madmax_model::zoo::ModelId;
+//!
+//! let gpt3 = ModelId::Gpt3.build();
+//! let stats = gpt3.stats();
+//! assert!((stats.params_total / 175e9 - 1.0).abs() < 0.01);
+//! assert!((stats.flops_fwd_per_token().as_gflops() / 350.0 - 1.0).abs() < 0.03);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arch;
+pub mod dlrm;
+pub mod layer;
+pub mod llm;
+pub mod vit;
+pub mod zoo;
+
+pub use arch::{BatchUnit, LayerClass, LayerGroup, ModelArch, ModelStats};
+pub use dlrm::DlrmVariant;
+pub use layer::LayerKind;
+pub use zoo::ModelId;
+
+#[cfg(test)]
+mod zoo_serde_tests {
+    use crate::zoo::ModelId;
+    use crate::ModelArch;
+
+    #[test]
+    fn every_zoo_model_serde_round_trips() {
+        for id in ModelId::ALL {
+            let m = id.build();
+            let js = serde_json::to_string(&m).unwrap();
+            let back: ModelArch = serde_json::from_str(&js).unwrap();
+            assert_eq!(m, back, "{id}");
+            // Stats are a pure function of the architecture.
+            assert_eq!(m.stats(), back.stats(), "{id}");
+        }
+    }
+
+    #[test]
+    fn vit_family_serde_round_trips() {
+        for cfg in &crate::vit::VIT_FAMILY {
+            let m = crate::vit::vit(cfg, 2048);
+            let js = serde_json::to_string(&m).unwrap();
+            let back: ModelArch = serde_json::from_str(&js).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn context_scaled_name_is_distinct() {
+        let base = ModelId::Llama2.build();
+        let scaled = base.with_context_length(8192);
+        assert_ne!(base.name, scaled.name);
+        assert!(scaled.name.contains("8192"));
+    }
+
+    #[test]
+    fn checkpointing_reduces_transformer_activations_only() {
+        use madmax_hw::DType;
+        let m = ModelId::Gpt3.build();
+        for g in &m.groups {
+            let full = g.kind.activation_bytes_per_sample(m.context_length, DType::Bf16, false);
+            let ckpt = g.kind.activation_bytes_per_sample(m.context_length, DType::Bf16, true);
+            assert!(ckpt <= full, "{}", g.name);
+            if matches!(g.kind, crate::layer::LayerKind::TransformerBlock(_)) {
+                assert!(full.value() / ckpt.value() >= 4.0, "{}", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn dlrm_transformer_seq_is_fixed_at_80() {
+        use crate::layer::LayerKind;
+        let m = ModelId::DlrmATransformer.build();
+        let block = m
+            .groups
+            .iter()
+            .find_map(|g| match &g.kind {
+                LayerKind::TransformerBlock(t) => Some(t),
+                _ => None,
+            })
+            .unwrap();
+        // DLRM context is 1, but the interaction transformer runs seq 80.
+        assert_eq!(block.seq_len(m.context_length), 80);
+    }
+}

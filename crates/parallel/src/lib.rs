@@ -1,0 +1,43 @@
+//! # madmax-parallel
+//!
+//! Parallelization substrate for MAD-Max: the DDP/FSDP/TP/sharding strategy
+//! taxonomy (Section II-B), hierarchical `(intra, inter)` composition,
+//! derivation of the communication collectives each strategy requires
+//! (Section IV-C), tasks, and the per-device memory-footprint model that
+//! decides which mappings are feasible.
+//!
+//! # Example
+//!
+//! ```
+//! use madmax_hw::catalog;
+//! use madmax_model::{LayerClass, ModelId};
+//! use madmax_parallel::{check_memory, HierStrategy, Plan, Strategy, Task};
+//!
+//! let model = ModelId::DlrmA.build();
+//! let system = catalog::zionex_dlrm_system();
+//!
+//! // Replicating DLRM-A's dense layers on every device runs out of memory;
+//! // sharding them with TP inside each node fits (Fig. 11).
+//! let ddp = Plan::fsdp_baseline(&model)
+//!     .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Ddp));
+//! assert!(check_memory(&model, &system, &ddp, &Task::Pretraining).is_err());
+//!
+//! let tp_ddp = Plan::fsdp_baseline(&model)
+//!     .with_strategy(LayerClass::Dense, HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
+//! assert!(check_memory(&model, &system, &tp_ddp, &Task::Pretraining).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod comm;
+pub mod memory;
+pub mod plan;
+pub mod strategy;
+pub mod task;
+
+pub use comm::{derive_layer_comm, CollectiveKind, CommPosition, CommReq, LayerCommPlan, Urgency};
+pub use memory::{check_memory, memory_per_device, MemoryBreakdown};
+pub use plan::{MemoryConfig, OptimizerKind, Plan, PlanError, PlanOptions};
+pub use strategy::{CommScope, HierStrategy, Strategy, StrategyLevel};
+pub use task::Task;

@@ -1,0 +1,260 @@
+//! Per-device memory footprint model and OOM feasibility checking.
+//!
+//! The performance model assumes the entire (sharded) model fits on the
+//! devices (Section IV-A); this module decides whether it does, which is
+//! what rules strategies in or out across Figs. 10-14 (gray "OOM" bars).
+
+use serde::{Deserialize, Serialize};
+
+use madmax_hw::units::ByteCount;
+use madmax_hw::ClusterSpec;
+use madmax_model::{LayerKind, ModelArch};
+
+use crate::comm::instance_param_bytes;
+use crate::plan::{Plan, PlanError};
+use crate::task::Task;
+
+/// Per-device memory footprint, itemized.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// Sharded/replicated parameter bytes.
+    pub params: ByteCount,
+    /// Gradient buffers (training only, trainable layers only).
+    pub grads: ByteCount,
+    /// Optimizer state bytes.
+    pub optimizer: ByteCount,
+    /// Retained activations (training) or working set (inference).
+    pub activations: ByteCount,
+    /// Transient unsharded copies materialized by FSDP AllGathers (double
+    /// buffered when prefetching is enabled).
+    pub fsdp_transient: ByteCount,
+}
+
+impl MemoryBreakdown {
+    /// Total footprint.
+    pub fn total(&self) -> ByteCount {
+        self.params + self.grads + self.optimizer + self.activations + self.fsdp_transient
+    }
+}
+
+/// Computes the itemized per-device footprint of `model` mapped onto
+/// `cluster` with `plan` for `task`.
+pub fn memory_per_device(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+) -> MemoryBreakdown {
+    let devices = cluster.total_devices() as f64;
+    let local_batch = model.global_batch as f64 / devices;
+    let training = task.has_backward();
+    let mut out = MemoryBreakdown::default();
+
+    for group in &model.groups {
+        let strategy = plan.strategy_for(group.class);
+        let shard = strategy.param_shard_factor(cluster);
+        let p_inst = instance_param_bytes(group, model);
+        let p_group = p_inst * group.repeat as f64;
+
+        out.params += p_group / shard;
+
+        let trains = task.trains(group.class);
+        if training && trains {
+            // Dense gradients mirror the parameter sharding; sparse
+            // embedding gradients only touch looked-up rows (negligible).
+            let sparse = matches!(group.kind, LayerKind::EmbeddingBag(_));
+            if !sparse {
+                out.grads += p_group / shard;
+            }
+            let opt = plan.options.optimizer_for(group.class);
+            out.optimizer +=
+                ByteCount::new(opt.state_bytes(group.kind.params(), &group.kind))
+                    * group.repeat as f64
+                    / shard;
+        }
+
+        // Activations: retained through backward for trainable layers;
+        // inference needs only a transient working set (largest layer).
+        let act_inst = group.kind.activation_bytes_per_sample(
+            model.context_length,
+            model.compute_dtype,
+            plan.options.activation_checkpointing,
+        ) * local_batch;
+        if training && trains {
+            out.activations += act_inst * group.repeat as f64;
+        } else {
+            out.activations = out.activations.max(act_inst);
+        }
+
+        // FSDP transiently materializes one full (modulo TP sharding)
+        // instance during compute; prefetch double-buffers it.
+        let has_fsdp = strategy
+            .levels(cluster)
+            .iter()
+            .any(|l| l.strategy == crate::strategy::Strategy::Fsdp);
+        if has_fsdp {
+            let tp_part = strategy.compute_shard_factor(cluster);
+            // FSDP's gather unit is the largest parameter tensor it
+            // materializes at once: a whole dense layer, but only one
+            // expert for MoE layers.
+            let unit = match &group.kind {
+                LayerKind::Moe(m) => p_inst / m.num_experts as f64,
+                _ => p_inst,
+            };
+            let buffers = if plan.options.fsdp_prefetch { 2.0 } else { 1.0 };
+            out.fsdp_transient = out.fsdp_transient.max(unit / tp_part * buffers);
+        }
+    }
+    out
+}
+
+/// Validates strategies and memory, returning the footprint on success.
+///
+/// # Errors
+///
+/// [`PlanError::InvalidStrategy`] for class/strategy mismatches;
+/// [`PlanError::OutOfMemory`] when the footprint exceeds usable HBM (unless
+/// the plan opts into `ignore_memory_limits`, the unconstrained analysis of
+/// Fig. 10's orange bars).
+pub fn check_memory(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+) -> Result<MemoryBreakdown, PlanError> {
+    plan.validate_strategies(model)?;
+    let breakdown = memory_per_device(model, cluster, plan, task);
+    if plan.options.ignore_memory_limits {
+        return Ok(breakdown);
+    }
+    let usable = plan.options.memory.usable(cluster.device.hbm_capacity);
+    if breakdown.total() > usable {
+        return Err(PlanError::OutOfMemory { required: breakdown.total(), usable });
+    }
+    Ok(breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{HierStrategy, Strategy};
+    use madmax_hw::catalog;
+    use madmax_model::{LayerClass, ModelId};
+
+    fn dlrm_plan(dense: HierStrategy) -> (ModelArch, ClusterSpec, Plan) {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model).with_strategy(LayerClass::Dense, dense);
+        (model, sys, plan)
+    }
+
+    #[test]
+    fn fig11_ddp_dense_is_oom_for_pretraining() {
+        // Insight 1 / Fig 11: ((DDP), (MP)) replicates dense params, grads,
+        // and optimizer states on every device -> OOM on 40 GB A100s.
+        let (model, sys, plan) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
+        let err = check_memory(&model, &sys, &plan, &Task::Pretraining).unwrap_err();
+        assert!(matches!(err, PlanError::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn fig11_tp_ddp_dense_fits() {
+        let (model, sys, plan) =
+            dlrm_plan(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
+        let b = check_memory(&model, &sys, &plan, &Task::Pretraining).unwrap();
+        // Embedding shard dominates: ~24.8 GB of the footprint.
+        assert!(b.params.as_gb() > 24.0 && b.params.as_gb() < 27.0, "{:?}", b);
+    }
+
+    #[test]
+    fn fsdp_baseline_fits_everything_in_suite() {
+        for id in ModelId::ALL {
+            let model = id.build();
+            let sys = if id.is_dlrm() {
+                catalog::zionex_dlrm_system()
+            } else {
+                catalog::llama_llm_system()
+            };
+            let plan = Plan::fsdp_baseline(&model);
+            let r = check_memory(&model, &sys, &plan, &Task::Pretraining);
+            assert!(r.is_ok(), "{id}: {:?}", r.err());
+        }
+    }
+
+    #[test]
+    fn insight2_gpt3_intra_node_replication_oom() {
+        // (TP, DDP) on GPT-3: 1/8-sharded optimizer state alone is ~33 GB;
+        // grads+params push far past 80 GB.
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_strategy(
+            LayerClass::Transformer,
+            HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
+        );
+        let err = check_memory(&model, &sys, &plan, &Task::Pretraining).unwrap_err();
+        assert!(matches!(err, PlanError::OutOfMemory { .. }));
+        // But (TP, FSDP) fits.
+        let plan = Plan::fsdp_baseline(&model).with_strategy(
+            LayerClass::Transformer,
+            HierStrategy::two_level(Strategy::Tp, Strategy::Fsdp),
+        );
+        assert!(check_memory(&model, &sys, &plan, &Task::Pretraining).is_ok());
+    }
+
+    #[test]
+    fn insight5_ddp_dense_valid_for_inference_and_emb_finetune() {
+        // DDP dense layers: OOM in pre-training, fine for inference and for
+        // fine-tuning only the embedding tables (dense is frozen).
+        let (model, sys, plan) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
+        assert!(check_memory(&model, &sys, &plan, &Task::Pretraining).is_err());
+        assert!(check_memory(&model, &sys, &plan, &Task::Inference).is_ok());
+        assert!(check_memory(&model, &sys, &plan, &Task::finetune_only(LayerClass::Embedding)).is_ok());
+    }
+
+    #[test]
+    fn ignore_memory_limits_admits_everything() {
+        let (model, sys, mut plan) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
+        plan.options.ignore_memory_limits = true;
+        assert!(check_memory(&model, &sys, &plan, &Task::Pretraining).is_ok());
+    }
+
+    #[test]
+    fn inference_footprint_is_parameters_only() {
+        let (model, sys, plan) = dlrm_plan(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
+        let train = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+        let infer = memory_per_device(&model, &sys, &plan, &Task::Inference);
+        assert_eq!(infer.grads, ByteCount::ZERO);
+        assert_eq!(infer.optimizer, ByteCount::ZERO);
+        assert!(infer.total() < train.total());
+        assert_eq!(infer.params, train.params);
+    }
+
+    #[test]
+    fn checkpointing_shrinks_activations() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let mut plan = Plan::fsdp_baseline(&model);
+        assert!(plan.options.activation_checkpointing);
+        let ckpt = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+        plan.options.activation_checkpointing = false;
+        let full = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+        assert!(full.activations > ckpt.activations * 4.0);
+    }
+
+    #[test]
+    fn ordering_changes_footprint() {
+        // ((DDP),(TP)) shards by 16 nodes; ((TP),(DDP)) by 8 devices/node.
+        let (model, sys, _) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
+        let a = Plan::fsdp_baseline(&model).with_strategy(
+            LayerClass::Dense,
+            HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
+        );
+        let b = Plan::fsdp_baseline(&model).with_strategy(
+            LayerClass::Dense,
+            HierStrategy::two_level(Strategy::Ddp, Strategy::Tp),
+        );
+        let ma = memory_per_device(&model, &sys, &a, &Task::Pretraining);
+        let mb = memory_per_device(&model, &sys, &b, &Task::Pretraining);
+        assert!(mb.total() < ma.total());
+    }
+}

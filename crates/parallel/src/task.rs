@@ -1,0 +1,115 @@
+//! ML tasks: pre-training, fine-tuning, and inference (Section II-A).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use madmax_model::LayerClass;
+
+/// The task a model is mapped onto the system for.
+///
+/// Pre-training stresses compute, memory capacity, and communication
+/// (forward + backward + retained activations). Fine-tuning is a subset:
+/// frozen layers need no weight gradients, and — following the paper's
+/// modeling choice for Insight 5 — their weight/input gradient computation
+/// and communication are omitted. Inference runs the forward pass only.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    /// Full training: all layers trainable.
+    Pretraining,
+    /// Fine-tuning with only the listed layer classes trainable.
+    Finetuning {
+        /// Layer classes whose parameters are updated.
+        trainable: BTreeSet<LayerClass>,
+    },
+    /// Forward pass only.
+    Inference,
+}
+
+impl Task {
+    /// Fine-tuning a single layer class (e.g. only the embedding tables or
+    /// only the MLPs, as in Fig. 14).
+    pub fn finetune_only(class: LayerClass) -> Self {
+        Task::Finetuning { trainable: BTreeSet::from([class]) }
+    }
+
+    /// Fine-tuning several classes.
+    pub fn finetune(classes: impl IntoIterator<Item = LayerClass>) -> Self {
+        Task::Finetuning { trainable: classes.into_iter().collect() }
+    }
+
+    /// Whether a backward pass exists at all.
+    pub fn has_backward(&self) -> bool {
+        !matches!(self, Task::Inference)
+    }
+
+    /// Whether layers of `class` receive gradient updates.
+    pub fn trains(&self, class: LayerClass) -> bool {
+        match self {
+            Task::Pretraining => true,
+            Task::Finetuning { trainable } => trainable.contains(&class),
+            Task::Inference => false,
+        }
+    }
+
+    /// Whether activations of `class` layers must be retained for backward.
+    pub fn retains_activations(&self, class: LayerClass) -> bool {
+        self.trains(class)
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> String {
+        match self {
+            Task::Pretraining => "pre-training".to_owned(),
+            Task::Finetuning { trainable } => {
+                let names: Vec<String> = trainable.iter().map(|c| c.to_string()).collect();
+                format!("fine-tuning [{}]", names.join(", "))
+            }
+            Task::Inference => "inference".to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretraining_trains_everything() {
+        for c in LayerClass::ALL {
+            assert!(Task::Pretraining.trains(c));
+        }
+        assert!(Task::Pretraining.has_backward());
+    }
+
+    #[test]
+    fn inference_trains_nothing() {
+        for c in LayerClass::ALL {
+            assert!(!Task::Inference.trains(c));
+        }
+        assert!(!Task::Inference.has_backward());
+    }
+
+    #[test]
+    fn finetuning_is_selective() {
+        let t = Task::finetune_only(LayerClass::Embedding);
+        assert!(t.trains(LayerClass::Embedding));
+        assert!(!t.trains(LayerClass::Dense));
+        assert!(t.has_backward());
+        let t2 = Task::finetune([LayerClass::Dense, LayerClass::Transformer]);
+        assert!(t2.trains(LayerClass::Transformer));
+        assert!(!t2.trains(LayerClass::Embedding));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Task::Pretraining.to_string(), "pre-training");
+        assert_eq!(Task::Inference.to_string(), "inference");
+        assert!(Task::finetune_only(LayerClass::Dense).to_string().contains("dense"));
+    }
+}

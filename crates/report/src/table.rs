@@ -1,0 +1,163 @@
+//! Aligned plain-text tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// ```
+/// use madmax_report::table::Table;
+/// let mut t = Table::new(["model", "params"]);
+/// t.row(["DLRM-A", "793B"]);
+/// let s = t.render();
+/// assert!(s.contains("DLRM-A"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given header; all columns default to
+    /// left-aligned labels, numbers are right-aligned via [`Table::align`].
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = std::iter::once(Align::Left)
+            .chain(std::iter::repeat(Align::Right))
+            .take(header.len())
+            .collect();
+        Self { header, rows: Vec::new(), aligns }
+    }
+
+    /// Overrides a column's alignment.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        if let Some(a) = self.aligns.get_mut(col) {
+            *a = align;
+        }
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < cols {
+                            out.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out
+        };
+        let mut s = fmt_row(&self.header);
+        s.push('\n');
+        s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&fmt_row(row));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders as CSV (comma-separated, quoting cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let mut s: String = self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1.0"]);
+        t.row(["long-name", "123.45"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines are the same width (right-aligned last col).
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].ends_with("123.45"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn alignment_override() {
+        let mut t = Table::new(["x", "y"]);
+        t.align(1, Align::Left);
+        t.row(["a", "b"]);
+        assert!(t.render().contains('b'));
+    }
+}

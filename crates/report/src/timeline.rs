@@ -1,0 +1,108 @@
+//! ASCII Gantt rendering of scheduled execution streams — the shape of the
+//! paper's Fig. 6 ("Sample generated GPU compute and communication streams
+//! with labeled exposed communication").
+
+/// One scheduled op, already reduced to plain data so this crate stays
+/// independent of the simulator types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineOp {
+    /// Display name.
+    pub name: String,
+    /// Lane (stream) name, e.g. `"compute"` or `"comm"`.
+    pub lane: String,
+    /// Start time (any consistent unit).
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+}
+
+/// Renders lanes of ops as rows of `[name___]` boxes positioned on a
+/// shared time axis of `width` characters.
+pub fn render(ops: &[TimelineOp], width: usize) -> String {
+    let t_end = ops.iter().map(|o| o.finish).fold(0.0_f64, f64::max);
+    if t_end <= 0.0 || ops.is_empty() {
+        return String::from("(empty timeline)\n");
+    }
+    let scale = width as f64 / t_end;
+    // Preserve lane order of first appearance.
+    let mut lanes: Vec<String> = Vec::new();
+    for o in ops {
+        if !lanes.contains(&o.lane) {
+            lanes.push(o.lane.clone());
+        }
+    }
+    let lane_w = lanes.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+
+    let mut out = String::new();
+    for lane in &lanes {
+        let mut row = vec![' '; width + 1];
+        for o in ops.iter().filter(|o| &o.lane == lane) {
+            let s = (o.start * scale).round() as usize;
+            let e = ((o.finish * scale).round() as usize).min(width).max(s + 1);
+            let span = e - s;
+            let mut cell: Vec<char> = Vec::with_capacity(span);
+            cell.push('|');
+            let inner: String = o.name.chars().take(span.saturating_sub(2)).collect();
+            cell.extend(inner.chars());
+            while cell.len() < span.saturating_sub(1) {
+                cell.push('_');
+            }
+            if span > 1 {
+                cell.push('|');
+            }
+            for (i, ch) in cell.into_iter().enumerate() {
+                if s + i <= width {
+                    row[s + i] = ch;
+                }
+            }
+        }
+        let pad = lane_w.saturating_sub(lane.chars().count());
+        out.push_str(&format!(
+            "{}{} {}\n",
+            lane,
+            " ".repeat(pad),
+            row.into_iter().collect::<String>().trim_end()
+        ));
+    }
+    out.push_str(&format!("{} 0{}t={t_end:.2}\n", " ".repeat(lane_w), " ".repeat(width.saturating_sub(8))));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str, lane: &str, start: f64, finish: f64) -> TimelineOp {
+        TimelineOp { name: name.into(), lane: lane.into(), start, finish }
+    }
+
+    #[test]
+    fn lanes_render_in_order() {
+        let ops = vec![
+            op("emb", "compute", 0.0, 2.0),
+            op("a2a", "comm", 2.0, 6.0),
+            op("mlp", "compute", 2.0, 4.0),
+        ];
+        let out = render(&ops, 40);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("compute"));
+        assert!(lines[1].starts_with("comm"));
+        assert!(lines[0].contains("emb"));
+        assert!(lines[1].contains("a2a"));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert!(render(&[], 40).contains("empty"));
+    }
+
+    #[test]
+    fn boxes_are_positioned_proportionally() {
+        let ops = vec![op("x", "c", 5.0, 10.0)];
+        let out = render(&ops, 20);
+        let line = out.lines().next().unwrap();
+        // Starts halfway across a 20-char axis (plus the "c " prefix).
+        let bar_start = line.find('|').unwrap();
+        assert!((9..=13).contains(&bar_start), "{line}");
+    }
+}

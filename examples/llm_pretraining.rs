@@ -1,0 +1,56 @@
+//! LLM pre-training planning: estimate end-to-end training cost for
+//! LLaMA-class models on the 2048-GPU system, compare hardware platforms,
+//! and inspect the FSDP prefetch optimization (Table I, Figs. 9 and 17).
+//!
+//! ```bash
+//! cargo run --release -p madmax-bench --example llm_pretraining
+//! ```
+
+use madmax_core::validation::gpu_hours;
+use madmax_core::Simulation;
+use madmax_hw::catalog;
+use madmax_model::ModelId;
+use madmax_parallel::{Plan, Task};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelId::Llama2.build();
+    let total_tokens = 1.4e12;
+
+    println!("Planning {} pre-training on {:.1}T tokens:\n", model.name, total_tokens / 1e12);
+    for system in [catalog::llama_llm_system(), {
+        let mut h = catalog::h100_cluster(256);
+        h.name = "H100 cluster (2048 GPUs)".to_owned();
+        h
+    }] {
+        let plan = Plan::fsdp_baseline(&model);
+        let report = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+        let steps = total_tokens / model.tokens_per_iteration();
+        let days = (report.iteration_time * steps).as_days();
+        println!("{}:", system.name);
+        println!("  iteration:        {:.2} s ({:.0} tokens/s)", report.iteration_time.as_secs(), report.tokens_per_sec());
+        println!("  days to train:    {days:.1}");
+        println!(
+            "  aggregate cost:   {:.0} GPU-hours",
+            gpu_hours(report.iteration_time, steps, system.total_devices())
+        );
+        println!(
+            "  comm overlapped:  {:.1}%",
+            report.overlap_fraction() * 100.0
+        );
+    }
+
+    // The prefetch ablation of Fig. 9.
+    let system = catalog::llama_llm_system();
+    let mut plan = Plan::fsdp_baseline(&model);
+    plan.options.fsdp_prefetch = false;
+    let vanilla = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+    plan.options.fsdp_prefetch = true;
+    let prefetch = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+    println!(
+        "\nFSDP prefetching: {:.1}% -> {:.1}% communication overlap ({:.2}x faster iterations)",
+        vanilla.overlap_fraction() * 100.0,
+        prefetch.overlap_fraction() * 100.0,
+        vanilla.iteration_time / prefetch.iteration_time
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: simulate one workload-system mapping and read the report.
+//!
+//! ```bash
+//! cargo run --release -p madmax-bench --example quickstart
+//! ```
+
+use madmax_core::Simulation;
+use madmax_hw::catalog;
+use madmax_model::ModelId;
+use madmax_parallel::{Plan, Task};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload from the paper's suite (Table II) and a system
+    //    from the catalog (Table III).
+    let model = ModelId::DlrmA.build();
+    let system = catalog::zionex_dlrm_system();
+
+    // 2. Start from the FSDP baseline mapping: sharded embedding tables,
+    //    fully-sharded dense layers.
+    let plan = Plan::fsdp_baseline(&model);
+
+    // 3. Simulate one pre-training iteration.
+    let report = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+
+    println!("model:                {}", model.name);
+    println!("system:               {}", system.name);
+    println!("plan:                 {}", plan.summary());
+    println!("iteration time:       {:.2} ms", report.iteration_time.as_ms());
+    println!("serialized time:      {:.2} ms", report.serialized_time.as_ms());
+    println!("throughput:           {:.2} MQPS", report.mqps());
+    println!("communication time:   {:.2} ms", report.comm_time.as_ms());
+    println!(
+        "exposed comm:         {:.2} ms ({:.1}% of comm)",
+        report.exposed_comm.as_ms(),
+        report.exposed_fraction() * 100.0
+    );
+    println!("memory per device:    {:.1} GB", report.memory.total().as_gb());
+
+    // 4. Every collective is itemized for optimization hunting.
+    for (kind, time) in &report.comm_by_collective {
+        println!("  {kind:<14} {:.2} ms", time.as_ms());
+    }
+    Ok(())
+}

@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) on the core data structures and model
+//! invariants: units arithmetic, collective cost monotonicity, sharding
+//! math, Pareto frontier correctness, and simulator causality.
+
+use proptest::prelude::*;
+
+use madmax_core::{schedule, CollectiveModel, FlatWorstLink, HierarchicalNccl};
+use madmax_core::{OpKind, Phase, StreamId, Trace, TraceOp};
+use madmax_dse::{pareto_frontier, ParetoPoint};
+use madmax_hw::units::{ByteCount, BytesPerSec, Seconds};
+use madmax_hw::{catalog, CommLevel};
+use madmax_model::LayerClass;
+use madmax_parallel::comm::CommPosition;
+use madmax_parallel::{CollectiveKind, CommReq, CommScope, HierStrategy, Strategy as PStrategy, Urgency};
+
+fn any_collective() -> impl Strategy<Value = CollectiveKind> {
+    prop_oneof![
+        Just(CollectiveKind::AllReduce),
+        Just(CollectiveKind::AllGather),
+        Just(CollectiveKind::ReduceScatter),
+        Just(CollectiveKind::AllToAll),
+    ]
+}
+
+fn any_scope() -> impl Strategy<Value = CommScope> {
+    prop_oneof![
+        Just(CommScope::Global),
+        Just(CommScope::Level(CommLevel::IntraNode)),
+        Just(CommScope::Level(CommLevel::InterNode)),
+    ]
+}
+
+fn req(kind: CollectiveKind, scope: CommScope, group: usize, bytes: f64) -> CommReq {
+    CommReq {
+        collective: kind,
+        scope,
+        group_size: group,
+        payload: ByteCount::new(bytes),
+        urgency: Urgency::Blocking,
+        position: CommPosition::AfterCompute,
+        label: "prop".to_owned(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn units_division_matches_f64(bytes in 1.0f64..1e13, bw in 1e6f64..1e13) {
+        let t = ByteCount::new(bytes) / BytesPerSec::new(bw);
+        prop_assert!((t.as_secs() - bytes / bw).abs() <= 1e-12 * (bytes / bw));
+    }
+
+    #[test]
+    fn seconds_ordering_is_consistent(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (sa, sb) = (Seconds::new(a), Seconds::new(b));
+        prop_assert_eq!(sa < sb, a < b);
+        prop_assert_eq!(sa.max(sb).as_secs(), a.max(b));
+        prop_assert!(((sa + sb).as_secs() - (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collective_cost_monotone_in_payload(
+        kind in any_collective(),
+        scope in any_scope(),
+        group in 2usize..256,
+        s1 in 1.0f64..1e9,
+        s2 in 1.0f64..1e9,
+    ) {
+        let sys = catalog::zionex_dlrm_system();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        for model in [&HierarchicalNccl as &dyn CollectiveModel, &FlatWorstLink] {
+            let t_lo = model.time(&req(kind, scope, group, lo), &sys);
+            let t_hi = model.time(&req(kind, scope, group, hi), &sys);
+            prop_assert!(t_lo <= t_hi, "{}: payload monotonicity", model.name());
+        }
+    }
+
+    #[test]
+    fn hierarchical_never_slower_than_flat_worst_link(
+        kind in any_collective(),
+        group in 2usize..256,
+        bytes in 1.0f64..1e9,
+    ) {
+        // On a multi-node system the hierarchical decomposition can only
+        // help (it routes part of the traffic over NVLink).
+        let sys = catalog::zionex_dlrm_system();
+        let r = req(kind, CommScope::Global, group, bytes);
+        let hier = HierarchicalNccl.time(&r, &sys);
+        let flat = FlatWorstLink.time(&r, &sys);
+        prop_assert!(hier <= flat + Seconds::new(1e-12));
+    }
+
+    #[test]
+    fn allreduce_costs_twice_allgather(
+        scope in any_scope(),
+        group in 2usize..256,
+        bytes in 1.0f64..1e9,
+    ) {
+        let sys = catalog::zionex_dlrm_system();
+        let ar = HierarchicalNccl.time(&req(CollectiveKind::AllReduce, scope, group, bytes), &sys);
+        let ag = HierarchicalNccl.time(&req(CollectiveKind::AllGather, scope, group, bytes), &sys);
+        prop_assert!((ar.as_secs() / ag.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_factor_is_product_of_sharding_levels(
+        intra_idx in 0usize..4,
+        inter_idx in 0usize..4,
+    ) {
+        const S: [PStrategy; 4] = [PStrategy::Ddp, PStrategy::Fsdp, PStrategy::Tp, PStrategy::Shard];
+        let sys = catalog::zionex_dlrm_system();
+        let (intra, inter) = (S[intra_idx], S[inter_idx]);
+        let h = HierStrategy::two_level(intra, inter);
+        let mut expect = 1.0;
+        if intra.shards_params() { expect *= 8.0; }
+        if inter.shards_params() { expect *= 16.0; }
+        prop_assert_eq!(h.param_shard_factor(&sys), expect);
+        // Flat strategies shard by the whole machine or not at all.
+        let f = HierStrategy::flat(intra);
+        let flat_expect = if intra.shards_params() { 128.0 } else { 1.0 };
+        prop_assert_eq!(f.param_shard_factor(&sys), flat_expect);
+    }
+
+    #[test]
+    fn pareto_frontier_is_sound_and_complete(
+        points in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..60)
+    ) {
+        let pts: Vec<ParetoPoint<usize>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, v))| ParetoPoint::new(c, v, i))
+            .collect();
+        let frontier = pareto_frontier(&pts);
+        prop_assert!(!frontier.is_empty());
+        // Sound: no frontier point dominates another frontier point.
+        for a in &frontier {
+            for b in &frontier {
+                if a.payload != b.payload {
+                    prop_assert!(!a.dominates(b), "frontier contains dominated point");
+                }
+            }
+        }
+        // Complete: every input point is dominated by or equal to some
+        // frontier point.
+        for p in &pts {
+            let covered = frontier.iter().any(|f| {
+                f.dominates(p) || (f.cost == p.cost && f.value == p.value)
+            });
+            prop_assert!(covered);
+        }
+        // Frontier is sorted by cost with strictly increasing value.
+        for w in frontier.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost);
+            prop_assert!(w[0].value < w[1].value);
+        }
+    }
+
+    #[test]
+    fn scheduler_is_causal_and_work_conserving(
+        durations in prop::collection::vec(0.0f64..10.0, 1..40),
+        // Stream assignment and sparse dependencies derived from the data.
+        streams in prop::collection::vec(0u8..3, 40),
+        dep_gaps in prop::collection::vec(1usize..5, 40),
+    ) {
+        let mut trace = Trace::new();
+        for (i, &d) in durations.iter().enumerate() {
+            let stream = match streams[i % streams.len()] % 3 {
+                0 => StreamId::Compute,
+                1 => StreamId::Comm,
+                _ => StreamId::GradComm,
+            };
+            let deps = if i == 0 {
+                vec![]
+            } else {
+                let gap = dep_gaps[i % dep_gaps.len()];
+                if gap <= i { vec![madmax_core::OpId(i - gap)] } else { vec![] }
+            };
+            trace.push(TraceOp {
+                name: format!("op{i}"),
+                stream,
+                kind: OpKind::Gemm { class: LayerClass::Dense },
+                phase: Phase::Forward,
+                duration: Seconds::new(d),
+                deps,
+            });
+        }
+        let sched = schedule(&trace);
+        // Causality: deps finish before dependents start.
+        for (i, op) in trace.ops().iter().enumerate() {
+            for d in &op.deps {
+                prop_assert!(sched.windows[d.0].finish <= sched.windows[i].start);
+            }
+        }
+        // Makespan bounds: at least the longest op and per-stream sums; at
+        // most the serialized total.
+        let serialized = trace.serialized_time();
+        prop_assert!(sched.makespan <= serialized + Seconds::new(1e-9));
+        for stream in [StreamId::Compute, StreamId::Comm, StreamId::GradComm] {
+            let stream_sum: Seconds =
+                trace.stream_ops(stream).map(|(_, o)| o.duration).sum();
+            prop_assert!(sched.makespan + Seconds::new(1e-9) >= stream_sum);
+        }
+    }
+
+    #[test]
+    fn memory_model_monotone_in_shard_factor(nodes in 2usize..64) {
+        // More sharding never increases the parameter footprint.
+        use madmax_parallel::{memory_per_device, Plan, Task};
+        let model = madmax_model::ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system().with_num_nodes(nodes);
+        let fsdp = Plan::fsdp_baseline(&model);
+        let ddp = fsdp.clone().with_strategy(
+            LayerClass::Dense,
+            HierStrategy::flat(PStrategy::Ddp),
+        );
+        let m_fsdp = memory_per_device(&model, &sys, &fsdp, &Task::Pretraining);
+        let m_ddp = memory_per_device(&model, &sys, &ddp, &Task::Pretraining);
+        prop_assert!(m_fsdp.params <= m_ddp.params);
+        prop_assert!(m_fsdp.optimizer <= m_ddp.optimizer);
+    }
+}
