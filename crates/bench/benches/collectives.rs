@@ -31,9 +31,11 @@ fn bench_models(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hierarchical", mb as u64), &r, |b, r| {
             b.iter(|| black_box(HierarchicalNccl.time(black_box(r), &sys)))
         });
-        group.bench_with_input(BenchmarkId::new("flat_worst_link", mb as u64), &r, |b, r| {
-            b.iter(|| black_box(FlatWorstLink.time(black_box(r), &sys)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("flat_worst_link", mb as u64),
+            &r,
+            |b, r| b.iter(|| black_box(FlatWorstLink.time(black_box(r), &sys))),
+        );
     }
     group.finish();
 }

@@ -29,8 +29,13 @@ fn bench_sweep_and_search(c: &mut Criterion) {
     c.bench_function("fig10_joint_search_dlrm_a", |b| {
         b.iter(|| {
             black_box(
-                optimize(black_box(&model), &sys, &Task::Pretraining, &SearchOptions::default())
-                    .unwrap(),
+                optimize(
+                    black_box(&model),
+                    &sys,
+                    &Task::Pretraining,
+                    &SearchOptions::default(),
+                )
+                .unwrap(),
             )
         })
     });
@@ -46,7 +51,9 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_function(format!("llama_prefetch_{prefetch}"), |b| {
             b.iter(|| {
                 black_box(
-                    Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap(),
+                    Simulation::new(&model, &sys, &plan, Task::Pretraining)
+                        .run()
+                        .unwrap(),
                 )
             })
         });

@@ -12,7 +12,12 @@ use madmax_parallel::{Plan, Task};
 
 fn bench_simulate(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_iteration");
-    for id in [ModelId::DlrmA, ModelId::DlrmAMoe, ModelId::Gpt3, ModelId::LlmMoe] {
+    for id in [
+        ModelId::DlrmA,
+        ModelId::DlrmAMoe,
+        ModelId::Gpt3,
+        ModelId::LlmMoe,
+    ] {
         let model = id.build();
         let sys = if id.is_dlrm() {
             catalog::zionex_dlrm_system()

@@ -1,4 +1,9 @@
 //! Regenerates the paper's Fig. 1.
 fn main() {
-    madmax_bench::emit("fig01_pareto_frontier", &madmax_bench::experiments::hardware_figs::fig16("Fig. 1: Resource-performance pareto frontier (cloud DLRM-A)"));
+    madmax_bench::emit(
+        "fig01_pareto_frontier",
+        &madmax_bench::experiments::hardware_figs::fig16(
+            "Fig. 1: Resource-performance pareto frontier (cloud DLRM-A)",
+        ),
+    );
 }

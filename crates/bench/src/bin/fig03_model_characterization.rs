@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 3.
 fn main() {
-    madmax_bench::emit("fig03_model_characterization", &madmax_bench::experiments::characterization::fig03());
+    madmax_bench::emit(
+        "fig03_model_characterization",
+        &madmax_bench::experiments::characterization::fig03(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 4.
 fn main() {
-    madmax_bench::emit("fig04_fleet_characterization", &madmax_bench::experiments::characterization::fig04());
+    madmax_bench::emit(
+        "fig04_fleet_characterization",
+        &madmax_bench::experiments::characterization::fig04(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 6.
 fn main() {
-    madmax_bench::emit("fig06_sample_streams", &madmax_bench::experiments::validation_figs::fig06());
+    madmax_bench::emit(
+        "fig06_sample_streams",
+        &madmax_bench::experiments::validation_figs::fig06(),
+    );
 }

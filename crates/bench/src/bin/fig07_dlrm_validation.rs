@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 7.
 fn main() {
-    madmax_bench::emit("fig07_dlrm_validation", &madmax_bench::experiments::validation_figs::fig07());
+    madmax_bench::emit(
+        "fig07_dlrm_validation",
+        &madmax_bench::experiments::validation_figs::fig07(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 8.
 fn main() {
-    madmax_bench::emit("fig08_vit_validation", &madmax_bench::experiments::validation_figs::fig08());
+    madmax_bench::emit(
+        "fig08_vit_validation",
+        &madmax_bench::experiments::validation_figs::fig08(),
+    );
 }

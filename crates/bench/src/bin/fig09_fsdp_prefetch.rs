@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 9.
 fn main() {
-    madmax_bench::emit("fig09_fsdp_prefetch", &madmax_bench::experiments::validation_figs::fig09());
+    madmax_bench::emit(
+        "fig09_fsdp_prefetch",
+        &madmax_bench::experiments::validation_figs::fig09(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 10.
 fn main() {
-    madmax_bench::emit("fig10_pretraining_speedup", &madmax_bench::experiments::strategy_figs::fig10());
+    madmax_bench::emit(
+        "fig10_pretraining_speedup",
+        &madmax_bench::experiments::strategy_figs::fig10(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 11.
 fn main() {
-    madmax_bench::emit("fig11_dlrm_strategy_sweep", &madmax_bench::experiments::strategy_figs::fig11());
+    madmax_bench::emit(
+        "fig11_dlrm_strategy_sweep",
+        &madmax_bench::experiments::strategy_figs::fig11(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 12.
 fn main() {
-    madmax_bench::emit("fig12_dlrm_variants", &madmax_bench::experiments::strategy_figs::fig12());
+    madmax_bench::emit(
+        "fig12_dlrm_variants",
+        &madmax_bench::experiments::strategy_figs::fig12(),
+    );
 }

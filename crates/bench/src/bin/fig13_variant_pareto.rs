@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 13.
 fn main() {
-    madmax_bench::emit("fig13_variant_pareto", &madmax_bench::experiments::strategy_figs::fig13());
+    madmax_bench::emit(
+        "fig13_variant_pareto",
+        &madmax_bench::experiments::strategy_figs::fig13(),
+    );
 }

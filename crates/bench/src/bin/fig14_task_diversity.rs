@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 14.
 fn main() {
-    madmax_bench::emit("fig14_task_diversity", &madmax_bench::experiments::strategy_figs::fig14());
+    madmax_bench::emit(
+        "fig14_task_diversity",
+        &madmax_bench::experiments::strategy_figs::fig14(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 15.
 fn main() {
-    madmax_bench::emit("fig15_context_length", &madmax_bench::experiments::strategy_figs::fig15());
+    madmax_bench::emit(
+        "fig15_context_length",
+        &madmax_bench::experiments::strategy_figs::fig15(),
+    );
 }

@@ -1,4 +1,9 @@
 //! Regenerates the paper's Fig. 16.
 fn main() {
-    madmax_bench::emit("fig16_cloud_instances", &madmax_bench::experiments::hardware_figs::fig16("Fig. 16: Cloud instance configurations and workload mappings"));
+    madmax_bench::emit(
+        "fig16_cloud_instances",
+        &madmax_bench::experiments::hardware_figs::fig16(
+            "Fig. 16: Cloud instance configurations and workload mappings",
+        ),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 17.
 fn main() {
-    madmax_bench::emit("fig17_gpu_generations", &madmax_bench::experiments::hardware_figs::fig17());
+    madmax_bench::emit(
+        "fig17_gpu_generations",
+        &madmax_bench::experiments::hardware_figs::fig17(),
+    );
 }

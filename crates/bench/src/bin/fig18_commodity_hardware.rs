@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 18.
 fn main() {
-    madmax_bench::emit("fig18_commodity_hardware", &madmax_bench::experiments::hardware_figs::fig18());
+    madmax_bench::emit(
+        "fig18_commodity_hardware",
+        &madmax_bench::experiments::hardware_figs::fig18(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 19.
 fn main() {
-    madmax_bench::emit("fig19_hardware_scaling", &madmax_bench::experiments::hardware_figs::fig19());
+    madmax_bench::emit(
+        "fig19_hardware_scaling",
+        &madmax_bench::experiments::hardware_figs::fig19(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 20.
 fn main() {
-    madmax_bench::emit("fig20_execution_breakdown", &madmax_bench::experiments::hardware_figs::fig20());
+    madmax_bench::emit(
+        "fig20_execution_breakdown",
+        &madmax_bench::experiments::hardware_figs::fig20(),
+    );
 }

@@ -1,0 +1,13 @@
+//! Pipeline-schedule comparison: GPipe vs 1F1B bubble overhead across model
+//! depths and microbatch counts, against the analytic `(p-1)/(m+p-1)`
+//! floor, plus the activation-memory advantage that motivates 1F1B.
+
+use madmax_bench::emit;
+use madmax_bench::experiments::pipeline_figs;
+
+fn main() {
+    emit(
+        "fig_pipeline_schedules",
+        &pipeline_figs::fig_pipeline_schedules(),
+    );
+}

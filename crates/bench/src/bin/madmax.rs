@@ -58,8 +58,10 @@ impl Args {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{a}`"));
             };
-            let value =
-                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?.clone();
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?
+                .clone();
             flags.insert(key.to_owned(), value);
         }
         Ok(Self { flags })
@@ -112,24 +114,35 @@ fn build_plan(model: &ModelArch, args: &Args) -> Result<Plan, String> {
     Ok(plan)
 }
 
-fn print_report(model: &ModelArch, system: &ClusterSpec, plan: &Plan, task: &Task) -> Result<(), String> {
+fn print_report(
+    model: &ModelArch,
+    system: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+) -> Result<(), String> {
     let report = Simulation::new(model, system, plan, task.clone())
         .run()
         .map_err(|e| e.to_string())?;
     println!("workload:        {} ({task})", model.name);
     println!("system:          {}", system.name);
     println!("plan:            {}", plan.summary());
-    println!("iteration:       {:.3} ms (serialized {:.3} ms)",
-             report.iteration_time.as_ms(), report.serialized_time.as_ms());
+    println!(
+        "iteration:       {:.3} ms (serialized {:.3} ms)",
+        report.iteration_time.as_ms(),
+        report.serialized_time.as_ms()
+    );
     match model.batch_unit {
         madmax_model::BatchUnit::Samples => println!("throughput:      {:.3} MQPS", report.mqps()),
         madmax_model::BatchUnit::Tokens => {
             println!("throughput:      {:.0} tokens/s", report.tokens_per_sec())
         }
     }
-    println!("comm exposed:    {:.2} ms of {:.2} ms ({:.1}%)",
-             report.exposed_comm.as_ms(), report.comm_time.as_ms(),
-             report.exposed_fraction() * 100.0);
+    println!(
+        "comm exposed:    {:.2} ms of {:.2} ms ({:.1}%)",
+        report.exposed_comm.as_ms(),
+        report.comm_time.as_ms(),
+        report.exposed_fraction() * 100.0
+    );
     println!("memory/device:   {:.1} GB", report.memory.total().as_gb());
     for (k, t) in &report.comm_by_collective {
         println!("  {k:<14} {:.3} ms", t.as_ms());
@@ -147,7 +160,10 @@ fn run() -> Result<(), String> {
             println!("models:");
             for (name, id) in models() {
                 let s = id.build().stats();
-                println!("  {name:<22} {}", madmax_hw::units::human_params(s.params_total));
+                println!(
+                    "  {name:<22} {}",
+                    madmax_hw::units::human_params(s.params_total)
+                );
             }
             println!("systems:");
             for (name, f) in systems() {
@@ -190,9 +206,16 @@ fn run() -> Result<(), String> {
             };
             let r = optimize(&model, &system, &task, &options).map_err(|e| e.to_string())?;
             println!("evaluated {} plans ({} OOM)", r.evaluated, r.oom);
-            println!("baseline:  {:.3} ms/iter", r.baseline.iteration_time.as_ms());
-            println!("best:      {:.3} ms/iter ({:.2}x) with {}",
-                     r.best.iteration_time.as_ms(), r.speedup(), r.winning_strategies());
+            println!(
+                "baseline:  {:.3} ms/iter",
+                r.baseline.iteration_time.as_ms()
+            );
+            println!(
+                "best:      {:.3} ms/iter ({:.2}x) with {}",
+                r.best.iteration_time.as_ms(),
+                r.speedup(),
+                r.winning_strategies()
+            );
             Ok(())
         }
         "config" => {
@@ -206,9 +229,13 @@ fn run() -> Result<(), String> {
             let out = args.get("out").ok_or("missing --out <dir>")?;
             let plan = build_plan(&model, &args)?;
             let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
-            SimulationConfig { model, system, experiment: ExperimentSpec { task, plan } }
-                .write_split(out)
-                .map_err(|e| e.to_string())?;
+            SimulationConfig {
+                model,
+                system,
+                experiment: ExperimentSpec { task, plan },
+            }
+            .write_split(out)
+            .map_err(|e| e.to_string())?;
             println!("wrote model.json / system.json / experiment.json to {out}");
             Ok(())
         }

@@ -13,8 +13,12 @@ fn main() {
         ("fig01_pareto_frontier", || {
             e::hardware_figs::fig16("Fig. 1: Resource-performance pareto frontier (cloud DLRM-A)")
         }),
-        ("fig03_model_characterization", || e::characterization::fig03()),
-        ("fig04_fleet_characterization", || e::characterization::fig04()),
+        ("fig03_model_characterization", || {
+            e::characterization::fig03()
+        }),
+        ("fig04_fleet_characterization", || {
+            e::characterization::fig04()
+        }),
         ("fig06_sample_streams", || e::validation_figs::fig06()),
         ("fig07_dlrm_validation", || e::validation_figs::fig07()),
         ("fig08_vit_validation", || e::validation_figs::fig08()),
@@ -32,6 +36,9 @@ fn main() {
         ("fig18_commodity_hardware", || e::hardware_figs::fig18()),
         ("fig19_hardware_scaling", || e::hardware_figs::fig19()),
         ("fig20_execution_breakdown", || e::hardware_figs::fig20()),
+        ("fig_pipeline_schedules", || {
+            e::pipeline_figs::fig_pipeline_schedules()
+        }),
         ("ablations", || e::ablations::run()),
     ];
     for (name, f) in runs {

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table I.
 fn main() {
-    madmax_bench::emit("table1_validation", &madmax_bench::experiments::tables::table1());
+    madmax_bench::emit(
+        "table1_validation",
+        &madmax_bench::experiments::tables::table1(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table II.
 fn main() {
-    madmax_bench::emit("table2_model_suite", &madmax_bench::experiments::tables::table2());
+    madmax_bench::emit(
+        "table2_model_suite",
+        &madmax_bench::experiments::tables::table2(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table III.
 fn main() {
-    madmax_bench::emit("table3_systems", &madmax_bench::experiments::tables::table3());
+    madmax_bench::emit(
+        "table3_systems",
+        &madmax_bench::experiments::tables::table3(),
+    );
 }

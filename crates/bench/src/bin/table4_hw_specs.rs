@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table IV.
 fn main() {
-    madmax_bench::emit("table4_hw_specs", &madmax_bench::experiments::tables::table4());
+    madmax_bench::emit(
+        "table4_hw_specs",
+        &madmax_bench::experiments::tables::table4(),
+    );
 }

@@ -29,7 +29,9 @@ pub fn run() -> String {
             catalog::llama_llm_system()
         };
         let plan = Plan::fsdp_baseline(&model);
-        let hier = Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap();
+        let hier = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run()
+            .unwrap();
         let flat_model = FlatWorstLink;
         let flat = Simulation::new(&model, &sys, &plan, Task::Pretraining)
             .with_collective_model(&flat_model)
@@ -51,15 +53,24 @@ pub fn run() -> String {
 
     // 2. FSDP prefetching (the Fig. 9 optimization) across the LLM suite.
     out.push_str("\n(2) FSDP AllGather prefetching\n");
-    let mut t = Table::new(["Workload", "Overlap w/o prefetch", "Overlap w/ prefetch", "Iter speedup"]);
+    let mut t = Table::new([
+        "Workload",
+        "Overlap w/o prefetch",
+        "Overlap w/ prefetch",
+        "Iter speedup",
+    ]);
     for id in [ModelId::Gpt3, ModelId::Llama, ModelId::Llama2] {
         let model = id.build();
         let sys = catalog::llama_llm_system();
         let mut plan = Plan::fsdp_baseline(&model);
         plan.options.fsdp_prefetch = false;
-        let without = Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap();
+        let without = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run()
+            .unwrap();
         plan.options.fsdp_prefetch = true;
-        let with = Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap();
+        let with = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run()
+            .unwrap();
         t.row([
             id.to_string(),
             format!("{:.1}%", without.overlap_fraction() * 100.0),
@@ -71,7 +82,11 @@ pub fn run() -> String {
 
     // 3. Constant vs workload-dependent utilization on ViT scaling.
     out.push_str("\n(3) Compute-utilization model on ViT-G (global batch 4096)\n");
-    let mut t = Table::new(["GPUs", "Constant-util MFU-proxy iter (ms)", "Workload-dependent iter (ms)"]);
+    let mut t = Table::new([
+        "GPUs",
+        "Constant-util MFU-proxy iter (ms)",
+        "Workload-dependent iter (ms)",
+    ]);
     let cfg = &VIT_FAMILY[2];
     for gpus in [32usize, 256, 2048] {
         let model = vit(cfg, 4096);

@@ -23,12 +23,14 @@ pub fn fig03() -> String {
     for m in &suite {
         let s = m.stats();
         let (flops, lookup) = match s.batch_unit {
-            BatchUnit::Samples => {
-                (s.flops_fwd_per_sample.value(), s.lookup_bytes_per_sample.value())
-            }
-            BatchUnit::Tokens => {
-                (s.flops_fwd_per_token().value(), s.lookup_bytes_per_token().value())
-            }
+            BatchUnit::Samples => (
+                s.flops_fwd_per_sample.value(),
+                s.lookup_bytes_per_sample.value(),
+            ),
+            BatchUnit::Tokens => (
+                s.flops_fwd_per_token().value(),
+                s.lookup_bytes_per_token().value(),
+            ),
         };
         t.row([
             m.name.clone(),
@@ -68,10 +70,22 @@ pub fn fig04() -> String {
             (
                 fam.to_string(),
                 vec![
-                    Segment { name: "compute".into(), value: agg.cycles.compute * 100.0 },
-                    Segment { name: "exposed-comm".into(), value: agg.cycles.exposed_comm * 100.0 },
-                    Segment { name: "exposed-memcpy".into(), value: agg.cycles.exposed_memcpy * 100.0 },
-                    Segment { name: "idle".into(), value: agg.cycles.idle * 100.0 },
+                    Segment {
+                        name: "compute".into(),
+                        value: agg.cycles.compute * 100.0,
+                    },
+                    Segment {
+                        name: "exposed-comm".into(),
+                        value: agg.cycles.exposed_comm * 100.0,
+                    },
+                    Segment {
+                        name: "exposed-memcpy".into(),
+                        value: agg.cycles.exposed_memcpy * 100.0,
+                    },
+                    Segment {
+                        name: "idle".into(),
+                        value: agg.cycles.idle * 100.0,
+                    },
                 ],
             )
         })

@@ -31,7 +31,11 @@ pub fn fig16(title: &str) -> String {
             p.instance.clone(),
             p.instances.to_string(),
             p.gpus.to_string(),
-            if p.optimized { "MAD-Max".to_owned() } else { "default FSDP".to_owned() },
+            if p.optimized {
+                "MAD-Max".to_owned()
+            } else {
+                "default FSDP".to_owned()
+            },
             format!("{:.3}", p.elapsed_hours),
             format!("{:.1}", p.norm_gpu_hours),
         ]);
@@ -56,7 +60,11 @@ pub fn fig16(title: &str) -> String {
     for p in &all_frontier {
         t.row([
             format!("{} x{}", p.payload.instance, p.payload.instances),
-            if p.payload.optimized { "MAD-Max".to_owned() } else { "default".to_owned() },
+            if p.payload.optimized {
+                "MAD-Max".to_owned()
+            } else {
+                "default".to_owned()
+            },
             format!("{:.3}", p.payload.elapsed_hours),
             format!("{:.1}", p.payload.norm_gpu_hours),
         ]);
@@ -151,7 +159,13 @@ pub fn fig18() -> String {
         catalog::gaudi2_cluster(),
     ];
     let mut bars = Vec::new();
-    let mut t = Table::new(["Platform", "FSDP baseline (MQPS)", "MAD-Max (MQPS)", "Speedup", "Strategies"]);
+    let mut t = Table::new([
+        "Platform",
+        "FSDP baseline (MQPS)",
+        "MAD-Max (MQPS)",
+        "Speedup",
+        "Strategies",
+    ]);
     for sys in &clusters {
         let r = optimize(&model, sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
         t.row([
@@ -213,17 +227,32 @@ pub fn fig19() -> String {
 
 fn breakdown_rows(label: &str, r: &IterationReport) -> Vec<(String, Vec<Segment>)> {
     let mut serialized = vec![
-        Segment { name: "emb-lookup".into(), value: r.lookup_time.as_ms() },
-        Segment { name: "gemm".into(), value: r.gemm_time.as_ms() },
+        Segment {
+            name: "emb-lookup".into(),
+            value: r.lookup_time.as_ms(),
+        },
+        Segment {
+            name: "gemm".into(),
+            value: r.gemm_time.as_ms(),
+        },
     ];
     for (k, t) in &r.comm_by_collective {
-        serialized.push(Segment { name: k.to_string(), value: t.as_ms() });
+        serialized.push(Segment {
+            name: k.to_string(),
+            value: t.as_ms(),
+        });
     }
     let mut overlap = Vec::new();
     for (k, t) in &r.comm_by_collective {
         let exposed = r.exposed_by_collective.get(k).copied().unwrap_or_default();
-        overlap.push(Segment { name: format!("{k}-hidden"), value: (*t - exposed).as_ms().max(0.0) });
-        overlap.push(Segment { name: format!("{k}-exposed"), value: exposed.as_ms() });
+        overlap.push(Segment {
+            name: format!("{k}-hidden"),
+            value: (*t - exposed).as_ms().max(0.0),
+        });
+        overlap.push(Segment {
+            name: format!("{k}-exposed"),
+            value: exposed.as_ms(),
+        });
     }
     vec![
         (format!("{label} serialized"), serialized),
@@ -255,7 +284,9 @@ pub fn fig20() -> String {
                 Some(a) => sys.scaled(&a.scaling(10.0)),
                 None => sys.clone(),
             };
-            let r = Simulation::new(&model, &scaled, &plan, Task::Pretraining).run().unwrap();
+            let r = Simulation::new(&model, &scaled, &plan, Task::Pretraining)
+                .run()
+                .unwrap();
             rows.extend(breakdown_rows(label, &r));
         }
         out.push_str(&stacked_bars(&rows, 60, "ms"));

@@ -1,0 +1,91 @@
+//! Pipeline-schedule comparison (GPipe vs 1F1B across depths and
+//! microbatch counts) against the analytic `(p-1)/(m+p-1)` floor.
+
+use madmax_hw::catalog;
+use madmax_model::ModelId;
+use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
+use madmax_pipeline::gpipe_bubble_fraction;
+
+/// Renders the GPipe-vs-1F1B schedule comparison report.
+pub fn fig_pipeline_schedules() -> String {
+    let system = catalog::llama_llm_system();
+    let pp = 8usize;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pipeline schedules: GPipe vs 1F1B at pp={pp} on {}\n",
+        system.name
+    ));
+    out.push_str(&"=".repeat(98));
+    out.push('\n');
+
+    for id in [ModelId::Llama, ModelId::Llama2, ModelId::Gpt3] {
+        let model = id.build();
+        let depth: usize = model.groups.iter().map(|g| g.repeat).sum();
+        out.push_str(&format!("\n{} ({depth} layers):\n", model.name));
+        out.push_str(&format!(
+            "{:>6} {:>10} {:>14} {:>14} {:>16} {:>16} {:>12}\n",
+            "mb",
+            "analytic",
+            "GPipe bubble",
+            "1F1B bubble",
+            "GPipe s/iter",
+            "1F1B s/iter",
+            "1F1B act-mem"
+        ));
+        for m in [2usize, 4, 8, 16, 32] {
+            let mut bubbles = Vec::new();
+            let mut iters = Vec::new();
+            let mut act_ratio = None;
+            let mut gpipe_act = None;
+            for schedule in [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB] {
+                let mut plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+                    stages: pp,
+                    microbatches: m,
+                    schedule,
+                });
+                plan.options.ignore_memory_limits = true;
+                match madmax_pipeline::simulate(&model, &system, &plan, Task::Pretraining) {
+                    Ok(r) => {
+                        bubbles.push(r.bubble_fraction.unwrap_or(0.0));
+                        iters.push(r.iteration_time.as_secs());
+                        match schedule {
+                            PipelineSchedule::GPipe => {
+                                gpipe_act = Some(r.memory.activations);
+                            }
+                            PipelineSchedule::OneFOneB => {
+                                if let Some(g) = gpipe_act {
+                                    act_ratio =
+                                        Some(r.memory.activations.value() / g.value().max(1.0));
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        bubbles.push(f64::NAN);
+                        iters.push(f64::NAN);
+                        out.push_str(&format!("{m:>6}  [{schedule}: {e}]\n"));
+                    }
+                }
+            }
+            let act_col = match act_ratio {
+                Some(r) => format!("{:>11.0}%", r * 100.0),
+                None => format!("{:>12}", "-"),
+            };
+            out.push_str(&format!(
+                "{m:>6} {:>9.1}% {:>13.1}% {:>13.1}% {:>15.2}s {:>15.2}s {act_col}\n",
+                gpipe_bubble_fraction(pp, m) * 100.0,
+                bubbles[0] * 100.0,
+                bubbles[1] * 100.0,
+                iters[0],
+                iters[1],
+            ));
+        }
+    }
+    out.push_str(
+        "\nReading: bubbles shrink as (p-1)/(m+p-1) with more microbatches; both schedules\n\
+         track the analytic floor (the excess is exposed parameter-gather and P2P time).\n\
+         1F1B trades a sliver of makespan for retaining only p of m microbatches'\n\
+         activations — the '1F1B act-mem' column, min(p,m)/m of GPipe's.\n",
+    );
+    out
+}

@@ -2,7 +2,9 @@
 //! Figs. 10-15.
 
 use madmax_core::simulate;
-use madmax_dse::{best_point, optimize, pareto_frontier, sweep_class, ParetoPoint, SearchOptions, SweepPoint};
+use madmax_dse::{
+    best_point, optimize, pareto_frontier, sweep_class, ParetoPoint, SearchOptions, SweepPoint,
+};
 use madmax_hw::catalog;
 use madmax_model::{DlrmVariant, LayerClass, ModelId};
 use madmax_parallel::{memory_per_device, HierStrategy, Plan, Strategy, Task};
@@ -19,8 +21,7 @@ fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
 /// Fig. 10: pre-training throughput over the FSDP baseline across the full
 /// model suite, memory-constrained (blue) and unconstrained (orange).
 pub fn fig10() -> String {
-    let mut out =
-        heading("Fig. 10: Pre-training throughput improvement over FSDP baseline");
+    let mut out = heading("Fig. 10: Pre-training throughput improvement over FSDP baseline");
     let mut bars = Vec::new();
     let mut t = Table::new([
         "Model",
@@ -38,7 +39,10 @@ pub fn fig10() -> String {
             &model,
             &sys,
             &Task::Pretraining,
-            &SearchOptions { ignore_memory_limits: true, classes: None },
+            &SearchOptions {
+                ignore_memory_limits: true,
+                classes: None,
+            },
         )
         .expect("unconstrained search runs");
         speedups.push(c.speedup());
@@ -48,7 +52,11 @@ pub fn fig10() -> String {
             format!("{:.2}x", u.speedup()),
             c.winning_strategies(),
         ]);
-        bars.push(Bar::with_note(id.to_string(), c.speedup(), c.winning_strategies()));
+        bars.push(Bar::with_note(
+            id.to_string(),
+            c.speedup(),
+            c.winning_strategies(),
+        ));
     }
     out.push_str(&bar_chart(&bars, 40, "x over FSDP"));
     out.push('\n');
@@ -141,7 +149,11 @@ pub fn fig13() -> String {
     let mut out = heading("Fig. 13: Memory/throughput Pareto curves for DLRM-A variants");
     for task in [Task::Pretraining, Task::Inference] {
         out.push_str(&format!("\n--- {task} ---\n"));
-        for variant in [DlrmVariant::Base, DlrmVariant::Transformer, DlrmVariant::Moe] {
+        for variant in [
+            DlrmVariant::Base,
+            DlrmVariant::Transformer,
+            DlrmVariant::Moe,
+        ] {
             let model = madmax_model::dlrm::dlrm_a(variant);
             let sys = catalog::zionex_dlrm_system();
             let base = Plan::fsdp_baseline(&model);
@@ -164,10 +176,18 @@ pub fn fig13() -> String {
                 }
             }
             let frontier = pareto_frontier(&points);
-            out.push_str(&format!("\n{} ({} feasible points):\n", model.name, points.len()));
+            out.push_str(&format!(
+                "\n{} ({} feasible points):\n",
+                model.name,
+                points.len()
+            ));
             let mut t = Table::new(["Memory/GPU (GB)", "Throughput (MQPS)", "Strategy"]);
             for p in &frontier {
-                t.row([format!("{:.1}", p.cost), format!("{:.3}", p.value), p.payload.clone()]);
+                t.row([
+                    format!("{:.1}", p.cost),
+                    format!("{:.3}", p.value),
+                    p.payload.clone(),
+                ]);
             }
             out.push_str(&t.render());
         }
@@ -199,7 +219,13 @@ pub fn fig14() -> String {
         HierStrategy::flat(Strategy::Ddp),
         HierStrategy::two_level(Strategy::Fsdp, Strategy::Ddp),
     ];
-    let mut t = Table::new(["Dense strategy", "pre-training", "inference", "finetune-MLP", "finetune-emb"]);
+    let mut t = Table::new([
+        "Dense strategy",
+        "pre-training",
+        "inference",
+        "finetune-MLP",
+        "finetune-emb",
+    ]);
     for strat in strategies {
         let mut cells = vec![strat.to_string()];
         for (_, task) in &tasks {
@@ -250,7 +276,10 @@ pub fn fig15() -> String {
             &model,
             &sys,
             &Task::Pretraining,
-            &SearchOptions { ignore_memory_limits: true, classes: None },
+            &SearchOptions {
+                ignore_memory_limits: true,
+                classes: None,
+            },
         )
         .unwrap();
         speedups.push(r.speedup());
@@ -273,7 +302,11 @@ pub fn fig15() -> String {
         speedups[0],
         speedups[1],
         speedups[2],
-        if monotone { "monotone non-increasing" } else { "not monotone" }
+        if monotone {
+            "monotone non-increasing"
+        } else {
+            "not monotone"
+        }
     ));
     out
 }

@@ -11,12 +11,19 @@ use madmax_report::{heading, Table};
 /// production runs, with both the paper model's and our predictions.
 pub fn table1() -> String {
     let mut out = heading("Table I: Validation of first-order execution metrics");
-    let mut t = Table::new(["Evaluation metric", "Measured", "Paper model", "This repro", "Accuracy"]);
+    let mut t = Table::new([
+        "Evaluation metric",
+        "Measured",
+        "Paper model",
+        "This repro",
+        "Accuracy",
+    ]);
     for row in validation::table_i().expect("baseline mappings are feasible") {
         t.row([
             format!("{} ({})", row.metric, row.unit),
             format!("{:.2}", row.measured),
-            row.paper_model.map_or("-".to_owned(), |v| format!("{v:.2}")),
+            row.paper_model
+                .map_or("-".to_owned(), |v| format!("{v:.2}")),
             format!("{:.2}", row.predicted),
             format!("{:.2}%", row.accuracy()),
         ]);
@@ -44,12 +51,14 @@ pub fn table2() -> String {
         let m = id.build();
         let s = m.stats();
         let (flops, lookup) = match s.batch_unit {
-            BatchUnit::Samples => {
-                (s.flops_fwd_per_sample.value(), s.lookup_bytes_per_sample.value())
-            }
-            BatchUnit::Tokens => {
-                (s.flops_fwd_per_token().value(), s.lookup_bytes_per_token().value())
-            }
+            BatchUnit::Samples => (
+                s.flops_fwd_per_sample.value(),
+                s.lookup_bytes_per_sample.value(),
+            ),
+            BatchUnit::Tokens => (
+                s.flops_fwd_per_token().value(),
+                s.lookup_bytes_per_token().value(),
+            ),
         };
         let batch = match s.batch_unit {
             BatchUnit::Samples => format!("{}K", s.global_batch / 1024),
@@ -59,8 +68,11 @@ pub fn table2() -> String {
                 m.tokens_per_iteration() / 1e6
             ),
         };
-        let ctx =
-            if s.context_length <= 1 { "N/A".to_owned() } else { s.context_length.to_string() };
+        let ctx = if s.context_length <= 1 {
+            "N/A".to_owned()
+        } else {
+            s.context_length.to_string()
+        };
         t.row([
             id.to_string(),
             human_params(s.params_total),
@@ -96,14 +108,24 @@ pub fn table3() -> String {
     t.row(row("Peak TF32 throughput", &|c| {
         format!("{:.0} PFLOPS", c.aggregate_peak_tf32().as_pflops())
     }));
-    t.row(row("HBM capacity", &|c| format!("{:.1} TB", c.aggregate_hbm_capacity().as_tb())));
-    t.row(row("HBM bandwidth", &|c| format!("{:.0} TB/s", c.aggregate_hbm_bw().as_tb())));
+    t.row(row("HBM capacity", &|c| {
+        format!("{:.1} TB", c.aggregate_hbm_capacity().as_tb())
+    }));
+    t.row(row("HBM bandwidth", &|c| {
+        format!("{:.0} TB/s", c.aggregate_hbm_bw().as_tb())
+    }));
     t.row(row("Intra-node interconnect BW (unidir)", &|c| {
-        format!("{:.1} TB/s", c.aggregate_link_bw(CommLevel::IntraNode).as_tb())
+        format!(
+            "{:.1} TB/s",
+            c.aggregate_link_bw(CommLevel::IntraNode).as_tb()
+        )
     }));
     t.row(row("Inter-node fabric", &|c| c.inter_fabric.to_string()));
     t.row(row("Inter-node interconnect BW (unidir)", &|c| {
-        format!("{:.1} Tbps", c.aggregate_link_bw(CommLevel::InterNode).as_gbps() / 1000.0)
+        format!(
+            "{:.1} Tbps",
+            c.aggregate_link_bw(CommLevel::InterNode).as_gbps() / 1000.0
+        )
     }));
     out.push_str(&t.render());
     out.push_str(
@@ -131,7 +153,11 @@ pub fn table4() -> String {
             row.hbm.to_owned(),
             row.intra.to_owned(),
             row.inter.to_owned(),
-            format!("{:.0} / {:.1} GB/s", dev.intra_node_bw.as_gb(), dev.inter_node_bw.as_gb()),
+            format!(
+                "{:.0} / {:.1} GB/s",
+                dev.intra_node_bw.as_gb(),
+                dev.inter_node_bw.as_gb()
+            ),
         ]);
     }
     out.push_str(&t.render());

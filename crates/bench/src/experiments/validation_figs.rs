@@ -31,6 +31,9 @@ pub fn fig06() -> String {
                 StreamId::Compute => "compute".to_owned(),
                 StreamId::Comm => "comm".to_owned(),
                 StreamId::GradComm => "grad-comm".to_owned(),
+                StreamId::StageCompute(s) => format!("stage{s}.compute"),
+                StreamId::StageComm(s) => format!("stage{s}.comm"),
+                StreamId::StageGradComm(s) => format!("stage{s}.grad-comm"),
             },
             start: w.start.as_ms(),
             finish: w.finish.as_ms(),
@@ -82,16 +85,28 @@ pub fn fig07() -> String {
 
         let label = format!("{gpus}-GPU");
         let mut segs = vec![
-            Segment { name: "emb-lookup".into(), value: r.lookup_time.as_ms() },
-            Segment { name: "gemm".into(), value: r.gemm_time.as_ms() },
+            Segment {
+                name: "emb-lookup".into(),
+                value: r.lookup_time.as_ms(),
+            },
+            Segment {
+                name: "gemm".into(),
+                value: r.gemm_time.as_ms(),
+            },
         ];
         for (k, t) in &r.comm_by_collective {
-            segs.push(Segment { name: k.to_string(), value: t.as_ms() });
+            segs.push(Segment {
+                name: k.to_string(),
+                value: t.as_ms(),
+            });
         }
         rows.push((format!("{label} serialized"), segs));
         rows.push((
             format!("{label} overlapped"),
-            vec![Segment { name: "wall-clock".into(), value: r.iteration_time.as_ms() }],
+            vec![Segment {
+                name: "wall-clock".into(),
+                value: r.iteration_time.as_ms(),
+            }],
         ));
         summary.row([
             label,
@@ -142,8 +157,7 @@ pub fn fig08() -> String {
                     continue; // very large models need more GPUs
                 };
                 // Useful FLOPs exclude checkpoint recompute (standard MFU).
-                let useful =
-                    model.stats().flops_fwd_per_sample.value() * batch as f64 * 3.0;
+                let useful = model.stats().flops_fwd_per_sample.value() * batch as f64 * 3.0;
                 let peak = sys.device.peak.fp16.value() * gpus as f64;
                 let mfu = useful / (r.iteration_time.as_secs() * peak);
                 mfus.push(((cfg.hidden, gpus), mfu));
@@ -174,15 +188,26 @@ pub fn fig09() -> String {
     let mut out = heading("Fig. 9: Optimized FSDP with prefetching");
     let model = ModelId::Llama2.build();
     let sys = catalog::llama_llm_system();
-    let mut t = Table::new(["Implementation", "Iter (s)", "Comm overlap", "Exposed comm (ms)"]);
+    let mut t = Table::new([
+        "Implementation",
+        "Iter (s)",
+        "Comm overlap",
+        "Exposed comm (ms)",
+    ]);
     let mut overlaps = [0.0f64; 2];
     for (i, prefetch) in [false, true].into_iter().enumerate() {
         let mut plan = Plan::fsdp_baseline(&model);
         plan.options.fsdp_prefetch = prefetch;
-        let r = Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap();
+        let r = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run()
+            .unwrap();
         overlaps[i] = r.overlap_fraction() * 100.0;
         t.row([
-            if prefetch { "FSDP + prefetch".to_owned() } else { "vanilla FSDP".to_owned() },
+            if prefetch {
+                "FSDP + prefetch".to_owned()
+            } else {
+                "vanilla FSDP".to_owned()
+            },
             format!("{:.2}", r.iteration_time.as_secs()),
             format!("{:.1}%", r.overlap_fraction() * 100.0),
             format!("{:.1}", r.exposed_comm.as_ms()),

@@ -43,7 +43,13 @@ impl CloudInstance {
     ) -> Self {
         // Instance NICs are shared by all GPUs in the box.
         device.inter_node_bw = BytesPerSec::from_gbps(inter_gbps_per_instance / gpus as f64);
-        Self { name: name.to_owned(), provider: provider.to_owned(), device, gpus, fabric }
+        Self {
+            name: name.to_owned(),
+            provider: provider.to_owned(),
+            device,
+            gpus,
+            fabric,
+        }
     }
 
     /// A cluster of `instances` boxes of this type.
@@ -64,11 +70,46 @@ impl CloudInstance {
 /// inter-node bandwidth ranging from <1 to 25 GB/s across these types.
 pub fn instance_catalog() -> Vec<CloudInstance> {
     vec![
-        CloudInstance::new("p3.16xlarge", "aws", catalog::v100(16.0), 8, 25.0, FabricKind::RoCE),
-        CloudInstance::new("p3dn.24xlarge", "aws", catalog::v100(32.0), 8, 100.0, FabricKind::RoCE),
-        CloudInstance::new("p4d.24xlarge", "aws", catalog::a100_40gb(), 8, 400.0, FabricKind::RoCE),
-        CloudInstance::new("p4de.24xlarge", "aws", catalog::a100_80gb(), 8, 400.0, FabricKind::RoCE),
-        CloudInstance::new("p5.48xlarge", "aws", catalog::h100(), 8, 3200.0, FabricKind::InfiniBand),
+        CloudInstance::new(
+            "p3.16xlarge",
+            "aws",
+            catalog::v100(16.0),
+            8,
+            25.0,
+            FabricKind::RoCE,
+        ),
+        CloudInstance::new(
+            "p3dn.24xlarge",
+            "aws",
+            catalog::v100(32.0),
+            8,
+            100.0,
+            FabricKind::RoCE,
+        ),
+        CloudInstance::new(
+            "p4d.24xlarge",
+            "aws",
+            catalog::a100_40gb(),
+            8,
+            400.0,
+            FabricKind::RoCE,
+        ),
+        CloudInstance::new(
+            "p4de.24xlarge",
+            "aws",
+            catalog::a100_80gb(),
+            8,
+            400.0,
+            FabricKind::RoCE,
+        ),
+        CloudInstance::new(
+            "p5.48xlarge",
+            "aws",
+            catalog::h100(),
+            8,
+            3200.0,
+            FabricKind::InfiniBand,
+        ),
     ]
 }
 
@@ -113,11 +154,19 @@ pub fn evaluate(
 ) -> Result<CloudPoint, PlanError> {
     let cluster = inst.cluster(instances);
     let (report, plan) = if optimized {
-        let r = optimize(model, &cluster, &Task::Pretraining, &SearchOptions::default())?;
+        let r = optimize(
+            model,
+            &cluster,
+            &Task::Pretraining,
+            &SearchOptions::default(),
+        )?;
         (r.best.clone(), r.best_plan.summary())
     } else {
         let plan = Plan::fsdp_baseline(model);
-        (simulate(model, &cluster, &plan, Task::Pretraining)?, plan.summary())
+        (
+            simulate(model, &cluster, &plan, Task::Pretraining)?,
+            plan.summary(),
+        )
     };
     let samples_per_sec = report.samples_per_sec();
     let elapsed_hours = 1e9 / samples_per_sec / 3600.0;
@@ -190,10 +239,17 @@ mod tests {
     #[test]
     fn p4d_evaluates_dlrm() {
         let model = ModelId::DlrmA.build();
-        let inst = instance_catalog().into_iter().find(|i| i.name == "p4d.24xlarge").unwrap();
+        let inst = instance_catalog()
+            .into_iter()
+            .find(|i| i.name == "p4d.24xlarge")
+            .unwrap();
         let p = evaluate(&model, &inst, 16, false).unwrap();
         assert_eq!(p.gpus, 128);
-        assert!(p.elapsed_hours > 0.05 && p.elapsed_hours < 100.0, "{}", p.elapsed_hours);
+        assert!(
+            p.elapsed_hours > 0.05 && p.elapsed_hours < 100.0,
+            "{}",
+            p.elapsed_hours
+        );
         // p4d has 4x lower inter-node bandwidth than ZionEX: slower than
         // the production system.
         let zionex = simulate(
@@ -210,7 +266,10 @@ mod tests {
     #[test]
     fn optimized_dominates_default_on_same_config() {
         let model = ModelId::DlrmA.build();
-        let inst = instance_catalog().into_iter().find(|i| i.name == "p4de.24xlarge").unwrap();
+        let inst = instance_catalog()
+            .into_iter()
+            .find(|i| i.name == "p4de.24xlarge")
+            .unwrap();
         let base = evaluate(&model, &inst, 16, false).unwrap();
         let opt = evaluate(&model, &inst, 16, true).unwrap();
         assert!(opt.elapsed_hours <= base.elapsed_hours);
@@ -221,7 +280,10 @@ mod tests {
         // DLRM-A needs ~25 GB/GPU of embeddings alone: 16 V100-16GB boxes
         // (128 GPUs x 16 GB) cannot hold it.
         let model = ModelId::DlrmA.build();
-        let inst = instance_catalog().into_iter().find(|i| i.name == "p3.16xlarge").unwrap();
+        let inst = instance_catalog()
+            .into_iter()
+            .find(|i| i.name == "p3.16xlarge")
+            .unwrap();
         assert!(evaluate(&model, &inst, 16, false).is_err());
     }
 

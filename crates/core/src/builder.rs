@@ -53,7 +53,9 @@ impl<'a> TraceBuilder<'a> {
         trace.push(TraceOp {
             name: format!("{prefix}.{}", req.label),
             stream,
-            kind: OpKind::Collective { kind: req.collective },
+            kind: OpKind::Collective {
+                kind: req.collective,
+            },
             phase,
             duration: self.collective_model.time(req, self.cluster),
             deps,
@@ -63,8 +65,7 @@ impl<'a> TraceBuilder<'a> {
     /// Builds the full per-iteration trace.
     pub fn build(&self) -> Trace {
         let mut trace = Trace::new();
-        let local_batch =
-            self.model.global_batch as f64 / self.cluster.total_devices() as f64;
+        let local_batch = self.model.global_batch as f64 / self.cluster.total_devices() as f64;
         let prefetch = self.plan.options.fsdp_prefetch;
 
         // Per-group communication plans (identical across instances).
@@ -72,7 +73,16 @@ impl<'a> TraceBuilder<'a> {
             .model
             .groups
             .iter()
-            .map(|g| derive_layer_comm(g, self.plan, self.model, self.cluster, self.task, local_batch))
+            .map(|g| {
+                derive_layer_comm(
+                    g,
+                    self.plan,
+                    self.model,
+                    self.cluster,
+                    self.task,
+                    local_batch,
+                )
+            })
             .collect();
 
         // ---------------- Forward pass ----------------
@@ -108,7 +118,11 @@ impl<'a> TraceBuilder<'a> {
 
                 // Pre-compute collectives (FSDP gathers, MoE dispatch).
                 let mut gate_deps: Vec<OpId> = Vec::new();
-                for req in comm.forward.iter().filter(|r| r.position == CommPosition::BeforeCompute) {
+                for req in comm
+                    .forward
+                    .iter()
+                    .filter(|r| r.position == CommPosition::BeforeCompute)
+                {
                     if req.payload.is_zero() {
                         continue;
                     }
@@ -117,7 +131,14 @@ impl<'a> TraceBuilder<'a> {
                         Urgency::Prefetchable => last_compute.into_iter().collect(),
                         _ => base_deps.clone(),
                     };
-                    let id = self.comm_op(&mut trace, req, Phase::Forward, StreamId::Comm, deps, &prefix);
+                    let id = self.comm_op(
+                        &mut trace,
+                        req,
+                        Phase::Forward,
+                        StreamId::Comm,
+                        deps,
+                        &prefix,
+                    );
                     if req.urgency == Urgency::Blocking {
                         // e.g. MoE dispatch carries the layer input.
                         base_deps = vec![id];
@@ -159,11 +180,22 @@ impl<'a> TraceBuilder<'a> {
                 // Post-compute blocking collectives (TP AllReduce, embedding
                 // All2All, MoE combine).
                 let mut out = compute_id;
-                for req in comm.forward.iter().filter(|r| r.position == CommPosition::AfterCompute) {
+                for req in comm
+                    .forward
+                    .iter()
+                    .filter(|r| r.position == CommPosition::AfterCompute)
+                {
                     if req.payload.is_zero() {
                         continue;
                     }
-                    out = self.comm_op(&mut trace, req, Phase::Forward, StreamId::Comm, vec![out], &prefix);
+                    out = self.comm_op(
+                        &mut trace,
+                        req,
+                        Phase::Forward,
+                        StreamId::Comm,
+                        vec![out],
+                        &prefix,
+                    );
                 }
 
                 if is_embedding {
@@ -233,7 +265,10 @@ impl<'a> TraceBuilder<'a> {
                     // MoE combine_bwd).
                     let mut base_deps = vec![last_bwd];
                     let mut gate_deps: Vec<OpId> = Vec::new();
-                    for req in comm.backward.iter().filter(|r| r.position == CommPosition::BeforeCompute)
+                    for req in comm
+                        .backward
+                        .iter()
+                        .filter(|r| r.position == CommPosition::BeforeCompute)
                     {
                         if req.payload.is_zero() {
                             continue;
@@ -243,8 +278,14 @@ impl<'a> TraceBuilder<'a> {
                             Urgency::Prefetchable => vec![last_bwd],
                             _ => base_deps.clone(),
                         };
-                        let id =
-                            self.comm_op(&mut trace, req, Phase::Backward, StreamId::Comm, deps, &prefix);
+                        let id = self.comm_op(
+                            &mut trace,
+                            req,
+                            Phase::Backward,
+                            StreamId::Comm,
+                            deps,
+                            &prefix,
+                        );
                         if req.urgency == Urgency::Blocking {
                             base_deps = vec![id];
                         } else {
@@ -278,7 +319,10 @@ impl<'a> TraceBuilder<'a> {
                     last_bwd = bwd_compute;
 
                     // Post-compute blocking backward collectives.
-                    for req in comm.backward.iter().filter(|r| r.position == CommPosition::AfterCompute)
+                    for req in comm
+                        .backward
+                        .iter()
+                        .filter(|r| r.position == CommPosition::AfterCompute)
                     {
                         if req.payload.is_zero() {
                             continue;
@@ -365,8 +409,14 @@ mod tests {
         // bottom MLP.
         let lookup = names.iter().position(|n| n.contains("lookup")).unwrap();
         let a2a = names.iter().position(|n| n.contains("a2a")).unwrap();
-        let bottom = names.iter().position(|n| n.contains("bottom_mlp") && !n.contains(".ag")).unwrap();
-        let interaction = names.iter().position(|n| n.contains("feature_interaction")).unwrap();
+        let bottom = names
+            .iter()
+            .position(|n| n.contains("bottom_mlp") && !n.contains(".ag"))
+            .unwrap();
+        let interaction = names
+            .iter()
+            .position(|n| n.contains("feature_interaction"))
+            .unwrap();
         assert!(lookup < a2a);
         let a2a_op = &trace.ops()[a2a];
         assert_eq!(a2a_op.deps, vec![OpId(lookup)]);
@@ -390,10 +440,19 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let trace = build(&model, &Task::Pretraining);
         let has_rs = trace.ops().iter().any(|o| {
-            matches!(o.kind, OpKind::Collective { kind: CollectiveKind::ReduceScatter })
+            matches!(
+                o.kind,
+                OpKind::Collective {
+                    kind: CollectiveKind::ReduceScatter
+                }
+            )
         });
         assert!(has_rs, "FSDP baseline must reduce-scatter gradients");
-        let opt = trace.ops().iter().find(|o| o.kind == OpKind::Optimizer).unwrap();
+        let opt = trace
+            .ops()
+            .iter()
+            .find(|o| o.kind == OpKind::Optimizer)
+            .unwrap();
         assert!(!opt.deps.is_empty());
         // Gradient collectives live on the deferred stream.
         assert!(trace.stream_ops(StreamId::GradComm).count() >= 2);
@@ -402,7 +461,10 @@ mod tests {
     #[test]
     fn finetune_embedding_skips_dense_backward() {
         let model = ModelId::DlrmA.build();
-        let trace = build(&model, &Task::finetune_only(madmax_model::LayerClass::Embedding));
+        let trace = build(
+            &model,
+            &Task::finetune_only(madmax_model::LayerClass::Embedding),
+        );
         // No backward GEMMs: the paper's Insight 5 simplification.
         let bwd_gemms = trace
             .ops()
@@ -440,7 +502,14 @@ mod tests {
         let ags = trace
             .ops()
             .iter()
-            .filter(|o| matches!(o.kind, OpKind::Collective { kind: CollectiveKind::AllGather }))
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::Collective {
+                        kind: CollectiveKind::AllGather
+                    }
+                )
+            })
             .count();
         assert!(ags >= 192, "{ags}");
     }

@@ -55,8 +55,7 @@ impl HierarchicalNccl {
         let factor = if double { 2.0 } else { 1.0 };
         let mut t = 0.0;
         if g > 1 {
-            t += factor * s * ring_factor(g)
-                / eff_bw(cluster, CommLevel::IntraNode, util).value();
+            t += factor * s * ring_factor(g) / eff_bw(cluster, CommLevel::IntraNode, util).value();
         }
         if n > 1 {
             let shard = s / g as f64;
@@ -68,18 +67,36 @@ impl HierarchicalNccl {
 
     /// All2All: the NCCL implementation decomposes into point-to-point
     /// send/recv, so it is bound by the slowest interconnect level spanned.
-    fn all_to_all(s: f64, group: usize, scope: CommScope, cluster: &ClusterSpec, util: f64) -> Seconds {
-        let level = match scope {
-            CommScope::Level(l) => l,
-            CommScope::Global => {
-                if cluster.num_nodes > 1 {
-                    CommLevel::InterNode
-                } else {
-                    CommLevel::IntraNode
-                }
-            }
-        };
+    fn all_to_all(
+        s: f64,
+        group: usize,
+        scope: CommScope,
+        cluster: &ClusterSpec,
+        util: f64,
+    ) -> Seconds {
+        let level = scope_level(scope, cluster);
         Seconds::new(s * ring_factor(group) / eff_bw(cluster, level, util).value())
+    }
+
+    /// Point-to-point send/recv (pipeline-stage boundaries): the full
+    /// payload crosses one link of the spanned level.
+    fn point_to_point(s: f64, scope: CommScope, cluster: &ClusterSpec, util: f64) -> Seconds {
+        let level = scope_level(scope, cluster);
+        Seconds::new(s / eff_bw(cluster, level, util).value())
+    }
+}
+
+/// The interconnect level a scope's traffic is bound by.
+fn scope_level(scope: CommScope, cluster: &ClusterSpec) -> CommLevel {
+    match scope {
+        CommScope::Level(l) => l,
+        CommScope::Global => {
+            if cluster.num_nodes > 1 {
+                CommLevel::InterNode
+            } else {
+                CommLevel::IntraNode
+            }
+        }
     }
 }
 
@@ -93,6 +110,9 @@ impl CollectiveModel for HierarchicalNccl {
         match req.collective {
             CollectiveKind::AllToAll => {
                 Self::all_to_all(s, req.group_size, req.scope, cluster, u.all_to_all)
+            }
+            CollectiveKind::PointToPoint => {
+                Self::point_to_point(s, req.scope, cluster, u.all_to_all)
             }
             kind => {
                 let double = kind == CollectiveKind::AllReduce;
@@ -134,11 +154,20 @@ impl CollectiveModel for FlatWorstLink {
             CommScope::Global => CommLevel::IntraNode,
         };
         let util = match req.collective {
-            CollectiveKind::AllToAll => u.all_to_all,
+            CollectiveKind::AllToAll | CollectiveKind::PointToPoint => u.all_to_all,
             _ => u.ring_collective,
         };
-        let double = if req.collective == CollectiveKind::AllReduce { 2.0 } else { 1.0 };
-        Seconds::new(double * s * ring_factor(req.group_size) / eff_bw(cluster, level, util).value())
+        if req.collective == CollectiveKind::PointToPoint {
+            return Seconds::new(s / eff_bw(cluster, level, util).value());
+        }
+        let double = if req.collective == CollectiveKind::AllReduce {
+            2.0
+        } else {
+            1.0
+        };
+        Seconds::new(
+            double * s * ring_factor(req.group_size) / eff_bw(cluster, level, util).value(),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -169,9 +198,18 @@ mod tests {
     fn allreduce_is_twice_allgather() {
         let sys = catalog::zionex_dlrm_system();
         let m = HierarchicalNccl;
-        let ar = m.time(&req(CollectiveKind::AllReduce, CommScope::Global, 128, 100.0), &sys);
-        let ag = m.time(&req(CollectiveKind::AllGather, CommScope::Global, 128, 100.0), &sys);
-        let rs = m.time(&req(CollectiveKind::ReduceScatter, CommScope::Global, 128, 100.0), &sys);
+        let ar = m.time(
+            &req(CollectiveKind::AllReduce, CommScope::Global, 128, 100.0),
+            &sys,
+        );
+        let ag = m.time(
+            &req(CollectiveKind::AllGather, CommScope::Global, 128, 100.0),
+            &sys,
+        );
+        let rs = m.time(
+            &req(CollectiveKind::ReduceScatter, CommScope::Global, 128, 100.0),
+            &sys,
+        );
         assert!((ar.as_secs() / ag.as_secs() - 2.0).abs() < 1e-9);
         assert_eq!(ag, rs);
     }
@@ -182,12 +220,20 @@ mod tests {
         // though NVLink is 12x faster.
         let sys = catalog::zionex_dlrm_system();
         let m = HierarchicalNccl;
-        let global = m.time(&req(CollectiveKind::AllToAll, CommScope::Global, 128, 183.5), &sys);
+        let global = m.time(
+            &req(CollectiveKind::AllToAll, CommScope::Global, 128, 183.5),
+            &sys,
+        );
         let expected = 183.5e6 * (127.0 / 128.0) / (25e9 * sys.utilization.all_to_all);
         assert!((global.as_secs() - expected).abs() / expected < 1e-9);
         // Intra-node All2All uses NVLink and is much faster per byte.
         let intra = m.time(
-            &req(CollectiveKind::AllToAll, CommScope::Level(CommLevel::IntraNode), 8, 183.5),
+            &req(
+                CollectiveKind::AllToAll,
+                CommScope::Level(CommLevel::IntraNode),
+                8,
+                183.5,
+            ),
             &sys,
         );
         assert!(intra < global);
@@ -197,7 +243,10 @@ mod tests {
     fn single_node_a2a_uses_nvlink() {
         let sys = catalog::zionex_dlrm_system().with_num_nodes(1);
         let m = HierarchicalNccl;
-        let t = m.time(&req(CollectiveKind::AllToAll, CommScope::Global, 8, 100.0), &sys);
+        let t = m.time(
+            &req(CollectiveKind::AllToAll, CommScope::Global, 8, 100.0),
+            &sys,
+        );
         let expected = 100e6 * (7.0 / 8.0) / (300e9 * sys.utilization.all_to_all);
         assert!((t.as_secs() - expected).abs() / expected < 1e-9);
     }
@@ -221,16 +270,34 @@ mod tests {
     fn zero_payload_and_singleton_groups_are_free() {
         let sys = catalog::zionex_dlrm_system();
         let m = HierarchicalNccl;
-        assert_eq!(m.time(&req(CollectiveKind::AllReduce, CommScope::Global, 128, 0.0), &sys), Seconds::ZERO);
-        assert_eq!(m.time(&req(CollectiveKind::AllReduce, CommScope::Global, 1, 10.0), &sys), Seconds::ZERO);
+        assert_eq!(
+            m.time(
+                &req(CollectiveKind::AllReduce, CommScope::Global, 128, 0.0),
+                &sys
+            ),
+            Seconds::ZERO
+        );
+        assert_eq!(
+            m.time(
+                &req(CollectiveKind::AllReduce, CommScope::Global, 1, 10.0),
+                &sys
+            ),
+            Seconds::ZERO
+        );
     }
 
     #[test]
     fn time_scales_linearly_with_payload() {
         let sys = catalog::zionex_dlrm_system();
         let m = HierarchicalNccl;
-        let t1 = m.time(&req(CollectiveKind::AllGather, CommScope::Global, 128, 100.0), &sys);
-        let t2 = m.time(&req(CollectiveKind::AllGather, CommScope::Global, 128, 200.0), &sys);
+        let t1 = m.time(
+            &req(CollectiveKind::AllGather, CommScope::Global, 128, 100.0),
+            &sys,
+        );
+        let t2 = m.time(
+            &req(CollectiveKind::AllGather, CommScope::Global, 128, 200.0),
+            &sys,
+        );
         assert!((t2.as_secs() / t1.as_secs() - 2.0).abs() < 1e-9);
     }
 

@@ -39,7 +39,10 @@ pub enum UtilizationModel {
 impl UtilizationModel {
     /// The default parameters used for the ViT MFU validation (Fig. 8).
     pub fn vit_default() -> Self {
-        UtilizationModel::WorkloadDependent { max_util: 0.62, half_saturation_gflops: 1.5 }
+        UtilizationModel::WorkloadDependent {
+            max_util: 0.62,
+            half_saturation_gflops: 1.5,
+        }
     }
 
     /// Effective utilization for a layer invocation of `flops` on a device
@@ -47,7 +50,10 @@ impl UtilizationModel {
     pub fn utilization(&self, base: f64, flops: FlopCount) -> f64 {
         match *self {
             UtilizationModel::Constant => base,
-            UtilizationModel::WorkloadDependent { max_util, half_saturation_gflops } => {
+            UtilizationModel::WorkloadDependent {
+                max_util,
+                half_saturation_gflops,
+            } => {
                 let x = flops.as_gflops();
                 max_util * x / (x + half_saturation_gflops)
             }
@@ -94,7 +100,11 @@ pub fn compute_time(
 /// shard; replicated tables serve the local batch over all tables — both
 /// equal `global_batch * lookup_bytes / devices` under the paper's
 /// even-sharding assumption.
-pub fn device_lookup_bytes(group: &LayerGroup, model: &ModelArch, cluster: &ClusterSpec) -> ByteCount {
+pub fn device_lookup_bytes(
+    group: &LayerGroup,
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+) -> ByteCount {
     let per_sample = group.kind.lookup_bytes_per_sample(model.context_length);
     per_sample * (model.global_batch as f64 / cluster.total_devices() as f64)
 }
@@ -133,8 +143,8 @@ pub fn optimizer_time(
         }
         let shard = plan.strategy_for(group.class).param_shard_factor(cluster);
         let opt = plan.options.optimizer_for(group.class);
-        let p = madmax_parallel::comm::instance_param_bytes(group, model).value()
-            * group.repeat as f64;
+        let p =
+            madmax_parallel::comm::instance_param_bytes(group, model).value() * group.repeat as f64;
         let state = opt.state_bytes(group.kind.params(), &group.kind) * group.repeat as f64;
         bytes += 3.0 * (p + state) / shard;
     }
@@ -158,7 +168,12 @@ mod tests {
     fn compute_time_matches_equation() {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
-        let t = compute_time(FlopCount::from_gflops(109.2), &model, &sys, &UtilizationModel::Constant);
+        let t = compute_time(
+            FlopCount::from_gflops(109.2),
+            &model,
+            &sys,
+            &UtilizationModel::Constant,
+        );
         // 109.2 GF / (156 TF * 0.7) = 1.0 ms.
         assert!((t.as_ms() - 1.0).abs() < 1e-9);
     }
@@ -182,7 +197,11 @@ mod tests {
         // 64K x 22.61 MB / 128 GPUs / (1.555 TB/s * 0.8) = ~9.1 ms.
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
-        let emb = model.groups.iter().find(|g| g.class == LayerClass::Embedding).unwrap();
+        let emb = model
+            .groups
+            .iter()
+            .find(|g| g.class == LayerClass::Embedding)
+            .unwrap();
         let bytes = device_lookup_bytes(emb, &model, &sys);
         assert!((bytes.as_gib() - 10.77).abs() < 0.3, "{}", bytes.as_gib());
         let t = lookup_time(bytes, &sys);
@@ -208,7 +227,10 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = madmax_parallel::Plan::fsdp_baseline(&model);
-        assert_eq!(optimizer_time(&model, &sys, &plan, &Task::Inference), Seconds::ZERO);
+        assert_eq!(
+            optimizer_time(&model, &sys, &plan, &Task::Inference),
+            Seconds::ZERO
+        );
         let t = optimizer_time(&model, &sys, &plan, &Task::Pretraining);
         assert!(t.as_ms() > 0.0 && t.as_ms() < 10.0, "{}", t.as_ms());
     }

@@ -120,8 +120,14 @@ impl SimulationConfig {
     pub fn write_split(&self, dir: impl AsRef<Path>) -> Result<(), ConfigError> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
-        fs::write(dir.join("model.json"), serde_json::to_string_pretty(&self.model)?)?;
-        fs::write(dir.join("system.json"), serde_json::to_string_pretty(&self.system)?)?;
+        fs::write(
+            dir.join("model.json"),
+            serde_json::to_string_pretty(&self.model)?,
+        )?;
+        fs::write(
+            dir.join("system.json"),
+            serde_json::to_string_pretty(&self.system)?,
+        )?;
         fs::write(
             dir.join("experiment.json"),
             serde_json::to_string_pretty(&self.experiment)?,
@@ -142,7 +148,10 @@ mod tests {
         SimulationConfig {
             model,
             system: catalog::zionex_dlrm_system(),
-            experiment: ExperimentSpec { task: Task::Pretraining, plan },
+            experiment: ExperimentSpec {
+                task: Task::Pretraining,
+                plan,
+            },
         }
     }
 
@@ -167,6 +176,21 @@ mod tests {
         .unwrap();
         assert_eq!(cfg, back);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absent_optional_pipeline_field_parses_as_none() {
+        // Hand-authored configs predating the pipeline dimension omit the
+        // key entirely; `Option` fields must default to `None` (real-serde
+        // behavior, preserved by the vendored stub).
+        let cfg = sample();
+        let js = cfg.to_json().unwrap();
+        assert!(js.contains("\"pipeline\": null"), "{js}");
+        let stripped = js.replace("\"pipeline\": null,", "");
+        assert!(!stripped.contains("pipeline"));
+        let back = SimulationConfig::from_json(&stripped).unwrap();
+        assert_eq!(back.experiment.plan.pipeline, None);
+        assert_eq!(back, cfg);
     }
 
     #[test]

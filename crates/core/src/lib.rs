@@ -54,8 +54,9 @@ mod cross_module_tests {
         let model = ModelId::DlrmB.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let (_, trace, _) =
-            Simulation::new(&model, &sys, &plan, Task::Pretraining).run_with_trace().unwrap();
+        let (_, trace, _) = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run_with_trace()
+            .unwrap();
         let js = serde_json::to_string(&trace).unwrap();
         let back: crate::Trace = serde_json::from_str(&js).unwrap();
         assert_eq!(trace, back);
@@ -112,8 +113,12 @@ mod cross_module_tests {
         let infer = simulate(&model, &sys, &plan, Task::Inference).unwrap();
         use madmax_parallel::CollectiveKind;
         // No gradient reduce-scatter at inference.
-        assert!(!infer.comm_by_collective.contains_key(&CollectiveKind::ReduceScatter));
-        assert!(train.comm_by_collective.contains_key(&CollectiveKind::ReduceScatter));
+        assert!(!infer
+            .comm_by_collective
+            .contains_key(&CollectiveKind::ReduceScatter));
+        assert!(train
+            .comm_by_collective
+            .contains_key(&CollectiveKind::ReduceScatter));
         // Forward All2All halves (no gradient exchange).
         let a2a_t = train.comm_by_collective[&CollectiveKind::AllToAll];
         let a2a_i = infer.comm_by_collective[&CollectiveKind::AllToAll];

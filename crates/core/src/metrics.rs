@@ -10,7 +10,7 @@ use madmax_hw::units::Seconds;
 use madmax_model::{BatchUnit, LayerClass, ModelArch};
 use madmax_parallel::{CollectiveKind, MemoryBreakdown};
 
-use crate::sim::{difference_measure, union_measure, Schedule};
+use crate::sim::{difference_measure, Schedule};
 use crate::trace::{OpKind, StreamId, Trace};
 
 /// Everything MAD-Max reports about one training/inference iteration.
@@ -33,12 +33,21 @@ pub struct IterationReport {
     /// GEMM durations by layer class.
     pub gemm_by_class: BTreeMap<LayerClass, Seconds>,
     /// Wall-clock time when communication channels are busy but the
-    /// compute stream is idle (the paper's *exposed communication*).
+    /// compute stream is idle (the paper's *exposed communication*). For
+    /// pipelined traces this is computed per stage device against that
+    /// device's own compute stream and summed, matching `comm_time`'s
+    /// all-device total.
     pub exposed_comm: Seconds,
     /// Per-collective exposure (each op's window minus compute-busy time;
     /// may sum to slightly more than `exposed_comm` when the two comm
     /// streams are simultaneously exposed).
     pub exposed_by_collective: BTreeMap<CollectiveKind, Seconds>,
+    /// Pipeline-bubble fraction: the share of the iteration each stage's
+    /// compute stream sits idle on average, `1 - mean(stage busy) /
+    /// makespan`. `None` for flat (non-pipelined) traces; for uniform
+    /// stages and a GPipe schedule it equals the analytic
+    /// `(p - 1) / (m + p - 1)`.
+    pub bubble_fraction: Option<f64>,
     /// Per-device memory footprint of this mapping.
     pub memory: MemoryBreakdown,
     /// Global batch (samples or sequences) per iteration.
@@ -64,8 +73,15 @@ impl IterationReport {
         let mut comm_by_collective = BTreeMap::new();
         let mut gemm_by_class = BTreeMap::new();
 
-        let mut compute_busy: Vec<(f64, f64)> = Vec::new();
-        let mut comm_busy: Vec<(f64, f64)> = Vec::new();
+        // Busy intervals are kept per device: flat traces model one
+        // representative device (key `None`); pipelined traces model one
+        // device per stage (key `Some(stage)`). Exposure must compare a
+        // comm interval against *its own device's* compute stream —
+        // merging all stages' compute would let stage 0's GEMMs "hide"
+        // stage 1's transfers, which run on different hardware.
+        let mut compute_busy: BTreeMap<Option<u16>, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut comm_busy: BTreeMap<Option<u16>, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut stage_busy: BTreeMap<u16, Seconds> = BTreeMap::new();
 
         for (op, w) in trace.ops().iter().zip(&schedule.windows) {
             let span = (w.start.as_secs(), w.finish.as_secs());
@@ -81,28 +97,56 @@ impl IterationReport {
                     *comm_by_collective.entry(kind).or_insert(Seconds::ZERO) += op.duration;
                 }
             }
-            if op.stream == StreamId::Compute {
-                compute_busy.push(span);
+            let device = op.stream.stage();
+            if op.stream.is_compute() {
+                compute_busy.entry(device).or_default().push(span);
+                if let StreamId::StageCompute(s) = op.stream {
+                    // A stream never overlaps itself, so busy time is the
+                    // plain sum of durations.
+                    *stage_busy.entry(s).or_insert(Seconds::ZERO) += op.duration;
+                }
             } else {
-                comm_busy.push(span);
+                comm_busy.entry(device).or_default().push(span);
             }
         }
 
-        let exposed =
-            difference_measure(&mut comm_busy.clone(), &mut compute_busy.clone());
+        let bubble_fraction = if stage_busy.is_empty() || schedule.makespan.is_zero() {
+            None
+        } else {
+            let mean_busy: f64 =
+                stage_busy.values().map(|s| s.as_secs()).sum::<f64>() / stage_busy.len() as f64;
+            Some(f64::max(1.0 - mean_busy / schedule.makespan.as_secs(), 0.0))
+        };
 
-        // Per-collective exposure: each comm op's own window minus compute.
+        // Exposed communication per device, summed across devices. A flat
+        // trace has one device, so this is the paper's metric unchanged;
+        // for pipelined traces the sum is consistent with `comm_time` and
+        // `serialized_time` (also all-device totals), keeping
+        // `exposed_fraction = exposed_comm / comm_time` meaningful.
+        let devices: std::collections::BTreeSet<Option<u16>> = compute_busy
+            .keys()
+            .chain(comm_busy.keys())
+            .copied()
+            .collect();
+        let mut exposed = 0.0;
+        for &device in &devices {
+            let mut comm = comm_busy.get(&device).cloned().unwrap_or_default();
+            let mut compute = compute_busy.get(&device).cloned().unwrap_or_default();
+            exposed += difference_measure(&mut comm, &mut compute);
+        }
+
+        // Per-collective exposure: each comm op's own window minus its own
+        // device's compute-busy time (summed like `exposed_comm`).
         let mut exposed_by_collective: BTreeMap<CollectiveKind, Seconds> = BTreeMap::new();
-        {
-            let mut compute_sorted = compute_busy.clone();
-            union_measure(&mut compute_sorted); // sorts + merges in place semantics
-            for (op, w) in trace.ops().iter().zip(&schedule.windows) {
-                if let OpKind::Collective { kind } = op.kind {
-                    let mut own = vec![(w.start.as_secs(), w.finish.as_secs())];
-                    let e = difference_measure(&mut own, &mut compute_busy.clone());
-                    *exposed_by_collective.entry(kind).or_insert(Seconds::ZERO) +=
-                        Seconds::new(e);
-                }
+        for (op, w) in trace.ops().iter().zip(&schedule.windows) {
+            if let OpKind::Collective { kind } = op.kind {
+                let mut own = vec![(w.start.as_secs(), w.finish.as_secs())];
+                let mut compute = compute_busy
+                    .get(&op.stream.stage())
+                    .cloned()
+                    .unwrap_or_default();
+                let e = difference_measure(&mut own, &mut compute);
+                *exposed_by_collective.entry(kind).or_insert(Seconds::ZERO) += Seconds::new(e);
             }
         }
 
@@ -117,6 +161,7 @@ impl IterationReport {
             gemm_by_class,
             exposed_comm: Seconds::new(exposed),
             exposed_by_collective,
+            bubble_fraction,
             memory,
             global_batch: model.global_batch,
             tokens_per_iteration: model.tokens_per_iteration(),
@@ -168,7 +213,11 @@ impl IterationReport {
 
     /// Serialized-time fraction spent in a collective.
     pub fn comm_share(&self, kind: CollectiveKind) -> f64 {
-        let t = self.comm_by_collective.get(&kind).copied().unwrap_or(Seconds::ZERO);
+        let t = self
+            .comm_by_collective
+            .get(&kind)
+            .copied()
+            .unwrap_or(Seconds::ZERO);
         if self.comm_time.is_zero() {
             0.0
         } else {
@@ -201,24 +250,22 @@ mod tests {
     #[test]
     fn report_accounts_all_categories() {
         let mut t = Trace::new();
-        let a = t.push(op(
-            "lookup",
-            StreamId::Compute,
-            OpKind::Lookup,
-            4.0,
-            vec![],
-        ));
+        let a = t.push(op("lookup", StreamId::Compute, OpKind::Lookup, 4.0, vec![]));
         let b = t.push(op(
             "a2a",
             StreamId::Comm,
-            OpKind::Collective { kind: CollectiveKind::AllToAll },
+            OpKind::Collective {
+                kind: CollectiveKind::AllToAll,
+            },
             6.0,
             vec![a],
         ));
         t.push(op(
             "mlp",
             StreamId::Compute,
-            OpKind::Gemm { class: LayerClass::Dense },
+            OpKind::Gemm {
+                class: LayerClass::Dense,
+            },
             5.0,
             vec![b],
         ));
@@ -227,7 +274,10 @@ mod tests {
         let r = IterationReport::from_schedule(&t, &s, &model, MemoryBreakdown::default());
 
         assert!((r.serialized_time.as_ms() - 15.0).abs() < 1e-9);
-        assert!((r.iteration_time.as_ms() - 15.0).abs() < 1e-9, "fully serial chain");
+        assert!(
+            (r.iteration_time.as_ms() - 15.0).abs() < 1e-9,
+            "fully serial chain"
+        );
         assert!((r.lookup_time.as_ms() - 4.0).abs() < 1e-9);
         assert!((r.gemm_time.as_ms() - 5.0).abs() < 1e-9);
         assert!((r.comm_time.as_ms() - 6.0).abs() < 1e-9);
@@ -244,14 +294,18 @@ mod tests {
         t.push(op(
             "mlp",
             StreamId::Compute,
-            OpKind::Gemm { class: LayerClass::Dense },
+            OpKind::Gemm {
+                class: LayerClass::Dense,
+            },
             10.0,
             vec![],
         ));
         t.push(op(
             "ar",
             StreamId::GradComm,
-            OpKind::Collective { kind: CollectiveKind::AllReduce },
+            OpKind::Collective {
+                kind: CollectiveKind::AllReduce,
+            },
             8.0,
             vec![],
         ));
@@ -269,7 +323,9 @@ mod tests {
         t.push(op(
             "mlp",
             StreamId::Compute,
-            OpKind::Gemm { class: LayerClass::Dense },
+            OpKind::Gemm {
+                class: LayerClass::Dense,
+            },
             100.0,
             vec![],
         ));
@@ -288,8 +344,10 @@ mod tests {
         let mut t2 = Trace::new();
         t2.push(op("a", StreamId::Compute, OpKind::Lookup, 5.0, vec![]));
         let model = toy_model();
-        let r1 = IterationReport::from_schedule(&t1, &schedule(&t1), &model, MemoryBreakdown::default());
-        let r2 = IterationReport::from_schedule(&t2, &schedule(&t2), &model, MemoryBreakdown::default());
+        let r1 =
+            IterationReport::from_schedule(&t1, &schedule(&t1), &model, MemoryBreakdown::default());
+        let r2 =
+            IterationReport::from_schedule(&t2, &schedule(&t2), &model, MemoryBreakdown::default());
         assert!((r2.speedup_over(&r1) - 2.0).abs() < 1e-9);
     }
 }

@@ -74,6 +74,16 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// This simulator executes the flat SPMD mapping; plans that configure
+    /// pipeline parallelism must go through `madmax-pipeline`'s simulator,
+    /// which builds multi-stream stage traces.
+    fn reject_pipelined(&self) -> Result<(), PlanError> {
+        match self.plan.pipeline {
+            Some(pp) if pp.is_pipelined() => Err(PlanError::PipelinedPlan { stages: pp.stages }),
+            _ => Ok(()),
+        }
+    }
+
     /// Builds the trace without scheduling (for inspection / Fig. 6).
     ///
     /// # Errors
@@ -81,6 +91,7 @@ impl<'a> Simulation<'a> {
     /// Fails when the plan is invalid or the mapping does not fit in
     /// device memory.
     pub fn build_trace(&self) -> Result<Trace, PlanError> {
+        self.reject_pipelined()?;
         check_memory(self.model, self.cluster, self.plan, &self.task)?;
         Ok(TraceBuilder {
             model: self.model,
@@ -112,6 +123,7 @@ impl<'a> Simulation<'a> {
     ///
     /// Same conditions as [`Simulation::run`].
     pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), PlanError> {
+        self.reject_pipelined()?;
         let memory = check_memory(self.model, self.cluster, self.plan, &self.task)?;
         let trace = TraceBuilder {
             model: self.model,
@@ -189,7 +201,9 @@ mod tests {
         let model = ModelId::Gpt3.build();
         let sys = catalog::llama_llm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let hier = Simulation::new(&model, &sys, &plan, Task::Pretraining).run().unwrap();
+        let hier = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run()
+            .unwrap();
         let flat_model = FlatWorstLink;
         let flat = Simulation::new(&model, &sys, &plan, Task::Pretraining)
             .with_collective_model(&flat_model)

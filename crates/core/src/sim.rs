@@ -40,7 +40,10 @@ pub fn schedule(trace: &Trace) -> Schedule {
     let mut makespan = Seconds::ZERO;
 
     for op in trace.ops() {
-        let avail = stream_avail.get(&op.stream).copied().unwrap_or(Seconds::ZERO);
+        let avail = stream_avail
+            .get(&op.stream)
+            .copied()
+            .unwrap_or(Seconds::ZERO);
         let deps_done = op
             .deps
             .iter()
@@ -126,7 +129,9 @@ mod tests {
         TraceOp {
             name: name.to_owned(),
             stream,
-            kind: OpKind::Gemm { class: LayerClass::Dense },
+            kind: OpKind::Gemm {
+                class: LayerClass::Dense,
+            },
             phase: Phase::Forward,
             duration: Seconds::from_ms(ms),
             deps,
@@ -160,7 +165,10 @@ mod tests {
         t.push(op("k1", StreamId::Comm, 5.0, vec![a])); // waits for a
         t.push(op("k2", StreamId::Comm, 5.0, vec![])); // no deps, but queued after k1
         let s = schedule(&t);
-        assert!((s.windows[2].start.as_ms() - 15.0).abs() < 1e-9, "in-order stream");
+        assert!(
+            (s.windows[2].start.as_ms() - 15.0).abs() < 1e-9,
+            "in-order stream"
+        );
         assert!((s.makespan.as_ms() - 20.0).abs() < 1e-9);
     }
 

@@ -12,6 +12,11 @@ use madmax_model::LayerClass;
 use madmax_parallel::CollectiveKind;
 
 /// Hardware queue an op occupies.
+///
+/// Flat SPMD traces use the first three variants (one representative
+/// device). Pipeline-parallel traces are *multi-stream*: each stage `s`
+/// contributes its own compute and communication streams, representing one
+/// device of that stage's group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum StreamId {
     /// SMs + HBM: GEMMs, embedding lookups, optimizer updates.
@@ -21,12 +26,43 @@ pub enum StreamId {
     /// Weight-gradient collectives (FSDP/DDP issue these on a separate
     /// lower-priority channel so they drain behind blocking traffic).
     GradComm,
+    /// Compute stream of one pipeline stage.
+    StageCompute(u16),
+    /// Forward communication stream of one pipeline stage (intra-stage
+    /// blocking collectives and activation P2P sends).
+    StageComm(u16),
+    /// Backward/deferred communication stream of one pipeline stage
+    /// (gradient P2P sends and weight-gradient collectives), mirroring the
+    /// flat trace's `Comm`/`GradComm` split so backward traffic does not
+    /// serialize behind activation transfers.
+    StageGradComm(u16),
 }
 
 impl StreamId {
     /// Whether this stream moves bytes between devices.
     pub fn is_comm(self) -> bool {
-        matches!(self, StreamId::Comm | StreamId::GradComm)
+        matches!(
+            self,
+            StreamId::Comm
+                | StreamId::GradComm
+                | StreamId::StageComm(_)
+                | StreamId::StageGradComm(_)
+        )
+    }
+
+    /// Whether this stream occupies the device's compute resources.
+    pub fn is_compute(self) -> bool {
+        matches!(self, StreamId::Compute | StreamId::StageCompute(_))
+    }
+
+    /// The pipeline stage this stream belongs to, if any.
+    pub fn stage(self) -> Option<u16> {
+        match self {
+            StreamId::StageCompute(s) | StreamId::StageComm(s) | StreamId::StageGradComm(s) => {
+                Some(s)
+            }
+            _ => None,
+        }
     }
 }
 

@@ -2,19 +2,22 @@
 //!
 //! Design-space exploration on top of the MAD-Max performance model:
 //! exhaustive per-layer-class strategy sweeps (Figs. 11-15, 17), joint
-//! throughput-optimal search (Figs. 10, 18), Pareto-frontier extraction
-//! (Figs. 1, 13, 16), and the future-technologies hardware scaling study
-//! (Figs. 19-20).
+//! throughput-optimal search (Figs. 10, 18), joint pipeline-aware search
+//! over `(stages, microbatches, schedule)` x per-class strategies,
+//! Pareto-frontier extraction (Figs. 1, 13, 16), and the
+//! future-technologies hardware scaling study (Figs. 19-20).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod pareto;
+pub mod pipeline_search;
 pub mod scaling;
 pub mod search;
 pub mod sweep;
 
 pub use pareto::{pareto_frontier, ParetoPoint};
+pub use pipeline_search::{optimize_pipeline, PipelineSearchResult, PipelineSearchSpace};
 pub use scaling::{scaling_study, ScalingAxis, ScalingPoint};
 pub use search::{optimize, SearchOptions, SearchResult};
 pub use sweep::{best_point, sweep_class, SweepPoint};

@@ -15,7 +15,11 @@ pub struct ParetoPoint<T> {
 impl<T> ParetoPoint<T> {
     /// Creates a point.
     pub fn new(cost: f64, value: f64, payload: T) -> Self {
-        Self { cost, value, payload }
+        Self {
+            cost,
+            value,
+            payload,
+        }
     }
 
     /// Whether `self` dominates `other` (no worse on both axes, strictly
@@ -56,7 +60,10 @@ mod tests {
     use super::*;
 
     fn pts(v: &[(f64, f64)]) -> Vec<ParetoPoint<usize>> {
-        v.iter().enumerate().map(|(i, &(c, val))| ParetoPoint::new(c, val, i)).collect()
+        v.iter()
+            .enumerate()
+            .map(|(i, &(c, val))| ParetoPoint::new(c, val, i))
+            .collect()
     }
 
     #[test]

@@ -97,7 +97,12 @@ pub fn scaling_study(
             let scaled = cluster.scaled(&axis.scaling(factor));
             let result = optimize(model, &scaled, task, &options)?;
             let speedup = base.best.iteration_time / result.best.iteration_time;
-            Ok(ScalingPoint { axis, factor, result, speedup })
+            Ok(ScalingPoint {
+                axis,
+                factor,
+                result,
+                speedup,
+            })
         })
         .collect()
 }
@@ -118,7 +123,10 @@ mod tests {
         assert_eq!(points.len(), 6);
         let get = |a: ScalingAxis| points.iter().find(|p| p.axis == a).unwrap().speedup;
         for axis in &ScalingAxis::ALL_AXES[..5] {
-            assert!(get(*axis) < get(ScalingAxis::All), "{axis} should trail all-axes");
+            assert!(
+                get(*axis) < get(ScalingAxis::All),
+                "{axis} should trail all-axes"
+            );
             assert!(get(*axis) >= 0.99, "{axis} must not slow things down");
         }
         // Blocking All2All makes inter-node bandwidth the most valuable

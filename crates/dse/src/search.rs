@@ -30,6 +30,10 @@ pub struct SearchResult {
     pub evaluated: usize,
     /// Plans rejected for memory infeasibility.
     pub oom: usize,
+    /// Plans rejected for any other reason (invalid strategy/class
+    /// combinations and the like) — `evaluated - oom - invalid` plans were
+    /// actually simulated.
+    pub invalid: usize,
 }
 
 impl SearchResult {
@@ -44,7 +48,8 @@ impl SearchResult {
     }
 }
 
-fn classes_in(model: &ModelArch) -> Vec<LayerClass> {
+/// Distinct layer classes present in a model, in first-appearance order.
+pub(crate) fn classes_in(model: &ModelArch) -> Vec<LayerClass> {
     let mut v: Vec<LayerClass> = Vec::new();
     for g in &model.groups {
         if !v.contains(&g.class) {
@@ -52,6 +57,37 @@ fn classes_in(model: &ModelArch) -> Vec<LayerClass> {
         }
     }
     v
+}
+
+/// Enumerates every per-class strategy assignment: the cartesian product of
+/// `HierStrategy::enumerate_for` over `classes` (all classes in the model
+/// when `None`), applied on top of `base`. Shared by [`optimize`] and the
+/// pipeline-aware `optimize_pipeline`.
+pub(crate) fn strategy_combos(
+    model: &ModelArch,
+    classes: Option<&[LayerClass]>,
+    base: &Plan,
+) -> Vec<Plan> {
+    let classes: Vec<LayerClass> = match classes {
+        Some(c) => c.to_vec(),
+        None => classes_in(model),
+    };
+    let per_class: Vec<Vec<HierStrategy>> = classes
+        .iter()
+        .map(|&c| HierStrategy::enumerate_for(c))
+        .collect();
+    let total: usize = per_class.iter().map(Vec::len).product();
+    let mut plans = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut plan = base.clone();
+        for (ci, choices) in per_class.iter().enumerate() {
+            let choice = choices[idx % choices.len()];
+            idx /= choices.len();
+            plan = plan.with_strategy(classes[ci], choice);
+        }
+        plans.push(plan);
+    }
+    plans
 }
 
 /// Exhaustively searches per-class hierarchical strategies for the
@@ -71,29 +107,14 @@ pub fn optimize(
     base_plan.options.ignore_memory_limits = options.ignore_memory_limits;
     let baseline = simulate(model, cluster, &base_plan, task.clone())?;
 
-    let classes: Vec<LayerClass> = match &options.classes {
-        Some(c) => c.clone(),
-        None => classes_in(model),
-    };
-    let per_class: Vec<Vec<HierStrategy>> = classes
-        .iter()
-        .map(|&c| HierStrategy::enumerate_for(c))
-        .collect();
+    let candidates = strategy_combos(model, options.classes.as_deref(), &base_plan);
 
-    // Cartesian product over per-class strategy choices.
     let mut best_plan = base_plan.clone();
     let mut best = baseline.clone();
-    let mut evaluated = 0usize;
+    let evaluated = candidates.len();
     let mut oom = 0usize;
-    let total: usize = per_class.iter().map(Vec::len).product();
-    for mut idx in 0..total {
-        let mut plan = base_plan.clone();
-        for (ci, choices) in per_class.iter().enumerate() {
-            let choice = choices[idx % choices.len()];
-            idx /= choices.len();
-            plan = plan.with_strategy(classes[ci], choice);
-        }
-        evaluated += 1;
+    let mut invalid = 0usize;
+    for plan in candidates {
         match simulate(model, cluster, &plan, task.clone()) {
             Ok(r) => {
                 if r.iteration_time < best.iteration_time {
@@ -102,11 +123,18 @@ pub fn optimize(
                 }
             }
             Err(PlanError::OutOfMemory { .. }) => oom += 1,
-            Err(PlanError::InvalidStrategy { .. }) => {}
+            Err(_) => invalid += 1,
         }
     }
 
-    Ok(SearchResult { best_plan, best, baseline, evaluated, oom })
+    Ok(SearchResult {
+        best_plan,
+        best,
+        baseline,
+        evaluated,
+        oom,
+        invalid,
+    })
 }
 
 #[cfg(test)]
@@ -136,7 +164,10 @@ mod tests {
             &model,
             &sys,
             &Task::Pretraining,
-            &SearchOptions { ignore_memory_limits: true, classes: None },
+            &SearchOptions {
+                ignore_memory_limits: true,
+                classes: None,
+            },
         )
         .unwrap();
         assert!(unconstrained.best.iteration_time <= constrained.best.iteration_time);
@@ -151,7 +182,10 @@ mod tests {
             &model,
             &sys,
             &Task::Pretraining,
-            &SearchOptions { ignore_memory_limits: false, classes: Some(vec![LayerClass::Dense]) },
+            &SearchOptions {
+                ignore_memory_limits: false,
+                classes: Some(vec![LayerClass::Dense]),
+            },
         )
         .unwrap();
         // Embedding stays at the baseline sharding.

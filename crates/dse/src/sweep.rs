@@ -21,7 +21,10 @@ pub struct SweepPoint {
 impl SweepPoint {
     /// Throughput in samples/sec, `None` for infeasible points.
     pub fn throughput(&self) -> Option<f64> {
-        self.outcome.as_ref().ok().map(IterationReport::samples_per_sec)
+        self.outcome
+            .as_ref()
+            .ok()
+            .map(IterationReport::samples_per_sec)
     }
 
     /// Whether this point ran out of memory.
@@ -44,7 +47,11 @@ pub fn sweep_class(
         .map(|strategy| {
             let plan = base_plan.clone().with_strategy(class, strategy);
             let outcome = simulate(model, cluster, &plan, task.clone());
-            SweepPoint { strategy, plan, outcome }
+            SweepPoint {
+                strategy,
+                plan,
+                outcome,
+            }
         })
         .collect()
 }
@@ -95,9 +102,17 @@ mod tests {
         let model = ModelId::Gpt3.build();
         let sys = catalog::llama_llm_system();
         let base = Plan::fsdp_baseline(&model);
-        let points =
-            sweep_class(&model, &sys, &base, LayerClass::Transformer, &Task::Pretraining);
-        assert!(points.iter().any(|p| p.is_oom()), "replication across nodes must OOM");
+        let points = sweep_class(
+            &model,
+            &sys,
+            &base,
+            LayerClass::Transformer,
+            &Task::Pretraining,
+        );
+        assert!(
+            points.iter().any(|p| p.is_oom()),
+            "replication across nodes must OOM"
+        );
         assert!(points.iter().any(|p| p.throughput().is_some()));
     }
 }

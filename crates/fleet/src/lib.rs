@@ -60,8 +60,14 @@ impl HostOverhead {
     /// larger input batches over PCIe.
     pub fn default_for(family: WorkloadFamily) -> Self {
         match family {
-            WorkloadFamily::Dlrm => Self { exposed_memcpy_frac: 0.05, idle_frac: 0.10 },
-            WorkloadFamily::Llm => Self { exposed_memcpy_frac: 0.02, idle_frac: 0.07 },
+            WorkloadFamily::Dlrm => Self {
+                exposed_memcpy_frac: 0.05,
+                idle_frac: 0.10,
+            },
+            WorkloadFamily::Llm => Self {
+                exposed_memcpy_frac: 0.02,
+                idle_frac: 0.07,
+            },
         }
     }
 }
@@ -90,7 +96,9 @@ pub struct FleetJob {
 /// dominates their communication mix — the reason fleet LLM communication
 /// is AllReduce-heavy in Fig. 4c).
 pub fn small_llm(name: &str, hidden: usize, layers: usize, nodes: usize) -> (ModelArch, Plan) {
-    use madmax_model::layer::{FfnKind, LayerKind, SeqSource, TokenEmbeddingSpec, TransformerBlockSpec};
+    use madmax_model::layer::{
+        FfnKind, LayerKind, SeqSource, TokenEmbeddingSpec, TransformerBlockSpec,
+    };
     use madmax_model::{BatchUnit, LayerGroup};
     let model = ModelArch {
         name: name.to_owned(),
@@ -142,7 +150,11 @@ pub fn small_llm(name: &str, hidden: usize, layers: usize, nodes: usize) -> (Mod
 pub fn default_fleet() -> Vec<FleetJob> {
     let mut jobs = Vec::new();
 
-    for (id, weight) in [(ModelId::DlrmA, 0.30), (ModelId::DlrmB, 0.15), (ModelId::DlrmATransformer, 0.10)] {
+    for (id, weight) in [
+        (ModelId::DlrmA, 0.30),
+        (ModelId::DlrmB, 0.15),
+        (ModelId::DlrmATransformer, 0.10),
+    ] {
         let model = id.build();
         let system = catalog::zionex_dlrm_system();
         // Production DLRM mapping: sharded embeddings, TP-within-node +
@@ -179,9 +191,10 @@ pub fn default_fleet() -> Vec<FleetJob> {
     }
 
     // Small LLMs: DDP pre-training jobs on a few nodes.
-    for (name, hidden, layers, nodes, weight) in
-        [("LLM-7B (DDP)", 4096, 32, 4, 0.12), ("LLM-13B (DDP)", 5120, 40, 8, 0.08)]
-    {
+    for (name, hidden, layers, nodes, weight) in [
+        ("LLM-7B (DDP)", 4096, 32, 4, 0.12),
+        ("LLM-13B (DDP)", 5120, 40, 8, 0.08),
+    ] {
         let (model, plan) = small_llm(name, hidden, layers, nodes);
         let system = catalog::llama_llm_system().with_num_nodes(nodes);
         jobs.push(FleetJob {
@@ -312,7 +325,10 @@ mod tests {
             let covered = agg.cycles.compute + agg.cycles.exposed_comm;
             assert!(covered > 0.7, "{fam}: compute+exposed = {covered:.2}");
             let total = covered + agg.cycles.exposed_memcpy + agg.cycles.idle;
-            assert!((total - 1.0).abs() < 0.05, "{fam}: shares sum to {total:.3}");
+            assert!(
+                (total - 1.0).abs() < 0.05,
+                "{fam}: shares sum to {total:.3}"
+            );
         }
     }
 
@@ -330,13 +346,33 @@ mod tests {
             llm.comm_overlapped,
             dlrm.comm_overlapped
         );
-        let a2a_dlrm = dlrm.collective_mix.get(&CollectiveKind::AllToAll).copied().unwrap_or(0.0);
-        let a2a_llm = llm.collective_mix.get(&CollectiveKind::AllToAll).copied().unwrap_or(0.0);
+        let a2a_dlrm = dlrm
+            .collective_mix
+            .get(&CollectiveKind::AllToAll)
+            .copied()
+            .unwrap_or(0.0);
+        let a2a_llm = llm
+            .collective_mix
+            .get(&CollectiveKind::AllToAll)
+            .copied()
+            .unwrap_or(0.0);
         assert!(a2a_dlrm > 0.4, "DLRM A2A share {a2a_dlrm:.2}");
         assert!(a2a_dlrm > a2a_llm);
-        let ring_llm = llm.collective_mix.get(&CollectiveKind::AllReduce).copied().unwrap_or(0.0)
-            + llm.collective_mix.get(&CollectiveKind::AllGather).copied().unwrap_or(0.0)
-            + llm.collective_mix.get(&CollectiveKind::ReduceScatter).copied().unwrap_or(0.0);
+        let ring_llm = llm
+            .collective_mix
+            .get(&CollectiveKind::AllReduce)
+            .copied()
+            .unwrap_or(0.0)
+            + llm
+                .collective_mix
+                .get(&CollectiveKind::AllGather)
+                .copied()
+                .unwrap_or(0.0)
+            + llm
+                .collective_mix
+                .get(&CollectiveKind::ReduceScatter)
+                .copied()
+                .unwrap_or(0.0);
         assert!(ring_llm > 0.8, "LLM ring-collective share {ring_llm:.2}");
     }
 
@@ -354,6 +390,10 @@ mod tests {
             .get(&CollectiveKind::AllReduce)
             .copied()
             .unwrap_or(madmax_hw::units::Seconds::ZERO);
-        assert!(ar / report.comm_time > 0.5, "AllReduce share {}", ar / report.comm_time);
+        assert!(
+            ar / report.comm_time > 0.5,
+            "AllReduce share {}",
+            ar / report.comm_time
+        );
     }
 }

@@ -145,7 +145,14 @@ pub fn llama_llm_system() -> ClusterSpec {
 
 /// An H100 DGX cluster with `num_nodes` nodes of 8 (Fig. 17).
 pub fn h100_cluster(num_nodes: usize) -> ClusterSpec {
-    ClusterSpec::new("H100 DGX cluster", h100(), 8, num_nodes, FabricKind::NvLink, FabricKind::InfiniBand)
+    ClusterSpec::new(
+        "H100 DGX cluster",
+        h100(),
+        8,
+        num_nodes,
+        FabricKind::NvLink,
+        FabricKind::InfiniBand,
+    )
 }
 
 /// An H100 SuperPOD cluster with `num_nodes` nodes of 8 (Fig. 17). NVLink
@@ -155,7 +162,10 @@ pub fn h100_cluster(num_nodes: usize) -> ClusterSpec {
 ///
 /// Panics if the configuration exceeds the 256-GPU NVLink domain.
 pub fn h100_superpod_cluster(num_nodes: usize) -> ClusterSpec {
-    assert!(num_nodes * 8 <= 256, "SuperPOD NVLink domain is limited to 256 GPUs");
+    assert!(
+        num_nodes * 8 <= 256,
+        "SuperPOD NVLink domain is limited to 256 GPUs"
+    );
     ClusterSpec::new(
         "H100 SuperPOD",
         h100_superpod(),
@@ -169,19 +179,40 @@ pub fn h100_superpod_cluster(num_nodes: usize) -> ClusterSpec {
 /// A 128-device MI250X cluster following the CDNA2 reference scale-out
 /// design (Fig. 18).
 pub fn mi250x_cluster() -> ClusterSpec {
-    ClusterSpec::new("MI250X cluster", mi250x(), 8, 16, FabricKind::InfinityFabric, FabricKind::RoCE)
+    ClusterSpec::new(
+        "MI250X cluster",
+        mi250x(),
+        8,
+        16,
+        FabricKind::InfinityFabric,
+        FabricKind::RoCE,
+    )
 }
 
 /// A 128-device MI300X cluster following the CDNA3 reference scale-out
 /// design (Fig. 18).
 pub fn mi300x_cluster() -> ClusterSpec {
-    ClusterSpec::new("MI300X cluster", mi300x(), 8, 16, FabricKind::InfinityFabric, FabricKind::RoCE)
+    ClusterSpec::new(
+        "MI300X cluster",
+        mi300x(),
+        8,
+        16,
+        FabricKind::InfinityFabric,
+        FabricKind::RoCE,
+    )
 }
 
 /// A 128-device Gaudi2 cluster following the Intel Developer Cloud
 /// benchmarking setup (Fig. 18).
 pub fn gaudi2_cluster() -> ClusterSpec {
-    ClusterSpec::new("Gaudi2 cluster", gaudi2(), 8, 16, FabricKind::EthRdmaScaleUp, FabricKind::RoCE)
+    ClusterSpec::new(
+        "Gaudi2 cluster",
+        gaudi2(),
+        8,
+        16,
+        FabricKind::EthRdmaScaleUp,
+        FabricKind::RoCE,
+    )
 }
 
 /// Utilization factors calibrated against the paper's DLRM validation
@@ -213,17 +244,60 @@ pub struct TableIvRow {
 
 /// The six rows of Table IV.
 pub const TABLE_IV: [TableIvRow; 6] = [
-    TableIvRow { device: "A100", flops: "312, 156 TFLOPS", hbm: "40GB, 1.6TB/s", intra: "600GB/s", inter: "200Gbps" },
-    TableIvRow { device: "H100", flops: "756, 378 TFLOPS", hbm: "80GB, 2TB/s", intra: "900GB/s", inter: "400Gbps" },
-    TableIvRow { device: "H100 SuperPOD", flops: "756, 378 TFLOPS", hbm: "80GB, 2TB/s", intra: "900GB/s", inter: "1.8Tbps" },
-    TableIvRow { device: "MI250X", flops: "383, 96 TFLOPS", hbm: "128GB, 3.2TB/s", intra: "500GB/s", inter: "200Gbps" },
-    TableIvRow { device: "MI300X", flops: "1307, 654 TFLOPS", hbm: "192GB, 5.3TB/s", intra: "896GB/s", inter: "400Gbps" },
-    TableIvRow { device: "Gaudi2", flops: "400, 200 TFLOPS", hbm: "96GB, 2.5TB/s", intra: "262.5GB/s", inter: "300Gbps" },
+    TableIvRow {
+        device: "A100",
+        flops: "312, 156 TFLOPS",
+        hbm: "40GB, 1.6TB/s",
+        intra: "600GB/s",
+        inter: "200Gbps",
+    },
+    TableIvRow {
+        device: "H100",
+        flops: "756, 378 TFLOPS",
+        hbm: "80GB, 2TB/s",
+        intra: "900GB/s",
+        inter: "400Gbps",
+    },
+    TableIvRow {
+        device: "H100 SuperPOD",
+        flops: "756, 378 TFLOPS",
+        hbm: "80GB, 2TB/s",
+        intra: "900GB/s",
+        inter: "1.8Tbps",
+    },
+    TableIvRow {
+        device: "MI250X",
+        flops: "383, 96 TFLOPS",
+        hbm: "128GB, 3.2TB/s",
+        intra: "500GB/s",
+        inter: "200Gbps",
+    },
+    TableIvRow {
+        device: "MI300X",
+        flops: "1307, 654 TFLOPS",
+        hbm: "192GB, 5.3TB/s",
+        intra: "896GB/s",
+        inter: "400Gbps",
+    },
+    TableIvRow {
+        device: "Gaudi2",
+        flops: "400, 200 TFLOPS",
+        hbm: "96GB, 2.5TB/s",
+        intra: "262.5GB/s",
+        inter: "300Gbps",
+    },
 ];
 
 /// Devices of [`TABLE_IV`] as model-facing specs, in the same order.
 pub fn table_iv_devices() -> Vec<DeviceSpec> {
-    vec![a100_40gb(), h100(), h100_superpod(), mi250x(), mi300x(), gaudi2()]
+    vec![
+        a100_40gb(),
+        h100(),
+        h100_superpod(),
+        mi250x(),
+        mi300x(),
+        gaudi2(),
+    ]
 }
 
 #[cfg(test)]
@@ -295,7 +369,9 @@ mod tests {
         assert_eq!(TABLE_IV.len(), table_iv_devices().len());
         for (row, dev) in TABLE_IV.iter().zip(table_iv_devices()) {
             assert!(
-                dev.name.to_lowercase().starts_with(&row.device.split(' ').next().unwrap().to_lowercase()),
+                dev.name
+                    .to_lowercase()
+                    .starts_with(&row.device.split(' ').next().unwrap().to_lowercase()),
                 "row {row:?} vs device {}",
                 dev.name
             );

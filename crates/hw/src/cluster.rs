@@ -170,7 +170,9 @@ impl ClusterSpec {
     /// Panics if any factor is outside `(0, 1]`.
     #[must_use]
     pub fn with_utilization(mut self, utilization: Utilization) -> Self {
-        utilization.validate().expect("utilization factors in range");
+        utilization
+            .validate()
+            .expect("utilization factors in range");
         self.utilization = utilization;
         self
     }
@@ -262,7 +264,14 @@ mod tests {
             BytesPerSec::from_gb(300.0),
             BytesPerSec::from_gbps(200.0),
         );
-        ClusterSpec::new("toy-cluster", dev, 8, 16, FabricKind::NvLink, FabricKind::RoCE)
+        ClusterSpec::new(
+            "toy-cluster",
+            dev,
+            8,
+            16,
+            FabricKind::NvLink,
+            FabricKind::RoCE,
+        )
     }
 
     #[test]
@@ -297,9 +306,15 @@ mod tests {
     #[test]
     fn utilization_validation() {
         assert!(Utilization::default().validate().is_ok());
-        let bad = Utilization { compute: 1.5, ..Utilization::default() };
+        let bad = Utilization {
+            compute: 1.5,
+            ..Utilization::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = Utilization { hbm: 0.0, ..Utilization::default() };
+        let bad = Utilization {
+            hbm: 0.0,
+            ..Utilization::default()
+        };
         assert!(bad.validate().is_err());
     }
 
@@ -309,7 +324,10 @@ mod tests {
         let s = c.scaled(&DeviceScaling::inter_bw_only(10.0));
         assert_eq!(s.total_devices(), c.total_devices());
         assert!((s.link_bw(CommLevel::InterNode).as_gbps() - 2000.0).abs() < 1e-6);
-        assert_eq!(s.link_bw(CommLevel::IntraNode), c.link_bw(CommLevel::IntraNode));
+        assert_eq!(
+            s.link_bw(CommLevel::IntraNode),
+            c.link_bw(CommLevel::IntraNode)
+        );
     }
 
     #[test]

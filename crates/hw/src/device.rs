@@ -133,27 +133,42 @@ impl DeviceScaling {
 
     /// Scales only compute throughput.
     pub fn compute_only(x: f64) -> Self {
-        Self { compute: x, ..Self::IDENTITY }
+        Self {
+            compute: x,
+            ..Self::IDENTITY
+        }
     }
 
     /// Scales only memory capacity.
     pub fn mem_capacity_only(x: f64) -> Self {
-        Self { mem_capacity: x, ..Self::IDENTITY }
+        Self {
+            mem_capacity: x,
+            ..Self::IDENTITY
+        }
     }
 
     /// Scales only memory bandwidth.
     pub fn mem_bw_only(x: f64) -> Self {
-        Self { mem_bw: x, ..Self::IDENTITY }
+        Self {
+            mem_bw: x,
+            ..Self::IDENTITY
+        }
     }
 
     /// Scales only intra-node interconnect bandwidth.
     pub fn intra_bw_only(x: f64) -> Self {
-        Self { intra_bw: x, ..Self::IDENTITY }
+        Self {
+            intra_bw: x,
+            ..Self::IDENTITY
+        }
     }
 
     /// Scales only inter-node interconnect bandwidth.
     pub fn inter_bw_only(x: f64) -> Self {
-        Self { inter_bw: x, ..Self::IDENTITY }
+        Self {
+            inter_bw: x,
+            ..Self::IDENTITY
+        }
     }
 
     /// Scales every capability concurrently.

@@ -26,8 +26,12 @@ pub enum LayerClass {
 
 impl LayerClass {
     /// All classes, in canonical order.
-    pub const ALL: [LayerClass; 4] =
-        [LayerClass::Embedding, LayerClass::Dense, LayerClass::Transformer, LayerClass::Moe];
+    pub const ALL: [LayerClass; 4] = [
+        LayerClass::Embedding,
+        LayerClass::Dense,
+        LayerClass::Transformer,
+        LayerClass::Moe,
+    ];
 }
 
 impl std::fmt::Display for LayerClass {
@@ -58,7 +62,12 @@ pub struct LayerGroup {
 impl LayerGroup {
     /// Creates a group of one layer.
     pub fn single(name: impl Into<String>, class: LayerClass, kind: LayerKind) -> Self {
-        Self { name: name.into(), class, kind, repeat: 1 }
+        Self {
+            name: name.into(),
+            class,
+            kind,
+            repeat: 1,
+        }
     }
 
     /// Creates a group of `repeat` identical layers.
@@ -66,9 +75,19 @@ impl LayerGroup {
     /// # Panics
     ///
     /// Panics if `repeat` is zero.
-    pub fn repeated(name: impl Into<String>, class: LayerClass, kind: LayerKind, repeat: usize) -> Self {
+    pub fn repeated(
+        name: impl Into<String>,
+        class: LayerClass,
+        kind: LayerKind,
+        repeat: usize,
+    ) -> Self {
         assert!(repeat > 0, "layer group repeat must be positive");
-        Self { name: name.into(), class, kind, repeat }
+        Self {
+            name: name.into(),
+            class,
+            kind,
+            repeat,
+        }
     }
 
     /// Parameters across all instances.
@@ -200,7 +219,11 @@ impl ModelStats {
     /// Fraction of parameters living in embeddings (Fig. 3 / Observation 1:
     /// ~100% for DLRMs, <1% for LLMs).
     pub fn embedding_param_fraction(&self) -> f64 {
-        let emb = self.params_by_class.get(&LayerClass::Embedding).copied().unwrap_or(0.0);
+        let emb = self
+            .params_by_class
+            .get(&LayerClass::Embedding)
+            .copied()
+            .unwrap_or(0.0);
         if self.params_total == 0.0 {
             0.0
         } else {
@@ -211,7 +234,11 @@ impl ModelStats {
     /// Parameters outside embeddings ("compute" parameters).
     pub fn dense_params(&self) -> f64 {
         self.params_total
-            - self.params_by_class.get(&LayerClass::Embedding).copied().unwrap_or(0.0)
+            - self
+                .params_by_class
+                .get(&LayerClass::Embedding)
+                .copied()
+                .unwrap_or(0.0)
     }
 }
 
@@ -235,7 +262,11 @@ mod tests {
                         dtype: DType::Fp32,
                     }),
                 ),
-                LayerGroup::single("mlp", LayerClass::Dense, LayerKind::Mlp(MlpSpec::new([8, 16, 1]))),
+                LayerGroup::single(
+                    "mlp",
+                    LayerClass::Dense,
+                    LayerKind::Mlp(MlpSpec::new([8, 16, 1])),
+                ),
             ],
             context_length: 1,
             batch_unit: BatchUnit::Samples,
@@ -249,7 +280,9 @@ mod tests {
     fn stats_aggregate_classes() {
         let s = tiny_dlrm().stats();
         assert_eq!(s.params_by_class.len(), 2);
-        assert!((s.params_total - (4.0 * 1000.0 * 8.0 + (8 * 16 + 16 + 16 + 1) as f64)).abs() < 1e-9);
+        assert!(
+            (s.params_total - (4.0 * 1000.0 * 8.0 + (8 * 16 + 16 + 16 + 1) as f64)).abs() < 1e-9
+        );
         assert!(s.embedding_param_fraction() > 0.99);
         assert!(s.dense_params() > 0.0);
         assert_eq!(s.lookup_bytes_per_sample.value(), 4.0 * 2.0 * 8.0 * 4.0);
@@ -261,7 +294,10 @@ mod tests {
         m.batch_unit = BatchUnit::Tokens;
         m.context_length = 128;
         let s = m.stats();
-        assert_eq!(s.flops_fwd_per_token().value() * 128.0, s.flops_fwd_per_sample.value());
+        assert_eq!(
+            s.flops_fwd_per_token().value() * 128.0,
+            s.flops_fwd_per_sample.value()
+        );
         assert_eq!(m.tokens_per_iteration(), 1024.0 * 128.0);
     }
 

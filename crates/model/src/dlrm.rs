@@ -87,7 +87,10 @@ pub fn dlrm_a(variant: DlrmVariant) -> ModelArch {
     let interaction = LayerGroup::single(
         "feature_interaction",
         LayerClass::Dense,
-        LayerKind::Interaction(InteractionSpec { num_features: 128, dim: 256 }),
+        LayerKind::Interaction(InteractionSpec {
+            num_features: 128,
+            dim: 256,
+        }),
     );
     let top_dims = [8384, 8192, 8192, 8192, 8192, 2048, 512, 1];
 
@@ -169,7 +172,10 @@ pub fn dlrm_b(variant: DlrmVariant) -> ModelArch {
     let interaction = LayerGroup::single(
         "feature_interaction",
         LayerClass::Dense,
-        LayerKind::Interaction(InteractionSpec { num_features: 97, dim: 128 }),
+        LayerKind::Interaction(InteractionSpec {
+            num_features: 97,
+            dim: 128,
+        }),
     );
     let top_dims = [4784, 2432, 2432, 2048, 1024, 512, 1];
 
@@ -236,8 +242,16 @@ mod tests {
     #[test]
     fn dlrm_a_matches_table_ii() {
         let s = dlrm_a(DlrmVariant::Base).stats();
-        assert!(pct_err(s.params_total, 793e9) < 1.0, "params {}", s.params_total);
-        assert!(pct_err(s.flops_fwd_per_sample.value(), 638e6) < 3.0, "flops {}", s.flops_fwd_per_sample);
+        assert!(
+            pct_err(s.params_total, 793e9) < 1.0,
+            "params {}",
+            s.params_total
+        );
+        assert!(
+            pct_err(s.flops_fwd_per_sample.value(), 638e6) < 3.0,
+            "flops {}",
+            s.flops_fwd_per_sample
+        );
         assert!(pct_err(s.lookup_bytes_per_sample.value(), 22.61e6) < 1.0);
         assert_eq!(s.global_batch, 65536);
         // Insight 1: embeddings are 99.96% of DLRM-A parameters.
@@ -247,15 +261,27 @@ mod tests {
     #[test]
     fn dlrm_a_transformer_matches_table_ii() {
         let s = dlrm_a(DlrmVariant::Transformer).stats();
-        assert!(pct_err(s.params_total, 795e9) < 1.0, "params {}", s.params_total);
-        assert!(pct_err(s.flops_fwd_per_sample.value(), 2.6e9) < 4.0, "flops {}", s.flops_fwd_per_sample);
+        assert!(
+            pct_err(s.params_total, 795e9) < 1.0,
+            "params {}",
+            s.params_total
+        );
+        assert!(
+            pct_err(s.flops_fwd_per_sample.value(), 2.6e9) < 4.0,
+            "flops {}",
+            s.flops_fwd_per_sample
+        );
         assert!(pct_err(s.lookup_bytes_per_sample.value(), 13.19e6) < 1.0);
     }
 
     #[test]
     fn dlrm_a_moe_matches_table_ii() {
         let s = dlrm_a(DlrmVariant::Moe).stats();
-        assert!(pct_err(s.flops_fwd_per_sample.value(), 957e6) < 3.0, "flops {}", s.flops_fwd_per_sample);
+        assert!(
+            pct_err(s.flops_fwd_per_sample.value(), 957e6) < 3.0,
+            "flops {}",
+            s.flops_fwd_per_sample
+        );
         // MoE capacity grows faster than compute: params exceed base.
         let base = dlrm_a(DlrmVariant::Base).stats();
         assert!(s.params_total > base.params_total);
@@ -265,8 +291,16 @@ mod tests {
     #[test]
     fn dlrm_b_matches_table_ii() {
         let s = dlrm_b(DlrmVariant::Base).stats();
-        assert!(pct_err(s.params_total, 332e9) < 1.0, "params {}", s.params_total);
-        assert!(pct_err(s.flops_fwd_per_sample.value(), 60e6) < 3.0, "flops {}", s.flops_fwd_per_sample);
+        assert!(
+            pct_err(s.params_total, 332e9) < 1.0,
+            "params {}",
+            s.params_total
+        );
+        assert!(
+            pct_err(s.flops_fwd_per_sample.value(), 60e6) < 3.0,
+            "flops {}",
+            s.flops_fwd_per_sample
+        );
         // Calibrated (not published): ~12 MB of pooled lookups per sample.
         assert!(pct_err(s.lookup_bytes_per_sample.value(), 12.0e6) < 2.0);
         assert_eq!(s.global_batch, 262144);
@@ -276,19 +310,31 @@ mod tests {
     fn dlrm_b_transformer_matches_table_ii() {
         let s = dlrm_b(DlrmVariant::Transformer).stats();
         assert!(pct_err(s.params_total, 333e9) < 1.0);
-        assert!(pct_err(s.flops_fwd_per_sample.value(), 2.1e9) < 3.0, "flops {}", s.flops_fwd_per_sample);
+        assert!(
+            pct_err(s.flops_fwd_per_sample.value(), 2.1e9) < 3.0,
+            "flops {}",
+            s.flops_fwd_per_sample
+        );
         assert!(pct_err(s.lookup_bytes_per_sample.value(), 7.0e6) < 2.0);
     }
 
     #[test]
     fn dlrm_b_moe_matches_table_ii() {
         let s = dlrm_b(DlrmVariant::Moe).stats();
-        assert!(pct_err(s.flops_fwd_per_sample.value(), 90e6) < 3.5, "flops {}", s.flops_fwd_per_sample);
+        assert!(
+            pct_err(s.flops_fwd_per_sample.value(), 90e6) < 3.5,
+            "flops {}",
+            s.flops_fwd_per_sample
+        );
     }
 
     #[test]
     fn variants_share_embedding_dominance() {
-        for v in [DlrmVariant::Base, DlrmVariant::Transformer, DlrmVariant::Moe] {
+        for v in [
+            DlrmVariant::Base,
+            DlrmVariant::Transformer,
+            DlrmVariant::Moe,
+        ] {
             let s = dlrm_a(v).stats();
             assert!(s.embedding_param_fraction() > 0.99, "{v:?}");
         }

@@ -27,7 +27,10 @@ impl MlpSpec {
     /// Panics if fewer than two widths are given or any width is zero.
     pub fn new(dims: impl Into<Vec<usize>>) -> Self {
         let dims = dims.into();
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         assert!(dims.iter().all(|&d| d > 0), "zero-width MLP layer");
         Self { dims }
     }
@@ -42,7 +45,10 @@ impl MlpSpec {
 
     /// Forward FLOPs for one sample: 2 multiply-accumulates per weight.
     pub fn flops_fwd_per_sample(&self) -> f64 {
-        self.dims.windows(2).map(|w| 2.0 * (w[0] * w[1]) as f64).sum()
+        self.dims
+            .windows(2)
+            .map(|w| 2.0 * (w[0] * w[1]) as f64)
+            .sum()
     }
 
     /// Bytes of intermediate activations retained per sample for backward.
@@ -260,8 +266,15 @@ impl MoeSpec {
     ///
     /// Panics if `active_experts` is zero or exceeds `num_experts`.
     pub fn new(num_experts: usize, active_experts: usize, expert: MlpSpec) -> Self {
-        assert!(active_experts > 0 && active_experts <= num_experts, "invalid expert activation");
-        Self { num_experts, active_experts, expert }
+        assert!(
+            active_experts > 0 && active_experts <= num_experts,
+            "invalid expert activation"
+        );
+        Self {
+            num_experts,
+            active_experts,
+            expert,
+        }
     }
 
     /// Total parameters across all experts.
@@ -349,7 +362,10 @@ impl LayerKind {
     /// Whether this layer is served by embedding lookups rather than
     /// matrix compute.
     pub fn is_memory_bound(&self) -> bool {
-        matches!(self, LayerKind::EmbeddingBag(_) | LayerKind::TokenEmbedding(_))
+        matches!(
+            self,
+            LayerKind::EmbeddingBag(_) | LayerKind::TokenEmbedding(_)
+        )
     }
 
     /// Activation bytes retained per sample for the backward pass.
@@ -394,15 +410,18 @@ impl LayerKind {
     /// in one direction (forward activations; the backward gradient volume
     /// is symmetric). This is the volume that grows with context length and
     /// drives Insight 3/6.
-    pub fn tp_comm_bytes_per_sample(&self, tokens_per_sample: usize, act_dtype: DType) -> ByteCount {
+    pub fn tp_comm_bytes_per_sample(
+        &self,
+        tokens_per_sample: usize,
+        act_dtype: DType,
+    ) -> ByteCount {
         let bytes = f64::from(act_dtype.size_bytes());
         // Megatron-style TP pairs a column-split with a row-split layer and
         // all-reduces once per pair, so MLP stacks reduce roughly half of
         // their intermediate activations; transformer blocks reduce twice
         // per block (attention out + FFN out).
-        let mlp_volume = |m: &MlpSpec| -> f64 {
-            m.dims[1..].iter().sum::<usize>() as f64 * bytes / 2.0
-        };
+        let mlp_volume =
+            |m: &MlpSpec| -> f64 { m.dims[1..].iter().sum::<usize>() as f64 * bytes / 2.0 };
         let b = match self {
             LayerKind::Mlp(m) => mlp_volume(m),
             LayerKind::EmbeddingBag(_) | LayerKind::TokenEmbedding(_) => 0.0,
@@ -481,7 +500,11 @@ mod tests {
     #[test]
     fn token_embedding_matches_gpt3_lookup_bytes() {
         // GPT-3: 12288-dim fp32 embedding = 49.2 KB per token.
-        let t = TokenEmbeddingSpec { vocab: 50257, dim: 12288, dtype: DType::Fp32 };
+        let t = TokenEmbeddingSpec {
+            vocab: 50257,
+            dim: 12288,
+            dtype: DType::Fp32,
+        };
         assert!((t.lookup_bytes_per_token() / 1e3 - 49.152).abs() < 1e-9);
     }
 
@@ -515,8 +538,14 @@ mod tests {
         };
         assert!(b.flops_fwd_per_token(8192) > b.flops_fwd_per_token(2048));
         // Fixed-seq blocks ignore model context.
-        let fixed = TransformerBlockSpec { seq: SeqSource::Fixed(80), ..b };
-        assert_eq!(fixed.flops_fwd_per_token(2048), fixed.flops_fwd_per_token(8192));
+        let fixed = TransformerBlockSpec {
+            seq: SeqSource::Fixed(80),
+            ..b
+        };
+        assert_eq!(
+            fixed.flops_fwd_per_token(2048),
+            fixed.flops_fwd_per_token(8192)
+        );
         assert_eq!(fixed.seq_len(4096), 80);
     }
 
@@ -530,7 +559,10 @@ mod tests {
             ffn: FfnKind::SwiGlu,
             seq: SeqSource::ModelContext,
         };
-        let gqa = TransformerBlockSpec { kv_dim: 1024, ..mha.clone() };
+        let gqa = TransformerBlockSpec {
+            kv_dim: 1024,
+            ..mha.clone()
+        };
         assert!(gqa.params() < mha.params());
     }
 
@@ -569,7 +601,10 @@ mod tests {
 
     #[test]
     fn interaction_output_dim() {
-        let i = InteractionSpec { num_features: 128, dim: 256 };
+        let i = InteractionSpec {
+            num_features: 128,
+            dim: 256,
+        };
         assert_eq!(i.out_dim(), 128 * 127 / 2 + 256);
         assert_eq!(i.flops_fwd_per_sample(), 2.0 * 128.0 * 128.0 * 256.0);
     }

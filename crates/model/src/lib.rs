@@ -72,8 +72,12 @@ mod zoo_serde_tests {
         use madmax_hw::DType;
         let m = ModelId::Gpt3.build();
         for g in &m.groups {
-            let full = g.kind.activation_bytes_per_sample(m.context_length, DType::Bf16, false);
-            let ckpt = g.kind.activation_bytes_per_sample(m.context_length, DType::Bf16, true);
+            let full = g
+                .kind
+                .activation_bytes_per_sample(m.context_length, DType::Bf16, false);
+            let ckpt = g
+                .kind
+                .activation_bytes_per_sample(m.context_length, DType::Bf16, true);
             assert!(ckpt <= full, "{}", g.name);
             if matches!(g.kind, crate::layer::LayerKind::TransformerBlock(_)) {
                 assert!(full.value() / ckpt.value() >= 4.0, "{}", g.name);

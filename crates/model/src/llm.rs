@@ -12,7 +12,11 @@ fn token_embedding(vocab: usize, dim: usize) -> LayerGroup {
     LayerGroup::single(
         "word_embedding",
         LayerClass::Embedding,
-        LayerKind::TokenEmbedding(TokenEmbeddingSpec { vocab, dim, dtype: DType::Fp32 }),
+        LayerKind::TokenEmbedding(TokenEmbeddingSpec {
+            vocab,
+            dim,
+            dtype: DType::Fp32,
+        }),
     )
 }
 
@@ -62,19 +66,52 @@ fn llm_arch(
 /// GPT-3 175B [Brown et al. 2020]: 96 layers, hidden 12288, 2K context,
 /// 350 GFLOPs/token, ~4M-token global batches.
 pub fn gpt3_175b() -> ModelArch {
-    llm_arch("GPT-3 175B", 50_257, 12_288, 96, 12_288, 4 * 12_288, FfnKind::Gelu, 96, 2048, 2048)
+    llm_arch(
+        "GPT-3 175B",
+        50_257,
+        12_288,
+        96,
+        12_288,
+        4 * 12_288,
+        FfnKind::Gelu,
+        96,
+        2048,
+        2048,
+    )
 }
 
 /// LLaMA-65B [Touvron et al. 2023]: 80 layers, hidden 8192, SwiGLU FFN of
 /// 22016, 2K context, 4M-token batches.
 pub fn llama_65b() -> ModelArch {
-    llm_arch("LLaMA-65B", 32_000, 8192, 64, 8192, 22_016, FfnKind::SwiGlu, 80, 2048, 2048)
+    llm_arch(
+        "LLaMA-65B",
+        32_000,
+        8192,
+        64,
+        8192,
+        22_016,
+        FfnKind::SwiGlu,
+        80,
+        2048,
+        2048,
+    )
 }
 
 /// LLaMA-2 70B [Touvron et al. 2023]: grouped-query attention (8 KV heads),
 /// FFN 28672, 4K context, 4M-token batches.
 pub fn llama2_70b() -> ModelArch {
-    llm_arch("LLaMA2-70B", 32_000, 8192, 64, 1024, 28_672, FfnKind::SwiGlu, 80, 4096, 1024)
+    llm_arch(
+        "LLaMA2-70B",
+        32_000,
+        8192,
+        64,
+        1024,
+        28_672,
+        FfnKind::SwiGlu,
+        80,
+        4096,
+        1024,
+    )
 }
 
 /// The hypothetical 1.8T-parameter LLM-MoE of Table II: GPT-3-scale
@@ -98,7 +135,12 @@ pub fn llm_moe_1_8t() -> ModelArch {
         name: "LLM-MoE 1.8T".to_owned(),
         groups: vec![
             token_embedding(50_257, hidden),
-            LayerGroup::repeated("attention_blocks", LayerClass::Transformer, attn_block, layers),
+            LayerGroup::repeated(
+                "attention_blocks",
+                LayerClass::Transformer,
+                attn_block,
+                layers,
+            ),
             LayerGroup::repeated(
                 "moe_ffn",
                 LayerClass::Moe,
@@ -125,8 +167,16 @@ mod tests {
     #[test]
     fn gpt3_matches_table_ii() {
         let s = gpt3_175b().stats();
-        assert!(pct_err(s.params_total, 175e9) < 1.0, "params {}", s.params_total);
-        assert!(pct_err(s.flops_fwd_per_token().value(), 350e9) < 3.0, "flops/token {}", s.flops_fwd_per_token());
+        assert!(
+            pct_err(s.params_total, 175e9) < 1.0,
+            "params {}",
+            s.params_total
+        );
+        assert!(
+            pct_err(s.flops_fwd_per_token().value(), 350e9) < 3.0,
+            "flops/token {}",
+            s.flops_fwd_per_token()
+        );
         // 12288-dim fp32 word embedding -> 49.2 KB lookup per token.
         assert!(pct_err(s.lookup_bytes_per_token().value(), 49.2e3) < 0.5);
         // Insight 2: word embeddings are ~0.37% of GPT-3 parameters (<2 GB).
@@ -140,7 +190,11 @@ mod tests {
     #[test]
     fn llama_65b_matches_table_ii() {
         let s = llama_65b().stats();
-        assert!(pct_err(s.params_total, 65.2e9) < 1.0, "params {}", s.params_total);
+        assert!(
+            pct_err(s.params_total, 65.2e9) < 1.0,
+            "params {}",
+            s.params_total
+        );
         // Paper reports 2*P = 130.4 GF/token; our count adds the attention
         // score term (+~3%), kept deliberately for context-length studies.
         assert!(pct_err(s.flops_fwd_per_token().value(), 130.4e9) < 5.0);
@@ -150,7 +204,11 @@ mod tests {
     #[test]
     fn llama2_70b_matches_table_ii() {
         let s = llama2_70b().stats();
-        assert!(pct_err(s.params_total, 70e9) < 3.0, "params {}", s.params_total);
+        assert!(
+            pct_err(s.params_total, 70e9) < 3.0,
+            "params {}",
+            s.params_total
+        );
         assert!(pct_err(s.flops_fwd_per_token().value(), 140e9) < 6.0);
         assert_eq!(s.context_length, 4096);
         // Same 4M-token budget as LLaMA-1 at twice the context.
@@ -160,8 +218,16 @@ mod tests {
     #[test]
     fn llm_moe_matches_table_ii() {
         let s = llm_moe_1_8t().stats();
-        assert!(pct_err(s.params_total, 1.8e12) < 2.0, "params {}", s.params_total);
-        assert!(pct_err(s.flops_fwd_per_token().value(), 550e9) < 6.0, "flops/token {}", s.flops_fwd_per_token());
+        assert!(
+            pct_err(s.params_total, 1.8e12) < 2.0,
+            "params {}",
+            s.params_total
+        );
+        assert!(
+            pct_err(s.flops_fwd_per_token().value(), 550e9) < 6.0,
+            "flops/token {}",
+            s.flops_fwd_per_token()
+        );
         assert_eq!(s.context_length, 8192);
         // FLOPs per token grow slower than capacity: 1.8T params but only
         // ~550 GF/token vs GPT-3's 175B params at 350 GF/token.
@@ -176,6 +242,9 @@ mod tests {
         let base = llama2_70b();
         let doubled = base.with_context_length(8192);
         assert_eq!(doubled.stats().params_total, base.stats().params_total);
-        assert!(doubled.stats().flops_fwd_per_token().value() > base.stats().flops_fwd_per_token().value());
+        assert!(
+            doubled.stats().flops_fwd_per_token().value()
+                > base.stats().flops_fwd_per_token().value()
+        );
     }
 }

@@ -24,11 +24,41 @@ pub struct VitConfig {
 
 /// The scaling ladder from ViT-L (~300M) to ViT-120B.
 pub const VIT_FAMILY: [VitConfig; 5] = [
-    VitConfig { name: "ViT-L", hidden: 1024, layers: 24, heads: 16, ffn_hidden: 4096 },
-    VitConfig { name: "ViT-H", hidden: 1280, layers: 32, heads: 16, ffn_hidden: 5120 },
-    VitConfig { name: "ViT-G", hidden: 1664, layers: 48, heads: 16, ffn_hidden: 8192 },
-    VitConfig { name: "ViT-22B", hidden: 6144, layers: 48, heads: 48, ffn_hidden: 24_576 },
-    VitConfig { name: "ViT-120B", hidden: 10_240, layers: 96, heads: 80, ffn_hidden: 40_960 },
+    VitConfig {
+        name: "ViT-L",
+        hidden: 1024,
+        layers: 24,
+        heads: 16,
+        ffn_hidden: 4096,
+    },
+    VitConfig {
+        name: "ViT-H",
+        hidden: 1280,
+        layers: 32,
+        heads: 16,
+        ffn_hidden: 5120,
+    },
+    VitConfig {
+        name: "ViT-G",
+        hidden: 1664,
+        layers: 48,
+        heads: 16,
+        ffn_hidden: 8192,
+    },
+    VitConfig {
+        name: "ViT-22B",
+        hidden: 6144,
+        layers: 48,
+        heads: 48,
+        ffn_hidden: 24_576,
+    },
+    VitConfig {
+        name: "ViT-120B",
+        hidden: 10_240,
+        layers: 96,
+        heads: 80,
+        ffn_hidden: 40_960,
+    },
 ];
 
 /// Patch tokens per image: 224x224 input, 16x16 patches, plus `[CLS]`.
@@ -84,16 +114,31 @@ mod tests {
 
     #[test]
     fn family_spans_published_sizes() {
-        assert!((params_of("ViT-L") / 300e6 - 1.0).abs() < 0.05, "{}", params_of("ViT-L"));
-        assert!((params_of("ViT-H") / 632e6 - 1.0).abs() < 0.05, "{}", params_of("ViT-H"));
-        assert!((params_of("ViT-G") / 1.85e9 - 1.0).abs() < 0.05, "{}", params_of("ViT-G"));
+        assert!(
+            (params_of("ViT-L") / 300e6 - 1.0).abs() < 0.05,
+            "{}",
+            params_of("ViT-L")
+        );
+        assert!(
+            (params_of("ViT-H") / 632e6 - 1.0).abs() < 0.05,
+            "{}",
+            params_of("ViT-H")
+        );
+        assert!(
+            (params_of("ViT-G") / 1.85e9 - 1.0).abs() < 0.05,
+            "{}",
+            params_of("ViT-G")
+        );
         assert!((params_of("ViT-22B") / 21.7e9 - 1.0).abs() < 0.05);
         assert!((params_of("ViT-120B") / 120e9 - 1.0).abs() < 0.05);
     }
 
     #[test]
     fn monotone_scaling() {
-        let sizes: Vec<f64> = VIT_FAMILY.iter().map(|c| vit(c, 2048).stats().params_total).collect();
+        let sizes: Vec<f64> = VIT_FAMILY
+            .iter()
+            .map(|c| vit(c, 2048).stats().params_total)
+            .collect();
         assert!(sizes.windows(2).all(|w| w[0] < w[1]));
     }
 

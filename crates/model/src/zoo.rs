@@ -150,6 +150,8 @@ mod tests {
         let gpt3 = ModelId::Gpt3.build().stats();
         let dlrm = ModelId::DlrmA.build().stats();
         assert!(gpt3.flops_fwd_per_token().value() > 100.0 * dlrm.flops_fwd_per_sample.value());
-        assert!(dlrm.lookup_bytes_per_sample.value() > 20.0 * gpt3.lookup_bytes_per_token().value());
+        assert!(
+            dlrm.lookup_bytes_per_sample.value() > 20.0 * gpt3.lookup_bytes_per_token().value()
+        );
     }
 }

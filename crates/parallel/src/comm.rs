@@ -23,6 +23,9 @@ pub enum CollectiveKind {
     ReduceScatter,
     /// Point-to-point exchange (sharded-embedding lookups, MoE dispatch).
     AllToAll,
+    /// Direct send/recv between two peers (pipeline-stage activation and
+    /// gradient transfers).
+    PointToPoint,
 }
 
 impl std::fmt::Display for CollectiveKind {
@@ -32,6 +35,7 @@ impl std::fmt::Display for CollectiveKind {
             CollectiveKind::AllGather => "AllGather",
             CollectiveKind::ReduceScatter => "ReduceScatter",
             CollectiveKind::AllToAll => "All2All",
+            CollectiveKind::PointToPoint => "P2P",
         })
     }
 }
@@ -288,9 +292,10 @@ pub fn derive_layer_comm(
                 LayerClass::Moe => {
                     let payload =
                         group.kind.moe_dispatch_bytes_per_sample(tokens, act_dtype) * local_batch;
-                    for (dir, position) in
-                        [("dispatch", CommPosition::BeforeCompute), ("combine", CommPosition::AfterCompute)]
-                    {
+                    for (dir, position) in [
+                        ("dispatch", CommPosition::BeforeCompute),
+                        ("combine", CommPosition::AfterCompute),
+                    ] {
                         out.forward.push(CommReq {
                             collective: CollectiveKind::AllToAll,
                             scope,
@@ -352,7 +357,10 @@ mod tests {
         assert_eq!(c.forward[0].urgency, Urgency::Blocking);
         assert_eq!(c.forward[0].scope, CommScope::Global);
         // 512 samples x 700 tables x 128 dim x 4B = ~183 MB per device.
-        assert!((c.forward[0].payload.as_mib() - 512.0 * 700.0 * 128.0 * 4.0 / 1024.0 / 1024.0).abs() < 1.0);
+        assert!(
+            (c.forward[0].payload.as_mib() - 512.0 * 700.0 * 128.0 * 4.0 / 1024.0 / 1024.0).abs()
+                < 1.0
+        );
         // Backward gradient A2A is deferred (overlappable).
         assert_eq!(c.grad.len(), 1);
         assert_eq!(c.grad[0].urgency, Urgency::Deferred);
@@ -416,8 +424,10 @@ mod tests {
         // the 1/8-sharded parameters (Insight 3).
         use madmax_hw::CommLevel;
         let (model, sys) = dlrm_setup();
-        let plan = Plan::fsdp_baseline(&model)
-            .with_strategy(LayerClass::Dense, HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
+        let plan = Plan::fsdp_baseline(&model).with_strategy(
+            LayerClass::Dense,
+            HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
+        );
         let top = find_group(&model, "top_mlp");
         let c = derive_layer_comm(top, &plan, &model, &sys, &Task::Pretraining, 512.0);
         let fwd = &c.forward[0];
@@ -439,7 +449,10 @@ mod tests {
         let moe = find_group(&model, "moe_top_mlps");
         let c = derive_layer_comm(moe, &plan, &model, &sys, &Task::Pretraining, 512.0);
         assert_eq!(c.forward.len(), 2, "dispatch + combine");
-        assert!(c.forward.iter().all(|r| r.collective == CollectiveKind::AllToAll));
+        assert!(c
+            .forward
+            .iter()
+            .all(|r| r.collective == CollectiveKind::AllToAll));
         assert!(c.forward.iter().all(|r| r.urgency == Urgency::Blocking));
         assert_eq!(c.backward.len(), 2, "backward re-exchange is blocking too");
     }

@@ -38,6 +38,8 @@ pub mod task;
 
 pub use comm::{derive_layer_comm, CollectiveKind, CommPosition, CommReq, LayerCommPlan, Urgency};
 pub use memory::{check_memory, memory_per_device, MemoryBreakdown};
-pub use plan::{MemoryConfig, OptimizerKind, Plan, PlanError, PlanOptions};
+pub use plan::{
+    MemoryConfig, OptimizerKind, PipelineConfig, PipelineSchedule, Plan, PlanError, PlanOptions,
+};
 pub use strategy::{CommScope, HierStrategy, Strategy, StrategyLevel};
 pub use task::Task;

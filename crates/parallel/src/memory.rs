@@ -67,10 +67,9 @@ pub fn memory_per_device(
                 out.grads += p_group / shard;
             }
             let opt = plan.options.optimizer_for(group.class);
-            out.optimizer +=
-                ByteCount::new(opt.state_bytes(group.kind.params(), &group.kind))
-                    * group.repeat as f64
-                    / shard;
+            out.optimizer += ByteCount::new(opt.state_bytes(group.kind.params(), &group.kind))
+                * group.repeat as f64
+                / shard;
         }
 
         // Activations: retained through backward for trainable layers;
@@ -129,7 +128,10 @@ pub fn check_memory(
     }
     let usable = plan.options.memory.usable(cluster.device.hbm_capacity);
     if breakdown.total() > usable {
-        return Err(PlanError::OutOfMemory { required: breakdown.total(), usable });
+        return Err(PlanError::OutOfMemory {
+            required: breakdown.total(),
+            usable,
+        });
     }
     Ok(breakdown)
 }
@@ -159,11 +161,14 @@ mod tests {
 
     #[test]
     fn fig11_tp_ddp_dense_fits() {
-        let (model, sys, plan) =
-            dlrm_plan(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
+        let (model, sys, plan) = dlrm_plan(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
         let b = check_memory(&model, &sys, &plan, &Task::Pretraining).unwrap();
         // Embedding shard dominates: ~24.8 GB of the footprint.
-        assert!(b.params.as_gb() > 24.0 && b.params.as_gb() < 27.0, "{:?}", b);
+        assert!(
+            b.params.as_gb() > 24.0 && b.params.as_gb() < 27.0,
+            "{:?}",
+            b
+        );
     }
 
     #[test]
@@ -208,7 +213,13 @@ mod tests {
         let (model, sys, plan) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
         assert!(check_memory(&model, &sys, &plan, &Task::Pretraining).is_err());
         assert!(check_memory(&model, &sys, &plan, &Task::Inference).is_ok());
-        assert!(check_memory(&model, &sys, &plan, &Task::finetune_only(LayerClass::Embedding)).is_ok());
+        assert!(check_memory(
+            &model,
+            &sys,
+            &plan,
+            &Task::finetune_only(LayerClass::Embedding)
+        )
+        .is_ok());
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub struct MemoryConfig {
 
 impl Default for MemoryConfig {
     fn default() -> Self {
-        Self { overhead: ByteCount::from_gb(2.0), reserve_frac: 0.80 }
+        Self {
+            overhead: ByteCount::from_gb(2.0),
+            reserve_frac: 0.80,
+        }
     }
 }
 
@@ -117,12 +120,96 @@ impl PlanOptions {
     }
 }
 
+/// The order microbatches flow through pipeline stages (Section II-B's
+/// pipeline-parallelism axis; modeled after GPipe and PipeDream-Flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PipelineSchedule {
+    /// Fill-drain: all microbatch forwards, then all backwards. Retains
+    /// activations for every in-flight microbatch.
+    GPipe,
+    /// One-forward-one-backward (PipeDream-Flush): after a warm-up of at
+    /// most `p` forwards, each stage alternates backward/forward, bounding
+    /// retained activations by the pipeline depth.
+    OneFOneB,
+}
+
+impl std::fmt::Display for PipelineSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PipelineSchedule::GPipe => "GPipe",
+            PipelineSchedule::OneFOneB => "1F1B",
+        })
+    }
+}
+
+/// The pipeline dimension of a plan: how many stages the model is split
+/// into, how many microbatches the global batch is split into, and the
+/// schedule that interleaves them.
+///
+/// `stages = 1` (or an absent config) means no pipeline parallelism; the
+/// existing per-layer-class strategies then span the whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Pipeline depth: number of contiguous layer groups (stages).
+    pub stages: usize,
+    /// Microbatches per iteration (the global batch is split evenly).
+    pub microbatches: usize,
+    /// Microbatch interleaving schedule.
+    pub schedule: PipelineSchedule,
+}
+
+impl PipelineConfig {
+    /// A GPipe pipeline of `stages` stages and `microbatches` microbatches.
+    pub fn gpipe(stages: usize, microbatches: usize) -> Self {
+        Self {
+            stages,
+            microbatches,
+            schedule: PipelineSchedule::GPipe,
+        }
+    }
+
+    /// A 1F1B pipeline of `stages` stages and `microbatches` microbatches.
+    pub fn one_f_one_b(stages: usize, microbatches: usize) -> Self {
+        Self {
+            stages,
+            microbatches,
+            schedule: PipelineSchedule::OneFOneB,
+        }
+    }
+
+    /// Whether this config actually pipelines (more than one stage).
+    pub fn is_pipelined(&self) -> bool {
+        self.stages > 1
+    }
+
+    /// The analytic pipeline-bubble fraction for uniform stages:
+    /// `(p - 1) / (m + p - 1)`.
+    pub fn ideal_bubble_fraction(&self) -> f64 {
+        let p = self.stages as f64;
+        let m = self.microbatches as f64;
+        (p - 1.0) / (m + p - 1.0)
+    }
+}
+
+impl std::fmt::Display for PipelineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pp={} mb={} {}",
+            self.stages, self.microbatches, self.schedule
+        )
+    }
+}
+
 /// A complete workload-to-system mapping: one [`HierStrategy`] per layer
-/// class present in the model.
+/// class present in the model, plus an optional pipeline dimension.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Plan {
-    /// Per-layer-class strategies.
+    /// Per-layer-class strategies (within a pipeline stage's device group
+    /// when a pipeline is configured).
     pub assignments: BTreeMap<LayerClass, HierStrategy>,
+    /// Pipeline-parallel dimension (`None` = no pipelining).
+    pub pipeline: Option<PipelineConfig>,
     /// Execution options.
     pub options: PlanOptions,
 }
@@ -144,6 +231,18 @@ pub enum PlanError {
         /// Usable bytes per device.
         usable: ByteCount,
     },
+    /// The plan configures pipeline parallelism, which the flat SPMD
+    /// simulator cannot execute; use `madmax-pipeline`'s simulator.
+    PipelinedPlan {
+        /// Configured pipeline depth.
+        stages: usize,
+    },
+    /// The pipeline configuration cannot be mapped onto the model/system
+    /// (too few layers, indivisible device count, zero microbatches, ...).
+    InvalidPipeline {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -158,6 +257,14 @@ impl std::fmt::Display for PlanError {
                 required.as_gb(),
                 usable.as_gb()
             ),
+            PlanError::PipelinedPlan { stages } => write!(
+                f,
+                "plan configures {stages} pipeline stages; pipelined plans must be \
+                 simulated with madmax-pipeline"
+            ),
+            PlanError::InvalidPipeline { reason } => {
+                write!(f, "invalid pipeline configuration: {reason}")
+            }
         }
     }
 }
@@ -193,7 +300,11 @@ impl Plan {
                 || model.batch_unit == madmax_model::BatchUnit::Tokens,
             ..PlanOptions::default()
         };
-        Self { assignments, options }
+        Self {
+            assignments,
+            pipeline: None,
+            options,
+        }
     }
 
     /// Replaces the strategy for one layer class (builder-style).
@@ -201,6 +312,23 @@ impl Plan {
     pub fn with_strategy(mut self, class: LayerClass, strategy: HierStrategy) -> Self {
         self.assignments.insert(class, strategy);
         self
+    }
+
+    /// Sets the pipeline dimension (builder-style). `stages = 1` configs are
+    /// normalized to `None`.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = if pipeline.is_pipelined() {
+            Some(pipeline)
+        } else {
+            None
+        };
+        self
+    }
+
+    /// The effective pipeline depth (1 when no pipeline is configured).
+    pub fn pipeline_stages(&self) -> usize {
+        self.pipeline.map_or(1, |p| p.stages)
     }
 
     /// Replaces the options (builder-style).
@@ -229,19 +357,28 @@ impl Plan {
         for group in &model.groups {
             let strategy = self.strategy_for(group.class);
             if !strategy.allowed_for(group.class) {
-                return Err(PlanError::InvalidStrategy { class: group.class, strategy });
+                return Err(PlanError::InvalidStrategy {
+                    class: group.class,
+                    strategy,
+                });
             }
         }
         Ok(())
     }
 
-    /// Compact display, e.g. `dense=(TP, DDP) embedding=(MP)`.
+    /// Compact display, e.g. `dense=(TP, DDP) embedding=(MP)` or
+    /// `transformer=(FSDP) [pp=8 mb=32 1F1B]`.
     pub fn summary(&self) -> String {
-        self.assignments
+        let classes = self
+            .assignments
             .iter()
             .map(|(c, s)| format!("{c}={s}"))
             .collect::<Vec<_>>()
-            .join(" ")
+            .join(" ");
+        match &self.pipeline {
+            Some(pp) => format!("{classes} [{pp}]"),
+            None => classes,
+        }
     }
 }
 
@@ -254,8 +391,14 @@ mod tests {
     fn baseline_shards_dlrm_embeddings() {
         let m = ModelId::DlrmA.build();
         let p = Plan::fsdp_baseline(&m);
-        assert_eq!(p.strategy_for(LayerClass::Embedding), HierStrategy::flat(Strategy::Shard));
-        assert_eq!(p.strategy_for(LayerClass::Dense), HierStrategy::flat(Strategy::Fsdp));
+        assert_eq!(
+            p.strategy_for(LayerClass::Embedding),
+            HierStrategy::flat(Strategy::Shard)
+        );
+        assert_eq!(
+            p.strategy_for(LayerClass::Dense),
+            HierStrategy::flat(Strategy::Fsdp)
+        );
         assert!(!p.options.activation_checkpointing);
         assert!(p.validate_strategies(&m).is_ok());
     }
@@ -264,8 +407,14 @@ mod tests {
     fn baseline_fsdp_for_llm() {
         let m = ModelId::Gpt3.build();
         let p = Plan::fsdp_baseline(&m);
-        assert_eq!(p.strategy_for(LayerClass::Embedding), HierStrategy::flat(Strategy::Fsdp));
-        assert_eq!(p.strategy_for(LayerClass::Transformer), HierStrategy::flat(Strategy::Fsdp));
+        assert_eq!(
+            p.strategy_for(LayerClass::Embedding),
+            HierStrategy::flat(Strategy::Fsdp)
+        );
+        assert_eq!(
+            p.strategy_for(LayerClass::Transformer),
+            HierStrategy::flat(Strategy::Fsdp)
+        );
         assert!(p.options.activation_checkpointing);
     }
 
@@ -275,15 +424,27 @@ mod tests {
         let p = Plan::fsdp_baseline(&m)
             .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Shard));
         let err = p.validate_strategies(&m).unwrap_err();
-        assert!(matches!(err, PlanError::InvalidStrategy { class: LayerClass::Dense, .. }));
+        assert!(matches!(
+            err,
+            PlanError::InvalidStrategy {
+                class: LayerClass::Dense,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("not applicable"));
     }
 
     #[test]
     fn optimizer_routing() {
         let o = PlanOptions::default();
-        assert_eq!(o.optimizer_for(LayerClass::Embedding), OptimizerKind::RowWiseAdagrad);
-        assert_eq!(o.optimizer_for(LayerClass::Dense), OptimizerKind::AdamMixedPrecision);
+        assert_eq!(
+            o.optimizer_for(LayerClass::Embedding),
+            OptimizerKind::RowWiseAdagrad
+        );
+        assert_eq!(
+            o.optimizer_for(LayerClass::Dense),
+            OptimizerKind::AdamMixedPrecision
+        );
     }
 
     #[test]
@@ -299,9 +460,18 @@ mod tests {
         });
         let params = emb.params();
         // Row-wise: 4 bytes per row = params/dim rows.
-        assert_eq!(OptimizerKind::RowWiseAdagrad.state_bytes(params, &emb), 4.0 * 1000.0);
-        assert_eq!(OptimizerKind::AdamMixedPrecision.state_bytes(params, &emb), 12.0 * params);
-        assert_eq!(OptimizerKind::SgdMomentum.state_bytes(params, &emb), 4.0 * params);
+        assert_eq!(
+            OptimizerKind::RowWiseAdagrad.state_bytes(params, &emb),
+            4.0 * 1000.0
+        );
+        assert_eq!(
+            OptimizerKind::AdamMixedPrecision.state_bytes(params, &emb),
+            12.0 * params
+        );
+        assert_eq!(
+            OptimizerKind::SgdMomentum.state_bytes(params, &emb),
+            4.0 * params
+        );
     }
 
     #[test]

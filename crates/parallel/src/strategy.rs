@@ -129,7 +129,11 @@ impl HierStrategy {
                 if p <= 1 {
                     vec![]
                 } else {
-                    vec![StrategyLevel { strategy, group_size: p, scope: CommScope::Global }]
+                    vec![StrategyLevel {
+                        strategy,
+                        group_size: p,
+                        scope: CommScope::Global,
+                    }]
                 }
             }
             HierStrategy::TwoLevel { intra, inter } => {
@@ -247,7 +251,10 @@ mod tests {
     #[test]
     fn ddp_never_shards() {
         let sys = catalog::zionex_dlrm_system();
-        assert_eq!(HierStrategy::flat(Strategy::Ddp).param_shard_factor(&sys), 1.0);
+        assert_eq!(
+            HierStrategy::flat(Strategy::Ddp).param_shard_factor(&sys),
+            1.0
+        );
         assert_eq!(
             HierStrategy::two_level(Strategy::Ddp, Strategy::Ddp).param_shard_factor(&sys),
             1.0
@@ -257,9 +264,18 @@ mod tests {
     #[test]
     fn compute_factor_counts_tp_only() {
         let sys = catalog::zionex_dlrm_system();
-        assert_eq!(HierStrategy::flat(Strategy::Tp).compute_shard_factor(&sys), 128.0);
-        assert_eq!(HierStrategy::flat(Strategy::Fsdp).compute_shard_factor(&sys), 1.0);
-        assert_eq!(HierStrategy::flat(Strategy::Shard).compute_shard_factor(&sys), 1.0);
+        assert_eq!(
+            HierStrategy::flat(Strategy::Tp).compute_shard_factor(&sys),
+            128.0
+        );
+        assert_eq!(
+            HierStrategy::flat(Strategy::Fsdp).compute_shard_factor(&sys),
+            1.0
+        );
+        assert_eq!(
+            HierStrategy::flat(Strategy::Shard).compute_shard_factor(&sys),
+            1.0
+        );
         assert_eq!(
             HierStrategy::two_level(Strategy::Tp, Strategy::Fsdp).compute_shard_factor(&sys),
             8.0
@@ -274,7 +290,9 @@ mod tests {
         assert!(!Strategy::Tp.allowed_for(LayerClass::Embedding));
         assert!(Strategy::Tp.allowed_for(LayerClass::Transformer));
         assert!(HierStrategy::two_level(Strategy::Tp, Strategy::Shard).allowed_for(LayerClass::Moe));
-        assert!(!HierStrategy::two_level(Strategy::Tp, Strategy::Shard).allowed_for(LayerClass::Dense));
+        assert!(
+            !HierStrategy::two_level(Strategy::Tp, Strategy::Shard).allowed_for(LayerClass::Dense)
+        );
     }
 
     #[test]
@@ -288,7 +306,10 @@ mod tests {
 
     #[test]
     fn notation_matches_paper() {
-        assert_eq!(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp).to_string(), "(TP, DDP)");
+        assert_eq!(
+            HierStrategy::two_level(Strategy::Tp, Strategy::Ddp).to_string(),
+            "(TP, DDP)"
+        );
         assert_eq!(HierStrategy::flat(Strategy::Shard).to_string(), "(MP)");
     }
 }
@@ -320,7 +341,9 @@ impl std::str::FromStr for Strategy {
             "FSDP" => Ok(Strategy::Fsdp),
             "TP" => Ok(Strategy::Tp),
             "MP" | "SHARD" => Ok(Strategy::Shard),
-            _ => Err(ParseStrategyError { input: s.to_owned() }),
+            _ => Err(ParseStrategyError {
+                input: s.to_owned(),
+            }),
         }
     }
 }
@@ -340,10 +363,13 @@ impl std::str::FromStr for HierStrategy {
         let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
         match parts.as_slice() {
             [one] => Ok(HierStrategy::Flat(one.parse()?)),
-            [intra, inter] => {
-                Ok(HierStrategy::TwoLevel { intra: intra.parse()?, inter: inter.parse()? })
-            }
-            _ => Err(ParseStrategyError { input: s.to_owned() }),
+            [intra, inter] => Ok(HierStrategy::TwoLevel {
+                intra: intra.parse()?,
+                inter: inter.parse()?,
+            }),
+            _ => Err(ParseStrategyError {
+                input: s.to_owned(),
+            }),
         }
     }
 }
@@ -354,13 +380,26 @@ mod parse_tests {
 
     #[test]
     fn parses_paper_notation() {
-        assert_eq!("(TP, DDP)".parse::<HierStrategy>().unwrap(),
-                   HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
-        assert_eq!("(FSDP)".parse::<HierStrategy>().unwrap(), HierStrategy::flat(Strategy::Fsdp));
-        assert_eq!("ddp".parse::<HierStrategy>().unwrap(), HierStrategy::flat(Strategy::Ddp));
-        assert_eq!("(MP)".parse::<HierStrategy>().unwrap(), HierStrategy::flat(Strategy::Shard));
-        assert_eq!("( tp , fsdp )".parse::<HierStrategy>().unwrap(),
-                   HierStrategy::two_level(Strategy::Tp, Strategy::Fsdp));
+        assert_eq!(
+            "(TP, DDP)".parse::<HierStrategy>().unwrap(),
+            HierStrategy::two_level(Strategy::Tp, Strategy::Ddp)
+        );
+        assert_eq!(
+            "(FSDP)".parse::<HierStrategy>().unwrap(),
+            HierStrategy::flat(Strategy::Fsdp)
+        );
+        assert_eq!(
+            "ddp".parse::<HierStrategy>().unwrap(),
+            HierStrategy::flat(Strategy::Ddp)
+        );
+        assert_eq!(
+            "(MP)".parse::<HierStrategy>().unwrap(),
+            HierStrategy::flat(Strategy::Shard)
+        );
+        assert_eq!(
+            "( tp , fsdp )".parse::<HierStrategy>().unwrap(),
+            HierStrategy::two_level(Strategy::Tp, Strategy::Fsdp)
+        );
     }
 
     #[test]

@@ -29,12 +29,16 @@ impl Task {
     /// Fine-tuning a single layer class (e.g. only the embedding tables or
     /// only the MLPs, as in Fig. 14).
     pub fn finetune_only(class: LayerClass) -> Self {
-        Task::Finetuning { trainable: BTreeSet::from([class]) }
+        Task::Finetuning {
+            trainable: BTreeSet::from([class]),
+        }
     }
 
     /// Fine-tuning several classes.
     pub fn finetune(classes: impl IntoIterator<Item = LayerClass>) -> Self {
-        Task::Finetuning { trainable: classes.into_iter().collect() }
+        Task::Finetuning {
+            trainable: classes.into_iter().collect(),
+        }
     }
 
     /// Whether a backward pass exists at all.
@@ -110,6 +114,8 @@ mod tests {
     fn labels() {
         assert_eq!(Task::Pretraining.to_string(), "pre-training");
         assert_eq!(Task::Inference.to_string(), "inference");
-        assert!(Task::finetune_only(LayerClass::Dense).to_string().contains("dense"));
+        assert!(Task::finetune_only(LayerClass::Dense)
+            .to_string()
+            .contains("dense"));
     }
 }

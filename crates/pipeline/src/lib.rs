@@ -1,0 +1,51 @@
+//! # madmax-pipeline
+//!
+//! Pipeline-parallel execution modeling for MAD-Max: partitions a
+//! [`madmax_model::ModelArch`] into balanced contiguous stages, splits the
+//! global batch into microbatches, and replays the two canonical pipeline
+//! schedules — GPipe (fill-drain) and 1F1B (one-forward-one-backward) — as
+//! multi-stream [`madmax_core::Trace`]s whose inter-stage activation and
+//! gradient transfers are priced as point-to-point ops by the existing
+//! collective cost model (Section II-B of the paper; schedules after GPipe
+//! and PipeDream-Flush).
+//!
+//! The flat SPMD simulator in `madmax-core` rejects pipelined plans;
+//! [`simulate`] is the pipeline-aware entry point and falls back to
+//! `madmax_core::simulate` for non-pipelined plans.
+//!
+//! # Example
+//!
+//! ```
+//! use madmax_hw::catalog;
+//! use madmax_model::ModelId;
+//! use madmax_parallel::{PipelineConfig, Plan, Task};
+//!
+//! let model = ModelId::Llama2.build();
+//! let system = catalog::llama_llm_system();
+//! let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 32));
+//! let report = madmax_pipeline::simulate(&model, &system, &plan, Task::Pretraining).unwrap();
+//! let bubble = report.bubble_fraction.unwrap();
+//! assert!(bubble > 0.0 && bubble < 0.5, "{bubble}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod memory;
+pub mod partition;
+pub mod schedule;
+pub mod sim;
+
+pub use cost::{stage_costs, StageCosts};
+pub use memory::pipeline_memory;
+pub use partition::{partition_model, Stage, StageUnit};
+pub use schedule::build_pipeline_trace;
+pub use sim::{simulate, PipelineSimulation};
+
+/// The analytic GPipe bubble fraction for `p` uniform stages and `m`
+/// microbatches: `(p - 1) / (m + p - 1)` (delegates to
+/// [`madmax_parallel::PipelineConfig::ideal_bubble_fraction`]).
+pub fn gpipe_bubble_fraction(stages: usize, microbatches: usize) -> f64 {
+    madmax_parallel::PipelineConfig::gpipe(stages, microbatches).ideal_bubble_fraction()
+}

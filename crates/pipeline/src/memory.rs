@@ -1,0 +1,136 @@
+//! Pipeline-aware memory feasibility: each stage holds only its own layers'
+//! parameters/gradients/optimizer state, but must retain activations for
+//! every in-flight microbatch — all `m` under GPipe's fill-drain, at most
+//! the pipeline depth under 1F1B (its raison d'être).
+
+use madmax_hw::ClusterSpec;
+use madmax_model::ModelArch;
+use madmax_parallel::{
+    memory_per_device, MemoryBreakdown, PipelineSchedule, Plan, PlanError, Task,
+};
+
+use crate::cost::{stage_cluster, stage_model};
+use crate::partition::Stage;
+
+/// Computes the worst-stage per-device footprint of a pipelined mapping and
+/// checks it against usable HBM.
+///
+/// # Errors
+///
+/// [`PlanError::InvalidStrategy`] for class/strategy mismatches,
+/// [`PlanError::InvalidPipeline`] for indivisible device counts, and
+/// [`PlanError::OutOfMemory`] when the worst stage exceeds usable HBM
+/// (unless the plan ignores memory limits).
+pub fn pipeline_memory(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    stages: &[Stage],
+    microbatches: usize,
+    schedule: PipelineSchedule,
+) -> Result<MemoryBreakdown, PlanError> {
+    plan.validate_strategies(model)?;
+    let sub = stage_cluster(cluster, stages.len())?;
+    let p = stages.len();
+
+    let mut worst = MemoryBreakdown::default();
+    let mut worst_total = f64::NEG_INFINITY;
+    for (si, stage) in stages.iter().enumerate() {
+        let sub_model = stage_model(model, stage, si);
+        let mut b = memory_per_device(&sub_model, &sub, plan, task);
+        // memory_per_device retains the full global batch's activations —
+        // exactly GPipe's worst case. 1F1B keeps at most `p` in-flight
+        // microbatches of the `m` total.
+        if schedule == PipelineSchedule::OneFOneB && task.has_backward() {
+            let in_flight = (p.min(microbatches)) as f64 / microbatches as f64;
+            b.activations = b.activations * in_flight.min(1.0);
+        }
+        if b.total().value() > worst_total {
+            worst_total = b.total().value();
+            worst = b;
+        }
+    }
+
+    if plan.options.ignore_memory_limits {
+        return Ok(worst);
+    }
+    let usable = plan.options.memory.usable(cluster.device.hbm_capacity);
+    if worst.total() > usable {
+        return Err(PlanError::OutOfMemory {
+            required: worst.total(),
+            usable,
+        });
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_model;
+    use madmax_hw::catalog;
+    use madmax_model::ModelId;
+
+    #[test]
+    fn one_f_one_b_retains_less_than_gpipe() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let mut plan = Plan::fsdp_baseline(&model);
+        plan.options.ignore_memory_limits = true;
+        let stages = partition_model(&model, &sys, 8).unwrap();
+        let gpipe = pipeline_memory(
+            &model,
+            &sys,
+            &plan,
+            &Task::Pretraining,
+            &stages,
+            32,
+            PipelineSchedule::GPipe,
+        )
+        .unwrap();
+        let fb = pipeline_memory(
+            &model,
+            &sys,
+            &plan,
+            &Task::Pretraining,
+            &stages,
+            32,
+            PipelineSchedule::OneFOneB,
+        )
+        .unwrap();
+        assert!(fb.activations < gpipe.activations);
+        assert_eq!(fb.params, gpipe.params);
+        // 8 in-flight of 32 microbatches -> 1/4 the activations.
+        let ratio = gpipe.activations.value() / fb.activations.value();
+        assert!((ratio - 4.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn stages_shrink_parameter_footprint() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let mut plan = Plan::fsdp_baseline(&model);
+        plan.options.ignore_memory_limits = true;
+        let flat = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+        let stages = partition_model(&model, &sys, 8).unwrap();
+        let piped = pipeline_memory(
+            &model,
+            &sys,
+            &plan,
+            &Task::Pretraining,
+            &stages,
+            32,
+            PipelineSchedule::OneFOneB,
+        )
+        .unwrap();
+        // Each stage's FSDP group is 8x smaller but owns 1/8 of the layers:
+        // the sharded parameter bytes stay comparable, while the transient
+        // unsharded gather buffer is unchanged. The pipelined footprint must
+        // not exceed the flat one.
+        assert!(
+            piped.total() <= flat.total() * 1.05,
+            "{piped:?} vs {flat:?}"
+        );
+    }
+}

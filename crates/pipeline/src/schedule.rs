@@ -1,0 +1,362 @@
+//! Pipeline schedule construction: expands per-stage costs into a
+//! multi-stream [`Trace`] for the GPipe (fill-drain) and 1F1B
+//! (one-forward-one-backward) schedules.
+//!
+//! Each stage contributes two streams — [`StreamId::StageCompute`] and
+//! [`StreamId::StageComm`] — representing one device of that stage's
+//! group. Cross-stage data flow is explicit: microbatch `j`'s forward on
+//! stage `s` depends on stage `s-1`'s P2P activation send of `j`; its
+//! backward depends on stage `s+1`'s gradient send. The per-stage *order*
+//! of forwards and backwards is exactly the schedule's prescription, and
+//! the in-order stream semantics of [`madmax_core::schedule`] turn those
+//! orders plus the dependencies into start times — fill/drain bubbles
+//! emerge rather than being closed-form assumptions.
+
+use std::collections::VecDeque;
+
+use madmax_hw::units::Seconds;
+use madmax_parallel::{CollectiveKind, PipelineConfig, PipelineSchedule};
+
+use madmax_core::{OpId, OpKind, Phase, StreamId, Trace, TraceOp};
+
+use crate::cost::StageCosts;
+
+/// One scheduled event in a stage's local order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Forward of microbatch `j`.
+    F(usize),
+    /// Backward of microbatch `j`.
+    B(usize),
+}
+
+/// The per-stage order of microbatch work prescribed by a schedule.
+fn local_order(schedule: PipelineSchedule, s: usize, p: usize, m: usize, train: bool) -> Vec<Ev> {
+    if !train {
+        return (0..m).map(Ev::F).collect();
+    }
+    match schedule {
+        PipelineSchedule::GPipe => {
+            // Fill-drain: all forwards, then backwards in reverse (LIFO
+            // activation stack).
+            (0..m).map(Ev::F).chain((0..m).rev().map(Ev::B)).collect()
+        }
+        PipelineSchedule::OneFOneB => {
+            // Warm-up of min(m, p - s) forwards, then strict 1B1F
+            // alternation, draining backwards once forwards are exhausted.
+            let warm = m.min(p - s);
+            let mut order: Vec<Ev> = (0..warm).map(Ev::F).collect();
+            let mut next_f = warm;
+            for j in 0..m {
+                order.push(Ev::B(j));
+                if next_f < m {
+                    order.push(Ev::F(next_f));
+                    next_f += 1;
+                }
+            }
+            order
+        }
+    }
+}
+
+fn comm_ops(
+    trace: &mut Trace,
+    stage: u16,
+    phase: Phase,
+    comm: &[(CollectiveKind, Seconds)],
+    mut dep: OpId,
+    label: &str,
+) -> OpId {
+    for &(kind, duration) in comm {
+        dep = trace.push(TraceOp {
+            name: format!("{label}.{kind}"),
+            stream: StreamId::StageComm(stage),
+            kind: OpKind::Collective { kind },
+            phase,
+            duration,
+            deps: vec![dep],
+        });
+    }
+    dep
+}
+
+/// Builds the multi-stream trace for `costs` under `cfg`.
+///
+/// With `train = false` only the forward waves are emitted (inference
+/// pipelines have no backward or optimizer work).
+///
+/// # Panics
+///
+/// Panics if `costs` is empty, `cfg.microbatches` is zero, or the schedule
+/// deadlocks (which would indicate a bug in the order generators).
+pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: bool) -> Trace {
+    let p = costs.len();
+    let m = cfg.microbatches;
+    assert!(p > 0, "at least one stage");
+    assert!(m > 0, "at least one microbatch");
+
+    let mut trace = Trace::new();
+
+    // Once-per-iteration prefetchable parameter gathers, issued at t=0 on
+    // each stage's comm stream.
+    let mut prefetch: Vec<Option<OpId>> = vec![None; p];
+    for (s, c) in costs.iter().enumerate() {
+        let mut dep: Option<OpId> = None;
+        for &(kind, duration) in &c.param_comm {
+            let id = trace.push(TraceOp {
+                name: format!("stage{s}.param.{kind}"),
+                stream: StreamId::StageComm(s as u16),
+                kind: OpKind::Collective { kind },
+                phase: Phase::Forward,
+                duration,
+                deps: dep.into_iter().collect(),
+            });
+            dep = Some(id);
+        }
+        prefetch[s] = dep;
+    }
+
+    let mut orders: Vec<VecDeque<Ev>> = (0..p)
+        .map(|s| local_order(cfg.schedule, s, p, m, train).into())
+        .collect();
+
+    // Cross-stage handshake ids.
+    let mut fwd_send: Vec<Vec<Option<OpId>>> = vec![vec![None; m]; p];
+    let mut bwd_send: Vec<Vec<Option<OpId>>> = vec![vec![None; m]; p];
+    let mut fwd_done: Vec<Vec<Option<OpId>>> = vec![vec![None; m]; p];
+    let mut last_bwd: Vec<Option<OpId>> = vec![None; p];
+
+    loop {
+        let mut progressed = false;
+        let mut remaining = false;
+        for s in 0..p {
+            while let Some(&ev) = orders[s].front() {
+                let ready = match ev {
+                    Ev::F(j) => s == 0 || fwd_send[s - 1][j].is_some(),
+                    Ev::B(j) => s + 1 == p || bwd_send[s + 1][j].is_some(),
+                };
+                if !ready {
+                    break;
+                }
+                orders[s].pop_front();
+                progressed = true;
+                let c = &costs[s];
+                let stage = s as u16;
+                match ev {
+                    Ev::F(j) => {
+                        let mut deps: Vec<OpId> = prefetch[s].into_iter().collect();
+                        if s > 0 {
+                            deps.push(fwd_send[s - 1][j].expect("checked ready"));
+                        }
+                        let kind = if c.lookup_dominated {
+                            OpKind::Lookup
+                        } else {
+                            OpKind::Gemm {
+                                class: c.dominant_class,
+                            }
+                        };
+                        let compute = trace.push(TraceOp {
+                            name: format!("stage{s}.fwd[{j}]"),
+                            stream: StreamId::StageCompute(stage),
+                            kind,
+                            phase: Phase::Forward,
+                            duration: c.fwd_compute,
+                            deps,
+                        });
+                        let out = comm_ops(
+                            &mut trace,
+                            stage,
+                            Phase::Forward,
+                            &c.fwd_comm,
+                            compute,
+                            &format!("stage{s}.fwd[{j}]"),
+                        );
+                        fwd_done[s][j] = Some(out);
+                        if s + 1 < p {
+                            let send = trace.push(TraceOp {
+                                name: format!("stage{s}.send_act[{j}]"),
+                                stream: StreamId::StageComm(stage),
+                                kind: OpKind::Collective {
+                                    kind: CollectiveKind::PointToPoint,
+                                },
+                                phase: Phase::Forward,
+                                duration: c.send_fwd,
+                                deps: vec![out],
+                            });
+                            fwd_send[s][j] = Some(send);
+                        }
+                    }
+                    Ev::B(j) => {
+                        let mut deps = vec![fwd_done[s][j].expect("forward precedes backward")];
+                        if s + 1 < p {
+                            deps.push(bwd_send[s + 1][j].expect("checked ready"));
+                        }
+                        let kind = if c.lookup_dominated {
+                            OpKind::Lookup
+                        } else {
+                            OpKind::Gemm {
+                                class: c.dominant_class,
+                            }
+                        };
+                        let compute = trace.push(TraceOp {
+                            name: format!("stage{s}.bwd[{j}]"),
+                            stream: StreamId::StageCompute(stage),
+                            kind,
+                            phase: Phase::Backward,
+                            duration: c.bwd_compute,
+                            deps,
+                        });
+                        let out = comm_ops(
+                            &mut trace,
+                            stage,
+                            Phase::Backward,
+                            &c.bwd_comm,
+                            compute,
+                            &format!("stage{s}.bwd[{j}]"),
+                        );
+                        last_bwd[s] = Some(compute);
+                        if s > 0 {
+                            let send = trace.push(TraceOp {
+                                name: format!("stage{s}.send_grad[{j}]"),
+                                stream: StreamId::StageGradComm(stage),
+                                kind: OpKind::Collective {
+                                    kind: CollectiveKind::PointToPoint,
+                                },
+                                phase: Phase::Backward,
+                                duration: c.send_bwd,
+                                deps: vec![out],
+                            });
+                            bwd_send[s][j] = Some(send);
+                        }
+                    }
+                }
+            }
+            if !orders[s].is_empty() {
+                remaining = true;
+            }
+        }
+        if !remaining {
+            break;
+        }
+        assert!(progressed, "pipeline schedule deadlocked");
+    }
+
+    // Drain weight-gradient collectives and run the optimizer per stage.
+    if train {
+        for (s, c) in costs.iter().enumerate() {
+            let stage = s as u16;
+            let Some(tail) = last_bwd[s] else { continue };
+            let mut dep = tail;
+            for &(kind, duration) in &c.grad_comm {
+                dep = trace.push(TraceOp {
+                    name: format!("stage{s}.grad.{kind}"),
+                    stream: StreamId::StageGradComm(stage),
+                    kind: OpKind::Collective { kind },
+                    phase: Phase::Backward,
+                    duration,
+                    deps: vec![dep],
+                });
+            }
+            if !c.optimizer.is_zero() {
+                trace.push(TraceOp {
+                    name: format!("stage{s}.optimizer"),
+                    stream: StreamId::StageCompute(stage),
+                    kind: OpKind::Optimizer,
+                    phase: Phase::Update,
+                    duration: c.optimizer,
+                    deps: vec![dep],
+                });
+            }
+        }
+    }
+
+    trace
+}
+
+/// Builds uniform synthetic stage costs — handy for schedule-shape tests
+/// and the analytic-bubble validation.
+pub fn uniform_costs(p: usize, fwd: Seconds, bwd: Seconds, send: Seconds) -> Vec<StageCosts> {
+    (0..p)
+        .map(|s| StageCosts {
+            fwd_compute: fwd,
+            bwd_compute: bwd,
+            fwd_comm: Vec::new(),
+            bwd_comm: Vec::new(),
+            send_fwd: if s + 1 < p { send } else { Seconds::ZERO },
+            send_bwd: if s > 0 { send } else { Seconds::ZERO },
+            param_comm: Vec::new(),
+            grad_comm: Vec::new(),
+            optimizer: Seconds::ZERO,
+            dominant_class: madmax_model::LayerClass::Dense,
+            lookup_dominated: false,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_core::schedule;
+
+    fn run(p: usize, m: usize, sched: PipelineSchedule, tf: f64, tb: f64) -> f64 {
+        let costs = uniform_costs(p, Seconds::new(tf), Seconds::new(tb), Seconds::ZERO);
+        let cfg = PipelineConfig {
+            stages: p,
+            microbatches: m,
+            schedule: sched,
+        };
+        let trace = build_pipeline_trace(&costs, &cfg, true);
+        schedule(&trace).makespan.as_secs()
+    }
+
+    #[test]
+    fn gpipe_uniform_makespan_matches_analytic() {
+        // (m + p - 1) * (tf + tb) for uniform stages and free transfers.
+        for (p, m) in [(2usize, 2usize), (4, 8), (8, 4), (8, 32), (3, 1)] {
+            let got = run(p, m, PipelineSchedule::GPipe, 1.0, 2.0);
+            let want = (m + p - 1) as f64 * 3.0;
+            assert!((got - want).abs() < 1e-9, "p={p} m={m}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_matches_gpipe_for_uniform_stages() {
+        for (p, m) in [(2usize, 4usize), (4, 4), (8, 16)] {
+            let g = run(p, m, PipelineSchedule::GPipe, 1.0, 2.0);
+            let o = run(p, m, PipelineSchedule::OneFOneB, 1.0, 2.0);
+            assert!((g - o).abs() < 1e-9, "p={p} m={m}: gpipe {g} vs 1f1b {o}");
+        }
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        let costs = uniform_costs(1, Seconds::new(1.0), Seconds::new(2.0), Seconds::ZERO);
+        let cfg = PipelineConfig::gpipe(1, 4);
+        let trace = build_pipeline_trace(&costs, &cfg, true);
+        let s = schedule(&trace);
+        assert!((s.makespan.as_secs() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inference_emits_forward_only() {
+        let costs = uniform_costs(4, Seconds::new(1.0), Seconds::new(2.0), Seconds::new(0.1));
+        let cfg = PipelineConfig::one_f_one_b(4, 8);
+        let trace = build_pipeline_trace(&costs, &cfg, false);
+        assert!(trace.ops().iter().all(|o| o.phase == Phase::Forward));
+        // Fill + steady state: (m + p - 1) forwards plus the 3 crossed
+        // transfers on the critical path.
+        let makespan = schedule(&trace).makespan.as_secs();
+        assert!((makespan - (11.0 + 0.3)).abs() < 1e-9, "{makespan}");
+    }
+
+    #[test]
+    fn transfers_extend_the_critical_path() {
+        let free = run(4, 8, PipelineSchedule::GPipe, 1.0, 2.0);
+        let costs = uniform_costs(4, Seconds::new(1.0), Seconds::new(2.0), Seconds::new(0.5));
+        let cfg = PipelineConfig::gpipe(4, 8);
+        let taxed = schedule(&build_pipeline_trace(&costs, &cfg, true))
+            .makespan
+            .as_secs();
+        assert!(taxed > free);
+    }
+}

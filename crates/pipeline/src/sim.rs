@@ -1,0 +1,221 @@
+//! The pipeline-aware simulation entry point: partitions, prices, builds
+//! the schedule trace, and replays it on `madmax-core`'s list scheduler.
+
+use madmax_hw::ClusterSpec;
+use madmax_model::ModelArch;
+use madmax_parallel::{Plan, PlanError, Task};
+
+use madmax_core::collective::{CollectiveModel, HierarchicalNccl};
+use madmax_core::compute::UtilizationModel;
+use madmax_core::{schedule, IterationReport, Schedule, Trace};
+
+use crate::cost::stage_costs;
+use crate::memory::pipeline_memory;
+use crate::partition::partition_model;
+use crate::schedule::build_pipeline_trace;
+
+/// A configured pipeline-parallel simulation.
+///
+/// Mirrors [`madmax_core::Simulation`] but executes the plan's
+/// [`madmax_parallel::PipelineConfig`]: the model is split into balanced
+/// contiguous stages, the global batch into microbatches, and the chosen
+/// schedule (GPipe or 1F1B) is replayed on per-stage streams.
+#[derive(Debug)]
+pub struct PipelineSimulation<'a> {
+    model: &'a ModelArch,
+    cluster: &'a ClusterSpec,
+    plan: &'a Plan,
+    task: Task,
+    collective_model: &'a dyn CollectiveModel,
+    utilization: UtilizationModel,
+}
+
+static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
+
+impl<'a> PipelineSimulation<'a> {
+    /// Creates a pipeline simulation with the default cost models.
+    pub fn new(model: &'a ModelArch, cluster: &'a ClusterSpec, plan: &'a Plan, task: Task) -> Self {
+        Self {
+            model,
+            cluster,
+            plan,
+            task,
+            collective_model: &DEFAULT_COLLECTIVES,
+            utilization: UtilizationModel::Constant,
+        }
+    }
+
+    /// Replaces the collective cost model.
+    #[must_use]
+    pub fn with_collective_model(mut self, m: &'a dyn CollectiveModel) -> Self {
+        self.collective_model = m;
+        self
+    }
+
+    /// Replaces the compute-utilization model.
+    #[must_use]
+    pub fn with_utilization(mut self, u: UtilizationModel) -> Self {
+        self.utilization = u;
+        self
+    }
+
+    /// Runs the simulation, returning the report plus the trace and
+    /// schedule for timeline rendering.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidPipeline`] when the pipeline cannot be mapped
+    /// (too few layers, indivisible devices, bad microbatch count),
+    /// [`PlanError::InvalidStrategy`] / [`PlanError::OutOfMemory`] as in the
+    /// flat simulator.
+    pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), PlanError> {
+        let Some(cfg) = self.plan.pipeline.filter(|c| c.is_pipelined()) else {
+            // Not pipelined: delegate to the flat SPMD simulator.
+            return madmax_core::Simulation::new(
+                self.model,
+                self.cluster,
+                self.plan,
+                self.task.clone(),
+            )
+            .with_collective_model(self.collective_model)
+            .with_utilization(self.utilization)
+            .run_with_trace();
+        };
+
+        self.plan.validate_strategies(self.model)?;
+        let stages = partition_model(self.model, self.cluster, cfg.stages)?;
+        let memory = pipeline_memory(
+            self.model,
+            self.cluster,
+            self.plan,
+            &self.task,
+            &stages,
+            cfg.microbatches,
+            cfg.schedule,
+        )?;
+        let costs = stage_costs(
+            self.model,
+            self.cluster,
+            self.plan,
+            &self.task,
+            &stages,
+            cfg.microbatches,
+            self.collective_model,
+            self.utilization,
+        )?;
+        let trace = build_pipeline_trace(&costs, &cfg, self.task.has_backward());
+        let sched = schedule(&trace);
+        let report = IterationReport::from_schedule(&trace, &sched, self.model, memory);
+        Ok((report, trace, sched))
+    }
+
+    /// Runs the simulation end to end.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PipelineSimulation::run_with_trace`].
+    pub fn run(&self) -> Result<IterationReport, PlanError> {
+        let (report, _, _) = self.run_with_trace()?;
+        Ok(report)
+    }
+}
+
+/// Pipeline-aware one-shot wrapper: executes the plan's pipeline config
+/// when present, and falls back to [`madmax_core::simulate`] otherwise.
+///
+/// # Errors
+///
+/// Same conditions as [`PipelineSimulation::run_with_trace`].
+pub fn simulate(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: Task,
+) -> Result<IterationReport, PlanError> {
+    PipelineSimulation::new(model, cluster, plan, task).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_hw::catalog;
+    use madmax_model::ModelId;
+    use madmax_parallel::PipelineConfig;
+
+    #[test]
+    fn pipelined_llm_runs_and_reports_bubble() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
+        let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let bubble = r.bubble_fraction.expect("pipelined run reports bubble");
+        // Fill/drain overhead plus transfer/parameter-fetch slack: at least
+        // the analytic floor, and well below 1.
+        assert!(
+            bubble >= crate::gpipe_bubble_fraction(8, 16) - 1e-9,
+            "{bubble}"
+        );
+        assert!(bubble < 0.75, "{bubble}");
+        assert!(r.iteration_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn non_pipelined_plan_delegates_to_flat_simulator() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let flat = madmax_core::simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let piped = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        assert_eq!(flat, piped);
+        assert!(piped.bubble_fraction.is_none());
+    }
+
+    #[test]
+    fn flat_simulator_rejects_pipelined_plans() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
+        let err = madmax_core::simulate(&model, &sys, &plan, Task::Pretraining).unwrap_err();
+        assert!(
+            matches!(err, PlanError::PipelinedPlan { stages: 8 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn more_microbatches_shrink_the_bubble() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let mut last = f64::INFINITY;
+        for m in [4usize, 16, 64] {
+            let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, m));
+            let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+            let bubble = r.bubble_fraction.unwrap();
+            assert!(bubble < last, "m={m}: {bubble} vs {last}");
+            last = bubble;
+        }
+    }
+
+    #[test]
+    fn indivisible_stage_counts_rejected() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system(); // 256 nodes
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(7, 8));
+        let err = simulate(&model, &sys, &plan, Task::Pretraining).unwrap_err();
+        assert!(matches!(err, PlanError::InvalidPipeline { .. }), "{err}");
+    }
+
+    #[test]
+    fn pipeline_inference_runs_forward_only() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
+        let infer = simulate(&model, &sys, &plan, Task::Inference).unwrap();
+        let train = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        assert!(infer.iteration_time < train.iteration_time);
+        use madmax_parallel::CollectiveKind;
+        assert!(!infer
+            .comm_by_collective
+            .contains_key(&CollectiveKind::ReduceScatter));
+    }
+}

@@ -15,12 +15,20 @@ pub struct Bar {
 impl Bar {
     /// Creates a bar without a note.
     pub fn new(label: impl Into<String>, value: f64) -> Self {
-        Self { label: label.into(), value, note: String::new() }
+        Self {
+            label: label.into(),
+            value,
+            note: String::new(),
+        }
     }
 
     /// Creates a bar with a note.
     pub fn with_note(label: impl Into<String>, value: f64, note: impl Into<String>) -> Self {
-        Self { label: label.into(), value, note: note.into() }
+        Self {
+            label: label.into(),
+            value,
+            note: note.into(),
+        }
     }
 }
 
@@ -34,7 +42,11 @@ impl Bar {
 /// ```
 pub fn bar_chart(bars: &[Bar], width: usize, unit: &str) -> String {
     let max = bars.iter().map(|b| b.value).fold(0.0_f64, f64::max);
-    let label_w = bars.iter().map(|b| b.label.chars().count()).max().unwrap_or(0);
+    let label_w = bars
+        .iter()
+        .map(|b| b.label.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for b in bars {
         let filled = if max > 0.0 && b.value.is_finite() && b.value > 0.0 {
@@ -51,7 +63,11 @@ pub fn bar_chart(bars: &[Bar], width: usize, unit: &str) -> String {
             " ".repeat(width.saturating_sub(filled)),
             b.value,
             unit,
-            if b.note.is_empty() { String::new() } else { format!("  [{}]", b.note) },
+            if b.note.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", b.note)
+            },
         ));
     }
     out
@@ -80,14 +96,17 @@ pub fn stacked_bars(rows: &[(String, Vec<Segment>)], width: usize, unit: &str) -
             }
         }
     }
-    let fill_of = |name: &str| {
-        FILLS[names.iter().position(|n| n == name).unwrap_or(0) % FILLS.len()]
-    };
+    let fill_of =
+        |name: &str| FILLS[names.iter().position(|n| n == name).unwrap_or(0) % FILLS.len()];
     let max: f64 = rows
         .iter()
         .map(|(_, segs)| segs.iter().map(|s| s.value).sum::<f64>())
         .fold(0.0, f64::max);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
 
     let mut out = String::new();
     out.push_str("legend: ");
@@ -144,11 +163,23 @@ mod tests {
             (
                 "serialized".to_owned(),
                 vec![
-                    Segment { name: "gemm".into(), value: 3.0 },
-                    Segment { name: "a2a".into(), value: 1.0 },
+                    Segment {
+                        name: "gemm".into(),
+                        value: 3.0,
+                    },
+                    Segment {
+                        name: "a2a".into(),
+                        value: 1.0,
+                    },
                 ],
             ),
-            ("other".to_owned(), vec![Segment { name: "gemm".into(), value: 2.0 }]),
+            (
+                "other".to_owned(),
+                vec![Segment {
+                    name: "gemm".into(),
+                    value: 2.0,
+                }],
+            ),
         ];
         let out = stacked_bars(&rows, 20, "ms");
         assert!(out.starts_with("legend:"));

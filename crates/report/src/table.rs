@@ -35,7 +35,11 @@ impl Table {
             .chain(std::iter::repeat(Align::Right))
             .take(header.len())
             .collect();
-        Self { header, rows: Vec::new(), aligns }
+        Self {
+            header,
+            rows: Vec::new(),
+            aligns,
+        }
     }
 
     /// Overrides a column's alignment.
@@ -110,7 +114,12 @@ impl Table {
                 c.to_owned()
             }
         };
-        let mut s: String = self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        let mut s: String = self
+            .header
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(",");
         s.push('\n');
         for row in &self.rows {
             s.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

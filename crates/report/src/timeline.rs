@@ -64,7 +64,11 @@ pub fn render(ops: &[TimelineOp], width: usize) -> String {
             row.into_iter().collect::<String>().trim_end()
         ));
     }
-    out.push_str(&format!("{} 0{}t={t_end:.2}\n", " ".repeat(lane_w), " ".repeat(width.saturating_sub(8))));
+    out.push_str(&format!(
+        "{} 0{}t={t_end:.2}\n",
+        " ".repeat(lane_w),
+        " ".repeat(width.saturating_sub(8))
+    ));
     out
 }
 
@@ -73,7 +77,12 @@ mod tests {
     use super::*;
 
     fn op(name: &str, lane: &str, start: f64, finish: f64) -> TimelineOp {
-        TimelineOp { name: name.into(), lane: lane.into(), start, finish }
+        TimelineOp {
+            name: name.into(),
+            lane: lane.into(),
+            start,
+            finish,
+        }
     }
 
     #[test]

@@ -22,7 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sweep just the dense layers (the embedding tables of a 793B-parameter
     // DLRM can only be model-parallel sharded — Insight 1).
     println!("Dense-layer strategy sweep (Fig. 11):");
-    let points = sweep_class(&model, &system, &baseline_plan, LayerClass::Dense, &Task::Pretraining);
+    let points = sweep_class(
+        &model,
+        &system,
+        &baseline_plan,
+        LayerClass::Dense,
+        &Task::Pretraining,
+    );
     for p in &points {
         match &p.outcome {
             Ok(r) => println!(
@@ -42,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Joint search over every layer class.
-    let result = optimize(&model, &system, &Task::Pretraining, &SearchOptions::default())?;
+    let result = optimize(
+        &model,
+        &system,
+        &Task::Pretraining,
+        &SearchOptions::default(),
+    )?;
     println!(
         "Joint search: {} plans evaluated ({} OOM), best = {} at {:.2}x over FSDP",
         result.evaluated,

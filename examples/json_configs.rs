@@ -22,13 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SimulationConfig {
         model,
         system: catalog::zionex_dlrm_system(),
-        experiment: ExperimentSpec { task: Task::Pretraining, plan },
+        experiment: ExperimentSpec {
+            task: Task::Pretraining,
+            plan,
+        },
     };
 
     // ...persist it as the paper's three JSON files...
     let dir = std::env::temp_dir().join("madmax_quickstart_configs");
     cfg.write_split(&dir)?;
-    println!("wrote model.json / system.json / experiment.json to {}", dir.display());
+    println!(
+        "wrote model.json / system.json / experiment.json to {}",
+        dir.display()
+    );
 
     // ...then reload and simulate purely from configuration, as an
     // external user would.

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelId::Llama2.build();
     let total_tokens = 1.4e12;
 
-    println!("Planning {} pre-training on {:.1}T tokens:\n", model.name, total_tokens / 1e12);
+    println!(
+        "Planning {} pre-training on {:.1}T tokens:\n",
+        model.name,
+        total_tokens / 1e12
+    );
     for system in [catalog::llama_llm_system(), {
         let mut h = catalog::h100_cluster(256);
         h.name = "H100 cluster (2048 GPUs)".to_owned();
@@ -27,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let steps = total_tokens / model.tokens_per_iteration();
         let days = (report.iteration_time * steps).as_days();
         println!("{}:", system.name);
-        println!("  iteration:        {:.2} s ({:.0} tokens/s)", report.iteration_time.as_secs(), report.tokens_per_sec());
+        println!(
+            "  iteration:        {:.2} s ({:.0} tokens/s)",
+            report.iteration_time.as_secs(),
+            report.tokens_per_sec()
+        );
         println!("  days to train:    {days:.1}");
         println!(
             "  aggregate cost:   {:.0} GPU-hours",

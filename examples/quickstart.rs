@@ -25,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("model:                {}", model.name);
     println!("system:               {}", system.name);
     println!("plan:                 {}", plan.summary());
-    println!("iteration time:       {:.2} ms", report.iteration_time.as_ms());
-    println!("serialized time:      {:.2} ms", report.serialized_time.as_ms());
+    println!(
+        "iteration time:       {:.2} ms",
+        report.iteration_time.as_ms()
+    );
+    println!(
+        "serialized time:      {:.2} ms",
+        report.serialized_time.as_ms()
+    );
     println!("throughput:           {:.2} MQPS", report.mqps());
     println!("communication time:   {:.2} ms", report.comm_time.as_ms());
     println!(
@@ -34,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.exposed_comm.as_ms(),
         report.exposed_fraction() * 100.0
     );
-    println!("memory per device:    {:.1} GB", report.memory.total().as_gb());
+    println!(
+        "memory per device:    {:.1} GB",
+        report.memory.total().as_gb()
+    );
 
     // 4. Every collective is itemized for optimization hunting.
     for (kind, time) in &report.comm_by_collective {

@@ -22,7 +22,10 @@ fn json_round_trip_preserves_simulation_results() {
         let cfg = SimulationConfig {
             model,
             system,
-            experiment: ExperimentSpec { task: Task::Pretraining, plan },
+            experiment: ExperimentSpec {
+                task: Task::Pretraining,
+                plan,
+            },
         };
         let json = cfg.to_json().unwrap();
         let loaded = SimulationConfig::from_json(&json).unwrap();
@@ -98,9 +101,15 @@ fn accounting_identities_hold_across_suite() {
             // Serialized >= overlapped; exposed <= total comm; category sums
             // match totals.
             assert!(r.serialized_time >= r.iteration_time, "{id}");
-            assert!(r.exposed_comm <= r.comm_time + madmax_hw::Seconds::from_us(1.0), "{id}");
+            assert!(
+                r.exposed_comm <= r.comm_time + madmax_hw::Seconds::from_us(1.0),
+                "{id}"
+            );
             let comm_sum: madmax_hw::Seconds = r.comm_by_collective.values().copied().sum();
-            assert!((comm_sum.as_secs() - r.comm_time.as_secs()).abs() < 1e-9, "{id}");
+            assert!(
+                (comm_sum.as_secs() - r.comm_time.as_secs()).abs() < 1e-9,
+                "{id}"
+            );
             let serial_sum = r.compute_time() + r.comm_time;
             assert!(
                 (serial_sum.as_secs() - r.serialized_time.as_secs()).abs() < 1e-9,
@@ -163,7 +172,13 @@ fn single_node_dlrm_has_no_internode_bottleneck() {
     let mut plan = Plan::fsdp_baseline(&m1);
     plan.options.ignore_memory_limits = true;
     let r1 = simulate(&m1, &one, &plan, Task::Pretraining).unwrap();
-    let r16 = simulate(&model, &sixteen, &Plan::fsdp_baseline(&model), Task::Pretraining).unwrap();
+    let r16 = simulate(
+        &model,
+        &sixteen,
+        &Plan::fsdp_baseline(&model),
+        Task::Pretraining,
+    )
+    .unwrap();
     // Same per-device batch, but the single node exchanges embeddings over
     // NVLink only: faster per-iteration comm.
     assert!(r1.comm_time < r16.comm_time);

@@ -34,7 +34,10 @@ fn insight1_dlrm_embeddings_force_sharding_and_tp_ddp_wins_dense() {
     let base = Plan::fsdp_baseline(&model);
     let points = sweep_class(&model, &sys, &base, LayerClass::Dense, &Task::Pretraining);
     let best = best_point(&points).unwrap();
-    assert_eq!(best.strategy, HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
+    assert_eq!(
+        best.strategy,
+        HierStrategy::two_level(Strategy::Tp, Strategy::Ddp)
+    );
     assert!(points
         .iter()
         .find(|p| p.strategy == HierStrategy::flat(Strategy::Ddp))
@@ -59,7 +62,10 @@ fn insight2_llm_word_embeddings_replicate_but_compute_layers_cannot() {
     ] {
         let plan = Plan::fsdp_baseline(&model).with_strategy(LayerClass::Transformer, strat);
         assert!(
-            matches!(simulate(&model, &sys, &plan, Task::Pretraining), Err(PlanError::OutOfMemory { .. })),
+            matches!(
+                simulate(&model, &sys, &plan, Task::Pretraining),
+                Err(PlanError::OutOfMemory { .. })
+            ),
             "{strat} should OOM"
         );
     }
@@ -67,7 +73,11 @@ fn insight2_llm_word_embeddings_replicate_but_compute_layers_cannot() {
     // And the FSDP baseline is competitive: nothing in the constrained
     // search beats it by more than a few percent.
     let r = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
-    assert!(r.speedup() < 1.10, "GPT-3 constrained speedup {:.3}", r.speedup());
+    assert!(
+        r.speedup() < 1.10,
+        "GPT-3 constrained speedup {:.3}",
+        r.speedup()
+    );
 }
 
 #[test]
@@ -75,18 +85,23 @@ fn insight3_hierarchy_ordering_matters() {
     let model = ModelId::DlrmA.build();
     let sys = zionex();
     let base = Plan::fsdp_baseline(&model);
-    let tp_ddp = base
-        .clone()
-        .with_strategy(LayerClass::Dense, HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
-    let ddp_tp = base
-        .clone()
-        .with_strategy(LayerClass::Dense, HierStrategy::two_level(Strategy::Ddp, Strategy::Tp));
+    let tp_ddp = base.clone().with_strategy(
+        LayerClass::Dense,
+        HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
+    );
+    let ddp_tp = base.clone().with_strategy(
+        LayerClass::Dense,
+        HierStrategy::two_level(Strategy::Ddp, Strategy::Tp),
+    );
     let a = simulate(&model, &sys, &tp_ddp, Task::Pretraining).unwrap();
     let b = simulate(&model, &sys, &ddp_tp, Task::Pretraining).unwrap();
     // (TP, DDP) reduces activations over NVLink; (DDP, TP) pushes them over
     // RoCE and is much slower.
     assert!(a.iteration_time < b.iteration_time);
-    assert!(b.iteration_time / a.iteration_time > 1.5, "ordering gap too small");
+    assert!(
+        b.iteration_time / a.iteration_time > 1.5,
+        "ordering gap too small"
+    );
     // Memory-wise the opposite ordering shards more (16 nodes vs 8 local).
     assert!(b.memory.total() < a.memory.total());
 }
@@ -101,7 +116,13 @@ fn insight4_variants_move_the_optimum() {
     let moe_strategy = r.best_plan.strategy_for(LayerClass::Moe);
     assert!(
         matches!(moe_strategy, HierStrategy::Flat(Strategy::Shard))
-            || matches!(moe_strategy, HierStrategy::TwoLevel { intra: Strategy::Shard, .. }),
+            || matches!(
+                moe_strategy,
+                HierStrategy::TwoLevel {
+                    intra: Strategy::Shard,
+                    ..
+                }
+            ),
         "expert parallelism should win, got {moe_strategy}"
     );
     assert!(r.speedup() > 1.5);
@@ -117,7 +138,13 @@ fn insight5_task_diversity() {
     // embedding-only fine-tuning.
     assert!(simulate(&model, &sys, &ddp_dense, Task::Pretraining).is_err());
     assert!(simulate(&model, &sys, &ddp_dense, Task::Inference).is_ok());
-    assert!(simulate(&model, &sys, &ddp_dense, Task::finetune_only(LayerClass::Embedding)).is_ok());
+    assert!(simulate(
+        &model,
+        &sys,
+        &ddp_dense,
+        Task::finetune_only(LayerClass::Embedding)
+    )
+    .is_ok());
 
     // Fine-tuning only the embeddings resembles inference in its
     // throughput-optimal dense-strategy *ordering* (the costly MLP weight
@@ -125,11 +152,10 @@ fn insight5_task_diversity() {
     // is not even feasible.
     let base = Plan::fsdp_baseline(&model);
     let ranking = |task: &Task| -> Vec<String> {
-        let mut pts: Vec<_> =
-            sweep_class(&model, &sys, &base, LayerClass::Dense, task)
-                .into_iter()
-                .filter_map(|p| p.throughput().map(|t| (p.strategy.to_string(), t)))
-                .collect();
+        let mut pts: Vec<_> = sweep_class(&model, &sys, &base, LayerClass::Dense, task)
+            .into_iter()
+            .filter_map(|p| p.throughput().map(|t| (p.strategy.to_string(), t)))
+            .collect();
         pts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         pts.into_iter().map(|(s, _)| s).take(3).collect()
     };
@@ -144,11 +170,17 @@ fn insight5_task_diversity() {
 fn insight6_context_length_diminishing_returns() {
     let sys = llm_sys();
     let base = ModelId::Llama2.build();
-    let opts = SearchOptions { ignore_memory_limits: true, classes: None };
+    let opts = SearchOptions {
+        ignore_memory_limits: true,
+        classes: None,
+    };
     let mut speedups = Vec::new();
     for ctx in [2048usize, 4096, 8192] {
-        let model =
-            if ctx == 4096 { base.clone() } else { base.with_context_length(ctx) };
+        let model = if ctx == 4096 {
+            base.clone()
+        } else {
+            base.with_context_length(ctx)
+        };
         let r = optimize(&model, &sys, &Task::Pretraining, &opts).unwrap();
         speedups.push(r.speedup());
     }
@@ -164,8 +196,13 @@ fn insight8_gpu_generations_and_superpod() {
     let plan = Plan::fsdp_baseline(&model);
     let a100 = simulate(&model, &zionex(), &plan, Task::Pretraining).unwrap();
     let h100 = simulate(&model, &catalog::h100_cluster(16), &plan, Task::Pretraining).unwrap();
-    let superpod =
-        simulate(&model, &catalog::h100_superpod_cluster(16), &plan, Task::Pretraining).unwrap();
+    let superpod = simulate(
+        &model,
+        &catalog::h100_superpod_cluster(16),
+        &plan,
+        Task::Pretraining,
+    )
+    .unwrap();
     assert!(h100.iteration_time < a100.iteration_time);
     assert!(superpod.iteration_time < h100.iteration_time);
     // The SuperPOD's inter-node upgrade directly accelerates the blocking
@@ -176,14 +213,23 @@ fn insight8_gpu_generations_and_superpod() {
 #[test]
 fn insight9_commodity_platforms_simulate_and_improve() {
     let model = ModelId::DlrmA.build();
-    for sys in [catalog::mi250x_cluster(), catalog::mi300x_cluster(), catalog::gaudi2_cluster()] {
+    for sys in [
+        catalog::mi250x_cluster(),
+        catalog::mi300x_cluster(),
+        catalog::gaudi2_cluster(),
+    ] {
         let r = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
         assert!(r.speedup() >= 1.0, "{}: {:.2}", sys.name, r.speedup());
         // Larger-HBM platforms admit replication-heavy plans: fewer OOM
         // rejections than on 40 GB A100s.
         if sys.device.hbm_capacity.as_gb() >= 96.0 {
-            let a100 = optimize(&model, &zionex(), &Task::Pretraining, &SearchOptions::default())
-                .unwrap();
+            let a100 = optimize(
+                &model,
+                &zionex(),
+                &Task::Pretraining,
+                &SearchOptions::default(),
+            )
+            .unwrap();
             assert!(r.oom <= a100.oom, "{}: {} vs {}", sys.name, r.oom, a100.oom);
         }
     }
@@ -193,12 +239,24 @@ fn insight9_commodity_platforms_simulate_and_improve() {
 fn insight10_joint_scaling_beats_individual() {
     let model = ModelId::DlrmA.build();
     let points = scaling_study(&model, &zionex(), &Task::Pretraining, 10.0).unwrap();
-    let all = points.iter().find(|p| p.axis == ScalingAxis::All).unwrap().speedup;
+    let all = points
+        .iter()
+        .find(|p| p.axis == ScalingAxis::All)
+        .unwrap()
+        .speedup;
     for p in points.iter().filter(|p| p.axis != ScalingAxis::All) {
-        assert!(p.speedup < 10.0, "{}: single-axis {:.2} must be sub-linear", p.axis, p.speedup);
+        assert!(
+            p.speedup < 10.0,
+            "{}: single-axis {:.2} must be sub-linear",
+            p.axis,
+            p.speedup
+        );
         assert!(p.speedup <= all, "{} exceeds all-axes", p.axis);
     }
-    assert!(all >= 9.5, "joint scaling should approach/exceed the factor, got {all:.2}");
+    assert!(
+        all >= 9.5,
+        "joint scaling should approach/exceed the factor, got {all:.2}"
+    );
 }
 
 #[test]
@@ -207,7 +265,9 @@ fn fsdp_prefetch_matches_fig9_band() {
     // the production observation (98% observed / 93% paper model).
     let model = ModelId::Llama2.build();
     let plan = Plan::fsdp_baseline(&model);
-    let r = Simulation::new(&model, &llm_sys(), &plan, Task::Pretraining).run().unwrap();
+    let r = Simulation::new(&model, &llm_sys(), &plan, Task::Pretraining)
+        .run()
+        .unwrap();
     assert!(
         r.overlap_fraction() > 0.85,
         "prefetch overlap {:.1}%",
@@ -215,6 +275,8 @@ fn fsdp_prefetch_matches_fig9_band() {
     );
     let mut vanilla = plan;
     vanilla.options.fsdp_prefetch = false;
-    let v = Simulation::new(&model, &llm_sys(), &vanilla, Task::Pretraining).run().unwrap();
+    let v = Simulation::new(&model, &llm_sys(), &vanilla, Task::Pretraining)
+        .run()
+        .unwrap();
     assert!(v.overlap_fraction() < r.overlap_fraction());
 }

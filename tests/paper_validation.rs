@@ -49,8 +49,10 @@ fn llama_cost_projections_track_touvron_et_al() {
     let (model, r) = validation::llama_70b_report().unwrap();
     let steps = reference::LLAMA_TOTAL_TOKENS / model.tokens_per_iteration();
     let days = (r.iteration_time * steps).as_days();
-    assert!((days - reference::LLAMA_DAYS_1_4T_TOKENS).abs() / reference::LLAMA_DAYS_1_4T_TOKENS < 0.15,
-        "days {days:.2}");
+    assert!(
+        (days - reference::LLAMA_DAYS_1_4T_TOKENS).abs() / reference::LLAMA_DAYS_1_4T_TOKENS < 0.15,
+        "days {days:.2}"
+    );
     let hours = validation::gpu_hours(r.iteration_time, reference::LLAMA_70B_STEPS, 2048);
     assert!(
         (hours - reference::LLAMA_70B_GPU_HOURS_306K).abs() / reference::LLAMA_70B_GPU_HOURS_306K
@@ -111,8 +113,7 @@ fn abstract_claim_inference_gains_larger_than_training() {
     // variants.
     let model = ModelId::DlrmAMoe.build();
     let sys = catalog::zionex_dlrm_system();
-    let train =
-        optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+    let train = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
     let infer = optimize(&model, &sys, &Task::Inference, &SearchOptions::default()).unwrap();
     assert!(infer.speedup() >= 1.0);
     assert!(train.speedup() >= 1.0);

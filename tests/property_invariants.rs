@@ -11,7 +11,9 @@ use madmax_hw::units::{ByteCount, BytesPerSec, Seconds};
 use madmax_hw::{catalog, CommLevel};
 use madmax_model::LayerClass;
 use madmax_parallel::comm::CommPosition;
-use madmax_parallel::{CollectiveKind, CommReq, CommScope, HierStrategy, Strategy as PStrategy, Urgency};
+use madmax_parallel::{
+    CollectiveKind, CommReq, CommScope, HierStrategy, Strategy as PStrategy, Urgency,
+};
 
 fn any_collective() -> impl Strategy<Value = CollectiveKind> {
     prop_oneof![

@@ -1,0 +1,145 @@
+//! In-repo criterion stub: the build container has no crates.io access, so
+//! this crate provides the small slice of criterion's API the workspace's
+//! benches use (`Criterion`, benchmark groups, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`). Each benchmark runs a short
+//! timed loop and prints mean wall-clock time per iteration — no
+//! statistics, plots, or baselines.
+
+use std::time::Instant;
+
+/// Measurement driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times the closure over a short calibrated loop.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One warm-up call, then enough iterations to fill ~20 ms.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.02 / once) as u64).clamp(1, 10_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.last_mean_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    let ns = b.last_mean_ns;
+    if ns >= 1e9 {
+        println!("{label:<50} {:>10.3} s", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{label:<50} {:>10.3} ms", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{label:<50} {:>10.3} us", ns / 1e3);
+    } else {
+        println!("{label:<50} {ns:>10.1} ns");
+    }
+}
+
+/// Benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&id.to_string(), &b);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,109 @@
+//! In-repo proptest stub: the build container has no crates.io access, so
+//! this crate provides the subset of proptest's API the workspace's
+//! property tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, range/tuple/`prop::collection::vec` strategies —
+//! backed by a deterministic splitmix64 generator instead of proptest's
+//! shrinking test runner. Failures report the failing case index; re-runs
+//! are reproducible because the seed is derived from the test name.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each property as a `#[test]` over [`test_runner::cases`] sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::Rng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name), case, cases, e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {:?} != {:?}", lhs, rhs),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {:?} == {:?}",
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+/// Picks uniformly among the given strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($s)),+];
+        $crate::strategy::Union::new(arms)
+    }};
+}

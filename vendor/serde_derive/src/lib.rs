@@ -1,0 +1,381 @@
+//! Minimal `Serialize`/`Deserialize` derive macros for the in-repo serde
+//! stub (`vendor/serde`). The container this repository builds in has no
+//! access to crates.io, so the real serde cannot be fetched; this derive
+//! implements the subset of the serde data model the workspace uses:
+//!
+//! - structs with named fields, tuple structs (newtype structs serialize
+//!   transparently, matching serde_json's behavior), unit structs
+//! - enums with unit, newtype, tuple, and struct variants, using serde's
+//!   externally-tagged representation
+//!
+//! Generics, lifetimes, and `#[serde(...)]` field attributes other than
+//! `#[serde(transparent)]` (which is the default behavior for newtype
+//! structs here anyway) are not supported and fail with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the item the derive is applied to.
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        if *i < toks.len() && is_punct(&toks[*i], '#') {
+            *i += 2; // '#' + bracket group
+            continue;
+        }
+        if *i < toks.len() && ident_of(&toks[*i]).as_deref() == Some("pub") {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+            continue;
+        }
+        return;
+    }
+}
+
+/// Parses `name: Type` fields from a brace group's tokens.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected field name");
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field `{name}`");
+        i += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the comma-separated fields of a paren group (tuple struct/variant).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut last_was_comma = false;
+    for t in &toks {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            fields += 1;
+            last_was_comma = true;
+            continue;
+        }
+        last_was_comma = false;
+    }
+    if last_was_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected item name");
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde stub derive does not support generic types ({name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            _ => panic!("expected enum body for {name}"),
+        },
+        other => panic!("serde stub derive supports structs and enums, got `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut m: Vec<(String, ::serde::Value)> = Vec::new(); {} ::serde::Value::Map(m) }}",
+                pushes.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(vec![(String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(String::from(\"{v}\"), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push((String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{ let mut inner: Vec<(String, \
+                             ::serde::Value)> = Vec::new(); {} ::serde::Value::Map(vec![\
+                             (String::from(\"{v}\"), ::serde::Value::Map(inner))]) }},",
+                            pushes.join(" ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                .collect();
+            format!(
+                "{{ let s = v.as_seq().ok_or_else(|| ::serde::Error::msg(\
+                 \"expected sequence for {name}\"))?; \
+                 if s.len() != {n} {{ return Err(::serde::Error::msg(\
+                 \"wrong tuple arity for {name}\")); }} \
+                 Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match ::serde::field_opt(m, \"{f}\") {{ \
+                         Some(v) => ::serde::Deserialize::from_value(v)?, \
+                         None => ::serde::Deserialize::from_missing(\"{f}\")?, }},"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let m = v.as_map().ok_or_else(|| ::serde::Error::msg(\
+                 \"expected map for {name}\"))?; Ok({name} {{ {} }}) }}",
+                items.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let has_unit = variants.iter().any(|(_, f)| matches!(f, Fields::Unit));
+            let has_payload = variants.iter().any(|(_, f)| !matches!(f, Fields::Unit));
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(val)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let s = val.as_seq().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected sequence for {name}::{v}\"))?; \
+                             if s.len() != {n} {{ return Err(::serde::Error::msg(\
+                             \"wrong arity for {name}::{v}\")); }} Ok({name}::{v}({})) }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: match ::serde::field_opt(m, \"{f}\") {{ \
+                                     Some(v) => ::serde::Deserialize::from_value(v)?, \
+                                     None => ::serde::Deserialize::from_missing(\"{f}\")?, }},"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let m = val.as_map().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected map for {name}::{v}\"))?; \
+                             Ok({name}::{v} {{ {} }}) }}",
+                            items.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            let s_bind = if has_unit { "s" } else { "_s" };
+            let kv_bind = if has_payload { "(k, val)" } else { "(k, _val)" };
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Str({s_bind}) => match {s_match} {{\n\
+                     {unit_arms}\n\
+                     _ => Err(::serde::Error::msg(\"unknown variant of {name}\")),\n\
+                   }},\n\
+                   ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let {kv_bind} = &entries[0];\n\
+                     match k.as_str() {{\n\
+                       {payload_arms}\n\
+                       _ => Err(::serde::Error::msg(\"unknown variant of {name}\")),\n\
+                     }}\n\
+                   }},\n\
+                   _ => Err(::serde::Error::msg(\"invalid value for enum {name}\")),\n\
+                 }}",
+                s_match = if has_unit { "s.as_str()" } else { "\"\"" },
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                {body}\n\
+            }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
