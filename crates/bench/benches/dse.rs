@@ -5,8 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use madmax_core::{Simulation, UtilizationModel};
-use madmax_dse::{optimize, sweep_class, SearchOptions};
+use madmax_core::UtilizationModel;
+use madmax_dse::{sweep_class, Explorer};
+use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
 use madmax_parallel::{Plan, Task};
@@ -29,15 +30,15 @@ fn bench_sweep_and_search(c: &mut Criterion) {
     c.bench_function("fig10_joint_search_dlrm_a", |b| {
         b.iter(|| {
             black_box(
-                optimize(
-                    black_box(&model),
-                    &sys,
-                    &Task::Pretraining,
-                    &SearchOptions::default(),
-                )
-                .unwrap(),
+                Explorer::new(black_box(&model), &sys)
+                    .threads(1)
+                    .explore()
+                    .unwrap(),
             )
         })
+    });
+    c.bench_function("fig10_joint_search_dlrm_a_parallel", |b| {
+        b.iter(|| black_box(Explorer::new(black_box(&model), &sys).explore().unwrap()))
     });
 }
 
@@ -51,7 +52,8 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_function(format!("llama_prefetch_{prefetch}"), |b| {
             b.iter(|| {
                 black_box(
-                    Simulation::new(&model, &sys, &plan, Task::Pretraining)
+                    Scenario::new(&model, &sys)
+                        .plan(plan.clone())
                         .run()
                         .unwrap(),
                 )
@@ -68,8 +70,9 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_function(format!("vit_utilization_{name}"), |b| {
             b.iter(|| {
                 black_box(
-                    Simulation::new(&vit, &vit_sys, &vit_plan, Task::Pretraining)
-                        .with_utilization(util)
+                    Scenario::new(&vit, &vit_sys)
+                        .plan(vit_plan.clone())
+                        .utilization(util)
                         .run()
                         .unwrap(),
                 )

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use madmax_core::Simulation;
+use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
 use madmax_parallel::{Plan, Task};
@@ -27,14 +27,11 @@ fn bench_simulate(c: &mut Criterion) {
         let plan = Plan::fsdp_baseline(&model);
         group.bench_function(id.to_string(), |b| {
             b.iter(|| {
-                let r = Simulation::new(
-                    black_box(&model),
-                    black_box(&sys),
-                    black_box(&plan),
-                    Task::Pretraining,
-                )
-                .run()
-                .unwrap();
+                let r = Scenario::new(black_box(&model), black_box(&sys))
+                    .plan(black_box(&plan).clone())
+                    .task(Task::Pretraining)
+                    .run()
+                    .unwrap();
                 black_box(r.iteration_time)
             })
         });
@@ -46,7 +43,9 @@ fn bench_trace_vs_schedule(c: &mut Criterion) {
     let model = ModelId::Gpt3.build();
     let sys = catalog::llama_llm_system();
     let plan = Plan::fsdp_baseline(&model);
-    let sim = Simulation::new(&model, &sys, &plan, Task::Pretraining);
+    let sim = Scenario::new(&model, &sys)
+        .plan(plan)
+        .task(Task::Pretraining);
     c.bench_function("gpt3_trace_build", |b| {
         b.iter(|| black_box(sim.build_trace().unwrap()))
     });

@@ -1,7 +1,14 @@
-//! Regenerates the paper's Fig. 10.
+//! Regenerates the paper's Fig. 10 (`--threads N` sizes the explorer's
+//! worker pool; defaults to all cores).
 fn main() {
+    let threads = madmax_bench::threads_from_args();
+    let started = std::time::Instant::now();
     madmax_bench::emit(
         "fig10_pretraining_speedup",
-        &madmax_bench::experiments::strategy_figs::fig10(),
+        &madmax_bench::experiments::strategy_figs::fig10(threads),
+    );
+    eprintln!(
+        "fig10: explored on {threads} thread(s) in {:.2}s",
+        started.elapsed().as_secs_f64()
     );
 }

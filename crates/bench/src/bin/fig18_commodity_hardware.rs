@@ -1,7 +1,14 @@
-//! Regenerates the paper's Fig. 18.
+//! Regenerates the paper's Fig. 18 (`--threads N` sizes the explorer's
+//! worker pool; defaults to all cores).
 fn main() {
+    let threads = madmax_bench::threads_from_args();
+    let started = std::time::Instant::now();
     madmax_bench::emit(
         "fig18_commodity_hardware",
-        &madmax_bench::experiments::hardware_figs::fig18(),
+        &madmax_bench::experiments::hardware_figs::fig18(threads),
+    );
+    eprintln!(
+        "fig18: explored on {threads} thread(s) in {:.2}s",
+        started.elapsed().as_secs_f64()
     );
 }

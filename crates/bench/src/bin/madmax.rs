@@ -4,7 +4,7 @@
 //! madmax list                                # models and systems
 //! madmax simulate --model dlrm-a --system zionex \
 //!        --task pretraining --dense "(TP, DDP)"
-//! madmax search   --model gpt-3 --system llama --task inference
+//! madmax search   --model gpt-3 --system llama --task inference --threads 8
 //! madmax config   --model dlrm-b --out /tmp/cfgs   # emit the 3 JSON files
 //! madmax simulate --config-dir /tmp/cfgs           # run from JSON configs
 //! ```
@@ -13,8 +13,8 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use madmax_core::config::{ExperimentSpec, SimulationConfig};
-use madmax_core::Simulation;
-use madmax_dse::{optimize, SearchOptions};
+use madmax_dse::{Explorer, SearchSpace};
+use madmax_engine::Scenario;
 use madmax_hw::{catalog, ClusterSpec};
 use madmax_model::{LayerClass, ModelArch, ModelId};
 use madmax_parallel::{HierStrategy, Plan, Task};
@@ -120,7 +120,9 @@ fn print_report(
     plan: &Plan,
     task: &Task,
 ) -> Result<(), String> {
-    let report = Simulation::new(model, system, plan, task.clone())
+    let report = Scenario::new(model, system)
+        .plan(plan.clone())
+        .task(task.clone())
         .run()
         .map_err(|e| e.to_string())?;
     println!("workload:        {} ({task})", model.name);
@@ -200,11 +202,14 @@ fn run() -> Result<(), String> {
             let model = lookup_model(&args)?;
             let system = lookup_system(&args)?;
             let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
-            let options = SearchOptions {
-                ignore_memory_limits: args.get("unconstrained") == Some("true"),
-                classes: None,
-            };
-            let r = optimize(&model, &system, &task, &options).map_err(|e| e.to_string())?;
+            let mut space = SearchSpace::strategies();
+            space.ignore_memory_limits = args.get("unconstrained") == Some("true");
+            let mut explorer = Explorer::new(&model, &system).task(task).space(space);
+            if let Some(n) = args.get("threads") {
+                let n: usize = n.parse().map_err(|_| "--threads expects a number")?;
+                explorer = explorer.threads(n);
+            }
+            let r = explorer.explore().map_err(|e| e.to_string())?;
             println!("evaluated {} plans ({} OOM)", r.evaluated, r.oom);
             println!(
                 "baseline:  {:.3} ms/iter",

@@ -1,45 +1,71 @@
 //! Runs every table/figure experiment and persists results under
-//! `results/`.
+//! `results/`. DSE-heavy experiments fan out over all available cores.
 use madmax_bench::{emit, experiments as e};
 
-type Experiment = (&'static str, fn() -> String);
+type Experiment = (&'static str, Box<dyn Fn() -> String>);
 
 fn main() {
+    let threads = madmax_bench::default_threads();
     let runs: Vec<Experiment> = vec![
-        ("table1_validation", || e::tables::table1()),
-        ("table2_model_suite", || e::tables::table2()),
-        ("table3_systems", || e::tables::table3()),
-        ("table4_hw_specs", || e::tables::table4()),
-        ("fig01_pareto_frontier", || {
-            e::hardware_figs::fig16("Fig. 1: Resource-performance pareto frontier (cloud DLRM-A)")
-        }),
-        ("fig03_model_characterization", || {
-            e::characterization::fig03()
-        }),
-        ("fig04_fleet_characterization", || {
-            e::characterization::fig04()
-        }),
-        ("fig06_sample_streams", || e::validation_figs::fig06()),
-        ("fig07_dlrm_validation", || e::validation_figs::fig07()),
-        ("fig08_vit_validation", || e::validation_figs::fig08()),
-        ("fig09_fsdp_prefetch", || e::validation_figs::fig09()),
-        ("fig10_pretraining_speedup", || e::strategy_figs::fig10()),
-        ("fig11_dlrm_strategy_sweep", || e::strategy_figs::fig11()),
-        ("fig12_dlrm_variants", || e::strategy_figs::fig12()),
-        ("fig13_variant_pareto", || e::strategy_figs::fig13()),
-        ("fig14_task_diversity", || e::strategy_figs::fig14()),
-        ("fig15_context_length", || e::strategy_figs::fig15()),
-        ("fig16_cloud_instances", || {
-            e::hardware_figs::fig16("Fig. 16: Cloud instance configurations and workload mappings")
-        }),
-        ("fig17_gpu_generations", || e::hardware_figs::fig17()),
-        ("fig18_commodity_hardware", || e::hardware_figs::fig18()),
-        ("fig19_hardware_scaling", || e::hardware_figs::fig19()),
-        ("fig20_execution_breakdown", || e::hardware_figs::fig20()),
-        ("fig_pipeline_schedules", || {
-            e::pipeline_figs::fig_pipeline_schedules()
-        }),
-        ("ablations", || e::ablations::run()),
+        ("table1_validation", Box::new(e::tables::table1)),
+        ("table2_model_suite", Box::new(e::tables::table2)),
+        ("table3_systems", Box::new(e::tables::table3)),
+        ("table4_hw_specs", Box::new(e::tables::table4)),
+        (
+            "fig01_pareto_frontier",
+            Box::new(|| {
+                e::hardware_figs::fig16(
+                    "Fig. 1: Resource-performance pareto frontier (cloud DLRM-A)",
+                )
+            }),
+        ),
+        (
+            "fig03_model_characterization",
+            Box::new(e::characterization::fig03),
+        ),
+        (
+            "fig04_fleet_characterization",
+            Box::new(e::characterization::fig04),
+        ),
+        ("fig06_sample_streams", Box::new(e::validation_figs::fig06)),
+        ("fig07_dlrm_validation", Box::new(e::validation_figs::fig07)),
+        ("fig08_vit_validation", Box::new(e::validation_figs::fig08)),
+        ("fig09_fsdp_prefetch", Box::new(e::validation_figs::fig09)),
+        (
+            "fig10_pretraining_speedup",
+            Box::new(move || e::strategy_figs::fig10(threads)),
+        ),
+        (
+            "fig11_dlrm_strategy_sweep",
+            Box::new(e::strategy_figs::fig11),
+        ),
+        ("fig12_dlrm_variants", Box::new(e::strategy_figs::fig12)),
+        ("fig13_variant_pareto", Box::new(e::strategy_figs::fig13)),
+        ("fig14_task_diversity", Box::new(e::strategy_figs::fig14)),
+        ("fig15_context_length", Box::new(e::strategy_figs::fig15)),
+        (
+            "fig16_cloud_instances",
+            Box::new(|| {
+                e::hardware_figs::fig16(
+                    "Fig. 16: Cloud instance configurations and workload mappings",
+                )
+            }),
+        ),
+        ("fig17_gpu_generations", Box::new(e::hardware_figs::fig17)),
+        (
+            "fig18_commodity_hardware",
+            Box::new(move || e::hardware_figs::fig18(threads)),
+        ),
+        ("fig19_hardware_scaling", Box::new(e::hardware_figs::fig19)),
+        (
+            "fig20_execution_breakdown",
+            Box::new(e::hardware_figs::fig20),
+        ),
+        (
+            "fig_pipeline_schedules",
+            Box::new(move || e::pipeline_figs::fig_pipeline_schedules(threads)),
+        ),
+        ("ablations", Box::new(e::ablations::run)),
     ];
     for (name, f) in runs {
         eprintln!(">>> {name}");

@@ -2,11 +2,12 @@
 //! hierarchical vs flat collective models, FSDP prefetching, slowest-link
 //! All2All, and constant vs workload-dependent compute utilization.
 
-use madmax_core::{FlatWorstLink, Simulation, UtilizationModel};
+use madmax_core::{FlatWorstLink, UtilizationModel};
+use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::vit::{vit, VIT_FAMILY};
 use madmax_model::ModelId;
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::Plan;
 use madmax_report::{heading, Table};
 
 /// Runs every ablation and renders a combined report.
@@ -29,12 +30,14 @@ pub fn run() -> String {
             catalog::llama_llm_system()
         };
         let plan = Plan::fsdp_baseline(&model);
-        let hier = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+        let hier = Scenario::new(&model, &sys)
+            .plan(plan.clone())
             .run()
             .unwrap();
         let flat_model = FlatWorstLink;
-        let flat = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .with_collective_model(&flat_model)
+        let flat = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .collectives(&flat_model)
             .run()
             .unwrap();
         t.row([
@@ -64,11 +67,13 @@ pub fn run() -> String {
         let sys = catalog::llama_llm_system();
         let mut plan = Plan::fsdp_baseline(&model);
         plan.options.fsdp_prefetch = false;
-        let without = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+        let without = Scenario::new(&model, &sys)
+            .plan(plan.clone())
             .run()
             .unwrap();
         plan.options.fsdp_prefetch = true;
-        let with = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+        let with = Scenario::new(&model, &sys)
+            .plan(plan.clone())
             .run()
             .unwrap();
         t.row([
@@ -92,12 +97,14 @@ pub fn run() -> String {
         let model = vit(cfg, 4096);
         let sys = catalog::zionex_dlrm_system().with_num_nodes(gpus / 8);
         let plan = Plan::fsdp_baseline(&model);
-        let constant = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .with_utilization(UtilizationModel::Constant)
+        let constant = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .utilization(UtilizationModel::Constant)
             .run()
             .unwrap();
-        let dependent = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .with_utilization(UtilizationModel::vit_default())
+        let dependent = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .utilization(UtilizationModel::vit_default())
             .run()
             .unwrap();
         t.row([

@@ -4,8 +4,9 @@
 //! (execution breakdowns under scaling).
 
 use madmax_cloud::{frontier, sweep as cloud_sweep};
-use madmax_core::{simulate, IterationReport, Simulation};
-use madmax_dse::{optimize, scaling_study, ScalingAxis, SearchOptions};
+use madmax_core::IterationReport;
+use madmax_dse::{scaling_study, Explorer, ScalingAxis};
+use madmax_engine::{simulate, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
 use madmax_parallel::{HierStrategy, Plan, Strategy, Task};
@@ -149,7 +150,8 @@ pub fn fig17() -> String {
 }
 
 /// Fig. 18: MAD-Max-identified strategies on commodity accelerators.
-pub fn fig18() -> String {
+/// `threads` sizes the explorer's worker pool.
+pub fn fig18(threads: usize) -> String {
     let mut out = heading("Fig. 18: Commodity hardware (MI250X, MI300X, Gaudi2)");
     let model = ModelId::DlrmA.build();
     let clusters = [
@@ -167,7 +169,10 @@ pub fn fig18() -> String {
         "Strategies",
     ]);
     for sys in &clusters {
-        let r = optimize(&model, sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+        let r = Explorer::new(&model, sys)
+            .threads(threads)
+            .explore()
+            .unwrap();
         t.row([
             sys.name.clone(),
             format!("{:.2}", r.baseline.mqps()),
@@ -284,7 +289,8 @@ pub fn fig20() -> String {
                 Some(a) => sys.scaled(&a.scaling(10.0)),
                 None => sys.clone(),
             };
-            let r = Simulation::new(&model, &scaled, &plan, Task::Pretraining)
+            let r = Scenario::new(&model, &scaled)
+                .plan(plan.clone())
                 .run()
                 .unwrap();
             rows.extend(breakdown_rows(label, &r));
@@ -312,7 +318,7 @@ mod tests {
 
     #[test]
     fn fig18_covers_all_platforms() {
-        let s = fig18();
+        let s = fig18(2);
         for p in ["MI250X", "MI300X", "Gaudi2"] {
             assert!(s.contains(p), "missing {p}");
         }

@@ -1,13 +1,22 @@
 //! Pipeline-schedule comparison (GPipe vs 1F1B across depths and
 //! microbatch counts) against the analytic `(p-1)/(m+p-1)` floor.
+//!
+//! The whole grid is expressed as plain candidate plans and evaluated in
+//! one parallel [`Explorer::evaluate`] call through the unified
+//! `Scenario` engine — no per-schedule simulator plumbing.
 
+use madmax_dse::Explorer;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
 use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
 use madmax_pipeline::gpipe_bubble_fraction;
 
-/// Renders the GPipe-vs-1F1B schedule comparison report.
-pub fn fig_pipeline_schedules() -> String {
+const SCHEDULES: [PipelineSchedule; 2] = [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB];
+const MICROBATCHES: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Renders the GPipe-vs-1F1B schedule comparison report, evaluating the
+/// (model x microbatch x schedule) grid on `threads` workers.
+pub fn fig_pipeline_schedules(threads: usize) -> String {
     let system = catalog::llama_llm_system();
     let pp = 8usize;
     let mut out = String::new();
@@ -32,19 +41,35 @@ pub fn fig_pipeline_schedules() -> String {
             "1F1B s/iter",
             "1F1B act-mem"
         ));
-        for m in [2usize, 4, 8, 16, 32] {
+
+        // The full (mb x schedule) grid as candidate plans, evaluated in
+        // parallel; results come back in enumeration order.
+        let plans: Vec<Plan> = MICROBATCHES
+            .iter()
+            .flat_map(|&m| {
+                SCHEDULES.map(|schedule| {
+                    let mut plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+                        stages: pp,
+                        microbatches: m,
+                        schedule,
+                    });
+                    plan.options.ignore_memory_limits = true;
+                    plan
+                })
+            })
+            .collect();
+        let results = Explorer::new(&model, &system)
+            .task(Task::Pretraining)
+            .threads(threads)
+            .evaluate(&plans);
+
+        for (mi, &m) in MICROBATCHES.iter().enumerate() {
             let mut bubbles = Vec::new();
             let mut iters = Vec::new();
             let mut act_ratio = None;
             let mut gpipe_act = None;
-            for schedule in [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB] {
-                let mut plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
-                    stages: pp,
-                    microbatches: m,
-                    schedule,
-                });
-                plan.options.ignore_memory_limits = true;
-                match madmax_pipeline::simulate(&model, &system, &plan, Task::Pretraining) {
+            for (si, schedule) in SCHEDULES.into_iter().enumerate() {
+                match &results[mi * SCHEDULES.len() + si] {
                     Ok(r) => {
                         bubbles.push(r.bubble_fraction.unwrap_or(0.0));
                         iters.push(r.iteration_time.as_secs());
@@ -88,4 +113,16 @@ pub fn fig_pipeline_schedules() -> String {
          activations — the '1F1B act-mem' column, min(p,m)/m of GPipe's.\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn schedule_grid_renders_for_all_models() {
+        let s = super::fig_pipeline_schedules(2);
+        for name in ["LLaMA", "GPT-3"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("1F1B act-mem"));
+    }
 }

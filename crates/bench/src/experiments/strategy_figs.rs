@@ -1,10 +1,10 @@
 //! Experiments regenerating the parallelization-strategy figures:
 //! Figs. 10-15.
 
-use madmax_core::simulate;
 use madmax_dse::{
-    best_point, optimize, pareto_frontier, sweep_class, ParetoPoint, SearchOptions, SweepPoint,
+    best_point, pareto_frontier, sweep_class, Explorer, ParetoPoint, SearchSpace, SweepPoint,
 };
+use madmax_engine::simulate;
 use madmax_hw::catalog;
 use madmax_model::{DlrmVariant, LayerClass, ModelId};
 use madmax_parallel::{memory_per_device, HierStrategy, Plan, Strategy, Task};
@@ -20,7 +20,8 @@ fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
 
 /// Fig. 10: pre-training throughput over the FSDP baseline across the full
 /// model suite, memory-constrained (blue) and unconstrained (orange).
-pub fn fig10() -> String {
+/// `threads` sizes the explorer's worker pool.
+pub fn fig10(threads: usize) -> String {
     let mut out = heading("Fig. 10: Pre-training throughput improvement over FSDP baseline");
     let mut bars = Vec::new();
     let mut t = Table::new([
@@ -33,18 +34,15 @@ pub fn fig10() -> String {
     for id in ModelId::ALL {
         let model = id.build();
         let sys = system_for(id);
-        let c = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default())
+        let c = Explorer::new(&model, &sys)
+            .threads(threads)
+            .explore()
             .expect("baseline feasible");
-        let u = optimize(
-            &model,
-            &sys,
-            &Task::Pretraining,
-            &SearchOptions {
-                ignore_memory_limits: true,
-                classes: None,
-            },
-        )
-        .expect("unconstrained search runs");
+        let u = Explorer::new(&model, &sys)
+            .space(SearchSpace::strategies().unconstrained())
+            .threads(threads)
+            .explore()
+            .expect("unconstrained search runs");
         speedups.push(c.speedup());
         t.row([
             id.to_string(),
@@ -272,16 +270,10 @@ pub fn fig15() -> String {
         } else {
             base_model.with_context_length(ctx)
         };
-        let r = optimize(
-            &model,
-            &sys,
-            &Task::Pretraining,
-            &SearchOptions {
-                ignore_memory_limits: true,
-                classes: None,
-            },
-        )
-        .unwrap();
+        let r = Explorer::new(&model, &sys)
+            .space(SearchSpace::strategies().unconstrained())
+            .explore()
+            .unwrap();
         speedups.push(r.speedup());
         t.row([
             ctx.to_string(),
@@ -317,7 +309,7 @@ mod tests {
 
     #[test]
     fn fig10_covers_suite() {
-        let s = fig10();
+        let s = fig10(2);
         for id in ModelId::ALL {
             assert!(s.contains(&id.to_string()), "missing {id}");
         }

@@ -3,7 +3,8 @@
 //! MFU validation), and Fig. 9 (FSDP prefetch overlap).
 
 use madmax_core::validation::{accuracy_pct, reference};
-use madmax_core::{Simulation, StreamId, UtilizationModel};
+use madmax_core::{StreamId, UtilizationModel};
+use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::vit::{vit, VIT_FAMILY};
 use madmax_model::{DlrmVariant, ModelId};
@@ -17,7 +18,9 @@ pub fn fig06() -> String {
     let model = madmax_model::dlrm::dlrm_a(DlrmVariant::Transformer);
     let sys = catalog::zionex_dlrm_system();
     let plan = Plan::fsdp_baseline(&model);
-    let (report, trace, sched) = Simulation::new(&model, &sys, &plan, Task::Inference)
+    let (report, trace, sched) = Scenario::new(&model, &sys)
+        .plan(plan)
+        .task(Task::Inference)
         .run_with_trace()
         .expect("baseline mapping is feasible");
 
@@ -79,7 +82,8 @@ pub fn fig07() -> String {
         scaled.global_batch = 512 * gpus;
         let mut plan = Plan::fsdp_baseline(&scaled);
         plan.options.ignore_memory_limits = nodes == 1;
-        let r = Simulation::new(&scaled, &sys, &plan, Task::Pretraining)
+        let r = Scenario::new(&scaled, &sys)
+            .plan(plan)
             .run()
             .expect("mapping simulates");
 
@@ -150,8 +154,9 @@ pub fn fig08() -> String {
                 let mut sys = catalog::zionex_dlrm_system().with_num_nodes(gpus / 8);
                 sys.device.inter_node_bw = madmax_hw::units::BytesPerSec::from_gbps(50.0);
                 let plan = Plan::fsdp_baseline(&model);
-                let Ok(r) = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-                    .with_utilization(util)
+                let Ok(r) = Scenario::new(&model, &sys)
+                    .plan(plan)
+                    .utilization(util)
                     .run()
                 else {
                     continue; // very large models need more GPUs
@@ -198,9 +203,7 @@ pub fn fig09() -> String {
     for (i, prefetch) in [false, true].into_iter().enumerate() {
         let mut plan = Plan::fsdp_baseline(&model);
         plan.options.fsdp_prefetch = prefetch;
-        let r = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .run()
-            .unwrap();
+        let r = Scenario::new(&model, &sys).plan(plan).run().unwrap();
         overlaps[i] = r.overlap_fraction() * 100.0;
         t.row([
             if prefetch {

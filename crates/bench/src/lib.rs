@@ -25,3 +25,27 @@ pub fn emit(name: &str, content: &str) {
         let _ = fs::write(dir.join(format!("{name}.txt")), content);
     }
 }
+
+/// The default worker-pool size for DSE-heavy experiments: all available
+/// cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses `--threads N` from the process arguments for the DSE-heavy
+/// bench binaries, defaulting to [`default_threads`]. Exits with a usage
+/// message on a malformed value.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("usage: --threads <N>  (N >= 1)");
+                std::process::exit(2);
+            };
+            return n.max(1);
+        }
+    }
+    default_threads()
+}

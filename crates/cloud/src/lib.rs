@@ -10,12 +10,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use madmax_core::simulate;
-use madmax_dse::{optimize, ParetoPoint, SearchOptions};
+use madmax_dse::{Explorer, ParetoPoint};
+use madmax_engine::{EngineError, Scenario};
 use madmax_hw::units::BytesPerSec;
 use madmax_hw::{catalog, ClusterSpec, DeviceSpec, FabricKind};
 use madmax_model::ModelArch;
-use madmax_parallel::{Plan, PlanError, Task};
+use madmax_parallel::{Plan, Task};
 
 /// A rentable multi-GPU cloud instance type.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,27 +144,24 @@ pub struct CloudPoint {
 ///
 /// # Errors
 ///
-/// Returns [`PlanError`] when no feasible mapping exists on the
+/// Returns [`EngineError`] when no feasible mapping exists on the
 /// configuration (small-memory instances at low counts).
 pub fn evaluate(
     model: &ModelArch,
     inst: &CloudInstance,
     instances: usize,
     optimized: bool,
-) -> Result<CloudPoint, PlanError> {
+) -> Result<CloudPoint, EngineError> {
     let cluster = inst.cluster(instances);
     let (report, plan) = if optimized {
-        let r = optimize(
-            model,
-            &cluster,
-            &Task::Pretraining,
-            &SearchOptions::default(),
-        )?;
+        let r = Explorer::new(model, &cluster)
+            .task(Task::Pretraining)
+            .explore()?;
         (r.best.clone(), r.best_plan.summary())
     } else {
         let plan = Plan::fsdp_baseline(model);
         (
-            simulate(model, &cluster, &plan, Task::Pretraining)?,
+            Scenario::new(model, &cluster).plan(plan.clone()).run()?,
             plan.summary(),
         )
     };
@@ -252,13 +249,8 @@ mod tests {
         );
         // p4d has 4x lower inter-node bandwidth than ZionEX: slower than
         // the production system.
-        let zionex = simulate(
-            &model,
-            &catalog::zionex_dlrm_system(),
-            &Plan::fsdp_baseline(&model),
-            Task::Pretraining,
-        )
-        .unwrap();
+        let zionex_sys = catalog::zionex_dlrm_system();
+        let zionex = Scenario::new(&model, &zionex_sys).run().unwrap();
         let zionex_hours = 1e9 / zionex.samples_per_sec() / 3600.0;
         assert!(p.elapsed_hours > zionex_hours);
     }

@@ -205,11 +205,11 @@ mod tests {
         let cfg = sample();
         let js = cfg.to_json().unwrap();
         let cfg = SimulationConfig::from_json(&js).unwrap();
-        let report = crate::perf::simulate(
+        let report = crate::perf::run_flat_default(
             &cfg.model,
             &cfg.system,
             &cfg.experiment.plan,
-            cfg.experiment.task,
+            &cfg.experiment.task,
         )
         .unwrap();
         assert!(report.iteration_time.as_ms() > 0.0);

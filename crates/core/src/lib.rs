@@ -8,8 +8,11 @@
 //! serialized/overlapped execution, exposed communication, and per-
 //! collective breakdowns (Section IV of the paper).
 //!
-//! See [`Simulation`] for the main entry point and the `validation` module
-//! for the paper's Table I / Fig. 7-9 reference experiments.
+//! The unified front door to the performance model is
+//! `madmax_engine::Scenario`, which dispatches between this crate's flat
+//! engine ([`run_flat`]) and `madmax-pipeline`'s stage engine. The
+//! `validation` module holds the paper's Table I / Fig. 7-9 reference
+//! experiments.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,16 +30,44 @@ pub mod validation;
 pub use collective::{CollectiveModel, FlatWorstLink, HierarchicalNccl};
 pub use compute::UtilizationModel;
 pub use metrics::IterationReport;
+pub use perf::{build_flat_trace, run_flat, run_flat_default};
+#[allow(deprecated)]
 pub use perf::{simulate, Simulation};
 pub use sim::{schedule, OpWindow, Schedule};
 pub use trace::{OpId, OpKind, Phase, StreamId, Trace, TraceOp};
 
 #[cfg(test)]
 mod cross_module_tests {
-    use crate::{simulate, Simulation};
-    use madmax_hw::catalog;
-    use madmax_model::ModelId;
-    use madmax_parallel::{Plan, Task};
+    use crate::perf::run_flat_default;
+    use crate::{IterationReport, Schedule, Trace, UtilizationModel};
+    use madmax_hw::{catalog, ClusterSpec};
+    use madmax_model::{ModelArch, ModelId};
+    use madmax_parallel::{Plan, PlanError, Task};
+
+    fn simulate(
+        model: &ModelArch,
+        cluster: &ClusterSpec,
+        plan: &Plan,
+        task: Task,
+    ) -> Result<IterationReport, PlanError> {
+        run_flat_default(model, cluster, plan, &task)
+    }
+
+    fn run_with_trace(
+        model: &ModelArch,
+        cluster: &ClusterSpec,
+        plan: &Plan,
+        task: Task,
+    ) -> Result<(IterationReport, Trace, Schedule), PlanError> {
+        crate::run_flat(
+            model,
+            cluster,
+            plan,
+            &task,
+            &crate::HierarchicalNccl,
+            UtilizationModel::Constant,
+        )
+    }
 
     #[test]
     fn report_serde_round_trip() {
@@ -54,9 +85,7 @@ mod cross_module_tests {
         let model = ModelId::DlrmB.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let (_, trace, _) = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .run_with_trace()
-            .unwrap();
+        let (_, trace, _) = run_with_trace(&model, &sys, &plan, Task::Pretraining).unwrap();
         let js = serde_json::to_string(&trace).unwrap();
         let back: crate::Trace = serde_json::from_str(&js).unwrap();
         assert_eq!(trace, back);

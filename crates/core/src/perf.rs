@@ -1,6 +1,10 @@
-//! The top-level MAD-Max entry point: configure a simulation of one
-//! (model, system, plan, task) combination and obtain an
-//! [`IterationReport`].
+//! The flat-SPMD execution engine: turns one (model, system, plan, task)
+//! combination into an [`IterationReport`].
+//!
+//! [`run_flat`] is the low-level entry point shared by the unified
+//! `madmax_engine::Scenario` front door and the deprecated [`Simulation`]
+//! shim. New code should go through `Scenario`, which also dispatches
+//! pipelined plans.
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
@@ -13,25 +17,91 @@ use crate::metrics::IterationReport;
 use crate::sim::{schedule, Schedule};
 use crate::trace::Trace;
 
-/// A configured MAD-Max simulation.
+/// The default collective model instance.
+static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
+
+/// This engine executes the flat SPMD mapping only; plans that configure
+/// pipeline parallelism must go through `madmax-pipeline`'s stage engine
+/// (or the dispatching `madmax_engine::Scenario`).
+fn reject_pipelined(plan: &Plan) -> Result<(), PlanError> {
+    match plan.pipeline {
+        Some(pp) if pp.is_pipelined() => Err(PlanError::PipelinedPlan { stages: pp.stages }),
+        _ => Ok(()),
+    }
+}
+
+/// The shared front half of the flat engine: validate, check memory, and
+/// build the trace. Both trace-only inspection and the full run go
+/// through here so the two views can never drift.
+fn prepare_flat(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<(Trace, madmax_parallel::MemoryBreakdown), PlanError> {
+    reject_pipelined(plan)?;
+    let memory = check_memory(model, cluster, plan, task)?;
+    let trace = TraceBuilder {
+        model,
+        cluster,
+        plan,
+        task,
+        collective_model,
+        utilization,
+    }
+    .build();
+    Ok((trace, memory))
+}
+
+/// Builds the flat-SPMD trace without scheduling it (for inspection /
+/// Fig. 6 timelines).
 ///
-/// # Examples
+/// # Errors
 ///
-/// ```
-/// use madmax_core::Simulation;
-/// use madmax_hw::catalog;
-/// use madmax_model::ModelId;
-/// use madmax_parallel::{Plan, Task};
+/// Fails when the plan is pipelined ([`PlanError::PipelinedPlan`]),
+/// invalid ([`PlanError::InvalidStrategy`]), or the mapping does not fit
+/// in device memory ([`PlanError::OutOfMemory`]).
+pub fn build_flat_trace(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<Trace, PlanError> {
+    prepare_flat(model, cluster, plan, task, collective_model, utilization).map(|(trace, _)| trace)
+}
+
+/// Runs the flat-SPMD engine end to end, returning the report plus the
+/// trace and schedule for timeline rendering.
 ///
-/// # fn main() -> Result<(), madmax_parallel::PlanError> {
-/// let model = ModelId::DlrmA.build();
-/// let system = catalog::zionex_dlrm_system();
-/// let plan = Plan::fsdp_baseline(&model);
-/// let report = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
-/// assert!(report.mqps() > 0.5 && report.mqps() < 5.0);
-/// # Ok(())
-/// # }
-/// ```
+/// # Errors
+///
+/// Same conditions as [`build_flat_trace`].
+pub fn run_flat(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<(IterationReport, Trace, Schedule), PlanError> {
+    let (trace, memory) = prepare_flat(model, cluster, plan, task, collective_model, utilization)?;
+    let sched = schedule(&trace);
+    let report = IterationReport::from_schedule(&trace, &sched, model, memory);
+    Ok((report, trace, sched))
+}
+
+/// A configured flat-SPMD MAD-Max simulation.
+///
+/// Deprecated: `madmax_engine::Scenario` is the unified entry point; it
+/// accepts both flat and pipelined plans and reports one error type.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
+)]
 #[derive(Debug)]
 pub struct Simulation<'a> {
     model: &'a ModelArch,
@@ -42,9 +112,7 @@ pub struct Simulation<'a> {
     utilization: UtilizationModel,
 }
 
-/// The default collective model instance.
-static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
-
+#[allow(deprecated)]
 impl<'a> Simulation<'a> {
     /// Creates a simulation with the default NCCL-style collective model
     /// and constant compute utilization.
@@ -74,16 +142,6 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    /// This simulator executes the flat SPMD mapping; plans that configure
-    /// pipeline parallelism must go through `madmax-pipeline`'s simulator,
-    /// which builds multi-stream stage traces.
-    fn reject_pipelined(&self) -> Result<(), PlanError> {
-        match self.plan.pipeline {
-            Some(pp) if pp.is_pipelined() => Err(PlanError::PipelinedPlan { stages: pp.stages }),
-            _ => Ok(()),
-        }
-    }
-
     /// Builds the trace without scheduling (for inspection / Fig. 6).
     ///
     /// # Errors
@@ -91,17 +149,14 @@ impl<'a> Simulation<'a> {
     /// Fails when the plan is invalid or the mapping does not fit in
     /// device memory.
     pub fn build_trace(&self) -> Result<Trace, PlanError> {
-        self.reject_pipelined()?;
-        check_memory(self.model, self.cluster, self.plan, &self.task)?;
-        Ok(TraceBuilder {
-            model: self.model,
-            cluster: self.cluster,
-            plan: self.plan,
-            task: &self.task,
-            collective_model: self.collective_model,
-            utilization: self.utilization,
-        }
-        .build())
+        build_flat_trace(
+            self.model,
+            self.cluster,
+            self.plan,
+            &self.task,
+            self.collective_model,
+            self.utilization,
+        )
     }
 
     /// Runs the simulation end to end.
@@ -123,35 +178,65 @@ impl<'a> Simulation<'a> {
     ///
     /// Same conditions as [`Simulation::run`].
     pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), PlanError> {
-        self.reject_pipelined()?;
-        let memory = check_memory(self.model, self.cluster, self.plan, &self.task)?;
-        let trace = TraceBuilder {
-            model: self.model,
-            cluster: self.cluster,
-            plan: self.plan,
-            task: &self.task,
-            collective_model: self.collective_model,
-            utilization: self.utilization,
-        }
-        .build();
-        let sched = schedule(&trace);
-        let report = IterationReport::from_schedule(&trace, &sched, self.model, memory);
-        Ok((report, trace, sched))
+        run_flat(
+            self.model,
+            self.cluster,
+            self.plan,
+            &self.task,
+            self.collective_model,
+            self.utilization,
+        )
     }
 }
 
-/// One-shot convenience wrapper around [`Simulation`].
+/// One-shot convenience wrapper around the flat engine.
 ///
 /// # Errors
 ///
-/// Same conditions as [`Simulation::run`].
+/// Same conditions as [`run_flat`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
+)]
 pub fn simulate(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
     task: Task,
 ) -> Result<IterationReport, PlanError> {
-    Simulation::new(model, cluster, plan, task).run()
+    run_flat(
+        model,
+        cluster,
+        plan,
+        &task,
+        &DEFAULT_COLLECTIVES,
+        UtilizationModel::Constant,
+    )
+    .map(|(report, _, _)| report)
+}
+
+/// Runs the flat engine with the default cost models (the implementation
+/// behind the deprecated [`simulate`] and the non-pipelined half of
+/// `madmax_engine::Scenario`).
+///
+/// # Errors
+///
+/// Same conditions as [`run_flat`].
+pub fn run_flat_default(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+) -> Result<IterationReport, PlanError> {
+    run_flat(
+        model,
+        cluster,
+        plan,
+        task,
+        &DEFAULT_COLLECTIVES,
+        UtilizationModel::Constant,
+    )
+    .map(|(report, _, _)| report)
 }
 
 #[cfg(test)]
@@ -162,12 +247,21 @@ mod tests {
     use madmax_model::{LayerClass, ModelId};
     use madmax_parallel::{HierStrategy, Strategy};
 
+    fn run(
+        model: &ModelArch,
+        cluster: &ClusterSpec,
+        plan: &Plan,
+        task: Task,
+    ) -> Result<IterationReport, PlanError> {
+        run_flat_default(model, cluster, plan, &task)
+    }
+
     #[test]
     fn dlrm_baseline_runs_and_is_sane() {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let r = run(&model, &sys, &plan, Task::Pretraining).unwrap();
         assert!(r.iteration_time.as_ms() > 10.0 && r.iteration_time.as_ms() < 200.0);
         assert!(r.serialized_time >= r.iteration_time);
         assert!(r.exposed_comm <= r.comm_time);
@@ -181,7 +275,7 @@ mod tests {
         let plan = Plan::fsdp_baseline(&model)
             .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Ddp));
         assert!(matches!(
-            simulate(&model, &sys, &plan, Task::Pretraining),
+            run(&model, &sys, &plan, Task::Pretraining),
             Err(PlanError::OutOfMemory { .. })
         ));
     }
@@ -191,8 +285,8 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let train = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-        let infer = simulate(&model, &sys, &plan, Task::Inference).unwrap();
+        let train = run(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let infer = run(&model, &sys, &plan, Task::Inference).unwrap();
         assert!(infer.iteration_time < train.iteration_time);
     }
 
@@ -201,14 +295,24 @@ mod tests {
         let model = ModelId::Gpt3.build();
         let sys = catalog::llama_llm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let hier = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .run()
-            .unwrap();
-        let flat_model = FlatWorstLink;
-        let flat = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .with_collective_model(&flat_model)
-            .run()
-            .unwrap();
+        let (hier, _, _) = run_flat(
+            &model,
+            &sys,
+            &plan,
+            &Task::Pretraining,
+            &DEFAULT_COLLECTIVES,
+            UtilizationModel::Constant,
+        )
+        .unwrap();
+        let (flat, _, _) = run_flat(
+            &model,
+            &sys,
+            &plan,
+            &Task::Pretraining,
+            &FlatWorstLink,
+            UtilizationModel::Constant,
+        )
+        .unwrap();
         assert!(flat.comm_time > hier.comm_time);
     }
 
@@ -217,10 +321,34 @@ mod tests {
         let model = ModelId::DlrmB.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let (report, trace, sched) = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .run_with_trace()
-            .unwrap();
+        let (report, trace, sched) = run_flat(
+            &model,
+            &sys,
+            &plan,
+            &Task::Pretraining,
+            &DEFAULT_COLLECTIVES,
+            UtilizationModel::Constant,
+        )
+        .unwrap();
         assert_eq!(trace.len(), sched.windows.len());
         assert!((trace.serialized_time() / report.serialized_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_engine() {
+        // The legacy `Simulation` / `simulate` front door must keep
+        // producing the exact reports of the underlying engine until it is
+        // removed.
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let engine = run(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let shim = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run()
+            .unwrap();
+        let one_shot = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        assert_eq!(engine, shim);
+        assert_eq!(engine, one_shot);
     }
 }

@@ -1,0 +1,492 @@
+//! The unified design-space explorer: one [`SearchSpace`] spanning the
+//! per-layer-class strategy axes and the optional pipeline axes
+//! `(stages, microbatches, schedule)`, and one [`Explorer`] that evaluates
+//! every candidate plan through `madmax_engine::Scenario` — in parallel on
+//! a scoped worker pool — and returns a single [`SearchOutcome`].
+//!
+//! This subsumes the deprecated `optimize` (strategy-only) and
+//! `optimize_pipeline` (pipeline-aware) searches: the former is an
+//! `Explorer` over [`SearchSpace::strategies`], the latter over a space
+//! with [`PipelineAxes`] attached.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use madmax_core::IterationReport;
+use madmax_engine::{EngineError, Scenario};
+use madmax_hw::ClusterSpec;
+use madmax_model::{LayerClass, ModelArch};
+use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
+
+use crate::search::strategy_combos;
+
+/// The pipeline dimensions of a [`SearchSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineAxes {
+    /// Pipeline depths to try (`1` = no pipelining; always worth including
+    /// so the flat baseline is part of the same sweep).
+    pub stages: Vec<usize>,
+    /// Microbatch counts to try for pipelined configurations.
+    pub microbatches: Vec<usize>,
+    /// Schedules to try for pipelined configurations.
+    pub schedules: Vec<PipelineSchedule>,
+}
+
+impl PipelineAxes {
+    /// Axes fitted to `cluster`: power-of-two depths the device hierarchy
+    /// can actually be split into (exactly the depths
+    /// `madmax_pipeline`'s `stage_cluster` accepts), a standard microbatch
+    /// ladder, and both schedules.
+    pub fn default_for(cluster: &ClusterSpec) -> Self {
+        let stages = [1usize, 2, 4, 8]
+            .into_iter()
+            .filter(|&p| p == 1 || madmax_pipeline::cost::stage_cluster(cluster, p).is_ok())
+            .collect();
+        Self {
+            stages,
+            microbatches: vec![4, 8, 16, 32],
+            schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+        }
+    }
+}
+
+/// The unified design space: strategy axes x optional pipeline axes.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    /// Search per-layer-class hierarchical strategies (otherwise the FSDP
+    /// baseline assignments are kept).
+    pub search_strategies: bool,
+    /// Restrict the strategy search to these classes (others keep the
+    /// baseline assignment). `None` searches every class in the model.
+    pub classes: Option<Vec<LayerClass>>,
+    /// Pipeline dimensions to sweep jointly; `None` keeps every candidate
+    /// flat.
+    pub pipeline: Option<PipelineAxes>,
+    /// Explore mappings beyond current memory capacities (the orange bars
+    /// of Fig. 10).
+    pub ignore_memory_limits: bool,
+}
+
+impl SearchSpace {
+    /// The strategy-only space of the paper's Fig. 10/18 joint search:
+    /// every per-class assignment, no pipeline axes.
+    pub fn strategies() -> Self {
+        Self {
+            search_strategies: true,
+            ..Self::default()
+        }
+    }
+
+    /// A pipeline space fitted to `cluster` (depths it can split into,
+    /// both schedules), with the per-class strategies held at the
+    /// baseline.
+    pub fn pipeline_for(cluster: &ClusterSpec) -> Self {
+        Self {
+            pipeline: Some(PipelineAxes::default_for(cluster)),
+            ..Self::default()
+        }
+    }
+
+    /// Restricts the strategy search to `classes` (enables the strategy
+    /// axes).
+    #[must_use]
+    pub fn with_classes(mut self, classes: Vec<LayerClass>) -> Self {
+        self.search_strategies = true;
+        self.classes = Some(classes);
+        self
+    }
+
+    /// Attaches pipeline axes to the space.
+    #[must_use]
+    pub fn with_pipeline(mut self, axes: PipelineAxes) -> Self {
+        self.pipeline = Some(axes);
+        self
+    }
+
+    /// Lifts the memory-capacity constraint.
+    #[must_use]
+    pub fn unconstrained(mut self) -> Self {
+        self.ignore_memory_limits = true;
+        self
+    }
+
+    /// Enables (or disables) the per-class strategy axes.
+    #[must_use]
+    pub fn with_strategies(mut self, on: bool) -> Self {
+        self.search_strategies = on;
+        self
+    }
+}
+
+/// Result of one [`Explorer::explore`] run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The throughput-optimal plan found (pipeline config included when
+    /// the space has pipeline axes).
+    pub best_plan: Plan,
+    /// Its simulation report.
+    pub best: IterationReport,
+    /// The flat FSDP-baseline report for the same workload.
+    pub baseline: IterationReport,
+    /// Candidate plans accounted for (simulated, OOM, unmappable, or
+    /// invalid — nothing is silently dropped).
+    pub evaluated: usize,
+    /// Candidates rejected for memory infeasibility.
+    pub oom: usize,
+    /// Candidates rejected as unmappable pipelines (too few layers,
+    /// indivisible device counts, ...).
+    pub unmappable: usize,
+    /// Candidates rejected for any other plan error (e.g. a strategy
+    /// invalid for a layer class).
+    pub invalid: usize,
+}
+
+impl SearchOutcome {
+    /// Throughput improvement of the best plan over the FSDP baseline.
+    pub fn speedup(&self) -> f64 {
+        self.best.speedup_over(&self.baseline)
+    }
+
+    /// Paper-style summary of the winning per-class strategies.
+    pub fn winning_strategies(&self) -> String {
+        self.best_plan.summary()
+    }
+
+    /// Whether a pipelined plan (rather than a flat mapping) won.
+    pub fn pipeline_won(&self) -> bool {
+        self.best_plan.pipeline_stages() > 1
+    }
+}
+
+/// The unified, parallel design-space explorer.
+///
+/// # Examples
+///
+/// ```
+/// use madmax_dse::{Explorer, SearchSpace};
+/// use madmax_hw::catalog;
+/// use madmax_model::ModelId;
+/// use madmax_parallel::Task;
+///
+/// let model = ModelId::DlrmA.build();
+/// let system = catalog::zionex_dlrm_system();
+/// let outcome = Explorer::new(&model, &system)
+///     .task(Task::Pretraining)
+///     .space(SearchSpace::strategies())
+///     .explore()
+///     .unwrap();
+/// assert!(outcome.speedup() >= 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Explorer<'a> {
+    model: &'a ModelArch,
+    system: &'a ClusterSpec,
+    task: Task,
+    space: SearchSpace,
+    threads: Option<NonZeroUsize>,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer over the strategy-only space for the
+    /// pre-training task, evaluating candidates on all available cores.
+    pub fn new(model: &'a ModelArch, system: &'a ClusterSpec) -> Self {
+        Self {
+            model,
+            system,
+            task: Task::Pretraining,
+            space: SearchSpace::strategies(),
+            threads: None,
+        }
+    }
+
+    /// Sets the task (default: [`Task::Pretraining`]).
+    #[must_use]
+    pub fn task(mut self, task: Task) -> Self {
+        self.task = task;
+        self
+    }
+
+    /// Sets the design space (default: [`SearchSpace::strategies`]).
+    #[must_use]
+    pub fn space(mut self, space: SearchSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Caps the worker pool at `n` threads (`1` forces a sequential run;
+    /// `0` is treated as `1`). The default is
+    /// [`std::thread::available_parallelism`]. Results are deterministic
+    /// regardless of the thread count: candidates are reduced in
+    /// enumeration order after evaluation.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"));
+        self
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let hw = self
+            .threads
+            .or_else(|| std::thread::available_parallelism().ok())
+            .map_or(1, NonZeroUsize::get);
+        hw.min(jobs).max(1)
+    }
+
+    /// The baseline plan every candidate is measured against.
+    fn base_plan(&self) -> Plan {
+        let mut plan = Plan::fsdp_baseline(self.model);
+        plan.options.ignore_memory_limits = self.space.ignore_memory_limits;
+        plan
+    }
+
+    /// Enumerates every candidate plan of the space: the cartesian product
+    /// of the per-class strategy assignments and the pipeline axes.
+    pub fn candidates(&self) -> Vec<Plan> {
+        let base = self.base_plan();
+        let strategy_plans = if self.space.search_strategies {
+            strategy_combos(self.model, self.space.classes.as_deref(), &base)
+        } else {
+            vec![base.clone()]
+        };
+        let Some(axes) = &self.space.pipeline else {
+            return strategy_plans;
+        };
+        let mut candidates = Vec::new();
+        for strat_plan in &strategy_plans {
+            for &p in &axes.stages {
+                if p <= 1 {
+                    candidates.push(strat_plan.clone());
+                    continue;
+                }
+                for &m in &axes.microbatches {
+                    for &sched in &axes.schedules {
+                        candidates.push(strat_plan.clone().with_pipeline(PipelineConfig {
+                            stages: p,
+                            microbatches: m,
+                            schedule: sched,
+                        }));
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Evaluates an explicit list of plans through the engine, preserving
+    /// order. Plans are distributed over the worker pool; the result at
+    /// index `i` is always plan `i`'s, so the output is deterministic
+    /// regardless of the thread count.
+    pub fn evaluate(&self, plans: &[Plan]) -> Vec<Result<IterationReport, EngineError>> {
+        let workers = self.worker_count(plans.len());
+        let run = |plan: &Plan| {
+            Scenario::new(self.model, self.system)
+                .plan(plan.clone())
+                .task(self.task.clone())
+                .run()
+        };
+        if workers <= 1 {
+            return plans.iter().map(run).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let run = &run;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= plans.len() {
+                        break;
+                    }
+                    if tx.send((i, run(&plans[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut slots: Vec<Option<Result<IterationReport, EngineError>>> =
+            (0..plans.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every plan index was evaluated"))
+            .collect()
+    }
+
+    /// Exhaustively explores the space for the throughput-optimal plan.
+    ///
+    /// The baseline itself is always part of the outcome, so a feasible
+    /// baseline guarantees a result and `speedup() >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the baseline's error if even the flat FSDP baseline is
+    /// infeasible.
+    pub fn explore(&self) -> Result<SearchOutcome, EngineError> {
+        let base_plan = self.base_plan();
+        let baseline = Scenario::new(self.model, self.system)
+            .plan(base_plan.clone())
+            .task(self.task.clone())
+            .run()?;
+
+        let candidates = self.candidates();
+        let evaluated = candidates.len();
+        // The baseline combo re-appears among the candidates; reuse its
+        // report instead of simulating it again.
+        let to_run: Vec<Plan> = candidates.into_iter().filter(|p| *p != base_plan).collect();
+        let results = self.evaluate(&to_run);
+
+        let mut best_plan = base_plan.clone();
+        let mut best = baseline.clone();
+        let (mut oom, mut unmappable, mut invalid) = (0usize, 0usize, 0usize);
+        for (plan, result) in to_run.into_iter().zip(results) {
+            match result {
+                Ok(r) => {
+                    if r.iteration_time < best.iteration_time {
+                        best = r;
+                        best_plan = plan;
+                    }
+                }
+                Err(e) if e.is_oom() => oom += 1,
+                Err(e) if e.is_unmappable_pipeline() => unmappable += 1,
+                Err(_) => invalid += 1,
+            }
+        }
+
+        Ok(SearchOutcome {
+            best_plan,
+            best,
+            baseline,
+            evaluated,
+            oom,
+            unmappable,
+            invalid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_hw::{catalog, DeviceScaling};
+    use madmax_model::ModelId;
+
+    #[test]
+    fn strategy_space_beats_baseline_for_dlrm() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let r = Explorer::new(&model, &sys).explore().unwrap();
+        assert!(r.speedup() >= 1.0);
+        assert!(r.speedup() < 4.0, "speedup {:.2} suspicious", r.speedup());
+        assert!(r.evaluated > 100);
+        assert!(r.oom > 0, "some DLRM mappings must be infeasible");
+        assert_eq!(r.unmappable, 0, "no pipeline axes in this space");
+    }
+
+    #[test]
+    fn unconstrained_space_at_least_matches_constrained() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let constrained = Explorer::new(&model, &sys).explore().unwrap();
+        let unconstrained = Explorer::new(&model, &sys)
+            .space(SearchSpace::strategies().unconstrained())
+            .explore()
+            .unwrap();
+        assert!(unconstrained.best.iteration_time <= constrained.best.iteration_time);
+        assert_eq!(unconstrained.oom, 0);
+    }
+
+    #[test]
+    fn restricted_space_touches_only_listed_classes() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let r = Explorer::new(&model, &sys)
+            .space(SearchSpace::strategies().with_classes(vec![LayerClass::Dense]))
+            .explore()
+            .unwrap();
+        assert_eq!(
+            r.best_plan.strategy_for(LayerClass::Embedding),
+            Plan::fsdp_baseline(&model).strategy_for(LayerClass::Embedding)
+        );
+        assert_eq!(r.evaluated, 12);
+    }
+
+    #[test]
+    fn joint_pipeline_space_wins_on_constrained_network() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system().scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0));
+        let mut space = SearchSpace::pipeline_for(&sys);
+        space.pipeline.as_mut().unwrap().microbatches = vec![16, 32];
+        let r = Explorer::new(&model, &sys).space(space).explore().unwrap();
+        assert!(r.pipeline_won(), "winner: {}", r.best_plan.summary());
+        assert!(
+            r.speedup() > 1.05,
+            "pipeline should beat the pp=1 baseline, got {:.3}x",
+            r.speedup()
+        );
+        assert!(r.evaluated > 8);
+    }
+
+    #[test]
+    fn every_candidate_is_tallied() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let space = SearchSpace::strategies()
+            .with_classes(vec![LayerClass::Transformer])
+            .with_pipeline(PipelineAxes {
+                stages: vec![1, 8],
+                microbatches: vec![16],
+                schedules: vec![PipelineSchedule::GPipe],
+            });
+        let r = Explorer::new(&model, &sys).space(space).explore().unwrap();
+        // 12 transformer strategies x (pp=1 + pp=8x16xGPipe) = 24
+        // candidates, each accounted for.
+        assert_eq!(r.evaluated, 24);
+        assert!(r.oom > 0, "replication-heavy combos must OOM: {r:?}");
+        assert!(r.best.iteration_time <= r.baseline.iteration_time);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let sequential = Explorer::new(&model, &sys).threads(1).explore().unwrap();
+        let parallel = Explorer::new(&model, &sys).threads(8).explore().unwrap();
+        assert_eq!(sequential.best_plan, parallel.best_plan);
+        assert_eq!(sequential.best, parallel.best);
+        assert_eq!(sequential.evaluated, parallel.evaluated);
+        assert_eq!(sequential.oom, parallel.oom);
+        assert_eq!(sequential.invalid, parallel.invalid);
+    }
+
+    #[test]
+    fn evaluate_preserves_plan_order() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let explorer = Explorer::new(&model, &sys).threads(4);
+        let plans = explorer.candidates();
+        let par = explorer.evaluate(&plans);
+        let seq: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                Scenario::new(&model, &sys)
+                    .plan(p.clone())
+                    .task(Task::Pretraining)
+                    .run()
+            })
+            .collect();
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.is_ok(), b.is_ok());
+            if let (Ok(a), Ok(b)) = (a, b) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,23 +1,32 @@
 //! # madmax-dse
 //!
-//! Design-space exploration on top of the MAD-Max performance model:
-//! exhaustive per-layer-class strategy sweeps (Figs. 11-15, 17), joint
-//! throughput-optimal search (Figs. 10, 18), joint pipeline-aware search
-//! over `(stages, microbatches, schedule)` x per-class strategies,
+//! Design-space exploration on top of the MAD-Max performance model,
+//! built on the unified `madmax_engine::Scenario` entry point: one
+//! [`SearchSpace`] spanning the per-layer-class strategy axes and the
+//! optional pipeline axes, one parallel [`Explorer`] producing a
+//! [`SearchOutcome`] (Figs. 10, 18, and the joint pipeline study),
+//! exhaustive per-class strategy sweeps (Figs. 11-15, 17),
 //! Pareto-frontier extraction (Figs. 1, 13, 16), and the
 //! future-technologies hardware scaling study (Figs. 19-20).
+//!
+//! The pre-`Explorer` entry points (`optimize`, `optimize_pipeline`) are
+//! deprecated shims kept for one release.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod explore;
 pub mod pareto;
 pub mod pipeline_search;
 pub mod scaling;
 pub mod search;
 pub mod sweep;
 
+pub use explore::{Explorer, PipelineAxes, SearchOutcome, SearchSpace};
 pub use pareto::{pareto_frontier, ParetoPoint};
+#[allow(deprecated)]
 pub use pipeline_search::{optimize_pipeline, PipelineSearchResult, PipelineSearchSpace};
 pub use scaling::{scaling_study, ScalingAxis, ScalingPoint};
+#[allow(deprecated)]
 pub use search::{optimize, SearchOptions, SearchResult};
 pub use sweep::{best_point, sweep_class, SweepPoint};

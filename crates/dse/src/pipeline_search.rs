@@ -1,14 +1,19 @@
-//! Joint pipeline-aware strategy search: sweeps the pipeline dimensions
-//! (stage count, microbatch count, GPipe vs 1F1B) *alongside* the existing
-//! per-layer-class hierarchical strategies, extending the Fig. 10 joint
-//! optimizer with the pipeline-parallelism axis.
+//! Legacy pipeline-aware search API, now a thin deprecated shim over the
+//! unified [`crate::Explorer`] with [`crate::PipelineAxes`] attached to
+//! the space.
 
 use madmax_core::IterationReport;
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
-use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, PlanError, Task};
+use madmax_parallel::{PipelineSchedule, Plan, PlanError, Task};
+
+use crate::explore::{Explorer, PipelineAxes, SearchSpace};
 
 /// The (pipeline x strategy) design space to explore.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_dse::SearchSpace with PipelineAxes and madmax_dse::Explorer"
+)]
 #[derive(Debug, Clone)]
 pub struct PipelineSearchSpace {
     /// Pipeline depths to try (`1` = no pipelining; always worth including
@@ -27,28 +32,41 @@ pub struct PipelineSearchSpace {
     pub ignore_memory_limits: bool,
 }
 
+#[allow(deprecated)]
 impl PipelineSearchSpace {
-    /// A default space fitted to `cluster`: power-of-two depths the device
-    /// hierarchy can actually be split into (exactly the depths
-    /// `madmax_pipeline`'s `stage_cluster` accepts), a standard microbatch
-    /// ladder, and both schedules.
+    /// A default space fitted to `cluster` (see
+    /// [`PipelineAxes::default_for`]).
     pub fn default_for(cluster: &ClusterSpec) -> Self {
-        let stages = [1usize, 2, 4, 8]
-            .into_iter()
-            .filter(|&p| p == 1 || madmax_pipeline::cost::stage_cluster(cluster, p).is_ok())
-            .collect();
+        let axes = PipelineAxes::default_for(cluster);
         Self {
-            stages,
-            microbatches: vec![4, 8, 16, 32],
-            schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+            stages: axes.stages,
+            microbatches: axes.microbatches,
+            schedules: axes.schedules,
             search_strategies: false,
             classes: None,
             ignore_memory_limits: false,
         }
     }
+
+    fn into_space(self) -> SearchSpace {
+        SearchSpace {
+            search_strategies: self.search_strategies,
+            classes: self.classes,
+            pipeline: Some(PipelineAxes {
+                stages: self.stages,
+                microbatches: self.microbatches,
+                schedules: self.schedules,
+            }),
+            ignore_memory_limits: self.ignore_memory_limits,
+        }
+    }
 }
 
 /// Result of a joint pipeline search.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_dse::SearchOutcome from madmax_dse::Explorer"
+)]
 #[derive(Debug, Clone)]
 pub struct PipelineSearchResult {
     /// The throughput-optimal plan found (pipeline config included).
@@ -69,6 +87,7 @@ pub struct PipelineSearchResult {
     pub invalid: usize,
 }
 
+#[allow(deprecated)]
 impl PipelineSearchResult {
     /// Throughput improvement of the best plan over the pp=1 baseline.
     pub fn speedup(&self) -> f64 {
@@ -81,15 +100,6 @@ impl PipelineSearchResult {
     }
 }
 
-/// Enumerates the per-class strategy assignments of the space (shared with
-/// the flat `optimize` search).
-fn strategy_plans(model: &ModelArch, space: &PipelineSearchSpace, base: &Plan) -> Vec<Plan> {
-    if !space.search_strategies {
-        return vec![base.clone()];
-    }
-    crate::search::strategy_combos(model, space.classes.as_deref(), base)
-}
-
 /// Exhaustively searches `(stages, microbatches, schedule)` x per-class
 /// strategies for the throughput-optimal pipelined mapping.
 ///
@@ -97,104 +107,42 @@ fn strategy_plans(model: &ModelArch, space: &PipelineSearchSpace, base: &Plan) -
 ///
 /// Returns the baseline's error if even the non-pipelined FSDP baseline is
 /// infeasible; otherwise always returns at least the baseline itself.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_dse::Explorer::explore over a SearchSpace with PipelineAxes"
+)]
+#[allow(deprecated)]
 pub fn optimize_pipeline(
     model: &ModelArch,
     cluster: &ClusterSpec,
     task: &Task,
     space: &PipelineSearchSpace,
 ) -> Result<PipelineSearchResult, PlanError> {
-    let mut base_plan = Plan::fsdp_baseline(model);
-    base_plan.options.ignore_memory_limits = space.ignore_memory_limits;
-    let baseline = madmax_pipeline::simulate(model, cluster, &base_plan, task.clone())?;
-
-    let strategy_plans = strategy_plans(model, space, &base_plan);
-
-    // Materialize the candidate list, then tally every outcome: a config
-    // is either simulated, OOM, unmappable, or invalid — nothing is
-    // silently dropped.
-    let mut candidates: Vec<Plan> = Vec::new();
-    for strat_plan in &strategy_plans {
-        for &p in &space.stages {
-            if p <= 1 {
-                candidates.push(strat_plan.clone());
-                continue;
-            }
-            for &m in &space.microbatches {
-                for &sched in &space.schedules {
-                    candidates.push(strat_plan.clone().with_pipeline(PipelineConfig {
-                        stages: p,
-                        microbatches: m,
-                        schedule: sched,
-                    }));
-                }
-            }
-        }
-    }
-
-    let mut best_plan = base_plan.clone();
-    let mut best = baseline.clone();
-    let (mut oom, mut unmappable, mut invalid) = (0usize, 0usize, 0usize);
-    let evaluated = candidates.len();
-    for plan in &candidates {
-        if *plan == base_plan {
-            // Already simulated as `baseline` (and seeded into `best`).
-            continue;
-        }
-        match madmax_pipeline::simulate(model, cluster, plan, task.clone()) {
-            Ok(r) => {
-                if r.iteration_time < best.iteration_time {
-                    best = r;
-                    best_plan = plan.clone();
-                }
-            }
-            Err(PlanError::OutOfMemory { .. }) => oom += 1,
-            Err(PlanError::InvalidPipeline { .. }) => unmappable += 1,
-            Err(_) => invalid += 1,
-        }
-    }
-
+    let outcome = Explorer::new(model, cluster)
+        .task(task.clone())
+        .space(space.clone().into_space())
+        .explore()
+        .map_err(PlanError::from)?;
     Ok(PipelineSearchResult {
-        best_plan,
-        best,
-        baseline,
-        evaluated,
-        oom,
-        unmappable,
-        invalid,
+        best_plan: outcome.best_plan,
+        best: outcome.best,
+        baseline: outcome.baseline,
+        evaluated: outcome.evaluated,
+        oom: outcome.oom,
+        unmappable: outcome.unmappable,
+        invalid: outcome.invalid,
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use madmax_hw::{catalog, DeviceScaling};
+    use madmax_hw::catalog;
     use madmax_model::ModelId;
 
-    /// A bandwidth-starved variant of the LLM system: scale-out links cut
-    /// 8x, the regime where FSDP's parameter gathers dominate and pipeline
-    /// parallelism pays off.
-    fn constrained_llm_system() -> madmax_hw::ClusterSpec {
-        catalog::llama_llm_system().scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0))
-    }
-
     #[test]
-    fn pipeline_search_beats_flat_baseline_on_constrained_network() {
-        let model = ModelId::Gpt3.build();
-        let sys = constrained_llm_system();
-        let mut space = PipelineSearchSpace::default_for(&sys);
-        space.microbatches = vec![16, 32];
-        let r = optimize_pipeline(&model, &sys, &Task::Pretraining, &space).unwrap();
-        assert!(r.pipeline_won(), "winner: {}", r.best_plan.summary());
-        assert!(
-            r.speedup() > 1.05,
-            "pipeline should beat the pp=1 baseline, got {:.3}x",
-            r.speedup()
-        );
-        assert!(r.evaluated > 8);
-    }
-
-    #[test]
-    fn search_includes_baseline_and_never_regresses() {
+    fn deprecated_optimize_pipeline_matches_the_explorer() {
         let model = ModelId::Llama2.build();
         let sys = catalog::llama_llm_system();
         let space = PipelineSearchSpace {
@@ -205,11 +153,21 @@ mod tests {
             classes: None,
             ignore_memory_limits: false,
         };
-        let r = optimize_pipeline(&model, &sys, &Task::Pretraining, &space).unwrap();
-        assert!(r.best.iteration_time <= r.baseline.iteration_time);
-        assert!(r.speedup() >= 1.0);
-        assert_eq!(r.evaluated, 2);
-        assert_eq!(r.oom + r.unmappable + r.invalid, 0, "{r:?}");
+        let legacy = optimize_pipeline(&model, &sys, &Task::Pretraining, &space).unwrap();
+        let unified = Explorer::new(&model, &sys)
+            .space(SearchSpace::default().with_pipeline(PipelineAxes {
+                stages: vec![1, 8],
+                microbatches: vec![8],
+                schedules: vec![PipelineSchedule::OneFOneB],
+            }))
+            .explore()
+            .unwrap();
+        assert_eq!(legacy.best_plan, unified.best_plan);
+        assert_eq!(legacy.best, unified.best);
+        assert_eq!(legacy.evaluated, unified.evaluated);
+        assert_eq!(legacy.evaluated, 2);
+        assert_eq!(legacy.oom + legacy.unmappable + legacy.invalid, 0);
+        assert!(legacy.best.iteration_time <= legacy.baseline.iteration_time);
     }
 
     #[test]
@@ -223,25 +181,5 @@ mod tests {
         // two (7 nodes x 8 devices has no equal split).
         let odd = catalog::zionex_dlrm_system().with_num_nodes(7);
         assert_eq!(PipelineSearchSpace::default_for(&odd).stages, vec![1]);
-    }
-
-    #[test]
-    fn strategy_search_tallies_every_candidate() {
-        let model = ModelId::Llama2.build();
-        let sys = catalog::llama_llm_system();
-        let space = PipelineSearchSpace {
-            stages: vec![1, 8],
-            microbatches: vec![16],
-            schedules: vec![PipelineSchedule::GPipe],
-            search_strategies: true,
-            classes: Some(vec![madmax_model::LayerClass::Transformer]),
-            ignore_memory_limits: false,
-        };
-        let r = optimize_pipeline(&model, &sys, &Task::Pretraining, &space).unwrap();
-        // 12 transformer strategies x (pp=1 + pp=8x1x1) = 24 candidates,
-        // each accounted for as simulated, OOM, unmappable, or invalid.
-        assert_eq!(r.evaluated, 24);
-        assert!(r.oom > 0, "replication-heavy combos must OOM: {r:?}");
-        assert!(r.best.iteration_time <= r.baseline.iteration_time);
     }
 }

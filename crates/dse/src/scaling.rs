@@ -3,11 +3,12 @@
 //! separately and concurrently, re-optimizing the parallelization strategy
 //! on each scaled system.
 
+use madmax_engine::EngineError;
 use madmax_hw::{ClusterSpec, DeviceScaling};
 use madmax_model::ModelArch;
-use madmax_parallel::{PlanError, Task};
+use madmax_parallel::Task;
 
-use crate::search::{optimize, SearchOptions, SearchResult};
+use crate::explore::{Explorer, SearchOutcome};
 
 /// Which capability is scaled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,9 +71,9 @@ pub struct ScalingPoint {
     pub axis: ScalingAxis,
     /// Scaling factor applied.
     pub factor: f64,
-    /// Search result on the scaled system (strategies re-optimized, so
+    /// Search outcome on the scaled system (strategies re-optimized, so
     /// capacity increases can unlock new mappings).
-    pub result: SearchResult,
+    pub result: SearchOutcome,
     /// Throughput speedup over the optimized baseline system.
     pub speedup: f64,
 }
@@ -82,20 +83,19 @@ pub struct ScalingPoint {
 ///
 /// # Errors
 ///
-/// Propagates [`PlanError`] if even the baseline mapping is infeasible.
+/// Propagates [`EngineError`] if even the baseline mapping is infeasible.
 pub fn scaling_study(
     model: &ModelArch,
     cluster: &ClusterSpec,
     task: &Task,
     factor: f64,
-) -> Result<Vec<ScalingPoint>, PlanError> {
-    let options = SearchOptions::default();
-    let base = optimize(model, cluster, task, &options)?;
+) -> Result<Vec<ScalingPoint>, EngineError> {
+    let base = Explorer::new(model, cluster).task(task.clone()).explore()?;
     ScalingAxis::ALL_AXES
         .iter()
         .map(|&axis| {
             let scaled = cluster.scaled(&axis.scaling(factor));
-            let result = optimize(model, &scaled, task, &options)?;
+            let result = Explorer::new(model, &scaled).task(task.clone()).explore()?;
             let speedup = base.best.iteration_time / result.best.iteration_time;
             Ok(ScalingPoint {
                 axis,

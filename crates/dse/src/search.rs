@@ -1,12 +1,20 @@
-//! Joint strategy search: the optimizer behind Figs. 10, 17, and 18 —
-//! "tuning parallelization strategies at the layer-type granularity".
+//! Legacy strategy-only search API (the optimizer behind Figs. 10, 17,
+//! and 18), now a thin deprecated shim over the unified
+//! [`crate::Explorer`]. The shared (crate-private) candidate enumeration
+//! `strategy_combos` lives here.
 
-use madmax_core::{simulate, IterationReport};
+use madmax_core::IterationReport;
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
 use madmax_parallel::{HierStrategy, Plan, PlanError, Task};
 
+use crate::explore::{Explorer, SearchSpace};
+
 /// Search configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_dse::SearchSpace with madmax_dse::Explorer"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct SearchOptions {
     /// Explore mappings beyond current memory capacities (the orange bars
@@ -18,6 +26,10 @@ pub struct SearchOptions {
 }
 
 /// Result of a joint search.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_dse::SearchOutcome from madmax_dse::Explorer"
+)]
 #[derive(Debug, Clone)]
 pub struct SearchResult {
     /// The throughput-optimal plan found.
@@ -36,6 +48,7 @@ pub struct SearchResult {
     pub invalid: usize,
 }
 
+#[allow(deprecated)]
 impl SearchResult {
     /// Throughput improvement of the best plan over the FSDP baseline.
     pub fn speedup(&self) -> f64 {
@@ -61,8 +74,8 @@ pub(crate) fn classes_in(model: &ModelArch) -> Vec<LayerClass> {
 
 /// Enumerates every per-class strategy assignment: the cartesian product of
 /// `HierStrategy::enumerate_for` over `classes` (all classes in the model
-/// when `None`), applied on top of `base`. Shared by [`optimize`] and the
-/// pipeline-aware `optimize_pipeline`.
+/// when `None`), applied on top of `base`. This is the strategy axis of
+/// the unified [`crate::SearchSpace`].
 pub(crate) fn strategy_combos(
     model: &ModelArch,
     classes: Option<&[LayerClass]>,
@@ -97,81 +110,57 @@ pub(crate) fn strategy_combos(
 ///
 /// Returns the baseline's error if even the FSDP baseline is infeasible;
 /// otherwise always finds at least the baseline itself.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_dse::Explorer::explore over SearchSpace::strategies()"
+)]
+#[allow(deprecated)]
 pub fn optimize(
     model: &ModelArch,
     cluster: &ClusterSpec,
     task: &Task,
     options: &SearchOptions,
 ) -> Result<SearchResult, PlanError> {
-    let mut base_plan = Plan::fsdp_baseline(model);
-    base_plan.options.ignore_memory_limits = options.ignore_memory_limits;
-    let baseline = simulate(model, cluster, &base_plan, task.clone())?;
-
-    let candidates = strategy_combos(model, options.classes.as_deref(), &base_plan);
-
-    let mut best_plan = base_plan.clone();
-    let mut best = baseline.clone();
-    let evaluated = candidates.len();
-    let mut oom = 0usize;
-    let mut invalid = 0usize;
-    for plan in candidates {
-        match simulate(model, cluster, &plan, task.clone()) {
-            Ok(r) => {
-                if r.iteration_time < best.iteration_time {
-                    best = r;
-                    best_plan = plan;
-                }
-            }
-            Err(PlanError::OutOfMemory { .. }) => oom += 1,
-            Err(_) => invalid += 1,
-        }
-    }
-
+    let mut space = SearchSpace::strategies();
+    space.classes = options.classes.clone();
+    space.ignore_memory_limits = options.ignore_memory_limits;
+    let outcome = Explorer::new(model, cluster)
+        .task(task.clone())
+        .space(space)
+        .explore()
+        .map_err(PlanError::from)?;
     Ok(SearchResult {
-        best_plan,
-        best,
-        baseline,
-        evaluated,
-        oom,
-        invalid,
+        best_plan: outcome.best_plan,
+        best: outcome.best,
+        baseline: outcome.baseline,
+        evaluated: outcome.evaluated,
+        oom: outcome.oom,
+        invalid: outcome.invalid + outcome.unmappable,
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::explore::Explorer;
     use madmax_hw::catalog;
     use madmax_model::ModelId;
 
     #[test]
-    fn optimized_beats_baseline_for_dlrm() {
+    fn deprecated_optimize_matches_the_explorer() {
+        // The legacy shim must keep returning exactly what the unified
+        // explorer finds until it is removed.
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
-        let r = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
-        assert!(r.speedup() >= 1.0);
-        assert!(r.speedup() < 4.0, "speedup {:.2} suspicious", r.speedup());
-        assert!(r.evaluated > 100);
-        assert!(r.oom > 0, "some DLRM mappings must be infeasible");
-    }
-
-    #[test]
-    fn unconstrained_search_at_least_matches_constrained() {
-        let model = ModelId::DlrmA.build();
-        let sys = catalog::zionex_dlrm_system();
-        let constrained =
-            optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
-        let unconstrained = optimize(
-            &model,
-            &sys,
-            &Task::Pretraining,
-            &SearchOptions {
-                ignore_memory_limits: true,
-                classes: None,
-            },
-        )
-        .unwrap();
-        assert!(unconstrained.best.iteration_time <= constrained.best.iteration_time);
-        assert_eq!(unconstrained.oom, 0);
+        let legacy = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+        let unified = Explorer::new(&model, &sys).explore().unwrap();
+        assert_eq!(legacy.best_plan, unified.best_plan);
+        assert_eq!(legacy.best, unified.best);
+        assert_eq!(legacy.baseline, unified.baseline);
+        assert_eq!(legacy.evaluated, unified.evaluated);
+        assert_eq!(legacy.oom, unified.oom);
+        assert_eq!(legacy.invalid, unified.invalid + unified.unmappable);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Exhaustive strategy sweeps for one layer class (the x-axes of
 //! Figs. 11, 12, 14, 15, 17).
 
-use madmax_core::{simulate, IterationReport};
+use madmax_core::IterationReport;
+use madmax_engine::{EngineError, Scenario};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
-use madmax_parallel::{HierStrategy, Plan, PlanError, Task};
+use madmax_parallel::{HierStrategy, Plan, Task};
 
 /// Outcome of evaluating one strategy choice.
 #[derive(Debug, Clone)]
@@ -15,7 +16,7 @@ pub struct SweepPoint {
     pub plan: Plan,
     /// Simulation result, or why the mapping is infeasible (OOM entries
     /// render as the gray bars of Fig. 11).
-    pub outcome: Result<IterationReport, PlanError>,
+    pub outcome: Result<IterationReport, EngineError>,
 }
 
 impl SweepPoint {
@@ -29,7 +30,7 @@ impl SweepPoint {
 
     /// Whether this point ran out of memory.
     pub fn is_oom(&self) -> bool {
-        matches!(self.outcome, Err(PlanError::OutOfMemory { .. }))
+        matches!(&self.outcome, Err(e) if e.is_oom())
     }
 }
 
@@ -46,7 +47,10 @@ pub fn sweep_class(
         .into_iter()
         .map(|strategy| {
             let plan = base_plan.clone().with_strategy(class, strategy);
-            let outcome = simulate(model, cluster, &plan, task.clone());
+            let outcome = Scenario::new(model, cluster)
+                .plan(plan.clone())
+                .task(task.clone())
+                .run();
             SweepPoint {
                 strategy,
                 plan,

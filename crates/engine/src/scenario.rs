@@ -1,0 +1,306 @@
+//! The [`Scenario`] builder: one entry point for flat and pipelined
+//! simulation.
+
+use madmax_core::collective::{CollectiveModel, HierarchicalNccl};
+use madmax_core::compute::UtilizationModel;
+use madmax_core::{IterationReport, Schedule, Trace};
+use madmax_hw::ClusterSpec;
+use madmax_model::ModelArch;
+use madmax_parallel::{Plan, Task};
+
+use crate::error::EngineError;
+
+/// One simulation scenario: a model mapped onto a system by a plan,
+/// executing a task.
+///
+/// `Scenario` is the single front door to the MAD-Max performance model.
+/// [`Scenario::run`] inspects the plan's
+/// [`madmax_parallel::PipelineConfig`] and dispatches to the flat SPMD
+/// engine (`madmax_core::run_flat`) or the pipeline engine
+/// (`madmax_pipeline::run_pipelined`), returning the same
+/// [`IterationReport`] either way and one [`EngineError`] on failure.
+///
+/// # Examples
+///
+/// ```
+/// use madmax_engine::Scenario;
+/// use madmax_hw::catalog;
+/// use madmax_model::ModelId;
+/// use madmax_parallel::{PipelineConfig, Plan, Task};
+///
+/// # fn main() -> Result<(), madmax_engine::EngineError> {
+/// let model = ModelId::Llama2.build();
+/// let system = catalog::llama_llm_system();
+///
+/// // Flat plan (the default FSDP baseline) ...
+/// let flat = Scenario::new(&model, &system).run()?;
+///
+/// // ... and a pipelined plan, through the same entry point.
+/// let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 32));
+/// let piped = Scenario::new(&model, &system)
+///     .task(Task::Pretraining)
+///     .plan(plan)
+///     .run()?;
+/// assert!(flat.bubble_fraction.is_none());
+/// assert!(piped.bubble_fraction.unwrap() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Scenario<'a> {
+    model: &'a ModelArch,
+    system: &'a ClusterSpec,
+    plan: Option<Plan>,
+    task: Task,
+    collectives: &'a dyn CollectiveModel,
+    utilization: UtilizationModel,
+}
+
+impl<'a> Scenario<'a> {
+    /// Creates a scenario with the FSDP-baseline plan, the pre-training
+    /// task, the default NCCL-style collective model, and constant compute
+    /// utilization.
+    pub fn new(model: &'a ModelArch, system: &'a ClusterSpec) -> Self {
+        Self {
+            model,
+            system,
+            plan: None,
+            task: Task::Pretraining,
+            collectives: &HierarchicalNccl,
+            utilization: UtilizationModel::Constant,
+        }
+    }
+
+    /// Sets the task (default: [`Task::Pretraining`]).
+    #[must_use]
+    pub fn task(mut self, task: Task) -> Self {
+        self.task = task;
+        self
+    }
+
+    /// Sets the parallelization plan (default: [`Plan::fsdp_baseline`]).
+    /// A plan with an active pipeline config routes the scenario through
+    /// the pipeline engine.
+    #[must_use]
+    pub fn plan(mut self, plan: Plan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Replaces the collective cost model (ablation studies).
+    #[must_use]
+    pub fn collectives(mut self, m: &'a dyn CollectiveModel) -> Self {
+        self.collectives = m;
+        self
+    }
+
+    /// Replaces the compute-utilization model (e.g. the workload-dependent
+    /// MFU model of Fig. 8).
+    #[must_use]
+    pub fn utilization(mut self, u: UtilizationModel) -> Self {
+        self.utilization = u;
+        self
+    }
+
+    /// The plan this scenario will execute (the configured one, or the
+    /// FSDP baseline).
+    pub fn effective_plan(&self) -> Plan {
+        self.plan
+            .clone()
+            .unwrap_or_else(|| Plan::fsdp_baseline(self.model))
+    }
+
+    fn is_pipelined(plan: &Plan) -> bool {
+        plan.pipeline.is_some_and(|c| c.is_pipelined())
+    }
+
+    /// Runs the scenario end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::OutOfMemory`] when the mapping does not fit in
+    /// device memory, [`EngineError::InvalidPlan`] for everything else
+    /// (invalid strategy/class combinations, unmappable pipelines, ...).
+    pub fn run(&self) -> Result<IterationReport, EngineError> {
+        let (report, _, _) = self.run_with_trace()?;
+        Ok(report)
+    }
+
+    /// Runs the scenario, also returning the trace and schedule for
+    /// timeline rendering.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::run`].
+    pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), EngineError> {
+        let plan = self.effective_plan();
+        let result = if Self::is_pipelined(&plan) {
+            madmax_pipeline::run_pipelined(
+                self.model,
+                self.system,
+                &plan,
+                &self.task,
+                self.collectives,
+                self.utilization,
+            )
+        } else {
+            madmax_core::run_flat(
+                self.model,
+                self.system,
+                &plan,
+                &self.task,
+                self.collectives,
+                self.utilization,
+            )
+        };
+        result.map_err(EngineError::from)
+    }
+
+    /// Builds the scenario's trace without scheduling it (for inspection /
+    /// Fig. 6 timelines). For pipelined plans this is the multi-stream
+    /// stage trace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::run`].
+    pub fn build_trace(&self) -> Result<Trace, EngineError> {
+        let plan = self.effective_plan();
+        if Self::is_pipelined(&plan) {
+            madmax_pipeline::build_pipelined_trace(
+                self.model,
+                self.system,
+                &plan,
+                &self.task,
+                self.collectives,
+                self.utilization,
+            )
+            .map_err(EngineError::from)
+        } else {
+            madmax_core::build_flat_trace(
+                self.model,
+                self.system,
+                &plan,
+                &self.task,
+                self.collectives,
+                self.utilization,
+            )
+            .map_err(EngineError::from)
+        }
+    }
+}
+
+/// One-shot convenience wrapper: runs a [`Scenario`] with an explicit
+/// plan and task.
+///
+/// # Errors
+///
+/// Same conditions as [`Scenario::run`].
+pub fn simulate(
+    model: &ModelArch,
+    system: &ClusterSpec,
+    plan: &Plan,
+    task: Task,
+) -> Result<IterationReport, EngineError> {
+    Scenario::new(model, system)
+        .plan(plan.clone())
+        .task(task)
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_core::FlatWorstLink;
+    use madmax_hw::catalog;
+    use madmax_model::{LayerClass, ModelId};
+    use madmax_parallel::{HierStrategy, PipelineConfig, Strategy};
+
+    #[test]
+    fn defaults_run_the_fsdp_baseline() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let scenario = Scenario::new(&model, &sys);
+        assert_eq!(scenario.effective_plan(), Plan::fsdp_baseline(&model));
+        let r = scenario.run().unwrap();
+        assert!(r.mqps() > 0.3 && r.mqps() < 5.0);
+    }
+
+    #[test]
+    fn pipelined_plans_dispatch_to_the_stage_engine() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
+        let r = Scenario::new(&model, &sys).plan(plan).run().unwrap();
+        assert!(r.bubble_fraction.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn oom_maps_to_the_unified_error() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model)
+            .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Ddp));
+        let err = Scenario::new(&model, &sys).plan(plan).run().unwrap_err();
+        assert!(err.is_oom(), "{err}");
+    }
+
+    #[test]
+    fn unmappable_pipeline_maps_to_the_unified_error() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(7, 8));
+        let err = Scenario::new(&model, &sys).plan(plan).run().unwrap_err();
+        assert!(err.is_unmappable_pipeline(), "{err}");
+    }
+
+    #[test]
+    fn collective_and_utilization_knobs_apply_to_both_paths() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let hier = Scenario::new(&model, &sys).run().unwrap();
+        let flat_model = FlatWorstLink;
+        let flat = Scenario::new(&model, &sys)
+            .collectives(&flat_model)
+            .run()
+            .unwrap();
+        assert!(flat.comm_time > hier.comm_time);
+
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
+        let hier_pp = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .run()
+            .unwrap();
+        let flat_pp = Scenario::new(&model, &sys)
+            .plan(plan)
+            .collectives(&flat_model)
+            .run()
+            .unwrap();
+        assert!(flat_pp.iteration_time >= hier_pp.iteration_time);
+    }
+
+    #[test]
+    fn trace_views_are_consistent() {
+        let model = ModelId::DlrmB.build();
+        let sys = catalog::zionex_dlrm_system();
+        let scenario = Scenario::new(&model, &sys);
+        let (report, trace, sched) = scenario.run_with_trace().unwrap();
+        assert_eq!(trace.len(), sched.windows.len());
+        assert!((trace.serialized_time() / report.serialized_time - 1.0).abs() < 1e-12);
+        let inspect = scenario.build_trace().unwrap();
+        assert_eq!(trace, inspect);
+    }
+
+    #[test]
+    fn one_shot_wrapper_matches_builder() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let a = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let b = Scenario::new(&model, &sys)
+            .plan(plan)
+            .task(Task::Pretraining)
+            .run()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -18,11 +18,12 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use madmax_core::{simulate, IterationReport};
+use madmax_core::IterationReport;
+use madmax_engine::{EngineError, Scenario};
 use madmax_hw::catalog;
 use madmax_hw::units::Seconds;
 use madmax_model::{LayerClass, ModelArch, ModelId};
-use madmax_parallel::{CollectiveKind, HierStrategy, Plan, PlanError, Strategy, Task};
+use madmax_parallel::{CollectiveKind, HierStrategy, Plan, Strategy, Task};
 
 /// Which side of Fig. 4 a job aggregates into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -251,10 +252,13 @@ pub struct FleetCharacterization {
 /// # Errors
 ///
 /// Propagates the first infeasible job mapping (none in the default fleet).
-pub fn characterize(fleet: &[FleetJob]) -> Result<FleetCharacterization, PlanError> {
+pub fn characterize(fleet: &[FleetJob]) -> Result<FleetCharacterization, EngineError> {
     let mut out = FleetCharacterization::default();
     for job in fleet {
-        let report = simulate(&job.model, &job.system, &job.plan, Task::Pretraining)?;
+        let report = Scenario::new(&job.model, &job.system)
+            .plan(job.plan.clone())
+            .task(Task::Pretraining)
+            .run()?;
 
         // Device-side wall time plus calibrated host overheads.
         let device_wall = report.iteration_time;
@@ -380,7 +384,10 @@ mod tests {
     fn small_llm_jobs_fit_and_are_ddp() {
         let (model, plan) = small_llm("t", 4096, 32, 4);
         let sys = catalog::llama_llm_system().with_num_nodes(4);
-        let r = simulate(&model, &sys, &plan, Task::Pretraining);
+        let r = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .task(Task::Pretraining)
+            .run();
         assert!(r.is_ok(), "{:?}", r.err());
         let report = r.unwrap();
         // DDP gradients and TP partial sums are AllReduce: the dominant

@@ -9,9 +9,10 @@
 //! collective cost model (Section II-B of the paper; schedules after GPipe
 //! and PipeDream-Flush).
 //!
-//! The flat SPMD simulator in `madmax-core` rejects pipelined plans;
-//! [`simulate`] is the pipeline-aware entry point and falls back to
-//! `madmax_core::simulate` for non-pipelined plans.
+//! The flat SPMD engine in `madmax-core` rejects pipelined plans;
+//! [`run_pipelined`] is the pipeline-aware engine, and the unified
+//! `madmax_engine::Scenario` front door dispatches between the two based
+//! on the plan's `PipelineConfig`.
 //!
 //! # Example
 //!
@@ -23,7 +24,8 @@
 //! let model = ModelId::Llama2.build();
 //! let system = catalog::llama_llm_system();
 //! let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 32));
-//! let report = madmax_pipeline::simulate(&model, &system, &plan, Task::Pretraining).unwrap();
+//! let report =
+//!     madmax_pipeline::run_pipelined_default(&model, &system, &plan, &Task::Pretraining).unwrap();
 //! let bubble = report.bubble_fraction.unwrap();
 //! assert!(bubble > 0.0 && bubble < 0.5, "{bubble}");
 //! ```
@@ -41,6 +43,8 @@ pub use cost::{stage_costs, StageCosts};
 pub use memory::pipeline_memory;
 pub use partition::{partition_model, Stage, StageUnit};
 pub use schedule::build_pipeline_trace;
+pub use sim::{build_pipelined_trace, run_pipelined, run_pipelined_default};
+#[allow(deprecated)]
 pub use sim::{simulate, PipelineSimulation};
 
 /// The analytic GPipe bubble fraction for `p` uniform stages and `m`

@@ -1,5 +1,10 @@
-//! The pipeline-aware simulation entry point: partitions, prices, builds
-//! the schedule trace, and replays it on `madmax-core`'s list scheduler.
+//! The pipeline-aware execution engine: partitions, prices, builds the
+//! schedule trace, and replays it on `madmax-core`'s list scheduler.
+//!
+//! [`run_pipelined`] is the low-level entry point shared by the unified
+//! `madmax_engine::Scenario` front door and the deprecated
+//! [`PipelineSimulation`] shim. New code should go through `Scenario`,
+//! which dispatches between this engine and the flat one.
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
@@ -14,12 +19,134 @@ use crate::memory::pipeline_memory;
 use crate::partition::partition_model;
 use crate::schedule::build_pipeline_trace;
 
+static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
+
+/// Runs the pipeline engine end to end on a plan whose
+/// [`madmax_parallel::PipelineConfig`] is active: the model is split into
+/// balanced contiguous stages, the global batch into microbatches, and the
+/// chosen schedule (GPipe or 1F1B) is replayed on per-stage streams.
+///
+/// # Errors
+///
+/// [`PlanError::InvalidPipeline`] when the plan has no active pipeline
+/// config or the pipeline cannot be mapped (too few layers, indivisible
+/// devices, bad microbatch count); [`PlanError::InvalidStrategy`] /
+/// [`PlanError::OutOfMemory`] as in the flat engine.
+pub fn run_pipelined(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<(IterationReport, Trace, Schedule), PlanError> {
+    let (trace, memory) =
+        prepare_pipelined(model, cluster, plan, task, collective_model, utilization)?;
+    let sched = schedule(&trace);
+    let report = IterationReport::from_schedule(&trace, &sched, model, memory);
+    Ok((report, trace, sched))
+}
+
+/// The shared front half of the pipeline engine: validate, partition,
+/// check memory, price the stages, and build the schedule trace. Both
+/// trace-only inspection and the full run go through here so the two
+/// views can never drift.
+fn prepare_pipelined(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<(Trace, madmax_parallel::MemoryBreakdown), PlanError> {
+    let Some(cfg) = plan.pipeline.filter(|c| c.is_pipelined()) else {
+        return Err(PlanError::InvalidPipeline {
+            reason: "plan has no active pipeline config (use the flat engine)".to_owned(),
+        });
+    };
+
+    plan.validate_strategies(model)?;
+    let stages = partition_model(model, cluster, cfg.stages)?;
+    let memory = pipeline_memory(
+        model,
+        cluster,
+        plan,
+        task,
+        &stages,
+        cfg.microbatches,
+        cfg.schedule,
+    )?;
+    let costs = stage_costs(
+        model,
+        cluster,
+        plan,
+        task,
+        &stages,
+        cfg.microbatches,
+        collective_model,
+        utilization,
+    )?;
+    Ok((
+        build_pipeline_trace(&costs, &cfg, task.has_backward()),
+        memory,
+    ))
+}
+
+/// Builds the pipelined stage trace without scheduling it (for
+/// inspection / timeline rendering).
+///
+/// # Errors
+///
+/// Same conditions as [`run_pipelined`].
+pub fn build_pipelined_trace(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<Trace, PlanError> {
+    prepare_pipelined(model, cluster, plan, task, collective_model, utilization)
+        .map(|(trace, _)| trace)
+}
+
+/// Runs the pipeline engine with the default cost models, falling back to
+/// the flat engine for non-pipelined plans (the implementation behind the
+/// deprecated [`simulate`] and the pipelined half of
+/// `madmax_engine::Scenario`).
+///
+/// # Errors
+///
+/// Same conditions as [`run_pipelined`] / `madmax_core::run_flat`.
+pub fn run_pipelined_default(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+) -> Result<IterationReport, PlanError> {
+    if plan.pipeline.is_some_and(|c| c.is_pipelined()) {
+        run_pipelined(
+            model,
+            cluster,
+            plan,
+            task,
+            &DEFAULT_COLLECTIVES,
+            UtilizationModel::Constant,
+        )
+        .map(|(report, _, _)| report)
+    } else {
+        madmax_core::run_flat_default(model, cluster, plan, task)
+    }
+}
+
 /// A configured pipeline-parallel simulation.
 ///
-/// Mirrors [`madmax_core::Simulation`] but executes the plan's
-/// [`madmax_parallel::PipelineConfig`]: the model is split into balanced
-/// contiguous stages, the global batch into microbatches, and the chosen
-/// schedule (GPipe or 1F1B) is replayed on per-stage streams.
+/// Deprecated: `madmax_engine::Scenario` is the unified entry point; it
+/// accepts both flat and pipelined plans and reports one error type.
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
+)]
 #[derive(Debug)]
 pub struct PipelineSimulation<'a> {
     model: &'a ModelArch,
@@ -30,8 +157,7 @@ pub struct PipelineSimulation<'a> {
     utilization: UtilizationModel,
 }
 
-static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
-
+#[allow(deprecated)]
 impl<'a> PipelineSimulation<'a> {
     /// Creates a pipeline simulation with the default cost models.
     pub fn new(model: &'a ModelArch, cluster: &'a ClusterSpec, plan: &'a Plan, task: Task) -> Self {
@@ -69,44 +195,26 @@ impl<'a> PipelineSimulation<'a> {
     /// [`PlanError::InvalidStrategy`] / [`PlanError::OutOfMemory`] as in the
     /// flat simulator.
     pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), PlanError> {
-        let Some(cfg) = self.plan.pipeline.filter(|c| c.is_pipelined()) else {
-            // Not pipelined: delegate to the flat SPMD simulator.
-            return madmax_core::Simulation::new(
+        if self.plan.pipeline.is_some_and(|c| c.is_pipelined()) {
+            run_pipelined(
                 self.model,
                 self.cluster,
                 self.plan,
-                self.task.clone(),
+                &self.task,
+                self.collective_model,
+                self.utilization,
             )
-            .with_collective_model(self.collective_model)
-            .with_utilization(self.utilization)
-            .run_with_trace();
-        };
-
-        self.plan.validate_strategies(self.model)?;
-        let stages = partition_model(self.model, self.cluster, cfg.stages)?;
-        let memory = pipeline_memory(
-            self.model,
-            self.cluster,
-            self.plan,
-            &self.task,
-            &stages,
-            cfg.microbatches,
-            cfg.schedule,
-        )?;
-        let costs = stage_costs(
-            self.model,
-            self.cluster,
-            self.plan,
-            &self.task,
-            &stages,
-            cfg.microbatches,
-            self.collective_model,
-            self.utilization,
-        )?;
-        let trace = build_pipeline_trace(&costs, &cfg, self.task.has_backward());
-        let sched = schedule(&trace);
-        let report = IterationReport::from_schedule(&trace, &sched, self.model, memory);
-        Ok((report, trace, sched))
+        } else {
+            // Not pipelined: delegate to the flat SPMD engine.
+            madmax_core::run_flat(
+                self.model,
+                self.cluster,
+                self.plan,
+                &self.task,
+                self.collective_model,
+                self.utilization,
+            )
+        }
     }
 
     /// Runs the simulation end to end.
@@ -121,18 +229,22 @@ impl<'a> PipelineSimulation<'a> {
 }
 
 /// Pipeline-aware one-shot wrapper: executes the plan's pipeline config
-/// when present, and falls back to [`madmax_core::simulate`] otherwise.
+/// when present, and falls back to the flat engine otherwise.
 ///
 /// # Errors
 ///
-/// Same conditions as [`PipelineSimulation::run_with_trace`].
+/// Same conditions as [`run_pipelined`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
+)]
 pub fn simulate(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
     task: Task,
 ) -> Result<IterationReport, PlanError> {
-    PipelineSimulation::new(model, cluster, plan, task).run()
+    run_pipelined_default(model, cluster, plan, &task)
 }
 
 #[cfg(test)]
@@ -141,6 +253,15 @@ mod tests {
     use madmax_hw::catalog;
     use madmax_model::ModelId;
     use madmax_parallel::PipelineConfig;
+
+    fn simulate(
+        model: &ModelArch,
+        cluster: &ClusterSpec,
+        plan: &Plan,
+        task: Task,
+    ) -> Result<IterationReport, PlanError> {
+        run_pipelined_default(model, cluster, plan, &task)
+    }
 
     #[test]
     fn pipelined_llm_runs_and_reports_bubble() {
@@ -160,26 +281,44 @@ mod tests {
     }
 
     #[test]
-    fn non_pipelined_plan_delegates_to_flat_simulator() {
+    fn non_pipelined_plan_delegates_to_flat_engine() {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let flat = madmax_core::simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let flat = madmax_core::run_flat_default(&model, &sys, &plan, &Task::Pretraining).unwrap();
         let piped = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
         assert_eq!(flat, piped);
         assert!(piped.bubble_fraction.is_none());
     }
 
     #[test]
-    fn flat_simulator_rejects_pipelined_plans() {
+    fn flat_engine_rejects_pipelined_plans() {
         let model = ModelId::Llama2.build();
         let sys = catalog::llama_llm_system();
         let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
-        let err = madmax_core::simulate(&model, &sys, &plan, Task::Pretraining).unwrap_err();
+        let err =
+            madmax_core::run_flat_default(&model, &sys, &plan, &Task::Pretraining).unwrap_err();
         assert!(
             matches!(err, PlanError::PipelinedPlan { stages: 8 }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn pipeline_engine_rejects_flat_plans() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let err = run_pipelined(
+            &model,
+            &sys,
+            &plan,
+            &Task::Pretraining,
+            &DEFAULT_COLLECTIVES,
+            UtilizationModel::Constant,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::InvalidPipeline { .. }), "{err}");
     }
 
     #[test]
@@ -217,5 +356,20 @@ mod tests {
         assert!(!infer
             .comm_by_collective
             .contains_key(&CollectiveKind::ReduceScatter));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_engine() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 16));
+        let engine = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let shim = PipelineSimulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run()
+            .unwrap();
+        let one_shot = super::simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        assert_eq!(engine, shim);
+        assert_eq!(engine, one_shot);
     }
 }

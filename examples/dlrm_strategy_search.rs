@@ -6,8 +6,8 @@
 //! cargo run --release -p madmax-bench --example dlrm_strategy_search
 //! ```
 
-use madmax_core::simulate;
-use madmax_dse::{best_point, optimize, sweep_class, SearchOptions};
+use madmax_dse::{best_point, sweep_class, Explorer};
+use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
 use madmax_parallel::{Plan, Task};
@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelId::DlrmA.build();
     let system = catalog::zionex_dlrm_system();
     let baseline_plan = Plan::fsdp_baseline(&model);
-    let baseline = simulate(&model, &system, &baseline_plan, Task::Pretraining)?;
+    let baseline = Scenario::new(&model, &system)
+        .plan(baseline_plan.clone())
+        .run()?;
     println!("FSDP baseline: {:.2} MQPS\n", baseline.mqps());
 
     // Sweep just the dense layers (the embedding tables of a 793B-parameter
@@ -47,13 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.strategy
     );
 
-    // Joint search over every layer class.
-    let result = optimize(
-        &model,
-        &system,
-        &Task::Pretraining,
-        &SearchOptions::default(),
-    )?;
+    // Joint search over every layer class, fanned out over all cores.
+    let result = Explorer::new(&model, &system)
+        .task(Task::Pretraining)
+        .explore()?;
     println!(
         "Joint search: {} plans evaluated ({} OOM), best = {} at {:.2}x over FSDP",
         result.evaluated,

@@ -7,7 +7,7 @@
 //! ```
 
 use madmax_core::config::{ExperimentSpec, SimulationConfig};
-use madmax_core::simulate;
+use madmax_engine::simulate;
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
 use madmax_parallel::{HierStrategy, Plan, Strategy, Task};

@@ -7,7 +7,7 @@
 //! ```
 
 use madmax_core::validation::gpu_hours;
-use madmax_core::Simulation;
+use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
 use madmax_parallel::{Plan, Task};
@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         h
     }] {
         let plan = Plan::fsdp_baseline(&model);
-        let report = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+        let report = Scenario::new(&model, &system)
+            .plan(plan)
+            .task(Task::Pretraining)
+            .run()?;
         let steps = total_tokens / model.tokens_per_iteration();
         let days = (report.iteration_time * steps).as_days();
         println!("{}:", system.name);
@@ -51,9 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = catalog::llama_llm_system();
     let mut plan = Plan::fsdp_baseline(&model);
     plan.options.fsdp_prefetch = false;
-    let vanilla = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+    let vanilla = Scenario::new(&model, &system).plan(plan.clone()).run()?;
     plan.options.fsdp_prefetch = true;
-    let prefetch = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+    let prefetch = Scenario::new(&model, &system).plan(plan).run()?;
     println!(
         "\nFSDP prefetching: {:.1}% -> {:.1}% communication overlap ({:.2}x faster iterations)",
         vanilla.overlap_fraction() * 100.0,

@@ -1,14 +1,17 @@
-//! Pipeline-parallel LLM pre-training: map a 70B-class model onto the
-//! 2048-GPU system with an 8-deep pipeline, sweep the microbatch count,
-//! and print the bubble-fraction/throughput curve for both schedules —
-//! then let the joint search pick the best (pp, microbatches, schedule)
-//! on a network-constrained variant of the system.
+//! Pipeline-parallel LLM pre-training through the unified engine: map a
+//! 70B-class model onto the 2048-GPU system with an 8-deep pipeline, sweep
+//! the microbatch count, and print the bubble-fraction/throughput curve for
+//! both schedules — then let the unified `Explorer` pick the best
+//! (pp, microbatches, schedule) on a network-constrained variant of the
+//! system. Every simulation goes through `Scenario`; there is no separate
+//! pipeline plumbing.
 //!
 //! ```bash
 //! cargo run --release -p madmax-bench --example pipeline_llm
 //! ```
 
-use madmax_dse::{optimize_pipeline, PipelineSearchSpace};
+use madmax_dse::{Explorer, SearchSpace};
+use madmax_engine::Scenario;
 use madmax_hw::{catalog, DeviceScaling};
 use madmax_model::ModelId;
 use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
@@ -33,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 microbatches: m,
                 schedule,
             });
-            let r = madmax_pipeline::simulate(&model, &system, &plan, Task::Pretraining)?;
+            let r = Scenario::new(&model, &system)
+                .plan(plan)
+                .task(Task::Pretraining)
+                .run()?;
             row.push_str(&format!(
                 "{:>11.1}%",
                 r.bubble_fraction.unwrap_or(0.0) * 100.0
@@ -43,12 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{row}{tput}");
     }
 
-    let flat = madmax_pipeline::simulate(
-        &model,
-        &system,
-        &Plan::fsdp_baseline(&model),
-        Task::Pretraining,
-    )?;
+    // The same entry point runs the flat pp=1 baseline.
+    let flat = Scenario::new(&model, &system).run()?;
     println!(
         "\npp=1 FSDP baseline: {:.2} s/iteration ({:.0} tokens/s)",
         flat.iteration_time.as_secs(),
@@ -58,9 +60,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // On a bandwidth-starved scale-out network, the joint search trades
     // FSDP's parameter gathers for pipeline stages.
     let constrained = system.scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0));
-    let mut space = PipelineSearchSpace::default_for(&constrained);
-    space.microbatches = vec![8, 16, 32, 64];
-    let search = optimize_pipeline(&model, &constrained, &Task::Pretraining, &space)?;
+    let mut space = SearchSpace::pipeline_for(&constrained);
+    if let Some(axes) = space.pipeline.as_mut() {
+        axes.microbatches = vec![8, 16, 32, 64];
+    }
+    let search = Explorer::new(&model, &constrained)
+        .task(Task::Pretraining)
+        .space(space)
+        .explore()?;
     println!("\nJoint (pp, mb, schedule) search with 8x slower scale-out links:");
     println!(
         "  evaluated:  {} configurations ({} OOM)",

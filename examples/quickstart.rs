@@ -1,10 +1,11 @@
-//! Quickstart: simulate one workload-system mapping and read the report.
+//! Quickstart: simulate one workload-system mapping through the unified
+//! `Scenario` entry point and read the report.
 //!
 //! ```bash
 //! cargo run --release -p madmax-bench --example quickstart
 //! ```
 
-use madmax_core::Simulation;
+use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
 use madmax_parallel::{Plan, Task};
@@ -19,8 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    fully-sharded dense layers.
     let plan = Plan::fsdp_baseline(&model);
 
-    // 3. Simulate one pre-training iteration.
-    let report = Simulation::new(&model, &system, &plan, Task::Pretraining).run()?;
+    // 3. Simulate one pre-training iteration. The same `Scenario` entry
+    //    point executes pipelined plans too — add a `PipelineConfig` to
+    //    the plan and `run()` dispatches to the stage engine.
+    let report = Scenario::new(&model, &system)
+        .plan(plan.clone())
+        .task(Task::Pretraining)
+        .run()?;
 
     println!("model:                {}", model.name);
     println!("system:               {}", system.name);

@@ -2,7 +2,8 @@
 //! pipeline, determinism, and consistency between the simulator's views.
 
 use madmax_core::config::{ExperimentSpec, SimulationConfig};
-use madmax_core::{simulate, Simulation, StreamId};
+use madmax_core::StreamId;
+use madmax_engine::{simulate, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
 use madmax_parallel::{HierStrategy, Plan, Strategy, Task};
@@ -55,7 +56,8 @@ fn schedule_respects_dependencies_and_stream_order() {
     let model = ModelId::DlrmA.build();
     let sys = catalog::zionex_dlrm_system();
     let plan = Plan::fsdp_baseline(&model);
-    let (_, trace, sched) = Simulation::new(&model, &sys, &plan, Task::Pretraining)
+    let (_, trace, sched) = Scenario::new(&model, &sys)
+        .plan(plan)
         .run_with_trace()
         .unwrap();
 

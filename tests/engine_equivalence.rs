@@ -1,0 +1,231 @@
+//! Equivalence suite for the unified engine API: `Scenario::run()` must be
+//! byte-for-byte identical to the legacy front doors it subsumes
+//! (`madmax_core::Simulation` for flat plans, `madmax_pipeline::simulate`
+//! for pipelined plans) across the model zoo, and the parallel `Explorer`
+//! must return the identical winner to a forced single-threaded run.
+//!
+//! Honest scope note: the deprecated fronts are thin shims over the same
+//! extracted engine functions (`run_flat` / `run_pipelined`) that
+//! `Scenario` calls, so these comparisons pin *shim stability* and the
+//! dispatch path — they guard against the shims or the dispatcher
+//! drifting apart in the future, not against a bug introduced while the
+//! engines were extracted. Equivalence to the pre-refactor absolute
+//! behavior is pinned separately by `tests/paper_validation.rs` and
+//! `tests/insights.rs`, whose expected values predate this refactor and
+//! still pass unchanged.
+//!
+//! This file intentionally exercises the deprecated entry points.
+#![allow(deprecated)]
+
+use madmax_dse::{Explorer, PipelineAxes, SearchSpace};
+use madmax_engine::{EngineError, Scenario};
+use madmax_hw::catalog;
+use madmax_model::ModelId;
+use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
+
+fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
+    if id.is_dlrm() {
+        catalog::zionex_dlrm_system()
+    } else {
+        catalog::llama_llm_system()
+    }
+}
+
+#[test]
+fn scenario_matches_flat_simulation_across_the_zoo() {
+    for id in ModelId::ALL {
+        let model = id.build();
+        let sys = system_for(id);
+        let plan = Plan::fsdp_baseline(&model);
+        for task in [Task::Pretraining, Task::Inference] {
+            let old = madmax_core::Simulation::new(&model, &sys, &plan, task.clone())
+                .run()
+                .unwrap();
+            let new = Scenario::new(&model, &sys)
+                .plan(plan.clone())
+                .task(task.clone())
+                .run()
+                .unwrap();
+            assert_eq!(old, new, "{id} {task}: reports differ");
+            // Byte-for-byte: the serialized forms are identical too.
+            assert_eq!(
+                serde_json::to_string(&old).unwrap(),
+                serde_json::to_string(&new).unwrap(),
+                "{id} {task}: serialized reports differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_matches_flat_trace_and_schedule() {
+    let model = ModelId::DlrmATransformer.build();
+    let sys = catalog::zionex_dlrm_system();
+    let plan = Plan::fsdp_baseline(&model);
+    let (old_r, old_t, old_s) =
+        madmax_core::Simulation::new(&model, &sys, &plan, Task::Pretraining)
+            .run_with_trace()
+            .unwrap();
+    let (new_r, new_t, new_s) = Scenario::new(&model, &sys)
+        .plan(plan)
+        .run_with_trace()
+        .unwrap();
+    assert_eq!(old_r, new_r);
+    assert_eq!(old_t, new_t);
+    assert_eq!(old_s, new_s);
+}
+
+#[test]
+fn scenario_matches_pipeline_simulate_across_the_zoo() {
+    // Every model x a pipelined plan: the unified entry point must agree
+    // with the legacy pipeline front door on success AND on failure shape
+    // (deep pipelines are unmappable for shallow DLRM towers).
+    for id in ModelId::ALL {
+        let model = id.build();
+        let sys = system_for(id);
+        for (p, m, schedule) in [
+            (2usize, 8usize, PipelineSchedule::GPipe),
+            (4, 16, PipelineSchedule::OneFOneB),
+            (8, 32, PipelineSchedule::OneFOneB),
+        ] {
+            let mut plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+                stages: p,
+                microbatches: m,
+                schedule,
+            });
+            // Waive capacity so the comparison covers mapping logic, not
+            // which side OOMs first.
+            plan.options.ignore_memory_limits = true;
+            let old = madmax_pipeline::simulate(&model, &sys, &plan, Task::Pretraining);
+            let new = Scenario::new(&model, &sys).plan(plan).run();
+            match (old, new) {
+                (Ok(o), Ok(n)) => {
+                    assert_eq!(o, n, "{id} pp={p} mb={m}: reports differ");
+                    assert_eq!(
+                        serde_json::to_string(&o).unwrap(),
+                        serde_json::to_string(&n).unwrap(),
+                        "{id} pp={p} mb={m}: serialized reports differ"
+                    );
+                }
+                (Err(o), Err(n)) => {
+                    assert_eq!(EngineError::from(o), n, "{id} pp={p} mb={m}: errors differ");
+                }
+                (o, n) => panic!("{id} pp={p} mb={m}: divergent outcomes {o:?} vs {n:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn explorer_subsumes_deprecated_optimize() {
+    for id in [ModelId::DlrmA, ModelId::Gpt3] {
+        let model = id.build();
+        let sys = system_for(id);
+        let legacy = madmax_dse::optimize(
+            &model,
+            &sys,
+            &Task::Pretraining,
+            &madmax_dse::SearchOptions::default(),
+        )
+        .unwrap();
+        let unified = Explorer::new(&model, &sys).explore().unwrap();
+        assert_eq!(legacy.best_plan, unified.best_plan, "{id}");
+        assert_eq!(legacy.best, unified.best, "{id}");
+        assert_eq!(legacy.evaluated, unified.evaluated, "{id}");
+        assert_eq!(legacy.oom, unified.oom, "{id}");
+    }
+}
+
+#[test]
+fn explorer_subsumes_deprecated_optimize_pipeline() {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let mut legacy_space = madmax_dse::PipelineSearchSpace::default_for(&sys);
+    legacy_space.microbatches = vec![8, 16];
+    let legacy =
+        madmax_dse::optimize_pipeline(&model, &sys, &Task::Pretraining, &legacy_space).unwrap();
+
+    let mut axes = PipelineAxes::default_for(&sys);
+    axes.microbatches = vec![8, 16];
+    let unified = Explorer::new(&model, &sys)
+        .space(SearchSpace::default().with_pipeline(axes))
+        .explore()
+        .unwrap();
+    assert_eq!(legacy.best_plan, unified.best_plan);
+    assert_eq!(legacy.best, unified.best);
+    assert_eq!(legacy.baseline, unified.baseline);
+    assert_eq!(legacy.evaluated, unified.evaluated);
+    assert_eq!(
+        (legacy.oom, legacy.unmappable, legacy.invalid),
+        (unified.oom, unified.unmappable, unified.invalid)
+    );
+}
+
+#[test]
+fn parallel_explorer_is_deterministic() {
+    // The acceptance criterion: the parallel explorer returns the
+    // identical winner (plan and report, bit for bit) to a forced
+    // single-threaded run — for both a flat and a joint pipeline space.
+    let model = ModelId::DlrmA.build();
+    let sys = catalog::zionex_dlrm_system();
+    let seq = Explorer::new(&model, &sys).threads(1).explore().unwrap();
+    for threads in [2usize, 4, 8] {
+        let par = Explorer::new(&model, &sys)
+            .threads(threads)
+            .explore()
+            .unwrap();
+        assert_eq!(seq.best_plan, par.best_plan, "threads={threads}");
+        assert_eq!(seq.best, par.best, "threads={threads}");
+        assert_eq!(seq.baseline, par.baseline, "threads={threads}");
+        assert_eq!(
+            (seq.evaluated, seq.oom, seq.unmappable, seq.invalid),
+            (par.evaluated, par.oom, par.unmappable, par.invalid),
+            "threads={threads}"
+        );
+    }
+
+    let llm = ModelId::Llama2.build();
+    let llm_sys = catalog::llama_llm_system();
+    let space = SearchSpace::default().with_pipeline(PipelineAxes {
+        stages: vec![1, 2, 4, 8],
+        microbatches: vec![8, 16],
+        schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+    });
+    let seq = Explorer::new(&llm, &llm_sys)
+        .space(space.clone())
+        .threads(1)
+        .explore()
+        .unwrap();
+    let par = Explorer::new(&llm, &llm_sys)
+        .space(space)
+        .threads(8)
+        .explore()
+        .unwrap();
+    assert_eq!(seq.best_plan, par.best_plan);
+    assert_eq!(seq.best, par.best);
+}
+
+#[test]
+fn unified_error_reports_one_shape_for_both_engines() {
+    // Flat OOM and pipeline OOM both surface as EngineError::OutOfMemory;
+    // unmappable pipelines surface as InvalidPlan — no more matching on
+    // two simulators' error conventions.
+    let model = ModelId::Gpt3.build();
+    let sys = catalog::llama_llm_system();
+
+    let flat_oom = Scenario::new(&model, &sys)
+        .plan(Plan::fsdp_baseline(&model).with_strategy(
+            madmax_model::LayerClass::Transformer,
+            madmax_parallel::HierStrategy::flat(madmax_parallel::Strategy::Ddp),
+        ))
+        .run()
+        .unwrap_err();
+    assert!(flat_oom.is_oom());
+
+    let unmappable = Scenario::new(&model, &sys)
+        .plan(Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(7, 8)))
+        .run()
+        .unwrap_err();
+    assert!(unmappable.is_unmappable_pipeline());
+    assert!(!unmappable.is_oom());
+}

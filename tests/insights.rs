@@ -2,11 +2,11 @@
 //! insights (Section VI): who wins, orderings, and crossovers — not
 //! absolute numbers.
 
-use madmax_core::{simulate, Simulation};
-use madmax_dse::{best_point, optimize, scaling_study, sweep_class, ScalingAxis, SearchOptions};
+use madmax_dse::{best_point, scaling_study, sweep_class, Explorer, ScalingAxis, SearchSpace};
+use madmax_engine::{simulate, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{HierStrategy, Plan, PlanError, Strategy, Task};
+use madmax_parallel::{HierStrategy, Plan, Strategy, Task};
 
 fn zionex() -> madmax_hw::ClusterSpec {
     catalog::zionex_dlrm_system()
@@ -24,10 +24,7 @@ fn insight1_dlrm_embeddings_force_sharding_and_tp_ddp_wins_dense() {
     // viable: DDP replication of 3.17 TB per device is absurd and must OOM.
     let plan = Plan::fsdp_baseline(&model)
         .with_strategy(LayerClass::Embedding, HierStrategy::flat(Strategy::Ddp));
-    assert!(matches!(
-        simulate(&model, &sys, &plan, Task::Pretraining),
-        Err(PlanError::OutOfMemory { .. })
-    ));
+    assert!(simulate(&model, &sys, &plan, Task::Pretraining).is_err_and(|e| e.is_oom()));
 
     // With embeddings pinned to sharding, the dense sweep puts (TP, DDP)
     // on top and flat DDP out of memory (Fig. 11).
@@ -62,17 +59,14 @@ fn insight2_llm_word_embeddings_replicate_but_compute_layers_cannot() {
     ] {
         let plan = Plan::fsdp_baseline(&model).with_strategy(LayerClass::Transformer, strat);
         assert!(
-            matches!(
-                simulate(&model, &sys, &plan, Task::Pretraining),
-                Err(PlanError::OutOfMemory { .. })
-            ),
+            simulate(&model, &sys, &plan, Task::Pretraining).is_err_and(|e| e.is_oom()),
             "{strat} should OOM"
         );
     }
 
     // And the FSDP baseline is competitive: nothing in the constrained
     // search beats it by more than a few percent.
-    let r = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+    let r = Explorer::new(&model, &sys).explore().unwrap();
     assert!(
         r.speedup() < 1.10,
         "GPT-3 constrained speedup {:.3}",
@@ -112,7 +106,7 @@ fn insight4_variants_move_the_optimum() {
     // MoE's expert parallelism introduces blocking All2All but beats
     // FSDP-gathered experts decisively.
     let moe = ModelId::DlrmAMoe.build();
-    let r = optimize(&moe, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+    let r = Explorer::new(&moe, &sys).explore().unwrap();
     let moe_strategy = r.best_plan.strategy_for(LayerClass::Moe);
     assert!(
         matches!(moe_strategy, HierStrategy::Flat(Strategy::Shard))
@@ -170,10 +164,6 @@ fn insight5_task_diversity() {
 fn insight6_context_length_diminishing_returns() {
     let sys = llm_sys();
     let base = ModelId::Llama2.build();
-    let opts = SearchOptions {
-        ignore_memory_limits: true,
-        classes: None,
-    };
     let mut speedups = Vec::new();
     for ctx in [2048usize, 4096, 8192] {
         let model = if ctx == 4096 {
@@ -181,7 +171,10 @@ fn insight6_context_length_diminishing_returns() {
         } else {
             base.with_context_length(ctx)
         };
-        let r = optimize(&model, &sys, &Task::Pretraining, &opts).unwrap();
+        let r = Explorer::new(&model, &sys)
+            .space(SearchSpace::strategies().unconstrained())
+            .explore()
+            .unwrap();
         speedups.push(r.speedup());
     }
     assert!(
@@ -218,18 +211,13 @@ fn insight9_commodity_platforms_simulate_and_improve() {
         catalog::mi300x_cluster(),
         catalog::gaudi2_cluster(),
     ] {
-        let r = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+        let r = Explorer::new(&model, &sys).explore().unwrap();
         assert!(r.speedup() >= 1.0, "{}: {:.2}", sys.name, r.speedup());
         // Larger-HBM platforms admit replication-heavy plans: fewer OOM
         // rejections than on 40 GB A100s.
         if sys.device.hbm_capacity.as_gb() >= 96.0 {
-            let a100 = optimize(
-                &model,
-                &zionex(),
-                &Task::Pretraining,
-                &SearchOptions::default(),
-            )
-            .unwrap();
+            let zionex_sys = zionex();
+            let a100 = Explorer::new(&model, &zionex_sys).explore().unwrap();
             assert!(r.oom <= a100.oom, "{}: {} vs {}", sys.name, r.oom, a100.oom);
         }
     }
@@ -265,7 +253,9 @@ fn fsdp_prefetch_matches_fig9_band() {
     // the production observation (98% observed / 93% paper model).
     let model = ModelId::Llama2.build();
     let plan = Plan::fsdp_baseline(&model);
-    let r = Simulation::new(&model, &llm_sys(), &plan, Task::Pretraining)
+    let llm = llm_sys();
+    let r = Scenario::new(&model, &llm)
+        .plan(plan.clone())
         .run()
         .unwrap();
     assert!(
@@ -275,8 +265,6 @@ fn fsdp_prefetch_matches_fig9_band() {
     );
     let mut vanilla = plan;
     vanilla.options.fsdp_prefetch = false;
-    let v = Simulation::new(&model, &llm_sys(), &vanilla, Task::Pretraining)
-        .run()
-        .unwrap();
+    let v = Scenario::new(&model, &llm).plan(vanilla).run().unwrap();
     assert!(v.overlap_fraction() < r.overlap_fraction());
 }

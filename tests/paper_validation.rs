@@ -2,7 +2,7 @@
 //! validation points (Table I) and headline abstract claims.
 
 use madmax_core::validation::{self, reference};
-use madmax_dse::{optimize, SearchOptions};
+use madmax_dse::Explorer;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
 use madmax_parallel::Task;
@@ -96,7 +96,7 @@ fn abstract_claim_pretraining_gains_exist_for_dlrms() {
         } else {
             catalog::llama_llm_system()
         };
-        let r = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
+        let r = Explorer::new(&model, &sys).explore().unwrap();
         speedups.push(r.speedup());
     }
     let max = speedups.iter().cloned().fold(0.0, f64::max);
@@ -113,8 +113,11 @@ fn abstract_claim_inference_gains_larger_than_training() {
     // variants.
     let model = ModelId::DlrmAMoe.build();
     let sys = catalog::zionex_dlrm_system();
-    let train = optimize(&model, &sys, &Task::Pretraining, &SearchOptions::default()).unwrap();
-    let infer = optimize(&model, &sys, &Task::Inference, &SearchOptions::default()).unwrap();
+    let train = Explorer::new(&model, &sys).explore().unwrap();
+    let infer = Explorer::new(&model, &sys)
+        .task(Task::Inference)
+        .explore()
+        .unwrap();
     assert!(infer.speedup() >= 1.0);
     assert!(train.speedup() >= 1.0);
     // Inference unlocks strictly more feasible plans than pre-training.

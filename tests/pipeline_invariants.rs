@@ -5,11 +5,12 @@
 use proptest::prelude::*;
 
 use madmax_core::{schedule, IterationReport, StreamId};
+use madmax_engine::simulate;
 use madmax_hw::units::Seconds;
 use madmax_model::ModelId;
 use madmax_parallel::{MemoryBreakdown, PipelineConfig, PipelineSchedule, Plan, Task};
+use madmax_pipeline::gpipe_bubble_fraction;
 use madmax_pipeline::schedule::{build_pipeline_trace, uniform_costs};
-use madmax_pipeline::{gpipe_bubble_fraction, simulate};
 
 /// Random heterogeneous stage costs: per-stage forward/backward compute and
 /// inter-stage transfer durations.
@@ -217,15 +218,15 @@ fn joint_pipeline_search_beats_flat_baseline_for_deep_llm() {
     // The ISSUE's acceptance criterion: the joint (pp, microbatch, schedule)
     // search must find a pipelined plan whose makespan beats the pp=1
     // baseline for a deep LLM workload on a network-constrained system.
-    use madmax_dse::{optimize_pipeline, PipelineSearchSpace};
+    use madmax_dse::{Explorer, SearchSpace};
     use madmax_hw::DeviceScaling;
 
     let model = ModelId::Gpt3.build();
     let sys =
         madmax_hw::catalog::llama_llm_system().scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0));
-    let mut space = PipelineSearchSpace::default_for(&sys);
-    space.microbatches = vec![8, 16, 32];
-    let r = optimize_pipeline(&model, &sys, &Task::Pretraining, &space).unwrap();
+    let mut space = SearchSpace::pipeline_for(&sys);
+    space.pipeline.as_mut().unwrap().microbatches = vec![8, 16, 32];
+    let r = Explorer::new(&model, &sys).space(space).explore().unwrap();
     assert!(r.pipeline_won(), "winner: {}", r.best_plan.summary());
     assert!(
         r.best.iteration_time < r.baseline.iteration_time,

@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::strategy::Strategy;
 use crate::test_runner::Rng;
 
-/// Length specification for [`vec`]: an exact length or a `lo..hi` range.
+/// Length specification for [`vec()`]: an exact length or a `lo..hi` range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
