@@ -1,0 +1,158 @@
+//! Performance-trajectory harness: times `Explorer::explore()` on the
+//! fig10-style joint strategy searches and writes a machine-readable
+//! `BENCH_PR<n>.json` at the repository root. Each PR that claims a hot-path
+//! win re-runs this bin and commits the new point, so the perf history is a
+//! series of comparable JSON files rather than anecdotes.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p madmax-bench --bin bench_report -- \
+//!     [--threads N] [--out BENCH_PR3.json] [--reps 5] [--baseline PRE.json]
+//! ```
+//!
+//! With `--baseline`, a previously emitted report (e.g. one produced by
+//! running this bin against the pre-PR commit) is joined by search name
+//! and each record gains `pre_pr_wall_ms` and `speedup` fields, making
+//! the committed file a self-contained before/after comparison.
+//!
+//! Fig. 10 runs each model's joint strategy search twice — memory-
+//! constrained (blue bars) and unconstrained (orange bars) — so one record
+//! is emitted per (model, constraint) search:
+//! `{"search": "fig10/GPT-3/unconstrained", "candidates": 144,
+//! "wall_ms": 1.23, "threads": 1}`. `wall_ms` is the best (minimum) of
+//! `--reps` timed runs after one warm-up, so allocator and cache warm-up
+//! noise does not pollute the trajectory.
+
+use std::time::Instant;
+
+use madmax_dse::{Explorer, SearchSpace};
+use madmax_hw::catalog;
+use madmax_model::ModelId;
+use serde::{Deserialize, Serialize};
+
+/// One timed search, as emitted (and re-read via `--baseline`) by this
+/// bin. The comparison fields are `None`/`null` when no baseline is
+/// supplied.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchRecord {
+    search: String,
+    candidates: usize,
+    wall_ms: f64,
+    threads: usize,
+    pre_pr_wall_ms: Option<f64>,
+    speedup: Option<f64>,
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().cloned();
+        }
+    }
+    None
+}
+
+fn main() {
+    let threads = madmax_bench::threads_from_args();
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+    let reps: usize = arg_value("--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let baseline: Vec<BenchRecord> = match arg_value("--baseline") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e}"))
+        }
+        None => Vec::new(),
+    };
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let (mut total_candidates, mut total_ms) = (0usize, 0.0f64);
+    for id in ModelId::ALL {
+        let model = id.build();
+        let system = if id.is_dlrm() {
+            catalog::zionex_dlrm_system()
+        } else {
+            catalog::llama_llm_system()
+        };
+        for (label, space) in [
+            ("", SearchSpace::strategies()),
+            ("/unconstrained", SearchSpace::strategies().unconstrained()),
+        ] {
+            let explorer = Explorer::new(&model, &system).space(space).threads(threads);
+            let candidates = explorer.candidates().len();
+
+            // One warm-up, then best-of-`reps`.
+            let outcome = explorer.explore().expect("baseline feasible");
+            let mut best_ms = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let o = explorer.explore().expect("baseline feasible");
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
+                best_ms = best_ms.min(ms);
+            }
+
+            total_candidates += candidates;
+            total_ms += best_ms;
+            let search = format!("fig10/{id}{label}");
+            let pre = baseline
+                .iter()
+                .find(|r| r.search == search)
+                .map(|r| r.wall_ms);
+            let vs = pre.map_or(String::new(), |p| format!("  {:5.1}x vs pre", p / best_ms));
+            println!(
+                "{search:<42} {candidates:>4} candidates  {best_ms:>9.2} ms  \
+                 ({threads} threads){vs}"
+            );
+            records.push(BenchRecord {
+                search,
+                candidates,
+                wall_ms: best_ms,
+                threads,
+                pre_pr_wall_ms: pre,
+                speedup: pre.map(|p| p / best_ms),
+            });
+        }
+    }
+
+    // Aggregate record: the full fig10 search suite, wall-clock summed.
+    // A baseline produced by this bin carries its own aggregate record;
+    // exclude it so pre-PR time is not double-counted.
+    {
+        let search = "fig10/all".to_owned();
+        let pre: f64 = baseline
+            .iter()
+            .filter(|r| r.search != search)
+            .map(|r| r.wall_ms)
+            .sum();
+        let pre = (pre > 0.0).then_some(pre);
+        let vs = pre.map_or(String::new(), |p| format!("  {:5.1}x vs pre", p / total_ms));
+        println!(
+            "{search:<42} {total_candidates:>4} candidates  {total_ms:>9.2} ms  \
+             ({threads} threads){vs}"
+        );
+        records.push(BenchRecord {
+            search,
+            candidates: total_candidates,
+            wall_ms: total_ms,
+            threads,
+            pre_pr_wall_ms: pre,
+            speedup: pre.map(|p| p / total_ms),
+        });
+    }
+
+    let lines: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", serde_json::to_string(r).expect("record serializes")))
+        .collect();
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(root.join(&out_path), &json).expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -1,5 +1,9 @@
 //! Runs every table/figure experiment and persists results under
-//! `results/`. DSE-heavy experiments fan out over all available cores.
+//! `results/`. DSE-heavy experiments fan out over all available cores, and
+//! a per-figure elapsed-time summary is printed at the end so hot-path
+//! regressions are visible straight from the tier-1 artifact run.
+use std::time::{Duration, Instant};
+
 use madmax_bench::{emit, experiments as e};
 
 type Experiment = (&'static str, Box<dyn Fn() -> String>);
@@ -67,8 +71,22 @@ fn main() {
         ),
         ("ablations", Box::new(e::ablations::run)),
     ];
+    let mut timings: Vec<(&'static str, Duration)> = Vec::with_capacity(runs.len());
     for (name, f) in runs {
         eprintln!(">>> {name}");
+        let start = Instant::now();
         emit(name, &f());
+        timings.push((name, start.elapsed()));
     }
+
+    eprintln!("\n=== elapsed per experiment ===");
+    let total: Duration = timings.iter().map(|(_, d)| *d).sum();
+    for (name, d) in &timings {
+        eprintln!("{name:<28} {:>9.1} ms", d.as_secs_f64() * 1e3);
+    }
+    eprintln!(
+        "{:<28} {:>9.1} ms  (total)",
+        "all",
+        total.as_secs_f64() * 1e3
+    );
 }

@@ -29,7 +29,7 @@ pub fn fig06() -> String {
         .iter()
         .zip(&sched.windows)
         .map(|(op, w)| TimelineOp {
-            name: op.name.clone(),
+            name: op.name.to_string(),
             lane: match op.stream {
                 StreamId::Compute => "compute".to_owned(),
                 StreamId::Comm => "comm".to_owned(),

@@ -2,26 +2,32 @@
 //! compute + communication streams with explicit data dependencies
 //! (Section IV-C: "Piecing Together Computation and Comm. Streams").
 //!
-//! The builder walks the model's layer groups in execution order for the
-//! forward pass and in reverse for the backward pass. Embedding groups form
-//! a side chain (their blocking All2All joins the dense chain at the
-//! feature-combination stage, exactly as in the paper's Fig. 6), FSDP
-//! AllGathers are issued eagerly when prefetching is enabled (Fig. 9), and
-//! weight-gradient collectives land on a separate lower-priority stream so
-//! they drain behind blocking traffic.
+//! Construction runs in two phases (see [`crate::costs`]):
+//!
+//! 1. **Pricing** — every per-(group, strategy) compute duration and
+//!    collective cost is evaluated once into a [`CostTable`];
+//! 2. **Assembly** — [`CostTable::assemble_into`] walks the model's layer
+//!    groups in execution order for the forward pass and in reverse for
+//!    the backward pass, composing cached costs into ops.
+//!
+//! Embedding groups form a side chain (their blocking All2All joins the
+//! dense chain at the feature-combination stage, exactly as in the paper's
+//! Fig. 6), FSDP AllGathers are issued eagerly when prefetching is enabled
+//! (Fig. 9), and weight-gradient collectives land on a separate
+//! lower-priority stream so they drain behind blocking traffic.
+//!
+//! [`TraceBuilder`] performs both phases for one plan; design-space
+//! searches build the [`CostTable`] once and assemble every candidate from
+//! it.
 
-use madmax_hw::units::Seconds;
 use madmax_hw::ClusterSpec;
-use madmax_model::{LayerKind, ModelArch};
-use madmax_parallel::comm::CommPosition;
-use madmax_parallel::{derive_layer_comm, CommReq, Plan, Task, Urgency};
+use madmax_model::ModelArch;
+use madmax_parallel::{Plan, Task};
 
 use crate::collective::CollectiveModel;
-use crate::compute::{
-    backward_flops_factor, compute_time, device_flops_fwd, device_lookup_bytes, lookup_time,
-    optimizer_time, UtilizationModel,
-};
-use crate::trace::{OpId, OpKind, Phase, StreamId, Trace, TraceOp};
+use crate::compute::UtilizationModel;
+use crate::costs::CostTable;
+use crate::trace::Trace;
 
 /// Inputs to trace construction.
 #[derive(Debug)]
@@ -41,339 +47,24 @@ pub struct TraceBuilder<'a> {
 }
 
 impl<'a> TraceBuilder<'a> {
-    fn comm_op(
-        &self,
-        trace: &mut Trace,
-        req: &CommReq,
-        phase: Phase,
-        stream: StreamId,
-        deps: Vec<OpId>,
-        prefix: &str,
-    ) -> OpId {
-        trace.push(TraceOp {
-            name: format!("{prefix}.{}", req.label),
-            stream,
-            kind: OpKind::Collective {
-                kind: req.collective,
-            },
-            phase,
-            duration: self.collective_model.time(req, self.cluster),
-            deps,
-        })
+    /// Prices this builder's plan into a fresh [`CostTable`].
+    pub fn price(&self) -> CostTable<'a> {
+        let mut table = CostTable::new(
+            self.model,
+            self.cluster,
+            self.task.clone(),
+            self.plan.options,
+            self.collective_model,
+            self.utilization,
+        );
+        table.ensure_plan(self.plan);
+        table
     }
 
-    /// Builds the full per-iteration trace.
+    /// Builds the full per-iteration trace (price + assemble).
     pub fn build(&self) -> Trace {
         let mut trace = Trace::new();
-        let local_batch = self.model.global_batch as f64 / self.cluster.total_devices() as f64;
-        let prefetch = self.plan.options.fsdp_prefetch;
-
-        // Per-group communication plans (identical across instances).
-        let comms: Vec<_> = self
-            .model
-            .groups
-            .iter()
-            .map(|g| {
-                derive_layer_comm(
-                    g,
-                    self.plan,
-                    self.model,
-                    self.cluster,
-                    self.task,
-                    local_batch,
-                )
-            })
-            .collect();
-
-        // ---------------- Forward pass ----------------
-        let mut last_out: Option<OpId> = None; // dense-chain tail
-        let mut pending_join: Vec<OpId> = Vec::new(); // embedding-side outputs
-        let mut last_compute: Option<OpId> = None; // for just-in-time gathers
-
-        for (gi, group) in self.model.groups.iter().enumerate() {
-            let comm = &comms[gi];
-            let is_embedding = group.kind.is_memory_bound();
-            let is_side_branch_input = matches!(group.kind, LayerKind::Mlp(_));
-
-            for inst in 0..group.repeat {
-                let prefix = if group.repeat > 1 {
-                    format!("fwd[{inst}]")
-                } else {
-                    "fwd".to_owned()
-                };
-
-                // Input dependencies of this layer's compute.
-                let mut base_deps: Vec<OpId> = Vec::new();
-                if is_embedding {
-                    // Embedding lookups start from iteration inputs.
-                } else {
-                    if let Some(l) = last_out {
-                        base_deps.push(l);
-                    }
-                    if !is_side_branch_input && !pending_join.is_empty() {
-                        // Feature-combination stage: consume embedding outputs.
-                        base_deps.append(&mut pending_join);
-                    }
-                }
-
-                // Pre-compute collectives (FSDP gathers, MoE dispatch).
-                let mut gate_deps: Vec<OpId> = Vec::new();
-                for req in comm
-                    .forward
-                    .iter()
-                    .filter(|r| r.position == CommPosition::BeforeCompute)
-                {
-                    if req.payload.is_zero() {
-                        continue;
-                    }
-                    let deps = match req.urgency {
-                        Urgency::Prefetchable if prefetch => vec![],
-                        Urgency::Prefetchable => last_compute.into_iter().collect(),
-                        _ => base_deps.clone(),
-                    };
-                    let id = self.comm_op(
-                        &mut trace,
-                        req,
-                        Phase::Forward,
-                        StreamId::Comm,
-                        deps,
-                        &prefix,
-                    );
-                    if req.urgency == Urgency::Blocking {
-                        // e.g. MoE dispatch carries the layer input.
-                        base_deps = vec![id];
-                    } else {
-                        gate_deps.push(id);
-                    }
-                }
-
-                // The layer's compute (or HBM lookup) op.
-                let mut deps = base_deps;
-                deps.extend(gate_deps);
-                deps.sort_unstable();
-                deps.dedup();
-                let compute_id = if is_embedding {
-                    let bytes = device_lookup_bytes(group, self.model, self.cluster);
-                    trace.push(TraceOp {
-                        name: format!("{prefix}.{}.lookup", group.name),
-                        stream: StreamId::Compute,
-                        kind: OpKind::Lookup,
-                        phase: Phase::Forward,
-                        duration: lookup_time(bytes, self.cluster),
-                        deps,
-                    })
-                } else {
-                    let strategy = self.plan.strategy_for(group.class);
-                    let flops =
-                        device_flops_fwd(group, self.model, self.cluster, &strategy, local_batch);
-                    trace.push(TraceOp {
-                        name: format!("{prefix}.{}", group.name),
-                        stream: StreamId::Compute,
-                        kind: OpKind::Gemm { class: group.class },
-                        phase: Phase::Forward,
-                        duration: compute_time(flops, self.model, self.cluster, &self.utilization),
-                        deps,
-                    })
-                };
-                last_compute = Some(compute_id);
-
-                // Post-compute blocking collectives (TP AllReduce, embedding
-                // All2All, MoE combine).
-                let mut out = compute_id;
-                for req in comm
-                    .forward
-                    .iter()
-                    .filter(|r| r.position == CommPosition::AfterCompute)
-                {
-                    if req.payload.is_zero() {
-                        continue;
-                    }
-                    out = self.comm_op(
-                        &mut trace,
-                        req,
-                        Phase::Forward,
-                        StreamId::Comm,
-                        vec![out],
-                        &prefix,
-                    );
-                }
-
-                if is_embedding {
-                    pending_join.push(out);
-                } else {
-                    last_out = Some(out);
-                }
-            }
-        }
-
-        let final_fwd = last_out
-            .or_else(|| pending_join.last().copied())
-            .unwrap_or(OpId(0));
-
-        // ---------------- Backward pass ----------------
-        if self.task.has_backward() && !trace.is_empty() {
-            let mut last_bwd = final_fwd;
-            let mut grad_ops: Vec<OpId> = Vec::new();
-
-            for (gi, group) in self.model.groups.iter().enumerate().rev() {
-                if !self.task.trains(group.class) {
-                    continue; // frozen layers' gradient work is omitted
-                }
-                let comm = &comms[gi];
-                let is_embedding = group.kind.is_memory_bound();
-
-                for inst in (0..group.repeat).rev() {
-                    let prefix = if group.repeat > 1 {
-                        format!("bwd[{inst}]")
-                    } else {
-                        "bwd".to_owned()
-                    };
-
-                    if is_embedding {
-                        // Gradients are routed back to shard owners, then
-                        // scattered into HBM; both off the dense critical
-                        // path.
-                        let mut dep = vec![last_bwd];
-                        for req in &comm.grad {
-                            if req.payload.is_zero() {
-                                continue;
-                            }
-                            let id = self.comm_op(
-                                &mut trace,
-                                req,
-                                Phase::Backward,
-                                StreamId::GradComm,
-                                dep.clone(),
-                                &prefix,
-                            );
-                            dep = vec![id];
-                        }
-                        let bytes = device_lookup_bytes(group, self.model, self.cluster);
-                        let scatter = trace.push(TraceOp {
-                            name: format!("{prefix}.{}.grad_scatter", group.name),
-                            stream: StreamId::Compute,
-                            kind: OpKind::Lookup,
-                            phase: Phase::Backward,
-                            duration: lookup_time(bytes, self.cluster),
-                            deps: dep,
-                        });
-                        grad_ops.push(scatter);
-                        continue;
-                    }
-
-                    // Pre-compute backward collectives (FSDP re-gather,
-                    // MoE combine_bwd).
-                    let mut base_deps = vec![last_bwd];
-                    let mut gate_deps: Vec<OpId> = Vec::new();
-                    for req in comm
-                        .backward
-                        .iter()
-                        .filter(|r| r.position == CommPosition::BeforeCompute)
-                    {
-                        if req.payload.is_zero() {
-                            continue;
-                        }
-                        let deps = match req.urgency {
-                            Urgency::Prefetchable if prefetch => vec![],
-                            Urgency::Prefetchable => vec![last_bwd],
-                            _ => base_deps.clone(),
-                        };
-                        let id = self.comm_op(
-                            &mut trace,
-                            req,
-                            Phase::Backward,
-                            StreamId::Comm,
-                            deps,
-                            &prefix,
-                        );
-                        if req.urgency == Urgency::Blocking {
-                            base_deps = vec![id];
-                        } else {
-                            gate_deps.push(id);
-                        }
-                    }
-
-                    // Backward compute: weight + input gradients, plus a
-                    // forward recompute for checkpointed blocks.
-                    let recompute = self.plan.options.activation_checkpointing
-                        && matches!(
-                            group.kind,
-                            LayerKind::TransformerBlock(_) | LayerKind::Moe(_)
-                        );
-                    let strategy = self.plan.strategy_for(group.class);
-                    let flops =
-                        device_flops_fwd(group, self.model, self.cluster, &strategy, local_batch)
-                            * backward_flops_factor(recompute);
-                    let mut deps = base_deps;
-                    deps.extend(gate_deps);
-                    deps.sort_unstable();
-                    deps.dedup();
-                    let bwd_compute = trace.push(TraceOp {
-                        name: format!("{prefix}.{}", group.name),
-                        stream: StreamId::Compute,
-                        kind: OpKind::Gemm { class: group.class },
-                        phase: Phase::Backward,
-                        duration: compute_time(flops, self.model, self.cluster, &self.utilization),
-                        deps,
-                    });
-                    last_bwd = bwd_compute;
-
-                    // Post-compute blocking backward collectives.
-                    for req in comm
-                        .backward
-                        .iter()
-                        .filter(|r| r.position == CommPosition::AfterCompute)
-                    {
-                        if req.payload.is_zero() {
-                            continue;
-                        }
-                        last_bwd = self.comm_op(
-                            &mut trace,
-                            req,
-                            Phase::Backward,
-                            StreamId::Comm,
-                            vec![last_bwd],
-                            &prefix,
-                        );
-                    }
-
-                    // Weight-gradient collectives: deferred, off the
-                    // critical path until the optimizer.
-                    for req in &comm.grad {
-                        if req.payload.is_zero() {
-                            continue;
-                        }
-                        let id = self.comm_op(
-                            &mut trace,
-                            req,
-                            Phase::Backward,
-                            StreamId::GradComm,
-                            vec![bwd_compute],
-                            &prefix,
-                        );
-                        grad_ops.push(id);
-                    }
-                }
-            }
-
-            // Optimizer step waits on every gradient.
-            let mut deps = grad_ops;
-            deps.push(last_bwd);
-            deps.sort_unstable();
-            deps.dedup();
-            let opt_dur = optimizer_time(self.model, self.cluster, self.plan, self.task);
-            if opt_dur > Seconds::ZERO {
-                trace.push(TraceOp {
-                    name: "update.optimizer".to_owned(),
-                    stream: StreamId::Compute,
-                    kind: OpKind::Optimizer,
-                    phase: Phase::Update,
-                    duration: opt_dur,
-                    deps,
-                });
-            }
-        }
-
+        self.price().assemble_into(self.plan, &mut trace);
         trace
     }
 }
@@ -382,7 +73,7 @@ impl<'a> TraceBuilder<'a> {
 mod tests {
     use super::*;
     use crate::collective::HierarchicalNccl;
-    use madmax_hw::catalog;
+    use crate::trace::{OpId, OpKind, Phase, StreamId};
     use madmax_model::ModelId;
     use madmax_parallel::CollectiveKind;
 
@@ -400,11 +91,13 @@ mod tests {
         .build()
     }
 
+    use madmax_hw::catalog;
+
     #[test]
     fn dlrm_forward_matches_fig6_structure() {
         let model = ModelId::DlrmA.build();
         let trace = build(&model, &Task::Inference);
-        let names: Vec<&str> = trace.ops().iter().map(|o| o.name.as_str()).collect();
+        let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
         // Lookup before A2A; A2A consumed by the interaction stage, not the
         // bottom MLP.
         let lookup = names.iter().position(|n| n.contains("lookup")).unwrap();
@@ -473,8 +166,14 @@ mod tests {
             .count();
         assert_eq!(bwd_gemms, 0);
         // But the embedding gradient exchange and scatter exist.
-        assert!(trace.ops().iter().any(|o| o.name.contains("a2a_bwd")));
-        assert!(trace.ops().iter().any(|o| o.name.contains("grad_scatter")));
+        assert!(trace
+            .ops()
+            .iter()
+            .any(|o| o.name.to_string().contains("a2a_bwd")));
+        assert!(trace
+            .ops()
+            .iter()
+            .any(|o| o.name.to_string().contains("grad_scatter")));
     }
 
     #[test]
@@ -543,7 +242,7 @@ mod tests {
         let dep_count = |t: &Trace| -> usize {
             t.ops()
                 .iter()
-                .filter(|o| o.name.contains(".ag"))
+                .filter(|o| o.name.to_string().contains(".ag"))
                 .map(|o| o.deps.len())
                 .sum()
         };

@@ -1,0 +1,803 @@
+//! The pricing phase of the flat engine: a [`CostTable`] of per-group,
+//! per-strategy compute and collective costs, computed once and composed
+//! into traces by the assembly phase ([`CostTable::assemble_into`]).
+//!
+//! Pricing is what makes candidate evaluation expensive — every GEMM
+//! duration and every collective's hierarchical cost-model invocation —
+//! yet across a design-space search almost all of it is shared: candidates
+//! differ only in which [`HierStrategy`] each layer class uses. The table
+//! therefore caches, per layer group:
+//!
+//! - strategy-independent compute durations (forward GEMM/lookup time,
+//!   backward time with the recompute factor applied), and
+//! - per-strategy priced collectives ([`PricedComm`]) with pre-rendered
+//!   shared labels.
+//!
+//! `madmax-dse` computes one table per search and shares it read-only
+//! across all worker threads (the table is `Sync`); each candidate's
+//! evaluation then assembles a trace from cached costs without touching
+//! the collective model or allocating op names.
+//!
+//! # Sharing contract
+//!
+//! A table is priced for one `(model, cluster, task)` combination and one
+//! set of [`PlanOptions`] (checkpointing and wire precision scale the
+//! priced costs; prefetch, optimizer, and memory knobs scale the cached
+//! memory contributions). Every plan assembled from the table must carry
+//! identical options, modulo `ignore_memory_limits` which only gates the
+//! feasibility check — [`CostTable::ensure_plan`],
+//! [`CostTable::assemble_into`], and [`CostTable::memory_for`] assert
+//! this — and must only use strategies previously priced with
+//! `ensure_plan`. Memory feasibility is part of the table too:
+//! [`CostTable::memory_for`] folds cached per-(group, strategy) footprint
+//! contributions into exactly `madmax_parallel::memory_per_device`'s
+//! breakdown.
+
+use std::sync::Arc;
+
+use madmax_hw::units::{ByteCount, Seconds};
+use madmax_hw::ClusterSpec;
+use madmax_model::{LayerClass, LayerKind, ModelArch};
+use madmax_parallel::comm::CommPosition;
+use madmax_parallel::{
+    derive_layer_comm, CollectiveKind, CommReq, HierStrategy, MemoryBreakdown, Plan, PlanError,
+    PlanOptions, Task, Urgency,
+};
+
+use crate::collective::CollectiveModel;
+use crate::compute::{
+    backward_flops_factor, compute_time, device_flops_fwd, device_lookup_bytes, lookup_time,
+    optimizer_time, UtilizationModel,
+};
+use crate::trace::{Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp};
+
+/// One collective, priced and labeled: everything assembly needs to emit
+/// the op without consulting the cost model again.
+#[derive(Debug, Clone)]
+pub struct PricedComm {
+    /// Collective primitive.
+    pub kind: CollectiveKind,
+    /// Stream semantics (blocking / prefetchable / deferred).
+    pub urgency: Urgency,
+    /// Placement relative to the layer's compute op.
+    pub position: CommPosition,
+    /// Modeled execution time on the table's cluster.
+    pub duration: Seconds,
+    /// Shared display label, e.g. `"embedding_tables.a2a"`.
+    pub label: Arc<str>,
+}
+
+/// Priced collectives of one layer group under one strategy, split by
+/// pass exactly like `madmax_parallel::LayerCommPlan`, plus the group's
+/// memory-footprint contributions under that strategy. Zero-payload
+/// requirements are dropped at pricing time (the trace builder always
+/// skipped them).
+#[derive(Debug, Clone, Default)]
+pub struct StrategyCosts {
+    /// Forward-pass collectives (per layer instance).
+    pub forward: Vec<PricedComm>,
+    /// Backward-pass collectives on the gradient-flow critical path.
+    pub backward: Vec<PricedComm>,
+    /// Deferred weight-gradient collectives.
+    pub grad: Vec<PricedComm>,
+    /// Sharded/replicated parameter bytes of the whole group.
+    pub mem_params: ByteCount,
+    /// Gradient-buffer bytes when the group trains (zero for sparse
+    /// embedding gradients).
+    pub mem_grads: ByteCount,
+    /// Optimizer-state bytes when the group trains.
+    pub mem_optimizer: ByteCount,
+    /// Transient FSDP gather buffer (zero when the strategy has no FSDP
+    /// level; folded with `max` across groups).
+    pub mem_fsdp_transient: ByteCount,
+    /// Whether the strategy may be applied to this group's class at all
+    /// (`HierStrategy::allowed_for`); checked during the memory fold so
+    /// invalid candidates error exactly like `validate_strategies`.
+    pub allowed: bool,
+}
+
+/// Cached costs and metadata of one layer group.
+#[derive(Debug, Clone)]
+struct GroupCosts {
+    class: LayerClass,
+    repeat: usize,
+    /// HBM-bound embedding group (lookup compute, All2All side chain).
+    is_embedding: bool,
+    /// MLP group: a side-branch input that does not consume the pending
+    /// embedding outputs (the feature-combination join happens later).
+    is_mlp: bool,
+    /// Whether the table's task trains this group's class.
+    trains: bool,
+    name: Arc<str>,
+    lookup_label: Arc<str>,
+    scatter_label: Arc<str>,
+    /// Per-instance forward compute (GEMM time, or lookup time for
+    /// embedding groups; the backward gradient scatter reuses it).
+    fwd_compute: Seconds,
+    /// Per-instance backward compute with the recompute factor applied
+    /// (unused for embedding groups).
+    bwd_compute: Seconds,
+    /// Retained/working-set activation bytes of one instance
+    /// (strategy-independent).
+    mem_activations: ByteCount,
+    by_strategy: Vec<(HierStrategy, StrategyCosts)>,
+}
+
+impl GroupCosts {
+    fn costs_for(&self, strategy: HierStrategy) -> &StrategyCosts {
+        self.by_strategy
+            .iter()
+            .find(|(s, _)| *s == strategy)
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| {
+                panic!(
+                    "cost table has no entry for {}/{strategy}; \
+                     call CostTable::ensure_plan for every plan first",
+                    self.name
+                )
+            })
+    }
+}
+
+/// Shared, read-only cost cache for the flat engine (see the module docs
+/// for the sharing contract).
+#[derive(Debug)]
+pub struct CostTable<'a> {
+    model: &'a ModelArch,
+    cluster: &'a ClusterSpec,
+    task: Task,
+    options: PlanOptions,
+    collectives: &'a dyn CollectiveModel,
+    local_batch: f64,
+    groups: Vec<GroupCosts>,
+    /// Layer classes present in the model, each with the indices of its
+    /// groups (first-appearance order).
+    class_groups: Vec<(LayerClass, Vec<usize>)>,
+}
+
+/// Every option except `ignore_memory_limits` (which only gates the
+/// feasibility check, read per plan) must match between the table and
+/// every plan priced or assembled through it.
+fn pricing_options_match(a: &PlanOptions, b: &PlanOptions) -> bool {
+    let neutral = |o: &PlanOptions| {
+        let mut o = *o;
+        o.ignore_memory_limits = false;
+        o
+    };
+    neutral(a) == neutral(b)
+}
+
+impl<'a> CostTable<'a> {
+    /// Prices the strategy-independent costs of every layer group; call
+    /// [`CostTable::ensure_plan`] to add per-strategy collective costs.
+    pub fn new(
+        model: &'a ModelArch,
+        cluster: &'a ClusterSpec,
+        task: Task,
+        options: PlanOptions,
+        collectives: &'a dyn CollectiveModel,
+        utilization: UtilizationModel,
+    ) -> Self {
+        let local_batch = model.global_batch as f64 / cluster.total_devices() as f64;
+        let groups = model
+            .groups
+            .iter()
+            .map(|group| {
+                let is_embedding = group.kind.is_memory_bound();
+                let (fwd_compute, bwd_compute) = if is_embedding {
+                    let t = lookup_time(device_lookup_bytes(group, model, cluster), cluster);
+                    (t, t)
+                } else {
+                    // `device_flops_fwd` is strategy-independent (balanced
+                    // work); price with the baseline strategy handle.
+                    let strategy = HierStrategy::flat(madmax_parallel::Strategy::Fsdp);
+                    let flops = device_flops_fwd(group, model, cluster, &strategy, local_batch);
+                    let recompute = options.activation_checkpointing
+                        && matches!(
+                            group.kind,
+                            LayerKind::TransformerBlock(_) | LayerKind::Moe(_)
+                        );
+                    (
+                        compute_time(flops, model, cluster, &utilization),
+                        compute_time(
+                            flops * backward_flops_factor(recompute),
+                            model,
+                            cluster,
+                            &utilization,
+                        ),
+                    )
+                };
+                let mem_activations = group.kind.activation_bytes_per_sample(
+                    model.context_length,
+                    model.compute_dtype,
+                    options.activation_checkpointing,
+                ) * local_batch;
+                GroupCosts {
+                    class: group.class,
+                    repeat: group.repeat,
+                    is_embedding,
+                    is_mlp: matches!(group.kind, LayerKind::Mlp(_)),
+                    trains: task.trains(group.class),
+                    name: Arc::from(group.name.as_str()),
+                    lookup_label: Arc::from(format!("{}.lookup", group.name).as_str()),
+                    scatter_label: Arc::from(format!("{}.grad_scatter", group.name).as_str()),
+                    fwd_compute,
+                    bwd_compute,
+                    mem_activations,
+                    by_strategy: Vec::new(),
+                }
+            })
+            .collect();
+        let mut class_groups: Vec<(LayerClass, Vec<usize>)> = Vec::new();
+        for (gi, group) in model.groups.iter().enumerate() {
+            match class_groups.iter_mut().find(|(c, _)| *c == group.class) {
+                Some((_, v)) => v.push(gi),
+                None => class_groups.push((group.class, vec![gi])),
+            }
+        }
+        Self {
+            model,
+            cluster,
+            task,
+            options,
+            collectives,
+            local_batch,
+            groups,
+            class_groups,
+        }
+    }
+
+    /// The model this table was priced for.
+    pub fn model(&self) -> &'a ModelArch {
+        self.model
+    }
+
+    /// The cluster this table was priced for.
+    pub fn cluster(&self) -> &'a ClusterSpec {
+        self.cluster
+    }
+
+    /// The task this table was priced for.
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// Prices (once) the collective costs for each layer group under the
+    /// strategies `plan` assigns. Safe to call with every candidate of a
+    /// search; already-priced strategies are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan`'s pricing-relevant options diverge from the
+    /// table's (see the module docs).
+    pub fn ensure_plan(&mut self, plan: &Plan) {
+        assert!(
+            pricing_options_match(&self.options, &plan.options),
+            "plan options diverge from the cost table's pricing context"
+        );
+        for ci in 0..self.class_groups.len() {
+            let class = self.class_groups[ci].0;
+            let strategy = plan.strategy_for(class);
+            // Groups of one class are always priced together, so checking
+            // the class's first group suffices.
+            let first = self.class_groups[ci].1[0];
+            if self.groups[first]
+                .by_strategy
+                .iter()
+                .any(|(s, _)| *s == strategy)
+            {
+                continue;
+            }
+            for i in 0..self.class_groups[ci].1.len() {
+                let gi = self.class_groups[ci].1[i];
+                let costs = self.price_group(gi, strategy, plan);
+                self.groups[gi].by_strategy.push((strategy, costs));
+            }
+        }
+    }
+
+    /// Prices one layer group under one strategy (collectives + memory
+    /// contributions), mirroring `TraceBuilder` and
+    /// `madmax_parallel::memory_per_device` exactly.
+    fn price_group(&self, gi: usize, strategy: HierStrategy, plan: &Plan) -> StrategyCosts {
+        let group = &self.model.groups[gi];
+        let comm = derive_layer_comm(
+            group,
+            plan,
+            self.model,
+            self.cluster,
+            &self.task,
+            self.local_batch,
+        );
+        let price = |reqs: &[CommReq]| -> Vec<PricedComm> {
+            reqs.iter()
+                .filter(|r| !r.payload.is_zero())
+                .map(|r| PricedComm {
+                    kind: r.collective,
+                    urgency: r.urgency,
+                    position: r.position,
+                    duration: self.collectives.time(r, self.cluster),
+                    label: Arc::from(r.label.as_str()),
+                })
+                .collect()
+        };
+
+        // Memory contributions, mirroring
+        // `madmax_parallel::memory_per_device`'s per-group terms.
+        let shard = strategy.param_shard_factor(self.cluster);
+        let p_inst = madmax_parallel::comm::instance_param_bytes(group, self.model);
+        let p_group = p_inst * group.repeat as f64;
+        let sparse = matches!(group.kind, LayerKind::EmbeddingBag(_));
+        let opt = self.options.optimizer_for(group.class);
+        let mem_optimizer = ByteCount::new(opt.state_bytes(group.kind.params(), &group.kind))
+            * group.repeat as f64
+            / shard;
+        let has_fsdp = strategy
+            .levels(self.cluster)
+            .iter()
+            .any(|l| l.strategy == madmax_parallel::Strategy::Fsdp);
+        let mem_fsdp_transient = if has_fsdp {
+            let tp_part = strategy.compute_shard_factor(self.cluster);
+            // FSDP's gather unit is the largest parameter tensor it
+            // materializes at once: a whole dense layer, but only one
+            // expert for MoE layers.
+            let unit = match &group.kind {
+                LayerKind::Moe(m) => p_inst / m.num_experts as f64,
+                _ => p_inst,
+            };
+            let buffers = if self.options.fsdp_prefetch { 2.0 } else { 1.0 };
+            unit / tp_part * buffers
+        } else {
+            ByteCount::ZERO
+        };
+
+        StrategyCosts {
+            forward: price(&comm.forward),
+            backward: price(&comm.backward),
+            grad: price(&comm.grad),
+            mem_params: p_group / shard,
+            mem_grads: if sparse {
+                ByteCount::ZERO
+            } else {
+                p_group / shard
+            },
+            mem_optimizer,
+            mem_fsdp_transient,
+            allowed: strategy.allowed_for(group.class),
+        }
+    }
+
+    /// Validates `plan`'s memory feasibility from cached per-(group,
+    /// strategy) footprint contributions, reproducing
+    /// `madmax_parallel::check_memory`'s breakdown and error values
+    /// exactly without re-deriving any footprint.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidStrategy`] for class/strategy mismatches (same
+    /// first-offender as `Plan::validate_strategies`);
+    /// [`PlanError::OutOfMemory`] when the footprint exceeds usable HBM
+    /// and the plan does not ignore memory limits.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CostTable::assemble_into`].
+    pub fn memory_for(&self, plan: &Plan) -> Result<MemoryBreakdown, PlanError> {
+        debug_assert!(
+            pricing_options_match(&self.options, &plan.options),
+            "plan options diverge from the cost table's pricing context"
+        );
+        let training = self.task.has_backward();
+        let mut out = MemoryBreakdown::default();
+        for g in &self.groups {
+            let sc = g.costs_for(plan.strategy_for(g.class));
+            if !sc.allowed {
+                // Groups are visited in model order, so the first
+                // offender matches `Plan::validate_strategies` exactly.
+                return Err(PlanError::InvalidStrategy {
+                    class: g.class,
+                    strategy: plan.strategy_for(g.class),
+                });
+            }
+            out.params += sc.mem_params;
+            if training && g.trains {
+                out.grads += sc.mem_grads;
+                out.optimizer += sc.mem_optimizer;
+                out.activations += g.mem_activations * g.repeat as f64;
+            } else {
+                out.activations = out.activations.max(g.mem_activations);
+            }
+            out.fsdp_transient = out.fsdp_transient.max(sc.mem_fsdp_transient);
+        }
+        if plan.options.ignore_memory_limits {
+            return Ok(out);
+        }
+        let usable = plan.options.memory.usable(self.cluster.device.hbm_capacity);
+        if out.total() > usable {
+            return Err(PlanError::OutOfMemory {
+                required: out.total(),
+                usable,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The assembly phase: builds the full per-iteration trace for `plan`
+    /// into `trace` (cleared first), composing cached costs.
+    ///
+    /// This reproduces `TraceBuilder`'s op stream exactly — same ops, same
+    /// order, same durations, same dependencies — without invoking the
+    /// compute or collective cost models and without allocating op names
+    /// or (≤ 2-entry) dependency lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a strategy of `plan` was not priced via
+    /// [`CostTable::ensure_plan`]; debug builds also assert that `plan`'s
+    /// options match the table's pricing context.
+    pub fn assemble_into(&self, plan: &Plan, trace: &mut Trace) {
+        debug_assert!(
+            pricing_options_match(&self.options, &plan.options),
+            "plan options diverge from the cost table's pricing context"
+        );
+        trace.clear();
+        let prefetch = plan.options.fsdp_prefetch;
+
+        // ---------------- Forward pass ----------------
+        let mut last_out: Option<OpId> = None; // dense-chain tail
+        let mut pending_join = Deps::none(); // embedding-side outputs
+        let mut last_compute: Option<OpId> = None; // for just-in-time gathers
+
+        for g in &self.groups {
+            let sc = g.costs_for(plan.strategy_for(g.class));
+            for inst in 0..g.repeat {
+                let inst_tag = (g.repeat > 1).then_some(inst as u32);
+
+                // Input dependencies of this layer's compute.
+                let mut base_deps = Deps::none();
+                if !g.is_embedding {
+                    if let Some(l) = last_out {
+                        base_deps.push(l);
+                    }
+                    if !g.is_mlp && !pending_join.is_empty() {
+                        // Feature-combination stage: consume embedding
+                        // outputs.
+                        base_deps.extend_from(&pending_join);
+                        pending_join.clear();
+                    }
+                }
+
+                // Pre-compute collectives (FSDP gathers, MoE dispatch).
+                let mut gate_deps = Deps::none();
+                for pc in sc
+                    .forward
+                    .iter()
+                    .filter(|r| r.position == CommPosition::BeforeCompute)
+                {
+                    let deps = match pc.urgency {
+                        Urgency::Prefetchable if prefetch => Deps::none(),
+                        Urgency::Prefetchable => last_compute.into_iter().collect(),
+                        _ => base_deps.clone(),
+                    };
+                    let id = trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Fwd, inst_tag, &pc.label),
+                        stream: StreamId::Comm,
+                        kind: OpKind::Collective { kind: pc.kind },
+                        phase: Phase::Forward,
+                        duration: pc.duration,
+                        deps,
+                    });
+                    if pc.urgency == Urgency::Blocking {
+                        // e.g. MoE dispatch carries the layer input.
+                        base_deps = Deps::one(id);
+                    } else {
+                        gate_deps.push(id);
+                    }
+                }
+
+                // The layer's compute (or HBM lookup) op.
+                let mut deps = base_deps;
+                deps.extend_from(&gate_deps);
+                deps.sort_dedup();
+                let compute_id = if g.is_embedding {
+                    trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Fwd, inst_tag, &g.lookup_label),
+                        stream: StreamId::Compute,
+                        kind: OpKind::Lookup,
+                        phase: Phase::Forward,
+                        duration: g.fwd_compute,
+                        deps,
+                    })
+                } else {
+                    trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Fwd, inst_tag, &g.name),
+                        stream: StreamId::Compute,
+                        kind: OpKind::Gemm { class: g.class },
+                        phase: Phase::Forward,
+                        duration: g.fwd_compute,
+                        deps,
+                    })
+                };
+                last_compute = Some(compute_id);
+
+                // Post-compute blocking collectives (TP AllReduce,
+                // embedding All2All, MoE combine).
+                let mut out = compute_id;
+                for pc in sc
+                    .forward
+                    .iter()
+                    .filter(|r| r.position == CommPosition::AfterCompute)
+                {
+                    out = trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Fwd, inst_tag, &pc.label),
+                        stream: StreamId::Comm,
+                        kind: OpKind::Collective { kind: pc.kind },
+                        phase: Phase::Forward,
+                        duration: pc.duration,
+                        deps: Deps::one(out),
+                    });
+                }
+
+                if g.is_embedding {
+                    pending_join.push(out);
+                } else {
+                    last_out = Some(out);
+                }
+            }
+        }
+
+        let final_fwd = last_out
+            .or_else(|| pending_join.as_slice().last().copied())
+            .unwrap_or(OpId(0));
+
+        // ---------------- Backward pass ----------------
+        if self.task.has_backward() && !trace.is_empty() {
+            let mut last_bwd = final_fwd;
+            let mut grad_ops = Deps::none();
+
+            for g in self.groups.iter().rev() {
+                if !g.trains {
+                    continue; // frozen layers' gradient work is omitted
+                }
+                let sc = g.costs_for(plan.strategy_for(g.class));
+
+                for inst in (0..g.repeat).rev() {
+                    let inst_tag = (g.repeat > 1).then_some(inst as u32);
+
+                    if g.is_embedding {
+                        // Gradients are routed back to shard owners, then
+                        // scattered into HBM; both off the dense critical
+                        // path.
+                        let mut dep = Deps::one(last_bwd);
+                        for pc in &sc.grad {
+                            let id = trace.push(TraceOp {
+                                name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                                stream: StreamId::GradComm,
+                                kind: OpKind::Collective { kind: pc.kind },
+                                phase: Phase::Backward,
+                                duration: pc.duration,
+                                deps: dep.clone(),
+                            });
+                            dep = Deps::one(id);
+                        }
+                        let scatter = trace.push(TraceOp {
+                            name: OpName::flat(PassDir::Bwd, inst_tag, &g.scatter_label),
+                            stream: StreamId::Compute,
+                            kind: OpKind::Lookup,
+                            phase: Phase::Backward,
+                            duration: g.fwd_compute,
+                            deps: dep,
+                        });
+                        grad_ops.push(scatter);
+                        continue;
+                    }
+
+                    // Pre-compute backward collectives (FSDP re-gather,
+                    // MoE combine_bwd).
+                    let mut base_deps = Deps::one(last_bwd);
+                    let mut gate_deps = Deps::none();
+                    for pc in sc
+                        .backward
+                        .iter()
+                        .filter(|r| r.position == CommPosition::BeforeCompute)
+                    {
+                        let deps = match pc.urgency {
+                            Urgency::Prefetchable if prefetch => Deps::none(),
+                            Urgency::Prefetchable => Deps::one(last_bwd),
+                            _ => base_deps.clone(),
+                        };
+                        let id = trace.push(TraceOp {
+                            name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                            stream: StreamId::Comm,
+                            kind: OpKind::Collective { kind: pc.kind },
+                            phase: Phase::Backward,
+                            duration: pc.duration,
+                            deps,
+                        });
+                        if pc.urgency == Urgency::Blocking {
+                            base_deps = Deps::one(id);
+                        } else {
+                            gate_deps.push(id);
+                        }
+                    }
+
+                    // Backward compute: weight + input gradients, plus a
+                    // forward recompute for checkpointed blocks (already
+                    // folded into the cached duration).
+                    let mut deps = base_deps;
+                    deps.extend_from(&gate_deps);
+                    deps.sort_dedup();
+                    let bwd_compute = trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Bwd, inst_tag, &g.name),
+                        stream: StreamId::Compute,
+                        kind: OpKind::Gemm { class: g.class },
+                        phase: Phase::Backward,
+                        duration: g.bwd_compute,
+                        deps,
+                    });
+                    last_bwd = bwd_compute;
+
+                    // Post-compute blocking backward collectives.
+                    for pc in sc
+                        .backward
+                        .iter()
+                        .filter(|r| r.position == CommPosition::AfterCompute)
+                    {
+                        last_bwd = trace.push(TraceOp {
+                            name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                            stream: StreamId::Comm,
+                            kind: OpKind::Collective { kind: pc.kind },
+                            phase: Phase::Backward,
+                            duration: pc.duration,
+                            deps: Deps::one(last_bwd),
+                        });
+                    }
+
+                    // Weight-gradient collectives: deferred, off the
+                    // critical path until the optimizer.
+                    for pc in &sc.grad {
+                        let id = trace.push(TraceOp {
+                            name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                            stream: StreamId::GradComm,
+                            kind: OpKind::Collective { kind: pc.kind },
+                            phase: Phase::Backward,
+                            duration: pc.duration,
+                            deps: Deps::one(bwd_compute),
+                        });
+                        grad_ops.push(id);
+                    }
+                }
+            }
+
+            // Optimizer step waits on every gradient.
+            let mut deps = grad_ops;
+            deps.push(last_bwd);
+            deps.sort_dedup();
+            let opt_dur = optimizer_time(self.model, self.cluster, plan, &self.task);
+            if opt_dur > Seconds::ZERO {
+                trace.push(TraceOp {
+                    name: OpName::UpdateOptimizer,
+                    stream: StreamId::Compute,
+                    kind: OpKind::Optimizer,
+                    phase: Phase::Update,
+                    duration: opt_dur,
+                    deps,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::HierarchicalNccl;
+    use madmax_hw::catalog;
+    use madmax_model::ModelId;
+    use madmax_parallel::{memory_per_device, Strategy};
+
+    #[test]
+    fn ensure_plan_is_idempotent() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let mut table = CostTable::new(
+            &model,
+            &sys,
+            Task::Pretraining,
+            plan.options,
+            &HierarchicalNccl,
+            UtilizationModel::Constant,
+        );
+        table.ensure_plan(&plan);
+        let sizes: Vec<usize> = table.groups.iter().map(|g| g.by_strategy.len()).collect();
+        table.ensure_plan(&plan);
+        let again: Vec<usize> = table.groups.iter().map(|g| g.by_strategy.len()).collect();
+        assert_eq!(sizes, again);
+        assert!(sizes.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn cached_memory_fold_matches_memory_per_device() {
+        // Byte-for-byte: the cached per-(group, strategy) fold must equal
+        // the reference footprint for every strategy combination.
+        for id in [ModelId::DlrmA, ModelId::Gpt3] {
+            let model = id.build();
+            let sys = if id.is_dlrm() {
+                catalog::zionex_dlrm_system()
+            } else {
+                catalog::llama_llm_system()
+            };
+            let base = Plan::fsdp_baseline(&model);
+            let mut table = CostTable::new(
+                &model,
+                &sys,
+                Task::Pretraining,
+                base.options,
+                &HierarchicalNccl,
+                UtilizationModel::Constant,
+            );
+            let classes: Vec<_> = model.groups.iter().map(|g| g.class).collect();
+            for class in classes {
+                for strategy in HierStrategy::enumerate_for(class) {
+                    let plan = base.clone().with_strategy(class, strategy);
+                    table.ensure_plan(&plan);
+                    let reference = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+                    let cached = match table.memory_for(&plan) {
+                        Ok(m) => m,
+                        Err(PlanError::OutOfMemory { required, usable }) => {
+                            let u = plan.options.memory.usable(sys.device.hbm_capacity);
+                            assert_eq!(usable, u);
+                            assert_eq!(required, reference.total());
+                            continue;
+                        }
+                        Err(e) => panic!("unexpected error {e}"),
+                    };
+                    assert_eq!(cached, reference, "{id} {class} {strategy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry")]
+    fn assembling_an_unpriced_strategy_panics() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let base = Plan::fsdp_baseline(&model);
+        let mut table = CostTable::new(
+            &model,
+            &sys,
+            Task::Pretraining,
+            base.options,
+            &HierarchicalNccl,
+            UtilizationModel::Constant,
+        );
+        table.ensure_plan(&base);
+        let other = base.with_strategy(
+            madmax_model::LayerClass::Dense,
+            HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
+        );
+        let mut trace = Trace::new();
+        table.assemble_into(&other, &mut trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "options diverge")]
+    fn mismatched_pricing_options_rejected() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let base = Plan::fsdp_baseline(&model);
+        let mut table = CostTable::new(
+            &model,
+            &sys,
+            Task::Pretraining,
+            base.options,
+            &HierarchicalNccl,
+            UtilizationModel::Constant,
+        );
+        let mut other = base;
+        other.options.activation_checkpointing = !other.options.activation_checkpointing;
+        table.ensure_plan(&other);
+    }
+}

@@ -13,6 +13,32 @@
 //! engine ([`run_flat`]) and `madmax-pipeline`'s stage engine. The
 //! `validation` module holds the paper's Table I / Fig. 7-9 reference
 //! experiments.
+//!
+//! # The two-phase engine: price, then assemble
+//!
+//! Trace construction is split into a **pricing** phase and an
+//! **assembly** phase so design-space searches never pay for the same
+//! cost twice:
+//!
+//! 1. *Pricing* ([`costs::CostTable`]) evaluates every per-(layer-group,
+//!    [`madmax_parallel::HierStrategy`]) compute duration and collective
+//!    cost once, for a fixed `(model, cluster, task, options)` context.
+//! 2. *Assembly* ([`costs::CostTable::assemble_into`]) walks the model in
+//!    execution order and composes cached costs into a [`Trace`] —
+//!    allocation-free on the hot path: op names are structured
+//!    [`trace::OpName`]s sharing `Arc<str>` labels, dependency lists store
+//!    up to two entries inline ([`trace::Deps`]), and the trace arena,
+//!    schedule, and stream-slot table ([`sim::EngineScratch`]) are
+//!    recycled across candidates.
+//!
+//! **CostTable sharing contract**: `madmax-dse` builds one table per
+//! search (`CostTable::ensure_plan` for every candidate, before spawning
+//! workers) and shares it read-only (`&CostTable` is `Sync`) across the
+//! worker pool; each worker owns an `EngineScratch` and evaluates
+//! candidates through [`run_flat_cached`]. A table must only be used with
+//! plans whose pricing-relevant options (`activation_checkpointing`,
+//! `collective_dtype`) match its context — this is asserted — and
+//! produces reports byte-identical to the one-shot [`run_flat`] path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -21,6 +47,7 @@ pub mod builder;
 pub mod collective;
 pub mod compute;
 pub mod config;
+pub mod costs;
 pub mod metrics;
 pub mod perf;
 pub mod sim;
@@ -29,12 +56,16 @@ pub mod validation;
 
 pub use collective::{CollectiveModel, FlatWorstLink, HierarchicalNccl};
 pub use compute::UtilizationModel;
-pub use metrics::IterationReport;
-pub use perf::{build_flat_trace, run_flat, run_flat_default};
+pub use costs::{CostTable, PricedComm, StrategyCosts};
+pub use metrics::{IterationReport, ReportScratch};
+pub use perf::{build_flat_trace, run_flat, run_flat_cached, run_flat_default};
 #[allow(deprecated)]
 pub use perf::{simulate, Simulation};
-pub use sim::{schedule, OpWindow, Schedule};
-pub use trace::{OpId, OpKind, Phase, StreamId, Trace, TraceOp};
+pub use sim::{
+    merged, merged_into, schedule, schedule_into, single_difference_measure, EngineScratch,
+    OpWindow, Schedule, StreamTable,
+};
+pub use trace::{Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp};
 
 #[cfg(test)]
 mod cross_module_tests {

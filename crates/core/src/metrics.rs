@@ -10,7 +10,7 @@ use madmax_hw::units::Seconds;
 use madmax_model::{BatchUnit, LayerClass, ModelArch};
 use madmax_parallel::{CollectiveKind, MemoryBreakdown};
 
-use crate::sim::{difference_measure, Schedule};
+use crate::sim::{difference_measure, merged_into, single_difference_measure, Schedule};
 use crate::trace::{OpKind, StreamId, Trace};
 
 /// Everything MAD-Max reports about one training/inference iteration.
@@ -58,6 +58,43 @@ pub struct IterationReport {
     pub batch_unit: BatchUnit,
 }
 
+/// Reusable interval buffers for report construction: per-device busy
+/// lists and their merged unions, dense by device slot (slot 0 is the flat
+/// trace's representative device; slot `1 + s` is pipeline stage `s`).
+/// Keeping one `ReportScratch` per evaluation worker removes the
+/// per-candidate allocation of every interval list.
+#[derive(Debug, Default)]
+pub struct ReportScratch {
+    compute_busy: Vec<Vec<(f64, f64)>>,
+    comm_busy: Vec<Vec<(f64, f64)>>,
+    merged_compute: Vec<Vec<(f64, f64)>>,
+    comm_scratch: Vec<(f64, f64)>,
+}
+
+/// Dense buffer slot of a device: the flat representative device, or one
+/// pipeline stage. Slot order equals the `Option<u16>` sort order, so
+/// per-device folds visit devices exactly as the previous ordered-map
+/// implementation did.
+fn device_slot(device: Option<u16>) -> usize {
+    match device {
+        None => 0,
+        Some(s) => 1 + s as usize,
+    }
+}
+
+fn clear_buckets(buckets: &mut [Vec<(f64, f64)>]) {
+    for b in buckets {
+        b.clear();
+    }
+}
+
+fn push_span(buckets: &mut Vec<Vec<(f64, f64)>>, slot: usize, span: (f64, f64)) {
+    if slot >= buckets.len() {
+        buckets.resize_with(slot + 1, Vec::new);
+    }
+    buckets[slot].push(span);
+}
+
 impl IterationReport {
     /// Builds the report by sweeping the scheduled trace.
     pub fn from_schedule(
@@ -65,6 +102,25 @@ impl IterationReport {
         schedule: &Schedule,
         model: &ModelArch,
         memory: MemoryBreakdown,
+    ) -> Self {
+        Self::from_schedule_in(
+            trace,
+            schedule,
+            model,
+            memory,
+            &mut ReportScratch::default(),
+        )
+    }
+
+    /// [`IterationReport::from_schedule`] with caller-owned interval
+    /// buffers — the evaluation hot path. The report is byte-identical to
+    /// the buffer-free call.
+    pub fn from_schedule_in(
+        trace: &Trace,
+        schedule: &Schedule,
+        model: &ModelArch,
+        memory: MemoryBreakdown,
+        scratch: &mut ReportScratch,
     ) -> Self {
         let mut gemm_time = Seconds::ZERO;
         let mut lookup_time = Seconds::ZERO;
@@ -74,13 +130,15 @@ impl IterationReport {
         let mut gemm_by_class = BTreeMap::new();
 
         // Busy intervals are kept per device: flat traces model one
-        // representative device (key `None`); pipelined traces model one
-        // device per stage (key `Some(stage)`). Exposure must compare a
+        // representative device (slot 0); pipelined traces model one
+        // device per stage (slot `1 + stage`). Exposure must compare a
         // comm interval against *its own device's* compute stream —
         // merging all stages' compute would let stage 0's GEMMs "hide"
         // stage 1's transfers, which run on different hardware.
-        let mut compute_busy: BTreeMap<Option<u16>, Vec<(f64, f64)>> = BTreeMap::new();
-        let mut comm_busy: BTreeMap<Option<u16>, Vec<(f64, f64)>> = BTreeMap::new();
+        clear_buckets(&mut scratch.compute_busy);
+        clear_buckets(&mut scratch.comm_busy);
+        let compute_busy = &mut scratch.compute_busy;
+        let comm_busy = &mut scratch.comm_busy;
         let mut stage_busy: BTreeMap<u16, Seconds> = BTreeMap::new();
 
         for (op, w) in trace.ops().iter().zip(&schedule.windows) {
@@ -97,16 +155,16 @@ impl IterationReport {
                     *comm_by_collective.entry(kind).or_insert(Seconds::ZERO) += op.duration;
                 }
             }
-            let device = op.stream.stage();
+            let slot = device_slot(op.stream.stage());
             if op.stream.is_compute() {
-                compute_busy.entry(device).or_default().push(span);
+                push_span(compute_busy, slot, span);
                 if let StreamId::StageCompute(s) = op.stream {
                     // A stream never overlaps itself, so busy time is the
                     // plain sum of durations.
                     *stage_busy.entry(s).or_insert(Seconds::ZERO) += op.duration;
                 }
             } else {
-                comm_busy.entry(device).or_default().push(span);
+                push_span(comm_busy, slot, span);
             }
         }
 
@@ -118,34 +176,46 @@ impl IterationReport {
             Some(f64::max(1.0 - mean_busy / schedule.makespan.as_secs(), 0.0))
         };
 
-        // Exposed communication per device, summed across devices. A flat
-        // trace has one device, so this is the paper's metric unchanged;
-        // for pipelined traces the sum is consistent with `comm_time` and
-        // `serialized_time` (also all-device totals), keeping
-        // `exposed_fraction = exposed_comm / comm_time` meaningful.
-        let devices: std::collections::BTreeSet<Option<u16>> = compute_busy
-            .keys()
-            .chain(comm_busy.keys())
-            .copied()
-            .collect();
+        // Exposed communication per device, summed across devices in slot
+        // (device) order. A flat trace has one device, so this is the
+        // paper's metric unchanged; for pipelined traces the sum is
+        // consistent with `comm_time` and `serialized_time` (also
+        // all-device totals), keeping `exposed_fraction = exposed_comm /
+        // comm_time` meaningful.
+        let slots = compute_busy.len().max(comm_busy.len());
         let mut exposed = 0.0;
-        for &device in &devices {
-            let mut comm = comm_busy.get(&device).cloned().unwrap_or_default();
-            let mut compute = compute_busy.get(&device).cloned().unwrap_or_default();
-            exposed += difference_measure(&mut comm, &mut compute);
+        for slot in 0..slots {
+            let comm = comm_busy.get(slot).map_or(&[][..], |v| v.as_slice());
+            let compute = compute_busy.get(slot).map_or(&[][..], |v| v.as_slice());
+            if comm.is_empty() && compute.is_empty() {
+                continue; // device never appeared
+            }
+            scratch.comm_scratch.clear();
+            scratch.comm_scratch.extend_from_slice(comm);
+            exposed += difference_measure(&mut scratch.comm_scratch, compute);
         }
 
         // Per-collective exposure: each comm op's own window minus its own
-        // device's compute-busy time (summed like `exposed_comm`).
+        // device's compute-busy time (summed like `exposed_comm`). The
+        // compute intervals are merged once per device; each comm op then
+        // costs one allocation-free sweep instead of a clone + sort.
+        if scratch.merged_compute.len() < compute_busy.len() {
+            scratch
+                .merged_compute
+                .resize_with(compute_busy.len(), Vec::new);
+        }
+        clear_buckets(&mut scratch.merged_compute);
+        for (slot, busy) in compute_busy.iter().enumerate() {
+            merged_into(busy, &mut scratch.merged_compute[slot]);
+        }
         let mut exposed_by_collective: BTreeMap<CollectiveKind, Seconds> = BTreeMap::new();
         for (op, w) in trace.ops().iter().zip(&schedule.windows) {
             if let OpKind::Collective { kind } = op.kind {
-                let mut own = vec![(w.start.as_secs(), w.finish.as_secs())];
-                let mut compute = compute_busy
-                    .get(&op.stream.stage())
-                    .cloned()
-                    .unwrap_or_default();
-                let e = difference_measure(&mut own, &mut compute);
+                let compute = scratch
+                    .merged_compute
+                    .get(device_slot(op.stream.stage()))
+                    .map_or(&[][..], |v| v.as_slice());
+                let e = single_difference_measure((w.start.as_secs(), w.finish.as_secs()), compute);
                 *exposed_by_collective.entry(kind).or_insert(Seconds::ZERO) += Seconds::new(e);
             }
         }
@@ -238,12 +308,12 @@ mod tests {
 
     fn op(name: &str, stream: StreamId, kind: OpKind, ms: f64, deps: Vec<OpId>) -> TraceOp {
         TraceOp {
-            name: name.to_owned(),
+            name: name.to_owned().into(),
             stream,
             kind,
             phase: Phase::Forward,
             duration: Seconds::from_ms(ms),
-            deps,
+            deps: deps.into(),
         }
     }
 

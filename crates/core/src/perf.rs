@@ -13,8 +13,9 @@ use madmax_parallel::{check_memory, Plan, PlanError, Task};
 use crate::builder::TraceBuilder;
 use crate::collective::{CollectiveModel, HierarchicalNccl};
 use crate::compute::UtilizationModel;
+use crate::costs::CostTable;
 use crate::metrics::IterationReport;
-use crate::sim::{schedule, Schedule};
+use crate::sim::{schedule, schedule_into, EngineScratch, Schedule};
 use crate::trace::Trace;
 
 /// The default collective model instance.
@@ -92,6 +93,42 @@ pub fn run_flat(
     let sched = schedule(&trace);
     let report = IterationReport::from_schedule(&trace, &sched, model, memory);
     Ok((report, trace, sched))
+}
+
+/// The flat engine's allocation-free fast path: evaluates `plan` against
+/// a shared, pre-priced [`CostTable`] using caller-owned buffers.
+///
+/// This is the design-space-exploration hot path — the report is
+/// byte-identical to [`run_flat`] with the same inputs, but no compute or
+/// collective cost model is invoked (costs come from the table) and the
+/// trace arena, schedule, and stream-slot table in `scratch` are recycled
+/// across calls.
+///
+/// # Errors
+///
+/// Same conditions as [`run_flat`].
+///
+/// # Panics
+///
+/// Panics when a strategy of `plan` was not priced into `table` via
+/// [`CostTable::ensure_plan`]. Debug builds additionally assert that
+/// `plan`'s options match the table's pricing context.
+pub fn run_flat_cached(
+    table: &CostTable,
+    plan: &Plan,
+    scratch: &mut EngineScratch,
+) -> Result<IterationReport, PlanError> {
+    reject_pipelined(plan)?;
+    let memory = table.memory_for(plan)?;
+    table.assemble_into(plan, &mut scratch.trace);
+    schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    Ok(IterationReport::from_schedule_in(
+        &scratch.trace,
+        &scratch.sched,
+        table.model(),
+        memory,
+        &mut scratch.report,
+    ))
 }
 
 /// A configured flat-SPMD MAD-Max simulation.

@@ -2,6 +2,14 @@
 //! and data-dependency stalls, assuming kernels launch as soon as their
 //! dependencies resolve (Section IV-C: "Computation-Communication
 //! Overlap").
+//!
+//! Per-stream availability is tracked in a dense slot table
+//! ([`StreamTable`], indexed by [`StreamId::slot`]) rather than an ordered
+//! map: streams are a tiny enum times a stage index, so the flat engine
+//! touches three slots and a `p`-stage pipeline `3 + 3p`. The scheduler
+//! also supports writing into caller-owned buffers
+//! ([`schedule_into`] / [`EngineScratch`]) so the design-space-exploration
+//! hot path reuses one allocation set across candidates.
 
 use serde::{Deserialize, Serialize};
 
@@ -19,12 +27,47 @@ pub struct OpWindow {
 }
 
 /// The scheduled timeline of a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Schedule {
     /// Per-op windows, parallel to `trace.ops()`.
     pub windows: Vec<OpWindow>,
     /// Completion time of the last op (the overlapped iteration time).
     pub makespan: Seconds,
+}
+
+/// Dense per-stream availability table, indexed by [`StreamId::slot`].
+/// Missing slots read as `t = 0`; the table grows on first write to a
+/// stage's slot triple and keeps its capacity across [`StreamTable::reset`]
+/// calls.
+#[derive(Debug, Clone, Default)]
+pub struct StreamTable {
+    avail: Vec<Seconds>,
+}
+
+impl StreamTable {
+    /// Time at which `stream` is free to start its next op.
+    #[inline]
+    pub fn available(&self, stream: StreamId) -> Seconds {
+        self.avail
+            .get(stream.slot())
+            .copied()
+            .unwrap_or(Seconds::ZERO)
+    }
+
+    /// Marks `stream` busy until `t`.
+    #[inline]
+    pub fn occupy_until(&mut self, stream: StreamId, t: Seconds) {
+        let slot = stream.slot();
+        if slot >= self.avail.len() {
+            self.avail.resize(slot + 1, Seconds::ZERO);
+        }
+        self.avail[slot] = t;
+    }
+
+    /// Clears every slot (keeping capacity) for the next trace.
+    pub fn reset(&mut self) {
+        self.avail.clear();
+    }
 }
 
 /// Executes `trace` with list scheduling: each stream runs its ops in issue
@@ -34,29 +77,58 @@ pub struct Schedule {
 /// [`Trace::push`]), so one forward sweep suffices and the result is
 /// deterministic.
 pub fn schedule(trace: &Trace) -> Schedule {
-    let mut stream_avail: std::collections::BTreeMap<StreamId, Seconds> =
-        std::collections::BTreeMap::new();
-    let mut windows = Vec::with_capacity(trace.len());
+    let mut sched = Schedule::default();
+    let mut streams = StreamTable::default();
+    schedule_into(trace, &mut sched, &mut streams);
+    sched
+}
+
+/// [`schedule`], writing into caller-owned buffers: `sched` and `streams`
+/// are cleared and refilled, retaining their allocations so repeated
+/// evaluation recycles one buffer set.
+pub fn schedule_into(trace: &Trace, sched: &mut Schedule, streams: &mut StreamTable) {
+    sched.windows.clear();
+    sched.windows.reserve(trace.len());
+    streams.reset();
     let mut makespan = Seconds::ZERO;
 
     for op in trace.ops() {
-        let avail = stream_avail
-            .get(&op.stream)
-            .copied()
-            .unwrap_or(Seconds::ZERO);
+        let avail = streams.available(op.stream);
         let deps_done = op
             .deps
             .iter()
-            .map(|d| windows[d.0] as OpWindow)
-            .map(|w| w.finish)
+            .map(|d| sched.windows[d.0].finish)
             .fold(Seconds::ZERO, Seconds::max);
         let start = avail.max(deps_done);
         let finish = start + op.duration;
-        stream_avail.insert(op.stream, finish);
+        streams.occupy_until(op.stream, finish);
         makespan = makespan.max(finish);
-        windows.push(OpWindow { start, finish });
+        sched.windows.push(OpWindow { start, finish });
     }
-    Schedule { windows, makespan }
+    sched.makespan = makespan;
+}
+
+/// Reusable evaluation buffers: one trace arena, one schedule, and one
+/// stream-slot table. A design-space-exploration worker thread keeps one
+/// `EngineScratch` and evaluates every candidate through it, so the
+/// per-candidate cost is the simulation itself — not allocator traffic.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Trace arena, cleared (capacity retained) per candidate.
+    pub trace: Trace,
+    /// Schedule buffer, cleared per candidate.
+    pub sched: Schedule,
+    /// Stream availability slots, cleared per candidate.
+    pub streams: StreamTable,
+    /// Report-construction interval buffers, cleared per candidate.
+    pub report: crate::metrics::ReportScratch,
+}
+
+impl EngineScratch {
+    /// A fresh buffer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Measures the total time in `intervals` (a possibly-overlapping set)
@@ -80,7 +152,9 @@ pub fn union_measure(intervals: &mut [(f64, f64)]) -> f64 {
 }
 
 /// Measures `|a \ b|`: time covered by union(`a`) but not union(`b`).
-pub fn difference_measure(a: &mut [(f64, f64)], b: &mut [(f64, f64)]) -> f64 {
+/// `b` must be in non-decreasing start order (a single stream's busy
+/// intervals in issue order qualify).
+pub fn difference_measure(a: &mut [(f64, f64)], b: &[(f64, f64)]) -> f64 {
     let a_measure = union_measure(a);
     if b.is_empty() {
         return a_measure;
@@ -108,15 +182,55 @@ pub fn difference_measure(a: &mut [(f64, f64)], b: &mut [(f64, f64)]) -> f64 {
     a_measure - inter
 }
 
-fn merged(sorted: &[(f64, f64)]) -> Vec<(f64, f64)> {
-    let mut out: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+/// Measures `|a \ b|` for a single interval `a` against a pre-merged,
+/// sorted, disjoint interval set `b_merged` (see [`merged`]) — the
+/// allocation-free special case behind per-collective exposure
+/// accounting. Produces exactly [`difference_measure`]'s result for
+/// `a = [span]`.
+pub fn single_difference_measure(span: (f64, f64), b_merged: &[(f64, f64)]) -> f64 {
+    let (a_start, a_end) = span;
+    let a_measure = a_end - a_start;
+    if b_merged.is_empty() {
+        return a_measure;
+    }
+    let mut inter = 0.0;
+    // Intervals ending at or before `a_start` cannot intersect; skip them
+    // in one binary search instead of sweeping from the front.
+    let mut j = b_merged.partition_point(|&(_, b_end)| b_end <= a_start);
+    while j < b_merged.len() {
+        let (b_start, b_end) = b_merged[j];
+        let lo = a_start.max(b_start);
+        let hi = a_end.min(b_end);
+        if hi > lo {
+            inter += hi - lo;
+        }
+        if a_end < b_end {
+            break;
+        }
+        j += 1;
+    }
+    a_measure - inter
+}
+
+/// Merges a non-decreasing-start interval list into a sorted, disjoint
+/// union (inputs out of order are not detected; callers pass per-stream
+/// busy intervals, which are in issue order).
+pub fn merged(sorted: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(sorted.len());
+    merged_into(sorted, &mut out);
+    out
+}
+
+/// [`merged`], writing into a caller-owned buffer (cleared first,
+/// capacity retained).
+pub fn merged_into(sorted: &[(f64, f64)], out: &mut Vec<(f64, f64)>) {
+    out.clear();
     for &(s, e) in sorted {
         match out.last_mut() {
             Some(last) if s <= last.1 => last.1 = last.1.max(e),
             _ => out.push((s, e)),
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -127,14 +241,14 @@ mod tests {
 
     fn op(name: &str, stream: StreamId, ms: f64, deps: Vec<OpId>) -> TraceOp {
         TraceOp {
-            name: name.to_owned(),
+            name: name.to_owned().into(),
             stream,
             kind: OpKind::Gemm {
                 class: LayerClass::Dense,
             },
             phase: Phase::Forward,
             duration: Seconds::from_ms(ms),
-            deps,
+            deps: deps.into(),
         }
     }
 
@@ -189,13 +303,27 @@ mod tests {
     fn union_and_difference_measures() {
         let mut a = vec![(0.0, 5.0), (3.0, 8.0), (10.0, 12.0)];
         assert!((union_measure(&mut a.clone()) - 10.0).abs() < 1e-12);
-        let mut b = vec![(4.0, 11.0)];
+        let b = vec![(4.0, 11.0)];
         // a \ b = [0,4) + [11,12) = 5.
-        assert!((difference_measure(&mut a, &mut b) - 5.0).abs() < 1e-12);
+        assert!((difference_measure(&mut a, &b) - 5.0).abs() < 1e-12);
         // Empty cases.
         assert_eq!(union_measure(&mut []), 0.0);
-        assert_eq!(difference_measure(&mut [], &mut [(0.0, 1.0)]), 0.0);
-        assert!((difference_measure(&mut [(0.0, 2.0)], &mut []) - 2.0).abs() < 1e-12);
+        assert_eq!(difference_measure(&mut [], &[(0.0, 1.0)]), 0.0);
+        assert!((difference_measure(&mut [(0.0, 2.0)], &[]) - 2.0).abs() < 1e-12);
+        // The single-interval fast path matches the general measure.
+        let merged_b = merged(&b);
+        for span in [
+            (0.0, 3.0),
+            (4.5, 10.0),
+            (3.0, 12.0),
+            (11.0, 11.0),
+            (12.0, 20.0),
+        ] {
+            let general = difference_measure(&mut [span], &b);
+            let fast = single_difference_measure(span, &merged_b);
+            assert_eq!(general, fast, "{span:?}");
+        }
+        assert_eq!(single_difference_measure((1.0, 2.0), &[]), 1.0);
     }
 
     #[test]

@@ -4,6 +4,20 @@
 //!
 //! Because execution is SPMD, MAD-Max builds the trace of one
 //! representative device.
+//!
+//! The trace types are built for the design-space-exploration hot path,
+//! where millions of ops are created and thrown away per search:
+//!
+//! - [`OpName`] is a structured name (shared-label handle or fully inline
+//!   stage coordinates) rendered to a string only for display/serde, so
+//!   naming an op never allocates;
+//! - [`Deps`] stores up to two dependencies inline (almost every op has at
+//!   most two) and spills to the heap only for join points like the
+//!   feature-interaction and optimizer ops;
+//! - [`Trace::clear`] recycles the op arena so a worker thread reuses one
+//!   allocation across all candidates it evaluates.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +78,21 @@ impl StreamId {
             _ => None,
         }
     }
+
+    /// Dense index of this stream for slot-table lookups: the three flat
+    /// streams occupy slots 0-2 and each pipeline stage's three streams
+    /// follow as a contiguous triple, so the scheduler can track per-stream
+    /// state in a plain `Vec` instead of an ordered map.
+    pub fn slot(self) -> usize {
+        match self {
+            StreamId::Compute => 0,
+            StreamId::Comm => 1,
+            StreamId::GradComm => 2,
+            StreamId::StageCompute(s) => 3 + 3 * s as usize,
+            StreamId::StageComm(s) => 4 + 3 * s as usize,
+            StreamId::StageGradComm(s) => 5 + 3 * s as usize,
+        }
+    }
 }
 
 /// Iteration phase an op belongs to.
@@ -100,11 +129,477 @@ pub enum OpKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct OpId(pub usize);
 
+/// Direction tag of a flat-trace or stage-trace pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassDir {
+    /// Forward-pass op (`fwd` prefix).
+    Fwd,
+    /// Backward-pass op (`bwd` prefix).
+    Bwd,
+}
+
+impl std::fmt::Display for PassDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PassDir::Fwd => "fwd",
+            PassDir::Bwd => "bwd",
+        })
+    }
+}
+
+/// Structured op name, rendered to a display string on demand.
+///
+/// Creating an `OpName` never allocates on the evaluation hot path: flat
+/// ops clone a shared [`Arc<str>`] label (priced once per search by the
+/// cost table), and stage ops carry their coordinates inline. The rendered
+/// forms reproduce the historical string names exactly, e.g.
+/// `fwd.embedding_tables.a2a`, `bwd[3].blocks.ag_bwd`, `stage0.fwd[2]`,
+/// `update.optimizer`.
+///
+/// Serialization uses the rendered string (see [`std::fmt::Display`] /
+/// [`std::str::FromStr`]); unrecognized strings deserialize as
+/// [`OpName::Custom`], which also serves ad-hoc traces built by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpName {
+    /// Flat-trace op: `"{dir}[{inst}].{label}"` (the `[{inst}]` part is
+    /// omitted for single-instance layer groups). The label covers both
+    /// compute ops (`"bottom_mlp"`, `"embedding_tables.lookup"`) and
+    /// collectives (`"top_mlp.ag"`).
+    Flat {
+        /// Pass direction prefix.
+        dir: PassDir,
+        /// Layer-group instance, for groups with `repeat > 1`.
+        inst: Option<u32>,
+        /// Shared display label.
+        label: Arc<str>,
+    },
+    /// The flat trace's single optimizer step: `"update.optimizer"`.
+    UpdateOptimizer,
+    /// Once-per-iteration stage parameter collective:
+    /// `"stage{s}.param.{kind}"`.
+    StageParam {
+        /// Pipeline stage.
+        stage: u16,
+        /// Collective primitive.
+        kind: CollectiveKind,
+    },
+    /// Stage compute of one microbatch: `"stage{s}.{dir}[{mb}]"`.
+    StagePass {
+        /// Pipeline stage.
+        stage: u16,
+        /// Pass direction.
+        dir: PassDir,
+        /// Microbatch index.
+        mb: u32,
+    },
+    /// Blocking stage collective of one microbatch:
+    /// `"stage{s}.{dir}[{mb}].{kind}"`.
+    StagePassColl {
+        /// Pipeline stage.
+        stage: u16,
+        /// Pass direction.
+        dir: PassDir,
+        /// Microbatch index.
+        mb: u32,
+        /// Collective primitive.
+        kind: CollectiveKind,
+    },
+    /// Activation send to the next stage: `"stage{s}.send_act[{mb}]"`.
+    StageSendAct {
+        /// Pipeline stage.
+        stage: u16,
+        /// Microbatch index.
+        mb: u32,
+    },
+    /// Gradient send to the previous stage: `"stage{s}.send_grad[{mb}]"`.
+    StageSendGrad {
+        /// Pipeline stage.
+        stage: u16,
+        /// Microbatch index.
+        mb: u32,
+    },
+    /// Deferred stage weight-gradient collective:
+    /// `"stage{s}.grad.{kind}"`.
+    StageGrad {
+        /// Pipeline stage.
+        stage: u16,
+        /// Collective primitive.
+        kind: CollectiveKind,
+    },
+    /// Per-stage optimizer step: `"stage{s}.optimizer"`.
+    StageOptimizer {
+        /// Pipeline stage.
+        stage: u16,
+    },
+    /// Free-form name (hand-built traces, unrecognized deserialized
+    /// names).
+    Custom(Arc<str>),
+}
+
+impl OpName {
+    /// A flat-trace name with a shared label.
+    pub fn flat(dir: PassDir, inst: Option<u32>, label: &Arc<str>) -> Self {
+        OpName::Flat {
+            dir,
+            inst,
+            label: Arc::clone(label),
+        }
+    }
+
+    /// A free-form name (allocates; intended for hand-built traces).
+    pub fn custom(name: impl AsRef<str>) -> Self {
+        OpName::Custom(Arc::from(name.as_ref()))
+    }
+}
+
+impl From<String> for OpName {
+    fn from(s: String) -> Self {
+        OpName::Custom(Arc::from(s.as_str()))
+    }
+}
+
+impl From<&str> for OpName {
+    fn from(s: &str) -> Self {
+        OpName::Custom(Arc::from(s))
+    }
+}
+
+impl std::fmt::Display for OpName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpName::Flat {
+                dir,
+                inst: None,
+                label,
+            } => write!(f, "{dir}.{label}"),
+            OpName::Flat {
+                dir,
+                inst: Some(i),
+                label,
+            } => write!(f, "{dir}[{i}].{label}"),
+            OpName::UpdateOptimizer => f.write_str("update.optimizer"),
+            OpName::StageParam { stage, kind } => write!(f, "stage{stage}.param.{kind}"),
+            OpName::StagePass { stage, dir, mb } => write!(f, "stage{stage}.{dir}[{mb}]"),
+            OpName::StagePassColl {
+                stage,
+                dir,
+                mb,
+                kind,
+            } => write!(f, "stage{stage}.{dir}[{mb}].{kind}"),
+            OpName::StageSendAct { stage, mb } => write!(f, "stage{stage}.send_act[{mb}]"),
+            OpName::StageSendGrad { stage, mb } => write!(f, "stage{stage}.send_grad[{mb}]"),
+            OpName::StageGrad { stage, kind } => write!(f, "stage{stage}.grad.{kind}"),
+            OpName::StageOptimizer { stage } => write!(f, "stage{stage}.optimizer"),
+            OpName::Custom(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Splits `"{head}[{n}]{rest}"` into `(n, rest)` when `s` starts with an
+/// index in brackets.
+fn parse_index(s: &str) -> Option<(u32, &str)> {
+    let inner = s.strip_prefix('[')?;
+    let close = inner.find(']')?;
+    let n: u32 = inner[..close].parse().ok()?;
+    Some((n, &inner[close + 1..]))
+}
+
+fn parse_stage_name(s: &str) -> Option<OpName> {
+    let rest = s.strip_prefix("stage")?;
+    let digits = rest.find(|c: char| !c.is_ascii_digit())?;
+    let stage: u16 = rest[..digits].parse().ok()?;
+    let rest = rest[digits..].strip_prefix('.')?;
+    if rest == "optimizer" {
+        return Some(OpName::StageOptimizer { stage });
+    }
+    if let Some(kind) = rest.strip_prefix("param.") {
+        return Some(OpName::StageParam {
+            stage,
+            kind: kind.parse().ok()?,
+        });
+    }
+    if let Some(kind) = rest.strip_prefix("grad.") {
+        return Some(OpName::StageGrad {
+            stage,
+            kind: kind.parse().ok()?,
+        });
+    }
+    for (prefix, act) in [("send_act", true), ("send_grad", false)] {
+        if let Some(tail) = rest.strip_prefix(prefix) {
+            let (mb, tail) = parse_index(tail)?;
+            if !tail.is_empty() {
+                return None;
+            }
+            return Some(if act {
+                OpName::StageSendAct { stage, mb }
+            } else {
+                OpName::StageSendGrad { stage, mb }
+            });
+        }
+    }
+    for (prefix, dir) in [("fwd", PassDir::Fwd), ("bwd", PassDir::Bwd)] {
+        if let Some(tail) = rest.strip_prefix(prefix) {
+            let (mb, tail) = parse_index(tail)?;
+            if tail.is_empty() {
+                return Some(OpName::StagePass { stage, dir, mb });
+            }
+            let kind = tail.strip_prefix('.')?.parse().ok()?;
+            return Some(OpName::StagePassColl {
+                stage,
+                dir,
+                mb,
+                kind,
+            });
+        }
+    }
+    None
+}
+
+fn parse_flat_name(s: &str) -> Option<OpName> {
+    for (prefix, dir) in [("fwd", PassDir::Fwd), ("bwd", PassDir::Bwd)] {
+        if let Some(tail) = s.strip_prefix(prefix) {
+            let (inst, tail) = match parse_index(tail) {
+                Some((i, t)) => (Some(i), t),
+                None => (None, tail),
+            };
+            let label = tail.strip_prefix('.')?;
+            if label.is_empty() {
+                return None;
+            }
+            return Some(OpName::Flat {
+                dir,
+                inst,
+                label: Arc::from(label),
+            });
+        }
+    }
+    None
+}
+
+impl std::str::FromStr for OpName {
+    type Err = std::convert::Infallible;
+
+    /// Parses a rendered op name back into its structured form; anything
+    /// unrecognized becomes [`OpName::Custom`], so parsing is total.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "update.optimizer" {
+            return Ok(OpName::UpdateOptimizer);
+        }
+        Ok(parse_stage_name(s)
+            .or_else(|| parse_flat_name(s))
+            .unwrap_or_else(|| OpName::custom(s)))
+    }
+}
+
+impl Serialize for OpName {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for OpName {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => Ok(s.parse().expect("OpName parsing is total")),
+            _ => Err(serde::Error::msg("expected string op name")),
+        }
+    }
+}
+
+/// Maximum dependencies stored without a heap allocation.
+pub const INLINE_DEPS: usize = 2;
+
+/// Dependency list of one op: up to [`INLINE_DEPS`] ids inline, spilling
+/// to a `Vec` only for wide join points (feature interaction consuming
+/// many embedding outputs, the optimizer consuming every gradient).
+///
+/// Equality compares the dependency *list* ([`Deps::as_slice`]), not the
+/// representation: an inline list equals its spilled twin, and stale
+/// inactive inline slots are ignored.
+#[derive(Debug, Clone)]
+pub enum Deps {
+    /// The common case, stored inline.
+    Inline {
+        /// Number of valid entries in `ids`.
+        len: u8,
+        /// Dependency ids (`..len` are valid).
+        ids: [OpId; INLINE_DEPS],
+    },
+    /// More than [`INLINE_DEPS`] dependencies.
+    Spilled(Vec<OpId>),
+}
+
+impl Default for Deps {
+    fn default() -> Self {
+        Deps::Inline {
+            len: 0,
+            ids: [OpId(0); INLINE_DEPS],
+        }
+    }
+}
+
+impl Deps {
+    /// No dependencies.
+    pub fn none() -> Self {
+        Deps::default()
+    }
+
+    /// A single dependency.
+    pub fn one(id: OpId) -> Self {
+        Deps::Inline {
+            len: 1,
+            ids: [id, OpId(0)],
+        }
+    }
+
+    /// The dependencies as a slice.
+    pub fn as_slice(&self) -> &[OpId] {
+        match self {
+            Deps::Inline { len, ids } => &ids[..*len as usize],
+            Deps::Spilled(v) => v,
+        }
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the dependency ids.
+    pub fn iter(&self) -> std::slice::Iter<'_, OpId> {
+        self.as_slice().iter()
+    }
+
+    /// Whether `id` is a dependency.
+    pub fn contains(&self, id: &OpId) -> bool {
+        self.as_slice().contains(id)
+    }
+
+    /// Appends a dependency, spilling to the heap past [`INLINE_DEPS`].
+    pub fn push(&mut self, id: OpId) {
+        match self {
+            Deps::Inline { len, ids } => {
+                if (*len as usize) < INLINE_DEPS {
+                    ids[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_DEPS + 2);
+                    v.extend_from_slice(&ids[..]);
+                    v.push(id);
+                    *self = Deps::Spilled(v);
+                }
+            }
+            Deps::Spilled(v) => v.push(id),
+        }
+    }
+
+    /// Removes all dependencies (keeps any spilled capacity).
+    pub fn clear(&mut self) {
+        match self {
+            Deps::Inline { len, .. } => *len = 0,
+            Deps::Spilled(v) => v.clear(),
+        }
+    }
+
+    /// Appends every dependency of `other`.
+    pub fn extend_from(&mut self, other: &Deps) {
+        for &id in other.as_slice() {
+            self.push(id);
+        }
+    }
+
+    /// Sorts and deduplicates the list in place.
+    pub fn sort_dedup(&mut self) {
+        match self {
+            Deps::Inline { len, ids } => {
+                let n = *len as usize;
+                ids[..n].sort_unstable();
+                if n == 2 && ids[0] == ids[1] {
+                    *len = 1;
+                }
+            }
+            Deps::Spilled(v) => {
+                v.sort_unstable();
+                v.dedup();
+            }
+        }
+    }
+}
+
+impl PartialEq for Deps {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<OpId>> for Deps {
+    fn from(v: Vec<OpId>) -> Self {
+        match v.as_slice() {
+            [] => Deps::none(),
+            [a] => Deps::one(*a),
+            [a, b] => Deps::Inline {
+                len: 2,
+                ids: [*a, *b],
+            },
+            _ => Deps::Spilled(v),
+        }
+    }
+}
+
+impl FromIterator<OpId> for Deps {
+    fn from_iter<I: IntoIterator<Item = OpId>>(iter: I) -> Self {
+        let mut deps = Deps::none();
+        for id in iter {
+            deps.push(id);
+        }
+        deps
+    }
+}
+
+impl<'a> IntoIterator for &'a Deps {
+    type Item = &'a OpId;
+    type IntoIter = std::slice::Iter<'a, OpId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq<Vec<OpId>> for Deps {
+    fn eq(&self, other: &Vec<OpId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Deps> for Vec<OpId> {
+    fn eq(&self, other: &Deps) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Serialize for Deps {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for Deps {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let ids: Vec<OpId> = Deserialize::from_value(v)?;
+        Ok(Deps::from(ids))
+    }
+}
+
 /// One event on a stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceOp {
-    /// Display name, e.g. `"fwd.embedding_tables.a2a"`.
-    pub name: String,
+    /// Structured display name, e.g. `"fwd.embedding_tables.a2a"`.
+    pub name: OpName,
     /// Queue this op occupies.
     pub stream: StreamId,
     /// Category for breakdowns.
@@ -114,7 +609,7 @@ pub struct TraceOp {
     /// Modeled execution time.
     pub duration: Seconds,
     /// Ops that must finish before this one starts (data dependencies).
-    pub deps: Vec<OpId>,
+    pub deps: Deps,
 }
 
 /// A per-device execution trace: ops in issue order (which is also a
@@ -145,6 +640,12 @@ impl Trace {
         );
         self.ops.push(op);
         id
+    }
+
+    /// Removes all ops, keeping the allocation for arena-style reuse
+    /// across evaluation candidates.
+    pub fn clear(&mut self) {
+        self.ops.clear();
     }
 
     /// All ops in issue order.
@@ -183,12 +684,12 @@ mod tests {
 
     fn op(name: &str, stream: StreamId, ms: f64, deps: Vec<OpId>) -> TraceOp {
         TraceOp {
-            name: name.to_owned(),
+            name: OpName::custom(name),
             stream,
             kind: OpKind::Lookup,
             phase: Phase::Forward,
             duration: Seconds::from_ms(ms),
-            deps,
+            deps: deps.into(),
         }
     }
 
@@ -226,5 +727,178 @@ mod tests {
         assert!(!StreamId::Compute.is_comm());
         assert!(StreamId::Comm.is_comm());
         assert!(StreamId::GradComm.is_comm());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut t = Trace::new();
+        for _ in 0..64 {
+            t.push(op("x", StreamId::Compute, 1.0, vec![]));
+        }
+        let cap = t.ops.capacity();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.ops.capacity(), cap);
+    }
+
+    #[test]
+    fn stream_slots_are_dense_and_unique() {
+        let streams = [
+            StreamId::Compute,
+            StreamId::Comm,
+            StreamId::GradComm,
+            StreamId::StageCompute(0),
+            StreamId::StageComm(0),
+            StreamId::StageGradComm(0),
+            StreamId::StageCompute(1),
+            StreamId::StageComm(1),
+            StreamId::StageGradComm(1),
+        ];
+        let slots: Vec<usize> = streams.iter().map(|s| s.slot()).collect();
+        assert_eq!(slots, (0..streams.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn op_name_renders_exact_legacy_strings() {
+        use madmax_parallel::CollectiveKind as Ck;
+        let label: Arc<str> = Arc::from("embedding_tables.a2a");
+        assert_eq!(
+            OpName::flat(PassDir::Fwd, None, &label).to_string(),
+            "fwd.embedding_tables.a2a"
+        );
+        let blocks: Arc<str> = Arc::from("blocks.ag_bwd");
+        assert_eq!(
+            OpName::flat(PassDir::Bwd, Some(3), &blocks).to_string(),
+            "bwd[3].blocks.ag_bwd"
+        );
+        assert_eq!(OpName::UpdateOptimizer.to_string(), "update.optimizer");
+        assert_eq!(
+            OpName::StageParam {
+                stage: 0,
+                kind: Ck::AllGather
+            }
+            .to_string(),
+            "stage0.param.AllGather"
+        );
+        assert_eq!(
+            OpName::StagePass {
+                stage: 2,
+                dir: PassDir::Fwd,
+                mb: 7
+            }
+            .to_string(),
+            "stage2.fwd[7]"
+        );
+        assert_eq!(
+            OpName::StagePassColl {
+                stage: 1,
+                dir: PassDir::Bwd,
+                mb: 0,
+                kind: Ck::AllReduce
+            }
+            .to_string(),
+            "stage1.bwd[0].AllReduce"
+        );
+        assert_eq!(
+            OpName::StageSendAct { stage: 0, mb: 4 }.to_string(),
+            "stage0.send_act[4]"
+        );
+        assert_eq!(
+            OpName::StageSendGrad { stage: 3, mb: 11 }.to_string(),
+            "stage3.send_grad[11]"
+        );
+        assert_eq!(
+            OpName::StageGrad {
+                stage: 5,
+                kind: Ck::ReduceScatter
+            }
+            .to_string(),
+            "stage5.grad.ReduceScatter"
+        );
+        assert_eq!(
+            OpName::StageOptimizer { stage: 7 }.to_string(),
+            "stage7.optimizer"
+        );
+    }
+
+    #[test]
+    fn op_name_round_trips_through_strings() {
+        use madmax_parallel::CollectiveKind as Ck;
+        let names = [
+            OpName::flat(PassDir::Fwd, None, &Arc::from("embedding_tables.a2a")),
+            OpName::flat(PassDir::Bwd, Some(95), &Arc::from("blocks")),
+            OpName::UpdateOptimizer,
+            OpName::StageParam {
+                stage: 0,
+                kind: Ck::AllGather,
+            },
+            OpName::StagePass {
+                stage: 2,
+                dir: PassDir::Fwd,
+                mb: 7,
+            },
+            OpName::StagePassColl {
+                stage: 1,
+                dir: PassDir::Bwd,
+                mb: 0,
+                kind: Ck::AllToAll,
+            },
+            OpName::StageSendAct { stage: 0, mb: 4 },
+            OpName::StageSendGrad { stage: 3, mb: 11 },
+            OpName::StageGrad {
+                stage: 5,
+                kind: Ck::ReduceScatter,
+            },
+            OpName::StageOptimizer { stage: 7 },
+            OpName::custom("op17"),
+        ];
+        for name in names {
+            let parsed: OpName = name.to_string().parse().unwrap();
+            assert_eq!(parsed, name, "{name}");
+        }
+    }
+
+    #[test]
+    fn deps_inline_up_to_two_then_spill() {
+        let mut d = Deps::none();
+        assert!(d.is_empty());
+        d.push(OpId(3));
+        d.push(OpId(1));
+        assert!(matches!(d, Deps::Inline { len: 2, .. }));
+        d.sort_dedup();
+        assert_eq!(d.as_slice(), &[OpId(1), OpId(3)]);
+        d.push(OpId(2));
+        assert!(matches!(d, Deps::Spilled(_)));
+        d.sort_dedup();
+        assert_eq!(d.as_slice(), &[OpId(1), OpId(2), OpId(3)]);
+        assert!(d.contains(&OpId(2)));
+        assert_eq!(d, vec![OpId(1), OpId(2), OpId(3)]);
+    }
+
+    #[test]
+    fn deps_equality_ignores_representation() {
+        // Dedup leaves a stale inactive slot; equality must not see it.
+        let mut d = Deps::from(vec![OpId(5), OpId(5)]);
+        d.sort_dedup();
+        assert_eq!(d, Deps::one(OpId(5)));
+        // Spilled and inline forms of the same list are equal.
+        let spilled = Deps::Spilled(vec![OpId(1), OpId(2)]);
+        assert_eq!(spilled, Deps::from(vec![OpId(1), OpId(2)]));
+        // Serde round trip preserves equality regardless of representation.
+        let mut grown = Deps::from(vec![OpId(3), OpId(3)]);
+        grown.sort_dedup();
+        let json = serde_json::to_string(&grown).unwrap();
+        let back: Deps = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, grown);
+    }
+
+    #[test]
+    fn deps_sort_dedup_inline_pair() {
+        let mut d = Deps::from(vec![OpId(5), OpId(5)]);
+        d.sort_dedup();
+        assert_eq!(d.as_slice(), &[OpId(5)]);
+        let mut d = Deps::from(vec![OpId(9), OpId(2)]);
+        d.sort_dedup();
+        assert_eq!(d.as_slice(), &[OpId(2), OpId(9)]);
     }
 }

@@ -277,16 +277,33 @@ impl<'a> Explorer<'a> {
     /// order. Plans are distributed over the worker pool; the result at
     /// index `i` is always plan `i`'s, so the output is deterministic
     /// regardless of the thread count.
+    ///
+    /// This is the search hot path: when every plan shares one set of
+    /// options (always true for [`Explorer::candidates`]), one
+    /// [`madmax_engine::CostTable`] is priced up front and shared
+    /// read-only across the workers, and each worker recycles one
+    /// [`madmax_engine::EngineScratch`] (trace arena, schedule, stream
+    /// table) across the candidates it evaluates — so per-candidate work
+    /// is assembly and simulation, not pricing and allocation.
     pub fn evaluate(&self, plans: &[Plan]) -> Vec<Result<IterationReport, EngineError>> {
         let workers = self.worker_count(plans.len());
-        let run = |plan: &Plan| {
-            Scenario::new(self.model, self.system)
-                .plan(plan.clone())
-                .task(self.task.clone())
-                .run()
+        let scenario = Scenario::new(self.model, self.system).task_ref(&self.task);
+        // Mixed-option plan lists (e.g. ablating prefetch on/off) cannot
+        // share a pricing context; they fall back to per-plan pricing.
+        let uniform_options = plans.windows(2).all(|w| w[0].options == w[1].options);
+        let table = uniform_options.then(|| scenario.price_plans(plans));
+        let run = |plan: &Plan, scratch: &mut madmax_engine::EngineScratch| {
+            let mut s = Scenario::new(self.model, self.system)
+                .plan_ref(plan)
+                .task_ref(&self.task);
+            if let Some(t) = &table {
+                s = s.costs(t);
+            }
+            s.run_in(scratch)
         };
         if workers <= 1 {
-            return plans.iter().map(run).collect();
+            let mut scratch = madmax_engine::EngineScratch::new();
+            return plans.iter().map(|p| run(p, &mut scratch)).collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -296,13 +313,16 @@ impl<'a> Explorer<'a> {
                 let tx = tx.clone();
                 let next = &next;
                 let run = &run;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= plans.len() {
-                        break;
-                    }
-                    if tx.send((i, run(&plans[i]))).is_err() {
-                        break;
+                s.spawn(move || {
+                    let mut scratch = madmax_engine::EngineScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= plans.len() {
+                            break;
+                        }
+                        if tx.send((i, run(&plans[i], &mut scratch))).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -331,15 +351,20 @@ impl<'a> Explorer<'a> {
     pub fn explore(&self) -> Result<SearchOutcome, EngineError> {
         let base_plan = self.base_plan();
         let baseline = Scenario::new(self.model, self.system)
-            .plan(base_plan.clone())
-            .task(self.task.clone())
+            .plan_ref(&base_plan)
+            .task_ref(&self.task)
             .run()?;
 
         let candidates = self.candidates();
         let evaluated = candidates.len();
         // The baseline combo re-appears among the candidates; reuse its
-        // report instead of simulating it again.
-        let to_run: Vec<Plan> = candidates.into_iter().filter(|p| *p != base_plan).collect();
+        // report instead of simulating it again. Candidates inherit the
+        // baseline's options, so comparing assignments and pipeline
+        // suffices.
+        let to_run: Vec<Plan> = candidates
+            .into_iter()
+            .filter(|p| p.assignments != base_plan.assignments || p.pipeline != base_plan.pipeline)
+            .collect();
         let results = self.evaluate(&to_run);
 
         let mut best_plan = base_plan.clone();

@@ -48,3 +48,7 @@ pub mod scenario;
 
 pub use error::EngineError;
 pub use scenario::{simulate, Scenario};
+
+// Re-exported so engine consumers (the explorer, benches) can name the
+// fast-path types without a direct `madmax-core` dependency.
+pub use madmax_core::{CostTable, EngineScratch};

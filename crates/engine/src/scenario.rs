@@ -1,9 +1,11 @@
 //! The [`Scenario`] builder: one entry point for flat and pipelined
 //! simulation.
 
+use std::borrow::Cow;
+
 use madmax_core::collective::{CollectiveModel, HierarchicalNccl};
 use madmax_core::compute::UtilizationModel;
-use madmax_core::{IterationReport, Schedule, Trace};
+use madmax_core::{CostTable, EngineScratch, IterationReport, Schedule, Trace};
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
 use madmax_parallel::{Plan, Task};
@@ -50,10 +52,11 @@ use crate::error::EngineError;
 pub struct Scenario<'a> {
     model: &'a ModelArch,
     system: &'a ClusterSpec,
-    plan: Option<Plan>,
-    task: Task,
+    plan: Option<Cow<'a, Plan>>,
+    task: Cow<'a, Task>,
     collectives: &'a dyn CollectiveModel,
     utilization: UtilizationModel,
+    costs: Option<&'a CostTable<'a>>,
 }
 
 impl<'a> Scenario<'a> {
@@ -65,16 +68,26 @@ impl<'a> Scenario<'a> {
             model,
             system,
             plan: None,
-            task: Task::Pretraining,
+            task: Cow::Owned(Task::Pretraining),
             collectives: &HierarchicalNccl,
             utilization: UtilizationModel::Constant,
+            costs: None,
         }
     }
 
     /// Sets the task (default: [`Task::Pretraining`]).
     #[must_use]
     pub fn task(mut self, task: Task) -> Self {
-        self.task = task;
+        self.task = Cow::Owned(task);
+        self
+    }
+
+    /// Borrow-based variant of [`Scenario::task`]: references the caller's
+    /// task instead of cloning it (the design-space-exploration hot path
+    /// runs thousands of scenarios against one task).
+    #[must_use]
+    pub fn task_ref(mut self, task: &'a Task) -> Self {
+        self.task = Cow::Borrowed(task);
         self
     }
 
@@ -83,7 +96,26 @@ impl<'a> Scenario<'a> {
     /// the pipeline engine.
     #[must_use]
     pub fn plan(mut self, plan: Plan) -> Self {
-        self.plan = Some(plan);
+        self.plan = Some(Cow::Owned(plan));
+        self
+    }
+
+    /// Borrow-based variant of [`Scenario::plan`]: references the caller's
+    /// plan instead of cloning it.
+    #[must_use]
+    pub fn plan_ref(mut self, plan: &'a Plan) -> Self {
+        self.plan = Some(Cow::Borrowed(plan));
+        self
+    }
+
+    /// Attaches a shared, pre-priced [`CostTable`] (see
+    /// `madmax_core::costs`): [`Scenario::run_in`] then evaluates flat
+    /// plans by assembling cached costs instead of re-pricing every GEMM
+    /// and collective. The table must have been priced for this scenario's
+    /// model, system, and task, and must cover the plan's strategies.
+    #[must_use]
+    pub fn costs(mut self, table: &'a CostTable<'a>) -> Self {
+        self.costs = Some(table);
         self
     }
 
@@ -105,13 +137,95 @@ impl<'a> Scenario<'a> {
     /// The plan this scenario will execute (the configured one, or the
     /// FSDP baseline).
     pub fn effective_plan(&self) -> Plan {
-        self.plan
-            .clone()
-            .unwrap_or_else(|| Plan::fsdp_baseline(self.model))
+        match &self.plan {
+            Some(p) => p.clone().into_owned(),
+            None => Plan::fsdp_baseline(self.model),
+        }
     }
 
     fn is_pipelined(plan: &Plan) -> bool {
         plan.pipeline.is_some_and(|c| c.is_pipelined())
+    }
+
+    /// Runs `f` against the effective plan without cloning a configured
+    /// plan.
+    fn with_plan<R>(&self, f: impl FnOnce(&Plan) -> R) -> R {
+        match &self.plan {
+            Some(p) => f(p),
+            None => f(&Plan::fsdp_baseline(self.model)),
+        }
+    }
+
+    /// Prices one [`CostTable`] covering every flat plan in `plans`
+    /// (pipelined plans are skipped — the stage engine prices per
+    /// sub-cluster and microbatch). The table inherits this scenario's
+    /// model, system, task, and cost models, and is `Sync`: build it once
+    /// per search and share it read-only across worker threads.
+    ///
+    /// All plans must share the same pricing-relevant options
+    /// (`activation_checkpointing`, `collective_dtype`); this is asserted.
+    pub fn price_plans(&self, plans: &[Plan]) -> CostTable<'a> {
+        let options = plans
+            .first()
+            .map_or_else(|| self.effective_plan().options, |p| p.options);
+        let mut table = CostTable::new(
+            self.model,
+            self.system,
+            self.task.as_ref().clone(),
+            options,
+            self.collectives,
+            self.utilization,
+        );
+        for plan in plans.iter().filter(|p| !Self::is_pipelined(p)) {
+            table.ensure_plan(plan);
+        }
+        table
+    }
+
+    /// Runs the scenario through caller-owned buffers — the evaluation
+    /// fast path. Flat plans with an attached [`CostTable`]
+    /// (see [`Scenario::costs`]) are assembled from cached costs; all
+    /// paths recycle `scratch`'s trace arena, schedule, and stream table.
+    /// The report is byte-identical to [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::run`].
+    pub fn run_in(&self, scratch: &mut EngineScratch) -> Result<IterationReport, EngineError> {
+        self.with_plan(|plan| {
+            if Self::is_pipelined(plan) {
+                return madmax_pipeline::run_pipelined_scratch(
+                    self.model,
+                    self.system,
+                    plan,
+                    &self.task,
+                    self.collectives,
+                    self.utilization,
+                    scratch,
+                )
+                .map_err(EngineError::from);
+            }
+            if let Some(table) = self.costs {
+                debug_assert!(
+                    std::ptr::eq(table.model(), self.model)
+                        && std::ptr::eq(table.cluster(), self.system)
+                        && table.task() == self.task.as_ref(),
+                    "cost table priced for a different scenario"
+                );
+                return madmax_core::run_flat_cached(table, plan, scratch)
+                    .map_err(EngineError::from);
+            }
+            let mut table = CostTable::new(
+                self.model,
+                self.system,
+                self.task.as_ref().clone(),
+                plan.options,
+                self.collectives,
+                self.utilization,
+            );
+            table.ensure_plan(plan);
+            madmax_core::run_flat_cached(&table, plan, scratch).map_err(EngineError::from)
+        })
     }
 
     /// Runs the scenario end to end.
@@ -133,27 +247,28 @@ impl<'a> Scenario<'a> {
     ///
     /// Same conditions as [`Scenario::run`].
     pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), EngineError> {
-        let plan = self.effective_plan();
-        let result = if Self::is_pipelined(&plan) {
-            madmax_pipeline::run_pipelined(
-                self.model,
-                self.system,
-                &plan,
-                &self.task,
-                self.collectives,
-                self.utilization,
-            )
-        } else {
-            madmax_core::run_flat(
-                self.model,
-                self.system,
-                &plan,
-                &self.task,
-                self.collectives,
-                self.utilization,
-            )
-        };
-        result.map_err(EngineError::from)
+        self.with_plan(|plan| {
+            let result = if Self::is_pipelined(plan) {
+                madmax_pipeline::run_pipelined(
+                    self.model,
+                    self.system,
+                    plan,
+                    &self.task,
+                    self.collectives,
+                    self.utilization,
+                )
+            } else {
+                madmax_core::run_flat(
+                    self.model,
+                    self.system,
+                    plan,
+                    &self.task,
+                    self.collectives,
+                    self.utilization,
+                )
+            };
+            result.map_err(EngineError::from)
+        })
     }
 
     /// Builds the scenario's trace without scheduling it (for inspection /
@@ -164,28 +279,29 @@ impl<'a> Scenario<'a> {
     ///
     /// Same conditions as [`Scenario::run`].
     pub fn build_trace(&self) -> Result<Trace, EngineError> {
-        let plan = self.effective_plan();
-        if Self::is_pipelined(&plan) {
-            madmax_pipeline::build_pipelined_trace(
-                self.model,
-                self.system,
-                &plan,
-                &self.task,
-                self.collectives,
-                self.utilization,
-            )
-            .map_err(EngineError::from)
-        } else {
-            madmax_core::build_flat_trace(
-                self.model,
-                self.system,
-                &plan,
-                &self.task,
-                self.collectives,
-                self.utilization,
-            )
-            .map_err(EngineError::from)
-        }
+        self.with_plan(|plan| {
+            if Self::is_pipelined(plan) {
+                madmax_pipeline::build_pipelined_trace(
+                    self.model,
+                    self.system,
+                    plan,
+                    &self.task,
+                    self.collectives,
+                    self.utilization,
+                )
+                .map_err(EngineError::from)
+            } else {
+                madmax_core::build_flat_trace(
+                    self.model,
+                    self.system,
+                    plan,
+                    &self.task,
+                    self.collectives,
+                    self.utilization,
+                )
+                .map_err(EngineError::from)
+            }
+        })
     }
 }
 

@@ -42,8 +42,8 @@ pub mod sim;
 pub use cost::{stage_costs, StageCosts};
 pub use memory::pipeline_memory;
 pub use partition::{partition_model, Stage, StageUnit};
-pub use schedule::build_pipeline_trace;
-pub use sim::{build_pipelined_trace, run_pipelined, run_pipelined_default};
+pub use schedule::{build_pipeline_trace, build_pipeline_trace_into};
+pub use sim::{build_pipelined_trace, run_pipelined, run_pipelined_default, run_pipelined_scratch};
 #[allow(deprecated)]
 pub use sim::{simulate, PipelineSimulation};
 

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use madmax_hw::units::Seconds;
 use madmax_parallel::{CollectiveKind, PipelineConfig, PipelineSchedule};
 
-use madmax_core::{OpId, OpKind, Phase, StreamId, Trace, TraceOp};
+use madmax_core::{Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp};
 
 use crate::cost::StageCosts;
 
@@ -63,18 +63,24 @@ fn comm_ops(
     trace: &mut Trace,
     stage: u16,
     phase: Phase,
+    dir: PassDir,
+    mb: u32,
     comm: &[(CollectiveKind, Seconds)],
     mut dep: OpId,
-    label: &str,
 ) -> OpId {
     for &(kind, duration) in comm {
         dep = trace.push(TraceOp {
-            name: format!("{label}.{kind}"),
+            name: OpName::StagePassColl {
+                stage,
+                dir,
+                mb,
+                kind,
+            },
             stream: StreamId::StageComm(stage),
             kind: OpKind::Collective { kind },
             phase,
             duration,
-            deps: vec![dep],
+            deps: Deps::one(dep),
         });
     }
     dep
@@ -90,12 +96,30 @@ fn comm_ops(
 /// Panics if `costs` is empty, `cfg.microbatches` is zero, or the schedule
 /// deadlocks (which would indicate a bug in the order generators).
 pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: bool) -> Trace {
+    let mut trace = Trace::new();
+    build_pipeline_trace_into(costs, cfg, train, &mut trace);
+    trace
+}
+
+/// [`build_pipeline_trace`], writing into a caller-owned trace arena
+/// (cleared first, capacity retained) so repeated evaluation recycles one
+/// allocation.
+///
+/// # Panics
+///
+/// Same conditions as [`build_pipeline_trace`].
+pub fn build_pipeline_trace_into(
+    costs: &[StageCosts],
+    cfg: &PipelineConfig,
+    train: bool,
+    trace: &mut Trace,
+) {
     let p = costs.len();
     let m = cfg.microbatches;
     assert!(p > 0, "at least one stage");
     assert!(m > 0, "at least one microbatch");
 
-    let mut trace = Trace::new();
+    trace.clear();
 
     // Once-per-iteration prefetchable parameter gathers, issued at t=0 on
     // each stage's comm stream.
@@ -104,7 +128,10 @@ pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: b
         let mut dep: Option<OpId> = None;
         for &(kind, duration) in &c.param_comm {
             let id = trace.push(TraceOp {
-                name: format!("stage{s}.param.{kind}"),
+                name: OpName::StageParam {
+                    stage: s as u16,
+                    kind,
+                },
                 stream: StreamId::StageComm(s as u16),
                 kind: OpKind::Collective { kind },
                 phase: Phase::Forward,
@@ -144,7 +171,7 @@ pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: b
                 let stage = s as u16;
                 match ev {
                     Ev::F(j) => {
-                        let mut deps: Vec<OpId> = prefetch[s].into_iter().collect();
+                        let mut deps: Deps = prefetch[s].into_iter().collect();
                         if s > 0 {
                             deps.push(fwd_send[s - 1][j].expect("checked ready"));
                         }
@@ -156,7 +183,11 @@ pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: b
                             }
                         };
                         let compute = trace.push(TraceOp {
-                            name: format!("stage{s}.fwd[{j}]"),
+                            name: OpName::StagePass {
+                                stage,
+                                dir: PassDir::Fwd,
+                                mb: j as u32,
+                            },
                             stream: StreamId::StageCompute(stage),
                             kind,
                             phase: Phase::Forward,
@@ -164,30 +195,35 @@ pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: b
                             deps,
                         });
                         let out = comm_ops(
-                            &mut trace,
+                            trace,
                             stage,
                             Phase::Forward,
+                            PassDir::Fwd,
+                            j as u32,
                             &c.fwd_comm,
                             compute,
-                            &format!("stage{s}.fwd[{j}]"),
                         );
                         fwd_done[s][j] = Some(out);
                         if s + 1 < p {
                             let send = trace.push(TraceOp {
-                                name: format!("stage{s}.send_act[{j}]"),
+                                name: OpName::StageSendAct {
+                                    stage,
+                                    mb: j as u32,
+                                },
                                 stream: StreamId::StageComm(stage),
                                 kind: OpKind::Collective {
                                     kind: CollectiveKind::PointToPoint,
                                 },
                                 phase: Phase::Forward,
                                 duration: c.send_fwd,
-                                deps: vec![out],
+                                deps: Deps::one(out),
                             });
                             fwd_send[s][j] = Some(send);
                         }
                     }
                     Ev::B(j) => {
-                        let mut deps = vec![fwd_done[s][j].expect("forward precedes backward")];
+                        let mut deps =
+                            Deps::one(fwd_done[s][j].expect("forward precedes backward"));
                         if s + 1 < p {
                             deps.push(bwd_send[s + 1][j].expect("checked ready"));
                         }
@@ -199,7 +235,11 @@ pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: b
                             }
                         };
                         let compute = trace.push(TraceOp {
-                            name: format!("stage{s}.bwd[{j}]"),
+                            name: OpName::StagePass {
+                                stage,
+                                dir: PassDir::Bwd,
+                                mb: j as u32,
+                            },
                             stream: StreamId::StageCompute(stage),
                             kind,
                             phase: Phase::Backward,
@@ -207,24 +247,28 @@ pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: b
                             deps,
                         });
                         let out = comm_ops(
-                            &mut trace,
+                            trace,
                             stage,
                             Phase::Backward,
+                            PassDir::Bwd,
+                            j as u32,
                             &c.bwd_comm,
                             compute,
-                            &format!("stage{s}.bwd[{j}]"),
                         );
                         last_bwd[s] = Some(compute);
                         if s > 0 {
                             let send = trace.push(TraceOp {
-                                name: format!("stage{s}.send_grad[{j}]"),
+                                name: OpName::StageSendGrad {
+                                    stage,
+                                    mb: j as u32,
+                                },
                                 stream: StreamId::StageGradComm(stage),
                                 kind: OpKind::Collective {
                                     kind: CollectiveKind::PointToPoint,
                                 },
                                 phase: Phase::Backward,
                                 duration: c.send_bwd,
-                                deps: vec![out],
+                                deps: Deps::one(out),
                             });
                             bwd_send[s][j] = Some(send);
                         }
@@ -249,28 +293,26 @@ pub fn build_pipeline_trace(costs: &[StageCosts], cfg: &PipelineConfig, train: b
             let mut dep = tail;
             for &(kind, duration) in &c.grad_comm {
                 dep = trace.push(TraceOp {
-                    name: format!("stage{s}.grad.{kind}"),
+                    name: OpName::StageGrad { stage, kind },
                     stream: StreamId::StageGradComm(stage),
                     kind: OpKind::Collective { kind },
                     phase: Phase::Backward,
                     duration,
-                    deps: vec![dep],
+                    deps: Deps::one(dep),
                 });
             }
             if !c.optimizer.is_zero() {
                 trace.push(TraceOp {
-                    name: format!("stage{s}.optimizer"),
+                    name: OpName::StageOptimizer { stage },
                     stream: StreamId::StageCompute(stage),
                     kind: OpKind::Optimizer,
                     phase: Phase::Update,
                     duration: c.optimizer,
-                    deps: vec![dep],
+                    deps: Deps::one(dep),
                 });
             }
         }
     }
-
-    trace
 }
 
 /// Builds uniform synthetic stage costs — handy for schedule-shape tests

@@ -12,12 +12,12 @@ use madmax_parallel::{Plan, PlanError, Task};
 
 use madmax_core::collective::{CollectiveModel, HierarchicalNccl};
 use madmax_core::compute::UtilizationModel;
-use madmax_core::{schedule, IterationReport, Schedule, Trace};
+use madmax_core::{schedule, schedule_into, EngineScratch, IterationReport, Schedule, Trace};
 
-use crate::cost::stage_costs;
+use crate::cost::{stage_costs, StageCosts};
 use crate::memory::pipeline_memory;
 use crate::partition::partition_model;
-use crate::schedule::build_pipeline_trace;
+use crate::schedule::{build_pipeline_trace, build_pipeline_trace_into};
 
 static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
 
@@ -59,6 +59,31 @@ fn prepare_pipelined(
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
 ) -> Result<(Trace, madmax_parallel::MemoryBreakdown), PlanError> {
+    let (costs, cfg, memory) =
+        price_pipelined(model, cluster, plan, task, collective_model, utilization)?;
+    Ok((
+        build_pipeline_trace(&costs, &cfg, task.has_backward()),
+        memory,
+    ))
+}
+
+/// The pricing half of the pipeline engine: validate, partition, check
+/// memory, and derive the per-stage costs the schedule builders expand.
+fn price_pipelined(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<
+    (
+        Vec<StageCosts>,
+        madmax_parallel::PipelineConfig,
+        madmax_parallel::MemoryBreakdown,
+    ),
+    PlanError,
+> {
     let Some(cfg) = plan.pipeline.filter(|c| c.is_pipelined()) else {
         return Err(PlanError::InvalidPipeline {
             reason: "plan has no active pipeline config (use the flat engine)".to_owned(),
@@ -86,9 +111,37 @@ fn prepare_pipelined(
         collective_model,
         utilization,
     )?;
-    Ok((
-        build_pipeline_trace(&costs, &cfg, task.has_backward()),
+    Ok((costs, cfg, memory))
+}
+
+/// The pipeline engine's buffer-recycling path: like [`run_pipelined`]
+/// but expanding the schedule into caller-owned buffers, so a
+/// design-space-exploration worker reuses one trace arena, schedule, and
+/// stream-slot table across candidates. The report is byte-identical to
+/// [`run_pipelined`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_pipelined`].
+pub fn run_pipelined_scratch(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    task: &Task,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+    scratch: &mut EngineScratch,
+) -> Result<IterationReport, PlanError> {
+    let (costs, cfg, memory) =
+        price_pipelined(model, cluster, plan, task, collective_model, utilization)?;
+    build_pipeline_trace_into(&costs, &cfg, task.has_backward(), &mut scratch.trace);
+    schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    Ok(IterationReport::from_schedule_in(
+        &scratch.trace,
+        &scratch.sched,
+        model,
         memory,
+        &mut scratch.report,
     ))
 }
 

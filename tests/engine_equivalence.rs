@@ -18,10 +18,10 @@
 #![allow(deprecated)]
 
 use madmax_dse::{Explorer, PipelineAxes, SearchSpace};
-use madmax_engine::{EngineError, Scenario};
+use madmax_engine::{EngineError, EngineScratch, Scenario};
 use madmax_hw::catalog;
-use madmax_model::ModelId;
-use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
+use madmax_model::{LayerClass, ModelId};
+use madmax_parallel::{HierStrategy, PipelineConfig, PipelineSchedule, Plan, Strategy, Task};
 
 fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
     if id.is_dlrm() {
@@ -203,6 +203,167 @@ fn parallel_explorer_is_deterministic() {
         .unwrap();
     assert_eq!(seq.best_plan, par.best_plan);
     assert_eq!(seq.best, par.best);
+}
+
+#[test]
+fn cached_fast_path_is_byte_identical_across_the_zoo() {
+    // The allocation-free evaluation path (shared CostTable + recycled
+    // EngineScratch) must reproduce `Scenario::run`'s reports bit for bit
+    // — success AND error shapes — for flat and pipelined plans. One
+    // scratch is reused across every model and plan, so any state leaking
+    // between candidates through the arena would show up here.
+    let mut scratch = EngineScratch::new();
+    for id in ModelId::ALL {
+        let model = id.build();
+        let sys = system_for(id);
+        let base = Plan::fsdp_baseline(&model);
+        let mut plans = vec![
+            base.clone(),
+            // A strategy variant exercising two-level assignments (OOM for
+            // some models — errors must match too).
+            base.clone().with_strategy(
+                LayerClass::Dense,
+                HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
+            ),
+        ];
+        // A pipelined plan routes run_in through the stage engine.
+        let mut piped = base.clone().with_pipeline(PipelineConfig::gpipe(4, 16));
+        piped.options.ignore_memory_limits = true;
+        plans.push(piped);
+
+        for task in [Task::Pretraining, Task::Inference] {
+            for plan in &plans {
+                let scenario = Scenario::new(&model, &sys).task_ref(&task);
+                let table = scenario.price_plans(std::slice::from_ref(plan));
+                let cached = Scenario::new(&model, &sys)
+                    .task_ref(&task)
+                    .plan_ref(plan)
+                    .costs(&table)
+                    .run_in(&mut scratch);
+                let uncached = Scenario::new(&model, &sys)
+                    .task_ref(&task)
+                    .plan_ref(plan)
+                    .run();
+                match (cached, uncached) {
+                    (Ok(c), Ok(u)) => {
+                        assert_eq!(c, u, "{id} {task} {}", plan.summary());
+                        assert_eq!(
+                            serde_json::to_string(&c).unwrap(),
+                            serde_json::to_string(&u).unwrap(),
+                            "{id} {task} {}: serialized reports differ",
+                            plan.summary()
+                        );
+                    }
+                    (Err(c), Err(u)) => {
+                        assert_eq!(c, u, "{id} {task} {}: errors differ", plan.summary());
+                    }
+                    (c, u) => panic!("{id} {task}: divergent outcomes {c:?} vs {u:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn explorer_fast_path_matches_fresh_scenarios_at_any_thread_count() {
+    // `Explorer::evaluate` (shared cost table, per-worker scratch, borrow-
+    // based scenarios) must return exactly what one-off `Scenario::run`
+    // calls produce, plan for plan, at 1 and N threads — including over a
+    // joint space that mixes flat and pipelined candidates.
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let space = SearchSpace::strategies()
+        .with_classes(vec![LayerClass::Transformer])
+        .with_pipeline(PipelineAxes {
+            stages: vec![1, 8],
+            microbatches: vec![16],
+            schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+        });
+    let explorer = Explorer::new(&model, &sys).space(space);
+    let plans = explorer.candidates();
+    let fresh: Vec<_> = plans
+        .iter()
+        .map(|p| {
+            Scenario::new(&model, &sys)
+                .plan_ref(p)
+                .task(Task::Pretraining)
+                .run()
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        let results = Explorer::new(&model, &sys)
+            .space(
+                SearchSpace::strategies()
+                    .with_classes(vec![LayerClass::Transformer])
+                    .with_pipeline(PipelineAxes {
+                        stages: vec![1, 8],
+                        microbatches: vec![16],
+                        schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+                    }),
+            )
+            .threads(threads)
+            .evaluate(&plans);
+        assert_eq!(results.len(), fresh.len());
+        for (i, (a, b)) in results.iter().zip(&fresh).enumerate() {
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "threads={threads} plan {i}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "threads={threads} plan {i}"),
+                (a, b) => panic!("threads={threads} plan {i}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn op_names_render_todays_exact_strings() {
+    // The structured OpName must reproduce the historical string names
+    // exactly, on real traces from both engines.
+    let dlrm = ModelId::DlrmA.build();
+    let dlrm_sys = catalog::zionex_dlrm_system();
+    let trace = Scenario::new(&dlrm, &dlrm_sys).build_trace().unwrap();
+    let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
+    for expected in [
+        "fwd.embedding_tables.lookup",
+        "fwd.embedding_tables.a2a",
+        "fwd.bottom_mlp.ag",
+        "fwd.bottom_mlp",
+        "bwd.top_mlp.ag_bwd",
+        "bwd.embedding_tables.a2a_bwd",
+        "bwd.embedding_tables.grad_scatter",
+        "update.optimizer",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+
+    let llm = ModelId::Gpt3.build();
+    let llm_sys = catalog::llama_llm_system();
+    let trace = Scenario::new(&llm, &llm_sys).build_trace().unwrap();
+    let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
+    for expected in [
+        "fwd[0].transformer_blocks",
+        "fwd[95].transformer_blocks.ag",
+        "bwd[95].transformer_blocks.rs",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+
+    let plan = Plan::fsdp_baseline(&llm).with_pipeline(PipelineConfig::gpipe(8, 16));
+    let trace = Scenario::new(&llm, &llm_sys)
+        .plan(plan)
+        .build_trace()
+        .unwrap();
+    let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
+    for expected in [
+        "stage0.param.AllGather",
+        "stage0.fwd[0]",
+        "stage0.send_act[0]",
+        "stage7.bwd[15]",
+        "stage1.send_grad[3]",
+        "stage0.grad.ReduceScatter",
+        "stage0.optimizer",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
 }
 
 #[test]

@@ -177,12 +177,12 @@ proptest! {
                 if gap <= i { vec![madmax_core::OpId(i - gap)] } else { vec![] }
             };
             trace.push(TraceOp {
-                name: format!("op{i}"),
+                name: format!("op{i}").into(),
                 stream,
                 kind: OpKind::Gemm { class: LayerClass::Dense },
                 phase: Phase::Forward,
                 duration: Seconds::new(d),
-                deps,
+                deps: deps.into(),
             });
         }
         let sched = schedule(&trace);
@@ -200,6 +200,69 @@ proptest! {
             let stream_sum: Seconds =
                 trace.stream_ops(stream).map(|(_, o)| o.duration).sum();
             prop_assert!(sched.makespan + Seconds::new(1e-9) >= stream_sum);
+        }
+    }
+
+    // The dense stream-slot scheduler must agree exactly with a reference
+    // ordered-map implementation on randomized multi-stream traces that
+    // mix the flat streams with several pipeline stages' stream triples.
+    #[test]
+    fn dense_stream_scheduler_matches_btreemap_reference(
+        durations in prop::collection::vec(0.0f64..10.0, 1..60),
+        streams in prop::collection::vec(0u8..9, 60),
+        dep_gaps in prop::collection::vec(1usize..6, 60),
+    ) {
+        let mut trace = Trace::new();
+        for (i, &d) in durations.iter().enumerate() {
+            let stream = match streams[i % streams.len()] % 9 {
+                0 => StreamId::Compute,
+                1 => StreamId::Comm,
+                2 => StreamId::GradComm,
+                3 => StreamId::StageCompute(0),
+                4 => StreamId::StageComm(0),
+                5 => StreamId::StageGradComm(0),
+                6 => StreamId::StageCompute(1),
+                7 => StreamId::StageComm(1),
+                _ => StreamId::StageGradComm(2),
+            };
+            let gap = dep_gaps[i % dep_gaps.len()];
+            let deps = if gap <= i { vec![madmax_core::OpId(i - gap)] } else { vec![] };
+            trace.push(TraceOp {
+                name: format!("op{i}").into(),
+                stream,
+                kind: OpKind::Gemm { class: LayerClass::Dense },
+                phase: Phase::Forward,
+                duration: Seconds::new(d),
+                deps: deps.into(),
+            });
+        }
+
+        // Reference list scheduler keyed by an ordered map, exactly the
+        // pre-dense-table implementation.
+        let mut stream_avail: std::collections::BTreeMap<StreamId, Seconds> =
+            std::collections::BTreeMap::new();
+        let mut ref_windows: Vec<(Seconds, Seconds)> = Vec::with_capacity(trace.len());
+        let mut ref_makespan = Seconds::ZERO;
+        for op in trace.ops() {
+            let avail = stream_avail.get(&op.stream).copied().unwrap_or(Seconds::ZERO);
+            let deps_done = op
+                .deps
+                .iter()
+                .map(|d| ref_windows[d.0].1)
+                .fold(Seconds::ZERO, Seconds::max);
+            let start = avail.max(deps_done);
+            let finish = start + op.duration;
+            stream_avail.insert(op.stream, finish);
+            ref_makespan = ref_makespan.max(finish);
+            ref_windows.push((start, finish));
+        }
+
+        let sched = schedule(&trace);
+        prop_assert_eq!(sched.makespan, ref_makespan);
+        prop_assert_eq!(sched.windows.len(), ref_windows.len());
+        for (w, (start, finish)) in sched.windows.iter().zip(&ref_windows) {
+            prop_assert_eq!(w.start, *start);
+            prop_assert_eq!(w.finish, *finish);
         }
     }
 
