@@ -10,7 +10,7 @@ use madmax_dse::{sweep_class, Explorer};
 use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
 fn bench_sweep_and_search(c: &mut Criterion) {
     let model = ModelId::DlrmA.build();
@@ -23,7 +23,7 @@ fn bench_sweep_and_search(c: &mut Criterion) {
                 &sys,
                 &base,
                 LayerClass::Dense,
-                &Task::Pretraining,
+                &Workload::pretrain(),
             ))
         })
     });

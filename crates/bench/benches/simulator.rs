@@ -8,7 +8,7 @@ use std::hint::black_box;
 use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
 fn bench_simulate(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_iteration");
@@ -29,7 +29,7 @@ fn bench_simulate(c: &mut Criterion) {
             b.iter(|| {
                 let r = Scenario::new(black_box(&model), black_box(&sys))
                     .plan(black_box(&plan).clone())
-                    .task(Task::Pretraining)
+                    .workload(Workload::pretrain())
                     .run()
                     .unwrap();
                 black_box(r.iteration_time)
@@ -45,7 +45,7 @@ fn bench_trace_vs_schedule(c: &mut Criterion) {
     let plan = Plan::fsdp_baseline(&model);
     let sim = Scenario::new(&model, &sys)
         .plan(plan)
-        .task(Task::Pretraining);
+        .workload(Workload::pretrain());
     c.bench_function("gpt3_trace_build", |b| {
         b.iter(|| black_box(sim.build_trace().unwrap()))
     });

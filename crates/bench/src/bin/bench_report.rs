@@ -1,14 +1,15 @@
 //! Performance-trajectory harness: times `Explorer::explore()` on the
-//! fig10-style joint strategy searches and writes a machine-readable
-//! `BENCH_PR<n>.json` at the repository root. Each PR that claims a hot-path
-//! win re-runs this bin and commits the new point, so the perf history is a
-//! series of comparable JSON files rather than anecdotes.
+//! fig10-style joint strategy searches plus the serve-mode (`fig_serve`)
+//! searches, and writes a machine-readable `BENCH_PR<n>.json` at the
+//! repository root. Each PR that claims a hot-path win (or adds a new
+//! search family) re-runs this bin and commits the new point, so the perf
+//! history is a series of comparable JSON files rather than anecdotes.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p madmax-bench --bin bench_report -- \
-//!     [--threads N] [--out BENCH_PR3.json] [--reps 5] [--baseline PRE.json]
+//!     [--threads N] [--out BENCH_PR4.json] [--reps 5] [--baseline PRE.json]
 //! ```
 //!
 //! With `--baseline`, a previously emitted report (e.g. one produced by
@@ -26,9 +27,10 @@
 
 use std::time::Instant;
 
-use madmax_dse::{Explorer, SearchSpace};
-use madmax_hw::catalog;
-use madmax_model::ModelId;
+use madmax_dse::{Explorer, PipelineAxes, SearchSpace, ServeAxes};
+use madmax_hw::{catalog, DeviceScaling};
+use madmax_model::{LayerClass, ModelId};
+use madmax_parallel::{PipelineSchedule, ServeConfig, Workload};
 use serde::{Deserialize, Serialize};
 
 /// One timed search, as emitted (and re-read via `--baseline`) by this
@@ -57,7 +59,7 @@ fn arg_value(name: &str) -> Option<String> {
 
 fn main() {
     let threads = madmax_bench::threads_from_args();
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_PR4.json".to_owned());
     let reps: usize = arg_value("--reps")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5)
@@ -145,6 +147,58 @@ fn main() {
             pre_pr_wall_ms: pre,
             speedup: pre.map(|p| p / total_ms),
         });
+    }
+
+    // Serve-mode searches (fig_serve, new in PR 4 — no pre-PR point):
+    // the joint (transformer strategy x pipeline x decode batch) search on
+    // the bandwidth-constrained fabric, and its flat (pp=1) half.
+    {
+        let model = ModelId::Llama2.build();
+        let slow = catalog::llama_llm_system().scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0));
+        let workload = Workload::serve(ServeConfig::new(1024, 64));
+        let flat_space = SearchSpace::strategies()
+            .with_classes(vec![LayerClass::Transformer])
+            .with_serve(ServeAxes::batches([256, 512]));
+        let joint_space = flat_space.clone().with_pipeline(PipelineAxes {
+            stages: vec![1, 2, 4, 8],
+            microbatches: vec![8, 16],
+            schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+        });
+        for (label, space) in [("flat", flat_space), ("joint", joint_space)] {
+            let explorer = Explorer::new(&model, &slow)
+                .workload(workload.clone())
+                .space(space)
+                .threads(threads);
+            let outcome = explorer.explore().expect("serve baseline feasible");
+            // (plan x decode-batch) combinations, as tallied by the search
+            // itself.
+            let candidates = outcome.evaluated;
+            let mut best_ms = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let o = explorer.explore().expect("serve baseline feasible");
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
+                best_ms = best_ms.min(ms);
+            }
+            let search = format!("fig_serve/{}/{label}", ModelId::Llama2);
+            let pre = baseline
+                .iter()
+                .find(|r| r.search == search)
+                .map(|r| r.wall_ms);
+            println!(
+                "{search:<42} {candidates:>4} candidates  {best_ms:>9.2} ms  \
+                 ({threads} threads)"
+            );
+            records.push(BenchRecord {
+                search,
+                candidates,
+                wall_ms: best_ms,
+                threads,
+                pre_pr_wall_ms: pre,
+                speedup: pre.map(|p| p / best_ms),
+            });
+        }
     }
 
     let lines: Vec<String> = records

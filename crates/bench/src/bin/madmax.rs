@@ -4,7 +4,11 @@
 //! madmax list                                # models and systems
 //! madmax simulate --model dlrm-a --system zionex \
 //!        --task pretraining --dense "(TP, DDP)"
+//! madmax simulate --model llama2 --system llama \
+//!        --task serve --prompt 1024 --decode 128   # TTFT / TPOT
 //! madmax search   --model gpt-3 --system llama --task inference --threads 8
+//! madmax search   --model llama2 --system llama --task serve \
+//!        --prompt 512 --decode 64                  # serve-mode DSE
 //! madmax config   --model dlrm-b --out /tmp/cfgs   # emit the 3 JSON files
 //! madmax simulate --config-dir /tmp/cfgs           # run from JSON configs
 //! ```
@@ -17,7 +21,7 @@ use madmax_dse::{Explorer, SearchSpace};
 use madmax_engine::Scenario;
 use madmax_hw::{catalog, ClusterSpec};
 use madmax_model::{LayerClass, ModelArch, ModelId};
-use madmax_parallel::{HierStrategy, Plan, Task};
+use madmax_parallel::{HierStrategy, Plan, ServeConfig, Workload};
 
 fn models() -> BTreeMap<&'static str, ModelId> {
     BTreeMap::from([
@@ -72,12 +76,36 @@ impl Args {
     }
 }
 
-fn parse_task(s: &str) -> Result<Task, String> {
-    match s {
-        "pretraining" | "pretrain" | "train" => Ok(Task::Pretraining),
-        "inference" | "infer" => Ok(Task::Inference),
-        "finetune-dense" | "finetune-mlp" => Ok(Task::finetune_only(LayerClass::Dense)),
-        "finetune-embedding" | "finetune-emb" => Ok(Task::finetune_only(LayerClass::Embedding)),
+/// Parses `--task` (plus the serve flags `--prompt`, `--decode`,
+/// `--decode-batch`, `--kv`) into a [`Workload`].
+fn parse_workload(args: &Args) -> Result<Workload, String> {
+    let parse_flag = |key: &str| -> Result<Option<usize>, String> {
+        args.get(key)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--{key} expects a number"))
+            })
+            .transpose()
+    };
+    match args.get("task").unwrap_or("pretraining") {
+        "pretraining" | "pretrain" | "train" => Ok(Workload::pretrain()),
+        "inference" | "infer" => Ok(Workload::inference()),
+        "finetune-dense" | "finetune-mlp" => Ok(Workload::finetune_only(LayerClass::Dense)),
+        "finetune-embedding" | "finetune-emb" => Ok(Workload::finetune_only(LayerClass::Embedding)),
+        "serve" => {
+            let kv_cache = match args.get("kv") {
+                None | Some("true") => true,
+                Some("false") => false,
+                Some(other) => return Err(format!("--kv expects true or false, got `{other}`")),
+            };
+            let cfg = ServeConfig {
+                prompt_len: parse_flag("prompt")?,
+                decode_len: parse_flag("decode")?.unwrap_or(0),
+                decode_batch: parse_flag("decode-batch")?,
+                kv_cache,
+            };
+            Ok(Workload::serve(cfg))
+        }
         other => Err(format!("unknown task `{other}`")),
     }
 }
@@ -118,14 +146,14 @@ fn print_report(
     model: &ModelArch,
     system: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
 ) -> Result<(), String> {
     let report = Scenario::new(model, system)
         .plan(plan.clone())
-        .task(task.clone())
+        .workload(workload.clone())
         .run()
         .map_err(|e| e.to_string())?;
-    println!("workload:        {} ({task})", model.name);
+    println!("workload:        {} ({workload})", model.name);
     println!("system:          {}", system.name);
     println!("plan:            {}", plan.summary());
     println!(
@@ -146,6 +174,17 @@ fn print_report(
         report.exposed_fraction() * 100.0
     );
     println!("memory/device:   {:.1} GB", report.memory.total().as_gb());
+    if report.memory.kv_cache.as_gb() > 0.0 {
+        println!("  kv-cache       {:.1} GB", report.memory.kv_cache.as_gb());
+    }
+    if let Some(s) = &report.serve {
+        println!(
+            "serve:           TTFT {:.3} ms | TPOT {:.3} ms | {:.0} tokens/s out",
+            s.ttft.as_ms(),
+            s.tpot.as_ms(),
+            report.serve_tokens_per_sec().unwrap_or(0.0)
+        );
+    }
     for (k, t) in &report.comm_by_collective {
         println!("  {k:<14} {:.3} ms", t.as_ms());
     }
@@ -188,23 +227,25 @@ fn run() -> Result<(), String> {
                     &cfg.model,
                     &cfg.system,
                     &cfg.experiment.plan,
-                    &cfg.experiment.task,
+                    &cfg.experiment.workload,
                 );
             }
             let model = lookup_model(&args)?;
             let system = lookup_system(&args)?;
-            let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
+            let workload = parse_workload(&args)?;
             let plan = build_plan(&model, &args)?;
-            print_report(&model, &system, &plan, &task)
+            print_report(&model, &system, &plan, &workload)
         }
         "search" => {
             let args = Args::parse(rest)?;
             let model = lookup_model(&args)?;
             let system = lookup_system(&args)?;
-            let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
+            let workload = parse_workload(&args)?;
             let mut space = SearchSpace::strategies();
             space.ignore_memory_limits = args.get("unconstrained") == Some("true");
-            let mut explorer = Explorer::new(&model, &system).task(task).space(space);
+            let mut explorer = Explorer::new(&model, &system)
+                .workload(workload)
+                .space(space);
             if let Some(n) = args.get("threads") {
                 let n: usize = n.parse().map_err(|_| "--threads expects a number")?;
                 explorer = explorer.threads(n);
@@ -233,11 +274,11 @@ fn run() -> Result<(), String> {
                 .unwrap_or_else(catalog::zionex_dlrm_system);
             let out = args.get("out").ok_or("missing --out <dir>")?;
             let plan = build_plan(&model, &args)?;
-            let task = parse_task(args.get("task").unwrap_or("pretraining"))?;
+            let workload = parse_workload(&args)?;
             SimulationConfig {
                 model,
                 system,
-                experiment: ExperimentSpec { task, plan },
+                experiment: ExperimentSpec { workload, plan },
             }
             .write_split(out)
             .map_err(|e| e.to_string())?;

@@ -69,6 +69,10 @@ fn main() {
             "fig_pipeline_schedules",
             Box::new(move || e::pipeline_figs::fig_pipeline_schedules(threads)),
         ),
+        (
+            "fig_serve",
+            Box::new(move || e::serve_figs::fig_serve(threads)),
+        ),
         ("ablations", Box::new(e::ablations::run)),
     ];
     let mut timings: Vec<(&'static str, Duration)> = Vec::with_capacity(runs.len());

@@ -9,7 +9,7 @@ use madmax_dse::{scaling_study, Explorer, ScalingAxis};
 use madmax_engine::{simulate, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{HierStrategy, Plan, Strategy, Task};
+use madmax_parallel::{HierStrategy, Plan, Strategy, Workload};
 use madmax_report::{bar_chart, heading, stacked_bars, Bar, Segment, Table};
 
 /// Figs. 1 and 16: training time vs normalized aggregate GPU-hours across
@@ -114,7 +114,7 @@ pub fn fig17() -> String {
         &model,
         &systems[0].1,
         &Plan::fsdp_baseline(&model),
-        Task::Pretraining,
+        Workload::pretrain(),
     )
     .unwrap();
 
@@ -124,7 +124,7 @@ pub fn fig17() -> String {
         let mut cells = vec![strat.to_string()];
         for (i, (_, sys)) in systems.iter().enumerate() {
             let plan = Plan::fsdp_baseline(&model).with_strategy(LayerClass::Dense, strat);
-            match simulate(&model, sys, &plan, Task::Pretraining) {
+            match simulate(&model, sys, &plan, Workload::pretrain()) {
                 Ok(r) => {
                     let x = r.samples_per_sec() / a100_fsdp.samples_per_sec();
                     best[i] = best[i].max(x);
@@ -202,7 +202,7 @@ pub fn fig19() -> String {
     ];
     for (name, id, sys) in cases {
         let model = id.build();
-        for task in [Task::Pretraining, Task::Inference] {
+        for task in [Workload::pretrain(), Workload::inference()] {
             let points = scaling_study(&model, &sys, &task, 10.0).unwrap();
             out.push_str(&format!("\n{name} {task}:\n"));
             let bars: Vec<Bar> = points

@@ -8,7 +8,7 @@
 use madmax_dse::Explorer;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
-use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
+use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Workload};
 use madmax_pipeline::gpipe_bubble_fraction;
 
 const SCHEDULES: [PipelineSchedule; 2] = [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB];
@@ -59,7 +59,7 @@ pub fn fig_pipeline_schedules(threads: usize) -> String {
             })
             .collect();
         let results = Explorer::new(&model, &system)
-            .task(Task::Pretraining)
+            .workload(Workload::pretrain())
             .threads(threads)
             .evaluate(&plans);
 

@@ -7,7 +7,7 @@ use madmax_dse::{
 use madmax_engine::simulate;
 use madmax_hw::catalog;
 use madmax_model::{DlrmVariant, LayerClass, ModelId};
-use madmax_parallel::{memory_per_device, HierStrategy, Plan, Strategy, Task};
+use madmax_parallel::{memory_per_device, HierStrategy, Plan, Strategy, Workload};
 use madmax_report::{bar_chart, heading, Bar, Table};
 
 fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
@@ -89,8 +89,14 @@ pub fn fig11() -> String {
     let model = ModelId::DlrmA.build();
     let sys = catalog::zionex_dlrm_system();
     let base = Plan::fsdp_baseline(&model);
-    let baseline = simulate(&model, &sys, &base, Task::Pretraining).unwrap();
-    let points = sweep_class(&model, &sys, &base, LayerClass::Dense, &Task::Pretraining);
+    let baseline = simulate(&model, &sys, &base, Workload::pretrain()).unwrap();
+    let points = sweep_class(
+        &model,
+        &sys,
+        &base,
+        LayerClass::Dense,
+        &Workload::pretrain(),
+    );
     out.push_str(&render_sweep(&points, baseline.samples_per_sec()));
     let best = best_point(&points).unwrap();
     out.push_str(&format!(
@@ -126,8 +132,8 @@ pub fn fig12() -> String {
             HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
         );
         let fsdp = Plan::fsdp_baseline(&model);
-        let baseline = simulate(&model, &sys, &fsdp, Task::Pretraining).unwrap();
-        let points = sweep_class(&model, &sys, &base, class, &Task::Pretraining);
+        let baseline = simulate(&model, &sys, &fsdp, Workload::pretrain()).unwrap();
+        let points = sweep_class(&model, &sys, &base, class, &Workload::pretrain());
         out.push_str(&format!("\n{} (sweeping {class} layers):\n", id));
         out.push_str(&render_sweep(&points, baseline.samples_per_sec()));
         if let Some(best) = best_point(&points) {
@@ -145,7 +151,7 @@ pub fn fig12() -> String {
 /// variants, pre-training and inference.
 pub fn fig13() -> String {
     let mut out = heading("Fig. 13: Memory/throughput Pareto curves for DLRM-A variants");
-    for task in [Task::Pretraining, Task::Inference] {
+    for task in [Workload::pretrain(), Workload::inference()] {
         out.push_str(&format!("\n--- {task} ---\n"));
         for variant in [
             DlrmVariant::Base,
@@ -204,11 +210,14 @@ pub fn fig14() -> String {
     let mut out = heading("Fig. 14: Task-level diversity of DLRM-A strategy performance");
     let model = ModelId::DlrmA.build();
     let sys = catalog::zionex_dlrm_system();
-    let tasks: Vec<(&str, Task)> = vec![
-        ("pre-training", Task::Pretraining),
-        ("inference", Task::Inference),
-        ("finetune-MLP", Task::finetune_only(LayerClass::Dense)),
-        ("finetune-emb", Task::finetune_only(LayerClass::Embedding)),
+    let tasks: Vec<(&str, Workload)> = vec![
+        ("pre-training", Workload::pretrain()),
+        ("inference", Workload::inference()),
+        ("finetune-MLP", Workload::finetune_only(LayerClass::Dense)),
+        (
+            "finetune-emb",
+            Workload::finetune_only(LayerClass::Embedding),
+        ),
     ];
     let strategies = [
         HierStrategy::flat(Strategy::Fsdp),

@@ -8,7 +8,7 @@ use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::vit::{vit, VIT_FAMILY};
 use madmax_model::{DlrmVariant, ModelId};
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 use madmax_report::{heading, render_timeline, stacked_bars, Segment, Table, TimelineOp};
 
 /// Fig. 6: generated compute/communication streams for the forward pass of
@@ -20,7 +20,7 @@ pub fn fig06() -> String {
     let plan = Plan::fsdp_baseline(&model);
     let (report, trace, sched) = Scenario::new(&model, &sys)
         .plan(plan)
-        .task(Task::Inference)
+        .workload(Workload::inference())
         .run_with_trace()
         .expect("baseline mapping is feasible");
 

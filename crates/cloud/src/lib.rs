@@ -15,7 +15,7 @@ use madmax_engine::{EngineError, Scenario};
 use madmax_hw::units::BytesPerSec;
 use madmax_hw::{catalog, ClusterSpec, DeviceSpec, FabricKind};
 use madmax_model::ModelArch;
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
 /// A rentable multi-GPU cloud instance type.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -155,7 +155,7 @@ pub fn evaluate(
     let cluster = inst.cluster(instances);
     let (report, plan) = if optimized {
         let r = Explorer::new(model, &cluster)
-            .task(Task::Pretraining)
+            .workload(Workload::pretrain())
             .explore()?;
         (r.best.clone(), r.best_plan.summary())
     } else {

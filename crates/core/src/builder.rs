@@ -1,14 +1,17 @@
-//! Trace construction: turns (model, system, plan, task) into per-device
-//! compute + communication streams with explicit data dependencies
-//! (Section IV-C: "Piecing Together Computation and Comm. Streams").
+//! Trace construction: turns (model, system, plan, workload) into
+//! per-device compute + communication streams with explicit data
+//! dependencies (Section IV-C: "Piecing Together Computation and Comm.
+//! Streams").
 //!
 //! Construction runs in two phases (see [`crate::costs`]):
 //!
-//! 1. **Pricing** — every per-(group, strategy) compute duration and
-//!    collective cost is evaluated once into a [`CostTable`];
+//! 1. **Pricing** — every per-(group, strategy, phase) compute duration
+//!    and collective cost is evaluated once into a [`CostTable`];
 //! 2. **Assembly** — [`CostTable::assemble_into`] walks the model's layer
 //!    groups in execution order for the forward pass and in reverse for
-//!    the backward pass, composing cached costs into ops.
+//!    the backward pass, composing cached costs into ops. Serve
+//!    workloads with decode steps append one single-token pass per
+//!    generated token, chained autoregressively.
 //!
 //! Embedding groups form a side chain (their blocking All2All joins the
 //! dense chain at the feature-combination stage, exactly as in the paper's
@@ -22,7 +25,7 @@
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
 use crate::collective::CollectiveModel;
 use crate::compute::UtilizationModel;
@@ -38,8 +41,8 @@ pub struct TraceBuilder<'a> {
     pub cluster: &'a ClusterSpec,
     /// Workload-to-system mapping.
     pub plan: &'a Plan,
-    /// Task (pre-training / fine-tuning / inference).
-    pub task: &'a Task,
+    /// What the model executes (pre-training / fine-tuning / serving).
+    pub workload: &'a Workload,
     /// Collective cost model.
     pub collective_model: &'a dyn CollectiveModel,
     /// Compute-utilization model.
@@ -52,7 +55,7 @@ impl<'a> TraceBuilder<'a> {
         let mut table = CostTable::new(
             self.model,
             self.cluster,
-            self.task.clone(),
+            self.workload.clone(),
             self.plan.options,
             self.collective_model,
             self.utilization,
@@ -77,14 +80,14 @@ mod tests {
     use madmax_model::ModelId;
     use madmax_parallel::CollectiveKind;
 
-    fn build(model: &ModelArch, task: &Task) -> Trace {
+    fn build(model: &ModelArch, workload: &Workload) -> Trace {
         let cluster = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(model);
         TraceBuilder {
             model,
             cluster: &cluster,
             plan: &plan,
-            task,
+            workload,
             collective_model: &HierarchicalNccl,
             utilization: UtilizationModel::Constant,
         }
@@ -96,7 +99,7 @@ mod tests {
     #[test]
     fn dlrm_forward_matches_fig6_structure() {
         let model = ModelId::DlrmA.build();
-        let trace = build(&model, &Task::Inference);
+        let trace = build(&model, &Workload::inference());
         let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
         // Lookup before A2A; A2A consumed by the interaction stage, not the
         // bottom MLP.
@@ -124,14 +127,14 @@ mod tests {
     #[test]
     fn inference_has_no_backward_ops() {
         let model = ModelId::DlrmA.build();
-        let trace = build(&model, &Task::Inference);
+        let trace = build(&model, &Workload::inference());
         assert!(trace.ops().iter().all(|o| o.phase == Phase::Forward));
     }
 
     #[test]
     fn pretraining_emits_gradient_collectives_and_optimizer() {
         let model = ModelId::DlrmA.build();
-        let trace = build(&model, &Task::Pretraining);
+        let trace = build(&model, &Workload::pretrain());
         let has_rs = trace.ops().iter().any(|o| {
             matches!(
                 o.kind,
@@ -156,7 +159,7 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let trace = build(
             &model,
-            &Task::finetune_only(madmax_model::LayerClass::Embedding),
+            &Workload::finetune_only(madmax_model::LayerClass::Embedding),
         );
         // No backward GEMMs: the paper's Insight 5 simplification.
         let bwd_gemms = trace
@@ -181,11 +184,12 @@ mod tests {
         let model = ModelId::Gpt3.build();
         let cluster = catalog::llama_llm_system();
         let plan = Plan::fsdp_baseline(&model);
+        let workload = Workload::pretrain();
         let trace = TraceBuilder {
             model: &model,
             cluster: &cluster,
             plan: &plan,
-            task: &Task::Pretraining,
+            workload: &workload,
             collective_model: &HierarchicalNccl,
             utilization: UtilizationModel::Constant,
         }
@@ -218,13 +222,13 @@ mod tests {
         let model = ModelId::Gpt3.build();
         let cluster = catalog::llama_llm_system();
         let mut plan = Plan::fsdp_baseline(&model);
-        let task = Task::Pretraining;
+        let workload = Workload::pretrain();
         plan.options.fsdp_prefetch = true;
         let with = TraceBuilder {
             model: &model,
             cluster: &cluster,
             plan: &plan,
-            task: &task,
+            workload: &workload,
             collective_model: &HierarchicalNccl,
             utilization: UtilizationModel::Constant,
         }
@@ -234,7 +238,7 @@ mod tests {
             model: &model,
             cluster: &cluster,
             plan: &plan,
-            task: &task,
+            workload: &workload,
             collective_model: &HierarchicalNccl,
             utilization: UtilizationModel::Constant,
         }
@@ -247,5 +251,39 @@ mod tests {
                 .sum()
         };
         assert!(dep_count(&with) < dep_count(&without));
+    }
+
+    #[test]
+    fn serve_trace_chains_decode_steps_autoregressively() {
+        let model = ModelId::Llama2.build();
+        let cluster = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let workload = Workload::serve(madmax_parallel::ServeConfig::new(256, 3));
+        let trace = TraceBuilder {
+            model: &model,
+            cluster: &cluster,
+            plan: &plan,
+            workload: &workload,
+            collective_model: &HierarchicalNccl,
+            utilization: UtilizationModel::Constant,
+        }
+        .build();
+        // Every decode step's first compute transitively follows the
+        // previous step: the trace stays topologically ordered, and step
+        // boundaries appear in step order.
+        let step_of = |name: &crate::trace::OpName| match name {
+            crate::trace::OpName::DecodeFlat { step, .. } => Some(*step),
+            _ => None,
+        };
+        let mut last_step = None;
+        for op in trace.ops() {
+            if let Some(s) = step_of(&op.name) {
+                if let Some(prev) = last_step {
+                    assert!(s >= prev, "decode steps out of order");
+                }
+                last_step = Some(s);
+            }
+        }
+        assert_eq!(last_step, Some(2));
     }
 }

@@ -4,7 +4,7 @@
 use madmax_hw::units::{ByteCount, FlopCount, Seconds};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerGroup, ModelArch};
-use madmax_parallel::{HierStrategy, Plan, Task};
+use madmax_parallel::{HierStrategy, Plan, Workload};
 
 /// Pass multiplier for backward compute relative to forward: weight
 /// gradients (1x) + input gradients (1x), plus a forward recompute when
@@ -125,14 +125,14 @@ pub fn optimizer_time(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
 ) -> Seconds {
-    if !task.has_backward() {
+    if !workload.has_backward() {
         return Seconds::ZERO;
     }
     let mut bytes = 0.0;
     for group in &model.groups {
-        if !task.trains(group.class) {
+        if !workload.trains(group.class) {
             continue;
         }
         // Sparse embedding updates are fused with the backward gradient
@@ -228,10 +228,10 @@ mod tests {
         let sys = catalog::zionex_dlrm_system();
         let plan = madmax_parallel::Plan::fsdp_baseline(&model);
         assert_eq!(
-            optimizer_time(&model, &sys, &plan, &Task::Inference),
+            optimizer_time(&model, &sys, &plan, &Workload::inference()),
             Seconds::ZERO
         );
-        let t = optimizer_time(&model, &sys, &plan, &Task::Pretraining);
+        let t = optimizer_time(&model, &sys, &plan, &Workload::pretrain());
         assert!(t.as_ms() > 0.0 && t.as_ms() < 10.0, "{}", t.as_ms());
     }
 }

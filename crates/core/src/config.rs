@@ -3,7 +3,10 @@
 //! specifications ..., and 3) task and parallelization strategy".
 //!
 //! Every spec type in the workspace derives serde, so configs round-trip
-//! losslessly; this module adds the file-level glue.
+//! losslessly; this module adds the file-level glue. Experiment specs
+//! written before the `Workload` redesign (a `"task"` field holding a
+//! legacy `Task` variant) still parse: the deprecated variants are mapped
+//! through `Workload::from`, mirroring the in-code shim.
 
 use std::fs;
 use std::path::Path;
@@ -12,16 +15,41 @@ use serde::{Deserialize, Serialize};
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
-/// Task + parallelization strategy, the third of the paper's three JSON
-/// inputs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Workload + parallelization strategy, the third of the paper's three
+/// JSON inputs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExperimentSpec {
-    /// The task to simulate.
-    pub task: Task,
+    /// The workload to simulate (pre-training / fine-tuning / serving).
+    pub workload: Workload,
     /// The workload-to-system mapping.
     pub plan: Plan,
+}
+
+impl Deserialize for ExperimentSpec {
+    /// Accepts the current schema (`"workload"`) and, for one release,
+    /// the pre-`Workload` schema (`"task"` with a legacy `Task` variant).
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::msg("expected map for ExperimentSpec"))?;
+        let field = |k: &str| map.iter().find(|(key, _)| key == k).map(|(_, val)| val);
+        let workload = match (field("workload"), field("task")) {
+            (Some(w), _) => Workload::from_value(w)?,
+            (None, Some(t)) => {
+                #[allow(deprecated)]
+                {
+                    Workload::from(madmax_parallel::Task::from_value(t)?)
+                }
+            }
+            (None, None) => return Err(serde::Error::msg("missing field workload")),
+        };
+        let plan = field("plan")
+            .ok_or_else(|| serde::Error::msg("missing field plan"))
+            .and_then(Plan::from_value)?;
+        Ok(Self { workload, plan })
+    }
 }
 
 /// A fully-specified simulation loaded from configuration.
@@ -31,7 +59,7 @@ pub struct SimulationConfig {
     pub model: ModelArch,
     /// Distributed system.
     pub system: ClusterSpec,
-    /// Task + plan.
+    /// Workload + plan.
     pub experiment: ExperimentSpec,
 }
 
@@ -149,7 +177,7 @@ mod tests {
             model,
             system: catalog::zionex_dlrm_system(),
             experiment: ExperimentSpec {
-                task: Task::Pretraining,
+                workload: Workload::pretrain(),
                 plan,
             },
         }
@@ -194,6 +222,24 @@ mod tests {
     }
 
     #[test]
+    fn legacy_task_field_still_parses() {
+        // Configs emitted before the Workload redesign carry
+        // `"task": "Pretraining"` (or a Finetuning/Inference variant);
+        // they must keep loading, mapped through the deprecated-Task
+        // shim.
+        let cfg = sample();
+        let js = cfg.to_json().unwrap();
+        let legacy = js.replace("\"workload\": \"Pretrain\"", "\"task\": \"Pretraining\"");
+        assert_ne!(js, legacy, "substitution must have applied");
+        let back = SimulationConfig::from_json(&legacy).unwrap();
+        assert_eq!(back, cfg);
+        // Legacy inference maps onto the prefill-only serve workload.
+        let legacy_infer = js.replace("\"workload\": \"Pretrain\"", "\"task\": \"Inference\"");
+        let back = SimulationConfig::from_json(&legacy_infer).unwrap();
+        assert_eq!(back.experiment.workload, Workload::inference());
+    }
+
+    #[test]
     fn parse_error_is_reported() {
         let err = SimulationConfig::from_json("{not json").unwrap_err();
         assert!(matches!(err, ConfigError::Parse(_)));
@@ -209,7 +255,7 @@ mod tests {
             &cfg.model,
             &cfg.system,
             &cfg.experiment.plan,
-            &cfg.experiment.task,
+            &cfg.experiment.workload,
         )
         .unwrap();
         assert!(report.iteration_time.as_ms() > 0.0);

@@ -1,17 +1,27 @@
 //! The pricing phase of the flat engine: a [`CostTable`] of per-group,
-//! per-strategy compute and collective costs, computed once and composed
-//! into traces by the assembly phase ([`CostTable::assemble_into`]).
+//! per-strategy, per-phase compute and collective costs, computed once and
+//! composed into traces by the assembly phase
+//! ([`CostTable::assemble_into`]).
 //!
 //! Pricing is what makes candidate evaluation expensive — every GEMM
 //! duration and every collective's hierarchical cost-model invocation —
 //! yet across a design-space search almost all of it is shared: candidates
 //! differ only in which [`HierStrategy`] each layer class uses. The table
-//! therefore caches, per layer group:
+//! therefore caches, per layer group and per
+//! [`madmax_parallel::WorkloadPhase`]:
 //!
 //! - strategy-independent compute durations (forward GEMM/lookup time,
-//!   backward time with the recompute factor applied), and
+//!   backward time with the recompute factor applied, single-token decode
+//!   time), and
 //! - per-strategy priced collectives ([`PricedComm`]) with pre-rendered
-//!   shared labels.
+//!   shared labels, memory-footprint terms, and — for decode — the
+//!   per-token KV-cache read coefficient.
+//!
+//! Training and prefill-only workloads have one phase; serve workloads
+//! with decode steps carry a second phase context (the model at a
+//! single-token context and the serving batch) whose assembly appends
+//! `decode_len` autoregressive steps after the prefill, each step's
+//! compute stretched by the KV-cache read at its token position.
 //!
 //! `madmax-dse` computes one table per search and shares it read-only
 //! across all worker threads (the table is `Sync`); each candidate's
@@ -20,8 +30,8 @@
 //!
 //! # Sharing contract
 //!
-//! A table is priced for one `(model, cluster, task)` combination and one
-//! set of [`PlanOptions`] (checkpointing and wire precision scale the
+//! A table is priced for one `(model, cluster, workload)` combination and
+//! one set of [`PlanOptions`] (checkpointing and wire precision scale the
 //! priced costs; prefetch, optimizer, and memory knobs scale the cached
 //! memory contributions). Every plan assembled from the table must carry
 //! identical options, modulo `ignore_memory_limits` which only gates the
@@ -31,7 +41,7 @@
 //! `ensure_plan`. Memory feasibility is part of the table too:
 //! [`CostTable::memory_for`] folds cached per-(group, strategy) footprint
 //! contributions into exactly `madmax_parallel::memory_per_device`'s
-//! breakdown.
+//! breakdown (KV-cache term included).
 
 use std::sync::Arc;
 
@@ -41,7 +51,7 @@ use madmax_model::{LayerClass, LayerKind, ModelArch};
 use madmax_parallel::comm::CommPosition;
 use madmax_parallel::{
     derive_layer_comm, CollectiveKind, CommReq, HierStrategy, MemoryBreakdown, Plan, PlanError,
-    PlanOptions, Task, Urgency,
+    PlanOptions, Urgency, Workload,
 };
 
 use crate::collective::CollectiveModel;
@@ -49,6 +59,8 @@ use crate::compute::{
     backward_flops_factor, compute_time, device_flops_fwd, device_lookup_bytes, lookup_time,
     optimizer_time, UtilizationModel,
 };
+use crate::metrics::ServeStats;
+use crate::sim::Schedule;
 use crate::trace::{Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp};
 
 /// One collective, priced and labeled: everything assembly needs to emit
@@ -90,13 +102,20 @@ pub struct StrategyCosts {
     /// Transient FSDP gather buffer (zero when the strategy has no FSDP
     /// level; folded with `max` across groups).
     pub mem_fsdp_transient: ByteCount,
+    /// KV-cache bytes at maximum length for the group's attention layers
+    /// (serve workloads with `kv_cache` modeling; zero otherwise).
+    pub mem_kv_cache: ByteCount,
+    /// Per-token KV-cache read time of one layer instance (decode-phase
+    /// entries only): a decode step at cache length `L` spends
+    /// `kv_read_per_token * L` reading keys/values from HBM.
+    pub kv_read_per_token: Seconds,
     /// Whether the strategy may be applied to this group's class at all
     /// (`HierStrategy::allowed_for`); checked during the memory fold so
     /// invalid candidates error exactly like `validate_strategies`.
     pub allowed: bool,
 }
 
-/// Cached costs and metadata of one layer group.
+/// Cached costs and metadata of one layer group in one workload phase.
 #[derive(Debug, Clone)]
 struct GroupCosts {
     class: LayerClass,
@@ -106,7 +125,7 @@ struct GroupCosts {
     /// MLP group: a side-branch input that does not consume the pending
     /// embedding outputs (the feature-combination join happens later).
     is_mlp: bool,
-    /// Whether the table's task trains this group's class.
+    /// Whether the table's workload trains this group's class.
     trains: bool,
     name: Arc<str>,
     lookup_label: Arc<str>,
@@ -139,13 +158,32 @@ impl GroupCosts {
     }
 }
 
+/// The decode-phase context of a serve workload: the model at a
+/// single-token context and the serving batch, its priced groups, and the
+/// decode-stream dimensions.
+#[derive(Debug)]
+struct DecodePhase {
+    /// Effective single-token model (`context_length = 1`, serving batch).
+    model: ModelArch,
+    local_batch: f64,
+    decode_len: usize,
+    /// Tokens already in the KV-cache when decode step 0 runs (the
+    /// resolved prompt length).
+    prompt_len: usize,
+    groups: Vec<GroupCosts>,
+}
+
 /// Shared, read-only cost cache for the flat engine (see the module docs
 /// for the sharing contract).
 #[derive(Debug)]
 pub struct CostTable<'a> {
+    /// The caller's model, as passed in (identity handle).
     model: &'a ModelArch,
+    /// The primary-phase effective model, when the workload overrides the
+    /// context length (serve prompt) or global batch (serving batch).
+    eff: Option<Box<ModelArch>>,
     cluster: &'a ClusterSpec,
-    task: Task,
+    workload: Workload,
     options: PlanOptions,
     collectives: &'a dyn CollectiveModel,
     local_batch: f64,
@@ -153,6 +191,7 @@ pub struct CostTable<'a> {
     /// Layer classes present in the model, each with the indices of its
     /// groups (first-appearance order).
     class_groups: Vec<(LayerClass, Vec<usize>)>,
+    decode: Option<Box<DecodePhase>>,
 }
 
 /// Every option except `ignore_memory_limits` (which only gates the
@@ -167,69 +206,111 @@ fn pricing_options_match(a: &PlanOptions, b: &PlanOptions) -> bool {
     neutral(a) == neutral(b)
 }
 
+/// Prices the strategy-independent costs of every layer group of one
+/// phase's effective model.
+fn price_phase_groups(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    workload: &Workload,
+    options: &PlanOptions,
+    utilization: UtilizationModel,
+    local_batch: f64,
+) -> Vec<GroupCosts> {
+    model
+        .groups
+        .iter()
+        .map(|group| {
+            let is_embedding = group.kind.is_memory_bound();
+            let (fwd_compute, bwd_compute) = if is_embedding {
+                let t = lookup_time(device_lookup_bytes(group, model, cluster), cluster);
+                (t, t)
+            } else {
+                // `device_flops_fwd` is strategy-independent (balanced
+                // work); price with the baseline strategy handle.
+                let strategy = HierStrategy::flat(madmax_parallel::Strategy::Fsdp);
+                let flops = device_flops_fwd(group, model, cluster, &strategy, local_batch);
+                let recompute = options.activation_checkpointing
+                    && matches!(
+                        group.kind,
+                        LayerKind::TransformerBlock(_) | LayerKind::Moe(_)
+                    );
+                (
+                    compute_time(flops, model, cluster, &utilization),
+                    compute_time(
+                        flops * backward_flops_factor(recompute),
+                        model,
+                        cluster,
+                        &utilization,
+                    ),
+                )
+            };
+            let mem_activations = group.kind.activation_bytes_per_sample(
+                model.context_length,
+                model.compute_dtype,
+                options.activation_checkpointing,
+            ) * local_batch;
+            GroupCosts {
+                class: group.class,
+                repeat: group.repeat,
+                is_embedding,
+                is_mlp: matches!(group.kind, LayerKind::Mlp(_)),
+                trains: workload.trains(group.class),
+                name: Arc::from(group.name.as_str()),
+                lookup_label: Arc::from(format!("{}.lookup", group.name).as_str()),
+                scatter_label: Arc::from(format!("{}.grad_scatter", group.name).as_str()),
+                fwd_compute,
+                bwd_compute,
+                mem_activations,
+                by_strategy: Vec::new(),
+            }
+        })
+        .collect()
+}
+
 impl<'a> CostTable<'a> {
-    /// Prices the strategy-independent costs of every layer group; call
+    /// Prices the strategy-independent costs of every layer group (for a
+    /// serve workload with decode steps: of both phases); call
     /// [`CostTable::ensure_plan`] to add per-strategy collective costs.
     pub fn new(
         model: &'a ModelArch,
         cluster: &'a ClusterSpec,
-        task: Task,
+        workload: Workload,
         options: PlanOptions,
         collectives: &'a dyn CollectiveModel,
         utilization: UtilizationModel,
     ) -> Self {
-        let local_batch = model.global_batch as f64 / cluster.total_devices() as f64;
-        let groups = model
-            .groups
-            .iter()
-            .map(|group| {
-                let is_embedding = group.kind.is_memory_bound();
-                let (fwd_compute, bwd_compute) = if is_embedding {
-                    let t = lookup_time(device_lookup_bytes(group, model, cluster), cluster);
-                    (t, t)
-                } else {
-                    // `device_flops_fwd` is strategy-independent (balanced
-                    // work); price with the baseline strategy handle.
-                    let strategy = HierStrategy::flat(madmax_parallel::Strategy::Fsdp);
-                    let flops = device_flops_fwd(group, model, cluster, &strategy, local_batch);
-                    let recompute = options.activation_checkpointing
-                        && matches!(
-                            group.kind,
-                            LayerKind::TransformerBlock(_) | LayerKind::Moe(_)
-                        );
-                    (
-                        compute_time(flops, model, cluster, &utilization),
-                        compute_time(
-                            flops * backward_flops_factor(recompute),
-                            model,
-                            cluster,
-                            &utilization,
-                        ),
-                    )
-                };
-                let mem_activations = group.kind.activation_bytes_per_sample(
-                    model.context_length,
-                    model.compute_dtype,
-                    options.activation_checkpointing,
-                ) * local_batch;
-                GroupCosts {
-                    class: group.class,
-                    repeat: group.repeat,
-                    is_embedding,
-                    is_mlp: matches!(group.kind, LayerKind::Mlp(_)),
-                    trains: task.trains(group.class),
-                    name: Arc::from(group.name.as_str()),
-                    lookup_label: Arc::from(format!("{}.lookup", group.name).as_str()),
-                    scatter_label: Arc::from(format!("{}.grad_scatter", group.name).as_str()),
-                    fwd_compute,
-                    bwd_compute,
-                    mem_activations,
-                    by_strategy: Vec::new(),
-                }
+        let eff = match workload.effective_model(model) {
+            std::borrow::Cow::Borrowed(_) => None,
+            std::borrow::Cow::Owned(m) => Some(Box::new(m)),
+        };
+        let primary: &ModelArch = eff.as_deref().unwrap_or(model);
+        let devices = cluster.total_devices() as f64;
+        let local_batch = primary.global_batch as f64 / devices;
+        let groups = price_phase_groups(
+            primary,
+            cluster,
+            &workload,
+            &options,
+            utilization,
+            local_batch,
+        );
+        let decode = workload.decode_model(primary).map(|dm| {
+            let d_local = dm.global_batch as f64 / devices;
+            let groups =
+                price_phase_groups(&dm, cluster, &workload, &options, utilization, d_local);
+            let cfg = workload
+                .serve_config()
+                .expect("decode model implies a serve workload");
+            Box::new(DecodePhase {
+                local_batch: d_local,
+                decode_len: cfg.decode_len,
+                prompt_len: primary.context_length,
+                groups,
+                model: dm,
             })
-            .collect();
+        });
         let mut class_groups: Vec<(LayerClass, Vec<usize>)> = Vec::new();
-        for (gi, group) in model.groups.iter().enumerate() {
+        for (gi, group) in primary.groups.iter().enumerate() {
             match class_groups.iter_mut().find(|(c, _)| *c == group.class) {
                 Some((_, v)) => v.push(gi),
                 None => class_groups.push((group.class, vec![gi])),
@@ -237,19 +318,29 @@ impl<'a> CostTable<'a> {
         }
         Self {
             model,
+            eff,
             cluster,
-            task,
+            workload,
             options,
             collectives,
             local_batch,
             groups,
             class_groups,
+            decode,
         }
     }
 
-    /// The model this table was priced for.
+    /// The model this table was priced for (the caller's handle, used for
+    /// identity checks).
     pub fn model(&self) -> &'a ModelArch {
         self.model
+    }
+
+    /// The primary-phase effective model: identical to [`CostTable::model`]
+    /// unless the workload overrides the context length or batch (serve
+    /// prompt/batch). Reports are built against this model.
+    pub fn report_model(&self) -> &ModelArch {
+        self.eff.as_deref().unwrap_or(self.model)
     }
 
     /// The cluster this table was priced for.
@@ -257,14 +348,15 @@ impl<'a> CostTable<'a> {
         self.cluster
     }
 
-    /// The task this table was priced for.
-    pub fn task(&self) -> &Task {
-        &self.task
+    /// The workload this table was priced for.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
     }
 
     /// Prices (once) the collective costs for each layer group under the
-    /// strategies `plan` assigns. Safe to call with every candidate of a
-    /// search; already-priced strategies are skipped.
+    /// strategies `plan` assigns — for every phase of the workload. Safe
+    /// to call with every candidate of a search; already-priced strategies
+    /// are skipped.
     ///
     /// # Panics
     ///
@@ -290,24 +382,44 @@ impl<'a> CostTable<'a> {
             }
             for i in 0..self.class_groups[ci].1.len() {
                 let gi = self.class_groups[ci].1[i];
-                let costs = self.price_group(gi, strategy, plan);
+                let costs = self.price_group(gi, strategy, plan, false);
                 self.groups[gi].by_strategy.push((strategy, costs));
+                let decode_costs = self
+                    .decode
+                    .is_some()
+                    .then(|| self.price_group(gi, strategy, plan, true));
+                if let (Some(costs), Some(dec)) = (decode_costs, self.decode.as_mut()) {
+                    dec.groups[gi].by_strategy.push((strategy, costs));
+                }
             }
         }
     }
 
     /// Prices one layer group under one strategy (collectives + memory
-    /// contributions), mirroring `TraceBuilder` and
-    /// `madmax_parallel::memory_per_device` exactly.
-    fn price_group(&self, gi: usize, strategy: HierStrategy, plan: &Plan) -> StrategyCosts {
-        let group = &self.model.groups[gi];
+    /// contributions), mirroring `madmax_parallel::memory_per_device`
+    /// exactly. With `decode` the group is priced in the decode-phase
+    /// context (single-token payloads, KV-read coefficient).
+    fn price_group(
+        &self,
+        gi: usize,
+        strategy: HierStrategy,
+        plan: &Plan,
+        decode: bool,
+    ) -> StrategyCosts {
+        let (phase_model, local_batch) = if decode {
+            let dec = self.decode.as_ref().expect("decode pricing context");
+            (&dec.model, dec.local_batch)
+        } else {
+            (self.report_model(), self.local_batch)
+        };
+        let group = &phase_model.groups[gi];
         let comm = derive_layer_comm(
             group,
             plan,
-            self.model,
+            phase_model,
             self.cluster,
-            &self.task,
-            self.local_batch,
+            &self.workload,
+            local_batch,
         );
         let price = |reqs: &[CommReq]| -> Vec<PricedComm> {
             reqs.iter()
@@ -325,19 +437,19 @@ impl<'a> CostTable<'a> {
         // Memory contributions, mirroring
         // `madmax_parallel::memory_per_device`'s per-group terms.
         let shard = strategy.param_shard_factor(self.cluster);
-        let p_inst = madmax_parallel::comm::instance_param_bytes(group, self.model);
+        let p_inst = madmax_parallel::comm::instance_param_bytes(group, phase_model);
         let p_group = p_inst * group.repeat as f64;
         let sparse = matches!(group.kind, LayerKind::EmbeddingBag(_));
         let opt = self.options.optimizer_for(group.class);
         let mem_optimizer = ByteCount::new(opt.state_bytes(group.kind.params(), &group.kind))
             * group.repeat as f64
             / shard;
+        let tp_part = strategy.compute_shard_factor(self.cluster);
         let has_fsdp = strategy
             .levels(self.cluster)
             .iter()
             .any(|l| l.strategy == madmax_parallel::Strategy::Fsdp);
         let mem_fsdp_transient = if has_fsdp {
-            let tp_part = strategy.compute_shard_factor(self.cluster);
             // FSDP's gather unit is the largest parameter tensor it
             // materializes at once: a whole dense layer, but only one
             // expert for MoE layers.
@@ -349,6 +461,27 @@ impl<'a> CostTable<'a> {
             unit / tp_part * buffers
         } else {
             ByteCount::ZERO
+        };
+
+        // KV-cache terms (serve workloads with cache modeling only): the
+        // maximum-length footprint charged to the primary phase's memory
+        // fold, and the per-token read coefficient driving decode steps.
+        let kv_cfg = self.workload.serve_config().filter(|c| c.kv_cache);
+        let per_token = group
+            .kind
+            .kv_cache_bytes_per_token(phase_model.compute_dtype);
+        let mem_kv_cache = match kv_cfg {
+            Some(cfg) if !decode && !per_token.is_zero() => {
+                let kv_len = cfg.max_kv_len(phase_model.context_length) as f64;
+                per_token * kv_len * local_batch * group.repeat as f64 / tp_part
+            }
+            _ => ByteCount::ZERO,
+        };
+        let kv_read_per_token = match kv_cfg {
+            Some(_) if decode && !per_token.is_zero() => {
+                lookup_time(per_token * local_batch / tp_part, self.cluster)
+            }
+            _ => Seconds::ZERO,
         };
 
         StrategyCosts {
@@ -363,6 +496,8 @@ impl<'a> CostTable<'a> {
             },
             mem_optimizer,
             mem_fsdp_transient,
+            mem_kv_cache,
+            kv_read_per_token,
             allowed: strategy.allowed_for(group.class),
         }
     }
@@ -387,7 +522,7 @@ impl<'a> CostTable<'a> {
             pricing_options_match(&self.options, &plan.options),
             "plan options diverge from the cost table's pricing context"
         );
-        let training = self.task.has_backward();
+        let training = self.workload.has_backward();
         let mut out = MemoryBreakdown::default();
         for g in &self.groups {
             let sc = g.costs_for(plan.strategy_for(g.class));
@@ -407,6 +542,7 @@ impl<'a> CostTable<'a> {
             } else {
                 out.activations = out.activations.max(g.mem_activations);
             }
+            out.kv_cache += sc.mem_kv_cache;
             out.fsdp_transient = out.fsdp_transient.max(sc.mem_fsdp_transient);
         }
         if plan.options.ignore_memory_limits {
@@ -422,13 +558,28 @@ impl<'a> CostTable<'a> {
         Ok(out)
     }
 
+    /// The serve metrics of a scheduled trace assembled from this table,
+    /// or `None` when the workload has no decode phase.
+    pub fn serve_stats(&self, trace: &Trace, sched: &Schedule) -> Option<ServeStats> {
+        let dec = self.decode.as_ref()?;
+        Some(crate::metrics::serve_stats_from(
+            trace,
+            sched,
+            dec.prompt_len,
+            dec.decode_len,
+            dec.model.global_batch,
+        ))
+    }
+
     /// The assembly phase: builds the full per-iteration trace for `plan`
     /// into `trace` (cleared first), composing cached costs.
     ///
-    /// This reproduces `TraceBuilder`'s op stream exactly — same ops, same
-    /// order, same durations, same dependencies — without invoking the
-    /// compute or collective cost models and without allocating op names
-    /// or (≤ 2-entry) dependency lists.
+    /// Training and prefill-only workloads reproduce `TraceBuilder`'s op
+    /// stream exactly — same ops, same order, same durations, same
+    /// dependencies. Serve workloads with decode steps append
+    /// `decode_len` autoregressive single-token passes after the prefill,
+    /// each chained on the previous step's output and stretched by the
+    /// KV-cache read at its token position.
     ///
     /// # Panics
     ///
@@ -441,19 +592,67 @@ impl<'a> CostTable<'a> {
             "plan options diverge from the cost table's pricing context"
         );
         trace.clear();
+
+        // ---------------- Forward pass (training fwd / prefill) --------
+        let final_fwd = self.assemble_forward(plan, trace, None);
+        let final_fwd_id = final_fwd.unwrap_or(OpId(0));
+
+        // ---------------- Backward pass ----------------
+        if self.workload.has_backward() && !trace.is_empty() {
+            self.assemble_backward(plan, trace, final_fwd_id);
+        }
+
+        // ---------------- Decode steps ----------------
+        if let Some(dec) = &self.decode {
+            let mut tail = final_fwd;
+            for step in 0..dec.decode_len {
+                let ctx = DecodeCtx {
+                    step: step as u32,
+                    kv_len: (dec.prompt_len + step) as f64,
+                    seed: tail,
+                };
+                tail = self.assemble_forward(plan, trace, Some(ctx));
+            }
+        }
+    }
+
+    /// One forward sweep over a phase's layer groups: the training/prefill
+    /// forward pass (`decode = None`), or one autoregressive decode step.
+    /// Returns the chain's final output op.
+    fn assemble_forward(
+        &self,
+        plan: &Plan,
+        trace: &mut Trace,
+        decode: Option<DecodeCtx>,
+    ) -> Option<OpId> {
         let prefetch = plan.options.fsdp_prefetch;
+        let groups = match &decode {
+            Some(_) => &self.decode.as_ref().expect("decode phase priced").groups,
+            None => &self.groups,
+        };
+        let phase = match &decode {
+            Some(_) => Phase::Decode,
+            None => Phase::Forward,
+        };
+        let name_for = |ctx: &Option<DecodeCtx>, inst_tag: Option<u32>, label: &Arc<str>| match ctx
+        {
+            Some(c) => OpName::decode(c.step, inst_tag, label),
+            None => OpName::flat(PassDir::Fwd, inst_tag, label),
+        };
 
-        // ---------------- Forward pass ----------------
-        let mut last_out: Option<OpId> = None; // dense-chain tail
+        let seed = decode.as_ref().and_then(|c| c.seed);
+        let mut last_out: Option<OpId> = seed; // dense-chain tail
         let mut pending_join = Deps::none(); // embedding-side outputs
-        let mut last_compute: Option<OpId> = None; // for just-in-time gathers
+        let mut last_compute: Option<OpId> = seed; // for just-in-time gathers
 
-        for g in &self.groups {
+        for g in groups {
             let sc = g.costs_for(plan.strategy_for(g.class));
             for inst in 0..g.repeat {
                 let inst_tag = (g.repeat > 1).then_some(inst as u32);
 
-                // Input dependencies of this layer's compute.
+                // Input dependencies of this layer's compute. In a decode
+                // step the embedding chain also hangs off the previous
+                // token (autoregression feeds the generated token back).
                 let mut base_deps = Deps::none();
                 if !g.is_embedding {
                     if let Some(l) = last_out {
@@ -464,6 +663,10 @@ impl<'a> CostTable<'a> {
                         // outputs.
                         base_deps.extend_from(&pending_join);
                         pending_join.clear();
+                    }
+                } else if decode.is_some() {
+                    if let Some(s) = seed {
+                        base_deps.push(s);
                     }
                 }
 
@@ -480,10 +683,10 @@ impl<'a> CostTable<'a> {
                         _ => base_deps.clone(),
                     };
                     let id = trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Fwd, inst_tag, &pc.label),
+                        name: name_for(&decode, inst_tag, &pc.label),
                         stream: StreamId::Comm,
                         kind: OpKind::Collective { kind: pc.kind },
-                        phase: Phase::Forward,
+                        phase,
                         duration: pc.duration,
                         deps,
                     });
@@ -495,26 +698,32 @@ impl<'a> CostTable<'a> {
                     }
                 }
 
-                // The layer's compute (or HBM lookup) op.
+                // The layer's compute (or HBM lookup) op. Decode-step
+                // attention additionally reads the KV-cache at the step's
+                // token position.
+                let duration = match &decode {
+                    Some(c) => g.fwd_compute + sc.kv_read_per_token * c.kv_len,
+                    None => g.fwd_compute,
+                };
                 let mut deps = base_deps;
                 deps.extend_from(&gate_deps);
                 deps.sort_dedup();
                 let compute_id = if g.is_embedding {
                     trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Fwd, inst_tag, &g.lookup_label),
+                        name: name_for(&decode, inst_tag, &g.lookup_label),
                         stream: StreamId::Compute,
                         kind: OpKind::Lookup,
-                        phase: Phase::Forward,
-                        duration: g.fwd_compute,
+                        phase,
+                        duration,
                         deps,
                     })
                 } else {
                     trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Fwd, inst_tag, &g.name),
+                        name: name_for(&decode, inst_tag, &g.name),
                         stream: StreamId::Compute,
                         kind: OpKind::Gemm { class: g.class },
-                        phase: Phase::Forward,
-                        duration: g.fwd_compute,
+                        phase,
+                        duration,
                         deps,
                     })
                 };
@@ -529,10 +738,10 @@ impl<'a> CostTable<'a> {
                     .filter(|r| r.position == CommPosition::AfterCompute)
                 {
                     out = trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Fwd, inst_tag, &pc.label),
+                        name: name_for(&decode, inst_tag, &pc.label),
                         stream: StreamId::Comm,
                         kind: OpKind::Collective { kind: pc.kind },
-                        phase: Phase::Forward,
+                        phase,
                         duration: pc.duration,
                         deps: Deps::one(out),
                     });
@@ -546,115 +755,29 @@ impl<'a> CostTable<'a> {
             }
         }
 
-        let final_fwd = last_out
-            .or_else(|| pending_join.as_slice().last().copied())
-            .unwrap_or(OpId(0));
+        last_out.or_else(|| pending_join.as_slice().last().copied())
+    }
 
-        // ---------------- Backward pass ----------------
-        if self.task.has_backward() && !trace.is_empty() {
-            let mut last_bwd = final_fwd;
-            let mut grad_ops = Deps::none();
+    /// The backward pass + optimizer step of a training iteration.
+    fn assemble_backward(&self, plan: &Plan, trace: &mut Trace, final_fwd: OpId) {
+        let prefetch = plan.options.fsdp_prefetch;
+        let mut last_bwd = final_fwd;
+        let mut grad_ops = Deps::none();
 
-            for g in self.groups.iter().rev() {
-                if !g.trains {
-                    continue; // frozen layers' gradient work is omitted
-                }
-                let sc = g.costs_for(plan.strategy_for(g.class));
+        for g in self.groups.iter().rev() {
+            if !g.trains {
+                continue; // frozen layers' gradient work is omitted
+            }
+            let sc = g.costs_for(plan.strategy_for(g.class));
 
-                for inst in (0..g.repeat).rev() {
-                    let inst_tag = (g.repeat > 1).then_some(inst as u32);
+            for inst in (0..g.repeat).rev() {
+                let inst_tag = (g.repeat > 1).then_some(inst as u32);
 
-                    if g.is_embedding {
-                        // Gradients are routed back to shard owners, then
-                        // scattered into HBM; both off the dense critical
-                        // path.
-                        let mut dep = Deps::one(last_bwd);
-                        for pc in &sc.grad {
-                            let id = trace.push(TraceOp {
-                                name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
-                                stream: StreamId::GradComm,
-                                kind: OpKind::Collective { kind: pc.kind },
-                                phase: Phase::Backward,
-                                duration: pc.duration,
-                                deps: dep.clone(),
-                            });
-                            dep = Deps::one(id);
-                        }
-                        let scatter = trace.push(TraceOp {
-                            name: OpName::flat(PassDir::Bwd, inst_tag, &g.scatter_label),
-                            stream: StreamId::Compute,
-                            kind: OpKind::Lookup,
-                            phase: Phase::Backward,
-                            duration: g.fwd_compute,
-                            deps: dep,
-                        });
-                        grad_ops.push(scatter);
-                        continue;
-                    }
-
-                    // Pre-compute backward collectives (FSDP re-gather,
-                    // MoE combine_bwd).
-                    let mut base_deps = Deps::one(last_bwd);
-                    let mut gate_deps = Deps::none();
-                    for pc in sc
-                        .backward
-                        .iter()
-                        .filter(|r| r.position == CommPosition::BeforeCompute)
-                    {
-                        let deps = match pc.urgency {
-                            Urgency::Prefetchable if prefetch => Deps::none(),
-                            Urgency::Prefetchable => Deps::one(last_bwd),
-                            _ => base_deps.clone(),
-                        };
-                        let id = trace.push(TraceOp {
-                            name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
-                            stream: StreamId::Comm,
-                            kind: OpKind::Collective { kind: pc.kind },
-                            phase: Phase::Backward,
-                            duration: pc.duration,
-                            deps,
-                        });
-                        if pc.urgency == Urgency::Blocking {
-                            base_deps = Deps::one(id);
-                        } else {
-                            gate_deps.push(id);
-                        }
-                    }
-
-                    // Backward compute: weight + input gradients, plus a
-                    // forward recompute for checkpointed blocks (already
-                    // folded into the cached duration).
-                    let mut deps = base_deps;
-                    deps.extend_from(&gate_deps);
-                    deps.sort_dedup();
-                    let bwd_compute = trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Bwd, inst_tag, &g.name),
-                        stream: StreamId::Compute,
-                        kind: OpKind::Gemm { class: g.class },
-                        phase: Phase::Backward,
-                        duration: g.bwd_compute,
-                        deps,
-                    });
-                    last_bwd = bwd_compute;
-
-                    // Post-compute blocking backward collectives.
-                    for pc in sc
-                        .backward
-                        .iter()
-                        .filter(|r| r.position == CommPosition::AfterCompute)
-                    {
-                        last_bwd = trace.push(TraceOp {
-                            name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
-                            stream: StreamId::Comm,
-                            kind: OpKind::Collective { kind: pc.kind },
-                            phase: Phase::Backward,
-                            duration: pc.duration,
-                            deps: Deps::one(last_bwd),
-                        });
-                    }
-
-                    // Weight-gradient collectives: deferred, off the
-                    // critical path until the optimizer.
+                if g.is_embedding {
+                    // Gradients are routed back to shard owners, then
+                    // scattered into HBM; both off the dense critical
+                    // path.
+                    let mut dep = Deps::one(last_bwd);
                     for pc in &sc.grad {
                         let id = trace.push(TraceOp {
                             name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
@@ -662,30 +785,126 @@ impl<'a> CostTable<'a> {
                             kind: OpKind::Collective { kind: pc.kind },
                             phase: Phase::Backward,
                             duration: pc.duration,
-                            deps: Deps::one(bwd_compute),
+                            deps: dep.clone(),
                         });
-                        grad_ops.push(id);
+                        dep = Deps::one(id);
+                    }
+                    let scatter = trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Bwd, inst_tag, &g.scatter_label),
+                        stream: StreamId::Compute,
+                        kind: OpKind::Lookup,
+                        phase: Phase::Backward,
+                        duration: g.fwd_compute,
+                        deps: dep,
+                    });
+                    grad_ops.push(scatter);
+                    continue;
+                }
+
+                // Pre-compute backward collectives (FSDP re-gather,
+                // MoE combine_bwd).
+                let mut base_deps = Deps::one(last_bwd);
+                let mut gate_deps = Deps::none();
+                for pc in sc
+                    .backward
+                    .iter()
+                    .filter(|r| r.position == CommPosition::BeforeCompute)
+                {
+                    let deps = match pc.urgency {
+                        Urgency::Prefetchable if prefetch => Deps::none(),
+                        Urgency::Prefetchable => Deps::one(last_bwd),
+                        _ => base_deps.clone(),
+                    };
+                    let id = trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                        stream: StreamId::Comm,
+                        kind: OpKind::Collective { kind: pc.kind },
+                        phase: Phase::Backward,
+                        duration: pc.duration,
+                        deps,
+                    });
+                    if pc.urgency == Urgency::Blocking {
+                        base_deps = Deps::one(id);
+                    } else {
+                        gate_deps.push(id);
                     }
                 }
-            }
 
-            // Optimizer step waits on every gradient.
-            let mut deps = grad_ops;
-            deps.push(last_bwd);
-            deps.sort_dedup();
-            let opt_dur = optimizer_time(self.model, self.cluster, plan, &self.task);
-            if opt_dur > Seconds::ZERO {
-                trace.push(TraceOp {
-                    name: OpName::UpdateOptimizer,
+                // Backward compute: weight + input gradients, plus a
+                // forward recompute for checkpointed blocks (already
+                // folded into the cached duration).
+                let mut deps = base_deps;
+                deps.extend_from(&gate_deps);
+                deps.sort_dedup();
+                let bwd_compute = trace.push(TraceOp {
+                    name: OpName::flat(PassDir::Bwd, inst_tag, &g.name),
                     stream: StreamId::Compute,
-                    kind: OpKind::Optimizer,
-                    phase: Phase::Update,
-                    duration: opt_dur,
+                    kind: OpKind::Gemm { class: g.class },
+                    phase: Phase::Backward,
+                    duration: g.bwd_compute,
                     deps,
                 });
+                last_bwd = bwd_compute;
+
+                // Post-compute blocking backward collectives.
+                for pc in sc
+                    .backward
+                    .iter()
+                    .filter(|r| r.position == CommPosition::AfterCompute)
+                {
+                    last_bwd = trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                        stream: StreamId::Comm,
+                        kind: OpKind::Collective { kind: pc.kind },
+                        phase: Phase::Backward,
+                        duration: pc.duration,
+                        deps: Deps::one(last_bwd),
+                    });
+                }
+
+                // Weight-gradient collectives: deferred, off the
+                // critical path until the optimizer.
+                for pc in &sc.grad {
+                    let id = trace.push(TraceOp {
+                        name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                        stream: StreamId::GradComm,
+                        kind: OpKind::Collective { kind: pc.kind },
+                        phase: Phase::Backward,
+                        duration: pc.duration,
+                        deps: Deps::one(bwd_compute),
+                    });
+                    grad_ops.push(id);
+                }
             }
         }
+
+        // Optimizer step waits on every gradient.
+        let mut deps = grad_ops;
+        deps.push(last_bwd);
+        deps.sort_dedup();
+        let opt_dur = optimizer_time(self.report_model(), self.cluster, plan, &self.workload);
+        if opt_dur > Seconds::ZERO {
+            trace.push(TraceOp {
+                name: OpName::UpdateOptimizer,
+                stream: StreamId::Compute,
+                kind: OpKind::Optimizer,
+                phase: Phase::Update,
+                duration: opt_dur,
+                deps,
+            });
+        }
     }
+}
+
+/// Coordinates of one decode step during assembly.
+#[derive(Debug, Clone, Copy)]
+struct DecodeCtx {
+    /// Decode step index.
+    step: u32,
+    /// KV-cache length (tokens) this step's attention reads.
+    kv_len: f64,
+    /// The previous step's (or the prefill's) final output op.
+    seed: Option<OpId>,
 }
 
 #[cfg(test)]
@@ -694,7 +913,7 @@ mod tests {
     use crate::collective::HierarchicalNccl;
     use madmax_hw::catalog;
     use madmax_model::ModelId;
-    use madmax_parallel::{memory_per_device, Strategy};
+    use madmax_parallel::{memory_per_device, ServeConfig, Strategy};
 
     #[test]
     fn ensure_plan_is_idempotent() {
@@ -704,7 +923,7 @@ mod tests {
         let mut table = CostTable::new(
             &model,
             &sys,
-            Task::Pretraining,
+            Workload::pretrain(),
             plan.options,
             &HierarchicalNccl,
             UtilizationModel::Constant,
@@ -720,40 +939,44 @@ mod tests {
     #[test]
     fn cached_memory_fold_matches_memory_per_device() {
         // Byte-for-byte: the cached per-(group, strategy) fold must equal
-        // the reference footprint for every strategy combination.
-        for id in [ModelId::DlrmA, ModelId::Gpt3] {
-            let model = id.build();
-            let sys = if id.is_dlrm() {
-                catalog::zionex_dlrm_system()
-            } else {
-                catalog::llama_llm_system()
-            };
-            let base = Plan::fsdp_baseline(&model);
-            let mut table = CostTable::new(
-                &model,
-                &sys,
-                Task::Pretraining,
-                base.options,
-                &HierarchicalNccl,
-                UtilizationModel::Constant,
-            );
-            let classes: Vec<_> = model.groups.iter().map(|g| g.class).collect();
-            for class in classes {
-                for strategy in HierStrategy::enumerate_for(class) {
-                    let plan = base.clone().with_strategy(class, strategy);
-                    table.ensure_plan(&plan);
-                    let reference = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
-                    let cached = match table.memory_for(&plan) {
-                        Ok(m) => m,
-                        Err(PlanError::OutOfMemory { required, usable }) => {
-                            let u = plan.options.memory.usable(sys.device.hbm_capacity);
-                            assert_eq!(usable, u);
-                            assert_eq!(required, reference.total());
-                            continue;
-                        }
-                        Err(e) => panic!("unexpected error {e}"),
-                    };
-                    assert_eq!(cached, reference, "{id} {class} {strategy}");
+        // the reference footprint for every strategy combination — for
+        // training and for a KV-cache-carrying serve workload.
+        let serve = Workload::serve(ServeConfig::new(1024, 128));
+        for workload in [Workload::pretrain(), serve] {
+            for id in [ModelId::DlrmA, ModelId::Gpt3] {
+                let model = id.build();
+                let sys = if id.is_dlrm() {
+                    catalog::zionex_dlrm_system()
+                } else {
+                    catalog::llama_llm_system()
+                };
+                let base = Plan::fsdp_baseline(&model);
+                let mut table = CostTable::new(
+                    &model,
+                    &sys,
+                    workload.clone(),
+                    base.options,
+                    &HierarchicalNccl,
+                    UtilizationModel::Constant,
+                );
+                let classes: Vec<_> = model.groups.iter().map(|g| g.class).collect();
+                for class in classes {
+                    for strategy in HierStrategy::enumerate_for(class) {
+                        let plan = base.clone().with_strategy(class, strategy);
+                        table.ensure_plan(&plan);
+                        let reference = memory_per_device(&model, &sys, &plan, &workload);
+                        let cached = match table.memory_for(&plan) {
+                            Ok(m) => m,
+                            Err(PlanError::OutOfMemory { required, usable }) => {
+                                let u = plan.options.memory.usable(sys.device.hbm_capacity);
+                                assert_eq!(usable, u);
+                                assert_eq!(required, reference.total());
+                                continue;
+                            }
+                            Err(e) => panic!("unexpected error {e}"),
+                        };
+                        assert_eq!(cached, reference, "{id} {class} {strategy} {workload}");
+                    }
                 }
             }
         }
@@ -768,7 +991,7 @@ mod tests {
         let mut table = CostTable::new(
             &model,
             &sys,
-            Task::Pretraining,
+            Workload::pretrain(),
             base.options,
             &HierarchicalNccl,
             UtilizationModel::Constant,
@@ -791,7 +1014,7 @@ mod tests {
         let mut table = CostTable::new(
             &model,
             &sys,
-            Task::Pretraining,
+            Workload::pretrain(),
             base.options,
             &HierarchicalNccl,
             UtilizationModel::Constant,
@@ -799,5 +1022,45 @@ mod tests {
         let mut other = base;
         other.options.activation_checkpointing = !other.options.activation_checkpointing;
         table.ensure_plan(&other);
+    }
+
+    #[test]
+    fn serve_assembly_appends_decode_steps() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let workload = Workload::serve(ServeConfig::new(512, 4));
+        let mut table = CostTable::new(
+            &model,
+            &sys,
+            workload,
+            plan.options,
+            &HierarchicalNccl,
+            UtilizationModel::Constant,
+        );
+        table.ensure_plan(&plan);
+        let mut trace = Trace::new();
+        table.assemble_into(&plan, &mut trace);
+        let decode_ops = trace.ops().iter().filter(|o| o.phase == Phase::Decode);
+        assert!(decode_ops.clone().count() > 0);
+        // No backward/update ops anywhere in a serve trace.
+        assert!(trace
+            .ops()
+            .iter()
+            .all(|o| matches!(o.phase, Phase::Forward | Phase::Decode)));
+        // Decode compute grows with the KV position: step 3's block time
+        // exceeds step 0's.
+        let step_compute = |step: u32| -> Seconds {
+            trace
+                .ops()
+                .iter()
+                .filter(|o| {
+                    matches!(&o.name, OpName::DecodeFlat { step: s, .. } if *s == step)
+                        && o.stream == StreamId::Compute
+                })
+                .map(|o| o.duration)
+                .sum()
+        };
+        assert!(step_compute(3) > step_compute(0));
     }
 }

@@ -57,10 +57,8 @@ pub mod validation;
 pub use collective::{CollectiveModel, FlatWorstLink, HierarchicalNccl};
 pub use compute::UtilizationModel;
 pub use costs::{CostTable, PricedComm, StrategyCosts};
-pub use metrics::{IterationReport, ReportScratch};
+pub use metrics::{serve_stats_from, IterationReport, ReportScratch, ServeStats};
 pub use perf::{build_flat_trace, run_flat, run_flat_cached, run_flat_default};
-#[allow(deprecated)]
-pub use perf::{simulate, Simulation};
 pub use sim::{
     merged, merged_into, schedule, schedule_into, single_difference_measure, EngineScratch,
     OpWindow, Schedule, StreamTable,
@@ -73,28 +71,28 @@ mod cross_module_tests {
     use crate::{IterationReport, Schedule, Trace, UtilizationModel};
     use madmax_hw::{catalog, ClusterSpec};
     use madmax_model::{ModelArch, ModelId};
-    use madmax_parallel::{Plan, PlanError, Task};
+    use madmax_parallel::{Plan, PlanError, Workload};
 
     fn simulate(
         model: &ModelArch,
         cluster: &ClusterSpec,
         plan: &Plan,
-        task: Task,
+        workload: Workload,
     ) -> Result<IterationReport, PlanError> {
-        run_flat_default(model, cluster, plan, &task)
+        run_flat_default(model, cluster, plan, &workload)
     }
 
     fn run_with_trace(
         model: &ModelArch,
         cluster: &ClusterSpec,
         plan: &Plan,
-        task: Task,
+        workload: Workload,
     ) -> Result<(IterationReport, Trace, Schedule), PlanError> {
         crate::run_flat(
             model,
             cluster,
             plan,
-            &task,
+            &workload,
             &crate::HierarchicalNccl,
             UtilizationModel::Constant,
         )
@@ -105,7 +103,7 @@ mod cross_module_tests {
         let model = ModelId::DlrmB.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let r = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
         let js = serde_json::to_string(&r).unwrap();
         let back: crate::IterationReport = serde_json::from_str(&js).unwrap();
         assert_eq!(r, back);
@@ -116,7 +114,7 @@ mod cross_module_tests {
         let model = ModelId::DlrmB.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let (_, trace, _) = run_with_trace(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let (_, trace, _) = run_with_trace(&model, &sys, &plan, Workload::pretrain()).unwrap();
         let js = serde_json::to_string(&trace).unwrap();
         let back: crate::Trace = serde_json::from_str(&js).unwrap();
         assert_eq!(trace, back);
@@ -129,8 +127,8 @@ mod cross_module_tests {
         let sys = catalog::zionex_dlrm_system();
         let fast = sys.scaled(&DeviceScaling::compute_only(10.0));
         let plan = Plan::fsdp_baseline(&model);
-        let base = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-        let scaled = simulate(&model, &fast, &plan, Task::Pretraining).unwrap();
+        let base = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
+        let scaled = simulate(&model, &fast, &plan, Workload::pretrain()).unwrap();
         assert!((scaled.gemm_time.as_secs() - base.gemm_time.as_secs() / 10.0).abs() < 1e-9);
         assert_eq!(scaled.lookup_time, base.lookup_time);
         assert_eq!(scaled.comm_time, base.comm_time);
@@ -143,8 +141,8 @@ mod cross_module_tests {
         let sys = catalog::zionex_dlrm_system();
         let fast = sys.scaled(&DeviceScaling::mem_bw_only(10.0));
         let plan = Plan::fsdp_baseline(&model);
-        let base = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-        let scaled = simulate(&model, &fast, &plan, Task::Pretraining).unwrap();
+        let base = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
+        let scaled = simulate(&model, &fast, &plan, Workload::pretrain()).unwrap();
         assert!(scaled.lookup_time < base.lookup_time);
         assert_eq!(scaled.gemm_time, base.gemm_time);
     }
@@ -156,9 +154,9 @@ mod cross_module_tests {
         let mut model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let r1 = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let r1 = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
         model.global_batch *= 2;
-        let r2 = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let r2 = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
         assert!(r2.iteration_time > r1.iteration_time);
         assert!(r2.iteration_time.as_secs() < 2.0 * r1.iteration_time.as_secs());
         assert!(r2.samples_per_sec() > r1.samples_per_sec());
@@ -169,8 +167,8 @@ mod cross_module_tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let train = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-        let infer = simulate(&model, &sys, &plan, Task::Inference).unwrap();
+        let train = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
+        let infer = simulate(&model, &sys, &plan, Workload::inference()).unwrap();
         use madmax_parallel::CollectiveKind;
         // No gradient reduce-scatter at inference.
         assert!(!infer

@@ -11,7 +11,63 @@ use madmax_model::{BatchUnit, LayerClass, ModelArch};
 use madmax_parallel::{CollectiveKind, MemoryBreakdown};
 
 use crate::sim::{difference_measure, merged_into, single_difference_measure, Schedule};
-use crate::trace::{OpKind, StreamId, Trace};
+use crate::trace::{OpKind, Phase, StreamId, Trace};
+
+/// Serve-mode metrics of one iteration: the latency split between the
+/// prompt's prefill and the autoregressive decode stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Prompt length (tokens per sequence).
+    pub prompt_len: usize,
+    /// Output tokens generated per sequence.
+    pub decode_len: usize,
+    /// Sequences decoded concurrently.
+    pub decode_batch: usize,
+    /// Time to first token: when the prefill of every in-flight sequence
+    /// completes (the last non-decode op finishes).
+    pub ttft: Seconds,
+    /// Time per output token: the mean decode-step latency,
+    /// `(iteration_time - ttft) / decode_len`.
+    pub tpot: Seconds,
+}
+
+impl ServeStats {
+    /// Output tokens produced per iteration (`decode_batch * decode_len`).
+    pub fn output_tokens_per_iteration(&self) -> f64 {
+        (self.decode_batch * self.decode_len) as f64
+    }
+}
+
+/// Computes the serve metrics of a scheduled serve trace: TTFT is the
+/// completion of the last non-decode op (prefill + once-per-iteration
+/// parameter traffic), TPOT the mean decode-step time after it.
+pub fn serve_stats_from(
+    trace: &Trace,
+    schedule: &Schedule,
+    prompt_len: usize,
+    decode_len: usize,
+    decode_batch: usize,
+) -> ServeStats {
+    let ttft = trace
+        .ops()
+        .iter()
+        .zip(&schedule.windows)
+        .filter(|(op, _)| op.phase != Phase::Decode)
+        .map(|(_, w)| w.finish)
+        .fold(Seconds::ZERO, Seconds::max);
+    let tpot = if decode_len == 0 {
+        Seconds::ZERO
+    } else {
+        (schedule.makespan - ttft) / decode_len as f64
+    };
+    ServeStats {
+        prompt_len,
+        decode_len,
+        decode_batch,
+        ttft,
+        tpot,
+    }
+}
 
 /// Everything MAD-Max reports about one training/inference iteration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +106,9 @@ pub struct IterationReport {
     pub bubble_fraction: Option<f64>,
     /// Per-device memory footprint of this mapping.
     pub memory: MemoryBreakdown,
+    /// Serve-mode metrics (TTFT / TPOT); `None` for training and
+    /// prefill-only runs. Attached by the engines after scheduling.
+    pub serve: Option<ServeStats>,
     /// Global batch (samples or sequences) per iteration.
     pub global_batch: usize,
     /// Tokens per iteration (== samples for sample-based models).
@@ -233,6 +292,7 @@ impl IterationReport {
             exposed_by_collective,
             bubble_fraction,
             memory,
+            serve: None,
             global_batch: model.global_batch,
             tokens_per_iteration: model.tokens_per_iteration(),
             batch_unit: model.batch_unit,
@@ -258,6 +318,13 @@ impl IterationReport {
     /// Tokens processed per second (the LLM metric).
     pub fn tokens_per_sec(&self) -> f64 {
         self.tokens_per_iteration / self.iteration_time.as_secs()
+    }
+
+    /// Output tokens generated per second, for serve runs with decode
+    /// steps (`None` otherwise).
+    pub fn serve_tokens_per_sec(&self) -> Option<f64> {
+        self.serve
+            .map(|s| s.output_tokens_per_iteration() / self.iteration_time.as_secs())
     }
 
     /// Fraction of communication time that is exposed (not hidden behind

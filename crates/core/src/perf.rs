@@ -1,14 +1,19 @@
-//! The flat-SPMD execution engine: turns one (model, system, plan, task)
-//! combination into an [`IterationReport`].
+//! The flat-SPMD execution engine: turns one (model, system, plan,
+//! workload) combination into an [`IterationReport`].
 //!
-//! [`run_flat`] is the low-level entry point shared by the unified
-//! `madmax_engine::Scenario` front door and the deprecated [`Simulation`]
-//! shim. New code should go through `Scenario`, which also dispatches
-//! pipelined plans.
+//! [`run_flat`] is the low-level entry point behind the unified
+//! `madmax_engine::Scenario` front door. New code should go through
+//! `Scenario`, which also dispatches pipelined plans.
+//!
+//! Serve workloads run their prefill and decode phases through the same
+//! trace machinery: the prefill is the familiar forward-only pass (over
+//! the prompt-length effective model), decode steps are appended as
+//! autoregressive single-token passes, and the report additionally
+//! carries [`crate::metrics::ServeStats`] (TTFT / TPOT).
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
-use madmax_parallel::{check_memory, Plan, PlanError, Task};
+use madmax_parallel::{check_memory, Plan, PlanError, Workload};
 
 use crate::builder::TraceBuilder;
 use crate::collective::{CollectiveModel, HierarchicalNccl};
@@ -32,28 +37,30 @@ fn reject_pipelined(plan: &Plan) -> Result<(), PlanError> {
 }
 
 /// The shared front half of the flat engine: validate, check memory, and
-/// build the trace. Both trace-only inspection and the full run go
-/// through here so the two views can never drift.
-fn prepare_flat(
-    model: &ModelArch,
-    cluster: &ClusterSpec,
-    plan: &Plan,
-    task: &Task,
-    collective_model: &dyn CollectiveModel,
+/// price + build the trace. Both trace-only inspection and the full run
+/// go through here so the two views can never drift.
+fn prepare_flat<'a>(
+    model: &'a ModelArch,
+    cluster: &'a ClusterSpec,
+    plan: &'a Plan,
+    workload: &'a Workload,
+    collective_model: &'a dyn CollectiveModel,
     utilization: UtilizationModel,
-) -> Result<(Trace, madmax_parallel::MemoryBreakdown), PlanError> {
+) -> Result<(CostTable<'a>, Trace, madmax_parallel::MemoryBreakdown), PlanError> {
     reject_pipelined(plan)?;
-    let memory = check_memory(model, cluster, plan, task)?;
-    let trace = TraceBuilder {
+    let memory = check_memory(model, cluster, plan, workload)?;
+    let table = TraceBuilder {
         model,
         cluster,
         plan,
-        task,
+        workload,
         collective_model,
         utilization,
     }
-    .build();
-    Ok((trace, memory))
+    .price();
+    let mut trace = Trace::new();
+    table.assemble_into(plan, &mut trace);
+    Ok((table, trace, memory))
 }
 
 /// Builds the flat-SPMD trace without scheduling it (for inspection /
@@ -68,11 +75,19 @@ pub fn build_flat_trace(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
 ) -> Result<Trace, PlanError> {
-    prepare_flat(model, cluster, plan, task, collective_model, utilization).map(|(trace, _)| trace)
+    prepare_flat(
+        model,
+        cluster,
+        plan,
+        workload,
+        collective_model,
+        utilization,
+    )
+    .map(|(_, trace, _)| trace)
 }
 
 /// Runs the flat-SPMD engine end to end, returning the report plus the
@@ -85,13 +100,21 @@ pub fn run_flat(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
 ) -> Result<(IterationReport, Trace, Schedule), PlanError> {
-    let (trace, memory) = prepare_flat(model, cluster, plan, task, collective_model, utilization)?;
+    let (table, trace, memory) = prepare_flat(
+        model,
+        cluster,
+        plan,
+        workload,
+        collective_model,
+        utilization,
+    )?;
     let sched = schedule(&trace);
-    let report = IterationReport::from_schedule(&trace, &sched, model, memory);
+    let mut report = IterationReport::from_schedule(&trace, &sched, table.report_model(), memory);
+    report.serve = table.serve_stats(&trace, &sched);
     Ok((report, trace, sched))
 }
 
@@ -122,139 +145,19 @@ pub fn run_flat_cached(
     let memory = table.memory_for(plan)?;
     table.assemble_into(plan, &mut scratch.trace);
     schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
-    Ok(IterationReport::from_schedule_in(
+    let mut report = IterationReport::from_schedule_in(
         &scratch.trace,
         &scratch.sched,
-        table.model(),
+        table.report_model(),
         memory,
         &mut scratch.report,
-    ))
+    );
+    report.serve = table.serve_stats(&scratch.trace, &scratch.sched);
+    Ok(report)
 }
 
-/// A configured flat-SPMD MAD-Max simulation.
-///
-/// Deprecated: `madmax_engine::Scenario` is the unified entry point; it
-/// accepts both flat and pipelined plans and reports one error type.
-#[deprecated(
-    since = "0.2.0",
-    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
-)]
-#[derive(Debug)]
-pub struct Simulation<'a> {
-    model: &'a ModelArch,
-    cluster: &'a ClusterSpec,
-    plan: &'a Plan,
-    task: Task,
-    collective_model: &'a dyn CollectiveModel,
-    utilization: UtilizationModel,
-}
-
-#[allow(deprecated)]
-impl<'a> Simulation<'a> {
-    /// Creates a simulation with the default NCCL-style collective model
-    /// and constant compute utilization.
-    pub fn new(model: &'a ModelArch, cluster: &'a ClusterSpec, plan: &'a Plan, task: Task) -> Self {
-        Self {
-            model,
-            cluster,
-            plan,
-            task,
-            collective_model: &DEFAULT_COLLECTIVES,
-            utilization: UtilizationModel::Constant,
-        }
-    }
-
-    /// Replaces the collective cost model (ablation studies).
-    #[must_use]
-    pub fn with_collective_model(mut self, m: &'a dyn CollectiveModel) -> Self {
-        self.collective_model = m;
-        self
-    }
-
-    /// Replaces the compute-utilization model (e.g. the workload-dependent
-    /// MFU model of Fig. 8).
-    #[must_use]
-    pub fn with_utilization(mut self, u: UtilizationModel) -> Self {
-        self.utilization = u;
-        self
-    }
-
-    /// Builds the trace without scheduling (for inspection / Fig. 6).
-    ///
-    /// # Errors
-    ///
-    /// Fails when the plan is invalid or the mapping does not fit in
-    /// device memory.
-    pub fn build_trace(&self) -> Result<Trace, PlanError> {
-        build_flat_trace(
-            self.model,
-            self.cluster,
-            self.plan,
-            &self.task,
-            self.collective_model,
-            self.utilization,
-        )
-    }
-
-    /// Runs the simulation end to end.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the plan is invalid ([`PlanError::InvalidStrategy`]) or
-    /// the mapping does not fit in device memory
-    /// ([`PlanError::OutOfMemory`]), unless the plan ignores memory limits.
-    pub fn run(&self) -> Result<IterationReport, PlanError> {
-        let (report, _, _) = self.run_with_trace()?;
-        Ok(report)
-    }
-
-    /// Runs the simulation, also returning the trace and schedule for
-    /// timeline rendering.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Simulation::run`].
-    pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), PlanError> {
-        run_flat(
-            self.model,
-            self.cluster,
-            self.plan,
-            &self.task,
-            self.collective_model,
-            self.utilization,
-        )
-    }
-}
-
-/// One-shot convenience wrapper around the flat engine.
-///
-/// # Errors
-///
-/// Same conditions as [`run_flat`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
-)]
-pub fn simulate(
-    model: &ModelArch,
-    cluster: &ClusterSpec,
-    plan: &Plan,
-    task: Task,
-) -> Result<IterationReport, PlanError> {
-    run_flat(
-        model,
-        cluster,
-        plan,
-        &task,
-        &DEFAULT_COLLECTIVES,
-        UtilizationModel::Constant,
-    )
-    .map(|(report, _, _)| report)
-}
-
-/// Runs the flat engine with the default cost models (the implementation
-/// behind the deprecated [`simulate`] and the non-pipelined half of
-/// `madmax_engine::Scenario`).
+/// Runs the flat engine with the default cost models (the non-pipelined
+/// half of `madmax_engine::Scenario`).
 ///
 /// # Errors
 ///
@@ -263,13 +166,13 @@ pub fn run_flat_default(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
 ) -> Result<IterationReport, PlanError> {
     run_flat(
         model,
         cluster,
         plan,
-        task,
+        workload,
         &DEFAULT_COLLECTIVES,
         UtilizationModel::Constant,
     )
@@ -282,15 +185,15 @@ mod tests {
     use crate::collective::FlatWorstLink;
     use madmax_hw::catalog;
     use madmax_model::{LayerClass, ModelId};
-    use madmax_parallel::{HierStrategy, Strategy};
+    use madmax_parallel::{HierStrategy, ServeConfig, Strategy};
 
     fn run(
         model: &ModelArch,
         cluster: &ClusterSpec,
         plan: &Plan,
-        task: Task,
+        workload: Workload,
     ) -> Result<IterationReport, PlanError> {
-        run_flat_default(model, cluster, plan, &task)
+        run_flat_default(model, cluster, plan, &workload)
     }
 
     #[test]
@@ -298,11 +201,12 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let r = run(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let r = run(&model, &sys, &plan, Workload::pretrain()).unwrap();
         assert!(r.iteration_time.as_ms() > 10.0 && r.iteration_time.as_ms() < 200.0);
         assert!(r.serialized_time >= r.iteration_time);
         assert!(r.exposed_comm <= r.comm_time);
         assert!(r.mqps() > 0.3 && r.mqps() < 5.0, "{}", r.mqps());
+        assert!(r.serve.is_none());
     }
 
     #[test]
@@ -312,7 +216,7 @@ mod tests {
         let plan = Plan::fsdp_baseline(&model)
             .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Ddp));
         assert!(matches!(
-            run(&model, &sys, &plan, Task::Pretraining),
+            run(&model, &sys, &plan, Workload::pretrain()),
             Err(PlanError::OutOfMemory { .. })
         ));
     }
@@ -322,9 +226,10 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let train = run(&model, &sys, &plan, Task::Pretraining).unwrap();
-        let infer = run(&model, &sys, &plan, Task::Inference).unwrap();
+        let train = run(&model, &sys, &plan, Workload::pretrain()).unwrap();
+        let infer = run(&model, &sys, &plan, Workload::inference()).unwrap();
         assert!(infer.iteration_time < train.iteration_time);
+        assert!(infer.serve.is_none(), "prefill-only runs carry no stats");
     }
 
     #[test]
@@ -336,7 +241,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &DEFAULT_COLLECTIVES,
             UtilizationModel::Constant,
         )
@@ -345,7 +250,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &FlatWorstLink,
             UtilizationModel::Constant,
         )
@@ -362,7 +267,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &DEFAULT_COLLECTIVES,
             UtilizationModel::Constant,
         )
@@ -372,20 +277,46 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_engine() {
-        // The legacy `Simulation` / `simulate` front door must keep
-        // producing the exact reports of the underlying engine until it is
-        // removed.
+    fn serve_run_reports_ttft_and_tpot() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let workload = Workload::serve(ServeConfig::new(1024, 32));
+        let r = run(&model, &sys, &plan, workload).unwrap();
+        let s = r.serve.expect("decode run reports serve stats");
+        assert_eq!(s.prompt_len, 1024);
+        assert_eq!(s.decode_len, 32);
+        assert_eq!(s.decode_batch, model.global_batch);
+        assert!(s.ttft.as_secs() > 0.0);
+        assert!(s.tpot.as_secs() > 0.0);
+        assert!(s.ttft > s.tpot, "prefill outweighs one decode step");
+        assert!(
+            (s.ttft + s.tpot * 32.0 - r.iteration_time).as_secs().abs() < 1e-9,
+            "iteration splits into TTFT + decode stream"
+        );
+        assert!(r.serve_tokens_per_sec().unwrap() > 0.0);
+        assert!(r.memory.kv_cache.as_gb() > 0.0);
+    }
+
+    #[test]
+    fn prefill_only_serve_matches_legacy_inference_shape() {
+        // Workload::inference() (the Task::Inference mapping) must run the
+        // exact legacy forward-only path: same report, no serve stats.
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let engine = run(&model, &sys, &plan, Task::Pretraining).unwrap();
-        let shim = Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .run()
-            .unwrap();
-        let one_shot = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-        assert_eq!(engine, shim);
-        assert_eq!(engine, one_shot);
+        let r = run(&model, &sys, &plan, Workload::inference()).unwrap();
+        assert!(r.serve.is_none());
+        assert_eq!(r.memory.kv_cache, madmax_hw::units::ByteCount::ZERO);
+        // Explicit prompt = model context yields identical numbers (only
+        // the engine-internal model handle differs).
+        let explicit = Workload::serve(ServeConfig {
+            prompt_len: Some(model.context_length),
+            decode_len: 0,
+            decode_batch: None,
+            kv_cache: false,
+        });
+        let r2 = run(&model, &sys, &plan, explicit).unwrap();
+        assert_eq!(r, r2);
     }
 }

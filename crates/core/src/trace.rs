@@ -98,12 +98,14 @@ impl StreamId {
 /// Iteration phase an op belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Phase {
-    /// Forward pass.
+    /// Forward pass (training forward, or the serve prefill).
     Forward,
     /// Backward pass (gradient flow).
     Backward,
     /// Parameter update.
     Update,
+    /// Autoregressive decode step of a serve workload.
+    Decode,
 }
 
 /// What an op does, for breakdown accounting (Figs. 4, 7, 20).
@@ -136,6 +138,9 @@ pub enum PassDir {
     Fwd,
     /// Backward-pass op (`bwd` prefix).
     Bwd,
+    /// Decode-step op of a serve trace (`dec` prefix); the stage-trace
+    /// microbatch index then counts positions in the decode stream.
+    Dec,
 }
 
 impl std::fmt::Display for PassDir {
@@ -143,6 +148,7 @@ impl std::fmt::Display for PassDir {
         f.write_str(match self {
             PassDir::Fwd => "fwd",
             PassDir::Bwd => "bwd",
+            PassDir::Dec => "dec",
         })
     }
 }
@@ -168,6 +174,17 @@ pub enum OpName {
     Flat {
         /// Pass direction prefix.
         dir: PassDir,
+        /// Layer-group instance, for groups with `repeat > 1`.
+        inst: Option<u32>,
+        /// Shared display label.
+        label: Arc<str>,
+    },
+    /// Flat-trace decode-step op: `"dec[{step}].{label}"` (or
+    /// `"dec[{step}][{inst}].{label}"` for groups with `repeat > 1`). One
+    /// name per (decode step, layer instance) pair of a serve trace.
+    DecodeFlat {
+        /// Decode step index (token position in the output stream).
+        step: u32,
         /// Layer-group instance, for groups with `repeat > 1`.
         inst: Option<u32>,
         /// Shared display label.
@@ -211,6 +228,15 @@ pub enum OpName {
         /// Microbatch index.
         mb: u32,
     },
+    /// Decode-stream activation send to the next stage:
+    /// `"stage{s}.send_tok[{mb}]"` (`mb` counts positions in the decode
+    /// stream, so the name never collides with a prefill send).
+    StageSendTok {
+        /// Pipeline stage.
+        stage: u16,
+        /// Decode-stream unit index.
+        mb: u32,
+    },
     /// Gradient send to the previous stage: `"stage{s}.send_grad[{mb}]"`.
     StageSendGrad {
         /// Pipeline stage.
@@ -241,6 +267,15 @@ impl OpName {
     pub fn flat(dir: PassDir, inst: Option<u32>, label: &Arc<str>) -> Self {
         OpName::Flat {
             dir,
+            inst,
+            label: Arc::clone(label),
+        }
+    }
+
+    /// A flat-trace decode-step name with a shared label.
+    pub fn decode(step: u32, inst: Option<u32>, label: &Arc<str>) -> Self {
+        OpName::DecodeFlat {
+            step,
             inst,
             label: Arc::clone(label),
         }
@@ -277,6 +312,16 @@ impl std::fmt::Display for OpName {
                 inst: Some(i),
                 label,
             } => write!(f, "{dir}[{i}].{label}"),
+            OpName::DecodeFlat {
+                step,
+                inst: None,
+                label,
+            } => write!(f, "dec[{step}].{label}"),
+            OpName::DecodeFlat {
+                step,
+                inst: Some(i),
+                label,
+            } => write!(f, "dec[{step}][{i}].{label}"),
             OpName::UpdateOptimizer => f.write_str("update.optimizer"),
             OpName::StageParam { stage, kind } => write!(f, "stage{stage}.param.{kind}"),
             OpName::StagePass { stage, dir, mb } => write!(f, "stage{stage}.{dir}[{mb}]"),
@@ -287,6 +332,7 @@ impl std::fmt::Display for OpName {
                 kind,
             } => write!(f, "stage{stage}.{dir}[{mb}].{kind}"),
             OpName::StageSendAct { stage, mb } => write!(f, "stage{stage}.send_act[{mb}]"),
+            OpName::StageSendTok { stage, mb } => write!(f, "stage{stage}.send_tok[{mb}]"),
             OpName::StageSendGrad { stage, mb } => write!(f, "stage{stage}.send_grad[{mb}]"),
             OpName::StageGrad { stage, kind } => write!(f, "stage{stage}.grad.{kind}"),
             OpName::StageOptimizer { stage } => write!(f, "stage{stage}.optimizer"),
@@ -324,20 +370,26 @@ fn parse_stage_name(s: &str) -> Option<OpName> {
             kind: kind.parse().ok()?,
         });
     }
-    for (prefix, act) in [("send_act", true), ("send_grad", false)] {
+    type SendCtor = fn(u16, u32) -> OpName;
+    let sends: [(&str, SendCtor); 3] = [
+        ("send_act", |stage, mb| OpName::StageSendAct { stage, mb }),
+        ("send_tok", |stage, mb| OpName::StageSendTok { stage, mb }),
+        ("send_grad", |stage, mb| OpName::StageSendGrad { stage, mb }),
+    ];
+    for (prefix, ctor) in sends {
         if let Some(tail) = rest.strip_prefix(prefix) {
             let (mb, tail) = parse_index(tail)?;
             if !tail.is_empty() {
                 return None;
             }
-            return Some(if act {
-                OpName::StageSendAct { stage, mb }
-            } else {
-                OpName::StageSendGrad { stage, mb }
-            });
+            return Some(ctor(stage, mb));
         }
     }
-    for (prefix, dir) in [("fwd", PassDir::Fwd), ("bwd", PassDir::Bwd)] {
+    for (prefix, dir) in [
+        ("fwd", PassDir::Fwd),
+        ("bwd", PassDir::Bwd),
+        ("dec", PassDir::Dec),
+    ] {
         if let Some(tail) = rest.strip_prefix(prefix) {
             let (mb, tail) = parse_index(tail)?;
             if tail.is_empty() {
@@ -353,6 +405,24 @@ fn parse_stage_name(s: &str) -> Option<OpName> {
         }
     }
     None
+}
+
+fn parse_decode_name(s: &str) -> Option<OpName> {
+    let tail = s.strip_prefix("dec")?;
+    let (step, tail) = parse_index(tail)?;
+    let (inst, tail) = match parse_index(tail) {
+        Some((i, t)) => (Some(i), t),
+        None => (None, tail),
+    };
+    let label = tail.strip_prefix('.')?;
+    if label.is_empty() {
+        return None;
+    }
+    Some(OpName::DecodeFlat {
+        step,
+        inst,
+        label: Arc::from(label),
+    })
 }
 
 fn parse_flat_name(s: &str) -> Option<OpName> {
@@ -386,6 +456,7 @@ impl std::str::FromStr for OpName {
             return Ok(OpName::UpdateOptimizer);
         }
         Ok(parse_stage_name(s)
+            .or_else(|| parse_decode_name(s))
             .or_else(|| parse_flat_name(s))
             .unwrap_or_else(|| OpName::custom(s)))
     }
@@ -772,6 +843,15 @@ mod tests {
             "bwd[3].blocks.ag_bwd"
         );
         assert_eq!(OpName::UpdateOptimizer.to_string(), "update.optimizer");
+        let blk: Arc<str> = Arc::from("transformer_blocks");
+        assert_eq!(
+            OpName::decode(0, None, &blk).to_string(),
+            "dec[0].transformer_blocks"
+        );
+        assert_eq!(
+            OpName::decode(31, Some(95), &blk).to_string(),
+            "dec[31][95].transformer_blocks"
+        );
         assert_eq!(
             OpName::StageParam {
                 stage: 0,
@@ -844,12 +924,15 @@ mod tests {
                 kind: Ck::AllToAll,
             },
             OpName::StageSendAct { stage: 0, mb: 4 },
+            OpName::StageSendTok { stage: 2, mb: 47 },
             OpName::StageSendGrad { stage: 3, mb: 11 },
             OpName::StageGrad {
                 stage: 5,
                 kind: Ck::ReduceScatter,
             },
             OpName::StageOptimizer { stage: 7 },
+            OpName::decode(0, None, &Arc::from("word_embedding.lookup")),
+            OpName::decode(63, Some(12), &Arc::from("transformer_blocks.tp_ar")),
             OpName::custom("op17"),
         ];
         for name in names {

@@ -10,7 +10,7 @@
 use madmax_hw::catalog;
 use madmax_hw::units::Seconds;
 use madmax_model::{ModelArch, ModelId};
-use madmax_parallel::{Plan, PlanError, Task};
+use madmax_parallel::{Plan, PlanError, Workload};
 
 use crate::metrics::IterationReport;
 use crate::perf::run_flat_default;
@@ -90,7 +90,7 @@ pub fn dlrm_a_production_report() -> Result<IterationReport, PlanError> {
     let model = ModelId::DlrmA.build();
     let sys = catalog::zionex_dlrm_system();
     let plan = Plan::fsdp_baseline(&model);
-    run_flat_default(&model, &sys, &plan, &Task::Pretraining)
+    run_flat_default(&model, &sys, &plan, &Workload::pretrain())
 }
 
 /// Simulates DLRM-B pre-training on the same platform.
@@ -102,7 +102,7 @@ pub fn dlrm_b_production_report() -> Result<IterationReport, PlanError> {
     let model = ModelId::DlrmB.build();
     let sys = catalog::zionex_dlrm_system();
     let plan = Plan::fsdp_baseline(&model);
-    run_flat_default(&model, &sys, &plan, &Task::Pretraining)
+    run_flat_default(&model, &sys, &plan, &Workload::pretrain())
 }
 
 /// Simulates LLaMA-70B pre-training on the 2048-GPU A100-80GB system.
@@ -114,7 +114,7 @@ pub fn llama_70b_report() -> Result<(ModelArch, IterationReport), PlanError> {
     let model = ModelId::Llama2.build();
     let sys = catalog::llama_llm_system();
     let plan = Plan::fsdp_baseline(&model);
-    let r = run_flat_default(&model, &sys, &plan, &Task::Pretraining)?;
+    let r = run_flat_default(&model, &sys, &plan, &Workload::pretrain())?;
     Ok((model, r))
 }
 

@@ -1,13 +1,9 @@
 //! The unified design-space explorer: one [`SearchSpace`] spanning the
-//! per-layer-class strategy axes and the optional pipeline axes
-//! `(stages, microbatches, schedule)`, and one [`Explorer`] that evaluates
-//! every candidate plan through `madmax_engine::Scenario` — in parallel on
-//! a scoped worker pool — and returns a single [`SearchOutcome`].
-//!
-//! This subsumes the deprecated `optimize` (strategy-only) and
-//! `optimize_pipeline` (pipeline-aware) searches: the former is an
-//! `Explorer` over [`SearchSpace::strategies`], the latter over a space
-//! with [`PipelineAxes`] attached.
+//! per-layer-class strategy axes, the optional pipeline axes
+//! `(stages, microbatches, schedule)`, and the optional serve axes
+//! (decode batch), and one [`Explorer`] that evaluates every candidate
+//! through `madmax_engine::Scenario` — in parallel on a scoped worker
+//! pool — and returns a single [`SearchOutcome`].
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,9 +13,51 @@ use madmax_core::IterationReport;
 use madmax_engine::{EngineError, Scenario};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
-use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
+#[allow(deprecated)]
+use madmax_parallel::Task;
+use madmax_parallel::{HierStrategy, PipelineConfig, PipelineSchedule, Plan, Workload};
 
-use crate::search::strategy_combos;
+/// Distinct layer classes present in a model, in first-appearance order.
+pub(crate) fn classes_in(model: &ModelArch) -> Vec<LayerClass> {
+    let mut v: Vec<LayerClass> = Vec::new();
+    for g in &model.groups {
+        if !v.contains(&g.class) {
+            v.push(g.class);
+        }
+    }
+    v
+}
+
+/// Enumerates every per-class strategy assignment: the cartesian product of
+/// `HierStrategy::enumerate_for` over `classes` (all classes in the model
+/// when `None`), applied on top of `base`. This is the strategy axis of
+/// the unified [`SearchSpace`].
+pub(crate) fn strategy_combos(
+    model: &ModelArch,
+    classes: Option<&[LayerClass]>,
+    base: &Plan,
+) -> Vec<Plan> {
+    let classes: Vec<LayerClass> = match classes {
+        Some(c) => c.to_vec(),
+        None => classes_in(model),
+    };
+    let per_class: Vec<Vec<HierStrategy>> = classes
+        .iter()
+        .map(|&c| HierStrategy::enumerate_for(c))
+        .collect();
+    let total: usize = per_class.iter().map(Vec::len).product();
+    let mut plans = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut plan = base.clone();
+        for (ci, choices) in per_class.iter().enumerate() {
+            let choice = choices[idx % choices.len()];
+            idx /= choices.len();
+            plan = plan.with_strategy(classes[ci], choice);
+        }
+        plans.push(plan);
+    }
+    plans
+}
 
 /// The pipeline dimensions of a [`SearchSpace`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +89,28 @@ impl PipelineAxes {
     }
 }
 
-/// The unified design space: strategy axes x optional pipeline axes.
+/// The serve dimensions of a [`SearchSpace`]: workload-side axes swept
+/// jointly with the plan axes. Only meaningful when the explorer's
+/// workload is [`Workload::Serve`]; each decode batch yields one workload
+/// variant, and candidates are then compared by output tokens per second
+/// (iteration times at different batch sizes are not comparable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeAxes {
+    /// Decode (serving) batch sizes to try.
+    pub decode_batch: Vec<usize>,
+}
+
+impl ServeAxes {
+    /// A standard serving-batch ladder.
+    pub fn batches(decode_batch: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            decode_batch: decode_batch.into_iter().collect(),
+        }
+    }
+}
+
+/// The unified design space: strategy axes x optional pipeline axes x
+/// optional serve axes.
 #[derive(Debug, Clone, Default)]
 pub struct SearchSpace {
     /// Search per-layer-class hierarchical strategies (otherwise the FSDP
@@ -63,6 +122,9 @@ pub struct SearchSpace {
     /// Pipeline dimensions to sweep jointly; `None` keeps every candidate
     /// flat.
     pub pipeline: Option<PipelineAxes>,
+    /// Serve dimensions to sweep jointly (decode batch); `None` keeps the
+    /// workload as configured.
+    pub serve: Option<ServeAxes>,
     /// Explore mappings beyond current memory capacities (the orange bars
     /// of Fig. 10).
     pub ignore_memory_limits: bool,
@@ -104,6 +166,13 @@ impl SearchSpace {
         self
     }
 
+    /// Attaches serve axes to the space.
+    #[must_use]
+    pub fn with_serve(mut self, axes: ServeAxes) -> Self {
+        self.serve = Some(axes);
+        self
+    }
+
     /// Lifts the memory-capacity constraint.
     #[must_use]
     pub fn unconstrained(mut self) -> Self {
@@ -125,12 +194,16 @@ pub struct SearchOutcome {
     /// The throughput-optimal plan found (pipeline config included when
     /// the space has pipeline axes).
     pub best_plan: Plan,
+    /// The workload the best plan ran (differs from the explorer's
+    /// workload only when serve axes varied it).
+    pub best_workload: Workload,
     /// Its simulation report.
     pub best: IterationReport,
-    /// The flat FSDP-baseline report for the same workload.
+    /// The flat FSDP-baseline report for the same workload (the first
+    /// serve-axis variant when serve axes are present).
     pub baseline: IterationReport,
-    /// Candidate plans accounted for (simulated, OOM, unmappable, or
-    /// invalid — nothing is silently dropped).
+    /// Candidate (plan, workload) combinations accounted for (simulated,
+    /// OOM, unmappable, or invalid — nothing is silently dropped).
     pub evaluated: usize,
     /// Candidates rejected for memory infeasibility.
     pub oom: usize,
@@ -144,8 +217,16 @@ pub struct SearchOutcome {
 
 impl SearchOutcome {
     /// Throughput improvement of the best plan over the FSDP baseline.
+    /// For serve searches this compares output tokens/sec (batch sizes
+    /// may differ); otherwise it is the iteration-time ratio.
     pub fn speedup(&self) -> f64 {
-        self.best.speedup_over(&self.baseline)
+        match (
+            self.best.serve_tokens_per_sec(),
+            self.baseline.serve_tokens_per_sec(),
+        ) {
+            (Some(b), Some(base)) if base > 0.0 => b / base,
+            _ => self.best.speedup_over(&self.baseline),
+        }
     }
 
     /// Paper-style summary of the winning per-class strategies.
@@ -167,12 +248,12 @@ impl SearchOutcome {
 /// use madmax_dse::{Explorer, SearchSpace};
 /// use madmax_hw::catalog;
 /// use madmax_model::ModelId;
-/// use madmax_parallel::Task;
+/// use madmax_parallel::Workload;
 ///
 /// let model = ModelId::DlrmA.build();
 /// let system = catalog::zionex_dlrm_system();
 /// let outcome = Explorer::new(&model, &system)
-///     .task(Task::Pretraining)
+///     .workload(Workload::pretrain())
 ///     .space(SearchSpace::strategies())
 ///     .explore()
 ///     .unwrap();
@@ -182,29 +263,41 @@ impl SearchOutcome {
 pub struct Explorer<'a> {
     model: &'a ModelArch,
     system: &'a ClusterSpec,
-    task: Task,
+    workload: Workload,
     space: SearchSpace,
     threads: Option<NonZeroUsize>,
 }
 
 impl<'a> Explorer<'a> {
     /// Creates an explorer over the strategy-only space for the
-    /// pre-training task, evaluating candidates on all available cores.
+    /// pre-training workload, evaluating candidates on all available
+    /// cores.
     pub fn new(model: &'a ModelArch, system: &'a ClusterSpec) -> Self {
         Self {
             model,
             system,
-            task: Task::Pretraining,
+            workload: Workload::pretrain(),
             space: SearchSpace::strategies(),
             threads: None,
         }
     }
 
-    /// Sets the task (default: [`Task::Pretraining`]).
+    /// Sets the workload (default: [`Workload::pretrain`]).
     #[must_use]
-    pub fn task(mut self, task: Task) -> Self {
-        self.task = task;
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
         self
+    }
+
+    /// Sets the workload from a legacy task variant.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Explorer::workload with madmax_parallel::Workload"
+    )]
+    #[allow(deprecated)]
+    #[must_use]
+    pub fn task(self, task: Task) -> Self {
+        self.workload(Workload::from(task))
     }
 
     /// Sets the design space (default: [`SearchSpace::strategies`]).
@@ -240,6 +333,19 @@ impl<'a> Explorer<'a> {
         plan
     }
 
+    /// The workload variants the serve axes induce (the configured
+    /// workload alone when no axis applies).
+    fn workload_variants(&self) -> Vec<Workload> {
+        match (&self.space.serve, self.workload.serve_config()) {
+            (Some(axes), Some(cfg)) if !axes.decode_batch.is_empty() => axes
+                .decode_batch
+                .iter()
+                .map(|&b| Workload::serve(cfg.with_decode_batch(b)))
+                .collect(),
+            _ => vec![self.workload.clone()],
+        }
+    }
+
     /// Enumerates every candidate plan of the space: the cartesian product
     /// of the per-class strategy assignments and the pipeline axes.
     pub fn candidates(&self) -> Vec<Plan> {
@@ -273,7 +379,14 @@ impl<'a> Explorer<'a> {
         candidates
     }
 
-    /// Evaluates an explicit list of plans through the engine, preserving
+    /// Evaluates an explicit list of plans through the engine against
+    /// this explorer's workload, preserving order. See
+    /// [`Explorer::evaluate_with`].
+    pub fn evaluate(&self, plans: &[Plan]) -> Vec<Result<IterationReport, EngineError>> {
+        self.evaluate_with(&self.workload, plans)
+    }
+
+    /// Evaluates an explicit list of plans against one workload, in
     /// order. Plans are distributed over the worker pool; the result at
     /// index `i` is always plan `i`'s, so the output is deterministic
     /// regardless of the thread count.
@@ -285,9 +398,13 @@ impl<'a> Explorer<'a> {
     /// [`madmax_engine::EngineScratch`] (trace arena, schedule, stream
     /// table) across the candidates it evaluates — so per-candidate work
     /// is assembly and simulation, not pricing and allocation.
-    pub fn evaluate(&self, plans: &[Plan]) -> Vec<Result<IterationReport, EngineError>> {
+    pub fn evaluate_with(
+        &self,
+        workload: &Workload,
+        plans: &[Plan],
+    ) -> Vec<Result<IterationReport, EngineError>> {
         let workers = self.worker_count(plans.len());
-        let scenario = Scenario::new(self.model, self.system).task_ref(&self.task);
+        let scenario = Scenario::new(self.model, self.system).workload_ref(workload);
         // Mixed-option plan lists (e.g. ablating prefetch on/off) cannot
         // share a pricing context; they fall back to per-plan pricing.
         let uniform_options = plans.windows(2).all(|w| w[0].options == w[1].options);
@@ -295,7 +412,7 @@ impl<'a> Explorer<'a> {
         let run = |plan: &Plan, scratch: &mut madmax_engine::EngineScratch| {
             let mut s = Scenario::new(self.model, self.system)
                 .plan_ref(plan)
-                .task_ref(&self.task);
+                .workload_ref(workload);
             if let Some(t) = &table {
                 s = s.costs(t);
             }
@@ -339,7 +456,12 @@ impl<'a> Explorer<'a> {
             .collect()
     }
 
-    /// Exhaustively explores the space for the throughput-optimal plan.
+    /// Exhaustively explores the space for the throughput-optimal
+    /// (plan, workload-variant) combination.
+    ///
+    /// Without serve axes, candidates are ranked by iteration time (one
+    /// fixed workload). With serve axes, the decode batch varies across
+    /// candidates, so ranking uses output tokens per second.
     ///
     /// The baseline itself is always part of the outcome, so a feasible
     /// baseline guarantees a result and `speedup() >= 1`.
@@ -348,44 +470,80 @@ impl<'a> Explorer<'a> {
     ///
     /// Returns the baseline's error if even the flat FSDP baseline is
     /// infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the space carries [`ServeAxes`] but the workload is
+    /// not [`Workload::Serve`] — the axis would otherwise be silently
+    /// ignored.
     pub fn explore(&self) -> Result<SearchOutcome, EngineError> {
+        assert!(
+            self.space.serve.is_none() || self.workload.serve_config().is_some(),
+            "SearchSpace has serve axes but the explorer's workload is `{}`; \
+             set Explorer::workload(Workload::serve(..))",
+            self.workload
+        );
         let base_plan = self.base_plan();
+        let variants = self.workload_variants();
+        let base_workload = variants[0].clone();
         let baseline = Scenario::new(self.model, self.system)
             .plan_ref(&base_plan)
-            .task_ref(&self.task)
+            .workload_ref(&base_workload)
             .run()?;
-
-        let candidates = self.candidates();
-        let evaluated = candidates.len();
-        // The baseline combo re-appears among the candidates; reuse its
-        // report instead of simulating it again. Candidates inherit the
-        // baseline's options, so comparing assignments and pipeline
-        // suffices.
-        let to_run: Vec<Plan> = candidates
-            .into_iter()
-            .filter(|p| p.assignments != base_plan.assignments || p.pipeline != base_plan.pipeline)
-            .collect();
-        let results = self.evaluate(&to_run);
+        let serve_ranked = variants.len() > 1
+            || (self.space.serve.is_some() && self.workload.serve_config().is_some());
+        let score = |r: &IterationReport| -> f64 {
+            r.serve_tokens_per_sec()
+                .unwrap_or_else(|| r.samples_per_sec())
+        };
 
         let mut best_plan = base_plan.clone();
+        let mut best_workload = base_workload.clone();
         let mut best = baseline.clone();
+        let mut evaluated = 0usize;
         let (mut oom, mut unmappable, mut invalid) = (0usize, 0usize, 0usize);
-        for (plan, result) in to_run.into_iter().zip(results) {
-            match result {
-                Ok(r) => {
-                    if r.iteration_time < best.iteration_time {
-                        best = r;
-                        best_plan = plan;
+        for workload in &variants {
+            let candidates = self.candidates();
+            evaluated += candidates.len();
+            // The baseline combo re-appears among the candidates; reuse
+            // its report instead of simulating it again. Candidates
+            // inherit the baseline's options, so comparing assignments
+            // and pipeline suffices.
+            let to_run: Vec<Plan> = if *workload == base_workload {
+                candidates
+                    .into_iter()
+                    .filter(|p| {
+                        p.assignments != base_plan.assignments || p.pipeline != base_plan.pipeline
+                    })
+                    .collect()
+            } else {
+                candidates
+            };
+            let results = self.evaluate_with(workload, &to_run);
+            for (plan, result) in to_run.into_iter().zip(results) {
+                match result {
+                    Ok(r) => {
+                        let better = if serve_ranked {
+                            score(&r) > score(&best)
+                        } else {
+                            r.iteration_time < best.iteration_time
+                        };
+                        if better {
+                            best = r;
+                            best_plan = plan;
+                            best_workload = workload.clone();
+                        }
                     }
+                    Err(e) if e.is_oom() => oom += 1,
+                    Err(e) if e.is_unmappable_pipeline() => unmappable += 1,
+                    Err(_) => invalid += 1,
                 }
-                Err(e) if e.is_oom() => oom += 1,
-                Err(e) if e.is_unmappable_pipeline() => unmappable += 1,
-                Err(_) => invalid += 1,
             }
         }
 
         Ok(SearchOutcome {
             best_plan,
+            best_workload,
             best,
             baseline,
             evaluated,
@@ -401,6 +559,7 @@ mod tests {
     use super::*;
     use madmax_hw::{catalog, DeviceScaling};
     use madmax_model::ModelId;
+    use madmax_parallel::ServeConfig;
 
     #[test]
     fn strategy_space_beats_baseline_for_dlrm() {
@@ -412,6 +571,7 @@ mod tests {
         assert!(r.evaluated > 100);
         assert!(r.oom > 0, "some DLRM mappings must be infeasible");
         assert_eq!(r.unmappable, 0, "no pipeline axes in this space");
+        assert_eq!(r.best_workload, Workload::pretrain());
     }
 
     #[test]
@@ -502,7 +662,7 @@ mod tests {
             .map(|p| {
                 Scenario::new(&model, &sys)
                     .plan(p.clone())
-                    .task(Task::Pretraining)
+                    .workload(Workload::pretrain())
                     .run()
             })
             .collect();
@@ -511,6 +671,66 @@ mod tests {
             assert_eq!(a.is_ok(), b.is_ok());
             if let (Ok(a), Ok(b)) = (a, b) {
                 assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "serve axes")]
+    fn serve_axes_without_a_serve_workload_are_rejected() {
+        // A forgotten `.workload(Workload::serve(..))` must not silently
+        // drop the requested decode-batch axis.
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let _ = Explorer::new(&model, &sys)
+            .space(SearchSpace::strategies().with_serve(ServeAxes::batches([256, 512])))
+            .explore();
+    }
+
+    #[test]
+    fn serve_axes_sweep_the_decode_batch() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let workload = Workload::serve(ServeConfig::new(512, 16));
+        let space = SearchSpace::default()
+            .with_serve(ServeAxes::batches([256, 512, 1024]))
+            .with_pipeline(PipelineAxes {
+                stages: vec![1, 8],
+                microbatches: vec![8],
+                schedules: vec![PipelineSchedule::GPipe],
+            });
+        let r = Explorer::new(&model, &sys)
+            .workload(workload)
+            .space(space)
+            .explore()
+            .unwrap();
+        // (pp=1 + pp=8) x 3 batches = 6 candidates.
+        assert_eq!(r.evaluated, 6);
+        let cfg = r.best_workload.serve_config().unwrap();
+        assert!([256, 512, 1024].contains(&cfg.decode_batch.unwrap()));
+        assert!(r.best.serve_tokens_per_sec().unwrap() > 0.0);
+        // The winner maximizes output tokens/sec across every variant.
+        for &b in &[256usize, 512, 1024] {
+            let variant = Workload::serve(ServeConfig::new(512, 16).with_decode_batch(b));
+            for plan in Explorer::new(&model, &sys)
+                .workload(variant.clone())
+                .space(SearchSpace::default().with_pipeline(PipelineAxes {
+                    stages: vec![1, 8],
+                    microbatches: vec![8],
+                    schedules: vec![PipelineSchedule::GPipe],
+                }))
+                .candidates()
+            {
+                if let Ok(rep) = Scenario::new(&model, &sys)
+                    .plan(plan)
+                    .workload(variant.clone())
+                    .run()
+                {
+                    assert!(
+                        rep.serve_tokens_per_sec().unwrap()
+                            <= r.best.serve_tokens_per_sec().unwrap() + 1e-9
+                    );
+                }
             }
         }
     }

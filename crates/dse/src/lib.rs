@@ -9,24 +9,23 @@
 //! Pareto-frontier extraction (Figs. 1, 13, 16), and the
 //! future-technologies hardware scaling study (Figs. 19-20).
 //!
-//! The pre-`Explorer` entry points (`optimize`, `optimize_pipeline`) are
-//! deprecated shims kept for one release.
+//! Serve workloads search the same way: attach `ServeAxes` (decode
+//! batch) to the space and the explorer ranks (plan, batch) combinations
+//! by output tokens per second.
+//!
+//! The pre-`Explorer` entry points (`optimize`, `optimize_pipeline`) have
+//! been removed after their deprecation release; `Explorer` over the
+//! matching `SearchSpace` is the single search API.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod explore;
 pub mod pareto;
-pub mod pipeline_search;
 pub mod scaling;
-pub mod search;
 pub mod sweep;
 
-pub use explore::{Explorer, PipelineAxes, SearchOutcome, SearchSpace};
+pub use explore::{Explorer, PipelineAxes, SearchOutcome, SearchSpace, ServeAxes};
 pub use pareto::{pareto_frontier, ParetoPoint};
-#[allow(deprecated)]
-pub use pipeline_search::{optimize_pipeline, PipelineSearchResult, PipelineSearchSpace};
 pub use scaling::{scaling_study, ScalingAxis, ScalingPoint};
-#[allow(deprecated)]
-pub use search::{optimize, SearchOptions, SearchResult};
 pub use sweep::{best_point, sweep_class, SweepPoint};

@@ -6,7 +6,7 @@
 use madmax_engine::EngineError;
 use madmax_hw::{ClusterSpec, DeviceScaling};
 use madmax_model::ModelArch;
-use madmax_parallel::Task;
+use madmax_parallel::Workload;
 
 use crate::explore::{Explorer, SearchOutcome};
 
@@ -87,15 +87,19 @@ pub struct ScalingPoint {
 pub fn scaling_study(
     model: &ModelArch,
     cluster: &ClusterSpec,
-    task: &Task,
+    workload: &Workload,
     factor: f64,
 ) -> Result<Vec<ScalingPoint>, EngineError> {
-    let base = Explorer::new(model, cluster).task(task.clone()).explore()?;
+    let base = Explorer::new(model, cluster)
+        .workload(workload.clone())
+        .explore()?;
     ScalingAxis::ALL_AXES
         .iter()
         .map(|&axis| {
             let scaled = cluster.scaled(&axis.scaling(factor));
-            let result = Explorer::new(model, &scaled).task(task.clone()).explore()?;
+            let result = Explorer::new(model, &scaled)
+                .workload(workload.clone())
+                .explore()?;
             let speedup = base.best.iteration_time / result.best.iteration_time;
             Ok(ScalingPoint {
                 axis,
@@ -119,7 +123,7 @@ mod tests {
         // all-axes point is the best of the set.
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
-        let points = scaling_study(&model, &sys, &Task::Pretraining, 10.0).unwrap();
+        let points = scaling_study(&model, &sys, &Workload::pretrain(), 10.0).unwrap();
         assert_eq!(points.len(), 6);
         let get = |a: ScalingAxis| points.iter().find(|p| p.axis == a).unwrap().speedup;
         for axis in &ScalingAxis::ALL_AXES[..5] {

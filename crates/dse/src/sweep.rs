@@ -5,7 +5,7 @@ use madmax_core::IterationReport;
 use madmax_engine::{EngineError, Scenario};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
-use madmax_parallel::{HierStrategy, Plan, Task};
+use madmax_parallel::{HierStrategy, Plan, Workload};
 
 /// Outcome of evaluating one strategy choice.
 #[derive(Debug, Clone)]
@@ -41,7 +41,7 @@ pub fn sweep_class(
     cluster: &ClusterSpec,
     base_plan: &Plan,
     class: LayerClass,
-    task: &Task,
+    workload: &Workload,
 ) -> Vec<SweepPoint> {
     HierStrategy::enumerate_for(class)
         .into_iter()
@@ -49,7 +49,7 @@ pub fn sweep_class(
             let plan = base_plan.clone().with_strategy(class, strategy);
             let outcome = Scenario::new(model, cluster)
                 .plan(plan.clone())
-                .task(task.clone())
+                .workload_ref(workload)
                 .run();
             SweepPoint {
                 strategy,
@@ -88,7 +88,13 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let base = Plan::fsdp_baseline(&model);
-        let points = sweep_class(&model, &sys, &base, LayerClass::Dense, &Task::Pretraining);
+        let points = sweep_class(
+            &model,
+            &sys,
+            &base,
+            LayerClass::Dense,
+            &Workload::pretrain(),
+        );
         assert_eq!(points.len(), 12);
 
         let get = |s: HierStrategy| points.iter().find(|p| p.strategy == s).unwrap();
@@ -111,7 +117,7 @@ mod tests {
             &sys,
             &base,
             LayerClass::Transformer,
-            &Task::Pretraining,
+            &Workload::pretrain(),
         );
         assert!(
             points.iter().any(|p| p.is_oom()),

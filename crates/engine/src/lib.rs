@@ -14,7 +14,7 @@
 //! use madmax_engine::Scenario;
 //! use madmax_hw::catalog;
 //! use madmax_model::ModelId;
-//! use madmax_parallel::{PipelineConfig, Plan, Task};
+//! use madmax_parallel::{PipelineConfig, Plan, ServeConfig, Workload};
 //!
 //! # fn main() -> Result<(), madmax_engine::EngineError> {
 //! // 1. Pick a workload (Table II) and a system (Table III).
@@ -22,7 +22,7 @@
 //! let system = catalog::zionex_dlrm_system();
 //!
 //! // 2. Simulate one pre-training iteration of the FSDP baseline.
-//! let report = Scenario::new(&model, &system).task(Task::Pretraining).run()?;
+//! let report = Scenario::new(&model, &system).workload(Workload::pretrain()).run()?;
 //! assert!(report.mqps() > 0.5 && report.mqps() < 5.0);
 //!
 //! // 3. The same entry point executes pipelined plans: configure the
@@ -30,8 +30,16 @@
 //! let llm = ModelId::Llama2.build();
 //! let llm_system = catalog::llama_llm_system();
 //! let plan = Plan::fsdp_baseline(&llm).with_pipeline(PipelineConfig::one_f_one_b(8, 32));
-//! let piped = Scenario::new(&llm, &llm_system).plan(plan).run()?;
+//! let piped = Scenario::new(&llm, &llm_system).plan(plan.clone()).run()?;
 //! assert!(piped.bubble_fraction.unwrap() > 0.0);
+//!
+//! // 4. Serve-mode scenarios open the inference half: prefill a prompt,
+//! //    decode token by token, and read TTFT/TPOT off the report.
+//! let serve = Scenario::new(&llm, &llm_system)
+//!     .workload(Workload::serve(ServeConfig::new(1024, 128)))
+//!     .plan(plan)
+//!     .run()?;
+//! assert!(serve.serve.unwrap().ttft > serve.serve.unwrap().tpot);
 //! # Ok(())
 //! # }
 //! ```

@@ -1,5 +1,5 @@
 //! The [`Scenario`] builder: one entry point for flat and pipelined
-//! simulation.
+//! simulation of any [`Workload`].
 
 use std::borrow::Cow;
 
@@ -8,12 +8,14 @@ use madmax_core::compute::UtilizationModel;
 use madmax_core::{CostTable, EngineScratch, IterationReport, Schedule, Trace};
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
-use madmax_parallel::{Plan, Task};
+#[allow(deprecated)]
+use madmax_parallel::Task;
+use madmax_parallel::{Plan, Workload};
 
 use crate::error::EngineError;
 
 /// One simulation scenario: a model mapped onto a system by a plan,
-/// executing a task.
+/// executing a workload.
 ///
 /// `Scenario` is the single front door to the MAD-Max performance model.
 /// [`Scenario::run`] inspects the plan's
@@ -22,13 +24,19 @@ use crate::error::EngineError;
 /// (`madmax_pipeline::run_pipelined`), returning the same
 /// [`IterationReport`] either way and one [`EngineError`] on failure.
 ///
+/// The workload axis spans training and serving:
+/// [`Workload::pretrain`], [`Workload::finetune`], and
+/// [`Workload::serve`] (prefill + token-level decode with a KV-cache;
+/// serve runs additionally report TTFT/TPOT through
+/// [`IterationReport::serve`]).
+///
 /// # Examples
 ///
 /// ```
 /// use madmax_engine::Scenario;
 /// use madmax_hw::catalog;
 /// use madmax_model::ModelId;
-/// use madmax_parallel::{PipelineConfig, Plan, Task};
+/// use madmax_parallel::{PipelineConfig, Plan, ServeConfig, Workload};
 ///
 /// # fn main() -> Result<(), madmax_engine::EngineError> {
 /// let model = ModelId::Llama2.build();
@@ -37,14 +45,23 @@ use crate::error::EngineError;
 /// // Flat plan (the default FSDP baseline) ...
 /// let flat = Scenario::new(&model, &system).run()?;
 ///
-/// // ... and a pipelined plan, through the same entry point.
+/// // ... a pipelined plan, through the same entry point ...
 /// let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 32));
 /// let piped = Scenario::new(&model, &system)
-///     .task(Task::Pretraining)
-///     .plan(plan)
+///     .workload(Workload::pretrain())
+///     .plan(plan.clone())
 ///     .run()?;
 /// assert!(flat.bubble_fraction.is_none());
 /// assert!(piped.bubble_fraction.unwrap() > 0.0);
+///
+/// // ... and a serve-mode scenario: prefill a 1K prompt, decode 128
+/// // tokens per sequence, pipelining the decode stream.
+/// let serve = Scenario::new(&model, &system)
+///     .workload(Workload::serve(ServeConfig::new(1024, 128)))
+///     .plan(plan)
+///     .run()?;
+/// let stats = serve.serve.unwrap();
+/// assert!(stats.ttft > stats.tpot);
 /// # Ok(())
 /// # }
 /// ```
@@ -53,7 +70,7 @@ pub struct Scenario<'a> {
     model: &'a ModelArch,
     system: &'a ClusterSpec,
     plan: Option<Cow<'a, Plan>>,
-    task: Cow<'a, Task>,
+    workload: Cow<'a, Workload>,
     collectives: &'a dyn CollectiveModel,
     utilization: UtilizationModel,
     costs: Option<&'a CostTable<'a>>,
@@ -61,34 +78,58 @@ pub struct Scenario<'a> {
 
 impl<'a> Scenario<'a> {
     /// Creates a scenario with the FSDP-baseline plan, the pre-training
-    /// task, the default NCCL-style collective model, and constant compute
-    /// utilization.
+    /// workload, the default NCCL-style collective model, and constant
+    /// compute utilization.
     pub fn new(model: &'a ModelArch, system: &'a ClusterSpec) -> Self {
         Self {
             model,
             system,
             plan: None,
-            task: Cow::Owned(Task::Pretraining),
+            workload: Cow::Owned(Workload::pretrain()),
             collectives: &HierarchicalNccl,
             utilization: UtilizationModel::Constant,
             costs: None,
         }
     }
 
-    /// Sets the task (default: [`Task::Pretraining`]).
+    /// Sets the workload (default: [`Workload::pretrain`]).
     #[must_use]
-    pub fn task(mut self, task: Task) -> Self {
-        self.task = Cow::Owned(task);
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Cow::Owned(workload);
         self
     }
 
-    /// Borrow-based variant of [`Scenario::task`]: references the caller's
-    /// task instead of cloning it (the design-space-exploration hot path
-    /// runs thousands of scenarios against one task).
+    /// Borrow-based variant of [`Scenario::workload`]: references the
+    /// caller's workload instead of cloning it (the
+    /// design-space-exploration hot path runs thousands of scenarios
+    /// against one workload).
     #[must_use]
-    pub fn task_ref(mut self, task: &'a Task) -> Self {
-        self.task = Cow::Borrowed(task);
+    pub fn workload_ref(mut self, workload: &'a Workload) -> Self {
+        self.workload = Cow::Borrowed(workload);
         self
+    }
+
+    /// Sets the workload from a legacy task variant.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Scenario::workload with madmax_parallel::Workload"
+    )]
+    #[allow(deprecated)]
+    #[must_use]
+    pub fn task(self, task: Task) -> Self {
+        self.workload(Workload::from(task))
+    }
+
+    /// Borrowing variant of the legacy [`Scenario::task`] shim (the
+    /// conversion still owns the resulting workload).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Scenario::workload_ref with madmax_parallel::Workload"
+    )]
+    #[allow(deprecated)]
+    #[must_use]
+    pub fn task_ref(self, task: &Task) -> Self {
+        self.workload(Workload::from(task))
     }
 
     /// Sets the parallelization plan (default: [`Plan::fsdp_baseline`]).
@@ -112,7 +153,7 @@ impl<'a> Scenario<'a> {
     /// `madmax_core::costs`): [`Scenario::run_in`] then evaluates flat
     /// plans by assembling cached costs instead of re-pricing every GEMM
     /// and collective. The table must have been priced for this scenario's
-    /// model, system, and task, and must cover the plan's strategies.
+    /// model, system, and workload, and must cover the plan's strategies.
     #[must_use]
     pub fn costs(mut self, table: &'a CostTable<'a>) -> Self {
         self.costs = Some(table);
@@ -159,8 +200,8 @@ impl<'a> Scenario<'a> {
     /// Prices one [`CostTable`] covering every flat plan in `plans`
     /// (pipelined plans are skipped — the stage engine prices per
     /// sub-cluster and microbatch). The table inherits this scenario's
-    /// model, system, task, and cost models, and is `Sync`: build it once
-    /// per search and share it read-only across worker threads.
+    /// model, system, workload, and cost models, and is `Sync`: build it
+    /// once per search and share it read-only across worker threads.
     ///
     /// All plans must share the same pricing-relevant options
     /// (`activation_checkpointing`, `collective_dtype`); this is asserted.
@@ -171,7 +212,7 @@ impl<'a> Scenario<'a> {
         let mut table = CostTable::new(
             self.model,
             self.system,
-            self.task.as_ref().clone(),
+            self.workload.as_ref().clone(),
             options,
             self.collectives,
             self.utilization,
@@ -198,7 +239,7 @@ impl<'a> Scenario<'a> {
                     self.model,
                     self.system,
                     plan,
-                    &self.task,
+                    &self.workload,
                     self.collectives,
                     self.utilization,
                     scratch,
@@ -209,7 +250,7 @@ impl<'a> Scenario<'a> {
                 debug_assert!(
                     std::ptr::eq(table.model(), self.model)
                         && std::ptr::eq(table.cluster(), self.system)
-                        && table.task() == self.task.as_ref(),
+                        && table.workload() == self.workload.as_ref(),
                     "cost table priced for a different scenario"
                 );
                 return madmax_core::run_flat_cached(table, plan, scratch)
@@ -218,7 +259,7 @@ impl<'a> Scenario<'a> {
             let mut table = CostTable::new(
                 self.model,
                 self.system,
-                self.task.as_ref().clone(),
+                self.workload.as_ref().clone(),
                 plan.options,
                 self.collectives,
                 self.utilization,
@@ -253,7 +294,7 @@ impl<'a> Scenario<'a> {
                     self.model,
                     self.system,
                     plan,
-                    &self.task,
+                    &self.workload,
                     self.collectives,
                     self.utilization,
                 )
@@ -262,7 +303,7 @@ impl<'a> Scenario<'a> {
                     self.model,
                     self.system,
                     plan,
-                    &self.task,
+                    &self.workload,
                     self.collectives,
                     self.utilization,
                 )
@@ -285,7 +326,7 @@ impl<'a> Scenario<'a> {
                     self.model,
                     self.system,
                     plan,
-                    &self.task,
+                    &self.workload,
                     self.collectives,
                     self.utilization,
                 )
@@ -295,7 +336,7 @@ impl<'a> Scenario<'a> {
                     self.model,
                     self.system,
                     plan,
-                    &self.task,
+                    &self.workload,
                     self.collectives,
                     self.utilization,
                 )
@@ -306,7 +347,7 @@ impl<'a> Scenario<'a> {
 }
 
 /// One-shot convenience wrapper: runs a [`Scenario`] with an explicit
-/// plan and task.
+/// plan and workload.
 ///
 /// # Errors
 ///
@@ -315,11 +356,11 @@ pub fn simulate(
     model: &ModelArch,
     system: &ClusterSpec,
     plan: &Plan,
-    task: Task,
+    workload: Workload,
 ) -> Result<IterationReport, EngineError> {
     Scenario::new(model, system)
         .plan(plan.clone())
-        .task(task)
+        .workload(workload)
         .run()
 }
 
@@ -329,7 +370,7 @@ mod tests {
     use madmax_core::FlatWorstLink;
     use madmax_hw::catalog;
     use madmax_model::{LayerClass, ModelId};
-    use madmax_parallel::{HierStrategy, PipelineConfig, Strategy};
+    use madmax_parallel::{HierStrategy, PipelineConfig, ServeConfig, Strategy};
 
     #[test]
     fn defaults_run_the_fsdp_baseline() {
@@ -411,12 +452,56 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let a = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let a = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
         let b = Scenario::new(&model, &sys)
             .plan(plan)
-            .task(Task::Pretraining)
+            .workload(Workload::pretrain())
             .run()
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serve_scenarios_flow_through_both_engines() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let workload = Workload::serve(ServeConfig::new(512, 32));
+        let flat = Scenario::new(&model, &sys)
+            .workload(workload.clone())
+            .run()
+            .unwrap();
+        assert!(flat.serve.is_some());
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
+        let piped = Scenario::new(&model, &sys)
+            .workload(workload)
+            .plan(plan)
+            .run()
+            .unwrap();
+        assert!(piped.serve.is_some());
+        assert!(piped.bubble_fraction.is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_task_shim_maps_onto_workloads() {
+        // The acceptance pin: Scenario::workload(Workload::from(task))
+        // and the deprecated Scenario::task(task) are the same scenario.
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        for task in [
+            Task::Pretraining,
+            Task::Inference,
+            Task::finetune_only(LayerClass::Embedding),
+        ] {
+            let via_shim = Scenario::new(&model, &sys)
+                .task(task.clone())
+                .run()
+                .unwrap();
+            let via_workload = Scenario::new(&model, &sys)
+                .workload(Workload::from(task))
+                .run()
+                .unwrap();
+            assert_eq!(via_shim, via_workload);
+        }
     }
 }

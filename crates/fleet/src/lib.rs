@@ -23,7 +23,7 @@ use madmax_engine::{EngineError, Scenario};
 use madmax_hw::catalog;
 use madmax_hw::units::Seconds;
 use madmax_model::{LayerClass, ModelArch, ModelId};
-use madmax_parallel::{CollectiveKind, HierStrategy, Plan, Strategy, Task};
+use madmax_parallel::{CollectiveKind, HierStrategy, Plan, Strategy, Workload};
 
 /// Which side of Fig. 4 a job aggregates into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -257,7 +257,7 @@ pub fn characterize(fleet: &[FleetJob]) -> Result<FleetCharacterization, EngineE
     for job in fleet {
         let report = Scenario::new(&job.model, &job.system)
             .plan(job.plan.clone())
-            .task(Task::Pretraining)
+            .workload(Workload::pretrain())
             .run()?;
 
         // Device-side wall time plus calibrated host overheads.
@@ -386,7 +386,7 @@ mod tests {
         let sys = catalog::llama_llm_system().with_num_nodes(4);
         let r = Scenario::new(&model, &sys)
             .plan(plan.clone())
-            .task(Task::Pretraining)
+            .workload(Workload::pretrain())
             .run();
         assert!(r.is_ok(), "{:?}", r.err());
         let report = r.unwrap();

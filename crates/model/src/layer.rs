@@ -245,6 +245,13 @@ impl TransformerBlockSpec {
     pub fn tp_allreduce_bytes_per_token(&self, act_dtype: DType) -> f64 {
         2.0 * self.hidden as f64 * f64::from(act_dtype.size_bytes())
     }
+
+    /// KV-cache bytes per cached token per sequence: one key and one value
+    /// row of `kv_dim` each (grouped-query attention caches the shared KV
+    /// heads only, which is what makes GQA serve-friendly).
+    pub fn kv_cache_bytes_per_token(&self, act_dtype: DType) -> f64 {
+        2.0 * self.kv_dim as f64 * f64::from(act_dtype.size_bytes())
+    }
 }
 
 /// A mixture-of-experts layer: `num_experts` parallel expert MLPs of which
@@ -436,6 +443,17 @@ impl LayerKind {
         ByteCount::new(b)
     }
 
+    /// KV-cache bytes per cached token per sequence: what serving retains
+    /// (and a decode step re-reads) for every token already processed.
+    /// Only attention layers cache keys/values.
+    pub fn kv_cache_bytes_per_token(&self, act_dtype: DType) -> ByteCount {
+        let b = match self {
+            LayerKind::TransformerBlock(t) => t.kv_cache_bytes_per_token(act_dtype),
+            _ => 0.0,
+        };
+        ByteCount::new(b)
+    }
+
     /// Bytes each sample contributes to an expert-parallel All2All dispatch
     /// (one direction; a combine of the same size follows).
     pub fn moe_dispatch_bytes_per_sample(
@@ -564,6 +582,36 @@ mod tests {
             ..mha.clone()
         };
         assert!(gqa.params() < mha.params());
+    }
+
+    #[test]
+    fn kv_cache_bytes_follow_kv_dim() {
+        let mha = TransformerBlockSpec {
+            hidden: 8192,
+            heads: 64,
+            kv_dim: 8192,
+            ffn_hidden: 28672,
+            ffn: FfnKind::SwiGlu,
+            seq: SeqSource::ModelContext,
+        };
+        let gqa = TransformerBlockSpec {
+            kv_dim: 1024,
+            ..mha.clone()
+        };
+        // K + V at bf16: 2 * kv_dim * 2 bytes per cached token.
+        assert_eq!(
+            mha.kv_cache_bytes_per_token(DType::Bf16),
+            2.0 * 8192.0 * 2.0
+        );
+        assert_eq!(
+            gqa.kv_cache_bytes_per_token(DType::Bf16),
+            mha.kv_cache_bytes_per_token(DType::Bf16) / 8.0
+        );
+        // Only attention layers cache.
+        let block = LayerKind::TransformerBlock(mha);
+        assert!(!block.kv_cache_bytes_per_token(DType::Bf16).is_zero());
+        let mlp = LayerKind::Mlp(MlpSpec::new([8, 8]));
+        assert!(mlp.kv_cache_bytes_per_token(DType::Bf16).is_zero());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use madmax_model::{LayerClass, LayerGroup, ModelArch};
 
 use crate::plan::Plan;
 use crate::strategy::{CommScope, HierStrategy, Strategy, StrategyLevel};
-use crate::task::Task;
+use crate::workload::Workload;
 
 /// Collective communication primitives modeled by MAD-Max.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -150,15 +150,19 @@ fn shard_factor_excluding(levels: &[StrategyLevel], skip: usize) -> f64 {
 /// the plan's strategy for its class.
 ///
 /// `local_batch` is samples per device (may be fractional for very large
-/// clusters). Backward collectives are emitted only when the task trains
-/// the layer's class, following the paper's fine-tuning simplification of
-/// omitting frozen layers' gradient work (Insight 5).
+/// clusters). Backward collectives are emitted only when the workload
+/// trains the layer's class, following the paper's fine-tuning
+/// simplification of omitting frozen layers' gradient work (Insight 5);
+/// serve workloads emit forward traffic only. Payload sizes follow
+/// `model.context_length`, so phase-specific traffic (prefill vs a
+/// single-token decode step) is priced by passing the phase's effective
+/// model.
 pub fn derive_layer_comm(
     group: &LayerGroup,
     plan: &Plan,
     model: &ModelArch,
     cluster: &ClusterSpec,
-    task: &Task,
+    workload: &Workload,
     local_batch: f64,
 ) -> LayerCommPlan {
     let mut strategy: HierStrategy = plan.strategy_for(group.class);
@@ -177,7 +181,7 @@ pub fn derive_layer_comm(
         return out; // single-device: no communication
     }
 
-    let trains = task.trains(group.class);
+    let trains = workload.trains(group.class);
     let p_inst = instance_param_bytes(group, model);
     let tokens = model.context_length;
     let act_dtype = model.compute_dtype;
@@ -367,7 +371,7 @@ mod tests {
         let plan = Plan::fsdp_baseline(&model);
         let emb = find_group(&model, "embedding_tables");
         let local_batch = model.global_batch as f64 / sys.total_devices() as f64;
-        let c = derive_layer_comm(emb, &plan, &model, &sys, &Task::Pretraining, local_batch);
+        let c = derive_layer_comm(emb, &plan, &model, &sys, &Workload::pretrain(), local_batch);
         assert_eq!(c.forward.len(), 1);
         assert_eq!(c.forward[0].collective, CollectiveKind::AllToAll);
         assert_eq!(c.forward[0].urgency, Urgency::Blocking);
@@ -392,7 +396,7 @@ mod tests {
             &plan,
             &model,
             &sys,
-            &Task::finetune_only(LayerClass::Dense),
+            &Workload::finetune_only(LayerClass::Dense),
             512.0,
         );
         assert_eq!(c.forward.len(), 1, "forward lookup exchange still required");
@@ -405,14 +409,14 @@ mod tests {
         let plan = Plan::fsdp_baseline(&model)
             .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Ddp));
         let top = find_group(&model, "top_mlp");
-        let c = derive_layer_comm(top, &plan, &model, &sys, &Task::Pretraining, 512.0);
+        let c = derive_layer_comm(top, &plan, &model, &sys, &Workload::pretrain(), 512.0);
         assert!(c.forward.is_empty());
         assert!(c.backward.is_empty());
         assert_eq!(c.grad.len(), 1);
         assert_eq!(c.grad[0].collective, CollectiveKind::AllReduce);
         assert_eq!(c.grad[0].urgency, Urgency::Deferred);
         // Inference: DDP is communication-free.
-        let ci = derive_layer_comm(top, &plan, &model, &sys, &Task::Inference, 512.0);
+        let ci = derive_layer_comm(top, &plan, &model, &sys, &Workload::inference(), 512.0);
         assert_eq!(ci.total_payload(), ByteCount::ZERO);
     }
 
@@ -421,7 +425,7 @@ mod tests {
         let (model, sys) = dlrm_setup();
         let plan = Plan::fsdp_baseline(&model);
         let top = find_group(&model, "top_mlp");
-        let c = derive_layer_comm(top, &plan, &model, &sys, &Task::Pretraining, 512.0);
+        let c = derive_layer_comm(top, &plan, &model, &sys, &Workload::pretrain(), 512.0);
         assert_eq!(c.forward.len(), 1);
         assert_eq!(c.forward[0].collective, CollectiveKind::AllGather);
         assert_eq!(c.forward[0].urgency, Urgency::Prefetchable);
@@ -429,7 +433,7 @@ mod tests {
         assert_eq!(c.grad.len(), 1);
         assert_eq!(c.grad[0].collective, CollectiveKind::ReduceScatter);
         // Inference drops the backward gather and the scatter.
-        let ci = derive_layer_comm(top, &plan, &model, &sys, &Task::Inference, 512.0);
+        let ci = derive_layer_comm(top, &plan, &model, &sys, &Workload::inference(), 512.0);
         assert_eq!(ci.forward.len(), 1);
         assert!(ci.backward.is_empty() && ci.grad.is_empty());
     }
@@ -445,7 +449,7 @@ mod tests {
             HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
         );
         let top = find_group(&model, "top_mlp");
-        let c = derive_layer_comm(top, &plan, &model, &sys, &Task::Pretraining, 512.0);
+        let c = derive_layer_comm(top, &plan, &model, &sys, &Workload::pretrain(), 512.0);
         let fwd = &c.forward[0];
         assert_eq!(fwd.scope, CommScope::Level(CommLevel::IntraNode));
         assert_eq!(fwd.collective, CollectiveKind::AllReduce);
@@ -463,7 +467,7 @@ mod tests {
         let plan = Plan::fsdp_baseline(&model)
             .with_strategy(LayerClass::Moe, HierStrategy::flat(Strategy::Shard));
         let moe = find_group(&model, "moe_top_mlps");
-        let c = derive_layer_comm(moe, &plan, &model, &sys, &Task::Pretraining, 512.0);
+        let c = derive_layer_comm(moe, &plan, &model, &sys, &Workload::pretrain(), 512.0);
         assert_eq!(c.forward.len(), 2, "dispatch + combine");
         assert!(c
             .forward
@@ -486,7 +490,7 @@ mod tests {
         );
         let plan = Plan::fsdp_baseline(&model);
         for g in &model.groups {
-            let c = derive_layer_comm(g, &plan, &model, &one, &Task::Pretraining, 64.0);
+            let c = derive_layer_comm(g, &plan, &model, &one, &Workload::pretrain(), 64.0);
             assert_eq!(c.total_payload(), ByteCount::ZERO, "{}", g.name);
         }
     }

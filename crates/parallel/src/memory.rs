@@ -3,6 +3,12 @@
 //! The performance model assumes the entire (sharded) model fits on the
 //! devices (Section IV-A); this module decides whether it does, which is
 //! what rules strategies in or out across Figs. 10-14 (gray "OOM" bars).
+//!
+//! Footprints are workload-phase aware: training retains activations and
+//! carries gradients/optimizer state; serving carries only parameters, a
+//! transient working set, and — when the serve config models it — the
+//! KV-cache at its maximum length (`prompt + decode_len` tokens per
+//! in-flight sequence), so decode-heavy configurations OOM honestly.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,7 +18,7 @@ use madmax_model::{LayerKind, ModelArch};
 
 use crate::comm::instance_param_bytes;
 use crate::plan::{Plan, PlanError};
-use crate::task::Task;
+use crate::workload::Workload;
 
 /// Per-device memory footprint, itemized.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -28,26 +34,45 @@ pub struct MemoryBreakdown {
     /// Transient unsharded copies materialized by FSDP AllGathers (double
     /// buffered when prefetching is enabled).
     pub fsdp_transient: ByteCount,
+    /// KV-cache bytes at its maximum length (serve workloads with
+    /// `kv_cache` modeling enabled; zero otherwise).
+    pub kv_cache: ByteCount,
 }
 
 impl MemoryBreakdown {
     /// Total footprint.
     pub fn total(&self) -> ByteCount {
-        self.params + self.grads + self.optimizer + self.activations + self.fsdp_transient
+        self.params
+            + self.grads
+            + self.optimizer
+            + self.activations
+            + self.fsdp_transient
+            + self.kv_cache
     }
 }
 
 /// Computes the itemized per-device footprint of `model` mapped onto
-/// `cluster` with `plan` for `task`.
+/// `cluster` with `plan` for `workload`.
+///
+/// Serving workloads are resolved through
+/// [`Workload::effective_model`] first (prompt length and serving batch
+/// override the model's context/batch); the override is idempotent, so
+/// callers may pass either the raw or an already-effective model.
 pub fn memory_per_device(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
 ) -> MemoryBreakdown {
+    let model = workload.effective_model(model);
+    let model = model.as_ref();
     let devices = cluster.total_devices() as f64;
     let local_batch = model.global_batch as f64 / devices;
-    let training = task.has_backward();
+    let training = workload.has_backward();
+    let kv_len = workload
+        .serve_config()
+        .filter(|cfg| cfg.kv_cache)
+        .map(|cfg| cfg.max_kv_len(model.context_length) as f64);
     let mut out = MemoryBreakdown::default();
 
     for group in &model.groups {
@@ -58,7 +83,7 @@ pub fn memory_per_device(
 
         out.params += p_group / shard;
 
-        let trains = task.trains(group.class);
+        let trains = workload.trains(group.class);
         if training && trains {
             // Dense gradients mirror the parameter sharding; sparse
             // embedding gradients only touch looked-up rows (negligible).
@@ -83,6 +108,17 @@ pub fn memory_per_device(
             out.activations += act_inst * group.repeat as f64;
         } else {
             out.activations = out.activations.max(act_inst);
+        }
+
+        // KV-cache: each attention layer retains keys/values for every
+        // in-flight token of the local batch share, split over the
+        // tensor-parallel heads.
+        if let Some(kv_len) = kv_len {
+            let per_token = group.kind.kv_cache_bytes_per_token(model.compute_dtype);
+            if !per_token.is_zero() {
+                let tp_part = strategy.compute_shard_factor(cluster);
+                out.kv_cache += per_token * kv_len * local_batch * group.repeat as f64 / tp_part;
+            }
         }
 
         // FSDP transiently materializes one full (modulo TP sharding)
@@ -119,10 +155,10 @@ pub fn check_memory(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
 ) -> Result<MemoryBreakdown, PlanError> {
     plan.validate_strategies(model)?;
-    let breakdown = memory_per_device(model, cluster, plan, task);
+    let breakdown = memory_per_device(model, cluster, plan, workload);
     if plan.options.ignore_memory_limits {
         return Ok(breakdown);
     }
@@ -140,6 +176,7 @@ pub fn check_memory(
 mod tests {
     use super::*;
     use crate::strategy::{HierStrategy, Strategy};
+    use crate::workload::ServeConfig;
     use madmax_hw::catalog;
     use madmax_model::{LayerClass, ModelId};
 
@@ -155,14 +192,14 @@ mod tests {
         // Insight 1 / Fig 11: ((DDP), (MP)) replicates dense params, grads,
         // and optimizer states on every device -> OOM on 40 GB A100s.
         let (model, sys, plan) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
-        let err = check_memory(&model, &sys, &plan, &Task::Pretraining).unwrap_err();
+        let err = check_memory(&model, &sys, &plan, &Workload::pretrain()).unwrap_err();
         assert!(matches!(err, PlanError::OutOfMemory { .. }), "{err}");
     }
 
     #[test]
     fn fig11_tp_ddp_dense_fits() {
         let (model, sys, plan) = dlrm_plan(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
-        let b = check_memory(&model, &sys, &plan, &Task::Pretraining).unwrap();
+        let b = check_memory(&model, &sys, &plan, &Workload::pretrain()).unwrap();
         // Embedding shard dominates: ~24.8 GB of the footprint.
         assert!(
             b.params.as_gb() > 24.0 && b.params.as_gb() < 27.0,
@@ -181,7 +218,7 @@ mod tests {
                 catalog::llama_llm_system()
             };
             let plan = Plan::fsdp_baseline(&model);
-            let r = check_memory(&model, &sys, &plan, &Task::Pretraining);
+            let r = check_memory(&model, &sys, &plan, &Workload::pretrain());
             assert!(r.is_ok(), "{id}: {:?}", r.err());
         }
     }
@@ -196,14 +233,14 @@ mod tests {
             LayerClass::Transformer,
             HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
         );
-        let err = check_memory(&model, &sys, &plan, &Task::Pretraining).unwrap_err();
+        let err = check_memory(&model, &sys, &plan, &Workload::pretrain()).unwrap_err();
         assert!(matches!(err, PlanError::OutOfMemory { .. }));
         // But (TP, FSDP) fits.
         let plan = Plan::fsdp_baseline(&model).with_strategy(
             LayerClass::Transformer,
             HierStrategy::two_level(Strategy::Tp, Strategy::Fsdp),
         );
-        assert!(check_memory(&model, &sys, &plan, &Task::Pretraining).is_ok());
+        assert!(check_memory(&model, &sys, &plan, &Workload::pretrain()).is_ok());
     }
 
     #[test]
@@ -211,13 +248,13 @@ mod tests {
         // DDP dense layers: OOM in pre-training, fine for inference and for
         // fine-tuning only the embedding tables (dense is frozen).
         let (model, sys, plan) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
-        assert!(check_memory(&model, &sys, &plan, &Task::Pretraining).is_err());
-        assert!(check_memory(&model, &sys, &plan, &Task::Inference).is_ok());
+        assert!(check_memory(&model, &sys, &plan, &Workload::pretrain()).is_err());
+        assert!(check_memory(&model, &sys, &plan, &Workload::inference()).is_ok());
         assert!(check_memory(
             &model,
             &sys,
             &plan,
-            &Task::finetune_only(LayerClass::Embedding)
+            &Workload::finetune_only(LayerClass::Embedding)
         )
         .is_ok());
     }
@@ -226,16 +263,17 @@ mod tests {
     fn ignore_memory_limits_admits_everything() {
         let (model, sys, mut plan) = dlrm_plan(HierStrategy::flat(Strategy::Ddp));
         plan.options.ignore_memory_limits = true;
-        assert!(check_memory(&model, &sys, &plan, &Task::Pretraining).is_ok());
+        assert!(check_memory(&model, &sys, &plan, &Workload::pretrain()).is_ok());
     }
 
     #[test]
     fn inference_footprint_is_parameters_only() {
         let (model, sys, plan) = dlrm_plan(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
-        let train = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
-        let infer = memory_per_device(&model, &sys, &plan, &Task::Inference);
+        let train = memory_per_device(&model, &sys, &plan, &Workload::pretrain());
+        let infer = memory_per_device(&model, &sys, &plan, &Workload::inference());
         assert_eq!(infer.grads, ByteCount::ZERO);
         assert_eq!(infer.optimizer, ByteCount::ZERO);
+        assert_eq!(infer.kv_cache, ByteCount::ZERO);
         assert!(infer.total() < train.total());
         assert_eq!(infer.params, train.params);
     }
@@ -246,9 +284,9 @@ mod tests {
         let sys = catalog::llama_llm_system();
         let mut plan = Plan::fsdp_baseline(&model);
         assert!(plan.options.activation_checkpointing);
-        let ckpt = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+        let ckpt = memory_per_device(&model, &sys, &plan, &Workload::pretrain());
         plan.options.activation_checkpointing = false;
-        let full = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+        let full = memory_per_device(&model, &sys, &plan, &Workload::pretrain());
         assert!(full.activations > ckpt.activations * 4.0);
     }
 
@@ -264,8 +302,63 @@ mod tests {
             LayerClass::Dense,
             HierStrategy::two_level(Strategy::Ddp, Strategy::Tp),
         );
-        let ma = memory_per_device(&model, &sys, &a, &Task::Pretraining);
-        let mb = memory_per_device(&model, &sys, &b, &Task::Pretraining);
+        let ma = memory_per_device(&model, &sys, &a, &Workload::pretrain());
+        let mb = memory_per_device(&model, &sys, &b, &Workload::pretrain());
         assert!(mb.total() < ma.total());
+    }
+
+    #[test]
+    fn kv_cache_counts_only_when_modeled() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let with = memory_per_device(
+            &model,
+            &sys,
+            &plan,
+            &Workload::serve(ServeConfig::new(1024, 256)),
+        );
+        let without = memory_per_device(
+            &model,
+            &sys,
+            &plan,
+            &Workload::serve(ServeConfig::new(1024, 256).without_kv_cache()),
+        );
+        assert!(with.kv_cache > ByteCount::ZERO);
+        assert_eq!(without.kv_cache, ByteCount::ZERO);
+        assert_eq!(with.params, without.params);
+    }
+
+    #[test]
+    fn kv_cache_grows_with_decode_length_and_is_tp_sharded() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let kv = |decode: usize| {
+            memory_per_device(
+                &model,
+                &sys,
+                &plan,
+                &Workload::serve(ServeConfig::new(512, decode)),
+            )
+            .kv_cache
+        };
+        assert!(kv(0) > ByteCount::ZERO, "prompt tokens are cached too");
+        assert!(kv(64) > kv(0));
+        assert!(kv(512) > kv(64));
+        // (512 + 512) / (512 + 0) = exactly 2x the cache.
+        assert!((kv(512).value() / kv(0).value() - 2.0).abs() < 1e-12);
+        // TP splits the heads (and with them the cache) across the node.
+        let tp = plan.clone().with_strategy(
+            LayerClass::Transformer,
+            HierStrategy::two_level(Strategy::Tp, Strategy::Fsdp),
+        );
+        let sharded = memory_per_device(
+            &model,
+            &sys,
+            &tp,
+            &Workload::serve(ServeConfig::new(512, 64)),
+        );
+        assert!(sharded.kv_cache < kv(64));
     }
 }

@@ -1,17 +1,22 @@
-//! ML tasks: pre-training, fine-tuning, and inference (Section II-A).
+//! The legacy flat task enum, superseded by [`crate::Workload`].
+//!
+//! `Task` survives as a deprecated conversion source for one release:
+//! every variant maps onto a [`crate::Workload`] via `From`, and
+//! `Task::Inference` maps to the prefill-only serve workload whose engine
+//! path is byte-for-byte the old forward-only simulation.
+#![allow(deprecated)]
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 
 use madmax_model::LayerClass;
 
 /// The task a model is mapped onto the system for.
-///
-/// Pre-training stresses compute, memory capacity, and communication
-/// (forward + backward + retained activations). Fine-tuning is a subset:
-/// frozen layers need no weight gradients, and — following the paper's
-/// modeling choice for Insight 5 — their weight/input gradient computation
-/// and communication are omitted. Inference runs the forward pass only.
+#[deprecated(
+    since = "0.3.0",
+    note = "use madmax_parallel::Workload (Workload::pretrain / finetune / serve)"
+)]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Task {
     /// Full training: all layers trainable.
@@ -26,8 +31,7 @@ pub enum Task {
 }
 
 impl Task {
-    /// Fine-tuning a single layer class (e.g. only the embedding tables or
-    /// only the MLPs, as in Fig. 14).
+    /// Fine-tuning a single layer class.
     pub fn finetune_only(class: LayerClass) -> Self {
         Task::Finetuning {
             trainable: BTreeSet::from([class]),
@@ -41,34 +45,16 @@ impl Task {
         }
     }
 
-    /// Whether a backward pass exists at all.
-    pub fn has_backward(&self) -> bool {
-        !matches!(self, Task::Inference)
-    }
-
-    /// Whether layers of `class` receive gradient updates.
-    pub fn trains(&self, class: LayerClass) -> bool {
+    /// Short display label (borrowed for the fixed variants, so the
+    /// reporting path does not allocate per call).
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            Task::Pretraining => true,
-            Task::Finetuning { trainable } => trainable.contains(&class),
-            Task::Inference => false,
-        }
-    }
-
-    /// Whether activations of `class` layers must be retained for backward.
-    pub fn retains_activations(&self, class: LayerClass) -> bool {
-        self.trains(class)
-    }
-
-    /// Short display label.
-    pub fn label(&self) -> String {
-        match self {
-            Task::Pretraining => "pre-training".to_owned(),
+            Task::Pretraining => Cow::Borrowed("pre-training"),
             Task::Finetuning { trainable } => {
                 let names: Vec<String> = trainable.iter().map(|c| c.to_string()).collect();
-                format!("fine-tuning [{}]", names.join(", "))
+                Cow::Owned(format!("fine-tuning [{}]", names.join(", ")))
             }
-            Task::Inference => "inference".to_owned(),
+            Task::Inference => Cow::Borrowed("inference"),
         }
     }
 }
@@ -82,40 +68,26 @@ impl std::fmt::Display for Task {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::Workload;
 
     #[test]
-    fn pretraining_trains_everything() {
-        for c in LayerClass::ALL {
-            assert!(Task::Pretraining.trains(c));
-        }
-        assert!(Task::Pretraining.has_backward());
-    }
-
-    #[test]
-    fn inference_trains_nothing() {
-        for c in LayerClass::ALL {
-            assert!(!Task::Inference.trains(c));
-        }
-        assert!(!Task::Inference.has_backward());
-    }
-
-    #[test]
-    fn finetuning_is_selective() {
-        let t = Task::finetune_only(LayerClass::Embedding);
-        assert!(t.trains(LayerClass::Embedding));
-        assert!(!t.trains(LayerClass::Dense));
-        assert!(t.has_backward());
-        let t2 = Task::finetune([LayerClass::Dense, LayerClass::Transformer]);
-        assert!(t2.trains(LayerClass::Transformer));
-        assert!(!t2.trains(LayerClass::Embedding));
-    }
-
-    #[test]
-    fn labels() {
+    fn labels_are_borrowed_for_fixed_variants() {
         assert_eq!(Task::Pretraining.to_string(), "pre-training");
         assert_eq!(Task::Inference.to_string(), "inference");
+        assert!(matches!(Task::Pretraining.label(), Cow::Borrowed(_)));
+        assert!(matches!(Task::Inference.label(), Cow::Borrowed(_)));
         assert!(Task::finetune_only(LayerClass::Dense)
             .to_string()
             .contains("dense"));
+    }
+
+    #[test]
+    fn every_variant_converts_to_a_workload() {
+        assert_eq!(Workload::from(Task::Pretraining), Workload::pretrain());
+        assert_eq!(Workload::from(Task::Inference), Workload::inference());
+        assert_eq!(
+            Workload::from(Task::finetune([LayerClass::Dense, LayerClass::Transformer])),
+            Workload::finetune([LayerClass::Dense, LayerClass::Transformer])
+        );
     }
 }

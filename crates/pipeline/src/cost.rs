@@ -8,7 +8,7 @@ use madmax_hw::{ClusterSpec, CommLevel, DType};
 use madmax_model::{LayerClass, LayerKind, ModelArch};
 use madmax_parallel::comm::CommPosition;
 use madmax_parallel::{
-    derive_layer_comm, CollectiveKind, CommReq, CommScope, Plan, PlanError, Task, Urgency,
+    derive_layer_comm, CollectiveKind, CommReq, CommScope, Plan, PlanError, Urgency, Workload,
 };
 
 use madmax_core::compute::{backward_flops_factor, compute_time, lookup_time, optimizer_time};
@@ -44,6 +44,11 @@ pub struct StageCosts {
     pub dominant_class: LayerClass,
     /// Whether the stage's compute is embedding-lookup dominated.
     pub lookup_dominated: bool,
+    /// Per-token KV-cache read time per microbatch (serve workloads with
+    /// cache modeling, priced from the decode-phase model): a decode step
+    /// at cache length `L` stretches the stage's compute by
+    /// `kv_read_per_token * L`.
+    pub kv_read_per_token: Seconds,
 }
 
 /// The sub-cluster one stage's devices form: total devices divided by the
@@ -163,7 +168,7 @@ pub fn stage_costs(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
     stages: &[Stage],
     microbatches: usize,
     collective_model: &dyn CollectiveModel,
@@ -198,9 +203,11 @@ pub fn stage_costs(
             optimizer: Seconds::ZERO,
             dominant_class: LayerClass::Dense,
             lookup_dominated: false,
+            kv_read_per_token: Seconds::ZERO,
         };
         let mut class_weight: Vec<(LayerClass, f64)> = Vec::new();
         let mut lookup_secs = 0.0;
+        let kv_modeled = workload.serve_config().is_some_and(|c| c.kv_cache);
 
         for unit in &stage.units {
             let group = &model.groups[unit.group];
@@ -226,7 +233,7 @@ pub fn stage_costs(
                 None => class_weight.push((group.class, fwd.as_secs())),
             }
 
-            if task.has_backward() && task.trains(group.class) {
+            if workload.has_backward() && workload.trains(group.class) {
                 let recompute = plan.options.activation_checkpointing
                     && matches!(
                         group.kind,
@@ -240,9 +247,21 @@ pub fn stage_costs(
                 }
             }
 
+            // KV-cache read coefficient: each attention instance re-reads
+            // its cached keys/values (local batch share over the TP heads)
+            // once per token position.
+            if kv_modeled {
+                let per_token = group.kind.kv_cache_bytes_per_token(model.compute_dtype);
+                if !per_token.is_zero() {
+                    let tp_part = plan.strategy_for(group.class).compute_shard_factor(&sub);
+                    costs.kv_read_per_token +=
+                        lookup_time(per_token * local_micro / tp_part, &sub) * reps;
+                }
+            }
+
             // Collectives: blocking activation traffic scales with the
             // microbatch; parameter traffic happens once per iteration.
-            let comm = derive_layer_comm(group, plan, model, &sub, task, local_micro);
+            let comm = derive_layer_comm(group, plan, model, &sub, workload, local_micro);
             for req in &comm.forward {
                 let t = collective_model.time(req, &sub) * reps;
                 match (req.urgency, req.position) {
@@ -279,7 +298,7 @@ pub fn stage_costs(
             ) * local_micro;
             costs.send_fwd = p2p_time(boundary, cluster, collective_model);
         }
-        if si > 0 && task.has_backward() {
+        if si > 0 && workload.has_backward() {
             // The gradient shipped to the previous stage matches that
             // stage's boundary activations — i.e. this stage's input.
             let prev_out = boundary_input_bytes(model, stages, si, tokens) * local_micro;
@@ -288,7 +307,7 @@ pub fn stage_costs(
 
         // Optimizer: streams the stage's parameter/optimizer shard once.
         let sub_model = stage_model(model, stage, si);
-        costs.optimizer = optimizer_time(&sub_model, &sub, plan, task);
+        costs.optimizer = optimizer_time(&sub_model, &sub, plan, workload);
 
         class_weight.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
         if let Some(&(c, w)) = class_weight.first() {
@@ -353,7 +372,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &stages,
             8,
             &HierarchicalNccl,
@@ -364,7 +383,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &stages,
             32,
             &HierarchicalNccl,
@@ -389,7 +408,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &stages,
             16,
             &HierarchicalNccl,
@@ -408,7 +427,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Inference,
+            &Workload::inference(),
             &stages,
             16,
             &HierarchicalNccl,
@@ -428,7 +447,7 @@ mod tests {
                 &model,
                 &sys,
                 &plan,
-                &Task::Pretraining,
+                &Workload::pretrain(),
                 &stages,
                 bad,
                 &HierarchicalNccl,

@@ -14,18 +14,24 @@
 //! `madmax_engine::Scenario` front door dispatches between the two based
 //! on the plan's `PipelineConfig`.
 //!
+//! Serve workloads (`madmax_parallel::Workload::serve`) pipeline the
+//! decode stream itself — each decode step is one microbatch unit flowing
+//! through the stages ([`build_serve_trace_into`]) — so pipeline
+//! parallelism hides inter-stage latency across the generated tokens.
+//!
 //! # Example
 //!
 //! ```
 //! use madmax_hw::catalog;
 //! use madmax_model::ModelId;
-//! use madmax_parallel::{PipelineConfig, Plan, Task};
+//! use madmax_parallel::{PipelineConfig, Plan, Workload};
 //!
 //! let model = ModelId::Llama2.build();
 //! let system = catalog::llama_llm_system();
 //! let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 32));
 //! let report =
-//!     madmax_pipeline::run_pipelined_default(&model, &system, &plan, &Task::Pretraining).unwrap();
+//!     madmax_pipeline::run_pipelined_default(&model, &system, &plan, &Workload::pretrain())
+//!         .unwrap();
 //! let bubble = report.bubble_fraction.unwrap();
 //! assert!(bubble > 0.0 && bubble < 0.5, "{bubble}");
 //! ```
@@ -42,10 +48,8 @@ pub mod sim;
 pub use cost::{stage_costs, StageCosts};
 pub use memory::pipeline_memory;
 pub use partition::{partition_model, Stage, StageUnit};
-pub use schedule::{build_pipeline_trace, build_pipeline_trace_into};
+pub use schedule::{build_pipeline_trace, build_pipeline_trace_into, build_serve_trace_into};
 pub use sim::{build_pipelined_trace, run_pipelined, run_pipelined_default, run_pipelined_scratch};
-#[allow(deprecated)]
-pub use sim::{simulate, PipelineSimulation};
 
 /// The analytic GPipe bubble fraction for `p` uniform stages and `m`
 /// microbatches: `(p - 1) / (m + p - 1)` (delegates to

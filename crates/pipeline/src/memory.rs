@@ -6,7 +6,7 @@
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
 use madmax_parallel::{
-    memory_per_device, MemoryBreakdown, PipelineSchedule, Plan, PlanError, Task,
+    memory_per_device, MemoryBreakdown, PipelineSchedule, Plan, PlanError, Workload,
 };
 
 use crate::cost::{stage_cluster, stage_model};
@@ -25,7 +25,7 @@ pub fn pipeline_memory(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
     stages: &[Stage],
     microbatches: usize,
     schedule: PipelineSchedule,
@@ -38,11 +38,11 @@ pub fn pipeline_memory(
     let mut worst_total = f64::NEG_INFINITY;
     for (si, stage) in stages.iter().enumerate() {
         let sub_model = stage_model(model, stage, si);
-        let mut b = memory_per_device(&sub_model, &sub, plan, task);
+        let mut b = memory_per_device(&sub_model, &sub, plan, workload);
         // memory_per_device retains the full global batch's activations —
         // exactly GPipe's worst case. 1F1B keeps at most `p` in-flight
         // microbatches of the `m` total.
-        if schedule == PipelineSchedule::OneFOneB && task.has_backward() {
+        if schedule == PipelineSchedule::OneFOneB && workload.has_backward() {
             let in_flight = (p.min(microbatches)) as f64 / microbatches as f64;
             b.activations = b.activations * in_flight.min(1.0);
         }
@@ -83,7 +83,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &stages,
             32,
             PipelineSchedule::GPipe,
@@ -93,7 +93,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &stages,
             32,
             PipelineSchedule::OneFOneB,
@@ -112,13 +112,13 @@ mod tests {
         let sys = catalog::llama_llm_system();
         let mut plan = Plan::fsdp_baseline(&model);
         plan.options.ignore_memory_limits = true;
-        let flat = memory_per_device(&model, &sys, &plan, &Task::Pretraining);
+        let flat = memory_per_device(&model, &sys, &plan, &Workload::pretrain());
         let stages = partition_model(&model, &sys, 8).unwrap();
         let piped = pipeline_memory(
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &stages,
             32,
             PipelineSchedule::OneFOneB,

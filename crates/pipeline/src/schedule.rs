@@ -114,6 +114,19 @@ pub fn build_pipeline_trace_into(
     train: bool,
     trace: &mut Trace,
 ) {
+    let _ = build_main_into(costs, cfg, train, trace);
+}
+
+/// The shared schedule expansion behind [`build_pipeline_trace_into`] and
+/// the serve builder: emits the (training or forward-only) schedule and
+/// returns each stage's per-microbatch forward-completion ops, which the
+/// serve builder chains decode steps onto.
+fn build_main_into(
+    costs: &[StageCosts],
+    cfg: &PipelineConfig,
+    train: bool,
+    trace: &mut Trace,
+) -> Vec<Vec<Option<OpId>>> {
     let p = costs.len();
     let m = cfg.microbatches;
     assert!(p > 0, "at least one stage");
@@ -313,6 +326,114 @@ pub fn build_pipeline_trace_into(
             }
         }
     }
+
+    fwd_done
+}
+
+/// Builds the serve-mode trace: the prompt's prefill as a forward-only
+/// pipeline over `cfg.microbatches` microbatch groups, then `decode_len`
+/// decode waves flowing through the same stages — **the decode step is
+/// the microbatch unit**. The serving batch is split into the same `m`
+/// groups; decode unit `(t, g)` (stage-trace microbatch index
+/// `t * m + g`) is group `g`'s step-`t` token:
+///
+/// - on stage 0 it waits for the *same group's previous token* to leave
+///   the last stage (autoregressive feedback; the token itself is a few
+///   bytes, so the return hop is not priced),
+/// - on later stages it waits for the previous stage's P2P activation
+///   send of the same unit,
+/// - its compute is the decode-phase stage cost stretched by the
+///   KV-cache read at token position `kv_start + t`.
+///
+/// With `m` groups in flight the feedback round-trip hides behind the
+/// other groups' work — the decode bubble shrinks as the decode batch
+/// (groups in flight) grows, which is exactly what pipelining buys on
+/// bandwidth-constrained fabrics.
+///
+/// # Panics
+///
+/// Panics if `prefill` and `decode` disagree on the stage count, or on
+/// [`build_pipeline_trace`]'s conditions.
+#[allow(clippy::too_many_arguments)] // engine-internal plumbing
+pub fn build_serve_trace_into(
+    prefill: &[StageCosts],
+    decode: &[StageCosts],
+    cfg: &PipelineConfig,
+    decode_len: usize,
+    kv_start: usize,
+    trace: &mut Trace,
+) {
+    let p = prefill.len();
+    assert_eq!(decode.len(), p, "prefill/decode stage counts differ");
+    let m = cfg.microbatches;
+
+    let fwd_done = build_main_into(prefill, cfg, false, trace);
+
+    // The op that produced microbatch group g's latest token: initially
+    // its prefill completing the last stage.
+    let mut latest_token: Vec<Option<OpId>> = (0..m).map(|g| fwd_done[p - 1][g]).collect();
+
+    for t in 0..decode_len {
+        let kv_len = (kv_start + t) as f64;
+        for (g, token) in latest_token.iter_mut().enumerate() {
+            let unit = (t * m + g) as u32;
+            let mut carry: Option<OpId> = None; // previous stage's send
+            for (s, c) in decode.iter().enumerate() {
+                let stage = s as u16;
+                let mut deps = Deps::none();
+                if s == 0 {
+                    if let Some(prev) = *token {
+                        deps.push(prev);
+                    }
+                } else if let Some(send) = carry {
+                    deps.push(send);
+                }
+                let kind = if c.lookup_dominated {
+                    OpKind::Lookup
+                } else {
+                    OpKind::Gemm {
+                        class: c.dominant_class,
+                    }
+                };
+                let compute = trace.push(TraceOp {
+                    name: OpName::StagePass {
+                        stage,
+                        dir: PassDir::Dec,
+                        mb: unit,
+                    },
+                    stream: StreamId::StageCompute(stage),
+                    kind,
+                    phase: Phase::Decode,
+                    duration: c.fwd_compute + c.kv_read_per_token * kv_len,
+                    deps,
+                });
+                let out = comm_ops(
+                    trace,
+                    stage,
+                    Phase::Decode,
+                    PassDir::Dec,
+                    unit,
+                    &c.fwd_comm,
+                    compute,
+                );
+                if s + 1 < p {
+                    let send = trace.push(TraceOp {
+                        name: OpName::StageSendTok { stage, mb: unit },
+                        stream: StreamId::StageComm(stage),
+                        kind: OpKind::Collective {
+                            kind: CollectiveKind::PointToPoint,
+                        },
+                        phase: Phase::Decode,
+                        duration: c.send_fwd,
+                        deps: Deps::one(out),
+                    });
+                    carry = Some(send);
+                } else {
+                    *token = Some(out);
+                }
+            }
+        }
+    }
 }
 
 /// Builds uniform synthetic stage costs — handy for schedule-shape tests
@@ -331,6 +452,7 @@ pub fn uniform_costs(p: usize, fwd: Seconds, bwd: Seconds, send: Seconds) -> Vec
             optimizer: Seconds::ZERO,
             dominant_class: madmax_model::LayerClass::Dense,
             lookup_dominated: false,
+            kv_read_per_token: Seconds::ZERO,
         })
         .collect()
 }
@@ -389,6 +511,76 @@ mod tests {
         // transfers on the critical path.
         let makespan = schedule(&trace).makespan.as_secs();
         assert!((makespan - (11.0 + 0.3)).abs() < 1e-9, "{makespan}");
+    }
+
+    #[test]
+    fn serve_decode_bubble_shrinks_with_more_groups_in_flight() {
+        // 4 stages, free transfers, uniform decode cost: with one group in
+        // flight every decode token costs a full round trip; with m >= p
+        // the pipeline stays full and per-token cost approaches one stage
+        // time.
+        let p = 4;
+        let decode_len = 8;
+        let per_token_makespan = |m: usize| {
+            let prefill = uniform_costs(p, Seconds::new(1.0), Seconds::ZERO, Seconds::ZERO);
+            let decode = uniform_costs(p, Seconds::new(0.25), Seconds::ZERO, Seconds::ZERO);
+            let cfg = PipelineConfig::gpipe(p, m);
+            let mut trace = Trace::new();
+            build_serve_trace_into(&prefill, &decode, &cfg, decode_len, 128, &mut trace);
+            let s = schedule(&trace);
+            // Measure the decode span only (prefill cost is m-dependent).
+            let prefill_end = trace
+                .ops()
+                .iter()
+                .zip(&s.windows)
+                .filter(|(op, _)| op.phase == Phase::Forward)
+                .map(|(_, w)| w.finish)
+                .fold(Seconds::ZERO, Seconds::max);
+            (s.makespan - prefill_end).as_secs() / (decode_len * m) as f64
+        };
+        let one = per_token_makespan(1);
+        let four = per_token_makespan(4);
+        let eight = per_token_makespan(8);
+        assert!(four < one, "{four} vs {one}");
+        assert!(eight <= four, "{eight} vs {four}");
+        // With one group the round trip is fully exposed: p stage-times
+        // per token.
+        assert!((one - 1.0).abs() < 1e-9, "{one}");
+    }
+
+    #[test]
+    fn serve_decode_is_forward_then_decode_phases_only() {
+        let prefill = uniform_costs(3, Seconds::new(1.0), Seconds::ZERO, Seconds::new(0.1));
+        let decode = uniform_costs(3, Seconds::new(0.2), Seconds::ZERO, Seconds::new(0.01));
+        let cfg = PipelineConfig::gpipe(3, 2);
+        let mut trace = Trace::new();
+        build_serve_trace_into(&prefill, &decode, &cfg, 4, 64, &mut trace);
+        assert!(trace
+            .ops()
+            .iter()
+            .all(|o| matches!(o.phase, Phase::Forward | Phase::Decode)));
+        // KV growth: a later decode wave is never cheaper than an earlier
+        // one on the same stage.
+        let decode_kv = uniform_costs(3, Seconds::new(0.2), Seconds::ZERO, Seconds::ZERO)
+            .into_iter()
+            .map(|mut c| {
+                c.kv_read_per_token = Seconds::new(1e-3);
+                c
+            })
+            .collect::<Vec<_>>();
+        let mut t2 = Trace::new();
+        build_serve_trace_into(&prefill, &decode_kv, &cfg, 4, 64, &mut t2);
+        let wave_cost = |step: u32| -> Seconds {
+            t2.ops()
+                .iter()
+                .filter(|o| {
+                    matches!(o.name, OpName::StagePass { dir: PassDir::Dec, mb, .. } if mb / 2 == step)
+                        && o.stream == StreamId::StageCompute(0)
+                })
+                .map(|o| o.duration)
+                .sum()
+        };
+        assert!(wave_cost(3) > wave_cost(0));
     }
 
     #[test]

@@ -1,89 +1,59 @@
 //! The pipeline-aware execution engine: partitions, prices, builds the
 //! schedule trace, and replays it on `madmax-core`'s list scheduler.
 //!
-//! [`run_pipelined`] is the low-level entry point shared by the unified
-//! `madmax_engine::Scenario` front door and the deprecated
-//! [`PipelineSimulation`] shim. New code should go through `Scenario`,
-//! which dispatches between this engine and the flat one.
+//! [`run_pipelined`] is the low-level entry point behind the unified
+//! `madmax_engine::Scenario` front door, which dispatches between this
+//! engine and the flat one.
+//!
+//! Serve workloads pipeline the decode stream itself: the prompt's
+//! prefill runs as a forward-only pipeline, then every decode step flows
+//! through the stages as one microbatch unit
+//! (see [`crate::schedule::build_serve_trace_into`]), so pipeline
+//! parallelism hides inter-stage latency across the token stream.
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
-use madmax_parallel::{Plan, PlanError, Task};
+use madmax_parallel::{Plan, PlanError, Workload};
 
 use madmax_core::collective::{CollectiveModel, HierarchicalNccl};
 use madmax_core::compute::UtilizationModel;
-use madmax_core::{schedule, schedule_into, EngineScratch, IterationReport, Schedule, Trace};
+use madmax_core::{
+    schedule, schedule_into, serve_stats_from, EngineScratch, IterationReport, Schedule, Trace,
+};
 
 use crate::cost::{stage_costs, StageCosts};
 use crate::memory::pipeline_memory;
 use crate::partition::partition_model;
-use crate::schedule::{build_pipeline_trace, build_pipeline_trace_into};
+use crate::schedule::{build_pipeline_trace_into, build_serve_trace_into};
 
 static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
 
-/// Runs the pipeline engine end to end on a plan whose
-/// [`madmax_parallel::PipelineConfig`] is active: the model is split into
-/// balanced contiguous stages, the global batch into microbatches, and the
-/// chosen schedule (GPipe or 1F1B) is replayed on per-stage streams.
-///
-/// # Errors
-///
-/// [`PlanError::InvalidPipeline`] when the plan has no active pipeline
-/// config or the pipeline cannot be mapped (too few layers, indivisible
-/// devices, bad microbatch count); [`PlanError::InvalidStrategy`] /
-/// [`PlanError::OutOfMemory`] as in the flat engine.
-pub fn run_pipelined(
-    model: &ModelArch,
-    cluster: &ClusterSpec,
-    plan: &Plan,
-    task: &Task,
-    collective_model: &dyn CollectiveModel,
-    utilization: UtilizationModel,
-) -> Result<(IterationReport, Trace, Schedule), PlanError> {
-    let (trace, memory) =
-        prepare_pipelined(model, cluster, plan, task, collective_model, utilization)?;
-    let sched = schedule(&trace);
-    let report = IterationReport::from_schedule(&trace, &sched, model, memory);
-    Ok((report, trace, sched))
-}
-
-/// The shared front half of the pipeline engine: validate, partition,
-/// check memory, price the stages, and build the schedule trace. Both
-/// trace-only inspection and the full run go through here so the two
-/// views can never drift.
-fn prepare_pipelined(
-    model: &ModelArch,
-    cluster: &ClusterSpec,
-    plan: &Plan,
-    task: &Task,
-    collective_model: &dyn CollectiveModel,
-    utilization: UtilizationModel,
-) -> Result<(Trace, madmax_parallel::MemoryBreakdown), PlanError> {
-    let (costs, cfg, memory) =
-        price_pipelined(model, cluster, plan, task, collective_model, utilization)?;
-    Ok((
-        build_pipeline_trace(&costs, &cfg, task.has_backward()),
-        memory,
-    ))
+/// Everything the pricing half derives for one pipelined run.
+struct PricedPipeline {
+    /// Per-stage costs of the primary phase (training fwd+bwd, or the
+    /// serve prefill).
+    primary: Vec<StageCosts>,
+    /// Per-stage decode costs plus the decode length (serve workloads
+    /// with decode steps).
+    decode: Option<(Vec<StageCosts>, usize)>,
+    cfg: madmax_parallel::PipelineConfig,
+    /// Resolved prompt length (KV tokens cached before decode step 0).
+    prompt_len: usize,
+    memory: madmax_parallel::MemoryBreakdown,
 }
 
 /// The pricing half of the pipeline engine: validate, partition, check
-/// memory, and derive the per-stage costs the schedule builders expand.
+/// memory, and derive the per-stage costs (per workload phase) the
+/// schedule builders expand. `model` must already be the workload's
+/// effective primary-phase model.
 fn price_pipelined(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
-) -> Result<
-    (
-        Vec<StageCosts>,
-        madmax_parallel::PipelineConfig,
-        madmax_parallel::MemoryBreakdown,
-    ),
-    PlanError,
-> {
+) -> Result<PricedPipeline, PlanError> {
     let Some(cfg) = plan.pipeline.filter(|c| c.is_pipelined()) else {
         return Err(PlanError::InvalidPipeline {
             reason: "plan has no active pipeline config (use the flat engine)".to_owned(),
@@ -96,22 +66,113 @@ fn price_pipelined(
         model,
         cluster,
         plan,
-        task,
+        workload,
         &stages,
         cfg.microbatches,
         cfg.schedule,
     )?;
-    let costs = stage_costs(
+    let primary = stage_costs(
         model,
         cluster,
         plan,
-        task,
+        workload,
         &stages,
         cfg.microbatches,
         collective_model,
         utilization,
     )?;
-    Ok((costs, cfg, memory))
+    let decode = match workload.decode_model(model) {
+        Some(decode_model) => {
+            let costs = stage_costs(
+                &decode_model,
+                cluster,
+                plan,
+                workload,
+                &stages,
+                cfg.microbatches,
+                collective_model,
+                utilization,
+            )?;
+            let decode_len = workload
+                .serve_config()
+                .expect("decode model implies serve")
+                .decode_len;
+            Some((costs, decode_len))
+        }
+        None => None,
+    };
+    Ok(PricedPipeline {
+        primary,
+        decode,
+        cfg,
+        prompt_len: model.context_length,
+        memory,
+    })
+}
+
+fn build_into(priced: &PricedPipeline, workload: &Workload, trace: &mut Trace) {
+    match &priced.decode {
+        Some((decode, decode_len)) => build_serve_trace_into(
+            &priced.primary,
+            decode,
+            &priced.cfg,
+            *decode_len,
+            priced.prompt_len,
+            trace,
+        ),
+        None => {
+            build_pipeline_trace_into(&priced.primary, &priced.cfg, workload.has_backward(), trace)
+        }
+    }
+}
+
+fn attach_serve_stats(
+    report: &mut IterationReport,
+    priced: &PricedPipeline,
+    model: &ModelArch,
+    trace: &Trace,
+    sched: &Schedule,
+) {
+    if let Some((_, decode_len)) = &priced.decode {
+        report.serve = Some(serve_stats_from(
+            trace,
+            sched,
+            priced.prompt_len,
+            *decode_len,
+            model.global_batch,
+        ));
+    }
+}
+
+/// Runs the pipeline engine end to end on a plan whose
+/// [`madmax_parallel::PipelineConfig`] is active: the model is split into
+/// balanced contiguous stages, the global batch into microbatches, and the
+/// chosen schedule (GPipe or 1F1B) is replayed on per-stage streams.
+/// Serve workloads run prefill waves followed by the pipelined decode
+/// stream.
+///
+/// # Errors
+///
+/// [`PlanError::InvalidPipeline`] when the plan has no active pipeline
+/// config or the pipeline cannot be mapped (too few layers, indivisible
+/// devices, bad microbatch count); [`PlanError::InvalidStrategy`] /
+/// [`PlanError::OutOfMemory`] as in the flat engine.
+pub fn run_pipelined(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    workload: &Workload,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<(IterationReport, Trace, Schedule), PlanError> {
+    let eff = workload.effective_model(model);
+    let priced = price_pipelined(&eff, cluster, plan, workload, collective_model, utilization)?;
+    let mut trace = Trace::new();
+    build_into(&priced, workload, &mut trace);
+    let sched = schedule(&trace);
+    let mut report = IterationReport::from_schedule(&trace, &sched, &eff, priced.memory);
+    attach_serve_stats(&mut report, &priced, &eff, &trace, &sched);
+    Ok((report, trace, sched))
 }
 
 /// The pipeline engine's buffer-recycling path: like [`run_pipelined`]
@@ -127,22 +188,24 @@ pub fn run_pipelined_scratch(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
     scratch: &mut EngineScratch,
 ) -> Result<IterationReport, PlanError> {
-    let (costs, cfg, memory) =
-        price_pipelined(model, cluster, plan, task, collective_model, utilization)?;
-    build_pipeline_trace_into(&costs, &cfg, task.has_backward(), &mut scratch.trace);
+    let eff = workload.effective_model(model);
+    let priced = price_pipelined(&eff, cluster, plan, workload, collective_model, utilization)?;
+    build_into(&priced, workload, &mut scratch.trace);
     schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
-    Ok(IterationReport::from_schedule_in(
+    let mut report = IterationReport::from_schedule_in(
         &scratch.trace,
         &scratch.sched,
-        model,
-        memory,
+        &eff,
+        priced.memory,
         &mut scratch.report,
-    ))
+    );
+    attach_serve_stats(&mut report, &priced, &eff, &scratch.trace, &scratch.sched);
+    Ok(report)
 }
 
 /// Builds the pipelined stage trace without scheduling it (for
@@ -155,17 +218,19 @@ pub fn build_pipelined_trace(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
 ) -> Result<Trace, PlanError> {
-    prepare_pipelined(model, cluster, plan, task, collective_model, utilization)
-        .map(|(trace, _)| trace)
+    let eff = workload.effective_model(model);
+    let priced = price_pipelined(&eff, cluster, plan, workload, collective_model, utilization)?;
+    let mut trace = Trace::new();
+    build_into(&priced, workload, &mut trace);
+    Ok(trace)
 }
 
 /// Runs the pipeline engine with the default cost models, falling back to
-/// the flat engine for non-pipelined plans (the implementation behind the
-/// deprecated [`simulate`] and the pipelined half of
+/// the flat engine for non-pipelined plans (the pipelined half of
 /// `madmax_engine::Scenario`).
 ///
 /// # Errors
@@ -175,129 +240,21 @@ pub fn run_pipelined_default(
     model: &ModelArch,
     cluster: &ClusterSpec,
     plan: &Plan,
-    task: &Task,
+    workload: &Workload,
 ) -> Result<IterationReport, PlanError> {
     if plan.pipeline.is_some_and(|c| c.is_pipelined()) {
         run_pipelined(
             model,
             cluster,
             plan,
-            task,
+            workload,
             &DEFAULT_COLLECTIVES,
             UtilizationModel::Constant,
         )
         .map(|(report, _, _)| report)
     } else {
-        madmax_core::run_flat_default(model, cluster, plan, task)
+        madmax_core::run_flat_default(model, cluster, plan, workload)
     }
-}
-
-/// A configured pipeline-parallel simulation.
-///
-/// Deprecated: `madmax_engine::Scenario` is the unified entry point; it
-/// accepts both flat and pipelined plans and reports one error type.
-#[deprecated(
-    since = "0.2.0",
-    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
-)]
-#[derive(Debug)]
-pub struct PipelineSimulation<'a> {
-    model: &'a ModelArch,
-    cluster: &'a ClusterSpec,
-    plan: &'a Plan,
-    task: Task,
-    collective_model: &'a dyn CollectiveModel,
-    utilization: UtilizationModel,
-}
-
-#[allow(deprecated)]
-impl<'a> PipelineSimulation<'a> {
-    /// Creates a pipeline simulation with the default cost models.
-    pub fn new(model: &'a ModelArch, cluster: &'a ClusterSpec, plan: &'a Plan, task: Task) -> Self {
-        Self {
-            model,
-            cluster,
-            plan,
-            task,
-            collective_model: &DEFAULT_COLLECTIVES,
-            utilization: UtilizationModel::Constant,
-        }
-    }
-
-    /// Replaces the collective cost model.
-    #[must_use]
-    pub fn with_collective_model(mut self, m: &'a dyn CollectiveModel) -> Self {
-        self.collective_model = m;
-        self
-    }
-
-    /// Replaces the compute-utilization model.
-    #[must_use]
-    pub fn with_utilization(mut self, u: UtilizationModel) -> Self {
-        self.utilization = u;
-        self
-    }
-
-    /// Runs the simulation, returning the report plus the trace and
-    /// schedule for timeline rendering.
-    ///
-    /// # Errors
-    ///
-    /// [`PlanError::InvalidPipeline`] when the pipeline cannot be mapped
-    /// (too few layers, indivisible devices, bad microbatch count),
-    /// [`PlanError::InvalidStrategy`] / [`PlanError::OutOfMemory`] as in the
-    /// flat simulator.
-    pub fn run_with_trace(&self) -> Result<(IterationReport, Trace, Schedule), PlanError> {
-        if self.plan.pipeline.is_some_and(|c| c.is_pipelined()) {
-            run_pipelined(
-                self.model,
-                self.cluster,
-                self.plan,
-                &self.task,
-                self.collective_model,
-                self.utilization,
-            )
-        } else {
-            // Not pipelined: delegate to the flat SPMD engine.
-            madmax_core::run_flat(
-                self.model,
-                self.cluster,
-                self.plan,
-                &self.task,
-                self.collective_model,
-                self.utilization,
-            )
-        }
-    }
-
-    /// Runs the simulation end to end.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`PipelineSimulation::run_with_trace`].
-    pub fn run(&self) -> Result<IterationReport, PlanError> {
-        let (report, _, _) = self.run_with_trace()?;
-        Ok(report)
-    }
-}
-
-/// Pipeline-aware one-shot wrapper: executes the plan's pipeline config
-/// when present, and falls back to the flat engine otherwise.
-///
-/// # Errors
-///
-/// Same conditions as [`run_pipelined`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use madmax_engine::Scenario, the unified flat + pipeline entry point"
-)]
-pub fn simulate(
-    model: &ModelArch,
-    cluster: &ClusterSpec,
-    plan: &Plan,
-    task: Task,
-) -> Result<IterationReport, PlanError> {
-    run_pipelined_default(model, cluster, plan, &task)
 }
 
 #[cfg(test)]
@@ -305,15 +262,15 @@ mod tests {
     use super::*;
     use madmax_hw::catalog;
     use madmax_model::ModelId;
-    use madmax_parallel::PipelineConfig;
+    use madmax_parallel::{PipelineConfig, ServeConfig};
 
     fn simulate(
         model: &ModelArch,
         cluster: &ClusterSpec,
         plan: &Plan,
-        task: Task,
+        workload: Workload,
     ) -> Result<IterationReport, PlanError> {
-        run_pipelined_default(model, cluster, plan, &task)
+        run_pipelined_default(model, cluster, plan, &workload)
     }
 
     #[test]
@@ -321,7 +278,7 @@ mod tests {
         let model = ModelId::Llama2.build();
         let sys = catalog::llama_llm_system();
         let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
-        let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let r = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
         let bubble = r.bubble_fraction.expect("pipelined run reports bubble");
         // Fill/drain overhead plus transfer/parameter-fetch slack: at least
         // the analytic floor, and well below 1.
@@ -338,8 +295,9 @@ mod tests {
         let model = ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system();
         let plan = Plan::fsdp_baseline(&model);
-        let flat = madmax_core::run_flat_default(&model, &sys, &plan, &Task::Pretraining).unwrap();
-        let piped = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let flat =
+            madmax_core::run_flat_default(&model, &sys, &plan, &Workload::pretrain()).unwrap();
+        let piped = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
         assert_eq!(flat, piped);
         assert!(piped.bubble_fraction.is_none());
     }
@@ -350,7 +308,7 @@ mod tests {
         let sys = catalog::llama_llm_system();
         let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
         let err =
-            madmax_core::run_flat_default(&model, &sys, &plan, &Task::Pretraining).unwrap_err();
+            madmax_core::run_flat_default(&model, &sys, &plan, &Workload::pretrain()).unwrap_err();
         assert!(
             matches!(err, PlanError::PipelinedPlan { stages: 8 }),
             "{err}"
@@ -366,7 +324,7 @@ mod tests {
             &model,
             &sys,
             &plan,
-            &Task::Pretraining,
+            &Workload::pretrain(),
             &DEFAULT_COLLECTIVES,
             UtilizationModel::Constant,
         )
@@ -381,7 +339,7 @@ mod tests {
         let mut last = f64::INFINITY;
         for m in [4usize, 16, 64] {
             let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, m));
-            let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+            let r = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
             let bubble = r.bubble_fraction.unwrap();
             assert!(bubble < last, "m={m}: {bubble} vs {last}");
             last = bubble;
@@ -393,7 +351,7 @@ mod tests {
         let model = ModelId::Gpt3.build();
         let sys = catalog::llama_llm_system(); // 256 nodes
         let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(7, 8));
-        let err = simulate(&model, &sys, &plan, Task::Pretraining).unwrap_err();
+        let err = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap_err();
         assert!(matches!(err, PlanError::InvalidPipeline { .. }), "{err}");
     }
 
@@ -402,27 +360,59 @@ mod tests {
         let model = ModelId::Llama2.build();
         let sys = catalog::llama_llm_system();
         let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
-        let infer = simulate(&model, &sys, &plan, Task::Inference).unwrap();
-        let train = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+        let infer = simulate(&model, &sys, &plan, Workload::inference()).unwrap();
+        let train = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
         assert!(infer.iteration_time < train.iteration_time);
         use madmax_parallel::CollectiveKind;
         assert!(!infer
             .comm_by_collective
             .contains_key(&CollectiveKind::ReduceScatter));
+        assert!(infer.serve.is_none(), "prefill-only: no serve stats");
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_engine() {
+    fn pipelined_serve_reports_ttft_and_tpot() {
         let model = ModelId::Llama2.build();
         let sys = catalog::llama_llm_system();
-        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 16));
-        let engine = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-        let shim = PipelineSimulation::new(&model, &sys, &plan, Task::Pretraining)
-            .run()
-            .unwrap();
-        let one_shot = super::simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-        assert_eq!(engine, shim);
-        assert_eq!(engine, one_shot);
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(8, 16));
+        let workload = Workload::serve(ServeConfig::new(1024, 32));
+        let r = simulate(&model, &sys, &plan, workload).unwrap();
+        let s = r.serve.expect("decode run reports serve stats");
+        assert_eq!(s.prompt_len, 1024);
+        assert_eq!(s.decode_len, 32);
+        assert!(s.ttft.as_secs() > 0.0 && s.tpot.as_secs() > 0.0);
+        assert!(r.memory.kv_cache.as_gb() > 0.0);
+        // The decode stream dominates iteration time here, and throughput
+        // accounting follows the serve batch.
+        assert!(r.serve_tokens_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn scratch_path_matches_one_shot_for_serve() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 8));
+        let workload = Workload::serve(ServeConfig::new(512, 16).with_decode_batch(512));
+        let (one_shot, _, _) = run_pipelined(
+            &model,
+            &sys,
+            &plan,
+            &workload,
+            &DEFAULT_COLLECTIVES,
+            UtilizationModel::Constant,
+        )
+        .unwrap();
+        let mut scratch = EngineScratch::new();
+        let recycled = run_pipelined_scratch(
+            &model,
+            &sys,
+            &plan,
+            &workload,
+            &DEFAULT_COLLECTIVES,
+            UtilizationModel::Constant,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(one_shot, recycled);
     }
 }

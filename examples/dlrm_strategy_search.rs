@@ -10,7 +10,7 @@ use madmax_dse::{best_point, sweep_class, Explorer};
 use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelId::DlrmA.build();
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &system,
         &baseline_plan,
         LayerClass::Dense,
-        &Task::Pretraining,
+        &Workload::pretrain(),
     );
     for p in &points {
         match &p.outcome {
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Joint search over every layer class, fanned out over all cores.
     let result = Explorer::new(&model, &system)
-        .task(Task::Pretraining)
+        .workload(Workload::pretrain())
         .explore()?;
     println!(
         "Joint search: {} plans evaluated ({} OOM), best = {} at {:.2}x over FSDP",

@@ -10,7 +10,7 @@ use madmax_core::config::{ExperimentSpec, SimulationConfig};
 use madmax_engine::simulate;
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{HierStrategy, Plan, Strategy, Task};
+use madmax_parallel::{HierStrategy, Plan, Strategy, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build a configuration in code once...
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model,
         system: catalog::zionex_dlrm_system(),
         experiment: ExperimentSpec {
-            task: Task::Pretraining,
+            workload: Workload::pretrain(),
             plan,
         },
     };
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &loaded.model,
         &loaded.system,
         &loaded.experiment.plan,
-        loaded.experiment.task,
+        loaded.experiment.workload,
     )?;
     println!(
         "{} on {}: {:.2} MQPS, {:.2} ms/iteration, {:.1}% comm exposed",

@@ -10,7 +10,7 @@ use madmax_core::validation::gpu_hours;
 use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelId::Llama2.build();
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan = Plan::fsdp_baseline(&model);
         let report = Scenario::new(&model, &system)
             .plan(plan)
-            .task(Task::Pretraining)
+            .workload(Workload::pretrain())
             .run()?;
         let steps = total_tokens / model.tokens_per_iteration();
         let days = (report.iteration_time * steps).as_days();

@@ -14,7 +14,7 @@ use madmax_dse::{Explorer, SearchSpace};
 use madmax_engine::Scenario;
 use madmax_hw::{catalog, DeviceScaling};
 use madmax_model::ModelId;
-use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Task};
+use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, Workload};
 use madmax_pipeline::gpipe_bubble_fraction;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
             let r = Scenario::new(&model, &system)
                 .plan(plan)
-                .task(Task::Pretraining)
+                .workload(Workload::pretrain())
                 .run()?;
             row.push_str(&format!(
                 "{:>11.1}%",
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         axes.microbatches = vec![8, 16, 32, 64];
     }
     let search = Explorer::new(&model, &constrained)
-        .task(Task::Pretraining)
+        .workload(Workload::pretrain())
         .space(space)
         .explore()?;
     println!("\nJoint (pp, mb, schedule) search with 8x slower scale-out links:");

@@ -8,7 +8,7 @@
 use madmax_engine::Scenario;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
-use madmax_parallel::{Plan, Task};
+use madmax_parallel::{Plan, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick a workload from the paper's suite (Table II) and a system
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the plan and `run()` dispatches to the stage engine.
     let report = Scenario::new(&model, &system)
         .plan(plan.clone())
-        .task(Task::Pretraining)
+        .workload(Workload::pretrain())
         .run()?;
 
     println!("model:                {}", model.name);

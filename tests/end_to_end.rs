@@ -6,7 +6,7 @@ use madmax_core::StreamId;
 use madmax_engine::{simulate, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{HierStrategy, Plan, Strategy, Task};
+use madmax_parallel::{HierStrategy, Plan, Strategy, Workload};
 
 #[test]
 fn json_round_trip_preserves_simulation_results() {
@@ -18,13 +18,13 @@ fn json_round_trip_preserves_simulation_results() {
             catalog::llama_llm_system()
         };
         let plan = Plan::fsdp_baseline(&model);
-        let direct = simulate(&model, &system, &plan, Task::Pretraining).unwrap();
+        let direct = simulate(&model, &system, &plan, Workload::pretrain()).unwrap();
 
         let cfg = SimulationConfig {
             model,
             system,
             experiment: ExperimentSpec {
-                task: Task::Pretraining,
+                workload: Workload::pretrain(),
                 plan,
             },
         };
@@ -34,7 +34,7 @@ fn json_round_trip_preserves_simulation_results() {
             &loaded.model,
             &loaded.system,
             &loaded.experiment.plan,
-            loaded.experiment.task,
+            loaded.experiment.workload,
         )
         .unwrap();
         assert_eq!(direct, reloaded, "{id}: config round trip changed results");
@@ -46,8 +46,8 @@ fn simulation_is_deterministic() {
     let model = ModelId::DlrmATransformer.build();
     let sys = catalog::zionex_dlrm_system();
     let plan = Plan::fsdp_baseline(&model);
-    let a = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
-    let b = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+    let a = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
+    let b = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
     assert_eq!(a, b);
 }
 
@@ -98,7 +98,7 @@ fn accounting_identities_hold_across_suite() {
             catalog::llama_llm_system()
         };
         let plan = Plan::fsdp_baseline(&model);
-        for task in [Task::Pretraining, Task::Inference] {
+        for task in [Workload::pretrain(), Workload::inference()] {
             let r = simulate(&model, &sys, &plan, task).unwrap();
             // Serialized >= overlapped; exposed <= total comm; category sums
             // match totals.
@@ -134,7 +134,7 @@ fn more_nodes_increase_throughput_but_sublinearly_for_dlrm() {
         scaled.global_batch = 512 * sys.total_devices();
         let mut plan = Plan::fsdp_baseline(&scaled);
         plan.options.ignore_memory_limits = true; // isolate network scaling
-        let r = simulate(&scaled, &sys, &plan, Task::Pretraining).unwrap();
+        let r = simulate(&scaled, &sys, &plan, Workload::pretrain()).unwrap();
         throughputs.push(r.samples_per_sec());
     }
     assert!(throughputs[1] > throughputs[0]);
@@ -151,9 +151,9 @@ fn collective_dtype_halves_fsdp_traffic() {
     let sys = catalog::zionex_dlrm_system();
     let mut plan = Plan::fsdp_baseline(&model);
     plan.options.collective_dtype = madmax_hw::DType::Bf16;
-    let bf16 = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+    let bf16 = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
     plan.options.collective_dtype = madmax_hw::DType::Fp32;
-    let fp32 = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+    let fp32 = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
     // FSDP AllGather/ReduceScatter payloads double at fp32 on the wire;
     // All2All (activation) payloads are unchanged.
     let ag16 = bf16.comm_by_collective[&madmax_parallel::CollectiveKind::AllGather];
@@ -173,12 +173,12 @@ fn single_node_dlrm_has_no_internode_bottleneck() {
     m1.global_batch = 2048 * 8;
     let mut plan = Plan::fsdp_baseline(&m1);
     plan.options.ignore_memory_limits = true;
-    let r1 = simulate(&m1, &one, &plan, Task::Pretraining).unwrap();
+    let r1 = simulate(&m1, &one, &plan, Workload::pretrain()).unwrap();
     let r16 = simulate(
         &model,
         &sixteen,
         &Plan::fsdp_baseline(&model),
-        Task::Pretraining,
+        Workload::pretrain(),
     )
     .unwrap();
     // Same per-device batch, but the single node exchanges embeddings over
@@ -192,7 +192,7 @@ fn moe_expert_parallelism_creates_blocking_a2a() {
     let sys = catalog::llama_llm_system();
     let plan = Plan::fsdp_baseline(&model)
         .with_strategy(LayerClass::Moe, HierStrategy::flat(Strategy::Shard));
-    let r = simulate(&model, &sys, &plan, Task::Pretraining).unwrap();
+    let r = simulate(&model, &sys, &plan, Workload::pretrain()).unwrap();
     let a2a = r.comm_by_collective[&madmax_parallel::CollectiveKind::AllToAll];
     assert!(a2a.as_secs() > 0.0);
     // MoE A2A is on the critical path: some of it must be exposed.

@@ -1,27 +1,33 @@
-//! Equivalence suite for the unified engine API: `Scenario::run()` must be
-//! byte-for-byte identical to the legacy front doors it subsumes
-//! (`madmax_core::Simulation` for flat plans, `madmax_pipeline::simulate`
-//! for pipelined plans) across the model zoo, and the parallel `Explorer`
-//! must return the identical winner to a forced single-threaded run.
+//! Equivalence suite for the unified engine API.
 //!
-//! Honest scope note: the deprecated fronts are thin shims over the same
-//! extracted engine functions (`run_flat` / `run_pipelined`) that
-//! `Scenario` calls, so these comparisons pin *shim stability* and the
-//! dispatch path — they guard against the shims or the dispatcher
-//! drifting apart in the future, not against a bug introduced while the
-//! engines were extracted. Equivalence to the pre-refactor absolute
-//! behavior is pinned separately by `tests/paper_validation.rs` and
-//! `tests/insights.rs`, whose expected values predate this refactor and
-//! still pass unchanged.
+//! PR 2 pinned `Scenario` byte-for-byte against the legacy `Simulation` /
+//! `PipelineSimulation` front doors; those shims have now been removed
+//! after their deprecation release, and the absolute behavior they pinned
+//! is carried by `tests/paper_validation.rs` / `tests/insights.rs`
+//! (expected values predating both refactors, still passing unchanged).
 //!
-//! This file intentionally exercises the deprecated entry points.
+//! This file pins the `Workload` redesign the same way, one layer down:
+//!
+//! - `Scenario::workload(Workload::from(task))` is byte-for-byte the
+//!   deprecated `Scenario::task(task)` shim for every legacy variant —
+//!   in particular `Task::Inference` maps to a prefill-only serve
+//!   workload with an identical engine path, so every existing inference
+//!   figure/result is unchanged;
+//! - the allocation-free cached path reproduces `Scenario::run` exactly
+//!   (now including serve workloads with decode phases);
+//! - the parallel explorer returns the identical winner at any thread
+//!   count.
+//!
+//! This file intentionally exercises the deprecated `task()` shims.
 #![allow(deprecated)]
 
-use madmax_dse::{Explorer, PipelineAxes, SearchSpace};
-use madmax_engine::{EngineError, EngineScratch, Scenario};
+use madmax_dse::{Explorer, PipelineAxes, SearchSpace, ServeAxes};
+use madmax_engine::{EngineScratch, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{HierStrategy, PipelineConfig, PipelineSchedule, Plan, Strategy, Task};
+use madmax_parallel::{
+    HierStrategy, PipelineConfig, PipelineSchedule, Plan, ServeConfig, Strategy, Task, Workload,
+};
 
 fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
     if id.is_dlrm() {
@@ -32,18 +38,27 @@ fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
 }
 
 #[test]
-fn scenario_matches_flat_simulation_across_the_zoo() {
+fn workload_from_task_is_byte_identical_across_the_zoo() {
+    // The acceptance pin: Scenario::workload(Workload::from(task)) must
+    // reproduce the deprecated Scenario::task(task) shim — and with it
+    // every existing figure — byte for byte, for every legacy variant.
     for id in ModelId::ALL {
         let model = id.build();
         let sys = system_for(id);
         let plan = Plan::fsdp_baseline(&model);
-        for task in [Task::Pretraining, Task::Inference] {
-            let old = madmax_core::Simulation::new(&model, &sys, &plan, task.clone())
+        for task in [
+            Task::Pretraining,
+            Task::Inference,
+            Task::finetune_only(LayerClass::Embedding),
+        ] {
+            let old = Scenario::new(&model, &sys)
+                .plan(plan.clone())
+                .task(task.clone())
                 .run()
                 .unwrap();
             let new = Scenario::new(&model, &sys)
                 .plan(plan.clone())
-                .task(task.clone())
+                .workload(Workload::from(task.clone()))
                 .run()
                 .unwrap();
             assert_eq!(old, new, "{id} {task}: reports differ");
@@ -58,16 +73,59 @@ fn scenario_matches_flat_simulation_across_the_zoo() {
 }
 
 #[test]
-fn scenario_matches_flat_trace_and_schedule() {
+fn legacy_inference_is_the_prefill_only_serve_workload() {
+    // Task::Inference == Workload::inference() == a prefill-only serve
+    // with the model's own context/batch; an *explicit* prompt override
+    // equal to the model context produces identical numbers through the
+    // effective-model path.
+    for id in [ModelId::DlrmA, ModelId::Gpt3, ModelId::Llama2] {
+        let model = id.build();
+        let sys = system_for(id);
+        let plan = Plan::fsdp_baseline(&model);
+        let legacy = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .task(Task::Inference)
+            .run()
+            .unwrap();
+        let mapped = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .workload(Workload::from(Task::Inference))
+            .run()
+            .unwrap();
+        let explicit = Scenario::new(&model, &sys)
+            .plan(plan.clone())
+            .workload(Workload::serve(ServeConfig {
+                prompt_len: Some(model.context_length),
+                decode_len: 0,
+                decode_batch: Some(model.global_batch),
+                kv_cache: false,
+            }))
+            .run()
+            .unwrap();
+        assert_eq!(legacy, mapped, "{id}");
+        assert_eq!(legacy, explicit, "{id}: explicit prompt/batch differ");
+        assert!(legacy.serve.is_none(), "{id}: prefill-only has no stats");
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            serde_json::to_string(&mapped).unwrap(),
+            "{id}: serialized inference reports differ"
+        );
+    }
+}
+
+#[test]
+fn workload_trace_and_schedule_match_the_task_shim() {
     let model = ModelId::DlrmATransformer.build();
     let sys = catalog::zionex_dlrm_system();
     let plan = Plan::fsdp_baseline(&model);
-    let (old_r, old_t, old_s) =
-        madmax_core::Simulation::new(&model, &sys, &plan, Task::Pretraining)
-            .run_with_trace()
-            .unwrap();
+    let (old_r, old_t, old_s) = Scenario::new(&model, &sys)
+        .plan(plan.clone())
+        .task(Task::Pretraining)
+        .run_with_trace()
+        .unwrap();
     let (new_r, new_t, new_s) = Scenario::new(&model, &sys)
         .plan(plan)
+        .workload(Workload::pretrain())
         .run_with_trace()
         .unwrap();
     assert_eq!(old_r, new_r);
@@ -76,96 +134,10 @@ fn scenario_matches_flat_trace_and_schedule() {
 }
 
 #[test]
-fn scenario_matches_pipeline_simulate_across_the_zoo() {
-    // Every model x a pipelined plan: the unified entry point must agree
-    // with the legacy pipeline front door on success AND on failure shape
-    // (deep pipelines are unmappable for shallow DLRM towers).
-    for id in ModelId::ALL {
-        let model = id.build();
-        let sys = system_for(id);
-        for (p, m, schedule) in [
-            (2usize, 8usize, PipelineSchedule::GPipe),
-            (4, 16, PipelineSchedule::OneFOneB),
-            (8, 32, PipelineSchedule::OneFOneB),
-        ] {
-            let mut plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
-                stages: p,
-                microbatches: m,
-                schedule,
-            });
-            // Waive capacity so the comparison covers mapping logic, not
-            // which side OOMs first.
-            plan.options.ignore_memory_limits = true;
-            let old = madmax_pipeline::simulate(&model, &sys, &plan, Task::Pretraining);
-            let new = Scenario::new(&model, &sys).plan(plan).run();
-            match (old, new) {
-                (Ok(o), Ok(n)) => {
-                    assert_eq!(o, n, "{id} pp={p} mb={m}: reports differ");
-                    assert_eq!(
-                        serde_json::to_string(&o).unwrap(),
-                        serde_json::to_string(&n).unwrap(),
-                        "{id} pp={p} mb={m}: serialized reports differ"
-                    );
-                }
-                (Err(o), Err(n)) => {
-                    assert_eq!(EngineError::from(o), n, "{id} pp={p} mb={m}: errors differ");
-                }
-                (o, n) => panic!("{id} pp={p} mb={m}: divergent outcomes {o:?} vs {n:?}"),
-            }
-        }
-    }
-}
-
-#[test]
-fn explorer_subsumes_deprecated_optimize() {
-    for id in [ModelId::DlrmA, ModelId::Gpt3] {
-        let model = id.build();
-        let sys = system_for(id);
-        let legacy = madmax_dse::optimize(
-            &model,
-            &sys,
-            &Task::Pretraining,
-            &madmax_dse::SearchOptions::default(),
-        )
-        .unwrap();
-        let unified = Explorer::new(&model, &sys).explore().unwrap();
-        assert_eq!(legacy.best_plan, unified.best_plan, "{id}");
-        assert_eq!(legacy.best, unified.best, "{id}");
-        assert_eq!(legacy.evaluated, unified.evaluated, "{id}");
-        assert_eq!(legacy.oom, unified.oom, "{id}");
-    }
-}
-
-#[test]
-fn explorer_subsumes_deprecated_optimize_pipeline() {
-    let model = ModelId::Llama2.build();
-    let sys = catalog::llama_llm_system();
-    let mut legacy_space = madmax_dse::PipelineSearchSpace::default_for(&sys);
-    legacy_space.microbatches = vec![8, 16];
-    let legacy =
-        madmax_dse::optimize_pipeline(&model, &sys, &Task::Pretraining, &legacy_space).unwrap();
-
-    let mut axes = PipelineAxes::default_for(&sys);
-    axes.microbatches = vec![8, 16];
-    let unified = Explorer::new(&model, &sys)
-        .space(SearchSpace::default().with_pipeline(axes))
-        .explore()
-        .unwrap();
-    assert_eq!(legacy.best_plan, unified.best_plan);
-    assert_eq!(legacy.best, unified.best);
-    assert_eq!(legacy.baseline, unified.baseline);
-    assert_eq!(legacy.evaluated, unified.evaluated);
-    assert_eq!(
-        (legacy.oom, legacy.unmappable, legacy.invalid),
-        (unified.oom, unified.unmappable, unified.invalid)
-    );
-}
-
-#[test]
 fn parallel_explorer_is_deterministic() {
-    // The acceptance criterion: the parallel explorer returns the
-    // identical winner (plan and report, bit for bit) to a forced
-    // single-threaded run — for both a flat and a joint pipeline space.
+    // The parallel explorer returns the identical winner (plan and
+    // report, bit for bit) to a forced single-threaded run — for a flat,
+    // a joint pipeline, and a serve space.
     let model = ModelId::DlrmA.build();
     let sys = catalog::zionex_dlrm_system();
     let seq = Explorer::new(&model, &sys).threads(1).explore().unwrap();
@@ -203,15 +175,40 @@ fn parallel_explorer_is_deterministic() {
         .unwrap();
     assert_eq!(seq.best_plan, par.best_plan);
     assert_eq!(seq.best, par.best);
+
+    let serve_space = SearchSpace::default()
+        .with_serve(ServeAxes::batches([256, 512]))
+        .with_pipeline(PipelineAxes {
+            stages: vec![1, 8],
+            microbatches: vec![8],
+            schedules: vec![PipelineSchedule::GPipe],
+        });
+    let workload = Workload::serve(ServeConfig::new(512, 16));
+    let seq = Explorer::new(&llm, &llm_sys)
+        .workload(workload.clone())
+        .space(serve_space.clone())
+        .threads(1)
+        .explore()
+        .unwrap();
+    let par = Explorer::new(&llm, &llm_sys)
+        .workload(workload)
+        .space(serve_space)
+        .threads(8)
+        .explore()
+        .unwrap();
+    assert_eq!(seq.best_plan, par.best_plan);
+    assert_eq!(seq.best_workload, par.best_workload);
+    assert_eq!(seq.best, par.best);
 }
 
 #[test]
 fn cached_fast_path_is_byte_identical_across_the_zoo() {
     // The allocation-free evaluation path (shared CostTable + recycled
     // EngineScratch) must reproduce `Scenario::run`'s reports bit for bit
-    // — success AND error shapes — for flat and pipelined plans. One
-    // scratch is reused across every model and plan, so any state leaking
-    // between candidates through the arena would show up here.
+    // — success AND error shapes — for flat and pipelined plans, training
+    // and serve workloads. One scratch is reused across every model and
+    // plan, so any state leaking between candidates through the arena
+    // would show up here.
     let mut scratch = EngineScratch::new();
     for id in ModelId::ALL {
         let model = id.build();
@@ -231,33 +228,37 @@ fn cached_fast_path_is_byte_identical_across_the_zoo() {
         piped.options.ignore_memory_limits = true;
         plans.push(piped);
 
-        for task in [Task::Pretraining, Task::Inference] {
+        for workload in [
+            Workload::pretrain(),
+            Workload::inference(),
+            Workload::serve(ServeConfig::new(256, 8)),
+        ] {
             for plan in &plans {
-                let scenario = Scenario::new(&model, &sys).task_ref(&task);
+                let scenario = Scenario::new(&model, &sys).workload_ref(&workload);
                 let table = scenario.price_plans(std::slice::from_ref(plan));
                 let cached = Scenario::new(&model, &sys)
-                    .task_ref(&task)
+                    .workload_ref(&workload)
                     .plan_ref(plan)
                     .costs(&table)
                     .run_in(&mut scratch);
                 let uncached = Scenario::new(&model, &sys)
-                    .task_ref(&task)
+                    .workload_ref(&workload)
                     .plan_ref(plan)
                     .run();
                 match (cached, uncached) {
                     (Ok(c), Ok(u)) => {
-                        assert_eq!(c, u, "{id} {task} {}", plan.summary());
+                        assert_eq!(c, u, "{id} {workload} {}", plan.summary());
                         assert_eq!(
                             serde_json::to_string(&c).unwrap(),
                             serde_json::to_string(&u).unwrap(),
-                            "{id} {task} {}: serialized reports differ",
+                            "{id} {workload} {}: serialized reports differ",
                             plan.summary()
                         );
                     }
                     (Err(c), Err(u)) => {
-                        assert_eq!(c, u, "{id} {task} {}: errors differ", plan.summary());
+                        assert_eq!(c, u, "{id} {workload} {}: errors differ", plan.summary());
                     }
-                    (c, u) => panic!("{id} {task}: divergent outcomes {c:?} vs {u:?}"),
+                    (c, u) => panic!("{id} {workload}: divergent outcomes {c:?} vs {u:?}"),
                 }
             }
         }
@@ -286,7 +287,7 @@ fn explorer_fast_path_matches_fresh_scenarios_at_any_thread_count() {
         .map(|p| {
             Scenario::new(&model, &sys)
                 .plan_ref(p)
-                .task(Task::Pretraining)
+                .workload(Workload::pretrain())
                 .run()
         })
         .collect();
@@ -317,7 +318,8 @@ fn explorer_fast_path_matches_fresh_scenarios_at_any_thread_count() {
 #[test]
 fn op_names_render_todays_exact_strings() {
     // The structured OpName must reproduce the historical string names
-    // exactly, on real traces from both engines.
+    // exactly, on real traces from both engines — plus the serve trace's
+    // decode names.
     let dlrm = ModelId::DlrmA.build();
     let dlrm_sys = catalog::zionex_dlrm_system();
     let trace = Scenario::new(&dlrm, &dlrm_sys).build_trace().unwrap();
@@ -349,7 +351,7 @@ fn op_names_render_todays_exact_strings() {
 
     let plan = Plan::fsdp_baseline(&llm).with_pipeline(PipelineConfig::gpipe(8, 16));
     let trace = Scenario::new(&llm, &llm_sys)
-        .plan(plan)
+        .plan(plan.clone())
         .build_trace()
         .unwrap();
     let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
@@ -362,6 +364,30 @@ fn op_names_render_todays_exact_strings() {
         "stage0.grad.ReduceScatter",
         "stage0.optimizer",
     ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+
+    // Serve traces: flat decode names and pipelined decode-stream names.
+    let serve = Workload::serve(ServeConfig::new(512, 2));
+    let trace = Scenario::new(&llm, &llm_sys)
+        .workload(serve.clone())
+        .build_trace()
+        .unwrap();
+    let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
+    for expected in [
+        "dec[0].word_embedding.lookup",
+        "dec[0][0].transformer_blocks",
+        "dec[1][95].transformer_blocks",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+    let trace = Scenario::new(&llm, &llm_sys)
+        .workload(serve)
+        .plan(plan)
+        .build_trace()
+        .unwrap();
+    let names: Vec<String> = trace.ops().iter().map(|o| o.name.to_string()).collect();
+    for expected in ["stage0.dec[0]", "stage7.dec[31]", "stage0.send_tok[31]"] {
         assert!(names.iter().any(|n| n == expected), "missing {expected}");
     }
 }

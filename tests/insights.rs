@@ -6,7 +6,7 @@ use madmax_dse::{best_point, scaling_study, sweep_class, Explorer, ScalingAxis, 
 use madmax_engine::{simulate, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{HierStrategy, Plan, Strategy, Task};
+use madmax_parallel::{HierStrategy, Plan, Strategy, Workload};
 
 fn zionex() -> madmax_hw::ClusterSpec {
     catalog::zionex_dlrm_system()
@@ -24,12 +24,18 @@ fn insight1_dlrm_embeddings_force_sharding_and_tp_ddp_wins_dense() {
     // viable: DDP replication of 3.17 TB per device is absurd and must OOM.
     let plan = Plan::fsdp_baseline(&model)
         .with_strategy(LayerClass::Embedding, HierStrategy::flat(Strategy::Ddp));
-    assert!(simulate(&model, &sys, &plan, Task::Pretraining).is_err_and(|e| e.is_oom()));
+    assert!(simulate(&model, &sys, &plan, Workload::pretrain()).is_err_and(|e| e.is_oom()));
 
     // With embeddings pinned to sharding, the dense sweep puts (TP, DDP)
     // on top and flat DDP out of memory (Fig. 11).
     let base = Plan::fsdp_baseline(&model);
-    let points = sweep_class(&model, &sys, &base, LayerClass::Dense, &Task::Pretraining);
+    let points = sweep_class(
+        &model,
+        &sys,
+        &base,
+        LayerClass::Dense,
+        &Workload::pretrain(),
+    );
     let best = best_point(&points).unwrap();
     assert_eq!(
         best.strategy,
@@ -49,7 +55,7 @@ fn insight2_llm_word_embeddings_replicate_but_compute_layers_cannot() {
     // GPT-3 word embeddings (<2 GB) replicate fine via DDP.
     let plan = Plan::fsdp_baseline(&model)
         .with_strategy(LayerClass::Embedding, HierStrategy::flat(Strategy::Ddp));
-    assert!(simulate(&model, &sys, &plan, Task::Pretraining).is_ok());
+    assert!(simulate(&model, &sys, &plan, Workload::pretrain()).is_ok());
 
     // Any replication of the transformer stack across nodes OOMs.
     for strat in [
@@ -59,7 +65,7 @@ fn insight2_llm_word_embeddings_replicate_but_compute_layers_cannot() {
     ] {
         let plan = Plan::fsdp_baseline(&model).with_strategy(LayerClass::Transformer, strat);
         assert!(
-            simulate(&model, &sys, &plan, Task::Pretraining).is_err_and(|e| e.is_oom()),
+            simulate(&model, &sys, &plan, Workload::pretrain()).is_err_and(|e| e.is_oom()),
             "{strat} should OOM"
         );
     }
@@ -87,8 +93,8 @@ fn insight3_hierarchy_ordering_matters() {
         LayerClass::Dense,
         HierStrategy::two_level(Strategy::Ddp, Strategy::Tp),
     );
-    let a = simulate(&model, &sys, &tp_ddp, Task::Pretraining).unwrap();
-    let b = simulate(&model, &sys, &ddp_tp, Task::Pretraining).unwrap();
+    let a = simulate(&model, &sys, &tp_ddp, Workload::pretrain()).unwrap();
+    let b = simulate(&model, &sys, &ddp_tp, Workload::pretrain()).unwrap();
     // (TP, DDP) reduces activations over NVLink; (DDP, TP) pushes them over
     // RoCE and is much slower.
     assert!(a.iteration_time < b.iteration_time);
@@ -130,13 +136,13 @@ fn insight5_task_diversity() {
         .with_strategy(LayerClass::Dense, HierStrategy::flat(Strategy::Ddp));
     // DDP dense: infeasible for pre-training, fine for inference and
     // embedding-only fine-tuning.
-    assert!(simulate(&model, &sys, &ddp_dense, Task::Pretraining).is_err());
-    assert!(simulate(&model, &sys, &ddp_dense, Task::Inference).is_ok());
+    assert!(simulate(&model, &sys, &ddp_dense, Workload::pretrain()).is_err());
+    assert!(simulate(&model, &sys, &ddp_dense, Workload::inference()).is_ok());
     assert!(simulate(
         &model,
         &sys,
         &ddp_dense,
-        Task::finetune_only(LayerClass::Embedding)
+        Workload::finetune_only(LayerClass::Embedding)
     )
     .is_ok());
 
@@ -145,7 +151,7 @@ fn insight5_task_diversity() {
     // and input gradient work is omitted), unlike pre-training where DDP
     // is not even feasible.
     let base = Plan::fsdp_baseline(&model);
-    let ranking = |task: &Task| -> Vec<String> {
+    let ranking = |task: &Workload| -> Vec<String> {
         let mut pts: Vec<_> = sweep_class(&model, &sys, &base, LayerClass::Dense, task)
             .into_iter()
             .filter_map(|p| p.throughput().map(|t| (p.strategy.to_string(), t)))
@@ -153,8 +159,8 @@ fn insight5_task_diversity() {
         pts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         pts.into_iter().map(|(s, _)| s).take(3).collect()
     };
-    let ft_rank = ranking(&Task::finetune_only(LayerClass::Embedding));
-    let inf_rank = ranking(&Task::Inference);
+    let ft_rank = ranking(&Workload::finetune_only(LayerClass::Embedding));
+    let inf_rank = ranking(&Workload::inference());
     assert_eq!(ft_rank[0], inf_rank[0], "top strategies should match");
     // DDP is in the feasible set for both, but not for pre-training.
     assert!(ft_rank.contains(&"(DDP)".to_owned()) || inf_rank.contains(&"(DDP)".to_owned()));
@@ -187,13 +193,19 @@ fn insight6_context_length_diminishing_returns() {
 fn insight8_gpu_generations_and_superpod() {
     let model = ModelId::DlrmA.build();
     let plan = Plan::fsdp_baseline(&model);
-    let a100 = simulate(&model, &zionex(), &plan, Task::Pretraining).unwrap();
-    let h100 = simulate(&model, &catalog::h100_cluster(16), &plan, Task::Pretraining).unwrap();
+    let a100 = simulate(&model, &zionex(), &plan, Workload::pretrain()).unwrap();
+    let h100 = simulate(
+        &model,
+        &catalog::h100_cluster(16),
+        &plan,
+        Workload::pretrain(),
+    )
+    .unwrap();
     let superpod = simulate(
         &model,
         &catalog::h100_superpod_cluster(16),
         &plan,
-        Task::Pretraining,
+        Workload::pretrain(),
     )
     .unwrap();
     assert!(h100.iteration_time < a100.iteration_time);
@@ -226,7 +238,7 @@ fn insight9_commodity_platforms_simulate_and_improve() {
 #[test]
 fn insight10_joint_scaling_beats_individual() {
     let model = ModelId::DlrmA.build();
-    let points = scaling_study(&model, &zionex(), &Task::Pretraining, 10.0).unwrap();
+    let points = scaling_study(&model, &zionex(), &Workload::pretrain(), 10.0).unwrap();
     let all = points
         .iter()
         .find(|p| p.axis == ScalingAxis::All)

@@ -5,7 +5,7 @@ use madmax_core::validation::{self, reference};
 use madmax_dse::Explorer;
 use madmax_hw::catalog;
 use madmax_model::ModelId;
-use madmax_parallel::Task;
+use madmax_parallel::Workload;
 
 #[test]
 fn table_i_all_rows_above_80_percent_accuracy() {
@@ -115,7 +115,7 @@ fn abstract_claim_inference_gains_larger_than_training() {
     let sys = catalog::zionex_dlrm_system();
     let train = Explorer::new(&model, &sys).explore().unwrap();
     let infer = Explorer::new(&model, &sys)
-        .task(Task::Inference)
+        .workload(Workload::inference())
         .explore()
         .unwrap();
     assert!(infer.speedup() >= 1.0);

@@ -269,7 +269,7 @@ proptest! {
     #[test]
     fn memory_model_monotone_in_shard_factor(nodes in 2usize..64) {
         // More sharding never increases the parameter footprint.
-        use madmax_parallel::{memory_per_device, Plan, Task};
+        use madmax_parallel::{memory_per_device, Plan, Workload};
         let model = madmax_model::ModelId::DlrmA.build();
         let sys = catalog::zionex_dlrm_system().with_num_nodes(nodes);
         let fsdp = Plan::fsdp_baseline(&model);
@@ -277,8 +277,8 @@ proptest! {
             LayerClass::Dense,
             HierStrategy::flat(PStrategy::Ddp),
         );
-        let m_fsdp = memory_per_device(&model, &sys, &fsdp, &Task::Pretraining);
-        let m_ddp = memory_per_device(&model, &sys, &ddp, &Task::Pretraining);
+        let m_fsdp = memory_per_device(&model, &sys, &fsdp, &Workload::pretrain());
+        let m_ddp = memory_per_device(&model, &sys, &ddp, &Workload::pretrain());
         prop_assert!(m_fsdp.params <= m_ddp.params);
         prop_assert!(m_fsdp.optimizer <= m_ddp.optimizer);
     }
