@@ -1,0 +1,119 @@
+//! Criterion benchmarks of the pipeline engine's pricing/assembly split:
+//! the cost of pricing one joint-search key into a `PipelineCostTable`,
+//! the cached per-candidate assembly path it enables (training and
+//! serve), and the uncached one-shot path it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use madmax_engine::{EngineScratch, PipelineCostTable, Scenario};
+use madmax_hw::{catalog, DeviceScaling};
+use madmax_model::ModelId;
+use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, ServeConfig, Workload};
+
+fn bench_pricing(c: &mut Criterion) {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let plans: Vec<Plan> = [2usize, 4, 8]
+        .into_iter()
+        .flat_map(|p| {
+            [8usize, 16].map(|m| {
+                Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(p, m))
+            })
+        })
+        .collect();
+    let workload = Workload::pretrain();
+    c.bench_function("pipeline_table_price_6_keys", |b| {
+        b.iter(|| {
+            let scenario = Scenario::new(black_box(&model), &sys).workload_ref(&workload);
+            black_box(scenario.price_pipeline_plans(&plans))
+        })
+    });
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let slow = catalog::llama_llm_system().scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0));
+    let mut group = c.benchmark_group("pipeline_candidates");
+
+    // Training: cached assembly vs the uncached one-shot path.
+    let train = Workload::pretrain();
+    let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(8, 32));
+    let scenario = Scenario::new(&model, &sys).workload_ref(&train);
+    let table = scenario.price_pipeline_plans(std::slice::from_ref(&plan));
+    let mut scratch = EngineScratch::new();
+    group.bench_function("train_cached", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::new(black_box(&model), &sys)
+                    .workload_ref(&train)
+                    .plan_ref(&plan)
+                    .pipeline_costs(&table)
+                    .run_in(&mut scratch)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("train_uncached", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::new(black_box(&model), &sys)
+                    .workload_ref(&train)
+                    .plan_ref(&plan)
+                    .run()
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Serve: two-phase pricing, decode-stream assembly; alternating
+    // microbatch counts defeat the scratch memo so the assembly itself is
+    // measured.
+    let serve = Workload::serve(ServeConfig::new(1024, 64).with_decode_batch(256));
+    let serve_plans: Vec<Plan> = [8usize, 16]
+        .into_iter()
+        .map(|m| {
+            Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+                stages: 8,
+                microbatches: m,
+                schedule: PipelineSchedule::GPipe,
+            })
+        })
+        .collect();
+    let serve_scenario = Scenario::new(&model, &slow).workload_ref(&serve);
+    let serve_table: PipelineCostTable = serve_scenario.price_pipeline_plans(&serve_plans);
+    let mut serve_scratch = EngineScratch::new();
+    group.bench_function("serve_cached_pair", |b| {
+        b.iter(|| {
+            for plan in &serve_plans {
+                black_box(
+                    Scenario::new(black_box(&model), &slow)
+                        .workload_ref(&serve)
+                        .plan_ref(plan)
+                        .pipeline_costs(&serve_table)
+                        .run_in(&mut serve_scratch)
+                        .unwrap(),
+                );
+            }
+        })
+    });
+    // The memoized fast path: identical assembly inputs (the schedule
+    // axis of a serve search).
+    group.bench_function("serve_memo_hit", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::new(black_box(&model), &slow)
+                    .workload_ref(&serve)
+                    .plan_ref(&serve_plans[0])
+                    .pipeline_costs(&serve_table)
+                    .run_in(&mut serve_scratch)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pricing, bench_assembly);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Performance-trajectory harness: times `Explorer::explore()` on the
-//! fig10-style joint strategy searches plus the serve-mode (`fig_serve`)
-//! searches, and writes a machine-readable `BENCH_PR<n>.json` at the
+//! fig10-style joint strategy searches, the pipeline-schedule grids and
+//! joint strategy x pipeline searches, and the serve-mode (`fig_serve`)
+//! searches, then writes a machine-readable `BENCH_PR<n>.json` at the
 //! repository root. Each PR that claims a hot-path win (or adds a new
 //! search family) re-runs this bin and commits the new point, so the perf
 //! history is a series of comparable JSON files rather than anecdotes.
@@ -9,7 +10,7 @@
 //!
 //! ```text
 //! cargo run --release -p madmax-bench --bin bench_report -- \
-//!     [--threads N] [--out BENCH_PR4.json] [--reps 5] [--baseline PRE.json]
+//!     [--threads N] [--out BENCH_PR5.json] [--reps 5] [--baseline PRE.json]
 //! ```
 //!
 //! With `--baseline`, a previously emitted report (e.g. one produced by
@@ -30,7 +31,7 @@ use std::time::Instant;
 use madmax_dse::{Explorer, PipelineAxes, SearchSpace, ServeAxes};
 use madmax_hw::{catalog, DeviceScaling};
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{PipelineSchedule, ServeConfig, Workload};
+use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, ServeConfig, Workload};
 use serde::{Deserialize, Serialize};
 
 /// One timed search, as emitted (and re-read via `--baseline`) by this
@@ -57,9 +58,44 @@ fn arg_value(name: &str) -> Option<String> {
     None
 }
 
+/// Times one search — one warm-up, then best-of-`reps` — and records it
+/// under `search`, joining the pre-PR point from `baseline` when present.
+fn record(
+    records: &mut Vec<BenchRecord>,
+    baseline: &[BenchRecord],
+    search: String,
+    candidates: usize,
+    threads: usize,
+    reps: usize,
+    mut run: impl FnMut(),
+) -> f64 {
+    run(); // warm-up
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let pre = baseline
+        .iter()
+        .find(|r| r.search == search)
+        .map(|r| r.wall_ms);
+    let vs = pre.map_or(String::new(), |p| format!("  {:5.1}x vs pre", p / best_ms));
+    println!("{search:<46} {candidates:>4} candidates  {best_ms:>9.2} ms  ({threads} threads){vs}");
+    records.push(BenchRecord {
+        search,
+        candidates,
+        wall_ms: best_ms,
+        threads,
+        pre_pr_wall_ms: pre,
+        speedup: pre.map(|p| p / best_ms),
+    });
+    best_ms
+}
+
 fn main() {
     let threads = madmax_bench::threads_from_args();
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_PR5.json".to_owned());
     let reps: usize = arg_value("--reps")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5)
@@ -88,55 +124,39 @@ fn main() {
         ] {
             let explorer = Explorer::new(&model, &system).space(space).threads(threads);
             let candidates = explorer.candidates().len();
-
-            // One warm-up, then best-of-`reps`.
             let outcome = explorer.explore().expect("baseline feasible");
-            let mut best_ms = f64::INFINITY;
-            for _ in 0..reps {
-                let start = Instant::now();
-                let o = explorer.explore().expect("baseline feasible");
-                let ms = start.elapsed().as_secs_f64() * 1e3;
-                assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
-                best_ms = best_ms.min(ms);
-            }
-
+            let best_ms = record(
+                &mut records,
+                &baseline,
+                format!("fig10/{id}{label}"),
+                candidates,
+                threads,
+                reps,
+                || {
+                    let o = explorer.explore().expect("baseline feasible");
+                    assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
+                },
+            );
             total_candidates += candidates;
             total_ms += best_ms;
-            let search = format!("fig10/{id}{label}");
-            let pre = baseline
-                .iter()
-                .find(|r| r.search == search)
-                .map(|r| r.wall_ms);
-            let vs = pre.map_or(String::new(), |p| format!("  {:5.1}x vs pre", p / best_ms));
-            println!(
-                "{search:<42} {candidates:>4} candidates  {best_ms:>9.2} ms  \
-                 ({threads} threads){vs}"
-            );
-            records.push(BenchRecord {
-                search,
-                candidates,
-                wall_ms: best_ms,
-                threads,
-                pre_pr_wall_ms: pre,
-                speedup: pre.map(|p| p / best_ms),
-            });
         }
     }
 
     // Aggregate record: the full fig10 search suite, wall-clock summed.
     // A baseline produced by this bin carries its own aggregate record;
-    // exclude it so pre-PR time is not double-counted.
+    // exclude it (and the non-fig10 searches) so pre-PR time is not
+    // double-counted.
     {
         let search = "fig10/all".to_owned();
         let pre: f64 = baseline
             .iter()
-            .filter(|r| r.search != search)
+            .filter(|r| r.search != search && r.search.starts_with("fig10/"))
             .map(|r| r.wall_ms)
             .sum();
         let pre = (pre > 0.0).then_some(pre);
         let vs = pre.map_or(String::new(), |p| format!("  {:5.1}x vs pre", p / total_ms));
         println!(
-            "{search:<42} {total_candidates:>4} candidates  {total_ms:>9.2} ms  \
+            "{search:<46} {total_candidates:>4} candidates  {total_ms:>9.2} ms  \
              ({threads} threads){vs}"
         );
         records.push(BenchRecord {
@@ -149,9 +169,77 @@ fn main() {
         });
     }
 
-    // Serve-mode searches (fig_serve, new in PR 4 — no pre-PR point):
-    // the joint (transformer strategy x pipeline x decode batch) search on
-    // the bandwidth-constrained fabric, and its flat (pp=1) half.
+    // Pipeline-schedule grids (the fig_pipeline_schedules hot loop): the
+    // full (microbatch x schedule) plan grid at pp=8, evaluated through
+    // the shared-table `Explorer::evaluate` fast path.
+    for id in [ModelId::Llama, ModelId::Llama2, ModelId::Gpt3] {
+        let model = id.build();
+        let system = catalog::llama_llm_system();
+        let plans: Vec<Plan> = [2usize, 4, 8, 16, 32]
+            .iter()
+            .flat_map(|&m| {
+                [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB].map(|schedule| {
+                    let mut plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+                        stages: 8,
+                        microbatches: m,
+                        schedule,
+                    });
+                    plan.options.ignore_memory_limits = true;
+                    plan
+                })
+            })
+            .collect();
+        let explorer = Explorer::new(&model, &system)
+            .workload(Workload::pretrain())
+            .threads(threads);
+        record(
+            &mut records,
+            &baseline,
+            format!("fig_pipeline_schedules/{id}"),
+            plans.len(),
+            threads,
+            reps,
+            || {
+                for r in explorer.evaluate(&plans) {
+                    r.expect("schedule grid is feasible");
+                }
+            },
+        );
+    }
+
+    // Joint strategy x pipeline searches (fig10 with pipeline axes): the
+    // transformer-class strategy sweep crossed with (depth, microbatch,
+    // schedule) on the training workload.
+    for id in [ModelId::Llama2, ModelId::Gpt3] {
+        let model = id.build();
+        let system = catalog::llama_llm_system();
+        let space = SearchSpace::strategies()
+            .with_classes(vec![LayerClass::Transformer])
+            .with_pipeline(PipelineAxes {
+                stages: vec![1, 2, 4, 8],
+                microbatches: vec![8, 16, 32],
+                schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+            });
+        let explorer = Explorer::new(&model, &system).space(space).threads(threads);
+        let candidates = explorer.candidates().len();
+        let outcome = explorer.explore().expect("joint baseline feasible");
+        record(
+            &mut records,
+            &baseline,
+            format!("fig10_pp/{id}/joint"),
+            candidates,
+            threads,
+            reps,
+            || {
+                let o = explorer.explore().expect("joint baseline feasible");
+                assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
+            },
+        );
+    }
+
+    // Serve-mode searches (fig_serve): the joint (transformer strategy x
+    // pipeline x decode batch) search on the bandwidth-constrained fabric,
+    // and its flat (pp=1) half.
     {
         let model = ModelId::Llama2.build();
         let slow = catalog::llama_llm_system().scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0));
@@ -173,31 +261,18 @@ fn main() {
             // (plan x decode-batch) combinations, as tallied by the search
             // itself.
             let candidates = outcome.evaluated;
-            let mut best_ms = f64::INFINITY;
-            for _ in 0..reps {
-                let start = Instant::now();
-                let o = explorer.explore().expect("serve baseline feasible");
-                let ms = start.elapsed().as_secs_f64() * 1e3;
-                assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
-                best_ms = best_ms.min(ms);
-            }
-            let search = format!("fig_serve/{}/{label}", ModelId::Llama2);
-            let pre = baseline
-                .iter()
-                .find(|r| r.search == search)
-                .map(|r| r.wall_ms);
-            println!(
-                "{search:<42} {candidates:>4} candidates  {best_ms:>9.2} ms  \
-                 ({threads} threads)"
-            );
-            records.push(BenchRecord {
-                search,
+            record(
+                &mut records,
+                &baseline,
+                format!("fig_serve/{}/{label}", ModelId::Llama2),
                 candidates,
-                wall_ms: best_ms,
                 threads,
-                pre_pr_wall_ms: pre,
-                speedup: pre.map(|p| p / best_ms),
-            });
+                reps,
+                || {
+                    let o = explorer.explore().expect("serve baseline feasible");
+                    assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
+                },
+            );
         }
     }
 

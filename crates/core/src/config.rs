@@ -5,8 +5,9 @@
 //! Every spec type in the workspace derives serde, so configs round-trip
 //! losslessly; this module adds the file-level glue. Experiment specs
 //! written before the `Workload` redesign (a `"task"` field holding a
-//! legacy `Task` variant) still parse: the deprecated variants are mapped
-//! through `Workload::from`, mirroring the in-code shim.
+//! legacy `Task` variant) still parse: the legacy variant names are mapped
+//! onto workloads here, even though the in-code `Task` shim itself has
+//! been removed.
 
 use std::fs;
 use std::path::Path;
@@ -27,9 +28,37 @@ pub struct ExperimentSpec {
     pub plan: Plan,
 }
 
+/// Maps a pre-`Workload` `"task"` value (`"Pretraining"`, `"Inference"`,
+/// or `{"Finetuning": {"trainable": [...]}}`) onto a [`Workload`]. The
+/// in-code `Task` enum is gone; this keeps the on-disk schema loading.
+fn workload_from_legacy_task(v: &serde::Value) -> Result<Workload, serde::Error> {
+    if let serde::Value::Str(s) = v {
+        return match s.as_str() {
+            "Pretraining" => Ok(Workload::pretrain()),
+            "Inference" => Ok(Workload::inference()),
+            other => Err(serde::Error::msg(format!("unknown legacy task {other}"))),
+        };
+    }
+    let map = v
+        .as_map()
+        .ok_or_else(|| serde::Error::msg("expected string or map for legacy task"))?;
+    let payload = map
+        .iter()
+        .find(|(key, _)| key == "Finetuning")
+        .map(|(_, val)| val)
+        .ok_or_else(|| serde::Error::msg("unknown legacy task variant"))?;
+    let fields = payload
+        .as_map()
+        .ok_or_else(|| serde::Error::msg("expected map for Finetuning"))?;
+    let trainable = serde::field(fields, "trainable")?;
+    Ok(Workload::Finetune {
+        trainable: Deserialize::from_value(trainable)?,
+    })
+}
+
 impl Deserialize for ExperimentSpec {
-    /// Accepts the current schema (`"workload"`) and, for one release,
-    /// the pre-`Workload` schema (`"task"` with a legacy `Task` variant).
+    /// Accepts the current schema (`"workload"`) and the pre-`Workload`
+    /// schema (`"task"` with a legacy `Task` variant).
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let map = v
             .as_map()
@@ -37,12 +66,7 @@ impl Deserialize for ExperimentSpec {
         let field = |k: &str| map.iter().find(|(key, _)| key == k).map(|(_, val)| val);
         let workload = match (field("workload"), field("task")) {
             (Some(w), _) => Workload::from_value(w)?,
-            (None, Some(t)) => {
-                #[allow(deprecated)]
-                {
-                    Workload::from(madmax_parallel::Task::from_value(t)?)
-                }
-            }
+            (None, Some(t)) => workload_from_legacy_task(t)?,
             (None, None) => return Err(serde::Error::msg("missing field workload")),
         };
         let plan = field("plan")

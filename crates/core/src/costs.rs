@@ -14,7 +14,7 @@
 //!   backward time with the recompute factor applied, single-token decode
 //!   time), and
 //! - per-strategy priced collectives ([`PricedComm`]) with pre-rendered
-//!   shared labels, memory-footprint terms, and — for decode — the
+//!   interned labels, memory-footprint terms, and — for decode — the
 //!   per-token KV-cache read coefficient.
 //!
 //! Training and prefill-only workloads have one phase; serve workloads
@@ -43,8 +43,6 @@
 //! contributions into exactly `madmax_parallel::memory_per_device`'s
 //! breakdown (KV-cache term included).
 
-use std::sync::Arc;
-
 use madmax_hw::units::{ByteCount, Seconds};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, LayerKind, ModelArch};
@@ -61,7 +59,9 @@ use crate::compute::{
 };
 use crate::metrics::ServeStats;
 use crate::sim::Schedule;
-use crate::trace::{Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp};
+use crate::trace::{
+    intern_label, Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp,
+};
 
 /// One collective, priced and labeled: everything assembly needs to emit
 /// the op without consulting the cost model again.
@@ -75,8 +75,8 @@ pub struct PricedComm {
     pub position: CommPosition,
     /// Modeled execution time on the table's cluster.
     pub duration: Seconds,
-    /// Shared display label, e.g. `"embedding_tables.a2a"`.
-    pub label: Arc<str>,
+    /// Interned display label, e.g. `"embedding_tables.a2a"`.
+    pub label: &'static str,
 }
 
 /// Priced collectives of one layer group under one strategy, split by
@@ -127,9 +127,9 @@ struct GroupCosts {
     is_mlp: bool,
     /// Whether the table's workload trains this group's class.
     trains: bool,
-    name: Arc<str>,
-    lookup_label: Arc<str>,
-    scatter_label: Arc<str>,
+    name: &'static str,
+    lookup_label: &'static str,
+    scatter_label: &'static str,
     /// Per-instance forward compute (GEMM time, or lookup time for
     /// embedding groups; the backward gradient scatter reuses it).
     fwd_compute: Seconds,
@@ -255,9 +255,9 @@ fn price_phase_groups(
                 is_embedding,
                 is_mlp: matches!(group.kind, LayerKind::Mlp(_)),
                 trains: workload.trains(group.class),
-                name: Arc::from(group.name.as_str()),
-                lookup_label: Arc::from(format!("{}.lookup", group.name).as_str()),
-                scatter_label: Arc::from(format!("{}.grad_scatter", group.name).as_str()),
+                name: intern_label(&group.name),
+                lookup_label: intern_label(&format!("{}.lookup", group.name)),
+                scatter_label: intern_label(&format!("{}.grad_scatter", group.name)),
                 fwd_compute,
                 bwd_compute,
                 mem_activations,
@@ -429,7 +429,7 @@ impl<'a> CostTable<'a> {
                     urgency: r.urgency,
                     position: r.position,
                     duration: self.collectives.time(r, self.cluster),
-                    label: Arc::from(r.label.as_str()),
+                    label: intern_label(&r.label),
                 })
                 .collect()
         };
@@ -634,11 +634,11 @@ impl<'a> CostTable<'a> {
             Some(_) => Phase::Decode,
             None => Phase::Forward,
         };
-        let name_for = |ctx: &Option<DecodeCtx>, inst_tag: Option<u32>, label: &Arc<str>| match ctx
-        {
-            Some(c) => OpName::decode(c.step, inst_tag, label),
-            None => OpName::flat(PassDir::Fwd, inst_tag, label),
-        };
+        let name_for =
+            |ctx: &Option<DecodeCtx>, inst_tag: Option<u32>, label: &'static str| match ctx {
+                Some(c) => OpName::decode(c.step, inst_tag, label),
+                None => OpName::flat(PassDir::Fwd, inst_tag, label),
+            };
 
         let seed = decode.as_ref().and_then(|c| c.seed);
         let mut last_out: Option<OpId> = seed; // dense-chain tail
@@ -683,7 +683,7 @@ impl<'a> CostTable<'a> {
                         _ => base_deps.clone(),
                     };
                     let id = trace.push(TraceOp {
-                        name: name_for(&decode, inst_tag, &pc.label),
+                        name: name_for(&decode, inst_tag, pc.label),
                         stream: StreamId::Comm,
                         kind: OpKind::Collective { kind: pc.kind },
                         phase,
@@ -710,7 +710,7 @@ impl<'a> CostTable<'a> {
                 deps.sort_dedup();
                 let compute_id = if g.is_embedding {
                     trace.push(TraceOp {
-                        name: name_for(&decode, inst_tag, &g.lookup_label),
+                        name: name_for(&decode, inst_tag, g.lookup_label),
                         stream: StreamId::Compute,
                         kind: OpKind::Lookup,
                         phase,
@@ -719,7 +719,7 @@ impl<'a> CostTable<'a> {
                     })
                 } else {
                     trace.push(TraceOp {
-                        name: name_for(&decode, inst_tag, &g.name),
+                        name: name_for(&decode, inst_tag, g.name),
                         stream: StreamId::Compute,
                         kind: OpKind::Gemm { class: g.class },
                         phase,
@@ -738,7 +738,7 @@ impl<'a> CostTable<'a> {
                     .filter(|r| r.position == CommPosition::AfterCompute)
                 {
                     out = trace.push(TraceOp {
-                        name: name_for(&decode, inst_tag, &pc.label),
+                        name: name_for(&decode, inst_tag, pc.label),
                         stream: StreamId::Comm,
                         kind: OpKind::Collective { kind: pc.kind },
                         phase,
@@ -780,7 +780,7 @@ impl<'a> CostTable<'a> {
                     let mut dep = Deps::one(last_bwd);
                     for pc in &sc.grad {
                         let id = trace.push(TraceOp {
-                            name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                            name: OpName::flat(PassDir::Bwd, inst_tag, pc.label),
                             stream: StreamId::GradComm,
                             kind: OpKind::Collective { kind: pc.kind },
                             phase: Phase::Backward,
@@ -790,7 +790,7 @@ impl<'a> CostTable<'a> {
                         dep = Deps::one(id);
                     }
                     let scatter = trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Bwd, inst_tag, &g.scatter_label),
+                        name: OpName::flat(PassDir::Bwd, inst_tag, g.scatter_label),
                         stream: StreamId::Compute,
                         kind: OpKind::Lookup,
                         phase: Phase::Backward,
@@ -816,7 +816,7 @@ impl<'a> CostTable<'a> {
                         _ => base_deps.clone(),
                     };
                     let id = trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                        name: OpName::flat(PassDir::Bwd, inst_tag, pc.label),
                         stream: StreamId::Comm,
                         kind: OpKind::Collective { kind: pc.kind },
                         phase: Phase::Backward,
@@ -837,7 +837,7 @@ impl<'a> CostTable<'a> {
                 deps.extend_from(&gate_deps);
                 deps.sort_dedup();
                 let bwd_compute = trace.push(TraceOp {
-                    name: OpName::flat(PassDir::Bwd, inst_tag, &g.name),
+                    name: OpName::flat(PassDir::Bwd, inst_tag, g.name),
                     stream: StreamId::Compute,
                     kind: OpKind::Gemm { class: g.class },
                     phase: Phase::Backward,
@@ -853,7 +853,7 @@ impl<'a> CostTable<'a> {
                     .filter(|r| r.position == CommPosition::AfterCompute)
                 {
                     last_bwd = trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                        name: OpName::flat(PassDir::Bwd, inst_tag, pc.label),
                         stream: StreamId::Comm,
                         kind: OpKind::Collective { kind: pc.kind },
                         phase: Phase::Backward,
@@ -866,7 +866,7 @@ impl<'a> CostTable<'a> {
                 // critical path until the optimizer.
                 for pc in &sc.grad {
                     let id = trace.push(TraceOp {
-                        name: OpName::flat(PassDir::Bwd, inst_tag, &pc.label),
+                        name: OpName::flat(PassDir::Bwd, inst_tag, pc.label),
                         stream: StreamId::GradComm,
                         kind: OpKind::Collective { kind: pc.kind },
                         phase: Phase::Backward,

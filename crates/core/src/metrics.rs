@@ -10,7 +10,7 @@ use madmax_hw::units::Seconds;
 use madmax_model::{BatchUnit, LayerClass, ModelArch};
 use madmax_parallel::{CollectiveKind, MemoryBreakdown};
 
-use crate::sim::{difference_measure, merged_into, single_difference_measure, Schedule};
+use crate::sim::{merged_into, Schedule};
 use crate::trace::{OpKind, Phase, StreamId, Trace};
 
 /// Serve-mode metrics of one iteration: the latency split between the
@@ -41,6 +41,10 @@ impl ServeStats {
 /// Computes the serve metrics of a scheduled serve trace: TTFT is the
 /// completion of the last non-decode op (prefill + once-per-iteration
 /// parameter traffic), TPOT the mean decode-step time after it.
+///
+/// Both engines emit every decode op after every prefill op, so the
+/// non-decode prefix is located with one binary search instead of
+/// sweeping the (decode-dominated) trace.
 pub fn serve_stats_from(
     trace: &Trace,
     schedule: &Schedule,
@@ -48,12 +52,16 @@ pub fn serve_stats_from(
     decode_len: usize,
     decode_batch: usize,
 ) -> ServeStats {
-    let ttft = trace
-        .ops()
+    let boundary = trace.ops().partition_point(|op| op.phase != Phase::Decode);
+    debug_assert!(
+        trace.ops()[boundary..]
+            .iter()
+            .all(|op| op.phase == Phase::Decode),
+        "decode ops must form the trace suffix"
+    );
+    let ttft = schedule.windows[..boundary]
         .iter()
-        .zip(&schedule.windows)
-        .filter(|(op, _)| op.phase != Phase::Decode)
-        .map(|(_, w)| w.finish)
+        .map(|w| w.finish)
         .fold(Seconds::ZERO, Seconds::max);
     let tpot = if decode_len == 0 {
         Seconds::ZERO
@@ -117,17 +125,38 @@ pub struct IterationReport {
     pub batch_unit: BatchUnit,
 }
 
-/// Reusable interval buffers for report construction: per-device busy
-/// lists and their merged unions, dense by device slot (slot 0 is the flat
-/// trace's representative device; slot `1 + s` is pipeline stage `s`).
-/// Keeping one `ReportScratch` per evaluation worker removes the
+/// One comm op's coordinates, captured during the main sweep so the
+/// per-collective exposure pass re-reads a compact record instead of the
+/// full trace.
+#[derive(Debug, Clone, Copy)]
+struct CommOpRec {
+    /// Dense stream slot ([`StreamId::slot`]) of the op's comm stream.
+    stream_slot: u32,
+    /// Dense collective index ([`kind_idx`]).
+    kind: u8,
+    /// Scheduled window.
+    span: (f64, f64),
+}
+
+/// Reusable interval buffers for report construction: per-stream and
+/// per-device busy lists and their merged unions (device slot 0 is the
+/// flat trace's representative device; slot `1 + s` is pipeline stage
+/// `s`). Keeping one `ReportScratch` per evaluation worker removes the
 /// per-candidate allocation of every interval list.
 #[derive(Debug, Default)]
 pub struct ReportScratch {
     compute_busy: Vec<Vec<(f64, f64)>>,
+    /// Comm busy intervals per *stream slot* (each list is in
+    /// non-decreasing start order, because streams execute in order).
     comm_busy: Vec<Vec<(f64, f64)>>,
     merged_compute: Vec<Vec<(f64, f64)>>,
     comm_scratch: Vec<(f64, f64)>,
+    /// Per-stream monotone cursors into the device's merged compute list.
+    cursors: Vec<usize>,
+    /// Comm ops captured by the main sweep, in trace order.
+    comm_ops: Vec<CommOpRec>,
+    /// Per-stage compute busy time, dense by stage index.
+    stage_busy: Vec<Seconds>,
 }
 
 /// Dense buffer slot of a device: the flat representative device, or one
@@ -141,6 +170,64 @@ fn device_slot(device: Option<u16>) -> usize {
     }
 }
 
+/// The device slot a comm *stream slot* belongs to: the flat `Comm` /
+/// `GradComm` slots (1, 2) map to the representative device, and each
+/// stage's comm slots (`4 + 3s`, `5 + 3s`) to that stage's device.
+fn comm_stream_device(stream_slot: usize) -> usize {
+    if stream_slot < 3 {
+        0
+    } else {
+        1 + (stream_slot - 3) / 3
+    }
+}
+
+/// Dense index of a layer class, matching [`LayerClass::ALL`]'s order.
+fn class_idx(class: LayerClass) -> usize {
+    match class {
+        LayerClass::Embedding => 0,
+        LayerClass::Dense => 1,
+        LayerClass::Transformer => 2,
+        LayerClass::Moe => 3,
+    }
+}
+
+/// Every collective primitive, in dense-index order (see [`kind_idx`]).
+const COLLECTIVES: [CollectiveKind; 5] = [
+    CollectiveKind::AllReduce,
+    CollectiveKind::AllGather,
+    CollectiveKind::ReduceScatter,
+    CollectiveKind::AllToAll,
+    CollectiveKind::PointToPoint,
+];
+
+/// Dense index of a collective primitive, matching [`COLLECTIVES`].
+fn kind_idx(kind: CollectiveKind) -> usize {
+    match kind {
+        CollectiveKind::AllReduce => 0,
+        CollectiveKind::AllGather => 1,
+        CollectiveKind::ReduceScatter => 2,
+        CollectiveKind::AllToAll => 3,
+        CollectiveKind::PointToPoint => 4,
+    }
+}
+
+/// Builds the ordered map a dense accumulator row stands in for: one entry
+/// per *touched* index (zero-duration ops still create entries, exactly
+/// like the previous per-op `entry()` calls).
+fn to_map<K: Ord + Copy, const N: usize>(
+    keys: [K; N],
+    touched: [bool; N],
+    totals: [Seconds; N],
+) -> BTreeMap<K, Seconds> {
+    let mut out = BTreeMap::new();
+    for i in 0..N {
+        if touched[i] {
+            out.insert(keys[i], totals[i]);
+        }
+    }
+    out
+}
+
 fn clear_buckets(buckets: &mut [Vec<(f64, f64)>]) {
     for b in buckets {
         b.clear();
@@ -152,6 +239,86 @@ fn push_span(buckets: &mut Vec<Vec<(f64, f64)>>, slot: usize, span: (f64, f64)) 
         buckets.resize_with(slot + 1, Vec::new);
     }
     buckets[slot].push(span);
+}
+
+/// Lazily yields the canonical disjoint union segments of a
+/// sorted-by-start interval list, with [`merged_into`]'s exact merge rule
+/// (`start <= current end` extends the segment).
+#[derive(Debug)]
+struct UnionSegments<'a> {
+    list: &'a [(f64, f64)],
+    i: usize,
+}
+
+impl Iterator for UnionSegments<'_> {
+    type Item = (f64, f64);
+
+    fn next(&mut self) -> Option<(f64, f64)> {
+        let &(start, mut end) = self.list.get(self.i)?;
+        self.i += 1;
+        while let Some(&(s, e)) = self.list.get(self.i) {
+            if s > end {
+                break;
+            }
+            end = end.max(e);
+            self.i += 1;
+        }
+        Some((start, end))
+    }
+}
+
+/// [`crate::sim::difference_measure`] for a sorted-by-start `a` against an
+/// already-merged `b` — allocation-free and sort-free, producing exactly
+/// the general measure's result (same union segments, same accumulation
+/// order).
+fn difference_measure_presorted(a_sorted: &[(f64, f64)], b_merged: &[(f64, f64)]) -> f64 {
+    let segments = |list| UnionSegments { list, i: 0 };
+    let a_measure: f64 = segments(a_sorted).map(|(s, e)| e - s).sum();
+    if b_merged.is_empty() {
+        return a_measure;
+    }
+    let mut inter = 0.0;
+    let mut a_segs = segments(a_sorted);
+    let mut cur = a_segs.next();
+    let mut j = 0;
+    while let Some((a_start, a_end)) = cur {
+        if j >= b_merged.len() {
+            break;
+        }
+        let (b_start, b_end) = b_merged[j];
+        let lo = a_start.max(b_start);
+        let hi = a_end.min(b_end);
+        if hi > lo {
+            inter += hi - lo;
+        }
+        if a_end < b_end {
+            cur = a_segs.next();
+        } else {
+            j += 1;
+        }
+    }
+    a_measure - inter
+}
+
+/// Merges two sorted-by-start interval lists into `out` (cleared first),
+/// keeping the result sorted by start. Ties may resolve either way: the
+/// downstream union/difference measures are tie-order independent (equal
+/// starts produce the same merged segments either way).
+fn merge_sorted_into(a: &[(f64, f64)], b: &[(f64, f64)], out: &mut Vec<(f64, f64)>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 impl IterationReport {
@@ -181,83 +348,98 @@ impl IterationReport {
         memory: MemoryBreakdown,
         scratch: &mut ReportScratch,
     ) -> Self {
+        let mut serialized_time = Seconds::ZERO;
         let mut gemm_time = Seconds::ZERO;
         let mut lookup_time = Seconds::ZERO;
         let mut optimizer_time = Seconds::ZERO;
         let mut comm_time = Seconds::ZERO;
-        let mut comm_by_collective = BTreeMap::new();
-        let mut gemm_by_class = BTreeMap::new();
+        // Per-key totals accumulate into dense rows (indexed by
+        // `class_idx` / `kind_idx`) in trace order — the same additions in
+        // the same order the previous per-op `BTreeMap::entry` calls made
+        // — and materialize as maps at the end.
+        let mut comm_totals = [Seconds::ZERO; COLLECTIVES.len()];
+        let mut comm_touched = [false; COLLECTIVES.len()];
+        let mut gemm_totals = [Seconds::ZERO; LayerClass::ALL.len()];
+        let mut gemm_touched = [false; LayerClass::ALL.len()];
 
-        // Busy intervals are kept per device: flat traces model one
-        // representative device (slot 0); pipelined traces model one
-        // device per stage (slot `1 + stage`). Exposure must compare a
-        // comm interval against *its own device's* compute stream —
-        // merging all stages' compute would let stage 0's GEMMs "hide"
-        // stage 1's transfers, which run on different hardware.
+        // Busy intervals are kept per device (compute) and per stream
+        // (comm): flat traces model one representative device (slot 0);
+        // pipelined traces model one device per stage (slot `1 + stage`).
+        // Exposure must compare a comm interval against *its own device's*
+        // compute stream — merging all stages' compute would let stage 0's
+        // GEMMs "hide" stage 1's transfers, which run on different
+        // hardware.
         clear_buckets(&mut scratch.compute_busy);
         clear_buckets(&mut scratch.comm_busy);
+        scratch.comm_ops.clear();
+        for b in &mut scratch.stage_busy {
+            *b = Seconds::ZERO;
+        }
         let compute_busy = &mut scratch.compute_busy;
         let comm_busy = &mut scratch.comm_busy;
-        let mut stage_busy: BTreeMap<u16, Seconds> = BTreeMap::new();
 
         for (op, w) in trace.ops().iter().zip(&schedule.windows) {
+            serialized_time += op.duration;
             let span = (w.start.as_secs(), w.finish.as_secs());
             match op.kind {
                 OpKind::Gemm { class } => {
                     gemm_time += op.duration;
-                    *gemm_by_class.entry(class).or_insert(Seconds::ZERO) += op.duration;
+                    let i = class_idx(class);
+                    gemm_totals[i] += op.duration;
+                    gemm_touched[i] = true;
                 }
                 OpKind::Lookup => lookup_time += op.duration,
                 OpKind::Optimizer => optimizer_time += op.duration,
                 OpKind::Collective { kind } => {
                     comm_time += op.duration;
-                    *comm_by_collective.entry(kind).or_insert(Seconds::ZERO) += op.duration;
+                    let i = kind_idx(kind);
+                    comm_totals[i] += op.duration;
+                    comm_touched[i] = true;
+                    scratch.comm_ops.push(CommOpRec {
+                        stream_slot: op.stream.slot() as u32,
+                        kind: i as u8,
+                        span,
+                    });
                 }
             }
-            let slot = device_slot(op.stream.stage());
             if op.stream.is_compute() {
-                push_span(compute_busy, slot, span);
+                push_span(compute_busy, device_slot(op.stream.stage()), span);
                 if let StreamId::StageCompute(s) = op.stream {
                     // A stream never overlaps itself, so busy time is the
                     // plain sum of durations.
-                    *stage_busy.entry(s).or_insert(Seconds::ZERO) += op.duration;
+                    let s = s as usize;
+                    if s >= scratch.stage_busy.len() {
+                        scratch.stage_busy.resize(s + 1, Seconds::ZERO);
+                    }
+                    scratch.stage_busy[s] += op.duration;
                 }
             } else {
-                push_span(comm_busy, slot, span);
+                // Comm intervals are bucketed per stream: each stream runs
+                // in order, so its list stays sorted by start.
+                push_span(comm_busy, op.stream.slot(), span);
             }
         }
 
-        let bubble_fraction = if stage_busy.is_empty() || schedule.makespan.is_zero() {
+        // Stage `s` appeared iff its compute device slot (1 + s) is
+        // non-empty; visit stages in ascending order, exactly like the
+        // previous ordered-map fold.
+        let mut stage_count = 0usize;
+        let mut stage_total = 0.0f64;
+        for (s, busy) in scratch.stage_busy.iter().enumerate() {
+            if compute_busy.get(1 + s).is_some_and(|v| !v.is_empty()) {
+                stage_count += 1;
+                stage_total += busy.as_secs();
+            }
+        }
+        let bubble_fraction = if stage_count == 0 || schedule.makespan.is_zero() {
             None
         } else {
-            let mean_busy: f64 =
-                stage_busy.values().map(|s| s.as_secs()).sum::<f64>() / stage_busy.len() as f64;
+            let mean_busy = stage_total / stage_count as f64;
             Some(f64::max(1.0 - mean_busy / schedule.makespan.as_secs(), 0.0))
         };
 
-        // Exposed communication per device, summed across devices in slot
-        // (device) order. A flat trace has one device, so this is the
-        // paper's metric unchanged; for pipelined traces the sum is
-        // consistent with `comm_time` and `serialized_time` (also
-        // all-device totals), keeping `exposed_fraction = exposed_comm /
-        // comm_time` meaningful.
-        let slots = compute_busy.len().max(comm_busy.len());
-        let mut exposed = 0.0;
-        for slot in 0..slots {
-            let comm = comm_busy.get(slot).map_or(&[][..], |v| v.as_slice());
-            let compute = compute_busy.get(slot).map_or(&[][..], |v| v.as_slice());
-            if comm.is_empty() && compute.is_empty() {
-                continue; // device never appeared
-            }
-            scratch.comm_scratch.clear();
-            scratch.comm_scratch.extend_from_slice(comm);
-            exposed += difference_measure(&mut scratch.comm_scratch, compute);
-        }
-
-        // Per-collective exposure: each comm op's own window minus its own
-        // device's compute-busy time (summed like `exposed_comm`). The
-        // compute intervals are merged once per device; each comm op then
-        // costs one allocation-free sweep instead of a clone + sort.
+        // Merge each device's compute intervals once; both exposure
+        // measures below read the merged lists.
         if scratch.merged_compute.len() < compute_busy.len() {
             scratch
                 .merged_compute
@@ -267,29 +449,105 @@ impl IterationReport {
         for (slot, busy) in compute_busy.iter().enumerate() {
             merged_into(busy, &mut scratch.merged_compute[slot]);
         }
-        let mut exposed_by_collective: BTreeMap<CollectiveKind, Seconds> = BTreeMap::new();
-        for (op, w) in trace.ops().iter().zip(&schedule.windows) {
-            if let OpKind::Collective { kind } = op.kind {
-                let compute = scratch
-                    .merged_compute
-                    .get(device_slot(op.stream.stage()))
-                    .map_or(&[][..], |v| v.as_slice());
-                let e = single_difference_measure((w.start.as_secs(), w.finish.as_secs()), compute);
-                *exposed_by_collective.entry(kind).or_insert(Seconds::ZERO) += Seconds::new(e);
+
+        // Exposed communication per device, summed across devices in slot
+        // (device) order. A flat trace has one device, so this is the
+        // paper's metric unchanged; for pipelined traces the sum is
+        // consistent with `comm_time` and `serialized_time` (also
+        // all-device totals), keeping `exposed_fraction = exposed_comm /
+        // comm_time` meaningful. A device's comm intervals are the merge
+        // of its (already sorted) comm streams, so the difference measure
+        // runs allocation- and sort-free against the pre-merged compute.
+        let comm_devices = comm_busy
+            .len()
+            .checked_sub(1)
+            .map_or(0, |last| comm_stream_device(last) + 1);
+        let devices = compute_busy.len().max(comm_devices);
+        let mut exposed = 0.0;
+        let empty: &[(f64, f64)] = &[];
+        for device in 0..devices {
+            let (a, b) = if device == 0 {
+                (1usize, 2usize)
+            } else {
+                (3 * (device - 1) + 4, 3 * (device - 1) + 5)
+            };
+            let slice = |slot: usize| comm_busy.get(slot).map_or(empty, |v| v.as_slice());
+            let compute = compute_busy.get(device).map_or(empty, |v| v.as_slice());
+            let (ca, cb) = (slice(a), slice(b));
+            if ca.is_empty() && cb.is_empty() && compute.is_empty() {
+                continue; // device never appeared
             }
+            merge_sorted_into(ca, cb, &mut scratch.comm_scratch);
+            let merged = scratch
+                .merged_compute
+                .get(device)
+                .map_or(empty, |v| v.as_slice());
+            exposed += difference_measure_presorted(&scratch.comm_scratch, merged);
+        }
+
+        // Per-collective exposure: each comm op's own window minus its own
+        // device's compute-busy time (summed like `exposed_comm`, in trace
+        // order). Each comm op advances its stream's monotone cursor into
+        // the merged list (window starts never decrease within a stream)
+        // instead of binary-searching from scratch.
+        // Cursors are indexed by the comm op's *stream* slot, which can
+        // exceed the comm-stream buckets when a hand-built trace places a
+        // collective on a compute stream — size for the largest slot seen.
+        let max_comm_slot = scratch
+            .comm_ops
+            .iter()
+            .map(|rec| rec.stream_slot as usize + 1)
+            .max()
+            .unwrap_or(0);
+        scratch.cursors.clear();
+        scratch
+            .cursors
+            .resize(comm_busy.len().max(max_comm_slot), 0);
+        let mut exposed_totals = [Seconds::ZERO; COLLECTIVES.len()];
+        let mut exposed_touched = [false; COLLECTIVES.len()];
+        for rec in &scratch.comm_ops {
+            let slot = rec.stream_slot as usize;
+            let compute = scratch
+                .merged_compute
+                .get(comm_stream_device(slot))
+                .map_or(empty, |v| v.as_slice());
+            let cursor = &mut scratch.cursors[slot];
+            let (a_start, a_end) = rec.span;
+            // Advance past intervals that end at or before this window;
+            // they cannot intersect it or any later window of this stream.
+            while *cursor < compute.len() && compute[*cursor].1 <= a_start {
+                *cursor += 1;
+            }
+            let mut inter = 0.0;
+            let mut j = *cursor;
+            while j < compute.len() {
+                let (b_start, b_end) = compute[j];
+                let lo = a_start.max(b_start);
+                let hi = a_end.min(b_end);
+                if hi > lo {
+                    inter += hi - lo;
+                }
+                if a_end < b_end {
+                    break;
+                }
+                j += 1;
+            }
+            let i = rec.kind as usize;
+            exposed_totals[i] += Seconds::new(a_end - a_start - inter);
+            exposed_touched[i] = true;
         }
 
         Self {
             iteration_time: schedule.makespan,
-            serialized_time: trace.serialized_time(),
+            serialized_time,
             gemm_time,
             lookup_time,
             optimizer_time,
             comm_time,
-            comm_by_collective,
-            gemm_by_class,
+            comm_by_collective: to_map(COLLECTIVES, comm_touched, comm_totals),
+            gemm_by_class: to_map(LayerClass::ALL, gemm_touched, gemm_totals),
             exposed_comm: Seconds::new(exposed),
-            exposed_by_collective,
+            exposed_by_collective: to_map(COLLECTIVES, exposed_touched, exposed_totals),
             bubble_fraction,
             memory,
             serve: None,
@@ -382,6 +640,45 @@ mod tests {
             duration: Seconds::from_ms(ms),
             deps: deps.into(),
         }
+    }
+
+    #[test]
+    fn collectives_on_compute_streams_are_handled() {
+        // Hand-built traces may place a collective on a compute stream
+        // (no comm stream exists at all here); the per-collective
+        // exposure cursors must size to the op's stream slot, not the
+        // comm-bucket count.
+        let mut t = Trace::new();
+        t.push(op(
+            "fused_ar",
+            StreamId::Compute,
+            OpKind::Collective {
+                kind: CollectiveKind::AllReduce,
+            },
+            5.0,
+            vec![],
+        ));
+        t.push(op(
+            "stage_fused",
+            StreamId::StageCompute(2),
+            OpKind::Collective {
+                kind: CollectiveKind::PointToPoint,
+            },
+            3.0,
+            vec![],
+        ));
+        let s = schedule(&t);
+        let model = toy_model();
+        let r = IterationReport::from_schedule(&t, &s, &model, MemoryBreakdown::default());
+        assert!((r.comm_time.as_ms() - 8.0).abs() < 1e-9);
+        // The ops sit on their own device's compute stream, so they are
+        // "hidden" behind themselves: per-collective exposure is zero.
+        assert_eq!(
+            r.exposed_by_collective[&CollectiveKind::AllReduce],
+            Seconds::ZERO
+        );
+        // No comm-stream intervals exist, so total exposed comm is zero.
+        assert_eq!(r.exposed_comm, Seconds::ZERO);
     }
 
     #[test]

@@ -108,6 +108,22 @@ pub fn schedule_into(trace: &Trace, sched: &mut Schedule, streams: &mut StreamTa
     sched.makespan = makespan;
 }
 
+/// A memoized engine result: the opaque key of the last assembly's inputs
+/// and the report they produced. The pipeline engine's cached path uses
+/// this to skip re-assembling, re-scheduling, and re-sweeping a trace
+/// whose inputs are identical to the previous candidate's — notably the
+/// schedule axis of serve searches, whose decode stream is
+/// schedule-independent. Keys are minted by the pricing table (a table
+/// generation plus an entry id), so results can never leak across tables
+/// or entries.
+#[derive(Debug)]
+pub struct ReportMemo {
+    /// Opaque assembly-input key, minted by the pricing layer.
+    pub key: (u64, usize, u8),
+    /// The report those inputs produced.
+    pub report: crate::metrics::IterationReport,
+}
+
 /// Reusable evaluation buffers: one trace arena, one schedule, and one
 /// stream-slot table. A design-space-exploration worker thread keeps one
 /// `EngineScratch` and evaluates every candidate through it, so the
@@ -122,6 +138,9 @@ pub struct EngineScratch {
     pub streams: StreamTable,
     /// Report-construction interval buffers, cleared per candidate.
     pub report: crate::metrics::ReportScratch,
+    /// The last pipelined result, keyed by its assembly inputs (see
+    /// [`ReportMemo`]).
+    pub pipeline_memo: Option<ReportMemo>,
 }
 
 impl EngineScratch {

@@ -155,9 +155,10 @@ impl std::fmt::Display for PassDir {
 
 /// Structured op name, rendered to a display string on demand.
 ///
-/// Creating an `OpName` never allocates on the evaluation hot path: flat
-/// ops clone a shared [`Arc<str>`] label (priced once per search by the
-/// cost table), and stage ops carry their coordinates inline. The rendered
+/// Creating an `OpName` never allocates — or touches a refcount — on the
+/// evaluation hot path: flat ops copy an interned [`intern_label`]
+/// `&'static str` label (priced once per search by the cost table), and
+/// stage ops carry their coordinates inline. The rendered
 /// forms reproduce the historical string names exactly, e.g.
 /// `fwd.embedding_tables.a2a`, `bwd[3].blocks.ag_bwd`, `stage0.fwd[2]`,
 /// `update.optimizer`.
@@ -176,8 +177,8 @@ pub enum OpName {
         dir: PassDir,
         /// Layer-group instance, for groups with `repeat > 1`.
         inst: Option<u32>,
-        /// Shared display label.
-        label: Arc<str>,
+        /// Interned display label.
+        label: &'static str,
     },
     /// Flat-trace decode-step op: `"dec[{step}].{label}"` (or
     /// `"dec[{step}][{inst}].{label}"` for groups with `repeat > 1`). One
@@ -187,8 +188,8 @@ pub enum OpName {
         step: u32,
         /// Layer-group instance, for groups with `repeat > 1`.
         inst: Option<u32>,
-        /// Shared display label.
-        label: Arc<str>,
+        /// Interned display label.
+        label: &'static str,
     },
     /// The flat trace's single optimizer step: `"update.optimizer"`.
     UpdateOptimizer,
@@ -262,23 +263,43 @@ pub enum OpName {
     Custom(Arc<str>),
 }
 
+/// Interns `s` into the global label registry, returning the canonical
+/// `&'static str` the flat [`OpName`] variants carry. Labels are priced
+/// once per search (layer-group and collective names), so the leaked set
+/// is bounded by the distinct label strings of the process; interning the
+/// same string twice returns the same reference.
+///
+/// Parsing rendered op names ([`OpName`]'s `FromStr`/deserialization)
+/// also interns the labels it recovers: feeding unbounded *distinct*
+/// labels from untrusted serialized traces would grow the registry for
+/// the process lifetime. Engine-generated traces only ever carry the
+/// bounded label set priced from the model, so this is a non-issue on
+/// every in-tree path.
+pub fn intern_label(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static LABELS: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = LABELS
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("label registry poisoned");
+    if let Some(&interned) = set.get(s) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
 impl OpName {
-    /// A flat-trace name with a shared label.
-    pub fn flat(dir: PassDir, inst: Option<u32>, label: &Arc<str>) -> Self {
-        OpName::Flat {
-            dir,
-            inst,
-            label: Arc::clone(label),
-        }
+    /// A flat-trace name with an interned label.
+    pub fn flat(dir: PassDir, inst: Option<u32>, label: &'static str) -> Self {
+        OpName::Flat { dir, inst, label }
     }
 
-    /// A flat-trace decode-step name with a shared label.
-    pub fn decode(step: u32, inst: Option<u32>, label: &Arc<str>) -> Self {
-        OpName::DecodeFlat {
-            step,
-            inst,
-            label: Arc::clone(label),
-        }
+    /// A flat-trace decode-step name with an interned label.
+    pub fn decode(step: u32, inst: Option<u32>, label: &'static str) -> Self {
+        OpName::DecodeFlat { step, inst, label }
     }
 
     /// A free-form name (allocates; intended for hand-built traces).
@@ -421,7 +442,7 @@ fn parse_decode_name(s: &str) -> Option<OpName> {
     Some(OpName::DecodeFlat {
         step,
         inst,
-        label: Arc::from(label),
+        label: intern_label(label),
     })
 }
 
@@ -439,7 +460,7 @@ fn parse_flat_name(s: &str) -> Option<OpName> {
             return Some(OpName::Flat {
                 dir,
                 inst,
-                label: Arc::from(label),
+                label: intern_label(label),
             });
         }
     }
@@ -832,24 +853,21 @@ mod tests {
     #[test]
     fn op_name_renders_exact_legacy_strings() {
         use madmax_parallel::CollectiveKind as Ck;
-        let label: Arc<str> = Arc::from("embedding_tables.a2a");
         assert_eq!(
-            OpName::flat(PassDir::Fwd, None, &label).to_string(),
+            OpName::flat(PassDir::Fwd, None, "embedding_tables.a2a").to_string(),
             "fwd.embedding_tables.a2a"
         );
-        let blocks: Arc<str> = Arc::from("blocks.ag_bwd");
         assert_eq!(
-            OpName::flat(PassDir::Bwd, Some(3), &blocks).to_string(),
+            OpName::flat(PassDir::Bwd, Some(3), "blocks.ag_bwd").to_string(),
             "bwd[3].blocks.ag_bwd"
         );
         assert_eq!(OpName::UpdateOptimizer.to_string(), "update.optimizer");
-        let blk: Arc<str> = Arc::from("transformer_blocks");
         assert_eq!(
-            OpName::decode(0, None, &blk).to_string(),
+            OpName::decode(0, None, "transformer_blocks").to_string(),
             "dec[0].transformer_blocks"
         );
         assert_eq!(
-            OpName::decode(31, Some(95), &blk).to_string(),
+            OpName::decode(31, Some(95), "transformer_blocks").to_string(),
             "dec[31][95].transformer_blocks"
         );
         assert_eq!(
@@ -905,8 +923,8 @@ mod tests {
     fn op_name_round_trips_through_strings() {
         use madmax_parallel::CollectiveKind as Ck;
         let names = [
-            OpName::flat(PassDir::Fwd, None, &Arc::from("embedding_tables.a2a")),
-            OpName::flat(PassDir::Bwd, Some(95), &Arc::from("blocks")),
+            OpName::flat(PassDir::Fwd, None, "embedding_tables.a2a"),
+            OpName::flat(PassDir::Bwd, Some(95), "blocks"),
             OpName::UpdateOptimizer,
             OpName::StageParam {
                 stage: 0,
@@ -931,8 +949,8 @@ mod tests {
                 kind: Ck::ReduceScatter,
             },
             OpName::StageOptimizer { stage: 7 },
-            OpName::decode(0, None, &Arc::from("word_embedding.lookup")),
-            OpName::decode(63, Some(12), &Arc::from("transformer_blocks.tp_ar")),
+            OpName::decode(0, None, "word_embedding.lookup"),
+            OpName::decode(63, Some(12), "transformer_blocks.tp_ar"),
             OpName::custom("op17"),
         ];
         for name in names {

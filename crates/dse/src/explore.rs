@@ -13,8 +13,6 @@ use madmax_core::IterationReport;
 use madmax_engine::{EngineError, Scenario};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
-#[allow(deprecated)]
-use madmax_parallel::Task;
 use madmax_parallel::{HierStrategy, PipelineConfig, PipelineSchedule, Plan, Workload};
 
 /// Distinct layer classes present in a model, in first-appearance order.
@@ -289,17 +287,6 @@ impl<'a> Explorer<'a> {
         self
     }
 
-    /// Sets the workload from a legacy task variant.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Explorer::workload with madmax_parallel::Workload"
-    )]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn task(self, task: Task) -> Self {
-        self.workload(Workload::from(task))
-    }
-
     /// Sets the design space (default: [`SearchSpace::strategies`]).
     #[must_use]
     pub fn space(mut self, space: SearchSpace) -> Self {
@@ -409,12 +396,20 @@ impl<'a> Explorer<'a> {
         // share a pricing context; they fall back to per-plan pricing.
         let uniform_options = plans.windows(2).all(|w| w[0].options == w[1].options);
         let table = uniform_options.then(|| scenario.price_plans(plans));
+        let has_pipelined = plans
+            .iter()
+            .any(|p| p.pipeline.is_some_and(|c| c.is_pipelined()));
+        let pipeline_table =
+            (uniform_options && has_pipelined).then(|| scenario.price_pipeline_plans(plans));
         let run = |plan: &Plan, scratch: &mut madmax_engine::EngineScratch| {
             let mut s = Scenario::new(self.model, self.system)
                 .plan_ref(plan)
                 .workload_ref(workload);
             if let Some(t) = &table {
                 s = s.costs(t);
+            }
+            if let Some(t) = &pipeline_table {
+                s = s.pipeline_costs(t);
             }
             s.run_in(scratch)
         };

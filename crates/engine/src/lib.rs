@@ -58,5 +58,7 @@ pub use error::EngineError;
 pub use scenario::{simulate, Scenario};
 
 // Re-exported so engine consumers (the explorer, benches) can name the
-// fast-path types without a direct `madmax-core` dependency.
+// fast-path types without a direct `madmax-core` / `madmax-pipeline`
+// dependency.
 pub use madmax_core::{CostTable, EngineScratch};
+pub use madmax_pipeline::PipelineCostTable;

@@ -8,9 +8,8 @@ use madmax_core::compute::UtilizationModel;
 use madmax_core::{CostTable, EngineScratch, IterationReport, Schedule, Trace};
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
-#[allow(deprecated)]
-use madmax_parallel::Task;
 use madmax_parallel::{Plan, Workload};
+use madmax_pipeline::PipelineCostTable;
 
 use crate::error::EngineError;
 
@@ -74,6 +73,7 @@ pub struct Scenario<'a> {
     collectives: &'a dyn CollectiveModel,
     utilization: UtilizationModel,
     costs: Option<&'a CostTable<'a>>,
+    pipeline_costs: Option<&'a PipelineCostTable<'a>>,
 }
 
 impl<'a> Scenario<'a> {
@@ -89,6 +89,7 @@ impl<'a> Scenario<'a> {
             collectives: &HierarchicalNccl,
             utilization: UtilizationModel::Constant,
             costs: None,
+            pipeline_costs: None,
         }
     }
 
@@ -107,29 +108,6 @@ impl<'a> Scenario<'a> {
     pub fn workload_ref(mut self, workload: &'a Workload) -> Self {
         self.workload = Cow::Borrowed(workload);
         self
-    }
-
-    /// Sets the workload from a legacy task variant.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Scenario::workload with madmax_parallel::Workload"
-    )]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn task(self, task: Task) -> Self {
-        self.workload(Workload::from(task))
-    }
-
-    /// Borrowing variant of the legacy [`Scenario::task`] shim (the
-    /// conversion still owns the resulting workload).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Scenario::workload_ref with madmax_parallel::Workload"
-    )]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn task_ref(self, task: &Task) -> Self {
-        self.workload(Workload::from(task))
     }
 
     /// Sets the parallelization plan (default: [`Plan::fsdp_baseline`]).
@@ -157,6 +135,19 @@ impl<'a> Scenario<'a> {
     #[must_use]
     pub fn costs(mut self, table: &'a CostTable<'a>) -> Self {
         self.costs = Some(table);
+        self
+    }
+
+    /// Attaches a shared, pre-priced [`PipelineCostTable`] (see
+    /// `madmax_pipeline::table`), the pipelined twin of
+    /// [`Scenario::costs`]: [`Scenario::run_in`] then evaluates pipelined
+    /// plans by assembling cached stage costs instead of re-partitioning
+    /// and re-pricing every stage. The table must have been priced for
+    /// this scenario's model, system, and workload, and must cover the
+    /// plan's (depth, assignment, microbatches) key.
+    #[must_use]
+    pub fn pipeline_costs(mut self, table: &'a PipelineCostTable<'a>) -> Self {
+        self.pipeline_costs = Some(table);
         self
     }
 
@@ -223,6 +214,32 @@ impl<'a> Scenario<'a> {
         table
     }
 
+    /// Prices one [`PipelineCostTable`] covering every pipelined plan in
+    /// `plans` (flat plans are skipped — they are [`Scenario::price_plans`]'
+    /// business). The table inherits this scenario's model, system,
+    /// workload, and cost models, and is `Sync`: build it once per search
+    /// and share it read-only across worker threads.
+    ///
+    /// All plans must share the same pricing-relevant options; this is
+    /// asserted.
+    pub fn price_pipeline_plans(&self, plans: &[Plan]) -> PipelineCostTable<'a> {
+        let options = plans
+            .first()
+            .map_or_else(|| self.effective_plan().options, |p| p.options);
+        let mut table = PipelineCostTable::new(
+            self.model,
+            self.system,
+            self.workload.as_ref().clone(),
+            options,
+            self.collectives,
+            self.utilization,
+        );
+        for plan in plans.iter().filter(|p| Self::is_pipelined(p)) {
+            table.ensure_plan(plan);
+        }
+        table
+    }
+
     /// Runs the scenario through caller-owned buffers — the evaluation
     /// fast path. Flat plans with an attached [`CostTable`]
     /// (see [`Scenario::costs`]) are assembled from cached costs; all
@@ -235,6 +252,16 @@ impl<'a> Scenario<'a> {
     pub fn run_in(&self, scratch: &mut EngineScratch) -> Result<IterationReport, EngineError> {
         self.with_plan(|plan| {
             if Self::is_pipelined(plan) {
+                if let Some(table) = self.pipeline_costs {
+                    debug_assert!(
+                        std::ptr::eq(table.model(), self.model)
+                            && std::ptr::eq(table.cluster(), self.system)
+                            && table.workload() == self.workload.as_ref(),
+                        "pipeline cost table priced for a different scenario"
+                    );
+                    return madmax_pipeline::run_pipelined_cached(table, plan, scratch)
+                        .map_err(EngineError::from);
+                }
                 return madmax_pipeline::run_pipelined_scratch(
                     self.model,
                     self.system,
@@ -482,26 +509,34 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_task_shim_maps_onto_workloads() {
-        // The acceptance pin: Scenario::workload(Workload::from(task))
-        // and the deprecated Scenario::task(task) are the same scenario.
-        let model = ModelId::DlrmA.build();
-        let sys = catalog::zionex_dlrm_system();
-        for task in [
-            Task::Pretraining,
-            Task::Inference,
-            Task::finetune_only(LayerClass::Embedding),
+    fn pipeline_cost_table_path_matches_run() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plans: Vec<Plan> = [(8usize, 16usize), (4, 8)]
+            .into_iter()
+            .map(|(p, m)| Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(p, m)))
+            .collect();
+        for workload in [
+            Workload::pretrain(),
+            Workload::serve(ServeConfig::new(512, 8)),
         ] {
-            let via_shim = Scenario::new(&model, &sys)
-                .task(task.clone())
-                .run()
-                .unwrap();
-            let via_workload = Scenario::new(&model, &sys)
-                .workload(Workload::from(task))
-                .run()
-                .unwrap();
-            assert_eq!(via_shim, via_workload);
+            let scenario = Scenario::new(&model, &sys).workload_ref(&workload);
+            let table = scenario.price_pipeline_plans(&plans);
+            let mut scratch = EngineScratch::new();
+            for plan in &plans {
+                let cached = Scenario::new(&model, &sys)
+                    .workload_ref(&workload)
+                    .plan_ref(plan)
+                    .pipeline_costs(&table)
+                    .run_in(&mut scratch)
+                    .unwrap();
+                let fresh = Scenario::new(&model, &sys)
+                    .workload_ref(&workload)
+                    .plan_ref(plan)
+                    .run()
+                    .unwrap();
+                assert_eq!(cached, fresh);
+            }
         }
     }
 }

@@ -27,9 +27,10 @@
 //!   step and its maximum footprint ([`ServeConfig::max_kv_len`]) is part
 //!   of the OOM check.
 //!
-//! The legacy flat [`Task`] enum is deprecated; each variant converts into
-//! a `Workload` (`Task::Inference` becomes the prefill-only serve workload
-//! with an identical engine path).
+//! The legacy flat `Task` enum has been removed after its deprecation
+//! release; `Workload` is the only task description (the old
+//! `Task::Inference` shape survives as [`Workload::inference`], the
+//! prefill-only serve workload with an identical engine path).
 //!
 //! # Example
 //!
@@ -59,7 +60,6 @@ pub mod comm;
 pub mod memory;
 pub mod plan;
 pub mod strategy;
-pub mod task;
 pub mod workload;
 
 pub use comm::{derive_layer_comm, CollectiveKind, CommPosition, CommReq, LayerCommPlan, Urgency};
@@ -68,6 +68,4 @@ pub use plan::{
     MemoryConfig, OptimizerKind, PipelineConfig, PipelineSchedule, Plan, PlanError, PlanOptions,
 };
 pub use strategy::{CommScope, HierStrategy, Strategy, StrategyLevel};
-#[allow(deprecated)]
-pub use task::Task;
 pub use workload::{ServeConfig, Workload, WorkloadPhase};

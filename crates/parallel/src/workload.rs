@@ -10,9 +10,9 @@
 //! steps, each generating one token per sequence while reading a KV-cache
 //! that grows with every generated token.
 //!
-//! The legacy `Task::Inference` maps to a prefill-only serve workload
-//! ([`Workload::inference`]) whose engine path — same effective model,
-//! no KV-cache, no decode steps — is byte-for-byte the old forward-only
+//! The legacy `Task::Inference` shape survives as [`Workload::inference`]:
+//! a prefill-only serve workload — same effective model, no KV-cache, no
+//! decode steps — whose engine path is byte-for-byte the old forward-only
 //! simulation.
 
 use std::borrow::Cow;
@@ -21,9 +21,6 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use madmax_model::{LayerClass, ModelArch};
-
-#[allow(deprecated)]
-use crate::task::Task;
 
 /// One execution phase of a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -143,8 +140,8 @@ impl std::fmt::Display for ServeConfig {
     }
 }
 
-/// What a model executes: the successor of the flat `Task` enum, carrying
-/// per-phase semantics every engine layer consumes.
+/// What a model executes, carrying per-phase semantics every engine layer
+/// consumes (successor of the removed flat `Task` enum).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Workload {
     /// Full training: all layers trainable, one fwd+bwd phase.
@@ -285,28 +282,6 @@ impl std::fmt::Display for Workload {
     }
 }
 
-#[allow(deprecated)]
-impl From<Task> for Workload {
-    /// Maps the legacy task variants: `Pretraining` → [`Workload::Pretrain`],
-    /// `Finetuning` → [`Workload::Finetune`], and `Inference` → the
-    /// prefill-only serve workload whose engine path is byte-for-byte the
-    /// old forward-only simulation.
-    fn from(task: Task) -> Self {
-        match task {
-            Task::Pretraining => Workload::Pretrain,
-            Task::Finetuning { trainable } => Workload::Finetune { trainable },
-            Task::Inference => Workload::inference(),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<&Task> for Workload {
-    fn from(task: &Task) -> Self {
-        Workload::from(task.clone())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,18 +320,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_tasks_map_onto_workloads() {
-        assert_eq!(Workload::from(Task::Pretraining), Workload::Pretrain);
-        assert_eq!(Workload::from(Task::Inference), Workload::inference());
-        let t = Task::finetune_only(LayerClass::Dense);
-        assert_eq!(
-            Workload::from(&t),
-            Workload::finetune_only(LayerClass::Dense)
-        );
-        // The inference mapping is the *identity* engine shape: no prompt
-        // or batch override, no KV-cache, no decode steps.
-        let cfg = *Workload::from(Task::Inference).serve_config().unwrap();
+    fn inference_is_the_identity_serve_shape() {
+        // The legacy-inference mapping is the *identity* engine shape: no
+        // prompt or batch override, no KV-cache, no decode steps.
+        let cfg = *Workload::inference().serve_config().unwrap();
         assert_eq!(cfg, ServeConfig::prefill_only());
         assert!(!cfg.has_decode());
     }

@@ -3,6 +3,8 @@
 //! consume, pricing intra-stage collectives and inter-stage P2P transfers
 //! with the existing `madmax-core` cost models.
 
+use std::borrow::Cow;
+
 use madmax_hw::units::{ByteCount, Seconds};
 use madmax_hw::{ClusterSpec, CommLevel, DType};
 use madmax_model::{LayerClass, LayerKind, ModelArch};
@@ -52,18 +54,24 @@ pub struct StageCosts {
 }
 
 /// The sub-cluster one stage's devices form: total devices divided by the
-/// pipeline depth, splitting whole nodes when possible.
+/// pipeline depth, splitting whole nodes when possible. Borrows the
+/// cluster unchanged for `p <= 1` and clones only when an actual sub-spec
+/// must be derived — callers on the evaluation hot path cache the result
+/// per depth (see `PipelineCostTable`) instead of re-splitting per
+/// candidate.
 ///
 /// # Errors
 ///
 /// Returns [`PlanError::InvalidPipeline`] when the device count is not
 /// divisible into `p` equal stage groups along the node hierarchy.
-pub fn stage_cluster(cluster: &ClusterSpec, p: usize) -> Result<ClusterSpec, PlanError> {
+pub fn stage_cluster(cluster: &ClusterSpec, p: usize) -> Result<Cow<'_, ClusterSpec>, PlanError> {
     if p <= 1 {
-        return Ok(cluster.clone());
+        return Ok(Cow::Borrowed(cluster));
     }
     if cluster.num_nodes >= p && cluster.num_nodes.is_multiple_of(p) {
-        return Ok(cluster.clone().with_num_nodes(cluster.num_nodes / p));
+        return Ok(Cow::Owned(
+            cluster.clone().with_num_nodes(cluster.num_nodes / p),
+        ));
     }
     if cluster.num_nodes == 1
         && cluster.devices_per_node.is_multiple_of(p)
@@ -71,7 +79,7 @@ pub fn stage_cluster(cluster: &ClusterSpec, p: usize) -> Result<ClusterSpec, Pla
     {
         let mut sub = cluster.clone();
         sub.devices_per_node /= p;
-        return Ok(sub);
+        return Ok(Cow::Owned(sub));
     }
     Err(PlanError::InvalidPipeline {
         reason: format!(
@@ -156,8 +164,27 @@ pub fn stage_model(model: &ModelArch, stage: &Stage, index: usize) -> ModelArch 
     }
 }
 
+/// The error [`stage_costs`] reports for a microbatch count that is zero
+/// or exceeds the global batch (shared with the cached path so the error
+/// value cannot drift).
+pub fn microbatch_bounds(model: &ModelArch, microbatches: usize) -> Result<(), PlanError> {
+    if microbatches == 0 || microbatches > model.global_batch {
+        return Err(PlanError::InvalidPipeline {
+            reason: format!(
+                "{microbatches} microbatches for a global batch of {}",
+                model.global_batch
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Derives per-stage costs for `stages` of `model` under `plan`, with the
 /// global batch split into `microbatches`.
+///
+/// Derives the stage sub-cluster and per-stage sub-models itself; the
+/// evaluation hot path goes through [`stage_costs_in`] with cached ones
+/// instead.
 ///
 /// # Errors
 ///
@@ -174,16 +201,54 @@ pub fn stage_costs(
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
 ) -> Result<Vec<StageCosts>, PlanError> {
+    microbatch_bounds(model, microbatches)?;
+    let sub = stage_cluster(cluster, stages.len())?;
+    let models = stage_models(model, stages);
+    stage_costs_in(
+        model,
+        cluster,
+        &sub,
+        &models,
+        plan,
+        workload,
+        stages,
+        microbatches,
+        collective_model,
+        utilization,
+    )
+}
+
+/// Builds every stage's sub-[`ModelArch`] (see [`stage_model`]).
+pub fn stage_models(model: &ModelArch, stages: &[Stage]) -> Vec<ModelArch> {
+    stages
+        .iter()
+        .enumerate()
+        .map(|(si, stage)| stage_model(model, stage, si))
+        .collect()
+}
+
+/// [`stage_costs`] against a pre-derived stage sub-cluster and pre-built
+/// per-stage sub-models, so repeated pricing (one call per search key
+/// instead of one per candidate) clones no `ClusterSpec` or `ModelArch`.
+///
+/// # Errors
+///
+/// Same conditions as [`stage_costs`].
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by sim + the cost table
+pub fn stage_costs_in(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    sub: &ClusterSpec,
+    stage_models: &[ModelArch],
+    plan: &Plan,
+    workload: &Workload,
+    stages: &[Stage],
+    microbatches: usize,
+    collective_model: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+) -> Result<Vec<StageCosts>, PlanError> {
     let p = stages.len();
-    if microbatches == 0 || microbatches > model.global_batch {
-        return Err(PlanError::InvalidPipeline {
-            reason: format!(
-                "{microbatches} microbatches for a global batch of {}",
-                model.global_batch
-            ),
-        });
-    }
-    let sub = stage_cluster(cluster, p)?;
+    microbatch_bounds(model, microbatches)?;
     let stage_devices = sub.total_devices() as f64;
     let micro_global = model.global_batch as f64 / microbatches as f64;
     let local_micro = micro_global / stage_devices;
@@ -218,10 +283,10 @@ pub fn stage_costs(
             // for every strategy (TP's split and larger group batch cancel).
             let (fwd, is_lookup) = if group.kind.is_memory_bound() {
                 let bytes = group.kind.lookup_bytes_per_sample(tokens) * local_micro;
-                (lookup_time(bytes, &sub), true)
+                (lookup_time(bytes, sub), true)
             } else {
                 let flops = group.kind.flops_fwd_per_sample(tokens) * local_micro;
-                (compute_time(flops, model, &sub, &utilization), false)
+                (compute_time(flops, model, sub, &utilization), false)
             };
             let fwd = fwd * reps;
             costs.fwd_compute += fwd;
@@ -253,17 +318,17 @@ pub fn stage_costs(
             if kv_modeled {
                 let per_token = group.kind.kv_cache_bytes_per_token(model.compute_dtype);
                 if !per_token.is_zero() {
-                    let tp_part = plan.strategy_for(group.class).compute_shard_factor(&sub);
+                    let tp_part = plan.strategy_for(group.class).compute_shard_factor(sub);
                     costs.kv_read_per_token +=
-                        lookup_time(per_token * local_micro / tp_part, &sub) * reps;
+                        lookup_time(per_token * local_micro / tp_part, sub) * reps;
                 }
             }
 
             // Collectives: blocking activation traffic scales with the
             // microbatch; parameter traffic happens once per iteration.
-            let comm = derive_layer_comm(group, plan, model, &sub, workload, local_micro);
+            let comm = derive_layer_comm(group, plan, model, sub, workload, local_micro);
             for req in &comm.forward {
-                let t = collective_model.time(req, &sub) * reps;
+                let t = collective_model.time(req, sub) * reps;
                 match (req.urgency, req.position) {
                     (Urgency::Prefetchable, _) => {
                         add_comm(&mut costs.param_comm, req.collective, t);
@@ -274,7 +339,7 @@ pub fn stage_costs(
                 }
             }
             for req in &comm.backward {
-                let t = collective_model.time(req, &sub) * reps;
+                let t = collective_model.time(req, sub) * reps;
                 if req.urgency == Urgency::Prefetchable {
                     add_comm(&mut costs.param_comm, req.collective, t);
                 } else {
@@ -282,7 +347,7 @@ pub fn stage_costs(
                 }
             }
             for req in &comm.grad {
-                let t = collective_model.time(req, &sub) * reps;
+                let t = collective_model.time(req, sub) * reps;
                 add_comm(&mut costs.grad_comm, req.collective, t);
             }
         }
@@ -306,8 +371,7 @@ pub fn stage_costs(
         }
 
         // Optimizer: streams the stage's parameter/optimizer shard once.
-        let sub_model = stage_model(model, stage, si);
-        costs.optimizer = optimizer_time(&sub_model, &sub, plan, workload);
+        costs.optimizer = optimizer_time(&stage_models[si], sub, plan, workload);
 
         class_weight.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
         if let Some(&(c, w)) = class_weight.first() {

@@ -19,6 +19,35 @@
 //! through the stages ([`build_serve_trace_into`]) — so pipeline
 //! parallelism hides inter-stage latency across the generated tokens.
 //!
+//! # The two-phase engine: price, then assemble
+//!
+//! Mirroring `madmax_core`'s flat engine, pipelined evaluation is split
+//! into a **pricing** phase and an **assembly** phase so joint
+//! design-space searches never pay for the same cost twice:
+//!
+//! 1. *Pricing* ([`table::PipelineCostTable`]) derives, once per search
+//!    key, the balanced stage partition and stage sub-cluster (per
+//!    depth), the per-stage sub-models and raw memory footprints (per
+//!    depth × strategy assignment), and the per-stage [`StageCosts`] of
+//!    every workload phase (per depth × assignment × microbatch count).
+//! 2. *Assembly* ([`run_pipelined_cached`]) expands cached stage costs
+//!    into the schedule's multi-stream trace inside a recycled
+//!    `madmax_core::EngineScratch` — no `partition_model` run, no
+//!    `ModelArch`/`ClusterSpec` clone, and no collective-model invocation
+//!    per candidate. The `(microbatches × schedule × decode batch)` axes
+//!    only affect assembly; for serve workloads the decode stream is
+//!    schedule-independent, so the scratch memoizes the last report and
+//!    collapses the schedule axis entirely.
+//!
+//! **PipelineCostTable sharing contract**: `madmax-dse` builds one table
+//! per search (`PipelineCostTable::ensure_plan` for every candidate,
+//! before spawning workers) and shares it read-only (`&PipelineCostTable`
+//! is `Sync`) across the worker pool. A table is priced for one
+//! `(model, cluster, workload)` combination and one set of
+//! pricing-relevant plan options (asserted), and produces reports
+//! byte-identical to the one-shot [`run_pipelined`] path — error shapes
+//! included.
+//!
 //! # Example
 //!
 //! ```
@@ -44,12 +73,17 @@ pub mod memory;
 pub mod partition;
 pub mod schedule;
 pub mod sim;
+pub mod table;
 
-pub use cost::{stage_costs, StageCosts};
-pub use memory::pipeline_memory;
+pub use cost::{stage_cluster, stage_costs, stage_costs_in, stage_models, StageCosts};
+pub use memory::{fold_pipeline_memory, pipeline_memory, stage_memory};
 pub use partition::{partition_model, Stage, StageUnit};
 pub use schedule::{build_pipeline_trace, build_pipeline_trace_into, build_serve_trace_into};
-pub use sim::{build_pipelined_trace, run_pipelined, run_pipelined_default, run_pipelined_scratch};
+pub use sim::{
+    build_pipelined_trace, run_pipelined, run_pipelined_cached, run_pipelined_default,
+    run_pipelined_scratch,
+};
+pub use table::{PipelineCostTable, PricedPipelineRef};
 
 /// The analytic GPipe bubble fraction for `p` uniform stages and `m`
 /// microbatches: `(p - 1) / (m + p - 1)` (delegates to

@@ -9,11 +9,17 @@ use madmax_parallel::{
     memory_per_device, MemoryBreakdown, PipelineSchedule, Plan, PlanError, Workload,
 };
 
-use crate::cost::{stage_cluster, stage_model};
+use crate::cost::{stage_cluster, stage_models};
 use crate::partition::Stage;
 
 /// Computes the worst-stage per-device footprint of a pipelined mapping and
 /// checks it against usable HBM.
+///
+/// Composed of [`stage_memory`] (the per-stage raw footprints, which do
+/// not depend on the microbatch count or schedule) and
+/// [`fold_pipeline_memory`] (the schedule-aware worst-stage fold); the
+/// shared `PipelineCostTable` caches the former and re-runs only the
+/// latter per candidate.
 ///
 /// # Errors
 ///
@@ -32,13 +38,48 @@ pub fn pipeline_memory(
 ) -> Result<MemoryBreakdown, PlanError> {
     plan.validate_strategies(model)?;
     let sub = stage_cluster(cluster, stages.len())?;
-    let p = stages.len();
+    let models = stage_models(model, stages);
+    let per_stage = stage_memory(&models, &sub, plan, workload);
+    fold_pipeline_memory(&per_stage, microbatches, schedule, workload, plan, cluster)
+}
 
+/// The raw per-stage footprints of a pipelined mapping: each stage holds
+/// its own sub-model's parameters/gradients/optimizer state on the stage
+/// sub-cluster. Schedule-independent (activations are the full-retention
+/// GPipe worst case; [`fold_pipeline_memory`] applies 1F1B's in-flight
+/// bound).
+pub fn stage_memory(
+    stage_models: &[ModelArch],
+    sub: &ClusterSpec,
+    plan: &Plan,
+    workload: &Workload,
+) -> Vec<MemoryBreakdown> {
+    stage_models
+        .iter()
+        .map(|m| memory_per_device(m, sub, plan, workload))
+        .collect()
+}
+
+/// Folds raw per-stage footprints into the worst-stage breakdown for one
+/// `(microbatches, schedule)` candidate and checks it against usable HBM.
+///
+/// # Errors
+///
+/// [`PlanError::OutOfMemory`] when the worst stage exceeds usable HBM and
+/// the plan does not ignore memory limits.
+pub fn fold_pipeline_memory(
+    per_stage: &[MemoryBreakdown],
+    microbatches: usize,
+    schedule: PipelineSchedule,
+    workload: &Workload,
+    plan: &Plan,
+    cluster: &ClusterSpec,
+) -> Result<MemoryBreakdown, PlanError> {
+    let p = per_stage.len();
     let mut worst = MemoryBreakdown::default();
     let mut worst_total = f64::NEG_INFINITY;
-    for (si, stage) in stages.iter().enumerate() {
-        let sub_model = stage_model(model, stage, si);
-        let mut b = memory_per_device(&sub_model, &sub, plan, workload);
+    for breakdown in per_stage {
+        let mut b = *breakdown;
         // memory_per_device retains the full global batch's activations —
         // exactly GPipe's worst case. 1F1B keeps at most `p` in-flight
         // microbatches of the `m` total.

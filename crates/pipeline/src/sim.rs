@@ -25,6 +25,7 @@ use crate::cost::{stage_costs, StageCosts};
 use crate::memory::pipeline_memory;
 use crate::partition::partition_model;
 use crate::schedule::{build_pipeline_trace_into, build_serve_trace_into};
+use crate::table::PipelineCostTable;
 
 static DEFAULT_COLLECTIVES: HierarchicalNccl = HierarchicalNccl;
 
@@ -205,6 +206,80 @@ pub fn run_pipelined_scratch(
         &mut scratch.report,
     );
     attach_serve_stats(&mut report, &priced, &eff, &scratch.trace, &scratch.sched);
+    Ok(report)
+}
+
+/// The pipeline engine's allocation-free fast path: evaluates `plan`
+/// against a shared, pre-priced [`PipelineCostTable`] using caller-owned
+/// buffers.
+///
+/// This is the joint-search hot path — the report is byte-identical to
+/// [`run_pipelined`] with the same inputs, but no partitioning, memory
+/// derivation, or cost-model pricing runs per candidate (everything comes
+/// from the table) and the trace arena, schedule, and stream-slot table in
+/// `scratch` are recycled across calls. When the candidate's assembly
+/// inputs are identical to the previous call's (same priced stages and —
+/// for serve workloads, whose decode stream is schedule-independent — any
+/// schedule), the memoized report is returned without re-assembling at
+/// all.
+///
+/// # Errors
+///
+/// Same conditions as [`run_pipelined`].
+///
+/// # Panics
+///
+/// Panics when the plan's (depth, assignment, microbatches) key was not
+/// priced into `table` via `PipelineCostTable::ensure_plan`.
+pub fn run_pipelined_cached(
+    table: &PipelineCostTable,
+    plan: &Plan,
+    scratch: &mut EngineScratch,
+) -> Result<IterationReport, PlanError> {
+    let priced = table.priced_for(plan)?;
+    if let Some(memo) = &scratch.pipeline_memo {
+        if memo.key == priced.memo_key {
+            return Ok(memo.report.clone());
+        }
+    }
+    match priced.decode {
+        Some((decode, decode_len)) => build_serve_trace_into(
+            priced.primary,
+            decode,
+            &priced.cfg,
+            decode_len,
+            priced.prompt_len,
+            &mut scratch.trace,
+        ),
+        None => build_pipeline_trace_into(
+            priced.primary,
+            &priced.cfg,
+            table.workload().has_backward(),
+            &mut scratch.trace,
+        ),
+    }
+    schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    let model = table.report_model();
+    let mut report = IterationReport::from_schedule_in(
+        &scratch.trace,
+        &scratch.sched,
+        model,
+        priced.memory,
+        &mut scratch.report,
+    );
+    if let Some((_, decode_len)) = priced.decode {
+        report.serve = Some(serve_stats_from(
+            &scratch.trace,
+            &scratch.sched,
+            priced.prompt_len,
+            decode_len,
+            model.global_batch,
+        ));
+    }
+    scratch.pipeline_memo = Some(madmax_core::ReportMemo {
+        key: priced.memo_key,
+        report: report.clone(),
+    });
     Ok(report)
 }
 

@@ -1,32 +1,37 @@
 //! Equivalence suite for the unified engine API.
 //!
 //! PR 2 pinned `Scenario` byte-for-byte against the legacy `Simulation` /
-//! `PipelineSimulation` front doors; those shims have now been removed
-//! after their deprecation release, and the absolute behavior they pinned
-//! is carried by `tests/paper_validation.rs` / `tests/insights.rs`
-//! (expected values predating both refactors, still passing unchanged).
+//! `PipelineSimulation` front doors, and PR 4 pinned the `Workload`
+//! redesign against the legacy `Task` shims; both shim generations have
+//! now been removed after their deprecation releases, and the absolute
+//! behavior they pinned is carried by `tests/paper_validation.rs` /
+//! `tests/insights.rs` (expected values predating every refactor, still
+//! passing unchanged) plus the legacy-inference shape pin below.
 //!
-//! This file pins the `Workload` redesign the same way, one layer down:
+//! This file pins the evaluation fast paths the same way, one layer down:
 //!
-//! - `Scenario::workload(Workload::from(task))` is byte-for-byte the
-//!   deprecated `Scenario::task(task)` shim for every legacy variant —
-//!   in particular `Task::Inference` maps to a prefill-only serve
-//!   workload with an identical engine path, so every existing inference
-//!   figure/result is unchanged;
-//! - the allocation-free cached path reproduces `Scenario::run` exactly
-//!   (now including serve workloads with decode phases);
+//! - the prefill-only serve workload ([`Workload::inference`]) is
+//!   byte-for-byte the explicit prompt/batch serve configuration — the
+//!   engine shape the removed `Task::Inference` mapped onto, so every
+//!   historical inference figure is unchanged;
+//! - the allocation-free cached paths — the flat `CostTable` *and* the
+//!   pipeline `PipelineCostTable` — reproduce `Scenario::run` exactly
+//!   (success and error shapes), across the model zoo, both pipeline
+//!   schedules, training and serve workloads, with one shared scratch;
+//! - a shared `PipelineCostTable` reused across randomized
+//!   `(microbatches, schedule, decode batch)` candidates matches fresh
+//!   pricing (property test);
 //! - the parallel explorer returns the identical winner at any thread
 //!   count.
-//!
-//! This file intentionally exercises the deprecated `task()` shims.
-#![allow(deprecated)]
+
+use proptest::prelude::*;
 
 use madmax_dse::{Explorer, PipelineAxes, SearchSpace, ServeAxes};
 use madmax_engine::{EngineScratch, Scenario};
 use madmax_hw::catalog;
 use madmax_model::{LayerClass, ModelId};
 use madmax_parallel::{
-    HierStrategy, PipelineConfig, PipelineSchedule, Plan, ServeConfig, Strategy, Task, Workload,
+    HierStrategy, PipelineConfig, PipelineSchedule, Plan, ServeConfig, Strategy, Workload,
 };
 
 fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
@@ -38,58 +43,19 @@ fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
 }
 
 #[test]
-fn workload_from_task_is_byte_identical_across_the_zoo() {
-    // The acceptance pin: Scenario::workload(Workload::from(task)) must
-    // reproduce the deprecated Scenario::task(task) shim — and with it
-    // every existing figure — byte for byte, for every legacy variant.
-    for id in ModelId::ALL {
-        let model = id.build();
-        let sys = system_for(id);
-        let plan = Plan::fsdp_baseline(&model);
-        for task in [
-            Task::Pretraining,
-            Task::Inference,
-            Task::finetune_only(LayerClass::Embedding),
-        ] {
-            let old = Scenario::new(&model, &sys)
-                .plan(plan.clone())
-                .task(task.clone())
-                .run()
-                .unwrap();
-            let new = Scenario::new(&model, &sys)
-                .plan(plan.clone())
-                .workload(Workload::from(task.clone()))
-                .run()
-                .unwrap();
-            assert_eq!(old, new, "{id} {task}: reports differ");
-            // Byte-for-byte: the serialized forms are identical too.
-            assert_eq!(
-                serde_json::to_string(&old).unwrap(),
-                serde_json::to_string(&new).unwrap(),
-                "{id} {task}: serialized reports differ"
-            );
-        }
-    }
-}
-
-#[test]
 fn legacy_inference_is_the_prefill_only_serve_workload() {
-    // Task::Inference == Workload::inference() == a prefill-only serve
-    // with the model's own context/batch; an *explicit* prompt override
-    // equal to the model context produces identical numbers through the
-    // effective-model path.
+    // Workload::inference() == a prefill-only serve with the model's own
+    // context/batch; an *explicit* prompt override equal to the model
+    // context produces identical numbers through the effective-model
+    // path. This is the engine shape the removed Task::Inference shim
+    // mapped onto.
     for id in [ModelId::DlrmA, ModelId::Gpt3, ModelId::Llama2] {
         let model = id.build();
         let sys = system_for(id);
         let plan = Plan::fsdp_baseline(&model);
-        let legacy = Scenario::new(&model, &sys)
+        let implicit = Scenario::new(&model, &sys)
             .plan(plan.clone())
-            .task(Task::Inference)
-            .run()
-            .unwrap();
-        let mapped = Scenario::new(&model, &sys)
-            .plan(plan.clone())
-            .workload(Workload::from(Task::Inference))
+            .workload(Workload::inference())
             .run()
             .unwrap();
         let explicit = Scenario::new(&model, &sys)
@@ -102,35 +68,14 @@ fn legacy_inference_is_the_prefill_only_serve_workload() {
             }))
             .run()
             .unwrap();
-        assert_eq!(legacy, mapped, "{id}");
-        assert_eq!(legacy, explicit, "{id}: explicit prompt/batch differ");
-        assert!(legacy.serve.is_none(), "{id}: prefill-only has no stats");
+        assert_eq!(implicit, explicit, "{id}: explicit prompt/batch differ");
+        assert!(implicit.serve.is_none(), "{id}: prefill-only has no stats");
         assert_eq!(
-            serde_json::to_string(&legacy).unwrap(),
-            serde_json::to_string(&mapped).unwrap(),
+            serde_json::to_string(&implicit).unwrap(),
+            serde_json::to_string(&explicit).unwrap(),
             "{id}: serialized inference reports differ"
         );
     }
-}
-
-#[test]
-fn workload_trace_and_schedule_match_the_task_shim() {
-    let model = ModelId::DlrmATransformer.build();
-    let sys = catalog::zionex_dlrm_system();
-    let plan = Plan::fsdp_baseline(&model);
-    let (old_r, old_t, old_s) = Scenario::new(&model, &sys)
-        .plan(plan.clone())
-        .task(Task::Pretraining)
-        .run_with_trace()
-        .unwrap();
-    let (new_r, new_t, new_s) = Scenario::new(&model, &sys)
-        .plan(plan)
-        .workload(Workload::pretrain())
-        .run_with_trace()
-        .unwrap();
-    assert_eq!(old_r, new_r);
-    assert_eq!(old_t, new_t);
-    assert_eq!(old_s, new_s);
 }
 
 #[test]
@@ -203,12 +148,13 @@ fn parallel_explorer_is_deterministic() {
 
 #[test]
 fn cached_fast_path_is_byte_identical_across_the_zoo() {
-    // The allocation-free evaluation path (shared CostTable + recycled
-    // EngineScratch) must reproduce `Scenario::run`'s reports bit for bit
-    // — success AND error shapes — for flat and pipelined plans, training
-    // and serve workloads. One scratch is reused across every model and
-    // plan, so any state leaking between candidates through the arena
-    // would show up here.
+    // The allocation-free evaluation paths (shared CostTable /
+    // PipelineCostTable + recycled EngineScratch) must reproduce
+    // `Scenario::run`'s reports bit for bit — success AND error shapes —
+    // for flat and pipelined plans, training and serve workloads. One
+    // scratch is reused across every model and plan, so any state leaking
+    // between candidates through the arena or the pipeline memo would
+    // show up here.
     let mut scratch = EngineScratch::new();
     for id in ModelId::ALL {
         let model = id.build();
@@ -223,10 +169,18 @@ fn cached_fast_path_is_byte_identical_across_the_zoo() {
                 HierStrategy::two_level(Strategy::Tp, Strategy::Ddp),
             ),
         ];
-        // A pipelined plan routes run_in through the stage engine.
-        let mut piped = base.clone().with_pipeline(PipelineConfig::gpipe(4, 16));
-        piped.options.ignore_memory_limits = true;
-        plans.push(piped);
+        // Pipelined plans route run_in through the stage engine — both
+        // schedules at one (depth, microbatch) key, so the serve memo's
+        // schedule collapse is exercised against fresh runs.
+        for schedule in [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB] {
+            let mut piped = base.clone().with_pipeline(PipelineConfig {
+                stages: 4,
+                microbatches: 16,
+                schedule,
+            });
+            piped.options.ignore_memory_limits = true;
+            plans.push(piped);
+        }
 
         for workload in [
             Workload::pretrain(),
@@ -236,10 +190,12 @@ fn cached_fast_path_is_byte_identical_across_the_zoo() {
             for plan in &plans {
                 let scenario = Scenario::new(&model, &sys).workload_ref(&workload);
                 let table = scenario.price_plans(std::slice::from_ref(plan));
+                let pp_table = scenario.price_pipeline_plans(std::slice::from_ref(plan));
                 let cached = Scenario::new(&model, &sys)
                     .workload_ref(&workload)
                     .plan_ref(plan)
                     .costs(&table)
+                    .pipeline_costs(&pp_table)
                     .run_in(&mut scratch);
                 let uncached = Scenario::new(&model, &sys)
                     .workload_ref(&workload)
@@ -266,11 +222,64 @@ fn cached_fast_path_is_byte_identical_across_the_zoo() {
 }
 
 #[test]
+fn shared_pipeline_table_matches_fresh_runs_across_keys() {
+    // One PipelineCostTable shared across every (depth, microbatch,
+    // schedule) candidate of a search — for training and serve workloads,
+    // at 1 and N threads through the explorer — returns exactly what
+    // one-off `Scenario::run` calls produce, plan for plan.
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    for workload in [
+        Workload::pretrain(),
+        Workload::serve(ServeConfig::new(512, 8).with_decode_batch(512)),
+    ] {
+        let mut plans = Vec::new();
+        for p in [2usize, 4, 8] {
+            for m in [8usize, 16] {
+                for schedule in [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB] {
+                    let mut plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+                        stages: p,
+                        microbatches: m,
+                        schedule,
+                    });
+                    plan.options.ignore_memory_limits = true;
+                    plans.push(plan);
+                }
+            }
+        }
+        let fresh: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                Scenario::new(&model, &sys)
+                    .plan_ref(p)
+                    .workload_ref(&workload)
+                    .run()
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let results = Explorer::new(&model, &sys)
+                .workload(workload.clone())
+                .threads(threads)
+                .evaluate(&plans);
+            assert_eq!(results.len(), fresh.len());
+            for (i, (a, b)) in results.iter().zip(&fresh).enumerate() {
+                match (a, b) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "threads={threads} plan {i}"),
+                    (Err(a), Err(b)) => assert_eq!(a, b, "threads={threads} plan {i}"),
+                    (a, b) => panic!("threads={threads} plan {i}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn explorer_fast_path_matches_fresh_scenarios_at_any_thread_count() {
-    // `Explorer::evaluate` (shared cost table, per-worker scratch, borrow-
-    // based scenarios) must return exactly what one-off `Scenario::run`
-    // calls produce, plan for plan, at 1 and N threads — including over a
-    // joint space that mixes flat and pipelined candidates.
+    // `Explorer::evaluate` (shared cost tables, per-worker scratch,
+    // borrow-based scenarios) must return exactly what one-off
+    // `Scenario::run` calls produce, plan for plan, at 1 and N threads —
+    // including over a joint space that mixes flat and pipelined
+    // candidates.
     let model = ModelId::Llama2.build();
     let sys = catalog::llama_llm_system();
     let space = SearchSpace::strategies()
@@ -415,4 +424,63 @@ fn unified_error_reports_one_shape_for_both_engines() {
         .unwrap_err();
     assert!(unmappable.is_unmappable_pipeline());
     assert!(!unmappable.is_oom());
+}
+
+proptest! {
+    /// One shared `PipelineCostTable` reused across randomized
+    /// `(microbatches, schedule, decode batch)` candidates matches fresh
+    /// (uncached) pricing bit for bit — through one recycled scratch, so
+    /// the memo can never serve a stale report.
+    #[test]
+    fn shared_pipeline_table_matches_fresh_pricing(
+        m_idx in 0usize..4,
+        schedule_tag in 0usize..2,
+        batch_idx in 0usize..3,
+        depth_idx in 0usize..3,
+        decode_len in 1usize..6,
+    ) {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let microbatches = [2usize, 4, 8, 16][m_idx];
+        let decode_batch = [64usize, 256, 512][batch_idx];
+        let stages = [2usize, 4, 8][depth_idx];
+        let schedule = [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB][schedule_tag];
+        let workload = Workload::serve(
+            ServeConfig::new(256, decode_len).with_decode_batch(decode_batch),
+        );
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+            stages,
+            microbatches,
+            schedule,
+        });
+        // The shared table also covers the sibling schedule's candidate,
+        // so the (depth, assignment, m) entry is genuinely reused.
+        let sibling = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig {
+            stages,
+            microbatches,
+            schedule: match schedule {
+                PipelineSchedule::GPipe => PipelineSchedule::OneFOneB,
+                PipelineSchedule::OneFOneB => PipelineSchedule::GPipe,
+            },
+        });
+        let scenario = Scenario::new(&model, &sys).workload_ref(&workload);
+        let table = scenario.price_pipeline_plans(&[sibling.clone(), plan.clone()]);
+        let mut scratch = EngineScratch::new();
+        for candidate in [&sibling, &plan, &sibling] {
+            let cached = Scenario::new(&model, &sys)
+                .workload_ref(&workload)
+                .plan_ref(candidate)
+                .pipeline_costs(&table)
+                .run_in(&mut scratch);
+            let fresh = Scenario::new(&model, &sys)
+                .workload_ref(&workload)
+                .plan_ref(candidate)
+                .run();
+            match (cached, fresh) {
+                (Ok(c), Ok(u)) => prop_assert_eq!(c, u),
+                (Err(c), Err(u)) => prop_assert_eq!(c, u),
+                (c, u) => prop_assert!(false, "divergent outcomes {:?} vs {:?}", c, u),
+            }
+        }
+    }
 }
