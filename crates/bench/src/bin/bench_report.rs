@@ -10,13 +10,19 @@
 //!
 //! ```text
 //! cargo run --release -p madmax-bench --bin bench_report -- \
-//!     [--threads N] [--out BENCH_PR5.json] [--reps 5] [--baseline PRE.json]
+//!     [--threads N] [--out BENCH_PR6.json] [--reps 5] [--baseline PRE.json] \
+//!     [--guard 0.95]
 //! ```
 //!
 //! With `--baseline`, a previously emitted report (e.g. one produced by
 //! running this bin against the pre-PR commit) is joined by search name
 //! and each record gains `pre_pr_wall_ms` and `speedup` fields, making
 //! the committed file a self-contained before/after comparison.
+//! `--guard R` additionally fails the run (exit 1) unless the aggregate
+//! fig10 suite stayed at least `R`x the baseline's wall-clock — the
+//! telemetry layer's overhead guard: searches run with telemetry *off*
+//! (no progress sink, no spool), so always-on counters must stay in the
+//! noise.
 //!
 //! Fig. 10 runs each model's joint strategy search twice — memory-
 //! constrained (blue bars) and unconstrained (orange bars) — so one record
@@ -36,7 +42,8 @@ use serde::{Deserialize, Serialize};
 
 /// One timed search, as emitted (and re-read via `--baseline`) by this
 /// bin. The comparison fields are `None`/`null` when no baseline is
-/// supplied.
+/// supplied; the cache-hit-rate columns are `None` for aggregate records
+/// and when re-reading reports from before the telemetry layer existed.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchRecord {
     search: String,
@@ -45,6 +52,9 @@ struct BenchRecord {
     threads: usize,
     pre_pr_wall_ms: Option<f64>,
     speedup: Option<f64>,
+    flat_cache_hit_rate: Option<f64>,
+    pipeline_cache_hit_rate: Option<f64>,
+    report_memo_hit_rate: Option<f64>,
 }
 
 fn arg_value(name: &str) -> Option<String> {
@@ -60,6 +70,9 @@ fn arg_value(name: &str) -> Option<String> {
 
 /// Times one search — one warm-up, then best-of-`reps` — and records it
 /// under `search`, joining the pre-PR point from `baseline` when present.
+/// `telemetry` (from a representative run) supplies the cache-hit-rate
+/// columns.
+#[allow(clippy::too_many_arguments)]
 fn record(
     records: &mut Vec<BenchRecord>,
     baseline: &[BenchRecord],
@@ -67,6 +80,7 @@ fn record(
     candidates: usize,
     threads: usize,
     reps: usize,
+    telemetry: Option<&madmax_obs::SearchTelemetry>,
     mut run: impl FnMut(),
 ) -> f64 {
     run(); // warm-up
@@ -81,7 +95,18 @@ fn record(
         .find(|r| r.search == search)
         .map(|r| r.wall_ms);
     let vs = pre.map_or(String::new(), |p| format!("  {:5.1}x vs pre", p / best_ms));
-    println!("{search:<46} {candidates:>4} candidates  {best_ms:>9.2} ms  ({threads} threads){vs}");
+    let hit =
+        |r: Option<f64>| r.map_or_else(|| "    -".to_owned(), |r| format!("{:4.0}%", r * 100.0));
+    let flat = telemetry.and_then(|t| t.flat_cache.hit_rate());
+    let pipe = telemetry.and_then(|t| t.pipeline_cache.hit_rate());
+    let memo = telemetry.and_then(|t| t.report_memo.hit_rate());
+    println!(
+        "{search:<46} {candidates:>4} candidates  {best_ms:>9.2} ms  \
+         cache {}/{}/{}  ({threads} threads){vs}",
+        hit(flat),
+        hit(pipe),
+        hit(memo),
+    );
     records.push(BenchRecord {
         search,
         candidates,
@@ -89,13 +114,22 @@ fn record(
         threads,
         pre_pr_wall_ms: pre,
         speedup: pre.map(|p| p / best_ms),
+        flat_cache_hit_rate: flat,
+        pipeline_cache_hit_rate: pipe,
+        report_memo_hit_rate: memo,
     });
     best_ms
 }
 
 fn main() {
-    let threads = madmax_bench::threads_from_args();
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+    let threads = arg_value("--threads")
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(madmax_bench::default_threads, |n| n.max(1));
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+    let guard: Option<f64> = arg_value("--guard").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--guard expects a ratio, got `{v}`"))
+    });
     let reps: usize = arg_value("--reps")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5)
@@ -132,6 +166,7 @@ fn main() {
                 candidates,
                 threads,
                 reps,
+                Some(&outcome.telemetry),
                 || {
                     let o = explorer.explore().expect("baseline feasible");
                     assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
@@ -166,7 +201,22 @@ fn main() {
             threads,
             pre_pr_wall_ms: pre,
             speedup: pre.map(|p| p / total_ms),
+            flat_cache_hit_rate: None,
+            pipeline_cache_hit_rate: None,
+            report_memo_hit_rate: None,
         });
+        // Overhead guard: the always-on telemetry counters (relaxed
+        // atomics in the cost tables) must not slow the telemetry-off
+        // suite below `--guard` x the baseline.
+        if let (Some(ratio), Some(p)) = (guard, pre) {
+            let speedup = p / total_ms;
+            assert!(
+                speedup >= ratio,
+                "overhead guard failed: fig10 suite at {speedup:.3}x of baseline \
+                 (threshold {ratio}x)"
+            );
+            println!("overhead guard passed: {speedup:.3}x >= {ratio}x");
+        }
     }
 
     // Pipeline-schedule grids (the fig_pipeline_schedules hot loop): the
@@ -192,6 +242,7 @@ fn main() {
         let explorer = Explorer::new(&model, &system)
             .workload(Workload::pretrain())
             .threads(threads);
+        let (_, telemetry) = explorer.evaluate_with_telemetry(&Workload::pretrain(), &plans);
         record(
             &mut records,
             &baseline,
@@ -199,6 +250,7 @@ fn main() {
             plans.len(),
             threads,
             reps,
+            Some(&telemetry),
             || {
                 for r in explorer.evaluate(&plans) {
                     r.expect("schedule grid is feasible");
@@ -230,6 +282,7 @@ fn main() {
             candidates,
             threads,
             reps,
+            Some(&outcome.telemetry),
             || {
                 let o = explorer.explore().expect("joint baseline feasible");
                 assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
@@ -268,6 +321,7 @@ fn main() {
                 candidates,
                 threads,
                 reps,
+                Some(&outcome.telemetry),
                 || {
                     let o = explorer.explore().expect("serve baseline feasible");
                     assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");

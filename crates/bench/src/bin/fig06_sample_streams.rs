@@ -1,7 +1,26 @@
-//! Regenerates the paper's Fig. 6.
+//! Regenerates the paper's Fig. 6. `--emit-trace PATH` additionally
+//! writes the same streams as Chrome trace-event JSON for
+//! <https://ui.perfetto.dev>.
 fn main() {
     madmax_bench::emit(
         "fig06_sample_streams",
         &madmax_bench::experiments::validation_figs::fig06(),
     );
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--emit-trace" {
+            let Some(path) = args.next() else {
+                eprintln!("usage: fig06_sample_streams [--emit-trace PATH]");
+                std::process::exit(2);
+            };
+            let trace = madmax_bench::experiments::validation_figs::fig06_chrome_trace();
+            match trace.write(&path) {
+                Ok(()) => eprintln!("trace written to {path} (open at https://ui.perfetto.dev)"),
+                Err(e) => {
+                    eprintln!("cannot write trace to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }

@@ -1,14 +1,7 @@
-//! Regenerates the paper's Fig. 10 (`--threads N` sizes the explorer's
-//! worker pool; defaults to all cores).
+//! Regenerates the paper's Fig. 10. Flags (shared across the DSE-heavy
+//! bins): `--threads N`, `--progress N`, `--telemetry PATH`.
 fn main() {
-    let threads = madmax_bench::threads_from_args();
-    let started = std::time::Instant::now();
-    madmax_bench::emit(
-        "fig10_pretraining_speedup",
-        &madmax_bench::experiments::strategy_figs::fig10(threads),
-    );
-    eprintln!(
-        "fig10: explored on {threads} thread(s) in {:.2}s",
-        started.elapsed().as_secs_f64()
-    );
+    let cli = madmax_bench::BenchCli::from_args("fig10_pretraining_speedup");
+    let report = cli.run(madmax_bench::experiments::strategy_figs::fig10);
+    madmax_bench::emit("fig10_pretraining_speedup", &report);
 }

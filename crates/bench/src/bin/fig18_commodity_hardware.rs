@@ -1,14 +1,7 @@
-//! Regenerates the paper's Fig. 18 (`--threads N` sizes the explorer's
-//! worker pool; defaults to all cores).
+//! Regenerates the paper's Fig. 18. Flags (shared across the DSE-heavy
+//! bins): `--threads N`, `--progress N`, `--telemetry PATH`.
 fn main() {
-    let threads = madmax_bench::threads_from_args();
-    let started = std::time::Instant::now();
-    madmax_bench::emit(
-        "fig18_commodity_hardware",
-        &madmax_bench::experiments::hardware_figs::fig18(threads),
-    );
-    eprintln!(
-        "fig18: explored on {threads} thread(s) in {:.2}s",
-        started.elapsed().as_secs_f64()
-    );
+    let cli = madmax_bench::BenchCli::from_args("fig18_commodity_hardware");
+    let report = cli.run(madmax_bench::experiments::hardware_figs::fig18);
+    madmax_bench::emit("fig18_commodity_hardware", &report);
 }

@@ -1,20 +1,10 @@
 //! Pipeline-schedule comparison: GPipe vs 1F1B bubble overhead across model
 //! depths and microbatch counts, against the analytic `(p-1)/(m+p-1)`
 //! floor, plus the activation-memory advantage that motivates 1F1B.
-//! `--threads N` sizes the evaluation pool (defaults to all cores).
-
-use madmax_bench::emit;
-use madmax_bench::experiments::pipeline_figs;
-
+//! Flags (shared across the DSE-heavy bins): `--threads N`,
+//! `--progress N`, `--telemetry PATH`.
 fn main() {
-    let threads = madmax_bench::threads_from_args();
-    let started = std::time::Instant::now();
-    emit(
-        "fig_pipeline_schedules",
-        &pipeline_figs::fig_pipeline_schedules(threads),
-    );
-    eprintln!(
-        "fig_pipeline_schedules: evaluated on {threads} thread(s) in {:.2}s",
-        started.elapsed().as_secs_f64()
-    );
+    let cli = madmax_bench::BenchCli::from_args("fig_pipeline_schedules");
+    let report = cli.run(madmax_bench::experiments::pipeline_figs::fig_pipeline_schedules);
+    madmax_bench::emit("fig_pipeline_schedules", &report);
 }

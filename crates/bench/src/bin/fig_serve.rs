@@ -1,18 +1,10 @@
 //! `fig_serve` — serve-mode scenarios: TTFT/TPOT sweeps (flat vs
 //! pipelined decode) over the LLM zoo, plus the joint (pipeline x decode
 //! batch) search on a bandwidth-constrained fabric.
-//!
-//! Usage: `fig_serve [--threads N]` (default: all cores).
-
+//! Flags (shared across the DSE-heavy bins): `--threads N`,
+//! `--progress N`, `--telemetry PATH`.
 fn main() {
-    let threads = madmax_bench::threads_from_args();
-    let start = std::time::Instant::now();
-    madmax_bench::emit(
-        "fig_serve",
-        &madmax_bench::experiments::serve_figs::fig_serve(threads),
-    );
-    eprintln!(
-        "fig_serve: {:.1} ms on {threads} thread(s)",
-        start.elapsed().as_secs_f64() * 1e3
-    );
+    let cli = madmax_bench::BenchCli::from_args("fig_serve");
+    let report = cli.run(madmax_bench::experiments::serve_figs::fig_serve);
+    madmax_bench::emit("fig_serve", &report);
 }

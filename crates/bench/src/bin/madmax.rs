@@ -12,6 +12,18 @@
 //! madmax config   --model dlrm-b --out /tmp/cfgs   # emit the 3 JSON files
 //! madmax simulate --config-dir /tmp/cfgs           # run from JSON configs
 //! ```
+//!
+//! Observability flags:
+//!
+//! - `--emit-trace PATH` (simulate, search): write the simulated schedule
+//!   as Chrome trace-event JSON — open it at <https://ui.perfetto.dev>.
+//!   `search` exports its winner's schedule; built with the
+//!   `self-profile` feature, the explorer's own price/assemble/report
+//!   spans land in the same file as a second process.
+//! - `--telemetry PATH` (search): write the search's
+//!   [`madmax_obs::SearchTelemetry`] (outcome counters, cache hit rates,
+//!   per-worker throughput, latency histogram) as JSON.
+//! - `--progress N` (search): print a progress line every N candidates.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -21,6 +33,7 @@ use madmax_dse::{Explorer, SearchSpace};
 use madmax_engine::Scenario;
 use madmax_hw::{catalog, ClusterSpec};
 use madmax_model::{LayerClass, ModelArch, ModelId};
+use madmax_obs::{ChromeTrace, StderrTicker};
 use madmax_parallel::{HierStrategy, Plan, ServeConfig, Workload};
 
 fn models() -> BTreeMap<&'static str, ModelId> {
@@ -142,6 +155,34 @@ fn build_plan(model: &ModelArch, args: &Args) -> Result<Plan, String> {
     Ok(plan)
 }
 
+/// Exports a scenario's schedule (plus any recorded self-profile spans)
+/// as Chrome trace-event JSON.
+fn emit_trace(
+    model: &ModelArch,
+    system: &ClusterSpec,
+    plan: &Plan,
+    workload: &Workload,
+    path: &str,
+) -> Result<(), String> {
+    // Idempotent: the search arm switches recording on before exploring
+    // so the whole search is profiled; for a bare `simulate` this at
+    // least captures the export run itself. No-op without the
+    // `self-profile` feature.
+    madmax_core::prof::set_recording(true);
+    let (_, trace, sched) = Scenario::new(model, system)
+        .plan(plan.clone())
+        .workload(workload.clone())
+        .run_with_trace()
+        .map_err(|e| e.to_string())?;
+    let mut chrome = ChromeTrace::from_schedule(&trace, &sched);
+    chrome.add_spans(&madmax_core::prof::take());
+    chrome
+        .write(path)
+        .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    eprintln!("trace written to {path} (open at https://ui.perfetto.dev)");
+    Ok(())
+}
+
 fn print_report(
     model: &ModelArch,
     system: &ClusterSpec,
@@ -223,18 +264,32 @@ fn run() -> Result<(), String> {
                     dir.join("experiment.json"),
                 )
                 .map_err(|e| e.to_string())?;
-                return print_report(
+                print_report(
                     &cfg.model,
                     &cfg.system,
                     &cfg.experiment.plan,
                     &cfg.experiment.workload,
-                );
+                )?;
+                if let Some(path) = args.get("emit-trace") {
+                    emit_trace(
+                        &cfg.model,
+                        &cfg.system,
+                        &cfg.experiment.plan,
+                        &cfg.experiment.workload,
+                        path,
+                    )?;
+                }
+                return Ok(());
             }
             let model = lookup_model(&args)?;
             let system = lookup_system(&args)?;
             let workload = parse_workload(&args)?;
             let plan = build_plan(&model, &args)?;
-            print_report(&model, &system, &plan, &workload)
+            print_report(&model, &system, &plan, &workload)?;
+            if let Some(path) = args.get("emit-trace") {
+                emit_trace(&model, &system, &plan, &workload, path)?;
+            }
+            Ok(())
         }
         "search" => {
             let args = Args::parse(rest)?;
@@ -243,15 +298,42 @@ fn run() -> Result<(), String> {
             let workload = parse_workload(&args)?;
             let mut space = SearchSpace::strategies();
             space.ignore_memory_limits = args.get("unconstrained") == Some("true");
+            let ticker = args
+                .get("progress")
+                .map(|n| {
+                    n.parse::<u64>()
+                        .map(StderrTicker::every)
+                        .map_err(|_| "--progress expects a number")
+                })
+                .transpose()?;
+            if args.get("emit-trace").is_some() {
+                // With the `self-profile` feature compiled in, record the
+                // engine's price/assemble/report spans into the trace.
+                madmax_core::prof::set_recording(true);
+            }
             let mut explorer = Explorer::new(&model, &system)
                 .workload(workload)
                 .space(space);
+            if let Some(t) = ticker.as_ref() {
+                explorer = explorer.progress(t);
+            }
             if let Some(n) = args.get("threads") {
                 let n: usize = n.parse().map_err(|_| "--threads expects a number")?;
                 explorer = explorer.threads(n);
             }
             let r = explorer.explore().map_err(|e| e.to_string())?;
             println!("evaluated {} plans ({} OOM)", r.evaluated, r.oom);
+            println!("telemetry: {}", r.telemetry.summary());
+            if let Some(path) = args.get("telemetry") {
+                let js = serde_json::to_string_pretty(&r.telemetry)
+                    .map_err(|e| format!("telemetry does not serialize: {e}"))?;
+                std::fs::write(path, js)
+                    .map_err(|e| format!("cannot write telemetry to {path}: {e}"))?;
+                eprintln!("telemetry written to {path}");
+            }
+            if let Some(path) = args.get("emit-trace") {
+                emit_trace(&model, &system, &r.best_plan, &r.best_workload, path)?;
+            }
             println!(
                 "baseline:  {:.3} ms/iter",
                 r.baseline.iteration_time.as_ms()

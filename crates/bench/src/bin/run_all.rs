@@ -1,15 +1,24 @@
 //! Runs every table/figure experiment and persists results under
 //! `results/`. DSE-heavy experiments fan out over all available cores, and
-//! a per-figure elapsed-time summary is printed at the end so hot-path
-//! regressions are visible straight from the tier-1 artifact run.
-use std::time::{Duration, Instant};
+//! the telemetry layer's [`ElapsedSummary`] prints a per-figure
+//! elapsed-time table at the end so hot-path regressions are visible
+//! straight from the tier-1 artifact run. Per-search telemetry (outcome
+//! counters, cache hit rates) lands in `results/telemetry.json`.
 
-use madmax_bench::{emit, experiments as e};
+use madmax_bench::{emit, experiments as e, SearchHooks};
+use madmax_obs::{ElapsedSummary, TelemetrySpool};
 
-type Experiment = (&'static str, Box<dyn Fn() -> String>);
+type Experiment<'a> = (&'static str, Box<dyn Fn() -> String + 'a>);
 
 fn main() {
     let threads = madmax_bench::default_threads();
+    let spool = TelemetrySpool::new();
+    let hooks = SearchHooks {
+        threads,
+        sink: None,
+        spool: Some(&spool),
+    };
+    let h = &hooks;
     let runs: Vec<Experiment> = vec![
         ("table1_validation", Box::new(e::tables::table1)),
         ("table2_model_suite", Box::new(e::tables::table2)),
@@ -37,7 +46,7 @@ fn main() {
         ("fig09_fsdp_prefetch", Box::new(e::validation_figs::fig09)),
         (
             "fig10_pretraining_speedup",
-            Box::new(move || e::strategy_figs::fig10(threads)),
+            Box::new(move || e::strategy_figs::fig10(h)),
         ),
         (
             "fig11_dlrm_strategy_sweep",
@@ -58,7 +67,7 @@ fn main() {
         ("fig17_gpu_generations", Box::new(e::hardware_figs::fig17)),
         (
             "fig18_commodity_hardware",
-            Box::new(move || e::hardware_figs::fig18(threads)),
+            Box::new(move || e::hardware_figs::fig18(h)),
         ),
         ("fig19_hardware_scaling", Box::new(e::hardware_figs::fig19)),
         (
@@ -67,30 +76,24 @@ fn main() {
         ),
         (
             "fig_pipeline_schedules",
-            Box::new(move || e::pipeline_figs::fig_pipeline_schedules(threads)),
+            Box::new(move || e::pipeline_figs::fig_pipeline_schedules(h)),
         ),
-        (
-            "fig_serve",
-            Box::new(move || e::serve_figs::fig_serve(threads)),
-        ),
+        ("fig_serve", Box::new(move || e::serve_figs::fig_serve(h))),
         ("ablations", Box::new(e::ablations::run)),
     ];
-    let mut timings: Vec<(&'static str, Duration)> = Vec::with_capacity(runs.len());
+    let mut summary = ElapsedSummary::new();
     for (name, f) in runs {
         eprintln!(">>> {name}");
-        let start = Instant::now();
-        emit(name, &f());
-        timings.push((name, start.elapsed()));
+        let report = summary.run(name, f);
+        emit(name, &report);
     }
 
     eprintln!("\n=== elapsed per experiment ===");
-    let total: Duration = timings.iter().map(|(_, d)| *d).sum();
-    for (name, d) in &timings {
-        eprintln!("{name:<28} {:>9.1} ms", d.as_secs_f64() * 1e3);
+    eprint!("{}", summary.table());
+
+    let telemetry_path = madmax_bench::results_dir().join("telemetry.json");
+    match spool.write(&telemetry_path) {
+        Ok(()) => eprintln!("search telemetry written to {}", telemetry_path.display()),
+        Err(err) => eprintln!("cannot write search telemetry: {err}"),
     }
-    eprintln!(
-        "{:<28} {:>9.1} ms  (total)",
-        "all",
-        total.as_secs_f64() * 1e3
-    );
 }

@@ -150,8 +150,9 @@ pub fn fig17() -> String {
 }
 
 /// Fig. 18: MAD-Max-identified strategies on commodity accelerators.
-/// `threads` sizes the explorer's worker pool.
-pub fn fig18(threads: usize) -> String {
+/// `hooks` sizes the explorer's worker pool and receives each search's
+/// progress events and telemetry.
+pub fn fig18(hooks: &crate::SearchHooks) -> String {
     let mut out = heading("Fig. 18: Commodity hardware (MI250X, MI300X, Gaudi2)");
     let model = ModelId::DlrmA.build();
     let clusters = [
@@ -169,10 +170,8 @@ pub fn fig18(threads: usize) -> String {
         "Strategies",
     ]);
     for sys in &clusters {
-        let r = Explorer::new(&model, sys)
-            .threads(threads)
-            .explore()
-            .unwrap();
+        let r = hooks.attach(Explorer::new(&model, sys)).explore().unwrap();
+        hooks.record(&format!("fig18/{}", sys.name), &r.telemetry);
         t.row([
             sys.name.clone(),
             format!("{:.2}", r.baseline.mqps()),
@@ -318,7 +317,7 @@ mod tests {
 
     #[test]
     fn fig18_covers_all_platforms() {
-        let s = fig18(2);
+        let s = fig18(&crate::SearchHooks::with_threads(2));
         for p in ["MI250X", "MI300X", "Gaudi2"] {
             assert!(s.contains(p), "missing {p}");
         }

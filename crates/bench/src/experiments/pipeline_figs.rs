@@ -15,8 +15,8 @@ const SCHEDULES: [PipelineSchedule; 2] = [PipelineSchedule::GPipe, PipelineSched
 const MICROBATCHES: [usize; 5] = [2, 4, 8, 16, 32];
 
 /// Renders the GPipe-vs-1F1B schedule comparison report, evaluating the
-/// (model x microbatch x schedule) grid on `threads` workers.
-pub fn fig_pipeline_schedules(threads: usize) -> String {
+/// (model x microbatch x schedule) grid on the hooks' worker pool.
+pub fn fig_pipeline_schedules(hooks: &crate::SearchHooks) -> String {
     let system = catalog::llama_llm_system();
     let pp = 8usize;
     let mut out = String::new();
@@ -58,10 +58,13 @@ pub fn fig_pipeline_schedules(threads: usize) -> String {
                 })
             })
             .collect();
-        let results = Explorer::new(&model, &system)
-            .workload(Workload::pretrain())
-            .threads(threads)
-            .evaluate(&plans);
+        let (results, telemetry) = hooks
+            .attach(Explorer::new(&model, &system))
+            .evaluate_with_telemetry(&Workload::pretrain(), &plans);
+        hooks.record(
+            &format!("fig_pipeline_schedules/{}", model.name),
+            &telemetry,
+        );
 
         for (mi, &m) in MICROBATCHES.iter().enumerate() {
             let mut bubbles = Vec::new();
@@ -119,7 +122,7 @@ pub fn fig_pipeline_schedules(threads: usize) -> String {
 mod tests {
     #[test]
     fn schedule_grid_renders_for_all_models() {
-        let s = super::fig_pipeline_schedules(2);
+        let s = super::fig_pipeline_schedules(&crate::SearchHooks::with_threads(2));
         for name in ["LLaMA", "GPT-3"] {
             assert!(s.contains(name), "missing {name}");
         }

@@ -46,7 +46,7 @@ fn serve_row(
 /// Renders the serve-mode report: the (prompt x decode) latency sweep for
 /// the LLM zoo over the hardware catalog's LLM systems, and the joint
 /// (pipeline x decode-batch) search on a bandwidth-constrained fabric.
-pub fn fig_serve(threads: usize) -> String {
+pub fn fig_serve(hooks: &crate::SearchHooks) -> String {
     let mut out = String::new();
     out.push_str("Serve-mode scenarios: prefill + token-level decode (Workload::serve)\n");
     out.push_str(&"=".repeat(98));
@@ -122,23 +122,29 @@ pub fn fig_serve(threads: usize) -> String {
     let flat_space = SearchSpace::strategies()
         .with_classes(vec![madmax_model::LayerClass::Transformer])
         .with_serve(ServeAxes::batches([128, 256, 512]));
-    let flat = Explorer::new(&model, &slow)
-        .workload(workload.clone())
-        .space(flat_space.clone())
-        .threads(threads)
+    let flat = hooks
+        .attach(
+            Explorer::new(&model, &slow)
+                .workload(workload.clone())
+                .space(flat_space.clone()),
+        )
         .explore()
         .expect("baseline serve mapping is feasible");
+    hooks.record("fig_serve/flat", &flat.telemetry);
     let full_space = flat_space.with_pipeline(PipelineAxes {
         stages: vec![1, 2, 4, 8],
         microbatches: vec![8, 16],
         schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
     });
-    let r = Explorer::new(&model, &slow)
-        .workload(workload)
-        .space(full_space)
-        .threads(threads)
+    let r = hooks
+        .attach(
+            Explorer::new(&model, &slow)
+                .workload(workload)
+                .space(full_space),
+        )
         .explore()
         .expect("baseline serve mapping is feasible");
+    hooks.record("fig_serve/joint", &r.telemetry);
     let best_stats = r.best.serve.as_ref().expect("serve winner has stats");
     out.push_str(&format!(
         "evaluated {} (plan x batch) candidates ({} OOM, {} unmappable)\n",
@@ -211,7 +217,7 @@ mod tests {
 
     #[test]
     fn report_renders_ttft_tpot_columns() {
-        let s = fig_serve(2);
+        let s = fig_serve(&crate::SearchHooks::with_threads(2));
         assert!(s.contains("TTFT pp1") && s.contains("TPOT pp8"));
         assert!(s.contains("Serve-mode DSE"));
         assert!(s.contains("pipelined decode beats pp=1: yes"));

@@ -20,8 +20,9 @@ fn system_for(id: ModelId) -> madmax_hw::ClusterSpec {
 
 /// Fig. 10: pre-training throughput over the FSDP baseline across the full
 /// model suite, memory-constrained (blue) and unconstrained (orange).
-/// `threads` sizes the explorer's worker pool.
-pub fn fig10(threads: usize) -> String {
+/// `hooks` sizes the explorer's worker pool and receives each search's
+/// progress events and telemetry.
+pub fn fig10(hooks: &crate::SearchHooks) -> String {
     let mut out = heading("Fig. 10: Pre-training throughput improvement over FSDP baseline");
     let mut bars = Vec::new();
     let mut t = Table::new([
@@ -34,15 +35,16 @@ pub fn fig10(threads: usize) -> String {
     for id in ModelId::ALL {
         let model = id.build();
         let sys = system_for(id);
-        let c = Explorer::new(&model, &sys)
-            .threads(threads)
+        let c = hooks
+            .attach(Explorer::new(&model, &sys))
             .explore()
             .expect("baseline feasible");
-        let u = Explorer::new(&model, &sys)
-            .space(SearchSpace::strategies().unconstrained())
-            .threads(threads)
+        let u = hooks
+            .attach(Explorer::new(&model, &sys).space(SearchSpace::strategies().unconstrained()))
             .explore()
             .expect("unconstrained search runs");
+        hooks.record(&format!("fig10/{id}/constrained"), &c.telemetry);
+        hooks.record(&format!("fig10/{id}/unconstrained"), &u.telemetry);
         speedups.push(c.speedup());
         t.row([
             id.to_string(),
@@ -318,7 +320,7 @@ mod tests {
 
     #[test]
     fn fig10_covers_suite() {
-        let s = fig10(2);
+        let s = fig10(&crate::SearchHooks::with_threads(2));
         for id in ModelId::ALL {
             assert!(s.contains(&id.to_string()), "missing {id}");
         }

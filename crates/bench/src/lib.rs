@@ -30,7 +30,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+
+pub use cli::{BenchCli, SearchHooks};
 
 use std::fs;
 use std::path::PathBuf;
@@ -55,20 +58,6 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Parses `--threads N` from the process arguments for the DSE-heavy
-/// bench binaries, defaulting to [`default_threads`]. Exits with a usage
-/// message on a malformed value.
-pub fn threads_from_args() -> usize {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--threads" {
-            let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                eprintln!("usage: --threads <N>  (N >= 1)");
-                std::process::exit(2);
-            };
-            return n.max(1);
-        }
-    }
-    default_threads()
-}
+// `--threads` parsing used to live here as `threads_from_args`; the
+// DSE-heavy binaries now share the richer [`cli::BenchCli`] parser
+// (threads, progress, telemetry) instead.

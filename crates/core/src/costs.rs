@@ -57,6 +57,7 @@ use crate::compute::{
     backward_flops_factor, compute_time, device_flops_fwd, device_lookup_bytes, lookup_time,
     optimizer_time, UtilizationModel,
 };
+use crate::counters::{CacheCounters, CacheStats};
 use crate::metrics::ServeStats;
 use crate::sim::Schedule;
 use crate::trace::{
@@ -192,6 +193,9 @@ pub struct CostTable<'a> {
     /// groups (first-appearance order).
     class_groups: Vec<(LayerClass, Vec<usize>)>,
     decode: Option<Box<DecodePhase>>,
+    /// Price-vs-reuse telemetry: one hit per `ensure_plan` (class,
+    /// strategy) already priced, one miss per fresh pricing.
+    counters: CacheCounters,
 }
 
 /// Every option except `ignore_memory_limits` (which only gates the
@@ -327,7 +331,16 @@ impl<'a> CostTable<'a> {
             groups,
             class_groups,
             decode,
+            counters: CacheCounters::new(),
         }
+    }
+
+    /// Snapshot of the price-vs-reuse counters: [`CostTable::ensure_plan`]
+    /// records one hit per (class, strategy) pair it found already priced
+    /// and one miss per pair it priced fresh, so
+    /// `hits + misses == candidates × classes` across a search.
+    pub fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
     }
 
     /// The model this table was priced for (the caller's handle, used for
@@ -378,8 +391,10 @@ impl<'a> CostTable<'a> {
                 .iter()
                 .any(|(s, _)| *s == strategy)
             {
+                self.counters.hit();
                 continue;
             }
+            self.counters.miss();
             for i in 0..self.class_groups[ci].1.len() {
                 let gi = self.class_groups[ci].1[i];
                 let costs = self.price_group(gi, strategy, plan, false);

@@ -48,8 +48,10 @@ pub mod collective;
 pub mod compute;
 pub mod config;
 pub mod costs;
+pub mod counters;
 pub mod metrics;
 pub mod perf;
+pub mod prof;
 pub mod sim;
 pub mod trace;
 pub mod validation;
@@ -57,6 +59,7 @@ pub mod validation;
 pub use collective::{CollectiveModel, FlatWorstLink, HierarchicalNccl};
 pub use compute::UtilizationModel;
 pub use costs::{CostTable, PricedComm, StrategyCosts};
+pub use counters::{CacheCounters, CacheStats};
 pub use metrics::{serve_stats_from, IterationReport, ReportScratch, ServeStats};
 pub use perf::{build_flat_trace, run_flat, run_flat_cached, run_flat_default};
 pub use sim::{

@@ -104,15 +104,22 @@ pub fn run_flat(
     collective_model: &dyn CollectiveModel,
     utilization: UtilizationModel,
 ) -> Result<(IterationReport, Trace, Schedule), PlanError> {
-    let (table, trace, memory) = prepare_flat(
-        model,
-        cluster,
-        plan,
-        workload,
-        collective_model,
-        utilization,
-    )?;
-    let sched = schedule(&trace);
+    let (table, trace, memory) = {
+        let _span = crate::prof::span("price.flat");
+        prepare_flat(
+            model,
+            cluster,
+            plan,
+            workload,
+            collective_model,
+            utilization,
+        )?
+    };
+    let sched = {
+        let _span = crate::prof::span("assemble.flat");
+        schedule(&trace)
+    };
+    let _span = crate::prof::span("report.flat");
     let mut report = IterationReport::from_schedule(&trace, &sched, table.report_model(), memory);
     report.serve = table.serve_stats(&trace, &sched);
     Ok((report, trace, sched))
@@ -143,8 +150,12 @@ pub fn run_flat_cached(
 ) -> Result<IterationReport, PlanError> {
     reject_pipelined(plan)?;
     let memory = table.memory_for(plan)?;
-    table.assemble_into(plan, &mut scratch.trace);
-    schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    {
+        let _span = crate::prof::span("assemble.flat");
+        table.assemble_into(plan, &mut scratch.trace);
+        schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    }
+    let _span = crate::prof::span("report.flat");
     let mut report = IterationReport::from_schedule_in(
         &scratch.trace,
         &scratch.sched,

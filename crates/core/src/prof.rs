@@ -1,0 +1,186 @@
+//! Feature-gated self-profiling spans around the engine's own phases.
+//!
+//! The simulator profiles *simulated* time; this module profiles the
+//! simulator itself. Call sites wrap a phase in a guard —
+//!
+//! ```
+//! let _span = madmax_core::prof::span("price.flat");
+//! // ... priced here ...
+//! ```
+//!
+//! — and, when the `self-profile` cargo feature is enabled *and*
+//! recording is switched on at runtime ([`set_recording`]), each guard
+//! appends a [`SpanRecord`] (wall-clock start, duration, thread) to a
+//! process-global buffer drained by [`take`]. `madmax-obs` exports the
+//! drained records into the same Chrome trace JSON as the simulated
+//! schedule, so the explorer's price/assemble/report wall-clock profile
+//! is viewable next to the simulated timeline in Perfetto.
+//!
+//! Without the feature the guard is a zero-sized type with an empty
+//! `Drop`, [`take`] always returns an empty vector, and the optimizer
+//! removes every call — the hot evaluation paths cost nothing. The
+//! [`SpanRecord`] type itself is available unconditionally so consumers
+//! never need `cfg` at call sites.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded span: a named phase on one thread, in microseconds since
+/// the first span of the process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"price.flat"` or `"assemble.pipeline"`.
+    pub name: String,
+    /// Start offset in microseconds from the process profiling epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Dense per-process thread index (0 = first thread that recorded).
+    pub thread: u64,
+}
+
+#[cfg(feature = "self-profile")]
+mod imp {
+    use super::SpanRecord;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    static RECORDING: AtomicBool = AtomicBool::new(false);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        static THREAD_INDEX: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    pub fn set_recording(on: bool) {
+        if on {
+            epoch();
+        }
+        RECORDING.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_recording() -> bool {
+        RECORDING.load(Ordering::Relaxed)
+    }
+
+    pub fn take() -> Vec<SpanRecord> {
+        std::mem::take(&mut *SPANS.lock().unwrap())
+    }
+
+    /// RAII guard: records the span on drop.
+    #[derive(Debug)]
+    pub struct Span {
+        name: &'static str,
+        start: Option<Instant>,
+    }
+
+    pub fn span(name: &'static str) -> Span {
+        let start = is_recording().then(Instant::now);
+        Span { name, start }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let Some(start) = self.start else { return };
+            let dur_us = start.elapsed().as_secs_f64() * 1e6;
+            let start_us = start.duration_since(epoch()).as_secs_f64() * 1e6;
+            let thread = THREAD_INDEX.with(|t| *t);
+            SPANS.lock().unwrap().push(SpanRecord {
+                name: self.name.to_owned(),
+                start_us,
+                dur_us,
+                thread,
+            });
+        }
+    }
+}
+
+#[cfg(not(feature = "self-profile"))]
+mod imp {
+    use super::SpanRecord;
+
+    pub fn set_recording(_on: bool) {}
+
+    pub fn is_recording() -> bool {
+        false
+    }
+
+    pub fn take() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+
+    /// Zero-sized no-op guard (the `self-profile` feature is off).
+    #[derive(Debug)]
+    pub struct Span;
+
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span
+    }
+}
+
+/// Switches span recording on or off for the whole process. The first
+/// activation pins the profiling epoch all `start_us` offsets are
+/// measured from. No-op without the `self-profile` feature.
+pub fn set_recording(on: bool) {
+    imp::set_recording(on)
+}
+
+/// Whether spans are currently being recorded (always `false` without
+/// the `self-profile` feature).
+pub fn is_recording() -> bool {
+    imp::is_recording()
+}
+
+/// Drains every span recorded so far (empty without the feature).
+pub fn take() -> Vec<SpanRecord> {
+    imp::take()
+}
+
+/// Opens a span guard; the span is recorded when the guard drops.
+pub fn span(name: &'static str) -> imp::Span {
+    imp::span(name)
+}
+
+pub use imp::Span;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "self-profile"))]
+    #[test]
+    fn disabled_profile_records_nothing() {
+        set_recording(true);
+        {
+            let _s = span("test.phase");
+        }
+        assert!(!is_recording());
+        assert!(take().is_empty());
+        set_recording(false);
+    }
+
+    #[cfg(feature = "self-profile")]
+    #[test]
+    fn enabled_profile_records_spans() {
+        set_recording(true);
+        {
+            let _s = span("test.enabled");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_recording(false);
+        let spans = take();
+        let s = spans
+            .iter()
+            .find(|s| s.name == "test.enabled")
+            .expect("span recorded");
+        assert!(s.dur_us >= 1000.0);
+        assert!(s.start_us >= 0.0);
+    }
+}

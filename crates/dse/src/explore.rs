@@ -7,13 +7,39 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
 
 use madmax_core::IterationReport;
 use madmax_engine::{EngineError, Scenario};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
+use madmax_obs::{
+    CandidateEvent, CandidateOutcome, LatencyHistogram, NullSink, ProgressSink, SearchTelemetry,
+    WorkerStats,
+};
 use madmax_parallel::{HierStrategy, PipelineConfig, PipelineSchedule, Plan, Workload};
+
+/// Fallback sink when no [`ProgressSink`] is attached.
+static NULL_SINK: NullSink = NullSink;
+
+/// Classifies one evaluation result for telemetry and progress events.
+fn classify(result: &Result<IterationReport, EngineError>) -> CandidateOutcome {
+    match result {
+        Ok(_) => CandidateOutcome::Ok,
+        Err(e) if e.is_oom() => CandidateOutcome::OutOfMemory,
+        Err(e) if e.is_unmappable_pipeline() => CandidateOutcome::Unmappable,
+        Err(_) => CandidateOutcome::Invalid,
+    }
+}
+
+/// One worker's locally-accumulated telemetry (merged after the pool
+/// joins, so the hot loop never contends on a lock).
+#[derive(Debug, Default)]
+struct WorkerLocal {
+    stats: WorkerStats,
+    latency: LatencyHistogram,
+}
 
 /// Distinct layer classes present in a model, in first-appearance order.
 pub(crate) fn classes_in(model: &ModelArch) -> Vec<LayerClass> {
@@ -211,6 +237,11 @@ pub struct SearchOutcome {
     /// Candidates rejected for any other plan error (e.g. a strategy
     /// invalid for a layer class).
     pub invalid: usize,
+    /// What the search did and where the time went: outcome counters
+    /// (reconciling with [`SearchOutcome::evaluated`]), cache hit/miss
+    /// snapshots from the shared cost tables, per-worker throughput, and
+    /// the evaluation-latency histogram.
+    pub telemetry: SearchTelemetry,
 }
 
 impl SearchOutcome {
@@ -264,6 +295,7 @@ pub struct Explorer<'a> {
     workload: Workload,
     space: SearchSpace,
     threads: Option<NonZeroUsize>,
+    progress: Option<&'a dyn ProgressSink>,
 }
 
 impl<'a> Explorer<'a> {
@@ -277,7 +309,19 @@ impl<'a> Explorer<'a> {
             workload: Workload::pretrain(),
             space: SearchSpace::strategies(),
             threads: None,
+            progress: None,
         }
+    }
+
+    /// Attaches a [`ProgressSink`] receiving one
+    /// [`CandidateEvent`] per evaluated candidate, live from whichever
+    /// worker completes it, plus a summary per evaluation batch. The sink
+    /// observes the search; it cannot change its outcome — reports are
+    /// byte-identical with and without one attached.
+    #[must_use]
+    pub fn progress(mut self, sink: &'a dyn ProgressSink) -> Self {
+        self.progress = Some(sink);
+        self
     }
 
     /// Sets the workload (default: [`Workload::pretrain`]).
@@ -390,6 +434,22 @@ impl<'a> Explorer<'a> {
         workload: &Workload,
         plans: &[Plan],
     ) -> Vec<Result<IterationReport, EngineError>> {
+        self.evaluate_with_telemetry(workload, plans).0
+    }
+
+    /// [`Explorer::evaluate_with`], additionally returning the batch's
+    /// [`SearchTelemetry`]: outcome counters tallied from the results,
+    /// cache hit/miss snapshots taken from the shared cost tables after
+    /// the pool joins, per-worker throughput, and the evaluation-latency
+    /// histogram. The attached [`ProgressSink`] (if any) receives one
+    /// event per candidate while the batch runs and the telemetry once it
+    /// finishes.
+    pub fn evaluate_with_telemetry(
+        &self,
+        workload: &Workload,
+        plans: &[Plan],
+    ) -> (Vec<Result<IterationReport, EngineError>>, SearchTelemetry) {
+        let started = Instant::now();
         let workers = self.worker_count(plans.len());
         let scenario = Scenario::new(self.model, self.system).workload_ref(workload);
         // Mixed-option plan lists (e.g. ablating prefetch on/off) cannot
@@ -401,6 +461,8 @@ impl<'a> Explorer<'a> {
             .any(|p| p.pipeline.is_some_and(|c| c.is_pipelined()));
         let pipeline_table =
             (uniform_options && has_pipelined).then(|| scenario.price_pipeline_plans(plans));
+        let sink: &dyn ProgressSink = self.progress.unwrap_or(&NULL_SINK);
+        let total = plans.len();
         let run = |plan: &Plan, scratch: &mut madmax_engine::EngineScratch| {
             let mut s = Scenario::new(self.model, self.system)
                 .plan_ref(plan)
@@ -413,42 +475,108 @@ impl<'a> Explorer<'a> {
             }
             s.run_in(scratch)
         };
-        if workers <= 1 {
-            let mut scratch = madmax_engine::EngineScratch::new();
-            return plans.iter().map(|p| run(p, &mut scratch)).collect();
-        }
-
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let run = &run;
-                s.spawn(move || {
-                    let mut scratch = madmax_engine::EngineScratch::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= plans.len() {
-                            break;
-                        }
-                        if tx.send((i, run(&plans[i], &mut scratch))).is_err() {
-                            break;
-                        }
-                    }
+        // Evaluates plan `i`, accounting it worker-locally and firing the
+        // progress event from the evaluating thread.
+        let evaluate_one =
+            |i: usize, scratch: &mut madmax_engine::EngineScratch, local: &mut WorkerLocal| {
+                let t0 = Instant::now();
+                let result = run(&plans[i], scratch);
+                let eval_us = t0.elapsed().as_secs_f64() * 1e6;
+                local.stats.candidates += 1;
+                local.stats.busy_ms += eval_us / 1e3;
+                local.latency.record(eval_us);
+                sink.candidate_completed(&CandidateEvent {
+                    index: i,
+                    total,
+                    outcome: classify(&result),
+                    eval_us,
+                    iteration_ms: result.as_ref().ok().map(|r| r.iteration_time.as_ms()),
                 });
+                result
+            };
+
+        let mut telemetry = SearchTelemetry::default();
+        let results: Vec<Result<IterationReport, EngineError>> = if workers <= 1 {
+            let mut scratch = madmax_engine::EngineScratch::new();
+            let mut local = WorkerLocal::default();
+            let results = (0..plans.len())
+                .map(|i| evaluate_one(i, &mut scratch, &mut local))
+                .collect();
+            telemetry.eval_latency = local.latency;
+            telemetry.workers.push(local.stats);
+            results
+        } else {
+            let next = AtomicUsize::new(0);
+            let locals: Mutex<Vec<WorkerLocal>> = Mutex::new(Vec::with_capacity(workers));
+            let (tx, rx) = mpsc::channel();
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let locals = &locals;
+                    let evaluate_one = &evaluate_one;
+                    s.spawn(move || {
+                        let mut scratch = madmax_engine::EngineScratch::new();
+                        let mut local = WorkerLocal {
+                            stats: WorkerStats {
+                                worker: w,
+                                ..WorkerStats::default()
+                            },
+                            latency: LatencyHistogram::default(),
+                        };
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= plans.len() {
+                                break;
+                            }
+                            if tx
+                                .send((i, evaluate_one(i, &mut scratch, &mut local)))
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        locals.lock().unwrap().push(local);
+                    });
+                }
+            });
+            drop(tx);
+            let mut slots: Vec<Option<Result<IterationReport, EngineError>>> =
+                (0..plans.len()).map(|_| None).collect();
+            for (i, r) in rx {
+                slots[i] = Some(r);
             }
-        });
-        drop(tx);
-        let mut slots: Vec<Option<Result<IterationReport, EngineError>>> =
-            (0..plans.len()).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
+            let mut locals = locals.into_inner().unwrap();
+            locals.sort_by_key(|l| l.stats.worker);
+            for local in locals {
+                telemetry.eval_latency.absorb(&local.latency);
+                telemetry.workers.push(local.stats);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every plan index was evaluated"))
+                .collect()
+        };
+
+        telemetry.candidates = results.len() as u64;
+        for result in &results {
+            match classify(result) {
+                CandidateOutcome::Ok => telemetry.ok += 1,
+                CandidateOutcome::OutOfMemory => telemetry.oom += 1,
+                CandidateOutcome::Unmappable => telemetry.unmappable += 1,
+                CandidateOutcome::Invalid => telemetry.invalid += 1,
+            }
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every plan index was evaluated"))
-            .collect()
+        if let Some(t) = &table {
+            telemetry.flat_cache = t.stats();
+        }
+        if let Some(t) = &pipeline_table {
+            telemetry.pipeline_cache = t.stats();
+            telemetry.report_memo = t.memo_stats();
+        }
+        telemetry.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        sink.search_finished(&telemetry);
+        (results, telemetry)
     }
 
     /// Exhaustively explores the space for the throughput-optimal
@@ -478,6 +606,7 @@ impl<'a> Explorer<'a> {
              set Explorer::workload(Workload::serve(..))",
             self.workload
         );
+        let started = Instant::now();
         let base_plan = self.base_plan();
         let variants = self.workload_variants();
         let base_workload = variants[0].clone();
@@ -497,9 +626,11 @@ impl<'a> Explorer<'a> {
         let mut best = baseline.clone();
         let mut evaluated = 0usize;
         let (mut oom, mut unmappable, mut invalid) = (0usize, 0usize, 0usize);
+        let mut telemetry = SearchTelemetry::default();
         for workload in &variants {
             let candidates = self.candidates();
-            evaluated += candidates.len();
+            let candidate_count = candidates.len();
+            evaluated += candidate_count;
             // The baseline combo re-appears among the candidates; reuse
             // its report instead of simulating it again. Candidates
             // inherit the baseline's options, so comparing assignments
@@ -514,7 +645,14 @@ impl<'a> Explorer<'a> {
             } else {
                 candidates
             };
-            let results = self.evaluate_with(workload, &to_run);
+            let (results, mut variant_telemetry) = self.evaluate_with_telemetry(workload, &to_run);
+            // Candidates resolved against the cached baseline report (no
+            // fresh evaluation) still count toward the reconciliation
+            // invariant: they are `ok` by construction.
+            let skipped = (candidate_count - to_run.len()) as u64;
+            variant_telemetry.candidates += skipped;
+            variant_telemetry.ok += skipped;
+            telemetry.absorb(&variant_telemetry);
             for (plan, result) in to_run.into_iter().zip(results) {
                 match result {
                     Ok(r) => {
@@ -536,6 +674,9 @@ impl<'a> Explorer<'a> {
             }
         }
 
+        // End-to-end search wall-clock (including the baseline run),
+        // not the sum of per-variant batch times.
+        telemetry.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         Ok(SearchOutcome {
             best_plan,
             best_workload,
@@ -545,6 +686,7 @@ impl<'a> Explorer<'a> {
             oom,
             unmappable,
             invalid,
+            telemetry,
         })
     }
 }
@@ -727,6 +869,100 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_the_outcome_counters() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let r = Explorer::new(&model, &sys).explore().unwrap();
+        let t = &r.telemetry;
+        assert!(t.reconciles(), "telemetry does not reconcile: {t:?}");
+        assert_eq!(t.candidates, r.evaluated as u64);
+        assert_eq!(t.oom, r.oom as u64);
+        assert_eq!(t.unmappable, r.unmappable as u64);
+        assert_eq!(t.invalid, r.invalid as u64);
+        // Every candidate flows through the shared flat cost table: the
+        // price-vs-reuse events must cover all (candidate, class) pairs.
+        assert!(t.flat_cache.total() > 0, "flat cache saw no traffic: {t:?}");
+        assert!(t.flat_cache.hits > 0, "identical classes must reuse prices");
+        assert!(t.eval_latency.count > 0);
+        assert!(t.wall_ms > 0.0);
+        assert!(!t.workers.is_empty());
+        let by_worker: u64 = t.workers.iter().map(|w| w.candidates).sum();
+        assert_eq!(by_worker, t.eval_latency.count);
+    }
+
+    #[test]
+    fn pipeline_search_reports_memo_and_pipeline_cache_stats() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let space = SearchSpace::strategies()
+            .with_classes(vec![LayerClass::Transformer])
+            .with_pipeline(PipelineAxes {
+                stages: vec![1, 8],
+                microbatches: vec![16],
+                schedules: vec![PipelineSchedule::GPipe],
+            });
+        let r = Explorer::new(&model, &sys).space(space).explore().unwrap();
+        let t = &r.telemetry;
+        assert!(t.reconciles());
+        assert!(
+            t.pipeline_cache.total() > 0,
+            "pipelined candidates price through the shared table"
+        );
+        // The memo only records pipelined evaluations that reach assembly,
+        // so hits can never exceed the number of evaluations.
+        assert!(t.report_memo.hits <= t.eval_latency.count);
+    }
+
+    #[test]
+    fn progress_sink_sees_every_candidate_at_any_thread_count() {
+        use std::sync::atomic::AtomicU64;
+
+        #[derive(Debug, Default)]
+        struct CountingSink {
+            events: AtomicU64,
+            ok: AtomicU64,
+            finished: AtomicU64,
+        }
+        impl ProgressSink for CountingSink {
+            fn candidate_completed(&self, event: &CandidateEvent) {
+                self.events.fetch_add(1, Ordering::Relaxed);
+                if event.outcome == CandidateOutcome::Ok {
+                    assert!(event.iteration_ms.is_some());
+                    self.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                assert!(event.index < event.total);
+                assert!(event.eval_us >= 0.0);
+            }
+            fn search_finished(&self, telemetry: &SearchTelemetry) {
+                assert!(telemetry.reconciles());
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let quiet = Explorer::new(&model, &sys).threads(1).explore().unwrap();
+        for threads in [1, 4] {
+            let sink = CountingSink::default();
+            let r = Explorer::new(&model, &sys)
+                .threads(threads)
+                .progress(&sink)
+                .explore()
+                .unwrap();
+            // One event per freshly-evaluated candidate (the baseline
+            // duplicate is resolved from its cached report, sink-free).
+            let fired = sink.events.load(Ordering::Relaxed);
+            assert_eq!(fired, r.telemetry.eval_latency.count);
+            assert_eq!(fired, r.evaluated as u64 - 1);
+            assert_eq!(sink.ok.load(Ordering::Relaxed), r.telemetry.ok - 1);
+            assert_eq!(sink.finished.load(Ordering::Relaxed), 1);
+            // Attaching a sink must not perturb the search result.
+            assert_eq!(r.best_plan, quiet.best_plan);
+            assert_eq!(r.best, quiet.best);
         }
     }
 }

@@ -26,6 +26,10 @@ pub mod scaling;
 pub mod sweep;
 
 pub use explore::{Explorer, PipelineAxes, SearchOutcome, SearchSpace, ServeAxes};
+pub use madmax_obs::{
+    CandidateEvent, CandidateOutcome, JsonlSink, NullSink, ProgressSink, SearchTelemetry,
+    StderrTicker,
+};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use scaling::{scaling_study, ScalingAxis, ScalingPoint};
 pub use sweep::{best_point, sweep_class, SweepPoint};

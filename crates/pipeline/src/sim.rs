@@ -167,10 +167,17 @@ pub fn run_pipelined(
     utilization: UtilizationModel,
 ) -> Result<(IterationReport, Trace, Schedule), PlanError> {
     let eff = workload.effective_model(model);
-    let priced = price_pipelined(&eff, cluster, plan, workload, collective_model, utilization)?;
+    let priced = {
+        let _span = madmax_core::prof::span("price.pipeline");
+        price_pipelined(&eff, cluster, plan, workload, collective_model, utilization)?
+    };
     let mut trace = Trace::new();
-    build_into(&priced, workload, &mut trace);
-    let sched = schedule(&trace);
+    let sched = {
+        let _span = madmax_core::prof::span("assemble.pipeline");
+        build_into(&priced, workload, &mut trace);
+        schedule(&trace)
+    };
+    let _span = madmax_core::prof::span("report.pipeline");
     let mut report = IterationReport::from_schedule(&trace, &sched, &eff, priced.memory);
     attach_serve_stats(&mut report, &priced, &eff, &trace, &sched);
     Ok((report, trace, sched))
@@ -239,26 +246,32 @@ pub fn run_pipelined_cached(
     let priced = table.priced_for(plan)?;
     if let Some(memo) = &scratch.pipeline_memo {
         if memo.key == priced.memo_key {
+            table.memo_counters().hit();
             return Ok(memo.report.clone());
         }
     }
-    match priced.decode {
-        Some((decode, decode_len)) => build_serve_trace_into(
-            priced.primary,
-            decode,
-            &priced.cfg,
-            decode_len,
-            priced.prompt_len,
-            &mut scratch.trace,
-        ),
-        None => build_pipeline_trace_into(
-            priced.primary,
-            &priced.cfg,
-            table.workload().has_backward(),
-            &mut scratch.trace,
-        ),
+    table.memo_counters().miss();
+    {
+        let _span = madmax_core::prof::span("assemble.pipeline");
+        match priced.decode {
+            Some((decode, decode_len)) => build_serve_trace_into(
+                priced.primary,
+                decode,
+                &priced.cfg,
+                decode_len,
+                priced.prompt_len,
+                &mut scratch.trace,
+            ),
+            None => build_pipeline_trace_into(
+                priced.primary,
+                &priced.cfg,
+                table.workload().has_backward(),
+                &mut scratch.trace,
+            ),
+        }
+        schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
     }
-    schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    let _span = madmax_core::prof::span("report.pipeline");
     let model = table.report_model();
     let mut report = IterationReport::from_schedule_in(
         &scratch.trace,

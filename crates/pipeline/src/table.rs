@@ -44,7 +44,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use madmax_core::{CollectiveModel, UtilizationModel};
+use madmax_core::{CacheCounters, CacheStats, CollectiveModel, UtilizationModel};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
 use madmax_parallel::{
@@ -156,6 +156,14 @@ pub struct PipelineCostTable<'a> {
     /// Running phase-cost entry counter (memo ids).
     entries: usize,
     depths: Vec<(usize, Result<DepthEntry, PlanError>)>,
+    /// Price-vs-reuse telemetry: one hit per `ensure_plan` candidate whose
+    /// `(depth, assignment, microbatches)` key was already priced, one
+    /// miss per fresh phase-cost entry.
+    counters: CacheCounters,
+    /// Report-memo telemetry, bumped by `run_pipelined_cached` (the memo
+    /// itself lives in each worker's scratch; the shared table is the only
+    /// place all workers can see).
+    memo_counters: CacheCounters,
 }
 
 impl<'a> PipelineCostTable<'a> {
@@ -205,7 +213,32 @@ impl<'a> PipelineCostTable<'a> {
             generation: TABLE_GENERATION.fetch_add(1, Ordering::Relaxed) + 1,
             entries: 0,
             depths: Vec::new(),
+            counters: CacheCounters::new(),
+            memo_counters: CacheCounters::new(),
         }
+    }
+
+    /// Snapshot of the price-vs-reuse counters:
+    /// [`PipelineCostTable::ensure_plan`] records one hit per candidate
+    /// whose `(depth, assignment, microbatches)` key was already priced
+    /// and one miss per fresh phase-cost entry (error-shaped candidates,
+    /// which are never priced, count as neither).
+    pub fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    /// Snapshot of the per-scratch report-memo counters, accumulated
+    /// across every worker that evaluated candidates through this table
+    /// (`run_pipelined_cached` records one hit per memoized report served
+    /// and one miss per trace assembled fresh).
+    pub fn memo_stats(&self) -> CacheStats {
+        self.memo_counters.snapshot()
+    }
+
+    /// The report-memo counter pair (crate-internal: `run_pipelined_cached`
+    /// bumps it from `&self`).
+    pub(crate) fn memo_counters(&self) -> &CacheCounters {
+        &self.memo_counters
     }
 
     /// The model this table was priced for (the caller's handle, used for
@@ -320,6 +353,7 @@ impl<'a> PipelineCostTable<'a> {
             }
         }
         if ae.by_m.iter().any(|(m, _)| *m == cfg.microbatches) {
+            self.counters.hit();
             return;
         }
 
@@ -357,6 +391,7 @@ impl<'a> PipelineCostTable<'a> {
             }
             None => None,
         };
+        self.counters.miss();
         let id = self.entries;
         self.entries += 1;
         ae.by_m.push((

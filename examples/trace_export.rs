@@ -1,0 +1,47 @@
+//! End-to-end walkthrough of the telemetry layer: simulate a scenario,
+//! export its schedule as Chrome trace-event JSON, and print where to
+//! open it.
+//!
+//! ```text
+//! cargo run --release -p madmax-bench --example trace_export [-- OUT.json]
+//! ```
+//!
+//! The emitted file loads directly in <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): each stream of the simulated schedule becomes a
+//! named track, every op a duration slice with its phase/stage/collective
+//! attached as args, and cross-stream dependencies render as flow arrows.
+
+use madmax_engine::Scenario;
+use madmax_hw::catalog;
+use madmax_model::ModelId;
+use madmax_obs::ChromeTrace;
+use madmax_parallel::{PipelineConfig, Plan, Workload};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_export.json".to_owned());
+
+    // A 1F1B pipeline schedule is the most interesting thing to look at:
+    // four stage tracks with interleaved forward/backward slices and
+    // activation-transfer flows between them.
+    let model = ModelId::Llama2.build();
+    let system = catalog::llama_llm_system();
+    let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(4, 8));
+
+    let (report, trace, schedule) = Scenario::new(&model, &system)
+        .plan(plan)
+        .workload(Workload::pretrain())
+        .run_with_trace()
+        .expect("1F1B mapping is feasible on the LLM system");
+
+    let chrome = ChromeTrace::from_schedule(&trace, &schedule);
+    chrome.write(&out).expect("write trace JSON");
+
+    println!(
+        "simulated iteration: {:.2} ms across {} ops",
+        report.iteration_time.as_ms(),
+        schedule.windows.len()
+    );
+    println!("wrote {out} — open it at https://ui.perfetto.dev");
+}

@@ -147,6 +147,115 @@ fn parallel_explorer_is_deterministic() {
 }
 
 #[test]
+fn telemetry_instrumentation_never_perturbs_reports() {
+    // Turning the telemetry layer on — evaluating through
+    // `evaluate_with_telemetry` instead of `evaluate`, with a live
+    // progress sink attached — must leave every report byte-identical to
+    // the quiet path. The counters observe the search; they must never
+    // steer it.
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Default)]
+    struct CountingSink {
+        events: AtomicU64,
+    }
+    impl madmax_dse::ProgressSink for CountingSink {
+        fn candidate_completed(&self, _event: &madmax_dse::CandidateEvent) {
+            self.events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let space = SearchSpace::strategies()
+        .with_classes(vec![LayerClass::Transformer])
+        .with_pipeline(PipelineAxes {
+            stages: vec![1, 4],
+            microbatches: vec![16],
+            schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+        });
+    let quiet = Explorer::new(&model, &sys).space(space.clone());
+    let plans = quiet.candidates();
+    let baseline_results = quiet.evaluate(&plans);
+
+    let sink = CountingSink::default();
+    let loud = Explorer::new(&model, &sys).space(space).progress(&sink);
+    let (results, telemetry) = loud.evaluate_with_telemetry(&Workload::pretrain(), &plans);
+    assert_eq!(results.len(), baseline_results.len());
+    for (i, (a, b)) in results.iter().zip(&baseline_results).enumerate() {
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "plan {i}");
+                assert_eq!(
+                    serde_json::to_string(a).unwrap(),
+                    serde_json::to_string(b).unwrap(),
+                    "plan {i}: serialized reports differ under telemetry"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "plan {i}"),
+            (a, b) => panic!("plan {i}: divergent outcomes {a:?} vs {b:?}"),
+        }
+    }
+    assert!(telemetry.reconciles(), "telemetry: {telemetry:?}");
+    assert_eq!(telemetry.candidates as usize, plans.len());
+    assert_eq!(sink.events.load(Ordering::Relaxed) as usize, plans.len());
+}
+
+#[test]
+fn progress_sink_preserves_thread_count_determinism() {
+    // The 1-vs-N-thread determinism pin holds with a shared ProgressSink
+    // attached to every run: the sink sees the same number of candidate
+    // events per run regardless of thread count, and the winner stays bit
+    // for bit identical.
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Default)]
+    struct CountingSink {
+        events: AtomicU64,
+        finished: AtomicU64,
+    }
+    impl madmax_dse::ProgressSink for CountingSink {
+        fn candidate_completed(&self, _event: &madmax_dse::CandidateEvent) {
+            self.events.fetch_add(1, Ordering::Relaxed);
+        }
+        fn search_finished(&self, _telemetry: &madmax_dse::SearchTelemetry) {
+            self.finished.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let model = ModelId::DlrmA.build();
+    let sys = catalog::zionex_dlrm_system();
+    let sink = CountingSink::default();
+    let seq = Explorer::new(&model, &sys)
+        .threads(1)
+        .progress(&sink)
+        .explore()
+        .unwrap();
+    let seq_events = sink.events.swap(0, Ordering::Relaxed);
+    assert!(seq_events > 0);
+    for threads in [2usize, 4] {
+        let par = Explorer::new(&model, &sys)
+            .threads(threads)
+            .progress(&sink)
+            .explore()
+            .unwrap();
+        assert_eq!(seq.best_plan, par.best_plan, "threads={threads}");
+        assert_eq!(seq.best, par.best, "threads={threads}");
+        assert_eq!(
+            seq.telemetry.candidates, par.telemetry.candidates,
+            "threads={threads}"
+        );
+        assert!(par.telemetry.reconciles(), "threads={threads}");
+        assert_eq!(
+            sink.events.swap(0, Ordering::Relaxed),
+            seq_events,
+            "threads={threads}: sink saw a different number of candidates"
+        );
+    }
+    assert_eq!(sink.finished.load(Ordering::Relaxed), 3);
+}
+
+#[test]
 fn cached_fast_path_is_byte_identical_across_the_zoo() {
     // The allocation-free evaluation paths (shared CostTable /
     // PipelineCostTable + recycled EngineScratch) must reproduce
