@@ -29,7 +29,7 @@ fn bench_models(c: &mut Criterion) {
     for mb in [1.0, 64.0, 1024.0] {
         let r = req(mb * 1e6);
         group.bench_with_input(BenchmarkId::new("hierarchical", mb as u64), &r, |b, r| {
-            b.iter(|| black_box(HierarchicalNccl.time(black_box(r), &sys)))
+            b.iter(|| black_box(HierarchicalNccl.time(black_box(r), &sys)));
         });
         group.bench_with_input(
             BenchmarkId::new("flat_worst_link", mb as u64),

@@ -25,7 +25,7 @@ fn bench_sweep_and_search(c: &mut Criterion) {
                 LayerClass::Dense,
                 &Workload::pretrain(),
             ))
-        })
+        });
     });
     c.bench_function("fig10_joint_search_dlrm_a", |b| {
         b.iter(|| {
@@ -35,10 +35,10 @@ fn bench_sweep_and_search(c: &mut Criterion) {
                     .explore()
                     .unwrap(),
             )
-        })
+        });
     });
     c.bench_function("fig10_joint_search_dlrm_a_parallel", |b| {
-        b.iter(|| black_box(Explorer::new(black_box(&model), &sys).explore().unwrap()))
+        b.iter(|| black_box(Explorer::new(black_box(&model), &sys).explore().unwrap()));
     });
 }
 
@@ -57,7 +57,7 @@ fn bench_ablations(c: &mut Criterion) {
                         .run()
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     let vit = madmax_model::vit::vit(&madmax_model::vit::VIT_FAMILY[2], 4096);
@@ -76,7 +76,7 @@ fn bench_ablations(c: &mut Criterion) {
                         .run()
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     group.finish();

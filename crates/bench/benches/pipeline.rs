@@ -27,7 +27,7 @@ fn bench_pricing(c: &mut Criterion) {
         b.iter(|| {
             let scenario = Scenario::new(black_box(&model), &sys).workload_ref(&workload);
             black_box(scenario.price_pipeline_plans(&plans))
-        })
+        });
     });
 }
 
@@ -53,7 +53,7 @@ fn bench_assembly(c: &mut Criterion) {
                     .run_in(&mut scratch)
                     .unwrap(),
             )
-        })
+        });
     });
     group.bench_function("train_uncached", |b| {
         b.iter(|| {
@@ -64,7 +64,7 @@ fn bench_assembly(c: &mut Criterion) {
                     .run()
                     .unwrap(),
             )
-        })
+        });
     });
 
     // Serve: two-phase pricing, decode-stream assembly; alternating
@@ -96,7 +96,7 @@ fn bench_assembly(c: &mut Criterion) {
                         .unwrap(),
                 );
             }
-        })
+        });
     });
     // The memoized fast path: identical assembly inputs (the schedule
     // axis of a serve search).
@@ -110,7 +110,7 @@ fn bench_assembly(c: &mut Criterion) {
                     .run_in(&mut serve_scratch)
                     .unwrap(),
             )
-        })
+        });
     });
     group.finish();
 }

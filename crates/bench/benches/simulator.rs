@@ -33,7 +33,7 @@ fn bench_simulate(c: &mut Criterion) {
                     .run()
                     .unwrap();
                 black_box(r.iteration_time)
-            })
+            });
         });
     }
     group.finish();
@@ -47,11 +47,11 @@ fn bench_trace_vs_schedule(c: &mut Criterion) {
         .plan(plan)
         .workload(Workload::pretrain());
     c.bench_function("gpt3_trace_build", |b| {
-        b.iter(|| black_box(sim.build_trace().unwrap()))
+        b.iter(|| black_box(sim.build_trace().unwrap()));
     });
     let trace = sim.build_trace().unwrap();
     c.bench_function("gpt3_schedule", |b| {
-        b.iter(|| black_box(madmax_core::schedule(black_box(&trace))))
+        b.iter(|| black_box(madmax_core::schedule(black_box(&trace))));
     });
 }
 

@@ -11,6 +11,7 @@
 //!        --prompt 512 --decode 64                  # serve-mode DSE
 //! madmax config   --model dlrm-b --out /tmp/cfgs   # emit the 3 JSON files
 //! madmax simulate --config-dir /tmp/cfgs           # run from JSON configs
+//! madmax verify [--only pipeline]                  # verify corpus schedules
 //! ```
 //!
 //! Observability flags:
@@ -24,6 +25,15 @@
 //!   [`madmax_obs::SearchTelemetry`] (outcome counters, cache hit rates,
 //!   per-worker throughput, latency histogram) as JSON.
 //! - `--progress N` (search): print a progress line every N candidates.
+//! - `--verify` (simulate, search): run the full `madmax-verify` rule
+//!   set on the produced (simulate) or winning (search) schedule; any
+//!   error-severity diagnostic fails the command.
+//!
+//! The `verify` subcommand sweeps the whole built-in corpus
+//! ([`madmax_bench::verify_corpus`]: the model zoo, the pipeline and
+//! serve shapes, and the obs golden-trace scenarios) and exits non-zero
+//! if any scenario draws an error — this is CI's schedule-integrity
+//! gate. `--only SUBSTR` restricts it to matching scenario names.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -63,6 +73,9 @@ fn systems() -> BTreeMap<&'static str, fn() -> ClusterSpec> {
     ])
 }
 
+/// Flags that take no value (presence alone means `true`).
+const BOOL_FLAGS: &[&str] = &["verify"];
+
 struct Args {
     flags: BTreeMap<String, String>,
 }
@@ -75,6 +88,10 @@ impl Args {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{a}`"));
             };
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(key.to_owned(), "true".to_owned());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag --{key} needs a value"))?
@@ -86,6 +103,10 @@ impl Args {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    fn is_set(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
     }
 }
 
@@ -183,6 +204,49 @@ fn emit_trace(
     Ok(())
 }
 
+/// Runs the full `madmax-verify` rule set on the scenario's
+/// engine-produced trace and schedule.
+fn verify_scenario(
+    model: &ModelArch,
+    system: &ClusterSpec,
+    plan: &Plan,
+    workload: &Workload,
+) -> Result<madmax_verify::VerifyReport, String> {
+    let (_, trace, sched) = Scenario::new(model, system)
+        .plan(plan.clone())
+        .workload(workload.clone())
+        .run_with_trace()
+        .map_err(|e| e.to_string())?;
+    Ok(madmax_verify::Verifier::for_plan(plan, workload).verify(&trace, &sched))
+}
+
+/// Prints a verification report (diagnostics plus the critical-path
+/// analysis) and turns error-severity findings into a CLI failure.
+fn finish_verify(report: &madmax_verify::VerifyReport) -> Result<(), String> {
+    for d in &report.diagnostics {
+        println!("  {d}");
+    }
+    if let Some(cp) = &report.critical_path {
+        println!(
+            "verify:          critical path {:.3} ms over {} ops",
+            cp.lower_bound.as_ms(),
+            cp.ops
+        );
+    }
+    if report.is_clean() {
+        println!(
+            "verify:          clean ({} warnings)",
+            report.warning_count()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "schedule verification found {} error(s)",
+            report.error_count()
+        ))
+    }
+}
+
 fn print_report(
     model: &ModelArch,
     system: &ClusterSpec,
@@ -205,7 +269,7 @@ fn print_report(
     match model.batch_unit {
         madmax_model::BatchUnit::Samples => println!("throughput:      {:.3} MQPS", report.mqps()),
         madmax_model::BatchUnit::Tokens => {
-            println!("throughput:      {:.0} tokens/s", report.tokens_per_sec())
+            println!("throughput:      {:.0} tokens/s", report.tokens_per_sec());
         }
     }
     println!(
@@ -235,7 +299,7 @@ fn print_report(
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        return Err("usage: madmax <list|simulate|search|config> [flags]".to_owned());
+        return Err("usage: madmax <list|simulate|search|verify|config> [flags]".to_owned());
     };
     match cmd.as_str() {
         "list" => {
@@ -279,6 +343,15 @@ fn run() -> Result<(), String> {
                         path,
                     )?;
                 }
+                if args.is_set("verify") {
+                    let report = verify_scenario(
+                        &cfg.model,
+                        &cfg.system,
+                        &cfg.experiment.plan,
+                        &cfg.experiment.workload,
+                    )?;
+                    finish_verify(&report)?;
+                }
                 return Ok(());
             }
             let model = lookup_model(&args)?;
@@ -288,6 +361,10 @@ fn run() -> Result<(), String> {
             print_report(&model, &system, &plan, &workload)?;
             if let Some(path) = args.get("emit-trace") {
                 emit_trace(&model, &system, &plan, &workload, path)?;
+            }
+            if args.is_set("verify") {
+                let report = verify_scenario(&model, &system, &plan, &workload)?;
+                finish_verify(&report)?;
             }
             Ok(())
         }
@@ -313,7 +390,8 @@ fn run() -> Result<(), String> {
             }
             let mut explorer = Explorer::new(&model, &system)
                 .workload(workload)
-                .space(space);
+                .space(space)
+                .verify_winner(args.is_set("verify"));
             if let Some(t) = ticker.as_ref() {
                 explorer = explorer.progress(t);
             }
@@ -344,6 +422,47 @@ fn run() -> Result<(), String> {
                 r.speedup(),
                 r.winning_strategies()
             );
+            if let Some(report) = &r.verify {
+                finish_verify(report)?;
+            }
+            Ok(())
+        }
+        "verify" => {
+            let args = Args::parse(rest)?;
+            let only = args.get("only");
+            let mut failed = 0usize;
+            let mut ran = 0usize;
+            for sc in madmax_bench::verify_corpus() {
+                if only.is_some_and(|pat| !sc.name.contains(pat)) {
+                    continue;
+                }
+                ran += 1;
+                let report = verify_scenario(&sc.model, &sc.system, &sc.plan, &sc.workload)?;
+                let cp = report.critical_path.as_ref().map_or_else(
+                    || "-".to_owned(),
+                    |c| format!("{:.3} ms", c.lower_bound.as_ms()),
+                );
+                println!(
+                    "{:<28} {:>2} errors {:>2} warnings  critical path {}",
+                    sc.name,
+                    report.error_count(),
+                    report.warning_count(),
+                    cp
+                );
+                for d in &report.diagnostics {
+                    println!("    {d}");
+                }
+                if !report.is_clean() {
+                    failed += 1;
+                }
+            }
+            if ran == 0 {
+                return Err("no corpus scenario matches --only filter".to_owned());
+            }
+            if failed > 0 {
+                return Err(format!("{failed} of {ran} scenarios failed verification"));
+            }
+            println!("all {ran} scenarios verified clean");
             Ok(())
         }
         "config" => {

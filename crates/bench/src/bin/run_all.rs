@@ -17,6 +17,7 @@ fn main() {
         threads,
         sink: None,
         spool: Some(&spool),
+        verify: false,
     };
     let h = &hooks;
     let runs: Vec<Experiment> = vec![

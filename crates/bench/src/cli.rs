@@ -24,6 +24,9 @@ pub struct SearchHooks<'a> {
     pub sink: Option<&'a dyn ProgressSink>,
     /// Telemetry spool collecting every search's counters, when set.
     pub spool: Option<&'a TelemetrySpool>,
+    /// Verify each search's winner schedule with `madmax-verify`
+    /// (`--verify`); violation counts land in the recorded telemetry.
+    pub verify: bool,
 }
 
 impl<'a> SearchHooks<'a> {
@@ -33,17 +36,19 @@ impl<'a> SearchHooks<'a> {
             threads,
             sink: None,
             spool: None,
+            verify: false,
         }
     }
 
     /// Applies the hooks to an explorer under construction: sizes its
-    /// pool and attaches the progress sink.
+    /// pool, attaches the progress sink, and enables winner verification
+    /// when `--verify` was given.
     #[must_use]
     pub fn attach<'m>(&self, explorer: Explorer<'m>) -> Explorer<'m>
     where
         'a: 'm,
     {
-        let explorer = explorer.threads(self.threads);
+        let explorer = explorer.threads(self.threads).verify_winner(self.verify);
         match self.sink {
             Some(sink) => explorer.progress(sink),
             None => explorer,
@@ -67,6 +72,7 @@ pub struct BenchCli {
     progress: Option<StderrTicker>,
     telemetry_path: Option<PathBuf>,
     spool: TelemetrySpool,
+    verify: bool,
 }
 
 impl BenchCli {
@@ -76,10 +82,11 @@ impl BenchCli {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let usage = || -> ! {
             eprintln!(
-                "usage: {name} [--threads N] [--progress N] [--telemetry PATH]\n\
+                "usage: {name} [--threads N] [--progress N] [--telemetry PATH] [--verify]\n\
                  \x20 --threads N       explorer worker-pool size (default: all cores)\n\
                  \x20 --progress N      print a progress line every N candidates\n\
-                 \x20 --telemetry PATH  write per-search telemetry JSON to PATH"
+                 \x20 --telemetry PATH  write per-search telemetry JSON to PATH\n\
+                 \x20 --verify          verify each search's winner schedule"
             );
             std::process::exit(2);
         };
@@ -89,9 +96,14 @@ impl BenchCli {
             progress: None,
             telemetry_path: None,
             spool: TelemetrySpool::new(),
+            verify: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
+            if a == "--verify" {
+                cli.verify = true;
+                continue;
+            }
             let Some(v) = it.next() else { usage() };
             match a.as_str() {
                 "--threads" => match v.parse::<usize>() {
@@ -120,6 +132,7 @@ impl BenchCli {
             threads: self.threads,
             sink: self.progress.as_ref().map(|t| t as &dyn ProgressSink),
             spool: Some(&self.spool),
+            verify: self.verify,
         }
     }
 

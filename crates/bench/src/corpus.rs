@@ -1,0 +1,236 @@
+//! The verification corpus: every scenario shape the figure experiments
+//! exercise — the full model zoo under the flat engine, GPipe and 1F1B
+//! training pipelines, forward-only inference, fine-tuning, flat and
+//! pipelined serving, plus the miniature scenarios behind
+//! `crates/obs/tests/golden/*.json` — as named
+//! (model, system, plan, workload) combinations.
+//!
+//! `madmax verify` runs the full `madmax-verify` rule set over each
+//! scenario's engine-produced trace and schedule (the CI verify job's
+//! backbone), and `tests/verify_invariants.rs` asserts the corpus stays
+//! diagnostic-clean while mutated schedules are flagged.
+
+use madmax_hw::{catalog, ClusterSpec};
+use madmax_model::{LayerClass, ModelArch, ModelId};
+use madmax_parallel::{PipelineConfig, Plan, ServeConfig, Workload};
+
+/// One named scenario of the verification corpus.
+#[derive(Debug, Clone)]
+pub struct VerifyScenario {
+    /// Stable scenario name (`zoo/llama2`, `pipeline/gpipe-llama2`, ...).
+    pub name: String,
+    /// The model architecture.
+    pub model: ModelArch,
+    /// The cluster it runs on.
+    pub system: ClusterSpec,
+    /// The parallelization plan.
+    pub plan: Plan,
+    /// The workload.
+    pub workload: Workload,
+}
+
+impl VerifyScenario {
+    fn new(
+        name: impl Into<String>,
+        model: ModelArch,
+        system: ClusterSpec,
+        plan: Plan,
+        workload: Workload,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            system,
+            plan,
+            workload,
+        }
+    }
+}
+
+/// The cluster each zoo model conventionally runs on in the figures.
+fn default_system(id: ModelId) -> ClusterSpec {
+    match id {
+        ModelId::DlrmA
+        | ModelId::DlrmATransformer
+        | ModelId::DlrmAMoe
+        | ModelId::DlrmB
+        | ModelId::DlrmBTransformer
+        | ModelId::DlrmBMoe => catalog::zionex_dlrm_system(),
+        ModelId::Gpt3 | ModelId::Llama | ModelId::Llama2 | ModelId::LlmMoe => {
+            catalog::llama_llm_system()
+        }
+    }
+}
+
+/// Llama2 shrunk to two transformer blocks — the model behind the obs
+/// golden traces (`crates/obs/tests/golden/*.json`), reproduced here so
+/// the verify corpus covers exactly those schedules.
+fn tiny_llama() -> ModelArch {
+    let mut model = ModelId::Llama2.build();
+    for group in &mut model.groups {
+        if group.repeat > 2 {
+            group.repeat = 2;
+        }
+    }
+    model
+}
+
+/// Builds the full verification corpus. Every scenario is feasible (the
+/// engines produce a report, trace, and schedule for it) and covers one
+/// distinct trace/schedule shape.
+pub fn verify_corpus() -> Vec<VerifyScenario> {
+    let mut corpus = Vec::new();
+
+    // The model zoo under the flat engine (pre-training).
+    for id in [
+        ModelId::DlrmA,
+        ModelId::DlrmATransformer,
+        ModelId::DlrmAMoe,
+        ModelId::DlrmB,
+        ModelId::DlrmBTransformer,
+        ModelId::DlrmBMoe,
+        ModelId::Gpt3,
+        ModelId::Llama,
+        ModelId::Llama2,
+        ModelId::LlmMoe,
+    ] {
+        let model = id.build();
+        let system = default_system(id);
+        let plan = Plan::fsdp_baseline(&model);
+        corpus.push(VerifyScenario::new(
+            format!("zoo/{}", model.name),
+            model,
+            system,
+            plan,
+            Workload::pretrain(),
+        ));
+    }
+
+    // Pipelined training: both schedules, plus a deeper-microbatch GPipe.
+    let llama2 = ModelId::Llama2.build();
+    let gpt3 = ModelId::Gpt3.build();
+    let llm_sys = catalog::llama_llm_system();
+    for (name, model, cfg, workload) in [
+        (
+            "pipeline/gpipe-llama2",
+            llama2.clone(),
+            PipelineConfig::gpipe(8, 16),
+            Workload::pretrain(),
+        ),
+        (
+            "pipeline/1f1b-llama2",
+            llama2.clone(),
+            PipelineConfig::one_f_one_b(8, 16),
+            Workload::pretrain(),
+        ),
+        (
+            "pipeline/gpipe-gpt3",
+            gpt3.clone(),
+            PipelineConfig::gpipe(8, 32),
+            Workload::pretrain(),
+        ),
+        (
+            "pipeline/inference-llama2",
+            llama2.clone(),
+            PipelineConfig::gpipe(8, 16),
+            Workload::inference(),
+        ),
+    ] {
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(cfg);
+        corpus.push(VerifyScenario::new(
+            name,
+            model,
+            llm_sys.clone(),
+            plan,
+            workload,
+        ));
+    }
+
+    // Fine-tuning (partial backward) under the flat engine.
+    let dlrm = ModelId::DlrmA.build();
+    corpus.push(VerifyScenario::new(
+        "finetune/dlrm-a-dense",
+        dlrm.clone(),
+        catalog::zionex_dlrm_system(),
+        Plan::fsdp_baseline(&dlrm),
+        Workload::finetune_only(LayerClass::Dense),
+    ));
+
+    // Serving: flat decode, pipelined decode under both schedules.
+    corpus.push(VerifyScenario::new(
+        "serve/flat-llama2",
+        llama2.clone(),
+        llm_sys.clone(),
+        Plan::fsdp_baseline(&llama2),
+        Workload::serve(ServeConfig::new(512, 16)),
+    ));
+    corpus.push(VerifyScenario::new(
+        "serve/gpipe-llama2",
+        llama2.clone(),
+        llm_sys.clone(),
+        Plan::fsdp_baseline(&llama2).with_pipeline(PipelineConfig::gpipe(8, 8)),
+        Workload::serve(ServeConfig::new(512, 16).with_decode_batch(512)),
+    ));
+    corpus.push(VerifyScenario::new(
+        "serve/1f1b-llama2",
+        llama2.clone(),
+        llm_sys.clone(),
+        Plan::fsdp_baseline(&llama2).with_pipeline(PipelineConfig::one_f_one_b(8, 8)),
+        Workload::serve(ServeConfig::new(512, 16).with_decode_batch(512)),
+    ));
+
+    // The scenarios behind the committed obs golden traces.
+    let tiny = tiny_llama();
+    corpus.push(VerifyScenario::new(
+        "golden/flat",
+        tiny.clone(),
+        llm_sys.clone(),
+        Plan::fsdp_baseline(&tiny),
+        Workload::pretrain(),
+    ));
+    corpus.push(VerifyScenario::new(
+        "golden/pipeline-1f1b",
+        tiny.clone(),
+        llm_sys.clone(),
+        Plan::fsdp_baseline(&tiny).with_pipeline(PipelineConfig::one_f_one_b(2, 4)),
+        Workload::pretrain(),
+    ));
+    corpus.push(VerifyScenario::new(
+        "golden/serve-decode",
+        tiny.clone(),
+        llm_sys,
+        Plan::fsdp_baseline(&tiny).with_pipeline(PipelineConfig::gpipe(2, 4)),
+        Workload::serve(ServeConfig::new(512, 16)),
+    ));
+
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_shapes_covered() {
+        let corpus = verify_corpus();
+        let mut names: Vec<&str> = corpus.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate scenario names");
+        assert!(corpus.len() >= 18, "corpus shrank to {}", corpus.len());
+        // Every engine shape is represented.
+        assert!(corpus
+            .iter()
+            .any(|s| s.plan.pipeline_stages() == 1 && s.workload.has_backward()));
+        assert!(corpus
+            .iter()
+            .any(|s| s.plan.pipeline_stages() > 1 && s.workload.has_backward()));
+        assert!(corpus
+            .iter()
+            .any(|s| s.workload.serve_config().is_some() && s.plan.pipeline_stages() == 1));
+        assert!(corpus
+            .iter()
+            .any(|s| s.workload.serve_config().is_some() && s.plan.pipeline_stages() > 1));
+    }
+}

@@ -136,7 +136,7 @@ pub fn fig12() -> String {
         let fsdp = Plan::fsdp_baseline(&model);
         let baseline = simulate(&model, &sys, &fsdp, Workload::pretrain()).unwrap();
         let points = sweep_class(&model, &sys, &base, class, &Workload::pretrain());
-        out.push_str(&format!("\n{} (sweeping {class} layers):\n", id));
+        out.push_str(&format!("\n{id} (sweeping {class} layers):\n"));
         out.push_str(&render_sweep(&points, baseline.samples_per_sec()));
         if let Some(best) = best_point(&points) {
             out.push_str(&format!(

@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod corpus;
 pub mod experiments;
 
 pub use cli::{BenchCli, SearchHooks};
+pub use corpus::{verify_corpus, VerifyScenario};
 
 use std::fs;
 use std::path::PathBuf;

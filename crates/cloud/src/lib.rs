@@ -222,8 +222,8 @@ mod tests {
         // Per-GPU inter-node bandwidth spans <1 to 25 GB/s as the paper
         // notes.
         let bws: Vec<f64> = cat.iter().map(|i| i.device.inter_node_bw.as_gb()).collect();
-        assert!(bws.iter().cloned().fold(f64::INFINITY, f64::min) < 1.0);
-        assert!(bws.iter().cloned().fold(0.0, f64::max) >= 25.0);
+        assert!(bws.iter().copied().fold(f64::INFINITY, f64::min) < 1.0);
+        assert!(bws.iter().copied().fold(0.0, f64::max) >= 25.0);
     }
 
     #[test]

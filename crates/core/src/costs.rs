@@ -148,14 +148,16 @@ impl GroupCosts {
         self.by_strategy
             .iter()
             .find(|(s, _)| *s == strategy)
-            .map(|(_, c)| c)
-            .unwrap_or_else(|| {
-                panic!(
-                    "cost table has no entry for {}/{strategy}; \
-                     call CostTable::ensure_plan for every plan first",
-                    self.name
-                )
-            })
+            .map_or_else(
+                || {
+                    panic!(
+                        "cost table has no entry for {}/{strategy}; \
+                         call CostTable::ensure_plan for every plan first",
+                        self.name
+                    )
+                },
+                |(_, c)| c,
+            )
     }
 }
 

@@ -63,8 +63,8 @@ pub use counters::{CacheCounters, CacheStats};
 pub use metrics::{serve_stats_from, IterationReport, ReportScratch, ServeStats};
 pub use perf::{build_flat_trace, run_flat, run_flat_cached, run_flat_default};
 pub use sim::{
-    merged, merged_into, schedule, schedule_into, single_difference_measure, EngineScratch,
-    OpWindow, ReportMemo, Schedule, StreamTable,
+    debug_check_schedule, merged, merged_into, schedule, schedule_into, single_difference_measure,
+    EngineScratch, OpWindow, ReportMemo, Schedule, StreamTable,
 };
 pub use trace::{
     intern_label, Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp,

@@ -10,6 +10,15 @@
 //! the prompt-length effective model), decode steps are appended as
 //! autoregressive single-token passes, and the report additionally
 //! carries [`crate::metrics::ServeStats`] (TTFT / TPOT).
+//!
+//! # Debug-assertions contract
+//!
+//! Every schedule this engine assembles — one-shot and cached paths
+//! alike — is cross-checked by [`crate::sim::debug_check_schedule`] in
+//! debug builds (causality, per-stream exclusivity, non-negative
+//! durations, makespan consistency). Release builds skip the check
+//! entirely; the full structural rule set with non-panicking diagnostics
+//! is `madmax-verify`.
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
@@ -119,6 +128,9 @@ pub fn run_flat(
         let _span = crate::prof::span("assemble.flat");
         schedule(&trace)
     };
+    if cfg!(debug_assertions) {
+        crate::sim::debug_check_schedule(&trace, &sched);
+    }
     let _span = crate::prof::span("report.flat");
     let mut report = IterationReport::from_schedule(&trace, &sched, table.report_model(), memory);
     report.serve = table.serve_stats(&trace, &sched);
@@ -154,6 +166,9 @@ pub fn run_flat_cached(
         let _span = crate::prof::span("assemble.flat");
         table.assemble_into(plan, &mut scratch.trace);
         schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    }
+    if cfg!(debug_assertions) {
+        crate::sim::debug_check_schedule(&scratch.trace, &scratch.sched);
     }
     let _span = crate::prof::span("report.flat");
     let mut report = IterationReport::from_schedule_in(

@@ -129,7 +129,7 @@ mod imp {
 /// activation pins the profiling epoch all `start_us` offsets are
 /// measured from. No-op without the `self-profile` feature.
 pub fn set_recording(on: bool) {
-    imp::set_recording(on)
+    imp::set_recording(on);
 }
 
 /// Whether spans are currently being recorded (always `false` without

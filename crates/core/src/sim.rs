@@ -108,6 +108,78 @@ pub fn schedule_into(trace: &Trace, sched: &mut Schedule, streams: &mut StreamTa
     sched.makespan = makespan;
 }
 
+/// Debug-build cross-check of a `(trace, schedule)` pair: window count,
+/// non-negative durations, window/duration agreement, dependency
+/// causality, in-order per-stream exclusivity, and makespan consistency —
+/// one O(ops) pass with no allocation beyond a stream-slot table.
+///
+/// This is the engines' `debug_assertions` contract: both the flat and
+/// the pipelined engine run it after every fresh assembly (memo hits are
+/// exempt — their schedule was checked when it was first produced), so a
+/// scheduler or builder regression panics in debug test runs instead of
+/// silently skewing reports. Release builds never pay for it. The full
+/// rule set — pipeline structure, bubble floors, critical-path analysis,
+/// structured diagnostics instead of panics — lives in `madmax-verify`.
+///
+/// The per-stream check exploits the scheduler's in-order guarantee
+/// (each stream runs its ops in issue order), so it only compares
+/// consecutive windows per slot.
+pub fn debug_check_schedule(trace: &Trace, sched: &Schedule) {
+    assert_eq!(
+        sched.windows.len(),
+        trace.len(),
+        "schedule has {} windows for {} trace ops",
+        sched.windows.len(),
+        trace.len()
+    );
+    let tol = 1e-9 * sched.makespan.as_secs().abs().max(1.0);
+    let mut last_finish: Vec<f64> = Vec::new();
+    let mut max_finish = 0.0f64;
+    for (i, (op, w)) in trace.ops().iter().zip(&sched.windows).enumerate() {
+        let (start, finish) = (w.start.as_secs(), w.finish.as_secs());
+        assert!(
+            op.duration.as_secs() >= 0.0,
+            "op {i} ({}) has negative duration {}",
+            op.name,
+            op.duration
+        );
+        assert!(
+            ((finish - start) - op.duration.as_secs()).abs() <= tol,
+            "op {i} ({}) occupies [{start}, {finish}] but lasts {}",
+            op.name,
+            op.duration
+        );
+        for d in op.deps.as_slice() {
+            assert!(d.0 < i, "op {i} ({}) depends on later op {}", op.name, d.0);
+            let dep_finish = sched.windows[d.0].finish.as_secs();
+            assert!(
+                start + tol >= dep_finish,
+                "op {i} ({}) starts at {start} before dependency {} finishes at {dep_finish}",
+                op.name,
+                d.0
+            );
+        }
+        let slot = op.stream.slot();
+        if slot >= last_finish.len() {
+            last_finish.resize(slot + 1, 0.0);
+        }
+        assert!(
+            start + tol >= last_finish[slot],
+            "op {i} ({}) starts at {start} while {:?} is busy until {}",
+            op.name,
+            op.stream,
+            last_finish[slot]
+        );
+        last_finish[slot] = finish;
+        max_finish = max_finish.max(finish);
+    }
+    assert!(
+        (sched.makespan.as_secs() - max_finish).abs() <= tol,
+        "makespan {} does not match the last window finish {max_finish}",
+        sched.makespan
+    );
+}
+
 /// A memoized engine result: the opaque key of the last assembly's inputs
 /// and the report they produced. The pipeline engine's cached path uses
 /// this to skip re-assembling, re-scheduling, and re-sweeping a trace

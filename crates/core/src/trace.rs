@@ -572,21 +572,44 @@ impl Deps {
         self.as_slice().contains(id)
     }
 
-    /// Appends a dependency, spilling to the heap past [`INLINE_DEPS`].
+    /// Inserts a dependency at its sorted position, spilling to the heap
+    /// past [`INLINE_DEPS`].
+    ///
+    /// Insertion (rather than appending) keeps a sorted list sorted, so a
+    /// push after [`Deps::sort_dedup`] cannot silently break the sorted
+    /// invariant the scheduler and verifier rely on. Duplicates are still
+    /// allowed (they land adjacent); `sort_dedup` removes them. Ascending
+    /// pushes — the builders' common case — insert at the tail, so this
+    /// stays O(log n) + amortized O(1) for them.
     pub fn push(&mut self, id: OpId) {
         match self {
             Deps::Inline { len, ids } => {
-                if (*len as usize) < INLINE_DEPS {
-                    ids[*len as usize] = id;
+                let n = *len as usize;
+                if n < INLINE_DEPS {
+                    let at = if n == 0 || ids[n - 1] <= id {
+                        n // ascending push: plain append
+                    } else {
+                        ids[..n].partition_point(|&d| d <= id)
+                    };
+                    ids.copy_within(at..n, at + 1);
+                    ids[at] = id;
                     *len += 1;
                 } else {
                     let mut v = Vec::with_capacity(INLINE_DEPS + 2);
                     v.extend_from_slice(&ids[..]);
-                    v.push(id);
+                    let at = v.partition_point(|&d| d <= id);
+                    v.insert(at, id);
                     *self = Deps::Spilled(v);
                 }
             }
-            Deps::Spilled(v) => v.push(id),
+            Deps::Spilled(v) => {
+                if v.last().is_none_or(|&d| d <= id) {
+                    v.push(id);
+                } else {
+                    let at = v.partition_point(|&d| d <= id);
+                    v.insert(at, id);
+                }
+            }
         }
     }
 
@@ -974,6 +997,30 @@ mod tests {
         assert_eq!(d.as_slice(), &[OpId(1), OpId(2), OpId(3)]);
         assert!(d.contains(&OpId(2)));
         assert_eq!(d, vec![OpId(1), OpId(2), OpId(3)]);
+    }
+
+    #[test]
+    fn deps_push_after_sort_dedup_keeps_sorted_invariant() {
+        // Regression: push used to append, so pushing a smaller id after
+        // sort_dedup left the list unsorted and the dedup in sort_dedup
+        // (which assumes adjacency) could miss duplicates.
+        let mut d = Deps::from(vec![OpId(4), OpId(9)]);
+        d.sort_dedup();
+        d.push(OpId(1));
+        assert_eq!(d.as_slice(), &[OpId(1), OpId(4), OpId(9)]);
+        d.push(OpId(6));
+        assert_eq!(d.as_slice(), &[OpId(1), OpId(4), OpId(6), OpId(9)]);
+        // Duplicates land adjacent, so a later sort_dedup still removes
+        // them even without re-sorting.
+        d.push(OpId(4));
+        assert_eq!(d.as_slice(), &[OpId(1), OpId(4), OpId(4), OpId(6), OpId(9)]);
+        d.sort_dedup();
+        assert_eq!(d.as_slice(), &[OpId(1), OpId(4), OpId(6), OpId(9)]);
+        // The inline representation keeps the invariant too.
+        let mut inline = Deps::one(OpId(7));
+        inline.push(OpId(2));
+        assert_eq!(inline.as_slice(), &[OpId(2), OpId(7)]);
+        assert!(matches!(inline, Deps::Inline { len: 2, .. }));
     }
 
     #[test]

@@ -242,6 +242,11 @@ pub struct SearchOutcome {
     /// snapshots from the shared cost tables, per-worker throughput, and
     /// the evaluation-latency histogram.
     pub telemetry: SearchTelemetry,
+    /// The winner's verification report when [`Explorer::verify_winner`]
+    /// was enabled (`None` otherwise). Its error/warning counts also land
+    /// in [`SearchTelemetry::verify_errors`] /
+    /// [`SearchTelemetry::verify_warnings`].
+    pub verify: Option<madmax_verify::VerifyReport>,
 }
 
 impl SearchOutcome {
@@ -296,6 +301,7 @@ pub struct Explorer<'a> {
     space: SearchSpace,
     threads: Option<NonZeroUsize>,
     progress: Option<&'a dyn ProgressSink>,
+    verify_winner: bool,
 }
 
 impl<'a> Explorer<'a> {
@@ -310,7 +316,22 @@ impl<'a> Explorer<'a> {
             space: SearchSpace::strategies(),
             threads: None,
             progress: None,
+            verify_winner: false,
         }
+    }
+
+    /// Verifies the winner's trace and schedule with `madmax-verify`
+    /// after the search: the full rule set (trace well-formedness,
+    /// schedule legality, pipeline rules, critical path) runs once on the
+    /// best candidate, the report lands in [`SearchOutcome::verify`], and
+    /// its error/warning counts feed
+    /// [`SearchTelemetry::verify_errors`] /
+    /// [`SearchTelemetry::verify_warnings`]. One extra one-shot engine
+    /// run; the per-candidate hot path is untouched.
+    #[must_use]
+    pub fn verify_winner(mut self, on: bool) -> Self {
+        self.verify_winner = on;
+        self
     }
 
     /// Attaches a [`ProgressSink`] receiving one
@@ -674,6 +695,20 @@ impl<'a> Explorer<'a> {
             }
         }
 
+        let verify = if self.verify_winner {
+            let (_, trace, sched) = Scenario::new(self.model, self.system)
+                .plan_ref(&best_plan)
+                .workload_ref(&best_workload)
+                .run_with_trace()?;
+            let report = madmax_verify::Verifier::for_plan(&best_plan, &best_workload)
+                .verify(&trace, &sched);
+            telemetry.verify_errors += report.error_count() as u64;
+            telemetry.verify_warnings += report.warning_count() as u64;
+            Some(report)
+        } else {
+            None
+        };
+
         // End-to-end search wall-clock (including the baseline run),
         // not the sum of per-variant batch times.
         telemetry.wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -687,6 +722,7 @@ impl<'a> Explorer<'a> {
             unmappable,
             invalid,
             telemetry,
+            verify,
         })
     }
 }
@@ -915,6 +951,32 @@ mod tests {
         // The memo only records pipelined evaluations that reach assembly,
         // so hits can never exceed the number of evaluations.
         assert!(t.report_memo.hits <= t.eval_latency.count);
+    }
+
+    #[test]
+    fn verified_winner_is_clean_and_counted_in_telemetry() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let space = SearchSpace::default().with_pipeline(PipelineAxes {
+            stages: vec![1, 8],
+            microbatches: vec![16],
+            schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+        });
+        let r = Explorer::new(&model, &sys)
+            .space(space)
+            .verify_winner(true)
+            .explore()
+            .unwrap();
+        let report = r.verify.as_ref().expect("verify option fills the report");
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(r.telemetry.verify_errors, 0);
+        assert_eq!(r.telemetry.verify_warnings, report.warning_count() as u64);
+        let cp = report.critical_path.expect("schedule pass ran");
+        assert!(cp.lower_bound <= r.best.iteration_time);
+        // Off by default: no report, no counters.
+        let quiet = Explorer::new(&model, &sys).explore().unwrap();
+        assert!(quiet.verify.is_none());
+        assert_eq!(quiet.telemetry.verify_errors, 0);
     }
 
     #[test]

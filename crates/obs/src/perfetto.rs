@@ -283,7 +283,7 @@ impl ChromeTrace {
         // Flow arrows for cross-stream deps, ids in consumer order.
         let mut flow_id = 0u64;
         for (i, op) in ops.iter().enumerate() {
-            for dep in op.deps.iter() {
+            for dep in &op.deps {
                 let src = &ops[dep.0];
                 if src.stream == op.stream {
                     continue;

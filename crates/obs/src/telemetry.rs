@@ -108,6 +108,13 @@ pub struct SearchTelemetry {
     pub eval_latency: LatencyHistogram,
     /// End-to-end wall-clock of the search, in milliseconds.
     pub wall_ms: f64,
+    /// Error-severity diagnostics the verifier found on winner schedules
+    /// (zero unless the explorer's verify option is on; any nonzero value
+    /// means an engine invariant broke).
+    pub verify_errors: u64,
+    /// Warn-severity diagnostics (e.g. mostly-idle compute streams) on
+    /// winner schedules.
+    pub verify_warnings: u64,
 }
 
 impl SearchTelemetry {
@@ -141,6 +148,8 @@ impl SearchTelemetry {
         self.workers.sort_by_key(|w| w.worker);
         self.eval_latency.absorb(&other.eval_latency);
         self.wall_ms += other.wall_ms;
+        self.verify_errors += other.verify_errors;
+        self.verify_warnings += other.verify_warnings;
     }
 
     /// One-line human summary (the stderr ticker's final line).
@@ -149,7 +158,7 @@ impl SearchTelemetry {
             Some(r) => format!("{:.0}%", r * 100.0),
             None => "-".to_owned(),
         };
-        format!(
+        let mut line = format!(
             "{} candidates in {:.0} ms ({} ok, {} oom, {} unmappable, {} invalid); \
              cache hit rates: flat {}, pipeline {}, memo {}",
             self.candidates,
@@ -161,7 +170,14 @@ impl SearchTelemetry {
             rate(self.flat_cache),
             rate(self.pipeline_cache),
             rate(self.report_memo),
-        )
+        );
+        if self.verify_errors > 0 || self.verify_warnings > 0 {
+            line.push_str(&format!(
+                "; verify: {} errors, {} warnings",
+                self.verify_errors, self.verify_warnings
+            ));
+        }
+        line
     }
 }
 
@@ -271,6 +287,7 @@ mod tests {
                     busy_ms: 1.0,
                 },
             ],
+            verify_warnings: 3,
             ..Default::default()
         };
         a.absorb(&b);
@@ -279,6 +296,9 @@ mod tests {
         assert_eq!(a.workers.len(), 2);
         assert_eq!(a.workers[0].candidates, 5);
         assert!((a.workers[0].busy_ms - 3.0).abs() < 1e-12);
+        assert_eq!(a.verify_warnings, 3);
+        assert!(a.summary().contains("verify: 0 errors, 3 warnings"));
+        assert!(!SearchTelemetry::default().summary().contains("verify:"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn check_golden(name: &str, rendered: &str) {
         return;
     }
     let golden = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden {}: {e}; bless with MADMAX_BLESS=1", name));
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}; bless with MADMAX_BLESS=1"));
     assert_eq!(
         rendered, golden,
         "{name} drifted from its golden; if intentional, bless with MADMAX_BLESS=1"

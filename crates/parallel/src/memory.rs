@@ -201,11 +201,7 @@ mod tests {
         let (model, sys, plan) = dlrm_plan(HierStrategy::two_level(Strategy::Tp, Strategy::Ddp));
         let b = check_memory(&model, &sys, &plan, &Workload::pretrain()).unwrap();
         // Embedding shard dominates: ~24.8 GB of the footprint.
-        assert!(
-            b.params.as_gb() > 24.0 && b.params.as_gb() < 27.0,
-            "{:?}",
-            b
-        );
+        assert!(b.params.as_gb() > 24.0 && b.params.as_gb() < 27.0, "{b:?}");
     }
 
     #[test]

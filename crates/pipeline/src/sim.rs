@@ -10,6 +10,17 @@
 //! through the stages as one microbatch unit
 //! (see [`crate::schedule::build_serve_trace_into`]), so pipeline
 //! parallelism hides inter-stage latency across the token stream.
+//!
+//! # Debug-assertions contract
+//!
+//! Every schedule this engine assembles — the one-shot, scratch, and
+//! cached paths — is cross-checked by `madmax_core::debug_check_schedule`
+//! in debug builds (causality, per-stream exclusivity, non-negative
+//! durations, makespan consistency). The cached path checks only fresh
+//! assemblies: a memo hit returns a report whose schedule was already
+//! checked when it was produced. Release builds skip the check entirely;
+//! the full rule set (stage adjacency, 1F1B in-flight bound, GPipe bubble
+//! floor) lives in `madmax-verify`.
 
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
@@ -122,7 +133,7 @@ fn build_into(priced: &PricedPipeline, workload: &Workload, trace: &mut Trace) {
             trace,
         ),
         None => {
-            build_pipeline_trace_into(&priced.primary, &priced.cfg, workload.has_backward(), trace)
+            build_pipeline_trace_into(&priced.primary, &priced.cfg, workload.has_backward(), trace);
         }
     }
 }
@@ -177,6 +188,9 @@ pub fn run_pipelined(
         build_into(&priced, workload, &mut trace);
         schedule(&trace)
     };
+    if cfg!(debug_assertions) {
+        madmax_core::debug_check_schedule(&trace, &sched);
+    }
     let _span = madmax_core::prof::span("report.pipeline");
     let mut report = IterationReport::from_schedule(&trace, &sched, &eff, priced.memory);
     attach_serve_stats(&mut report, &priced, &eff, &trace, &sched);
@@ -205,6 +219,9 @@ pub fn run_pipelined_scratch(
     let priced = price_pipelined(&eff, cluster, plan, workload, collective_model, utilization)?;
     build_into(&priced, workload, &mut scratch.trace);
     schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    if cfg!(debug_assertions) {
+        madmax_core::debug_check_schedule(&scratch.trace, &scratch.sched);
+    }
     let mut report = IterationReport::from_schedule_in(
         &scratch.trace,
         &scratch.sched,
@@ -270,6 +287,9 @@ pub fn run_pipelined_cached(
             ),
         }
         schedule_into(&scratch.trace, &mut scratch.sched, &mut scratch.streams);
+    }
+    if cfg!(debug_assertions) {
+        madmax_core::debug_check_schedule(&scratch.trace, &scratch.sched);
     }
     let _span = madmax_core::prof::span("report.pipeline");
     let model = table.report_model();

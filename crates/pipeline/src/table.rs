@@ -469,14 +469,16 @@ impl<'a> PipelineCostTable<'a> {
             .assignments
             .iter()
             .find(|(k, _)| *k == key)
-            .map(|(_, e)| e)
-            .unwrap_or_else(|| {
-                panic!(
-                    "pipeline cost table has no entry for {}; \
-                     call PipelineCostTable::ensure_plan for every plan first",
-                    plan.summary()
-                )
-            });
+            .map_or_else(
+                || {
+                    panic!(
+                        "pipeline cost table has no entry for {}; \
+                         call PipelineCostTable::ensure_plan for every plan first",
+                        plan.summary()
+                    )
+                },
+                |(_, e)| e,
+            );
         let memory = fold_pipeline_memory(
             &ae.per_stage_memory,
             cfg.microbatches,
@@ -493,14 +495,16 @@ impl<'a> PipelineCostTable<'a> {
             .by_m
             .iter()
             .find(|(m, _)| *m == cfg.microbatches)
-            .map(|(_, c)| c)
-            .unwrap_or_else(|| {
-                panic!(
-                    "pipeline cost table has no entry for {} microbatches; \
-                     call PipelineCostTable::ensure_plan for every plan first",
-                    cfg.microbatches
-                )
-            });
+            .map_or_else(
+                || {
+                    panic!(
+                        "pipeline cost table has no entry for {} microbatches; \
+                         call PipelineCostTable::ensure_plan for every plan first",
+                        cfg.microbatches
+                    )
+                },
+                |(_, c)| c,
+            );
         // Training traces depend on the schedule; serve traces do not (the
         // decode stream is forward-only), so all schedules share one tag
         // and the scratch memo collapses the schedule axis.

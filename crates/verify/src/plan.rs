@@ -1,0 +1,192 @@
+//! Plan lints: pure static checks on a [`Plan`] against a model, cluster,
+//! and workload — no cost table, no partitioner, no memory model. A
+//! search front-end can run these to reject a candidate before paying for
+//! pricing.
+
+use madmax_hw::ClusterSpec;
+use madmax_model::ModelArch;
+use madmax_parallel::{Plan, Workload};
+
+use crate::diag::{Diagnostic, Location, RuleId, VerifyReport};
+
+/// Whether `p` pipeline stages can split `cluster` into equal stage
+/// groups along the node hierarchy (the same divisibility the stage
+/// engine enforces when deriving stage sub-clusters).
+fn stages_divide_cluster(cluster: &ClusterSpec, p: usize) -> bool {
+    if p <= 1 {
+        return true;
+    }
+    (cluster.num_nodes >= p && cluster.num_nodes.is_multiple_of(p))
+        || (cluster.num_nodes == 1
+            && cluster.devices_per_node >= p
+            && cluster.devices_per_node.is_multiple_of(p))
+}
+
+/// Lints `plan` statically against the model, cluster, and workload.
+///
+/// Emits [`RuleId::PlanDegree`] when a strategy is disallowed for its
+/// layer class or the pipeline depth cannot divide the cluster,
+/// [`RuleId::PlanPipeline`] for depth/microbatch bounds, and
+/// [`RuleId::PlanServe`] for serve-config sanity. Advisory findings
+/// (microbatches above the batch, a modeled-but-unused KV-cache) are
+/// warnings; everything else is an error.
+pub fn lint_plan(
+    model: &ModelArch,
+    cluster: &ClusterSpec,
+    plan: &Plan,
+    workload: &Workload,
+) -> VerifyReport {
+    let mut out = VerifyReport::new();
+
+    if let Err(e) = plan.validate_strategies(model) {
+        out.push(Diagnostic::error(
+            RuleId::PlanDegree,
+            Location::Global,
+            e.to_string(),
+        ));
+    }
+
+    if let Some(cfg) = plan.pipeline.filter(|c| c.is_pipelined()) {
+        let p = cfg.stages;
+        let m = cfg.microbatches;
+        if !stages_divide_cluster(cluster, p) {
+            out.push(Diagnostic::error(
+                RuleId::PlanDegree,
+                Location::Global,
+                format!(
+                    "{} nodes x {} devices cannot be split into {p} equal stage groups",
+                    cluster.num_nodes, cluster.devices_per_node
+                ),
+            ));
+        }
+        if m == 0 {
+            out.push(Diagnostic::error(
+                RuleId::PlanPipeline,
+                Location::Global,
+                "zero microbatches",
+            ));
+        }
+        let instances: usize = model.groups.iter().map(|g| g.repeat).sum();
+        if p > instances {
+            out.push(Diagnostic::error(
+                RuleId::PlanPipeline,
+                Location::Global,
+                format!("model has {instances} layer instances but {p} stages were requested"),
+            ));
+        }
+        let batch = workload.effective_model(model).global_batch;
+        if m > batch {
+            out.push(Diagnostic::warn(
+                RuleId::PlanPipeline,
+                Location::Global,
+                format!("{m} microbatches exceed the effective batch of {batch}"),
+            ));
+        }
+    }
+
+    if let Some(cfg) = workload.serve_config() {
+        if cfg.prompt_len == Some(0) {
+            out.push(Diagnostic::error(
+                RuleId::PlanServe,
+                Location::Global,
+                "zero-length prompt",
+            ));
+        }
+        if cfg.decode_batch == Some(0) {
+            out.push(Diagnostic::error(
+                RuleId::PlanServe,
+                Location::Global,
+                "zero-sequence decode batch",
+            ));
+        }
+        if cfg.kv_cache && cfg.decode_len == 0 {
+            out.push(Diagnostic::warn(
+                RuleId::PlanServe,
+                Location::Global,
+                "KV-cache modeled but no decode steps run",
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_hw::catalog;
+    use madmax_model::{LayerClass, ModelId};
+    use madmax_parallel::{HierStrategy, PipelineConfig, ServeConfig, Strategy};
+
+    #[test]
+    fn baseline_plans_lint_clean() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let r = lint_plan(&model, &sys, &plan, &Workload::pretrain());
+        assert!(r.is_clean() && r.diagnostics.is_empty(), "{r}");
+        let piped = plan.with_pipeline(PipelineConfig::gpipe(8, 16));
+        let r = lint_plan(&model, &sys, &piped, &Workload::pretrain());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn disallowed_strategy_flagged() {
+        let model = ModelId::DlrmA.build();
+        let sys = catalog::zionex_dlrm_system();
+        let plan = Plan::fsdp_baseline(&model)
+            .with_strategy(LayerClass::Embedding, HierStrategy::flat(Strategy::Tp));
+        let r = lint_plan(&model, &sys, &plan, &Workload::pretrain());
+        assert!(r.has(RuleId::PlanDegree), "{r}");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn indivisible_pipeline_depth_flagged() {
+        let model = ModelId::Gpt3.build();
+        let sys = catalog::llama_llm_system(); // 256 nodes
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(7, 8));
+        let r = lint_plan(&model, &sys, &plan, &Workload::pretrain());
+        assert!(r.has(RuleId::PlanDegree), "{r}");
+    }
+
+    #[test]
+    fn pipeline_bounds_flagged() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let deep = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(4096, 8));
+        let r = lint_plan(&model, &sys, &deep, &Workload::pretrain());
+        assert!(r.has(RuleId::PlanPipeline), "{r}");
+        let wide = Plan::fsdp_baseline(&model)
+            .with_pipeline(PipelineConfig::gpipe(8, 10 * model.global_batch));
+        let r = lint_plan(&model, &sys, &wide, &Workload::pretrain());
+        assert!(
+            r.has(RuleId::PlanPipeline) && r.is_clean(),
+            "warn only: {r}"
+        );
+    }
+
+    #[test]
+    fn serve_config_sanity() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let bad = Workload::serve(ServeConfig {
+            prompt_len: Some(0),
+            decode_len: 4,
+            decode_batch: Some(0),
+            kv_cache: true,
+        });
+        let r = lint_plan(&model, &sys, &plan, &bad);
+        assert_eq!(r.of(RuleId::PlanServe).count(), 2, "{r}");
+        assert!(!r.is_clean());
+        let unused_kv = Workload::serve(ServeConfig {
+            prompt_len: Some(128),
+            decode_len: 0,
+            decode_batch: None,
+            kv_cache: true,
+        });
+        let r = lint_plan(&model, &sys, &plan, &unused_kv);
+        assert!(r.has(RuleId::PlanServe) && r.is_clean(), "{r}");
+    }
+}

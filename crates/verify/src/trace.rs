@@ -1,0 +1,362 @@
+//! Trace well-formedness: dependency shape, stream/name/kind agreement,
+//! phase consistency, decode chaining, and the structural pipeline rules
+//! (adjacent-stage handoffs) that need no schedule.
+
+use madmax_core::{OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp};
+use madmax_parallel::{PipelineConfig, Workload};
+
+use crate::diag::{Diagnostic, Location, RuleId, VerifyReport};
+
+/// The pipeline stage an op belongs to according to its *name* (its
+/// stream may disagree — that is what [`RuleId::StreamMismatch`] checks).
+fn name_stage(name: &OpName) -> Option<u16> {
+    match name {
+        OpName::StageParam { stage, .. }
+        | OpName::StagePass { stage, .. }
+        | OpName::StagePassColl { stage, .. }
+        | OpName::StageSendAct { stage, .. }
+        | OpName::StageSendTok { stage, .. }
+        | OpName::StageSendGrad { stage, .. }
+        | OpName::StageGrad { stage, .. }
+        | OpName::StageOptimizer { stage } => Some(*stage),
+        _ => None,
+    }
+}
+
+/// The stream an op's name prescribes (`None` when any stream is fine,
+/// e.g. [`OpName::Custom`]).
+fn expected_stream(name: &OpName) -> Option<StreamId> {
+    match name {
+        OpName::StagePass { stage, .. } | OpName::StageOptimizer { stage } => {
+            Some(StreamId::StageCompute(*stage))
+        }
+        OpName::StageParam { stage, .. }
+        | OpName::StagePassColl { stage, .. }
+        | OpName::StageSendAct { stage, .. }
+        | OpName::StageSendTok { stage, .. } => Some(StreamId::StageComm(*stage)),
+        OpName::StageSendGrad { stage, .. } | OpName::StageGrad { stage, .. } => {
+            Some(StreamId::StageGradComm(*stage))
+        }
+        _ => None,
+    }
+}
+
+/// The decode-stream unit index of a pipelined decode op, from its name.
+fn decode_unit(name: &OpName) -> Option<u32> {
+    match name {
+        OpName::StagePass {
+            dir: PassDir::Dec,
+            mb,
+            ..
+        }
+        | OpName::StagePassColl {
+            dir: PassDir::Dec,
+            mb,
+            ..
+        }
+        | OpName::StageSendTok { mb, .. } => Some(*mb),
+        _ => None,
+    }
+}
+
+/// The pass direction an op's name carries, if any.
+fn name_dir(name: &OpName) -> Option<PassDir> {
+    match name {
+        OpName::Flat { dir, .. } => Some(*dir),
+        OpName::DecodeFlat { .. } | OpName::StageSendTok { .. } => Some(PassDir::Dec),
+        OpName::StagePass { dir, .. } | OpName::StagePassColl { dir, .. } => Some(*dir),
+        OpName::StageSendAct { .. } => Some(PassDir::Fwd),
+        OpName::StageSendGrad { .. } => Some(PassDir::Bwd),
+        _ => None,
+    }
+}
+
+fn op_loc(i: usize) -> Location {
+    Location::Op(madmax_core::OpId(i))
+}
+
+/// Checks dependency shape, stream/kind agreement, and phase consistency
+/// for every op, then the decode chain and the structural pipeline rules.
+pub(crate) fn check_trace(
+    trace: &Trace,
+    workload: Option<&Workload>,
+    pipeline: Option<&PipelineConfig>,
+    out: &mut VerifyReport,
+) {
+    let ops = trace.ops();
+
+    let has_decode = ops.iter().any(|o| o.phase == Phase::Decode);
+    // A serve trace (explicit workload, or inferred from decode ops) must
+    // be free of backward/update work.
+    let is_serve = workload.map_or(has_decode, |w| !w.has_backward());
+    let is_training = workload.is_some_and(Workload::has_backward);
+
+    for (i, op) in ops.iter().enumerate() {
+        check_deps(i, op, out);
+        check_streams(i, op, out);
+        check_phases(i, op, is_serve, is_training, out);
+    }
+
+    check_decode_chain(trace, pipeline, out);
+    check_stage_structure(trace, out);
+}
+
+fn check_deps(i: usize, op: &TraceOp, out: &mut VerifyReport) {
+    let deps = op.deps.as_slice();
+    for d in deps {
+        if d.0 >= i {
+            out.push(Diagnostic::error(
+                RuleId::DepOrder,
+                op_loc(i),
+                format!(
+                    "op {} ({}) depends on op {} at or after itself",
+                    i, op.name, d.0
+                ),
+            ));
+        }
+    }
+    if deps.windows(2).any(|w| w[0] >= w[1]) {
+        out.push(Diagnostic::error(
+            RuleId::DepSorted,
+            op_loc(i),
+            format!(
+                "op {} ({}) has an unsorted or duplicated dependency list",
+                i, op.name
+            ),
+        ));
+    }
+}
+
+fn check_streams(i: usize, op: &TraceOp, out: &mut VerifyReport) {
+    if let Some(want) = expected_stream(&op.name) {
+        if op.stream != want {
+            out.push(Diagnostic::error(
+                RuleId::StreamMismatch,
+                op_loc(i),
+                format!(
+                    "op {} ({}) runs on {:?} but its name prescribes {want:?}",
+                    i, op.name, op.stream
+                ),
+            ));
+        }
+    } else if name_stage(&op.name).is_none()
+        && !matches!(op.name, OpName::Custom(_))
+        && op.stream.stage().is_some()
+    {
+        out.push(Diagnostic::error(
+            RuleId::StreamMismatch,
+            op_loc(i),
+            format!(
+                "flat-trace op {} ({}) runs on stage stream {:?}",
+                i, op.name, op.stream
+            ),
+        ));
+    }
+    let comm_kind = matches!(op.kind, OpKind::Collective { .. });
+    if comm_kind != op.stream.is_comm() {
+        out.push(Diagnostic::error(
+            RuleId::StreamMismatch,
+            op_loc(i),
+            format!(
+                "op {} ({}) of kind {:?} occupies the wrong stream class {:?}",
+                i, op.name, op.kind, op.stream
+            ),
+        ));
+    }
+}
+
+fn check_phases(i: usize, op: &TraceOp, is_serve: bool, is_training: bool, out: &mut VerifyReport) {
+    if op.kind == OpKind::Optimizer && op.phase != Phase::Update {
+        out.push(Diagnostic::error(
+            RuleId::PhaseMismatch,
+            op_loc(i),
+            format!("optimizer op {} ({}) outside the update phase", i, op.name),
+        ));
+    }
+    if is_serve {
+        let backward_phase = matches!(op.phase, Phase::Backward | Phase::Update);
+        let backward_name = name_dir(&op.name) == Some(PassDir::Bwd);
+        if backward_phase || backward_name {
+            out.push(Diagnostic::error(
+                RuleId::PhaseMismatch,
+                op_loc(i),
+                format!(
+                    "serve trace contains backward/update op {} ({})",
+                    i, op.name
+                ),
+            ));
+        }
+    }
+    if is_training && (op.phase == Phase::Decode || name_dir(&op.name) == Some(PassDir::Dec)) {
+        out.push(Diagnostic::error(
+            RuleId::PhaseMismatch,
+            op_loc(i),
+            format!("training trace contains decode op {} ({})", i, op.name),
+        ));
+    }
+}
+
+/// Decode steps must be autoregressive: step/unit indices never decrease
+/// along a dependency edge, and every step is chained on the previous
+/// token (flat traces by explicit step; pipelined traces by decode unit,
+/// when the microbatch grouping is known).
+fn check_decode_chain(trace: &Trace, pipeline: Option<&PipelineConfig>, out: &mut VerifyReport) {
+    let ops = trace.ops();
+
+    // Step/unit monotonicity along edges.
+    for (i, op) in ops.iter().enumerate() {
+        let self_step = match &op.name {
+            OpName::DecodeFlat { step, .. } => Some(u64::from(*step)),
+            n => decode_unit(n).map(u64::from),
+        };
+        let Some(self_step) = self_step else { continue };
+        for d in op.deps.as_slice() {
+            let dep = &ops[d.0];
+            let dep_step = match &dep.name {
+                OpName::DecodeFlat { step, .. } => Some(u64::from(*step)),
+                n => decode_unit(n).map(u64::from),
+            };
+            if dep_step.is_some_and(|s| s > self_step) {
+                out.push(Diagnostic::error(
+                    RuleId::DecodeChain,
+                    op_loc(i),
+                    format!(
+                        "decode op {} ({}) depends on a later token ({})",
+                        i, op.name, dep.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Flat chain: each step t >= 1 links back to step t - 1.
+    let max_step = ops
+        .iter()
+        .filter_map(|o| match o.name {
+            OpName::DecodeFlat { step, .. } => Some(step),
+            _ => None,
+        })
+        .max();
+    if let Some(max_step) = max_step {
+        for t in 1..=max_step {
+            let chained = ops.iter().any(|o| {
+                matches!(o.name, OpName::DecodeFlat { step, .. } if step == t)
+                    && o.deps.as_slice().iter().any(|d| {
+                        matches!(ops[d.0].name, OpName::DecodeFlat { step, .. } if step + 1 == t)
+                    })
+            });
+            if !chained {
+                out.push(Diagnostic::error(
+                    RuleId::DecodeChain,
+                    Location::Global,
+                    format!("decode step {t} is not chained on step {}", t - 1),
+                ));
+            }
+        }
+    }
+
+    // Pipelined chain: stage 0's unit u waits for the same group's
+    // previous token (unit u - m) once the first wave is through.
+    let Some(m) = pipeline.map(|c| c.microbatches as u32).filter(|&m| m > 0) else {
+        return;
+    };
+    for (i, op) in ops.iter().enumerate() {
+        let OpName::StagePass {
+            stage: 0,
+            dir: PassDir::Dec,
+            mb: unit,
+        } = op.name
+        else {
+            continue;
+        };
+        if unit < m {
+            continue;
+        }
+        let chained = op.deps.as_slice().iter().any(|d| {
+            ops[d.0].phase == Phase::Decode && decode_unit(&ops[d.0].name) == Some(unit - m)
+        });
+        if !chained {
+            out.push(Diagnostic::error(
+                RuleId::DecodeChain,
+                op_loc(i),
+                format!(
+                    "decode unit {unit} on stage 0 is not chained on the group's previous \
+                     token (unit {})",
+                    unit - m
+                ),
+            ));
+        }
+    }
+}
+
+/// Structural pipeline rules that need no schedule: cross-stage edges run
+/// through P2P sends between adjacent stages (or the autoregressive
+/// feedback from the last stage to stage 0), and every handoff the
+/// schedule shape requires is present.
+fn check_stage_structure(trace: &Trace, out: &mut VerifyReport) {
+    let ops = trace.ops();
+    let Some(max_stage) = ops.iter().filter_map(|o| name_stage(&o.name)).max() else {
+        return;
+    };
+
+    for (i, op) in ops.iter().enumerate() {
+        let Some(si) = name_stage(&op.name) else {
+            continue;
+        };
+        for d in op.deps.as_slice() {
+            let dep = &ops[d.0];
+            let Some(sd) = name_stage(&dep.name) else {
+                continue;
+            };
+            if sd == si {
+                continue;
+            }
+            let fwd_handoff = matches!(
+                dep.name,
+                OpName::StageSendAct { .. } | OpName::StageSendTok { .. }
+            ) && si == sd + 1;
+            let bwd_handoff = matches!(dep.name, OpName::StageSendGrad { .. }) && sd == si + 1;
+            let feedback = op.phase == Phase::Decode && si == 0 && sd == max_stage;
+            if !(fwd_handoff || bwd_handoff || feedback) {
+                out.push(Diagnostic::error(
+                    RuleId::StageAdjacency,
+                    op_loc(i),
+                    format!(
+                        "op {} ({}) at stage {si} depends on op {} ({}) at stage {sd} \
+                         without an adjacent-stage P2P handoff",
+                        i, op.name, d.0, dep.name
+                    ),
+                ));
+            }
+        }
+
+        // Required handoffs.
+        if let OpName::StagePass { stage, dir, mb } = op.name {
+            let missing = match dir {
+                PassDir::Fwd if stage > 0 => !op.deps.as_slice().iter().any(|d| {
+                    matches!(ops[d.0].name,
+                        OpName::StageSendAct { stage: s, mb: j } if s + 1 == stage && j == mb)
+                }),
+                PassDir::Bwd if stage < max_stage => !op.deps.as_slice().iter().any(|d| {
+                    matches!(ops[d.0].name,
+                        OpName::StageSendGrad { stage: s, mb: j } if s == stage + 1 && j == mb)
+                }),
+                PassDir::Dec if stage > 0 => !op.deps.as_slice().iter().any(|d| {
+                    matches!(ops[d.0].name,
+                        OpName::StageSendTok { stage: s, mb: j } if s + 1 == stage && j == mb)
+                }),
+                _ => false,
+            };
+            if missing {
+                out.push(Diagnostic::error(
+                    RuleId::StageAdjacency,
+                    op_loc(i),
+                    format!(
+                        "op {} ({}) is missing its cross-stage handoff dependency",
+                        i, op.name
+                    ),
+                ));
+            }
+        }
+    }
+}

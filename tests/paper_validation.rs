@@ -99,7 +99,7 @@ fn abstract_claim_pretraining_gains_exist_for_dlrms() {
         let r = Explorer::new(&model, &sys).explore().unwrap();
         speedups.push(r.speedup());
     }
-    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    let max = speedups.iter().copied().fold(0.0, f64::max);
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
     assert!(max >= 2.0, "max speedup {max:.2}");
     assert!(avg > 1.2, "average speedup {avg:.2}");

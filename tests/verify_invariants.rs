@@ -1,0 +1,280 @@
+//! Schedule-integrity invariants over the verification corpus.
+//!
+//! Every scenario of [`madmax_bench::verify_corpus`] — the model zoo,
+//! GPipe/1F1B training pipelines, inference, fine-tuning, flat and
+//! pipelined serving, and the obs golden-trace scenarios — must pass the
+//! full `madmax-verify` rule set with zero errors, and the critical-path
+//! lower bound must never exceed the scheduled makespan. Conversely,
+//! seeded random corruptions of those same traces and schedules (dropped
+//! dependencies, swapped stream windows, negated durations, reordered
+//! decode steps) must each be flagged with the expected rule.
+
+use madmax_bench::{verify_corpus, VerifyScenario};
+use madmax_core::{Deps, OpId, OpName, PassDir, Schedule, Trace, TraceOp};
+use madmax_engine::Scenario;
+use madmax_verify::{RuleId, Verifier};
+
+/// Tiny xorshift generator so the "random" corruption targets are
+/// reproducible across runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// A pseudo-random index into `0..n`.
+    fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty choice set");
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn scenario(name: &str) -> VerifyScenario {
+    verify_corpus()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} missing from the corpus"))
+}
+
+fn run(sc: &VerifyScenario) -> (Trace, Schedule) {
+    let (_, trace, sched) = Scenario::new(&sc.model, &sc.system)
+        .plan(sc.plan.clone())
+        .workload(sc.workload.clone())
+        .run_with_trace()
+        .expect("corpus scenario must be feasible");
+    (trace, sched)
+}
+
+fn verifier(sc: &VerifyScenario) -> Verifier {
+    Verifier::for_plan(&sc.plan, &sc.workload)
+}
+
+/// Rebuilds a trace with a per-op mutation applied (the op arena has no
+/// mutable accessor, by design).
+fn rebuild(trace: &Trace, mut f: impl FnMut(usize, &mut TraceOp)) -> Trace {
+    let mut out = Trace::new();
+    for (i, op) in trace.ops().iter().enumerate() {
+        let mut op = op.clone();
+        f(i, &mut op);
+        out.push(op);
+    }
+    out
+}
+
+fn drop_deps(op: &mut TraceOp, drop: impl Fn(OpId) -> bool) {
+    let kept: Vec<OpId> = op.deps.iter().copied().filter(|&d| !drop(d)).collect();
+    op.deps = Deps::from(kept);
+}
+
+#[test]
+fn corpus_is_diagnostic_clean_and_critical_path_bounds_makespan() {
+    for sc in verify_corpus() {
+        let (trace, sched) = run(&sc);
+        let report = verifier(&sc).verify(&trace, &sched);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{}: engine schedule drew errors:\n{report}",
+            sc.name
+        );
+        let cp = report
+            .critical_path
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no critical path computed", sc.name));
+        let makespan = sched.makespan.as_secs();
+        assert!(
+            cp.lower_bound.as_secs() <= makespan + 1e-9 * makespan.max(1.0),
+            "{}: critical path {} exceeds makespan {}",
+            sc.name,
+            cp.lower_bound,
+            sched.makespan
+        );
+        assert!(cp.ops >= 1, "{}: empty critical path", sc.name);
+    }
+}
+
+#[test]
+fn dropped_pipeline_handoff_dep_is_flagged() {
+    let sc = scenario("golden/pipeline-1f1b");
+    let (trace, _) = run(&sc);
+    let targets: Vec<usize> = trace
+        .ops()
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| {
+            matches!(
+                o.name,
+                OpName::StagePass {
+                    stage: 1..,
+                    dir: PassDir::Fwd,
+                    ..
+                }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!targets.is_empty(), "no downstream-stage forward passes");
+
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..3 {
+        let victim = targets[rng.pick(targets.len())];
+        let corrupt = rebuild(&trace, |i, op| {
+            if i == victim {
+                // Sever the activation handoff from the previous stage.
+                drop_deps(op, |d| {
+                    matches!(trace.ops()[d.0].name, OpName::StageSendAct { .. })
+                });
+            }
+        });
+        let report = verifier(&sc).verify_trace(&corrupt);
+        assert!(
+            report.has(RuleId::StageAdjacency),
+            "dropped handoff on op {victim} not flagged:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn dropped_decode_chain_dep_is_flagged() {
+    let sc = scenario("serve/flat-llama2");
+    let (trace, _) = run(&sc);
+    let max_step = trace
+        .ops()
+        .iter()
+        .filter_map(|o| match o.name {
+            OpName::DecodeFlat { step, .. } => Some(step),
+            _ => None,
+        })
+        .max()
+        .expect("flat serve trace has decode steps");
+    assert!(max_step >= 1, "need at least two decode steps");
+
+    let mut rng = Rng(0x853c_49e6_748f_ea9b);
+    for _ in 0..3 {
+        let t = 1 + rng.pick(max_step as usize) as u32;
+        // Sever every link from step t back to step t - 1.
+        let corrupt = rebuild(&trace, |_, op| {
+            if matches!(op.name, OpName::DecodeFlat { step, .. } if step == t) {
+                drop_deps(op, |d| {
+                    matches!(trace.ops()[d.0].name,
+                        OpName::DecodeFlat { step, .. } if step + 1 == t)
+                });
+            }
+        });
+        let report = verifier(&sc).verify_trace(&corrupt);
+        assert!(
+            report.has(RuleId::DecodeChain),
+            "unchained decode step {t} not flagged:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn swapped_same_stream_windows_are_flagged() {
+    let sc = scenario("golden/flat");
+    let (trace, sched) = run(&sc);
+    // Dependent pairs on one stream whose windows are strictly ordered:
+    // swapping their windows reverses the dependency in time.
+    let pairs: Vec<(usize, usize)> = trace
+        .ops()
+        .iter()
+        .enumerate()
+        .flat_map(|(j, op)| op.deps.iter().map(move |d| (d.0, j)).collect::<Vec<_>>())
+        .filter(|&(i, j)| {
+            trace.ops()[i].stream == trace.ops()[j].stream
+                && trace.ops()[i].duration.as_secs() > 0.0
+                && sched.windows[j].start >= sched.windows[i].finish
+        })
+        .collect();
+    assert!(!pairs.is_empty(), "no same-stream dependent pairs");
+
+    let mut rng = Rng(0xda94_2042_e4dd_58b5);
+    for _ in 0..3 {
+        let (i, j) = pairs[rng.pick(pairs.len())];
+        let mut corrupt = sched.clone();
+        corrupt.windows.swap(i, j);
+        let report = verifier(&sc).verify(&trace, &corrupt);
+        assert!(
+            report.has(RuleId::Causality),
+            "swapped windows of ops {i} and {j} not flagged:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn negated_duration_is_flagged() {
+    let sc = scenario("golden/flat");
+    let (trace, sched) = run(&sc);
+    let targets: Vec<usize> = trace
+        .ops()
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.duration.as_secs() > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut rng = Rng(0xc0ff_ee00_dead_beef);
+    for _ in 0..3 {
+        let victim = targets[rng.pick(targets.len())];
+        let corrupt = rebuild(&trace, |i, op| {
+            if i == victim {
+                op.duration = madmax_hw::units::Seconds::new(-op.duration.as_secs());
+            }
+        });
+        let report = verifier(&sc).verify(&corrupt, &sched);
+        assert!(
+            report.has(RuleId::Duration),
+            "negated duration on op {victim} not flagged:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn reordered_decode_steps_are_flagged() {
+    let sc = scenario("serve/flat-llama2");
+    let (trace, _) = run(&sc);
+    let max_step = trace
+        .ops()
+        .iter()
+        .filter_map(|o| match o.name {
+            OpName::DecodeFlat { step, .. } => Some(step),
+            _ => None,
+        })
+        .max()
+        .expect("flat serve trace has decode steps");
+    assert!(max_step >= 2, "need three decode steps to reorder");
+
+    let mut rng = Rng(0x2545_f491_4f6c_dd1d);
+    for _ in 0..3 {
+        // Relabel two non-adjacent steps as each other: the step indices
+        // along some dependency edge now decrease.
+        let a = rng.pick(max_step as usize - 1) as u32;
+        let b = a + 2 + rng.pick((max_step - a - 1) as usize) as u32;
+        let corrupt = rebuild(&trace, |_, op| {
+            if let OpName::DecodeFlat { step, inst, label } = op.name {
+                if step == a {
+                    op.name = OpName::DecodeFlat {
+                        step: b,
+                        inst,
+                        label,
+                    };
+                } else if step == b {
+                    op.name = OpName::DecodeFlat {
+                        step: a,
+                        inst,
+                        label,
+                    };
+                }
+            }
+        });
+        let report = verifier(&sc).verify_trace(&corrupt);
+        assert!(
+            report.has(RuleId::DecodeChain),
+            "reordered decode steps {a} and {b} not flagged:\n{report}"
+        );
+    }
+}
