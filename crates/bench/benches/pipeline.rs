@@ -115,5 +115,42 @@ fn bench_assembly(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pricing, bench_assembly);
+/// The closed-form steady-state decode path against full simulation,
+/// across decode lengths: analytic cost is dominated by the prefill +
+/// transient prefix (near-constant in `decode_len`), full assembly and
+/// event scheduling grow linearly with the token axis. The memo is
+/// cleared every iteration so the evaluation itself is measured, not a
+/// table-level memo hit.
+fn bench_steady_decode(c: &mut Criterion) {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let mut group = c.benchmark_group("steady_decode");
+    for decode in [64usize, 256, 1024, 4096] {
+        let serve = Workload::serve(ServeConfig::new(512, decode).with_decode_batch(512));
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::one_f_one_b(4, 8));
+        for (label, analytic) in [("analytic", true), ("full", false)] {
+            let scenario = Scenario::new(&model, &sys)
+                .workload_ref(&serve)
+                .analytic_serve(analytic);
+            let table = scenario.price_pipeline_plans(std::slice::from_ref(&plan));
+            let mut scratch = EngineScratch::new();
+            group.bench_function(format!("{label}/dec{decode}"), |b| {
+                b.iter(|| {
+                    table.clear_memo();
+                    black_box(
+                        Scenario::new(black_box(&model), &sys)
+                            .workload_ref(&serve)
+                            .plan_ref(&plan)
+                            .pipeline_costs(&table)
+                            .run_in(&mut scratch)
+                            .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pricing, bench_assembly, bench_steady_decode);
 criterion_main!(benches);

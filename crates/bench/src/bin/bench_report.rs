@@ -292,41 +292,51 @@ fn main() {
 
     // Serve-mode searches (fig_serve): the joint (transformer strategy x
     // pipeline x decode batch) search on the bandwidth-constrained fabric,
-    // and its flat (pp=1) half.
+    // and its flat (pp=1) half — swept across decode lengths so the
+    // trajectory records how per-search cost scales with the token axis.
+    // Decode 64 keeps the original bare names so `--baseline` joins
+    // pre-grid reports; longer decodes get an `@dec<n>` suffix.
     {
         let model = ModelId::Llama2.build();
         let slow = catalog::llama_llm_system().scaled(&DeviceScaling::inter_bw_only(1.0 / 8.0));
-        let workload = Workload::serve(ServeConfig::new(1024, 64));
-        let flat_space = SearchSpace::strategies()
-            .with_classes(vec![LayerClass::Transformer])
-            .with_serve(ServeAxes::batches([256, 512]));
-        let joint_space = flat_space.clone().with_pipeline(PipelineAxes {
-            stages: vec![1, 2, 4, 8],
-            microbatches: vec![8, 16],
-            schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
-        });
-        for (label, space) in [("flat", flat_space), ("joint", joint_space)] {
-            let explorer = Explorer::new(&model, &slow)
-                .workload(workload.clone())
-                .space(space)
-                .threads(threads);
-            let outcome = explorer.explore().expect("serve baseline feasible");
-            // (plan x decode-batch) combinations, as tallied by the search
-            // itself.
-            let candidates = outcome.evaluated;
-            record(
-                &mut records,
-                &baseline,
-                format!("fig_serve/{}/{label}", ModelId::Llama2),
-                candidates,
-                threads,
-                reps,
-                Some(&outcome.telemetry),
-                || {
-                    let o = explorer.explore().expect("serve baseline feasible");
-                    assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
-                },
-            );
+        for decode in [64usize, 256, 1024] {
+            let workload = Workload::serve(ServeConfig::new(1024, decode));
+            let suffix = if decode == 64 {
+                String::new()
+            } else {
+                format!("@dec{decode}")
+            };
+            let flat_space = SearchSpace::strategies()
+                .with_classes(vec![LayerClass::Transformer])
+                .with_serve(ServeAxes::batches([256, 512]));
+            let joint_space = flat_space.clone().with_pipeline(PipelineAxes {
+                stages: vec![1, 2, 4, 8],
+                microbatches: vec![8, 16],
+                schedules: vec![PipelineSchedule::GPipe, PipelineSchedule::OneFOneB],
+            });
+            for (label, space) in [("flat", flat_space), ("joint", joint_space)] {
+                let explorer = Explorer::new(&model, &slow)
+                    .workload(workload.clone())
+                    .space(space)
+                    .threads(threads);
+                let outcome = explorer.explore().expect("serve baseline feasible");
+                // (plan x decode-batch) combinations, as tallied by the
+                // search itself.
+                let candidates = outcome.evaluated;
+                record(
+                    &mut records,
+                    &baseline,
+                    format!("fig_serve/{}/{label}{suffix}", ModelId::Llama2),
+                    candidates,
+                    threads,
+                    reps,
+                    Some(&outcome.telemetry),
+                    || {
+                        let o = explorer.explore().expect("serve baseline feasible");
+                        assert_eq!(o.best_plan, outcome.best_plan, "non-deterministic search");
+                    },
+                );
+            }
         }
     }
 

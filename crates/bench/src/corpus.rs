@@ -178,6 +178,15 @@ pub fn verify_corpus() -> Vec<VerifyScenario> {
         Plan::fsdp_baseline(&llama2).with_pipeline(PipelineConfig::one_f_one_b(8, 8)),
         Workload::serve(ServeConfig::new(512, 16).with_decode_batch(512)),
     ));
+    // Long enough decode for the steady-period rule's analysis window
+    // (short decodes are all fill/drain transient and skip it).
+    corpus.push(VerifyScenario::new(
+        "serve/steady-1f1b-llama2",
+        llama2.clone(),
+        llm_sys.clone(),
+        Plan::fsdp_baseline(&llama2).with_pipeline(PipelineConfig::one_f_one_b(4, 8)),
+        Workload::serve(ServeConfig::new(512, 64).with_decode_batch(512)),
+    ));
 
     // The scenarios behind the committed obs golden traces.
     let tiny = tiny_llama();

@@ -195,9 +195,16 @@ pub struct CostTable<'a> {
     /// groups (first-appearance order).
     class_groups: Vec<(LayerClass, Vec<usize>)>,
     decode: Option<Box<DecodePhase>>,
+    /// Whether cached serve evaluations may take the closed-form
+    /// steady-state path (see [`crate::steady`]); on by default, an
+    /// opt-out knob for A/B validation.
+    analytic_serve: bool,
     /// Price-vs-reuse telemetry: one hit per `ensure_plan` (class,
     /// strategy) already priced, one miss per fresh pricing.
     counters: CacheCounters,
+    /// Closed-form-vs-fallback telemetry for cached serve evaluations
+    /// (one hit per steady-state report, one miss per full simulation).
+    analytic_counters: CacheCounters,
 }
 
 /// Every option except `ignore_memory_limits` (which only gates the
@@ -333,8 +340,34 @@ impl<'a> CostTable<'a> {
             groups,
             class_groups,
             decode,
+            analytic_serve: true,
             counters: CacheCounters::new(),
+            analytic_counters: CacheCounters::new(),
         }
+    }
+
+    /// Whether cached serve evaluations may use the closed-form
+    /// steady-state decode path.
+    pub fn analytic_serve(&self) -> bool {
+        self.analytic_serve
+    }
+
+    /// Enables or disables the closed-form serve path for cached
+    /// evaluations through this table. One-shot runs ([`crate::run_flat`])
+    /// always simulate in full regardless.
+    pub fn set_analytic_serve(&mut self, on: bool) {
+        self.analytic_serve = on;
+    }
+
+    /// The serve-stream dimensions of the workload's decode phase, or
+    /// `None` without decode steps.
+    pub fn serve_dims(&self) -> Option<crate::steady::ServeDims> {
+        let dec = self.decode.as_ref()?;
+        Some(crate::steady::ServeDims {
+            prompt_len: dec.prompt_len,
+            decode_len: dec.decode_len,
+            decode_batch: dec.model.global_batch,
+        })
     }
 
     /// Snapshot of the price-vs-reuse counters: [`CostTable::ensure_plan`]
@@ -343,6 +376,21 @@ impl<'a> CostTable<'a> {
     /// `hits + misses == candidates × classes` across a search.
     pub fn stats(&self) -> CacheStats {
         self.counters.snapshot()
+    }
+
+    /// Snapshot of the closed-form-vs-fallback counters:
+    /// [`crate::run_flat_cached`] records one hit per serve report
+    /// synthesized by the steady-state evaluator ([`crate::steady`]) and
+    /// one miss per serve candidate simulated in full (fallback, opt-out,
+    /// or short decode).
+    pub fn analytic_stats(&self) -> CacheStats {
+        self.analytic_counters.snapshot()
+    }
+
+    /// The closed-form-vs-fallback counter pair (crate-internal:
+    /// `run_flat_cached` bumps it from `&self`).
+    pub(crate) fn analytic_counters(&self) -> &CacheCounters {
+        &self.analytic_counters
     }
 
     /// The model this table was priced for (the caller's handle, used for
@@ -604,6 +652,23 @@ impl<'a> CostTable<'a> {
     /// [`CostTable::ensure_plan`]; debug builds also assert that `plan`'s
     /// options match the table's pricing context.
     pub fn assemble_into(&self, plan: &Plan, trace: &mut Trace) {
+        self.assemble_capped_into(plan, trace, usize::MAX);
+    }
+
+    /// [`CostTable::assemble_into`] with the decode loop capped at
+    /// `max_decode_tokens`: the explicit-prefix assembly behind the
+    /// closed-form serve path (see [`crate::steady`]). With a cap at or
+    /// above `decode_len` this is exactly the full assembly.
+    pub fn assemble_serve_prefix_into(
+        &self,
+        plan: &Plan,
+        trace: &mut Trace,
+        max_decode_tokens: usize,
+    ) {
+        self.assemble_capped_into(plan, trace, max_decode_tokens);
+    }
+
+    fn assemble_capped_into(&self, plan: &Plan, trace: &mut Trace, max_decode_tokens: usize) {
         debug_assert!(
             pricing_options_match(&self.options, &plan.options),
             "plan options diverge from the cost table's pricing context"
@@ -622,7 +687,7 @@ impl<'a> CostTable<'a> {
         // ---------------- Decode steps ----------------
         if let Some(dec) = &self.decode {
             let mut tail = final_fwd;
-            for step in 0..dec.decode_len {
+            for step in 0..dec.decode_len.min(max_decode_tokens) {
                 let ctx = DecodeCtx {
                     step: step as u32,
                     kv_len: (dec.prompt_len + step) as f64,
@@ -630,6 +695,13 @@ impl<'a> CostTable<'a> {
                 };
                 tail = self.assemble_forward(plan, trace, Some(ctx));
             }
+            // Serve traces live on the analytic duration grid (decode
+            // compute is emitted on-grid above; this rounds the prefill
+            // and the comm durations too), keeping every scheduled time
+            // exact so the closed-form path can reproduce the full
+            // simulation bit for bit. Training and prefill-only
+            // assembly is untouched.
+            trace.map_durations_from(0, crate::steady::quantize);
         }
     }
 
@@ -719,7 +791,12 @@ impl<'a> CostTable<'a> {
                 // attention additionally reads the KV-cache at the step's
                 // token position.
                 let duration = match &decode {
-                    Some(c) => g.fwd_compute + sc.kv_read_per_token * c.kv_len,
+                    Some(c) => crate::steady::decode_compute_duration(
+                        g.fwd_compute,
+                        sc.kv_read_per_token,
+                        c.kv_len - c.step as f64,
+                        c.step,
+                    ),
                     None => g.fwd_compute,
                 };
                 let mut deps = base_deps;

@@ -53,6 +53,7 @@ pub mod metrics;
 pub mod perf;
 pub mod prof;
 pub mod sim;
+pub mod steady;
 pub mod trace;
 pub mod validation;
 
@@ -65,6 +66,9 @@ pub use perf::{build_flat_trace, run_flat, run_flat_cached, run_flat_default};
 pub use sim::{
     debug_check_schedule, merged, merged_into, schedule, schedule_into, single_difference_measure,
     EngineScratch, OpWindow, ReportMemo, Schedule, StreamTable,
+};
+pub use steady::{
+    decode_compute_duration, evaluate_serve_prefix, quantize, ServeDims, SteadyScratch,
 };
 pub use trace::{
     intern_label, Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp,

@@ -163,7 +163,7 @@ pub struct ReportScratch {
 /// pipeline stage. Slot order equals the `Option<u16>` sort order, so
 /// per-device folds visit devices exactly as the previous ordered-map
 /// implementation did.
-fn device_slot(device: Option<u16>) -> usize {
+pub(crate) fn device_slot(device: Option<u16>) -> usize {
     match device {
         None => 0,
         Some(s) => 1 + s as usize,
@@ -173,7 +173,7 @@ fn device_slot(device: Option<u16>) -> usize {
 /// The device slot a comm *stream slot* belongs to: the flat `Comm` /
 /// `GradComm` slots (1, 2) map to the representative device, and each
 /// stage's comm slots (`4 + 3s`, `5 + 3s`) to that stage's device.
-fn comm_stream_device(stream_slot: usize) -> usize {
+pub(crate) fn comm_stream_device(stream_slot: usize) -> usize {
     if stream_slot < 3 {
         0
     } else {
@@ -182,7 +182,7 @@ fn comm_stream_device(stream_slot: usize) -> usize {
 }
 
 /// Dense index of a layer class, matching [`LayerClass::ALL`]'s order.
-fn class_idx(class: LayerClass) -> usize {
+pub(crate) fn class_idx(class: LayerClass) -> usize {
     match class {
         LayerClass::Embedding => 0,
         LayerClass::Dense => 1,
@@ -192,7 +192,7 @@ fn class_idx(class: LayerClass) -> usize {
 }
 
 /// Every collective primitive, in dense-index order (see [`kind_idx`]).
-const COLLECTIVES: [CollectiveKind; 5] = [
+pub(crate) const COLLECTIVES: [CollectiveKind; 5] = [
     CollectiveKind::AllReduce,
     CollectiveKind::AllGather,
     CollectiveKind::ReduceScatter,
@@ -201,7 +201,7 @@ const COLLECTIVES: [CollectiveKind; 5] = [
 ];
 
 /// Dense index of a collective primitive, matching [`COLLECTIVES`].
-fn kind_idx(kind: CollectiveKind) -> usize {
+pub(crate) fn kind_idx(kind: CollectiveKind) -> usize {
     match kind {
         CollectiveKind::AllReduce => 0,
         CollectiveKind::AllGather => 1,
@@ -214,7 +214,7 @@ fn kind_idx(kind: CollectiveKind) -> usize {
 /// Builds the ordered map a dense accumulator row stands in for: one entry
 /// per *touched* index (zero-duration ops still create entries, exactly
 /// like the previous per-op `entry()` calls).
-fn to_map<K: Ord + Copy, const N: usize>(
+pub(crate) fn to_map<K: Ord + Copy, const N: usize>(
     keys: [K; N],
     touched: [bool; N],
     totals: [Seconds; N],

@@ -162,6 +162,36 @@ pub fn run_flat_cached(
 ) -> Result<IterationReport, PlanError> {
     reject_pipelined(plan)?;
     let memory = table.memory_for(plan)?;
+    // Closed-form serve path: assemble only the prefill + transient
+    // tokens and synthesize the report (bit-identical to the full
+    // simulation below; see `crate::steady`). Falls through on any
+    // structural condition the closed form does not cover.
+    if table.analytic_serve() {
+        if let Some(dims) = table.serve_dims() {
+            if dims.decode_len >= crate::steady::MIN_ANALYTIC_DECODE {
+                let _span = crate::prof::span("steady.flat");
+                table.assemble_serve_prefix_into(
+                    plan,
+                    &mut scratch.trace,
+                    crate::steady::EXPLICIT_TOKENS,
+                );
+                if let Some(report) = crate::steady::evaluate_serve_prefix(
+                    &scratch.trace,
+                    crate::steady::EXPLICIT_TOKENS,
+                    &dims,
+                    table.report_model(),
+                    memory,
+                    &mut scratch.steady,
+                ) {
+                    table.analytic_counters().hit();
+                    return Ok(report);
+                }
+            }
+        }
+    }
+    if table.serve_dims().is_some() {
+        table.analytic_counters().miss();
+    }
     {
         let _span = crate::prof::span("assemble.flat");
         table.assemble_into(plan, &mut scratch.trace);

@@ -180,14 +180,14 @@ pub fn debug_check_schedule(trace: &Trace, sched: &Schedule) {
     );
 }
 
-/// A memoized engine result: the opaque key of the last assembly's inputs
-/// and the report they produced. The pipeline engine's cached path uses
-/// this to skip re-assembling, re-scheduling, and re-sweeping a trace
-/// whose inputs are identical to the previous candidate's — notably the
-/// schedule axis of serve searches, whose decode stream is
-/// schedule-independent. Keys are minted by the pricing table (a table
-/// generation plus an entry id), so results can never leak across tables
-/// or entries.
+/// A memoized engine result: the opaque key of one assembly's inputs and
+/// the report they produced. The pipeline engine's cached path keeps a
+/// keyed store of these on the shared pricing table to skip
+/// re-assembling, re-scheduling, and re-sweeping a trace whose inputs are
+/// identical to an already-evaluated candidate's — notably the schedule
+/// axis of serve searches, whose decode stream is schedule-independent.
+/// Keys are minted by the pricing table (a table generation plus an entry
+/// id), so results can never leak across tables or entries.
 #[derive(Debug)]
 pub struct ReportMemo {
     /// Opaque assembly-input key, minted by the pricing layer.
@@ -210,9 +210,8 @@ pub struct EngineScratch {
     pub streams: StreamTable,
     /// Report-construction interval buffers, cleared per candidate.
     pub report: crate::metrics::ReportScratch,
-    /// The last pipelined result, keyed by its assembly inputs (see
-    /// [`ReportMemo`]).
-    pub pipeline_memo: Option<ReportMemo>,
+    /// Closed-form serve evaluation buffers (see [`crate::steady`]).
+    pub steady: crate::steady::SteadyScratch,
 }
 
 impl EngineScratch {

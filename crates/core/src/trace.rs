@@ -783,6 +783,17 @@ impl Trace {
         self.ops.iter().map(|o| o.duration).sum()
     }
 
+    /// Applies `f` to every op duration from index `start` on. Used by
+    /// the serve builders to round an assembled prefix onto the analytic
+    /// grid (see [`crate::steady`]); durations are the only op field a
+    /// builder may rewrite after the fact (names, streams, and deps are
+    /// structural).
+    pub fn map_durations_from(&mut self, start: usize, mut f: impl FnMut(Seconds) -> Seconds) {
+        for op in &mut self.ops[start..] {
+            op.duration = f(op.duration);
+        }
+    }
+
     /// Ops on a given stream.
     pub fn stream_ops(&self, stream: StreamId) -> impl Iterator<Item = (OpId, &TraceOp)> {
         self.ops

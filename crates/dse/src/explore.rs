@@ -302,6 +302,7 @@ pub struct Explorer<'a> {
     threads: Option<NonZeroUsize>,
     progress: Option<&'a dyn ProgressSink>,
     verify_winner: bool,
+    analytic_serve: bool,
 }
 
 impl<'a> Explorer<'a> {
@@ -317,7 +318,19 @@ impl<'a> Explorer<'a> {
             threads: None,
             progress: None,
             verify_winner: false,
+            analytic_serve: true,
         }
+    }
+
+    /// Enables or disables the closed-form steady-state decode path for
+    /// serve candidates (`madmax_core::steady`; on by default). The
+    /// closed form is byte-identical to full simulation — searches return
+    /// the same winners and reports either way — so this knob exists for
+    /// A/B validation and as an escape hatch.
+    #[must_use]
+    pub fn analytic_serve(mut self, on: bool) -> Self {
+        self.analytic_serve = on;
+        self
     }
 
     /// Verifies the winner's trace and schedule with `madmax-verify`
@@ -472,7 +485,9 @@ impl<'a> Explorer<'a> {
     ) -> (Vec<Result<IterationReport, EngineError>>, SearchTelemetry) {
         let started = Instant::now();
         let workers = self.worker_count(plans.len());
-        let scenario = Scenario::new(self.model, self.system).workload_ref(workload);
+        let scenario = Scenario::new(self.model, self.system)
+            .workload_ref(workload)
+            .analytic_serve(self.analytic_serve);
         // Mixed-option plan lists (e.g. ablating prefetch on/off) cannot
         // share a pricing context; they fall back to per-plan pricing.
         let uniform_options = plans.windows(2).all(|w| w[0].options == w[1].options);
@@ -487,7 +502,8 @@ impl<'a> Explorer<'a> {
         let run = |plan: &Plan, scratch: &mut madmax_engine::EngineScratch| {
             let mut s = Scenario::new(self.model, self.system)
                 .plan_ref(plan)
-                .workload_ref(workload);
+                .workload_ref(workload)
+                .analytic_serve(self.analytic_serve);
             if let Some(t) = &table {
                 s = s.costs(t);
             }
@@ -590,10 +606,12 @@ impl<'a> Explorer<'a> {
         }
         if let Some(t) = &table {
             telemetry.flat_cache = t.stats();
+            telemetry.steady_analytic.absorb(t.analytic_stats());
         }
         if let Some(t) = &pipeline_table {
             telemetry.pipeline_cache = t.stats();
             telemetry.report_memo = t.memo_stats();
+            telemetry.steady_analytic.absorb(t.analytic_stats());
         }
         telemetry.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         sink.search_finished(&telemetry);

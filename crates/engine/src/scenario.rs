@@ -74,6 +74,7 @@ pub struct Scenario<'a> {
     utilization: UtilizationModel,
     costs: Option<&'a CostTable<'a>>,
     pipeline_costs: Option<&'a PipelineCostTable<'a>>,
+    analytic_serve: bool,
 }
 
 impl<'a> Scenario<'a> {
@@ -90,7 +91,22 @@ impl<'a> Scenario<'a> {
             utilization: UtilizationModel::Constant,
             costs: None,
             pipeline_costs: None,
+            analytic_serve: true,
         }
+    }
+
+    /// Enables or disables the closed-form steady-state decode path
+    /// (`madmax_core::steady`) on every cost table this scenario *builds*
+    /// ([`Scenario::price_plans`], [`Scenario::price_pipeline_plans`], and
+    /// the inline table of [`Scenario::run_in`]). On by default; the
+    /// closed form is byte-identical to full simulation, so this knob
+    /// exists for A/B validation and as an escape hatch. Tables attached
+    /// via [`Scenario::costs`] / [`Scenario::pipeline_costs`] keep their
+    /// own setting.
+    #[must_use]
+    pub fn analytic_serve(mut self, on: bool) -> Self {
+        self.analytic_serve = on;
+        self
     }
 
     /// Sets the workload (default: [`Workload::pretrain`]).
@@ -209,6 +225,7 @@ impl<'a> Scenario<'a> {
             self.collectives,
             self.utilization,
         );
+        table.set_analytic_serve(self.analytic_serve);
         for plan in plans.iter().filter(|p| !Self::is_pipelined(p)) {
             table.ensure_plan(plan);
         }
@@ -236,6 +253,7 @@ impl<'a> Scenario<'a> {
             self.collectives,
             self.utilization,
         );
+        table.set_analytic_serve(self.analytic_serve);
         for plan in plans.iter().filter(|p| Self::is_pipelined(p)) {
             table.ensure_plan(plan);
         }
@@ -293,6 +311,7 @@ impl<'a> Scenario<'a> {
                 self.collectives,
                 self.utilization,
             );
+            table.set_analytic_serve(self.analytic_serve);
             table.ensure_plan(plan);
             madmax_core::run_flat_cached(&table, plan, scratch).map_err(EngineError::from)
         })

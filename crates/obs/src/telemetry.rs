@@ -99,9 +99,16 @@ pub struct SearchTelemetry {
     /// `PipelineCostTable` price-vs-reuse snapshot (one event per
     /// priceable pipelined candidate ensured).
     pub pipeline_cache: CacheStats,
-    /// Per-scratch report-memo snapshot (one event per pipelined
-    /// evaluation reaching assembly).
+    /// Shared report-memo snapshot (one event per pipelined evaluation
+    /// reaching the memo lookup; hits are reports served without
+    /// re-assembly, across all workers).
     pub report_memo: CacheStats,
+    /// Closed-form steady-state serve snapshot (one hit per report
+    /// synthesized analytically by `madmax_core::steady`, one miss per
+    /// serve candidate simulated in full), summed over the flat and
+    /// pipeline tables.
+    #[serde(default)]
+    pub steady_analytic: CacheStats,
     /// Per-worker wall-clock and throughput, ordered by worker index.
     pub workers: Vec<WorkerStats>,
     /// Per-candidate evaluation-latency histogram.
@@ -136,6 +143,7 @@ impl SearchTelemetry {
         self.flat_cache.absorb(other.flat_cache);
         self.pipeline_cache.absorb(other.pipeline_cache);
         self.report_memo.absorb(other.report_memo);
+        self.steady_analytic.absorb(other.steady_analytic);
         for w in &other.workers {
             match self.workers.iter_mut().find(|m| m.worker == w.worker) {
                 Some(m) => {

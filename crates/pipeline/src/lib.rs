@@ -39,6 +39,29 @@
 //!    schedule-independent, so the scratch memoizes the last report and
 //!    collapses the schedule axis entirely.
 //!
+//! # Closed-form serve: collapsing the token axis
+//!
+//! For serve workloads the per-token decode schedule is an affine
+//! max-plus recurrence: every decode op's duration is `base + rate·tok`
+//! (the `rate` term is KV-cache stretch), and each token's starts are
+//! maxima over the previous token's finishes. [`run_pipelined_cached`]
+//! therefore hands long decodes to `madmax_core::steady`: only the
+//! prefill plus a short explicit transient is assembled as a real trace;
+//! the remaining tokens advance on exact integer grid arithmetic, and a
+//! certified quadratic fast-forward jumps whole constant-binding regimes
+//! at once (fit from three consecutive states, every max/min/branch of
+//! one token step certified symbolically over the jump range, totals
+//! advanced by closed-form series sums). The synthesized
+//! [`madmax_core::IterationReport`] is byte-identical to full assembly —
+//! when any exactness condition fails (non-affine durations, timestamps
+//! or totals leaving the exact `f64` grid range, a binding change the
+//! certificate cannot localize), the engine falls back layer by layer:
+//! jump → explicit per-token stepping → full trace assembly. The
+//! `steady-period` rule in `madmax-verify` cross-checks the simulated
+//! steady-state inter-token period against the analytic period derived
+//! from cached [`StageCosts`]. `Scenario::analytic_serve(false)` opts a
+//! caller out entirely.
+//!
 //! **PipelineCostTable sharing contract**: `madmax-dse` builds one table
 //! per search (`PipelineCostTable::ensure_plan` for every candidate,
 //! before spawning workers) and shares it read-only (`&PipelineCostTable`

@@ -374,7 +374,6 @@ pub fn build_serve_trace_into(
     let mut latest_token: Vec<Option<OpId>> = (0..m).map(|g| fwd_done[p - 1][g]).collect();
 
     for t in 0..decode_len {
-        let kv_len = (kv_start + t) as f64;
         for (g, token) in latest_token.iter_mut().enumerate() {
             let unit = (t * m + g) as u32;
             let mut carry: Option<OpId> = None; // previous stage's send
@@ -404,7 +403,12 @@ pub fn build_serve_trace_into(
                     stream: StreamId::StageCompute(stage),
                     kind,
                     phase: Phase::Decode,
-                    duration: c.fwd_compute + c.kv_read_per_token * kv_len,
+                    duration: madmax_core::decode_compute_duration(
+                        c.fwd_compute,
+                        c.kv_read_per_token,
+                        kv_start as f64,
+                        t as u32,
+                    ),
                     deps,
                 });
                 let out = comm_ops(
@@ -434,6 +438,12 @@ pub fn build_serve_trace_into(
             }
         }
     }
+
+    // Serve traces live on the duration grid (see `madmax_core::steady`):
+    // quantizing every duration — prefill and decode alike — makes all
+    // scheduled times exact, which is what lets the closed-form decode
+    // evaluator reproduce the full simulation bit for bit.
+    trace.map_durations_from(0, madmax_core::quantize);
 }
 
 /// Builds uniform synthetic stage costs — handy for schedule-shape tests

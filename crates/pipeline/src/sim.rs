@@ -241,11 +241,20 @@ pub fn run_pipelined_scratch(
 /// [`run_pipelined`] with the same inputs, but no partitioning, memory
 /// derivation, or cost-model pricing runs per candidate (everything comes
 /// from the table) and the trace arena, schedule, and stream-slot table in
-/// `scratch` are recycled across calls. When the candidate's assembly
-/// inputs are identical to the previous call's (same priced stages and —
-/// for serve workloads, whose decode stream is schedule-independent — any
-/// schedule), the memoized report is returned without re-assembling at
-/// all.
+/// `scratch` are recycled across calls. Two layers collapse repeated
+/// work further:
+///
+/// - a candidate whose assembly inputs were already evaluated through
+///   this table — by *any* worker; the memo store is shared — returns the
+///   memoized report without re-assembling (for serve workloads the
+///   decode stream is schedule-independent, so the GPipe/1F1B pair of a
+///   sweep shares one entry);
+/// - serve candidates with long decode streams are evaluated by the
+///   closed-form steady-state path (`madmax_core::steady`): only the
+///   prefill and a short transient token prefix are assembled, the
+///   remaining tokens advance in exact integer arithmetic, and the
+///   synthesized report is byte-identical to full simulation (automatic
+///   fallback when the exactness conditions fail).
 ///
 /// # Errors
 ///
@@ -261,13 +270,47 @@ pub fn run_pipelined_cached(
     scratch: &mut EngineScratch,
 ) -> Result<IterationReport, PlanError> {
     let priced = table.priced_for(plan)?;
-    if let Some(memo) = &scratch.pipeline_memo {
-        if memo.key == priced.memo_key {
-            table.memo_counters().hit();
-            return Ok(memo.report.clone());
-        }
+    if let Some(report) = table.memo_lookup(priced.memo_key) {
+        table.memo_counters().hit();
+        return Ok(report);
     }
     table.memo_counters().miss();
+
+    // Closed-form steady-state path: assemble only prefill + transient
+    // tokens, advance the rest analytically (byte-identical or fallback).
+    if let Some((decode, decode_len)) = priced.decode {
+        if table.analytic_serve() && decode_len >= madmax_core::steady::MIN_ANALYTIC_DECODE {
+            let explicit = madmax_core::steady::EXPLICIT_TOKENS;
+            let _span = madmax_core::prof::span("steady.pipeline");
+            build_serve_trace_into(
+                priced.primary,
+                decode,
+                &priced.cfg,
+                explicit,
+                priced.prompt_len,
+                &mut scratch.trace,
+            );
+            let model = table.report_model();
+            let dims = madmax_core::ServeDims {
+                prompt_len: priced.prompt_len,
+                decode_len,
+                decode_batch: model.global_batch,
+            };
+            if let Some(report) = madmax_core::evaluate_serve_prefix(
+                &scratch.trace,
+                explicit,
+                &dims,
+                model,
+                priced.memory,
+                &mut scratch.steady,
+            ) {
+                table.analytic_counters().hit();
+                table.memo_insert(priced.memo_key, &report);
+                return Ok(report);
+            }
+        }
+    }
+
     {
         let _span = madmax_core::prof::span("assemble.pipeline");
         match priced.decode {
@@ -301,6 +344,7 @@ pub fn run_pipelined_cached(
         &mut scratch.report,
     );
     if let Some((_, decode_len)) = priced.decode {
+        table.analytic_counters().miss();
         report.serve = Some(serve_stats_from(
             &scratch.trace,
             &scratch.sched,
@@ -309,10 +353,7 @@ pub fn run_pipelined_cached(
             model.global_batch,
         ));
     }
-    scratch.pipeline_memo = Some(madmax_core::ReportMemo {
-        key: priced.memo_key,
-        report: report.clone(),
-    });
+    table.memo_insert(priced.memo_key, &report);
     Ok(report)
 }
 

@@ -43,8 +43,11 @@
 //! `price_pipelined`'s exact error at evaluation time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use madmax_core::{CacheCounters, CacheStats, CollectiveModel, UtilizationModel};
+use madmax_core::{
+    CacheCounters, CacheStats, CollectiveModel, IterationReport, ReportMemo, UtilizationModel,
+};
 use madmax_hw::ClusterSpec;
 use madmax_model::{LayerClass, ModelArch};
 use madmax_parallel::{
@@ -153,6 +156,9 @@ pub struct PipelineCostTable<'a> {
     /// assignment-key dimensions).
     classes: Vec<LayerClass>,
     generation: u64,
+    /// Whether `run_pipelined_cached` may use the closed-form steady-state
+    /// decode evaluator (`madmax_core::steady`) for serve candidates.
+    analytic_serve: bool,
     /// Running phase-cost entry counter (memo ids).
     entries: usize,
     depths: Vec<(usize, Result<DepthEntry, PlanError>)>,
@@ -160,11 +166,26 @@ pub struct PipelineCostTable<'a> {
     /// `(depth, assignment, microbatches)` key was already priced, one
     /// miss per fresh phase-cost entry.
     counters: CacheCounters,
-    /// Report-memo telemetry, bumped by `run_pipelined_cached` (the memo
-    /// itself lives in each worker's scratch; the shared table is the only
-    /// place all workers can see).
+    /// Report-memo telemetry, bumped by `run_pipelined_cached`.
     memo_counters: CacheCounters,
+    /// Closed-form-vs-fallback telemetry for serve evaluations (one hit
+    /// per report synthesized by the steady-state evaluator, one miss per
+    /// serve candidate that fell back to full simulation).
+    analytic_counters: CacheCounters,
+    /// Keyed most-recently-used store of memoized reports, shared across
+    /// every worker evaluating through this table: two candidates with
+    /// equal memo keys (e.g. the GPipe/1F1B pair of a serve search, whose
+    /// decode stream is schedule-independent) build byte-identical
+    /// reports, so whichever worker assembles first saves everyone else
+    /// the work — regardless of candidate order or worker assignment.
+    memo: Mutex<Vec<ReportMemo>>,
 }
+
+/// Retained [`ReportMemo`] entries: enough to cover every live
+/// (depth, assignment, microbatches) key of a typical joint-search sweep
+/// between revisits, small enough that lookup stays a cache-friendly
+/// linear scan.
+const MEMO_CAPACITY: usize = 64;
 
 impl<'a> PipelineCostTable<'a> {
     /// Creates an empty table for one `(model, cluster, workload)`
@@ -211,10 +232,13 @@ impl<'a> PipelineCostTable<'a> {
             utilization,
             classes,
             generation: TABLE_GENERATION.fetch_add(1, Ordering::Relaxed) + 1,
+            analytic_serve: true,
             entries: 0,
             depths: Vec::new(),
             counters: CacheCounters::new(),
             memo_counters: CacheCounters::new(),
+            analytic_counters: CacheCounters::new(),
+            memo: Mutex::new(Vec::new()),
         }
     }
 
@@ -241,6 +265,59 @@ impl<'a> PipelineCostTable<'a> {
         &self.memo_counters
     }
 
+    /// Snapshot of the closed-form-vs-fallback counters: one hit per serve
+    /// report synthesized by the steady-state evaluator
+    /// (`madmax_core::steady`), one miss per serve candidate assembled and
+    /// simulated in full (fallback, opt-out, or short decode).
+    pub fn analytic_stats(&self) -> CacheStats {
+        self.analytic_counters.snapshot()
+    }
+
+    /// The closed-form-vs-fallback counter pair (crate-internal).
+    pub(crate) fn analytic_counters(&self) -> &CacheCounters {
+        &self.analytic_counters
+    }
+
+    /// Looks up a memoized report by its assembly-input key, refreshing
+    /// its recency on a hit.
+    pub(crate) fn memo_lookup(&self, key: (u64, usize, u8)) -> Option<IterationReport> {
+        let mut memo = self.memo.lock().expect("memo lock poisoned");
+        let i = memo.iter().position(|m| m.key == key)?;
+        memo[..=i].rotate_right(1);
+        Some(memo[0].report.clone())
+    }
+
+    /// Stores a freshly evaluated report under its assembly-input key.
+    /// Reports for equal keys are byte-identical by construction, so a
+    /// racing duplicate from another worker is simply kept (it refreshes
+    /// recency either way); the least-recently-used entry is evicted past
+    /// capacity.
+    pub(crate) fn memo_insert(&self, key: (u64, usize, u8), report: &IterationReport) {
+        let mut memo = self.memo.lock().expect("memo lock poisoned");
+        match memo.iter().position(|m| m.key == key) {
+            Some(i) => memo[..=i].rotate_right(1),
+            None => {
+                memo.truncate(MEMO_CAPACITY - 1);
+                memo.insert(
+                    0,
+                    ReportMemo {
+                        key,
+                        report: report.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drops every memoized report (counters are untouched). Evaluation
+    /// is memo-transparent — reports for equal keys are byte-identical —
+    /// so this only affects *cost*: benchmarks and A/B validation call it
+    /// between iterations to measure the assembly or closed-form path
+    /// itself rather than a memo hit.
+    pub fn clear_memo(&self) {
+        self.memo.lock().expect("memo lock poisoned").clear();
+    }
+
     /// The model this table was priced for (the caller's handle, used for
     /// identity checks).
     pub fn model(&self) -> &'a ModelArch {
@@ -263,6 +340,31 @@ impl<'a> PipelineCostTable<'a> {
     /// The workload this table was priced for.
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// Whether the closed-form steady-state decode evaluator is enabled
+    /// for serve candidates assembled through this table (on by default;
+    /// it is byte-identical to full simulation, the knob exists for A/B
+    /// validation and as an escape hatch).
+    pub fn analytic_serve(&self) -> bool {
+        self.analytic_serve
+    }
+
+    /// Enables or disables the closed-form steady-state decode path.
+    pub fn set_analytic_serve(&mut self, on: bool) {
+        self.analytic_serve = on;
+    }
+
+    /// The serve-stream dimensions of this table's workload, when it has
+    /// a decode phase (inputs to the closed-form decode evaluator).
+    pub fn serve_dims(&self) -> Option<madmax_core::ServeDims> {
+        self.decode_model.as_deref()?;
+        let model = self.report_model();
+        Some(madmax_core::ServeDims {
+            prompt_len: model.context_length,
+            decode_len: self.decode_len,
+            decode_batch: model.global_batch,
+        })
     }
 
     /// The strategies `plan` assigns to the model's classes, in the

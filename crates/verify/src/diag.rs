@@ -71,6 +71,14 @@ pub enum RuleId {
     /// Pipeline: a GPipe schedule's measured bubble fraction respects the
     /// analytic floor `(p - 1) / (m + p - 1)`.
     BubbleFloor,
+    /// Pipeline: in the steady decode region of a serve schedule, each
+    /// token's completion follows the previous token's by at least the
+    /// analytic steady period `max(Σ_s (d_s + comm_s + send_s),
+    /// max_s m·d_s)` re-derived from the trace's per-stage decode
+    /// durations (error when faster — the dependency structure and stage
+    /// work forbid it; warn when slower than the period plus the KV-growth
+    /// slack — steady-state scheduling inefficiency).
+    SteadyPeriod,
     /// Analysis: the critical-path lower bound must not exceed the
     /// makespan.
     CriticalPath,
@@ -99,6 +107,7 @@ impl RuleId {
             RuleId::StageAdjacency => "stage-adjacency",
             RuleId::InFlight => "in-flight",
             RuleId::BubbleFloor => "bubble-floor",
+            RuleId::SteadyPeriod => "steady-period",
             RuleId::CriticalPath => "critical-path",
             RuleId::StreamSlack => "stream-slack",
         }

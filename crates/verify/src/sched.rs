@@ -143,6 +143,7 @@ pub(crate) fn check_schedule(
     if let Some(cfg) = pipeline {
         check_in_flight(trace, sched, cfg, out);
         check_bubble_floor(trace, sched, cfg, out);
+        check_steady_period(trace, sched, cfg, out);
     }
 }
 
@@ -269,6 +270,176 @@ fn check_in_flight(trace: &Trace, sched: &Schedule, cfg: &PipelineConfig, out: &
                     "1F1B keeps {peak} microbatches in flight on stage {stage}, above the \
                      pipeline depth {}",
                     cfg.stages
+                ),
+            ));
+        }
+    }
+}
+
+/// Shortest decode a steady-period check needs: the first tokens carry
+/// the prefill-drain and pipeline-fill transient, so the rule examines
+/// the last quarter of a decode run and wants that window clear of it.
+const MIN_STEADY_DECODE: usize = 24;
+
+/// Element-wise near-equality for per-group duration triples (engine
+/// traces are exact on the duration grid; the slack only tolerates
+/// non-quantized hand-built traces).
+fn durations_match(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x - y).abs() <= 1e-12 * x.abs().max(y.abs()))
+}
+
+/// Steady-state decode periodicity of pipelined serve schedules.
+///
+/// With `m` microbatch groups in flight, decode token `t` costs each
+/// stage `s` one compute op of duration `d_s(t)` per group plus blocking
+/// collectives `comm_s(t)` and the P2P token send `send_s(t)`. Two
+/// independent arguments bound how fast token completions can follow one
+/// another in steady state:
+///
+/// - **traversal**: a group's token must cross every stage after its
+///   previous token left the last one, so consecutive completions are at
+///   least `chain(t) = Σ_s (d_s(t) + comm_s(t) + send_s(t))` apart;
+/// - **throughput**: stage `s` serializes `m` compute ops per token on
+///   its stream, so the steady period is at least `m · d_s(t)`.
+///
+/// The analytic period `P(t) = max(chain(t), max_s m·d_s(t))` is exact
+/// for the engine's dense FIFO schedules: the measured inter-token gap
+/// equals `P(t)` when durations are token-independent and lands in
+/// `[P(t-1), P(t) + p·growth(t)]` when the KV read stretches decode
+/// steps (the compute-bound regime lags the growth by one token, the
+/// chain-bound regime leads it by up to one traversal). A gap below
+/// `P(t-1)` is impossible for any legal schedule of the trace — error;
+/// a gap above the upper edge means the scheduler left steady-state
+/// throughput on the table — warning.
+///
+/// The rule quietly skips traces outside the closed form's domain:
+/// decodes shorter than [`MIN_STEADY_DECODE`], groups with non-uniform
+/// durations, or tokens with missing ops (those are flagged by the
+/// structural rules instead).
+fn check_steady_period(
+    trace: &Trace,
+    sched: &Schedule,
+    cfg: &PipelineConfig,
+    out: &mut VerifyReport,
+) {
+    let m = cfg.microbatches;
+    let p = cfg.stages;
+    if m == 0 || p == 0 {
+        return;
+    }
+    // Per-(stage, token, group) durations: [compute, collectives, send].
+    let mut per: HashMap<(usize, usize, usize), [f64; 3]> = HashMap::new();
+    let mut decode_len = 0usize;
+    for op in trace.ops() {
+        if op.phase != Phase::Decode {
+            continue;
+        }
+        let (stage, mb, slot) = match op.name {
+            OpName::StagePass {
+                stage,
+                dir: PassDir::Dec,
+                mb,
+            } => (stage, mb, 0),
+            OpName::StagePassColl {
+                stage,
+                dir: PassDir::Dec,
+                mb,
+                ..
+            } => (stage, mb, 1),
+            OpName::StageSendTok { stage, mb } => (stage, mb, 2),
+            _ => continue,
+        };
+        let (s, t, g) = (stage as usize, mb as usize / m, mb as usize % m);
+        if s >= p {
+            return; // stage out of range: the structural rules flag it
+        }
+        decode_len = decode_len.max(t + 1);
+        per.entry((s, t, g)).or_default()[slot] += op.duration.as_secs();
+    }
+    if decode_len < MIN_STEADY_DECODE {
+        return;
+    }
+    // One duration triple per (stage, token), uniform across groups.
+    let mut dur = vec![[0.0f64; 3]; p * decode_len];
+    for s in 0..p {
+        for t in 0..decode_len {
+            let Some(base) = per.get(&(s, t, 0)) else {
+                return;
+            };
+            for g in 1..m {
+                match per.get(&(s, t, g)) {
+                    Some(v) if durations_match(v, base) => {}
+                    _ => return,
+                }
+            }
+            dur[s * decode_len + t] = *base;
+        }
+    }
+    let mut completion = vec![0.0f64; decode_len];
+    for (i, op) in trace.ops().iter().enumerate() {
+        let mb = match op.name {
+            OpName::StagePass {
+                dir: PassDir::Dec,
+                mb,
+                ..
+            } if op.phase == Phase::Decode => mb,
+            OpName::StagePassColl {
+                dir: PassDir::Dec,
+                mb,
+                ..
+            } if op.phase == Phase::Decode => mb,
+            OpName::StageSendTok { mb, .. } => mb,
+            _ => continue,
+        };
+        let t = mb as usize / m;
+        let f = sched.windows[i].finish.as_secs();
+        if f > completion[t] {
+            completion[t] = f;
+        }
+    }
+    let period = |t: usize| {
+        let mut chain = 0.0f64;
+        let mut throughput = 0.0f64;
+        for s in 0..p {
+            let [d, comm, send] = dur[s * decode_len + t];
+            chain += d + comm + send;
+            throughput = throughput.max(m as f64 * d);
+        }
+        chain.max(throughput)
+    };
+    // Steady window: the last quarter of the decode run (at least two
+    // tokens), past the prefill-drain and fill transients.
+    let lo = (decode_len - (decode_len / 4).max(2)).max(1);
+    for t in lo..decode_len {
+        let measured = completion[t] - completion[t - 1];
+        let floor = period(t - 1);
+        let ceiling = period(t);
+        let growth: f64 = (0..p)
+            .map(|s| (dur[s * decode_len + t][0] - dur[s * decode_len + t - 1][0]).max(0.0))
+            .sum();
+        let slack = growth * p as f64;
+        let tol = 1e-9 * ceiling.max(1e-30);
+        if measured + tol < floor {
+            out.push(Diagnostic::error(
+                RuleId::SteadyPeriod,
+                Location::Global,
+                format!(
+                    "decode token {t} completes {measured:.6e}s after token {}, below the \
+                     analytic steady period {floor:.6e}s — faster than the stage costs allow",
+                    t - 1
+                ),
+            ));
+        } else if measured > ceiling + slack + tol {
+            out.push(Diagnostic::warn(
+                RuleId::SteadyPeriod,
+                Location::Global,
+                format!(
+                    "decode token {t} completes {measured:.6e}s after token {}, above the \
+                     analytic steady period {ceiling:.6e}s (+ {slack:.1e}s KV-growth slack) — \
+                     steady-state throughput left on the table",
+                    t - 1
                 ),
             ));
         }

@@ -295,6 +295,11 @@ fn cached_fast_path_is_byte_identical_across_the_zoo() {
             Workload::pretrain(),
             Workload::inference(),
             Workload::serve(ServeConfig::new(256, 8)),
+            // Long enough decode for the closed-form steady-state path:
+            // the cached run takes it (tables default analytic-on) while
+            // `Scenario::run` always simulates in full, so this pins the
+            // analytic reports byte-for-byte across the zoo.
+            Workload::serve(ServeConfig::new(256, 48)),
         ] {
             for plan in &plans {
                 let scenario = Scenario::new(&model, &sys).workload_ref(&workload);
@@ -328,6 +333,137 @@ fn cached_fast_path_is_byte_identical_across_the_zoo() {
             }
         }
     }
+}
+
+#[test]
+fn analytic_serve_toggle_is_report_invisible_across_the_zoo() {
+    // `Scenario::analytic_serve(false)` opts serve evaluation out of the
+    // closed-form steady-state decode path; flipping it must never change
+    // a report, for any model in the zoo, flat or pipelined, under either
+    // pipeline schedule. The analytic counters prove both sides ran the
+    // path they claim: the `on` table synthesizes exactly one report per
+    // evaluation whenever the model decodes and the schedule fits the
+    // exact grid range (LLM-MoE's multi-thousand-second serve spans
+    // exceed it and legitimately fall back), the `off` table none.
+    let mut scratch = EngineScratch::new();
+    let workload = Workload::serve(ServeConfig::new(256, 64));
+    for id in ModelId::ALL {
+        let model = id.build();
+        let sys = system_for(id);
+        let decodes = workload.decode_model(&model).is_some();
+        let base = Plan::fsdp_baseline(&model);
+        let mut plans = vec![base.clone()];
+        for schedule in [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB] {
+            let mut piped = base.clone().with_pipeline(PipelineConfig {
+                stages: 4,
+                microbatches: 8,
+                schedule,
+            });
+            piped.options.ignore_memory_limits = true;
+            plans.push(piped);
+        }
+        for plan in &plans {
+            let on = Scenario::new(&model, &sys)
+                .workload_ref(&workload)
+                .plan_ref(plan);
+            let on_table = on.price_plans(std::slice::from_ref(plan));
+            let on_pp = on.price_pipeline_plans(std::slice::from_ref(plan));
+            let fast = on
+                .costs(&on_table)
+                .pipeline_costs(&on_pp)
+                .run_in(&mut scratch);
+            let off = Scenario::new(&model, &sys)
+                .workload_ref(&workload)
+                .plan_ref(plan)
+                .analytic_serve(false);
+            let off_table = off.price_plans(std::slice::from_ref(plan));
+            let off_pp = off.price_pipeline_plans(std::slice::from_ref(plan));
+            let full = off
+                .costs(&off_table)
+                .pipeline_costs(&off_pp)
+                .run_in(&mut scratch);
+            match (fast, full) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "{id} {}", plan.summary());
+                    let in_range = madmax_core::steady::fits_grid_range(b.iteration_time)
+                        && madmax_core::steady::fits_grid_range(b.serialized_time);
+                    let synthesized = on_table.analytic_stats().hits + on_pp.analytic_stats().hits;
+                    assert_eq!(
+                        synthesized,
+                        u64::from(decodes && in_range),
+                        "{id} {}: analytic path engagement",
+                        plan.summary()
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{id} {}: errors differ", plan.summary()),
+                (a, b) => panic!("{id} {}: divergent outcomes {a:?} vs {b:?}", plan.summary()),
+            }
+            assert_eq!(
+                off_table.analytic_stats().hits + off_pp.analytic_stats().hits,
+                0,
+                "{id} {}: opted-out table synthesized a report",
+                plan.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_report_memo_is_shared_across_schedules_and_scratches() {
+    // The report memo lives on the `PipelineCostTable`, not the worker
+    // scratch: whichever worker evaluates a memo key first saves every
+    // other worker the assembly, and a serve decode stream is
+    // schedule-independent, so the GPipe/1F1B pair of a joint search
+    // shares one key. Evaluate the pair through one table with two
+    // separate scratches (distinct workers) and watch the counters.
+    let model = ModelId::Llama2.build();
+    let sys = system_for(ModelId::Llama2);
+    let workload = Workload::serve(ServeConfig::new(512, 64).with_decode_batch(512));
+    let base = Plan::fsdp_baseline(&model);
+    let plans = [
+        base.clone().with_pipeline(PipelineConfig::gpipe(4, 8)),
+        base.with_pipeline(PipelineConfig::one_f_one_b(4, 8)),
+    ];
+    let pricer = Scenario::new(&model, &sys)
+        .workload_ref(&workload)
+        .plan_ref(&plans[0]);
+    let table = pricer.price_pipeline_plans(&plans);
+
+    let mut scratch_a = EngineScratch::new();
+    let gpipe = Scenario::new(&model, &sys)
+        .workload_ref(&workload)
+        .plan_ref(&plans[0])
+        .pipeline_costs(&table)
+        .run_in(&mut scratch_a)
+        .unwrap();
+    let first = table.memo_stats();
+    assert_eq!((first.hits, first.misses), (0, 1), "first evaluation");
+
+    let mut scratch_b = EngineScratch::new();
+    let one_f_one_b = Scenario::new(&model, &sys)
+        .workload_ref(&workload)
+        .plan_ref(&plans[1])
+        .pipeline_costs(&table)
+        .run_in(&mut scratch_b)
+        .unwrap();
+    let second = table.memo_stats();
+    assert_eq!(
+        (second.hits, second.misses),
+        (1, 1),
+        "the other schedule from a different scratch is a memo hit"
+    );
+    assert_eq!(gpipe, one_f_one_b, "memoized report is byte-identical");
+
+    // Re-evaluating either candidate stays a hit; the table never
+    // reassembles a key it has seen.
+    Scenario::new(&model, &sys)
+        .workload_ref(&workload)
+        .plan_ref(&plans[0])
+        .pipeline_costs(&table)
+        .run_in(&mut scratch_b)
+        .unwrap();
+    let third = table.memo_stats();
+    assert_eq!((third.hits, third.misses), (2, 1), "revisit");
 }
 
 #[test]

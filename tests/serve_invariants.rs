@@ -8,7 +8,12 @@
 //! - prefill outweighs any single decode step (compute *and* reported
 //!   TTFT vs TPOT);
 //! - pipelining the decode stream pays off: the decode bubble shrinks as
-//!   the decode batch (microbatch groups in flight) grows.
+//!   the decode batch (microbatch groups in flight) grows;
+//! - the closed-form steady-state decode path (`madmax_core::steady`)
+//!   produces reports byte-identical to full simulation, across
+//!   randomized depths, microbatch counts, decode lengths (spanning the
+//!   fallback boundary at `MIN_ANALYTIC_DECODE`), batches, and KV
+//!   settings, in both engines.
 
 use proptest::prelude::*;
 
@@ -160,6 +165,74 @@ proptest! {
                 "step {step}: {step_compute:?} exceeds prefill {prefill_compute:?}"
             );
         }
+    }
+
+    #[test]
+    fn analytic_steady_state_reports_are_byte_identical(
+        depth_idx in 0usize..3,
+        groups_idx in 0usize..3,
+        sched_idx in 0usize..2,
+        decode in 24usize..96,
+        per_group in 16usize..64,
+        kv in 0usize..2,
+    ) {
+        use madmax_core::sim::EngineScratch;
+        use madmax_core::steady::MIN_ANALYTIC_DECODE;
+
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let p = [2usize, 4, 8][depth_idx];
+        let m = [4usize, 8, 16][groups_idx];
+        let pipe = if sched_idx == 0 {
+            PipelineConfig::gpipe(p, m)
+        } else {
+            PipelineConfig::one_f_one_b(p, m)
+        };
+        let cfg = ServeConfig {
+            prompt_len: Some(256),
+            decode_len: decode,
+            decode_batch: Some(per_group * m),
+            kv_cache: kv == 1,
+        };
+        let workload = Workload::serve(cfg);
+        let expect_analytic = u64::from(decode >= MIN_ANALYTIC_DECODE);
+
+        // Flat engine: analytic-on vs analytic-off tables must agree
+        // byte for byte, and the analytic counter must reflect whether
+        // the closed form ran (the fallback boundary is exact).
+        let flat_plan = Plan::fsdp_baseline(&model);
+        let mut scratch = EngineScratch::new();
+        let on = Scenario::new(&model, &sys)
+            .workload(workload.clone())
+            .plan(flat_plan.clone());
+        let table_on = on.price_plans(std::slice::from_ref(&flat_plan));
+        let fast = on.costs(&table_on).run_in(&mut scratch).unwrap();
+        prop_assert_eq!(table_on.analytic_stats().hits, expect_analytic);
+        let off = Scenario::new(&model, &sys)
+            .workload(workload.clone())
+            .plan(flat_plan.clone())
+            .analytic_serve(false);
+        let table_off = off.price_plans(std::slice::from_ref(&flat_plan));
+        let full = off.costs(&table_off).run_in(&mut scratch).unwrap();
+        prop_assert_eq!(table_off.analytic_stats().hits, 0);
+        prop_assert_eq!(fast, full);
+
+        // Pipelined engine: same contract per (depth, schedule, groups).
+        let piped_plan = Plan::fsdp_baseline(&model).with_pipeline(pipe);
+        let on = Scenario::new(&model, &sys)
+            .workload(workload.clone())
+            .plan(piped_plan.clone());
+        let table_on = on.price_pipeline_plans(std::slice::from_ref(&piped_plan));
+        let fast = on.pipeline_costs(&table_on).run_in(&mut scratch).unwrap();
+        prop_assert_eq!(table_on.analytic_stats().hits, expect_analytic);
+        let off = Scenario::new(&model, &sys)
+            .workload(workload)
+            .plan(piped_plan.clone())
+            .analytic_serve(false);
+        let table_off = off.price_pipeline_plans(std::slice::from_ref(&piped_plan));
+        let full = off.pipeline_costs(&table_off).run_in(&mut scratch).unwrap();
+        prop_assert_eq!(table_off.analytic_stats().hits, 0);
+        prop_assert_eq!(fast, full);
     }
 
     #[test]

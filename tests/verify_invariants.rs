@@ -233,6 +233,96 @@ fn negated_duration_is_flagged() {
     }
 }
 
+/// The decode-stream unit index of a pipelined serve op (compute,
+/// blocking collective, or token send), if it has one.
+fn decode_unit(name: &OpName) -> Option<u32> {
+    match *name {
+        OpName::StagePass {
+            dir: PassDir::Dec,
+            mb,
+            ..
+        } => Some(mb),
+        OpName::StagePassColl {
+            dir: PassDir::Dec,
+            mb,
+            ..
+        } => Some(mb),
+        OpName::StageSendTok { mb, .. } => Some(mb),
+        _ => None,
+    }
+}
+
+#[test]
+fn compressed_steady_decode_tokens_are_flagged() {
+    use madmax_hw::units::Seconds;
+    use madmax_verify::Severity;
+
+    let sc = scenario("serve/steady-1f1b-llama2");
+    let (trace, sched) = run(&sc);
+    let m = sc.plan.pipeline.expect("pipelined scenario").microbatches;
+    let decode_len = trace
+        .ops()
+        .iter()
+        .filter_map(|o| decode_unit(&o.name))
+        .max()
+        .expect("pipelined serve trace has decode units") as usize
+        / m
+        + 1;
+    assert!(decode_len >= 24, "decode too short for the steady window");
+    let mut completion = vec![0.0f64; decode_len];
+    for (i, op) in trace.ops().iter().enumerate() {
+        if let Some(mb) = decode_unit(&op.name) {
+            let t = mb as usize / m;
+            completion[t] = completion[t].max(sched.windows[i].finish.as_secs());
+        }
+    }
+    // Shifts every op of decode tokens >= t by `delta` seconds.
+    let shift = |t: usize, delta: f64| {
+        let mut corrupt = sched.clone();
+        let mut makespan = 0.0f64;
+        for (i, op) in trace.ops().iter().enumerate() {
+            if decode_unit(&op.name).is_some_and(|mb| mb as usize / m >= t) {
+                corrupt.windows[i].start = Seconds::new(corrupt.windows[i].start.as_secs() + delta);
+                corrupt.windows[i].finish =
+                    Seconds::new(corrupt.windows[i].finish.as_secs() + delta);
+            }
+            makespan = makespan.max(corrupt.windows[i].finish.as_secs());
+        }
+        corrupt.makespan = Seconds::new(makespan);
+        corrupt
+    };
+
+    let lo = decode_len - (decode_len / 4).max(2);
+    let mut rng = Rng(0x1234_5678_9abc_def1);
+    for _ in 0..3 {
+        let t = lo + rng.pick(decode_len - lo);
+        let gap = completion[t] - completion[t - 1];
+        // Compress the inter-token gap at t well below the analytic
+        // period: impossibly fast for the stage costs.
+        let fast = shift(t, -0.3 * gap);
+        let report = verifier(&sc).verify(&trace, &fast);
+        assert!(
+            report
+                .of(RuleId::SteadyPeriod)
+                .any(|d| d.severity == Severity::Error),
+            "compressed steady gap at token {t} not flagged:\n{report}"
+        );
+        // Stretch it instead: legal but leaving throughput on the table.
+        let slow = shift(t, 3.0 * gap);
+        let report = verifier(&sc).verify(&trace, &slow);
+        assert!(
+            report
+                .of(RuleId::SteadyPeriod)
+                .any(|d| d.severity == Severity::Warn),
+            "stretched steady gap at token {t} not flagged:\n{report}"
+        );
+        assert!(
+            report.is_clean(),
+            "stretching a suffix must stay legal:\n{report}"
+        );
+    }
+}
+
 #[test]
 fn reordered_decode_steps_are_flagged() {
     let sc = scenario("serve/flat-llama2");
