@@ -1,8 +1,10 @@
 //! Performance-trajectory harness: times `Explorer::explore()` on the
 //! fig10-style joint strategy searches, the pipeline-schedule grids and
-//! joint strategy x pipeline searches, and the serve-mode (`fig_serve`)
-//! searches, then writes a machine-readable `BENCH_PR<n>.json` at the
-//! repository root. Each PR that claims a hot-path win (or adds a new
+//! joint strategy x pipeline searches, the serve-mode (`fig_serve`)
+//! searches, and the continuous-batching load paths (`serve_load/...`:
+//! event-driven vs naive per-token simulation at long decode lengths,
+//! plus the SLO goodput search), then writes a machine-readable
+//! `BENCH_PR<n>.json` at the repository root. Each PR that claims a hot-path win (or adds a new
 //! search family) re-runs this bin and commits the new point, so the perf
 //! history is a series of comparable JSON files rather than anecdotes.
 //!
@@ -34,10 +36,12 @@
 
 use std::time::Instant;
 
-use madmax_dse::{Explorer, PipelineAxes, SearchSpace, ServeAxes};
+use madmax_dse::{Explorer, LoadAxes, PipelineAxes, SearchSpace, ServeAxes};
+use madmax_engine::{Scenario, SimMode};
+use madmax_hw::units::Seconds;
 use madmax_hw::{catalog, DeviceScaling};
 use madmax_model::{LayerClass, ModelId};
-use madmax_parallel::{PipelineConfig, PipelineSchedule, Plan, ServeConfig, Workload};
+use madmax_parallel::{LoadSpec, PipelineConfig, PipelineSchedule, Plan, ServeConfig, Workload};
 use serde::{Deserialize, Serialize};
 
 /// One timed search, as emitted (and re-read via `--baseline`) by this
@@ -338,6 +342,87 @@ fn main() {
                 );
             }
         }
+    }
+
+    // Continuous-batching load simulator: event-driven vs the naive
+    // per-token reference on long-decode streams. The event mode
+    // collapses homogeneous decode runs with the closed-form series
+    // re-entry, so its advantage grows with the decode length; both
+    // modes must stay byte-identical on the request-visible report.
+    {
+        let model = ModelId::Llama2.build();
+        let system = catalog::llama_llm_system();
+        for decode in [256usize, 1024] {
+            let workload = Workload::serve(ServeConfig::new(256, decode).with_decode_batch(8));
+            let spec = LoadSpec::poisson(0.02, 32, 9).with_kv_blocks(16_384);
+            let scenario = Scenario::new(&model, &system).workload_ref(&workload);
+            let costs = scenario.price_load(&spec).expect("load prices");
+            let event = scenario
+                .serve_load_priced(&spec, &costs, SimMode::Event, None)
+                .expect("event run");
+            let naive = scenario
+                .serve_load_priced(&spec, &costs, SimMode::PerToken, None)
+                .expect("per-token run");
+            assert_eq!(event.report, naive.report, "modes must agree byte-for-byte");
+            let mut walls = [0.0f64; 2];
+            for (i, (label, mode)) in [("event", SimMode::Event), ("pertoken", SimMode::PerToken)]
+                .into_iter()
+                .enumerate()
+            {
+                walls[i] = record(
+                    &mut records,
+                    &baseline,
+                    format!("serve_load/{}/{label}@dec{decode}", ModelId::Llama2),
+                    spec.arrivals.count(),
+                    1,
+                    reps,
+                    None,
+                    || {
+                        scenario
+                            .serve_load_priced(&spec, &costs, mode, None)
+                            .expect("load run");
+                    },
+                );
+            }
+            println!(
+                "serve_load event vs per-token @dec{decode}: {:.1}x faster",
+                walls[1] / walls[0]
+            );
+        }
+
+        // The SLO-constrained goodput search end-to-end: candidates
+        // priced once, every arrival rate simulated in event mode.
+        let axes = LoadAxes::new(
+            LoadSpec::poisson(0.02, 16, 9).with_kv_blocks(8192),
+            [0.02, 0.1, 0.5],
+        )
+        .with_slo_ttft_p99(Seconds::new(60.0));
+        let explorer = Explorer::new(&model, &system)
+            .workload(Workload::serve(
+                ServeConfig::new(256, 64).with_decode_batch(8),
+            ))
+            .space(SearchSpace::default().with_pipeline(PipelineAxes {
+                stages: vec![1, 2, 4, 8],
+                microbatches: vec![8],
+                schedules: vec![PipelineSchedule::GPipe],
+            }));
+        let outcome = explorer.explore_load(&axes).expect("load search runs");
+        record(
+            &mut records,
+            &baseline,
+            format!("serve_load_search/{}", ModelId::Llama2),
+            outcome.evaluated,
+            1,
+            reps,
+            None,
+            || {
+                let o = explorer.explore_load(&axes).expect("load search runs");
+                assert_eq!(
+                    o.best_candidate, outcome.best_candidate,
+                    "non-deterministic load search"
+                );
+            },
+        );
     }
 
     let lines: Vec<String> = records

@@ -1,0 +1,11 @@
+//! `fig_serve_load` — continuous-batching load scenarios: arrival-rate
+//! sweeps over the LLM zoo (TTFT/TPOT percentile curves from idle to
+//! saturation) and the SLO-constrained goodput search with its
+//! latency-vs-throughput frontier.
+//! Flags (shared across the DSE-heavy bins): `--threads N`,
+//! `--progress N`, `--telemetry PATH`.
+fn main() {
+    let cli = madmax_bench::BenchCli::from_args("fig_serve_load");
+    let report = cli.run(madmax_bench::experiments::serve_load_figs::fig_serve_load);
+    madmax_bench::emit("fig_serve_load", &report);
+}

@@ -12,7 +12,32 @@
 //! madmax config   --model dlrm-b --out /tmp/cfgs   # emit the 3 JSON files
 //! madmax simulate --config-dir /tmp/cfgs           # run from JSON configs
 //! madmax verify [--only pipeline]                  # verify corpus schedules
+//! madmax simulate --model llama2 --system llama --task serve \
+//!        --prompt 256 --decode 64 --decode-batch 8 \
+//!        --arrival-rate 0.1 --arrival-count 64     # continuous batching
+//! madmax search   --model llama2 --system llama --task serve \
+//!        --prompt 256 --decode 64 --decode-batch 8 \
+//!        --arrival-rate 0.05,0.2,1 --slo-ttft-p99 30   # SLO goodput search
 //! ```
+//!
+//! Continuous-batching load flags (simulate and search, serve task):
+//!
+//! - `--arrival-rate R` — seeded Poisson arrivals at `R` requests/second
+//!   (`search` accepts a comma-separated rate ladder and sweeps it);
+//!   `--arrival-count N` / `--arrival-seed S` shape the stream.
+//! - `--arrival-trace PATH` — JSONL request trace instead of Poisson,
+//!   one `{"arrival": s, "prompt_len": n, "decode_len": m}` per line.
+//! - `--kv-blocks B`, `--queue-cap Q`, `--eviction`, `--horizon S` —
+//!   paged KV budget, admission-queue bound, eviction+recompute policy,
+//!   and run cutoff.
+//! - `--slo-ttft-p99 S` — p99 time-to-first-token SLO in seconds:
+//!   `simulate` reports goodput under it, `search` ranks candidates by
+//!   throughput subject to it.
+//! - With `--progress N`, request completions tick on stderr; with
+//!   `--verify`, the load trace runs the `request-lifecycle` and
+//!   `paged-kv-residency` rules; with `--emit-trace PATH`, per-request
+//!   Perfetto tracks (queue wait, KV residency, engine timeline) are
+//!   exported.
 //!
 //! Observability flags:
 //!
@@ -39,12 +64,14 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use madmax_core::config::{ExperimentSpec, SimulationConfig};
-use madmax_dse::{Explorer, SearchSpace};
-use madmax_engine::Scenario;
+use madmax_dse::{Explorer, LoadAxes, SearchSpace};
+use madmax_engine::{Scenario, SimMode};
+use madmax_hw::units::Seconds;
 use madmax_hw::{catalog, ClusterSpec};
 use madmax_model::{LayerClass, ModelArch, ModelId};
-use madmax_obs::{ChromeTrace, StderrTicker};
-use madmax_parallel::{HierStrategy, Plan, ServeConfig, Workload};
+use madmax_obs::{forward_to_sink, ChromeTrace, LoadTelemetry, ProgressSink, StderrTicker};
+use madmax_parallel::{HierStrategy, LoadSpec, Plan, ServeConfig, Workload};
+use madmax_serve::parse_request_jsonl;
 
 fn models() -> BTreeMap<&'static str, ModelId> {
     BTreeMap::from([
@@ -74,7 +101,7 @@ fn systems() -> BTreeMap<&'static str, fn() -> ClusterSpec> {
 }
 
 /// Flags that take no value (presence alone means `true`).
-const BOOL_FLAGS: &[&str] = &["verify"];
+const BOOL_FLAGS: &[&str] = &["verify", "eviction"];
 
 struct Args {
     flags: BTreeMap<String, String>,
@@ -142,6 +169,170 @@ fn parse_workload(args: &Args) -> Result<Workload, String> {
         }
         other => Err(format!("unknown task `{other}`")),
     }
+}
+
+/// Parses an optional numeric flag.
+fn parse_num<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, String> {
+    args.get(key)
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| format!("--{key} expects a number"))
+        })
+        .transpose()
+}
+
+/// Parses `--arrival-rate`: one rate for `simulate`, a comma-separated
+/// ladder for `search` (e.g. `--arrival-rate 0.05,0.2,1`).
+fn parse_rates(args: &Args) -> Result<Option<Vec<f64>>, String> {
+    args.get("arrival-rate")
+        .map(|v| {
+            v.split(',')
+                .map(|r| {
+                    r.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("--arrival-rate: `{r}` is not a number"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+        })
+        .transpose()
+}
+
+/// Parses the continuous-batching load flags into a [`LoadSpec`], when
+/// any arrival process is requested. `--arrival-rate R` (with
+/// `--arrival-count` / `--arrival-seed`) builds a seeded Poisson stream;
+/// `--arrival-trace PATH` reads a JSONL request trace (one
+/// `{"arrival": s, "prompt_len": n, "decode_len": m}` object per line).
+/// `--kv-blocks`, `--queue-cap`, `--eviction`, and `--horizon` shape the
+/// paged KV budget and admission queue of either process.
+fn parse_load_spec(args: &Args) -> Result<Option<LoadSpec>, String> {
+    let rates = parse_rates(args)?;
+    let mut spec = match (&rates, args.get("arrival-trace")) {
+        (Some(_), Some(_)) => {
+            return Err("--arrival-rate and --arrival-trace are mutually exclusive".to_owned());
+        }
+        (Some(rates), None) => {
+            let count = parse_num::<usize>(args, "arrival-count")?.unwrap_or(64);
+            let seed = parse_num::<u64>(args, "arrival-seed")?.unwrap_or(42);
+            LoadSpec::poisson(rates[0], count, seed)
+        }
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            LoadSpec::trace(parse_request_jsonl(&text).map_err(|e| e.to_string())?)
+        }
+        (None, None) => return Ok(None),
+    };
+    if let Some(blocks) = parse_num::<u64>(args, "kv-blocks")? {
+        spec = spec.with_kv_blocks(blocks);
+    }
+    if let Some(cap) = parse_num::<usize>(args, "queue-cap")? {
+        spec = spec.with_queue_capacity(cap);
+    }
+    if args.is_set("eviction") {
+        spec = spec.with_eviction(true);
+    }
+    if let Some(h) = parse_num::<f64>(args, "horizon")? {
+        spec = spec.with_horizon(h);
+    }
+    Ok(Some(spec))
+}
+
+/// Parses `--slo-ttft-p99` (seconds).
+fn parse_slo(args: &Args) -> Result<Option<Seconds>, String> {
+    Ok(parse_num::<f64>(args, "slo-ttft-p99")?.map(Seconds::new))
+}
+
+/// `simulate` with an arrival process: run the continuous-batching load
+/// simulator instead of the one-wave report.
+fn run_load_simulation(
+    model: &ModelArch,
+    system: &ClusterSpec,
+    plan: &Plan,
+    workload: &Workload,
+    spec: &LoadSpec,
+    args: &Args,
+) -> Result<(), String> {
+    let scenario = Scenario::new(model, system)
+        .plan_ref(plan)
+        .workload_ref(workload);
+    let costs = scenario.price_load(spec).map_err(|e| e.to_string())?;
+    let ticker = parse_num::<u64>(args, "progress")?.map(StderrTicker::every);
+    let started = std::time::Instant::now();
+    let outcome = match &ticker {
+        Some(t) => {
+            let mut hook = forward_to_sink(t);
+            scenario.serve_load_priced(spec, &costs, SimMode::Event, Some(&mut hook))
+        }
+        None => scenario.serve_load_priced(spec, &costs, SimMode::Event, None),
+    }
+    .map_err(|e| e.to_string())?;
+    let telemetry = LoadTelemetry::from_outcome(
+        &outcome,
+        SimMode::Event,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    if let Some(t) = &ticker {
+        t.load_finished(&telemetry);
+    }
+    let r = &outcome.report;
+    println!("workload:        {} ({workload})", model.name);
+    println!("system:          {}", system.name);
+    println!("plan:            {}", plan.summary());
+    println!(
+        "load:            {} arrivals | {} completed | {} rejected | {} evictions",
+        r.arrivals, r.completed, r.rejected, r.evictions
+    );
+    if let Some(t) = &r.ttft {
+        println!(
+            "ttft:            p50 {:.1} ms | p95 {:.1} ms | p99 {:.1} ms | max {:.1} ms",
+            t.p50.as_ms(),
+            t.p95.as_ms(),
+            t.p99.as_ms(),
+            t.max.as_ms()
+        );
+    }
+    if let Some(t) = &r.tpot {
+        println!(
+            "tpot:            p50 {:.2} ms | p95 {:.2} ms | p99 {:.2} ms",
+            t.p50.as_ms(),
+            t.p95.as_ms(),
+            t.p99.as_ms()
+        );
+    }
+    println!(
+        "goodput:         {:.1} tokens/s over a {:.3} s makespan",
+        r.tokens_per_sec,
+        r.makespan.as_secs()
+    );
+    if let Some(slo) = parse_slo(args)? {
+        let verdict = if r.meets_ttft_slo(slo) {
+            "met"
+        } else {
+            "violated"
+        };
+        println!(
+            "slo:             p99 TTFT <= {:.0} ms {verdict} | {:.1} tokens/s within SLO",
+            slo.as_ms(),
+            r.goodput_tokens_per_sec(slo)
+        );
+    }
+    println!(
+        "queue:           max depth {} | mean {:.2}",
+        r.max_queue_depth, r.mean_queue_depth
+    );
+    if let Some(total) = outcome.trace.total_blocks {
+        println!("kv blocks:       peak {} of {total}", r.peak_kv_blocks);
+    }
+    if let Some(path) = args.get("emit-trace") {
+        ChromeTrace::from_load_trace(&outcome.trace)
+            .write(path)
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("trace written to {path} (open at https://ui.perfetto.dev)");
+    }
+    if args.is_set("verify") {
+        finish_verify(&madmax_verify::verify_load(&outcome.trace))?;
+    }
+    Ok(())
 }
 
 fn lookup_model(args: &Args) -> Result<ModelArch, String> {
@@ -358,6 +549,9 @@ fn run() -> Result<(), String> {
             let system = lookup_system(&args)?;
             let workload = parse_workload(&args)?;
             let plan = build_plan(&model, &args)?;
+            if let Some(spec) = parse_load_spec(&args)? {
+                return run_load_simulation(&model, &system, &plan, &workload, &spec, &args);
+            }
             print_report(&model, &system, &plan, &workload)?;
             if let Some(path) = args.get("emit-trace") {
                 emit_trace(&model, &system, &plan, &workload, path)?;
@@ -398,6 +592,41 @@ fn run() -> Result<(), String> {
             if let Some(n) = args.get("threads") {
                 let n: usize = n.parse().map_err(|_| "--threads expects a number")?;
                 explorer = explorer.threads(n);
+            }
+            if let Some(spec) = parse_load_spec(&args)? {
+                let mut axes = LoadAxes::new(spec, parse_rates(&args)?.unwrap_or_default());
+                if let Some(slo) = parse_slo(&args)? {
+                    axes = axes.with_slo_ttft_p99(slo);
+                }
+                let r = explorer.explore_load(&axes).map_err(|e| e.to_string())?;
+                println!(
+                    "load search: {} candidates | {} load simulations",
+                    r.candidates.len(),
+                    r.evaluated
+                );
+                let best = r.best();
+                println!("best plan: {}", best.plan.summary());
+                match best.best_point {
+                    Some(i) => {
+                        let p = &best.points[i];
+                        println!(
+                            "best point: {:.3} req/s -> {:.1} tokens/s, p99 TTFT {:.1} ms",
+                            p.rate,
+                            p.report.tokens_per_sec,
+                            p.report.ttft.map_or(f64::NAN, |t| t.p99.as_ms())
+                        );
+                    }
+                    None => {
+                        println!(
+                            "no rate meets the SLO; showing the lowest-tail-latency candidate"
+                        );
+                    }
+                }
+                println!("frontier:  rate req/s   tokens/s   p99 TTFT s");
+                for (rate, tput, p99) in r.frontier() {
+                    println!("           {rate:>10.3} {tput:>10.1} {p99:>12.3}");
+                }
+                return Ok(());
             }
             let r = explorer.explore().map_err(|e| e.to_string())?;
             println!("evaluated {} plans ({} OOM)", r.evaluated, r.oom);

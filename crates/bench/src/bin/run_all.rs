@@ -80,6 +80,10 @@ fn main() {
             Box::new(move || e::pipeline_figs::fig_pipeline_schedules(h)),
         ),
         ("fig_serve", Box::new(move || e::serve_figs::fig_serve(h))),
+        (
+            "fig_serve_load",
+            Box::new(move || e::serve_load_figs::fig_serve_load(h)),
+        ),
         ("ablations", Box::new(e::ablations::run)),
     ];
     let mut summary = ElapsedSummary::new();

@@ -6,6 +6,7 @@ pub mod characterization;
 pub mod hardware_figs;
 pub mod pipeline_figs;
 pub mod serve_figs;
+pub mod serve_load_figs;
 pub mod strategy_figs;
 pub mod tables;
 pub mod validation_figs;

@@ -68,7 +68,8 @@ pub use sim::{
     EngineScratch, OpWindow, ReportMemo, Schedule, StreamTable,
 };
 pub use steady::{
-    decode_compute_duration, evaluate_serve_prefix, quantize, ServeDims, SteadyScratch,
+    affine_series_units, decode_compute_duration, evaluate_serve_prefix, first_series_crossing,
+    grid_seconds, grid_units, grid_units_round, quantize, ServeDims, SteadyScratch,
 };
 pub use trace::{
     intern_label, Deps, OpId, OpKind, OpName, PassDir, Phase, StreamId, Trace, TraceOp,

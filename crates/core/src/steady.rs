@@ -205,6 +205,106 @@ pub fn fits_grid_range(t: Seconds) -> bool {
     u.is_finite() && u >= 0.0 && u < MAX_UNITS as f64
 }
 
+// --- Event-layer re-entry API -------------------------------------------
+//
+// The continuous-batching load simulator (`madmax-serve`) layers an
+// event-driven clock on top of this module's duration grid: between
+// arrival/completion/eviction events the in-flight set is stable, every
+// decode step costs the same affine `c + r*k` grid units the certified
+// jump already extrapolates, and the event layer advances whole runs of
+// steps as closed-form series sums. These helpers expose exactly the
+// integer arithmetic that jump uses — unit conversion, checked series
+// totals, and the binary search that localizes the first step crossing a
+// deadline — so the layer above re-enters the same exactness argument
+// instead of re-deriving it.
+
+/// The exact grid-unit count of a duration, or `None` when it is not a
+/// safe grid multiple (negative, non-finite, fractional, or `>= 2^52`
+/// units). Public face of the closed form's unit conversion for the
+/// event-driven serve layer.
+pub fn grid_units(d: Seconds) -> Option<i64> {
+    units_of(d)
+}
+
+/// Converts grid units back to seconds; exact for `|u| < 2^52`.
+pub fn grid_seconds(u: i64) -> Seconds {
+    secs_of(u)
+}
+
+/// Rounds an arbitrary non-negative duration to the nearest on-grid unit
+/// count, clamping into the exact range. The trace/Poisson arrival clocks
+/// of the load simulator snap to the grid through this, so every event
+/// timestamp shares the closed form's exactness domain.
+pub fn grid_units_round(d: Seconds) -> Option<i64> {
+    let s = d.as_secs();
+    if !s.is_finite() || s < 0.0 {
+        return None;
+    }
+    let u = (s * unit_scale()).round();
+    if u >= MAX_UNITS as f64 {
+        return None;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    Some(u as i64)
+}
+
+/// Total duration of `n` consecutive affine steps where step `k`
+/// (`0 <= k < n`) costs `c + r * (start + k)` grid units: the series sum
+/// `n*c + r*(n*start + n*(n-1)/2)`, computed in `i128` and rejected
+/// (`None`) when any intermediate step cost is negative or the total
+/// leaves the exact grid range. This is the same arithmetic-series total
+/// the certified jump advances its accumulators by.
+pub fn affine_series_units(c: i64, r: i64, start: i64, n: i64) -> Option<i64> {
+    if n < 0 || start < 0 {
+        return None;
+    }
+    if n == 0 {
+        return Some(0);
+    }
+    // Affine step costs are monotone in k, so the extremes bound the run.
+    let first = i128::from(c) + i128::from(r) * i128::from(start);
+    let last = i128::from(c) + i128::from(r) * (i128::from(start) + i128::from(n) - 1);
+    if first.min(last) < 0 {
+        return None;
+    }
+    let n128 = i128::from(n);
+    let total =
+        n128 * i128::from(c) + i128::from(r) * (n128 * i128::from(start) + n128 * (n128 - 1) / 2);
+    if total >= i128::from(MAX_UNITS) {
+        return None;
+    }
+    i64::try_from(total).ok()
+}
+
+/// The smallest `n` in `1..=max_n` whose cumulative series total
+/// [`affine_series_units`]`(c, r, start, n)` reaches `target`, or `None`
+/// when even `max_n` steps stay short (or the series leaves the exact
+/// range first). Requires non-negative step costs over the whole range so
+/// the cumulative total is monotone — the binary search that localizes
+/// arrival/horizon crossings for the event layer, mirroring how partial
+/// jumps chain across regime changes inside the closed form.
+pub fn first_series_crossing(c: i64, r: i64, start: i64, max_n: i64, target: i64) -> Option<i64> {
+    if max_n < 1 {
+        return None;
+    }
+    let total = affine_series_units(c, r, start, max_n)?;
+    if total < target {
+        return None;
+    }
+    let (mut lo, mut hi) = (1i64, max_n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        // In range: the `max_n` total was, and totals are monotone.
+        let t = affine_series_units(c, r, start, mid).expect("prefix of an in-range series");
+        if t >= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
 /// Serve-stream dimensions of the candidate under evaluation, used to
 /// attach [`ServeStats`] to the synthesized report.
 #[derive(Debug, Clone, Copy)]
@@ -1529,5 +1629,46 @@ mod tests {
         // Off-grid values in range still fit: the predicate bounds the
         // *span*, the per-op grid check is separate.
         assert!(fits_grid_range(Seconds::new(0.3)));
+    }
+
+    #[test]
+    fn series_total_matches_iterated_addition() {
+        let (c, r, start) = (17i64, 3i64, 5i64);
+        let mut total = 0i64;
+        for n in 0..200i64 {
+            assert_eq!(affine_series_units(c, r, start, n), Some(total));
+            total += c + r * (start + n);
+        }
+        // Degenerate and rejected shapes.
+        assert_eq!(affine_series_units(c, r, start, 0), Some(0));
+        assert_eq!(affine_series_units(c, r, -1, 4), None, "negative start");
+        assert_eq!(affine_series_units(-5, 0, 0, 3), None, "negative step");
+        assert_eq!(affine_series_units(1 << 51, 0, 0, 4), None, "overflow");
+    }
+
+    #[test]
+    fn first_crossing_is_the_least_n_reaching_the_target() {
+        let (c, r, start) = (10i64, 2i64, 0i64);
+        for target in 1..500i64 {
+            let n = first_series_crossing(c, r, start, 1_000, target).unwrap();
+            assert!(affine_series_units(c, r, start, n).unwrap() >= target);
+            assert!(affine_series_units(c, r, start, n - 1).unwrap() < target);
+        }
+        // Unreachable within max_n.
+        assert_eq!(first_series_crossing(1, 0, 0, 4, 100), None);
+        assert_eq!(first_series_crossing(1, 0, 0, 0, 1), None);
+    }
+
+    #[test]
+    fn grid_unit_conversions_round_trip() {
+        for u in [0i64, 1, 7, 1 << 30, (1 << 52) - 1] {
+            assert_eq!(grid_units(grid_seconds(u)), Some(u));
+        }
+        assert_eq!(grid_units(Seconds::new(-1.0)), None);
+        // Rounding snaps off-grid durations to the nearest unit.
+        let third = Seconds::new(1.0 / 3.0);
+        let snapped = grid_units_round(third).unwrap();
+        assert_eq!(grid_units(quantize(third)), Some(snapped));
+        assert_eq!(grid_units_round(Seconds::new(f64::NAN)), None);
     }
 }

@@ -398,9 +398,29 @@ impl<'a> Explorer<'a> {
         plan
     }
 
+    /// The model this explorer searches over (for the load search).
+    pub(crate) fn model_arch(&self) -> &'a ModelArch {
+        self.model
+    }
+
+    /// The system this explorer searches over (for the load search).
+    pub(crate) fn cluster(&self) -> &'a ClusterSpec {
+        self.system
+    }
+
+    /// The configured workload (for the load search).
+    pub(crate) fn base_workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The configured space (for the load search).
+    pub(crate) fn search_space(&self) -> &SearchSpace {
+        &self.space
+    }
+
     /// The workload variants the serve axes induce (the configured
     /// workload alone when no axis applies).
-    fn workload_variants(&self) -> Vec<Workload> {
+    pub(crate) fn workload_variants(&self) -> Vec<Workload> {
         match (&self.space.serve, self.workload.serve_config()) {
             (Some(axes), Some(cfg)) if !axes.decode_batch.is_empty() => axes
                 .decode_batch

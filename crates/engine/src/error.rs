@@ -25,6 +25,13 @@ pub enum EngineError {
     /// strategy/class combination, an unmappable pipeline, or a pipelined
     /// plan handed to the flat engine.
     InvalidPlan(PlanError),
+    /// A continuous-batching load run cannot be set up or executed: an
+    /// invalid [`madmax_parallel::LoadSpec`], a non-serve workload, or a
+    /// run leaving the exact duration grid.
+    InvalidLoad {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl EngineError {
@@ -51,6 +58,21 @@ impl EngineError {
                 PlanError::OutOfMemory { required, usable }
             }
             EngineError::InvalidPlan(e) => e,
+            EngineError::InvalidLoad { reason } => PlanError::InvalidPipeline {
+                reason: format!("load: {reason}"),
+            },
+        }
+    }
+}
+
+impl From<madmax_serve::LoadError> for EngineError {
+    fn from(e: madmax_serve::LoadError) -> Self {
+        use madmax_serve::LoadError;
+        match e {
+            LoadError::Plan(pe) => EngineError::from(pe),
+            LoadError::Spec(reason) | LoadError::GridRange(reason) => {
+                EngineError::InvalidLoad { reason }
+            }
         }
     }
 }
@@ -82,6 +104,7 @@ impl std::fmt::Display for EngineError {
                 usable.as_gb()
             ),
             EngineError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            EngineError::InvalidLoad { reason } => write!(f, "invalid load: {reason}"),
         }
     }
 }
@@ -90,7 +113,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::InvalidPlan(e) => Some(e),
-            EngineError::OutOfMemory { .. } => None,
+            EngineError::OutOfMemory { .. } | EngineError::InvalidLoad { .. } => None,
         }
     }
 }

@@ -62,3 +62,5 @@ pub use scenario::{simulate, Scenario};
 // dependency.
 pub use madmax_core::{CostTable, EngineScratch};
 pub use madmax_pipeline::PipelineCostTable;
+// Likewise for the continuous-batching load path (`Scenario::serve_load`).
+pub use madmax_serve::{LoadOutcome, LoadReport, SimMode, StepCostModel};

@@ -8,8 +8,9 @@ use madmax_core::compute::UtilizationModel;
 use madmax_core::{CostTable, EngineScratch, IterationReport, Schedule, Trace};
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
-use madmax_parallel::{Plan, Workload};
+use madmax_parallel::{LoadSpec, Plan, Workload};
 use madmax_pipeline::PipelineCostTable;
+use madmax_serve::{LoadOutcome, SimMode, StepCostModel};
 
 use crate::error::EngineError;
 
@@ -360,6 +361,84 @@ impl<'a> Scenario<'a> {
         })
     }
 
+    /// The serve config this scenario's workload carries, or the
+    /// load-path error explaining that it doesn't.
+    fn load_serve_config(&self) -> Result<&madmax_parallel::ServeConfig, EngineError> {
+        self.workload
+            .serve_config()
+            .ok_or_else(|| EngineError::InvalidLoad {
+                reason: "load simulation needs a serve workload".to_owned(),
+            })
+    }
+
+    /// Prices a per-step cost model ([`madmax_serve::StepCostModel`]) of
+    /// this scenario's plan for the request shapes in `spec` — the slow
+    /// part of a load run (a handful of engine probes), reusable across
+    /// simulations via [`Scenario::serve_load_priced`].
+    ///
+    /// The in-flight slot count is `spec.slots`, defaulting to the serve
+    /// config's decode batch.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidLoad`] for invalid specs or a non-serve
+    /// workload; probe failures as in [`Scenario::run`].
+    pub fn price_load(&self, spec: &LoadSpec) -> Result<StepCostModel, EngineError> {
+        let serve = self.load_serve_config()?;
+        spec.validate()
+            .map_err(|reason| EngineError::InvalidLoad { reason })?;
+        let arrivals = madmax_serve::materialize_arrivals(&spec.arrivals, serve, self.model)?;
+        let slots = spec
+            .slots
+            .unwrap_or_else(|| serve.effective_batch(self.model));
+        self.with_plan(|plan| {
+            StepCostModel::price(
+                self.model,
+                self.system,
+                plan,
+                serve,
+                slots,
+                &arrivals,
+                self.collectives,
+                self.utilization,
+            )
+            .map_err(EngineError::from)
+        })
+    }
+
+    /// Runs the continuous-batching load simulator against this
+    /// scenario's plan: prices the per-step cost model, then executes
+    /// `spec`'s arrival stream with in-flight batching in event mode.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::price_load`].
+    pub fn serve_load(&self, spec: &LoadSpec) -> Result<LoadOutcome, EngineError> {
+        let costs = self.price_load(spec)?;
+        self.serve_load_priced(spec, &costs, SimMode::Event, None)
+    }
+
+    /// [`Scenario::serve_load`] with an explicit mode, a reusable
+    /// pre-priced cost model (see [`Scenario::price_load`]), and an
+    /// optional per-request completion callback (bridge it to a
+    /// `ProgressSink` with `madmax_obs::load::forward_to_sink`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidLoad`] for invalid specs or grid-range
+    /// overflows.
+    pub fn serve_load_priced(
+        &self,
+        spec: &LoadSpec,
+        costs: &StepCostModel,
+        mode: SimMode,
+        on_complete: Option<&mut dyn FnMut(&madmax_serve::RequestRecord)>,
+    ) -> Result<LoadOutcome, EngineError> {
+        let serve = self.load_serve_config()?;
+        madmax_serve::simulate_load(spec, serve, self.model, costs, mode, on_complete)
+            .map_err(EngineError::from)
+    }
+
     /// Builds the scenario's trace without scheduling it (for inspection /
     /// Fig. 6 timelines). For pipelined plans this is the multi-stream
     /// stage trace.
@@ -527,6 +606,42 @@ mod tests {
             .unwrap();
         assert!(piped.serve.is_some());
         assert!(piped.bubble_fraction.is_some());
+    }
+
+    #[test]
+    fn serve_load_runs_a_poisson_stream_end_to_end() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let spec = madmax_parallel::LoadSpec::poisson(200.0, 12, 7);
+        let scenario = Scenario::new(&model, &sys).workload(Workload::serve(
+            ServeConfig::new(256, 32).with_decode_batch(4),
+        ));
+        let out = scenario.serve_load(&spec).unwrap();
+        assert_eq!(out.report.arrivals, 12);
+        assert_eq!(out.report.completed + out.report.rejected, 12);
+        assert!(out.report.ttft.is_some());
+        assert!(out.report.tokens_per_sec > 0.0);
+
+        // A pre-priced cost model reproduces the same outcome, and the
+        // per-token reference agrees byte for byte.
+        let costs = scenario.price_load(&spec).unwrap();
+        let again = scenario
+            .serve_load_priced(&spec, &costs, SimMode::Event, None)
+            .unwrap();
+        assert_eq!(again.report, out.report);
+        let naive = scenario
+            .serve_load_priced(&spec, &costs, SimMode::PerToken, None)
+            .unwrap();
+        assert_eq!(naive.report, out.report);
+    }
+
+    #[test]
+    fn serve_load_rejects_non_serve_workloads() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let spec = madmax_parallel::LoadSpec::poisson(100.0, 4, 1);
+        let err = Scenario::new(&model, &sys).serve_load(&spec).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidLoad { .. }), "{err}");
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! - [`progress`] — the [`ProgressSink`] trait: live candidate-completed
 //!   events from a running search (no-op default, stderr ticker, JSONL
 //!   writer), the groundwork for a resident DSE service.
+//! - [`load`] — continuous-batching load-run observability: per-request
+//!   completion events bridged from `madmax_serve`'s completion
+//!   callback, [`LoadTelemetry`] counters, and Perfetto export of a
+//!   load trace (engine track, queue-depth counter, per-request KV
+//!   residency tracks).
 //!
 //! # Telemetry sharing contract
 //!
@@ -36,10 +41,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod load;
 pub mod perfetto;
 pub mod progress;
 pub mod telemetry;
 
+pub use load::{forward_to_sink, LoadTelemetry, RequestEvent};
 pub use madmax_core::counters::CacheStats;
 pub use madmax_core::prof::SpanRecord;
 pub use perfetto::{ChromeTrace, TraceEvent};

@@ -72,7 +72,7 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    fn meta(name: &str, pid: u64, tid: u64, args: Vec<(String, Value)>) -> Self {
+    pub(crate) fn meta(name: &str, pid: u64, tid: u64, args: Vec<(String, Value)>) -> Self {
         TraceEvent {
             name: name.to_owned(),
             cat: None,
@@ -214,6 +214,10 @@ impl ChromeTrace {
     /// The events emitted so far.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
     }
 
     /// Adds one simulated schedule: track metadata for every stream the

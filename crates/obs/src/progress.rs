@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize, Value};
 
+use crate::load::{LoadTelemetry, RequestEvent};
 use crate::telemetry::SearchTelemetry;
 
 /// How one candidate's evaluation resolved.
@@ -59,6 +60,13 @@ pub trait ProgressSink: Send + Sync + std::fmt::Debug {
 
     /// Called once per evaluation batch, after the worker pool joins.
     fn search_finished(&self, _telemetry: &SearchTelemetry) {}
+
+    /// Called once per completed request of a load simulation, in
+    /// completion order (see [`crate::load::forward_to_sink`]).
+    fn request_completed(&self, _event: &RequestEvent) {}
+
+    /// Called once per finished load simulation.
+    fn load_finished(&self, _telemetry: &LoadTelemetry) {}
 }
 
 /// The default sink: ignores everything.
@@ -108,6 +116,20 @@ impl ProgressSink for StderrTicker {
     fn search_finished(&self, telemetry: &SearchTelemetry) {
         eprintln!("[search] {}", telemetry.summary());
     }
+
+    fn request_completed(&self, event: &RequestEvent) {
+        let seen = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen.is_multiple_of(self.every) {
+            eprintln!(
+                "[load] {seen} requests completed (last: r{} at {:.3} s)",
+                event.id, event.completion
+            );
+        }
+    }
+
+    fn load_finished(&self, telemetry: &LoadTelemetry) {
+        eprintln!("[load] {}", telemetry.summary());
+    }
 }
 
 /// Streams events as JSON Lines: one `{"candidate": ...}` object per
@@ -147,6 +169,15 @@ impl ProgressSink for JsonlSink {
 
     fn search_finished(&self, telemetry: &SearchTelemetry) {
         self.write_line("finished", telemetry.to_value());
+        let _ = self.out.lock().unwrap().flush();
+    }
+
+    fn request_completed(&self, event: &RequestEvent) {
+        self.write_line("request", event.to_value());
+    }
+
+    fn load_finished(&self, telemetry: &LoadTelemetry) {
+        self.write_line("load", telemetry.to_value());
         let _ = self.out.lock().unwrap().flush();
     }
 }

@@ -57,12 +57,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod comm;
+pub mod load;
 pub mod memory;
 pub mod plan;
 pub mod strategy;
 pub mod workload;
 
 pub use comm::{derive_layer_comm, CollectiveKind, CommPosition, CommReq, LayerCommPlan, Urgency};
+pub use load::{ArrivalSpec, LoadSpec, RequestSpec, DEFAULT_BLOCK_TOKENS};
 pub use memory::{check_memory, memory_per_device, MemoryBreakdown};
 pub use plan::{
     MemoryConfig, OptimizerKind, PipelineConfig, PipelineSchedule, Plan, PlanError, PlanOptions,

@@ -1,0 +1,230 @@
+//! Request arrival processes: seeded-deterministic Poisson streams and
+//! trace-driven (JSONL) request lists, materialized onto the exact
+//! integer duration grid.
+//!
+//! Every arrival timestamp is snapped to the grid
+//! (`madmax_core::steady::grid_units_round`) at materialization, so the
+//! whole load run — arrivals included — lives in the closed form's
+//! exactness domain and the event-driven and per-token simulators see
+//! bit-identical clocks.
+
+use madmax_core::steady::grid_units_round;
+use madmax_hw::units::Seconds;
+use madmax_model::ModelArch;
+use madmax_parallel::{ArrivalSpec, RequestSpec, ServeConfig};
+
+use crate::LoadError;
+
+/// One materialized arrival: grid-time plus the request's token shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalEvent {
+    /// Arrival time in grid units.
+    pub at: i64,
+    /// Prompt tokens.
+    pub prompt_len: usize,
+    /// Decode tokens to generate.
+    pub decode_len: usize,
+}
+
+/// xorshift64*: a tiny, seeded, platform-independent PRNG — enough to
+/// make Poisson streams exactly reproducible from their seed.
+fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Uniform draw in `(0, 1]` from the high 53 bits (never 0, so `ln` is
+/// finite).
+fn uniform_01(state: &mut u64) -> f64 {
+    let bits = next_u64(state) >> 11;
+    (bits + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Materializes an arrival process into grid-time events, resolving
+/// Poisson request shapes against the serve workload (prompt length and
+/// decode length come from `serve`; trace-driven requests carry their
+/// own).
+///
+/// # Errors
+///
+/// [`LoadError::Spec`] when a request has zero prompt/decode tokens,
+/// [`LoadError::GridRange`] when an arrival time leaves the exact grid
+/// range (~16384 s).
+pub fn materialize_arrivals(
+    spec: &ArrivalSpec,
+    serve: &ServeConfig,
+    model: &ModelArch,
+) -> Result<Vec<ArrivalEvent>, LoadError> {
+    match spec {
+        ArrivalSpec::Poisson { rate, count, seed } => {
+            if !rate.is_finite() || *rate <= 0.0 {
+                return Err(LoadError::Spec(format!("Poisson rate {rate} must be > 0")));
+            }
+            let prompt_len = serve.effective_prompt_len(model);
+            let decode_len = serve.decode_len;
+            if prompt_len == 0 || decode_len == 0 {
+                return Err(LoadError::Spec(
+                    "Poisson arrivals need a serve workload with prompt_len >= 1 \
+                     and decode_len >= 1"
+                        .to_owned(),
+                ));
+            }
+            // Seed 0 is a fixed point of xorshift; remap it.
+            let mut state = if *seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                *seed
+            };
+            let mut at = 0i64;
+            let mut events = Vec::with_capacity(*count);
+            for _ in 0..*count {
+                let gap = -uniform_01(&mut state).ln() / rate;
+                let gap_units = grid_units_round(Seconds::new(gap)).ok_or_else(|| {
+                    LoadError::GridRange(format!("inter-arrival gap {gap} s off-grid"))
+                })?;
+                at = at
+                    .checked_add(gap_units)
+                    .filter(|t| *t < 1 << 52)
+                    .ok_or_else(|| {
+                        LoadError::GridRange("arrival clock beyond 2^52 grid units".to_owned())
+                    })?;
+                events.push(ArrivalEvent {
+                    at,
+                    prompt_len,
+                    decode_len,
+                });
+            }
+            Ok(events)
+        }
+        ArrivalSpec::Trace { requests } => requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if r.prompt_len == 0 || r.decode_len == 0 {
+                    return Err(LoadError::Spec(format!(
+                        "request {i}: prompt_len and decode_len must be >= 1"
+                    )));
+                }
+                let at = grid_units_round(Seconds::new(r.arrival)).ok_or_else(|| {
+                    LoadError::GridRange(format!("request {i}: arrival {} s off-grid", r.arrival))
+                })?;
+                Ok(ArrivalEvent {
+                    at,
+                    prompt_len: r.prompt_len,
+                    decode_len: r.decode_len,
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Parses a JSONL request trace: one JSON object per non-empty line with
+/// `arrival` (seconds), `prompt_len`, and `decode_len` fields. Requests
+/// are stably sorted by arrival time.
+///
+/// # Errors
+///
+/// [`LoadError::Spec`] naming the first malformed line.
+pub fn parse_request_jsonl(text: &str) -> Result<Vec<RequestSpec>, LoadError> {
+    let mut requests = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let req: RequestSpec = serde_json::from_str(line)
+            .map_err(|e| LoadError::Spec(format!("trace line {}: {e}", lineno + 1)))?;
+        requests.push(req);
+    }
+    requests.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+    Ok(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_model::ModelId;
+    use madmax_parallel::ArrivalSpec;
+
+    fn serve_cfg() -> ServeConfig {
+        ServeConfig::new(128, 32)
+    }
+
+    #[test]
+    fn poisson_streams_are_seed_deterministic() {
+        let model = ModelId::Llama2.build();
+        let spec = ArrivalSpec::Poisson {
+            rate: 10.0,
+            count: 50,
+            seed: 7,
+        };
+        let a = materialize_arrivals(&spec, &serve_cfg(), &model).unwrap();
+        let b = materialize_arrivals(&spec, &serve_cfg(), &model).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+        let other = materialize_arrivals(
+            &ArrivalSpec::Poisson {
+                rate: 10.0,
+                count: 50,
+                seed: 8,
+            },
+            &serve_cfg(),
+            &model,
+        )
+        .unwrap();
+        assert_ne!(a, other, "seed changes the stream");
+    }
+
+    #[test]
+    fn poisson_rate_scales_the_mean_gap() {
+        let model = ModelId::Llama2.build();
+        let mean_at = |rate: f64| {
+            let spec = ArrivalSpec::Poisson {
+                rate,
+                count: 400,
+                seed: 3,
+            };
+            let ev = materialize_arrivals(&spec, &serve_cfg(), &model).unwrap();
+            ev.last().unwrap().at as f64 / ev.len() as f64
+        };
+        let slow = mean_at(2.0);
+        let fast = mean_at(20.0);
+        // 10x the rate ~ 1/10th the mean gap (same seed, same uniforms).
+        assert!((slow / fast - 10.0).abs() < 0.5, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn jsonl_traces_parse_and_sort() {
+        let text = r#"
+            {"arrival": 0.5, "prompt_len": 64, "decode_len": 16}
+
+            {"arrival": 0.25, "prompt_len": 32, "decode_len": 8}
+        "#;
+        let reqs = parse_request_jsonl(text).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].arrival, 0.25);
+        assert_eq!(reqs[1].prompt_len, 64);
+        assert!(parse_request_jsonl("{broken").is_err());
+    }
+
+    #[test]
+    fn zero_token_requests_are_rejected() {
+        let model = ModelId::Llama2.build();
+        let spec = ArrivalSpec::Trace {
+            requests: vec![RequestSpec {
+                arrival: 0.0,
+                prompt_len: 8,
+                decode_len: 0,
+            }],
+        };
+        assert!(matches!(
+            materialize_arrivals(&spec, &serve_cfg(), &model),
+            Err(LoadError::Spec(_))
+        ));
+    }
+}

@@ -1,0 +1,423 @@
+//! Per-step cost extraction: turning the synchronized-wave engines'
+//! priced serve scenarios into an integer-grid **step cost model** for
+//! continuous batching.
+//!
+//! The engines guarantee (PR 8, `madmax_core::steady`) that serve
+//! iteration times are exact multiples of the `2^-38` s duration grid
+//! and that decode-step durations are affine in the KV-cache position.
+//! [`StepCostModel::price`] therefore recovers per-step costs from a
+//! handful of *analytic* probe evaluations — O(transient) each — by
+//! finite differences:
+//!
+//! - `F(d)` = iteration time at decode length `d`: the first difference
+//!   `F(d+1) - F(d)` is the cost of one decode step, the second
+//!   difference is the per-step KV growth rate;
+//! - probing at one in-flight sequence and at `slots` sequences
+//!   separates the per-sequence term from the base;
+//! - TTFT at batch 1 prices a single request's prefill, probed at two
+//!   context lengths to fit the affine `prefill(ctx)` used for
+//!   admission and eviction-recompute.
+//!
+//! The result is a first-order interpolation of the engine's own costs:
+//! exact at the probe anchors (up to integer rounding of the divided
+//! coefficients), affine everywhere else — exactly the structure the
+//! event layer's closed-form jumps require.
+
+use madmax_core::collective::CollectiveModel;
+use madmax_core::compute::UtilizationModel;
+use madmax_core::steady::grid_units;
+use madmax_core::{CostTable, EngineScratch, IterationReport};
+use madmax_hw::ClusterSpec;
+use madmax_model::ModelArch;
+use madmax_parallel::{Plan, PlanError, ServeConfig, Workload};
+use madmax_pipeline::PipelineCostTable;
+
+use crate::arrival::ArrivalEvent;
+use crate::LoadError;
+
+/// Decode length of the first probe: comfortably past
+/// `MIN_ANALYTIC_DECODE` so the analytic path engages and the steady
+/// regime is established.
+const PROBE_DECODE: usize = 48;
+
+/// Integer grid-unit cost model of a continuously-batched serve
+/// deployment:
+///
+/// ```text
+/// prefill(ctx) = prefill_base + prefill_slope * ctx          (one request)
+/// step(B, K)   = step_base + step_seq * B + step_rate * K    (one decode step)
+/// ```
+///
+/// with `B` in-flight sequences and `K` total resident KV tokens. All
+/// coefficients are grid units (`2^-38` s); see [`crate::sim`] for how
+/// runs of steps advance as exact arithmetic series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepCostModel {
+    /// Prefill base cost, grid units.
+    pub prefill_base: i64,
+    /// Prefill cost per context token, grid units.
+    pub prefill_slope: i64,
+    /// Decode-step base cost, grid units.
+    pub step_base: i64,
+    /// Decode-step cost per in-flight sequence, grid units.
+    pub step_seq: i64,
+    /// Decode-step cost per resident KV token, grid units.
+    pub step_rate: i64,
+    /// In-flight slot count this model was priced for (its upper
+    /// interpolation anchor).
+    pub slots: usize,
+}
+
+/// Rounds `a / b` to the nearest integer (`b > 0`), half away from zero
+/// deterministic via euclidean remainder.
+fn div_round(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let q = a.div_euclid(b);
+    let r = a.rem_euclid(b);
+    if 2 * r >= b {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Runs one probe scenario through the matching engine and returns its
+/// report.
+fn probe(
+    model: &ModelArch,
+    system: &ClusterSpec,
+    plan: &Plan,
+    cfg: ServeConfig,
+    collectives: &dyn CollectiveModel,
+    utilization: UtilizationModel,
+    scratch: &mut EngineScratch,
+) -> Result<IterationReport, PlanError> {
+    let workload = Workload::serve(cfg);
+    if plan.pipeline.is_some_and(|c| c.is_pipelined()) {
+        let mut table = PipelineCostTable::new(
+            model,
+            system,
+            workload,
+            plan.options,
+            collectives,
+            utilization,
+        );
+        table.set_analytic_serve(true);
+        table.ensure_plan(plan);
+        madmax_pipeline::run_pipelined_cached(&table, plan, scratch)
+    } else {
+        let mut table = CostTable::new(
+            model,
+            system,
+            workload,
+            plan.options,
+            collectives,
+            utilization,
+        );
+        table.set_analytic_serve(true);
+        table.ensure_plan(plan);
+        madmax_core::run_flat_cached(&table, plan, scratch)
+    }
+}
+
+/// The exact grid-unit count of a probed duration.
+fn units(d: madmax_hw::units::Seconds, what: &str) -> Result<i64, LoadError> {
+    grid_units(d).ok_or_else(|| LoadError::GridRange(format!("probed {what} {d:?} off-grid")))
+}
+
+impl StepCostModel {
+    /// Prices a step cost model for `plan` serving `serve`-shaped
+    /// requests with up to `slots` in flight, against the request shapes
+    /// in `arrivals` (their prompt/decode extremes pick the probe
+    /// anchors and the worst-case feasibility check).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Plan`] when any probe fails (OOM holding `slots`
+    /// sequences at the worst-case context, unmappable pipeline, ...);
+    /// [`LoadError::GridRange`] when probed durations are off-grid or
+    /// degenerate; [`LoadError::Spec`] for an empty arrival set or zero
+    /// `slots`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn price(
+        model: &ModelArch,
+        system: &ClusterSpec,
+        plan: &Plan,
+        serve: &ServeConfig,
+        slots: usize,
+        arrivals: &[ArrivalEvent],
+        collectives: &dyn CollectiveModel,
+        utilization: UtilizationModel,
+    ) -> Result<Self, LoadError> {
+        if slots == 0 {
+            return Err(LoadError::Spec("slots must be >= 1".to_owned()));
+        }
+        let Some(first) = arrivals.first() else {
+            return Err(LoadError::Spec("no arrivals to price against".to_owned()));
+        };
+        let (mut p_lo, mut p_hi, mut d_max) = (first.prompt_len, first.prompt_len, 0usize);
+        for a in arrivals {
+            p_lo = p_lo.min(a.prompt_len);
+            p_hi = p_hi.max(a.prompt_len);
+            d_max = d_max.max(a.decode_len);
+        }
+        // A pipelined plan cannot run a batch smaller than its
+        // microbatch count, so the low-batch anchor (and the prefill
+        // probes) sit at the plan's minimum feasible batch; batches
+        // below it are priced by affine extrapolation.
+        let b_lo = plan
+            .pipeline
+            .filter(|c| c.is_pipelined())
+            .map_or(1, |c| c.microbatches.max(1))
+            .min(slots);
+        let cfg = |prompt: usize, decode: usize, batch: usize| ServeConfig {
+            prompt_len: Some(prompt),
+            decode_len: decode,
+            decode_batch: Some(batch),
+            kv_cache: serve.kv_cache,
+        };
+        let mut scratch = EngineScratch::new();
+        let mut run = |prompt: usize, decode: usize, batch: usize| {
+            probe(
+                model,
+                system,
+                plan,
+                cfg(prompt, decode, batch),
+                collectives,
+                utilization,
+                &mut scratch,
+            )
+            .map_err(LoadError::from)
+        };
+
+        // Worst-case feasibility: `slots` sequences at the largest
+        // context must fit device memory (the paged-block budget is a
+        // separate, runtime constraint).
+        let d_feas = d_max.max(PROBE_DECODE + 2);
+        run(p_hi, d_feas, slots)?;
+
+        // Batch = slots: three consecutive decode lengths give the last
+        // step's cost (first difference) and the per-step KV growth
+        // (second difference).
+        let f1 = units(run(p_lo, PROBE_DECODE, slots)?.iteration_time, "iteration")?;
+        let f2 = units(
+            run(p_lo, PROBE_DECODE + 1, slots)?.iteration_time,
+            "iteration",
+        )?;
+        let f3 = units(
+            run(p_lo, PROBE_DECODE + 2, slots)?.iteration_time,
+            "iteration",
+        )?;
+        let p_cap = f3 - f2;
+        let r_cap = (f3 - f2) - (f2 - f1);
+        if p_cap <= 0 {
+            return Err(LoadError::GridRange(format!(
+                "degenerate decode-step probe: step cost {p_cap} units"
+            )));
+        }
+        let step_rate = div_round(r_cap.max(0), slots as i64);
+
+        // Batch = b_lo: separates the per-sequence term, and its TTFT
+        // prices a request's prefill.
+        let (p_one, ttft_lo) = if slots == b_lo {
+            let g1 = run(p_lo, PROBE_DECODE, b_lo)?;
+            let serve_stats = g1.serve.expect("serve probe reports serve stats");
+            (f2 - f1, units(serve_stats.ttft, "ttft")?)
+        } else {
+            let g1 = run(p_lo, PROBE_DECODE, b_lo)?;
+            let g2 = run(p_lo, PROBE_DECODE + 1, b_lo)?;
+            let serve_stats = g1.serve.expect("serve probe reports serve stats");
+            (
+                units(g2.iteration_time, "iteration")? - units(g1.iteration_time, "iteration")?,
+                units(serve_stats.ttft, "ttft")?,
+            )
+        };
+        if p_one <= 0 {
+            return Err(LoadError::GridRange(format!(
+                "degenerate decode-step probe: step cost {p_one} units at batch {b_lo}"
+            )));
+        }
+
+        // Prefill slope: the second anchor sits at the largest context a
+        // recomputed prefill can see (prompt + generated tokens).
+        let ctx_hi = p_hi + d_max;
+        let g_hi = run(ctx_hi, PROBE_DECODE, b_lo)?;
+        let ttft_hi = units(g_hi.serve.expect("serve stats").ttft, "ttft")?;
+        let span = (ctx_hi - p_lo) as i64;
+        let prefill_slope = div_round((ttft_hi - ttft_lo).max(0), span);
+        let prefill_base = ttft_lo - prefill_slope * p_lo as i64;
+
+        // Solve the two decode anchors for (step_base, step_seq):
+        //   step(b_lo, K_lo)   = p_one,  K_lo  = b_lo * (p_lo + PROBE_DECODE)
+        //   step(slots, K_cap) = p_cap,  K_cap = slots * (p_lo + PROBE_DECODE + 1)
+        // (the first difference F(d+1) - F(d) is decode step d+1, which
+        // reads a cache of ctx + d tokens per sequence).
+        let k1 = b_lo as i64 * (p_lo + PROBE_DECODE) as i64;
+        let k_cap = slots as i64 * (p_lo + PROBE_DECODE + 1) as i64;
+        let q1 = p_one - step_rate * k1;
+        let qc = p_cap - step_rate * k_cap;
+        let (step_base, step_seq) = if slots == b_lo {
+            (qc, 0)
+        } else {
+            let seq = div_round(qc - q1, (slots - b_lo) as i64);
+            (q1 - seq * b_lo as i64, seq)
+        };
+
+        let model = StepCostModel {
+            prefill_base,
+            prefill_slope,
+            step_base,
+            step_seq,
+            step_rate,
+            slots,
+        };
+        // The model must price every anchor positively; a run that drove
+        // any anchor sub-unit is outside the interpolation's domain.
+        model.prefill_units(p_lo as u64)?;
+        model.prefill_units(ctx_hi as u64)?;
+        model.step_units(b_lo as u64, k1)?;
+        model.step_units(slots as u64, k_cap)?;
+        Ok(model)
+    }
+
+    /// Cost of prefilling one request with `ctx` context tokens, grid
+    /// units.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::GridRange`] when the affine model prices the prefill
+    /// below one grid unit (outside its interpolation domain).
+    pub fn prefill_units(&self, ctx: u64) -> Result<i64, LoadError> {
+        let u = self.prefill_base + self.prefill_slope * ctx as i64;
+        if u < 1 {
+            return Err(LoadError::GridRange(format!(
+                "prefill({ctx}) priced at {u} grid units"
+            )));
+        }
+        Ok(u)
+    }
+
+    /// Cost of one decode step with `batch` in-flight sequences reading
+    /// `kv` total resident KV tokens, grid units.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::GridRange`] when the affine model prices the step
+    /// below one grid unit (outside its interpolation domain).
+    pub fn step_units(&self, batch: u64, kv: i64) -> Result<i64, LoadError> {
+        let u = self.step_base + self.step_seq * batch as i64 + self.step_rate * kv;
+        if u < 1 {
+            return Err(LoadError::GridRange(format!(
+                "step(batch={batch}, kv={kv}) priced at {u} grid units"
+            )));
+        }
+        Ok(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_core::collective::HierarchicalNccl;
+    use madmax_hw::catalog;
+    use madmax_model::ModelId;
+    use madmax_parallel::PipelineConfig;
+
+    fn arrivals(prompt: usize, decode: usize, n: usize) -> Vec<ArrivalEvent> {
+        (0..n)
+            .map(|i| ArrivalEvent {
+                at: i as i64 * 1000,
+                prompt_len: prompt,
+                decode_len: decode,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn priced_models_predict_probe_differences() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let serve = ServeConfig::new(256, 64).with_decode_batch(8);
+        let slots = 8usize;
+        let m = StepCostModel::price(
+            &model,
+            &sys,
+            &plan,
+            &serve,
+            slots,
+            &arrivals(256, 64, 4),
+            &HierarchicalNccl,
+            UtilizationModel::Constant,
+        )
+        .unwrap();
+        assert!(m.step_rate >= 0);
+        assert!(m.prefill_slope >= 0);
+        // Held-out check: the model's step cost reproduces the engine's
+        // first difference at an unprobed decode length.
+        let mut scratch = EngineScratch::new();
+        let run = |d: usize, scratch: &mut EngineScratch| {
+            probe(
+                &model,
+                &sys,
+                &plan,
+                ServeConfig::new(256, d).with_decode_batch(slots),
+                &HierarchicalNccl,
+                UtilizationModel::Constant,
+                scratch,
+            )
+            .unwrap()
+        };
+        let a = grid_units(run(72, &mut scratch).iteration_time).unwrap();
+        let b = grid_units(run(73, &mut scratch).iteration_time).unwrap();
+        let actual = b - a;
+        let predicted = m
+            .step_units(slots as u64, slots as i64 * (256 + 72))
+            .unwrap();
+        let rel = (predicted - actual).abs() as f64 / actual as f64;
+        assert!(rel < 1e-3, "predicted {predicted} vs actual {actual}");
+    }
+
+    #[test]
+    fn prefill_scales_with_context_and_pipelined_plans_price() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model).with_pipeline(PipelineConfig::gpipe(4, 4));
+        let serve = ServeConfig::new(128, 32).with_decode_batch(4);
+        let m = StepCostModel::price(
+            &model,
+            &sys,
+            &plan,
+            &serve,
+            4,
+            &arrivals(128, 32, 2),
+            &HierarchicalNccl,
+            UtilizationModel::Constant,
+        )
+        .unwrap();
+        let short = m.prefill_units(128).unwrap();
+        let long = m.prefill_units(160).unwrap();
+        assert!(long >= short);
+        assert!(short >= 1);
+    }
+
+    #[test]
+    fn oom_probes_surface_as_plan_errors() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let plan = Plan::fsdp_baseline(&model);
+        let serve = ServeConfig::new(4096, 2_000_000).with_decode_batch(1 << 14);
+        let err = StepCostModel::price(
+            &model,
+            &sys,
+            &plan,
+            &serve,
+            1 << 14,
+            &arrivals(4096, 2_000_000, 1),
+            &HierarchicalNccl,
+            UtilizationModel::Constant,
+        )
+        .unwrap_err();
+        assert!(err.is_oom(), "{err}");
+    }
+}

@@ -79,6 +79,15 @@ pub enum RuleId {
     /// work forbid it; warn when slower than the period plus the KV-growth
     /// slack — steady-state scheduling inefficiency).
     SteadyPeriod,
+    /// Load trace: request-lifecycle causality — arrival ≤ admission
+    /// (prefill start) < first token ≤ completion, rejected requests
+    /// never run, completed requests decode exactly their requested
+    /// tokens, and the engine serializes prefills and decode runs.
+    RequestLifecycle,
+    /// Load trace: paged-KV residency — every decode participant holds an
+    /// open residency interval covering the run, spans are well-formed,
+    /// and block occupancy never exceeds the paged budget.
+    PagedKvResidency,
     /// Analysis: the critical-path lower bound must not exceed the
     /// makespan.
     CriticalPath,
@@ -108,6 +117,8 @@ impl RuleId {
             RuleId::InFlight => "in-flight",
             RuleId::BubbleFloor => "bubble-floor",
             RuleId::SteadyPeriod => "steady-period",
+            RuleId::RequestLifecycle => "request-lifecycle",
+            RuleId::PagedKvResidency => "paged-kv-residency",
             RuleId::CriticalPath => "critical-path",
             RuleId::StreamSlack => "stream-slack",
         }
@@ -139,6 +150,8 @@ pub enum Location {
     Stream(StreamId),
     /// One pipeline stage.
     Stage(u16),
+    /// One request of a load trace.
+    Request(u32),
 }
 
 impl std::fmt::Display for Location {
@@ -148,6 +161,7 @@ impl std::fmt::Display for Location {
             Location::Op(id) => write!(f, "op {}", id.0),
             Location::Stream(s) => write!(f, "stream {s:?}"),
             Location::Stage(s) => write!(f, "stage {s}"),
+            Location::Request(r) => write!(f, "request {r}"),
         }
     }
 }

@@ -23,6 +23,13 @@
 //!    longest dependency chain is a makespan lower bound and whose
 //!    per-stream slack findings surface scheduling inefficiency as
 //!    warnings.
+//! 4. **Load-trace rules** ([`verify_load`]) — request-lifecycle
+//!    causality and paged-KV residency over the continuous-batching
+//!    simulator's integer ledger (`madmax_serve::LoadTrace`): arrival ≤
+//!    admission < first token ≤ completion, rejected requests never run,
+//!    completed requests decode exactly their requested tokens, prefills
+//!    and decode runs serialize, decode participants hold resident KV
+//!    blocks for whole runs, and occupancy stays within the paged budget.
 //!
 //! The verifier is *producer-independent*: it re-derives every invariant
 //! from the IR values alone, trusting neither the trace builders nor the
@@ -65,11 +72,13 @@
 #![warn(missing_debug_implementations)]
 
 mod diag;
+mod load;
 mod plan;
 mod sched;
 mod trace;
 
 pub use diag::{CriticalPath, Diagnostic, Location, RuleId, Severity, VerifyReport};
+pub use load::verify_load;
 pub use plan::lint_plan;
 pub use sched::critical_path;
 

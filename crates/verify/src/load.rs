@@ -1,0 +1,294 @@
+//! Load-trace rules: request-lifecycle causality and paged-KV residency
+//! over the continuous-batching simulator's [`LoadTrace`] ledger.
+//!
+//! Like every other pass in this crate, the checks are
+//! producer-independent: they re-derive the invariants from the integer
+//! ledger alone, trusting neither simulation mode. Because both modes
+//! must produce byte-identical request-visible timestamps, a rule firing
+//! here means the simulator (not just one code path) broke its contract.
+
+use madmax_serve::LoadTrace;
+
+use crate::diag::{Diagnostic, Location, RuleId, VerifyReport};
+
+/// Verifies a load trace: request-lifecycle causality
+/// ([`RuleId::RequestLifecycle`]) and paged-KV residency
+/// ([`RuleId::PagedKvResidency`]).
+pub fn verify_load(trace: &LoadTrace) -> VerifyReport {
+    let mut out = VerifyReport::new();
+    check_records(trace, &mut out);
+    check_serialization(trace, &mut out);
+    check_residency(trace, &mut out);
+    out
+}
+
+fn lifecycle_error(out: &mut VerifyReport, id: u32, message: String) {
+    out.push(Diagnostic::error(
+        RuleId::RequestLifecycle,
+        Location::Request(id),
+        message,
+    ));
+}
+
+fn residency_error(out: &mut VerifyReport, location: Location, message: String) {
+    out.push(Diagnostic::error(
+        RuleId::PagedKvResidency,
+        location,
+        message,
+    ));
+}
+
+/// Per-record causality: arrival ≤ admission (prefill start) < first
+/// token ≤ completion; rejected XOR executed; completed requests decode
+/// exactly `decode_len` tokens; eviction counts match resumed prefills.
+fn check_records(trace: &LoadTrace, out: &mut VerifyReport) {
+    // Decode steps and resumed prefills per request, one pass each.
+    let n = trace.records.len();
+    let mut steps = vec![0i64; n];
+    for run in &trace.runs {
+        for p in &run.participants {
+            match steps.get_mut(p.request as usize) {
+                Some(s) => *s += run.steps,
+                None => residency_error(
+                    out,
+                    Location::Request(p.request),
+                    format!("decode run references unknown request {}", p.request),
+                ),
+            }
+        }
+    }
+    let mut resumed = vec![0u32; n];
+    let mut first = vec![None; n];
+    for p in &trace.prefills {
+        let Some(idx) = trace
+            .records
+            .get(p.request as usize)
+            .map(|_| p.request as usize)
+        else {
+            lifecycle_error(
+                out,
+                p.request,
+                format!("prefill references unknown request {}", p.request),
+            );
+            continue;
+        };
+        if p.resumed {
+            resumed[idx] += 1;
+        } else if first[idx].is_none() {
+            first[idx] = Some(p);
+        }
+    }
+
+    for (i, r) in trace.records.iter().enumerate() {
+        let id = r.id;
+        if id as usize != i {
+            lifecycle_error(out, id, format!("record {i} carries id {id}"));
+        }
+        if r.rejected.is_some() && (r.admitted.is_some() || r.completion.is_some()) {
+            lifecycle_error(out, id, "request both rejected and executed".to_owned());
+        }
+        match (r.admitted, r.first_token, r.completion) {
+            (Some(adm), ft, comp) => {
+                if adm < r.arrival {
+                    lifecycle_error(
+                        out,
+                        id,
+                        format!("admitted at {adm} before arrival at {}", r.arrival),
+                    );
+                }
+                match ft {
+                    Some(ft) => {
+                        if ft <= adm {
+                            lifecycle_error(
+                                out,
+                                id,
+                                format!("first token at {ft} not after prefill start {adm}"),
+                            );
+                        }
+                        if let Some(comp) = comp {
+                            if comp < ft {
+                                lifecycle_error(
+                                    out,
+                                    id,
+                                    format!("completion at {comp} before first token at {ft}"),
+                                );
+                            }
+                        }
+                    }
+                    None => {
+                        if comp.is_some() {
+                            lifecycle_error(out, id, "completed without a first token".to_owned());
+                        }
+                    }
+                }
+                // The first (non-resumed) prefill is the admission.
+                match first[i] {
+                    Some(p) => {
+                        if p.start != adm {
+                            lifecycle_error(
+                                out,
+                                id,
+                                format!(
+                                    "first prefill starts at {} but admission is {adm}",
+                                    p.start
+                                ),
+                            );
+                        }
+                    }
+                    None => lifecycle_error(
+                        out,
+                        id,
+                        "admitted request has no initial prefill run".to_owned(),
+                    ),
+                }
+            }
+            (None, ft, comp) => {
+                if ft.is_some() || comp.is_some() {
+                    lifecycle_error(out, id, "request ran without admission".to_owned());
+                }
+            }
+        }
+        if r.completion.is_some() && steps[i] != r.decode_len as i64 {
+            lifecycle_error(
+                out,
+                id,
+                format!(
+                    "completed with {} decode steps, requested {}",
+                    steps[i], r.decode_len
+                ),
+            );
+        }
+        if resumed[i] != r.evictions {
+            lifecycle_error(
+                out,
+                id,
+                format!(
+                    "{} evictions recorded but {} resumed prefills traced",
+                    r.evictions, resumed[i]
+                ),
+            );
+        }
+    }
+}
+
+/// The engine executes one thing at a time: prefill and decode-run
+/// intervals are well-formed, mutually non-overlapping, and inside the
+/// run's `[0, end]` window.
+fn check_serialization(trace: &LoadTrace, out: &mut VerifyReport) {
+    let mut spans: Vec<(i64, i64, u32)> = trace
+        .prefills
+        .iter()
+        .map(|p| (p.start, p.end, p.request))
+        .chain(trace.runs.iter().map(|r| {
+            let anchor = r.participants.first().map_or(u32::MAX, |p| p.request);
+            (r.start, r.end, anchor)
+        }))
+        .collect();
+    spans.sort_unstable();
+    let mut prev_end = i64::MIN;
+    let mut prev_req = u32::MAX;
+    for (start, end, req) in spans {
+        if end <= start {
+            lifecycle_error(
+                out,
+                req,
+                format!("empty or negative execution span [{start}, {end}]"),
+            );
+        }
+        if start < 0 || end > trace.end {
+            lifecycle_error(
+                out,
+                req,
+                format!(
+                    "execution span [{start}, {end}] escapes the run window [0, {}]",
+                    trace.end
+                ),
+            );
+        }
+        if start < prev_end {
+            lifecycle_error(
+                out,
+                req,
+                format!(
+                    "execution span starting at {start} overlaps the span of \
+                     request {prev_req} ending at {prev_end}"
+                ),
+            );
+        }
+        prev_end = end;
+        prev_req = req;
+    }
+}
+
+/// Paged-KV residency: spans well-formed; every decode participant's
+/// blocks are resident for the whole run; occupancy never exceeds the
+/// paged budget.
+fn check_residency(trace: &LoadTrace, out: &mut VerifyReport) {
+    let n = trace.records.len();
+    let mut by_request: Vec<Vec<(i64, Option<i64>)>> = vec![Vec::new(); n];
+    for s in &trace.residency {
+        if let Some(end) = s.end {
+            if end < s.start {
+                residency_error(
+                    out,
+                    Location::Request(s.request),
+                    format!(
+                        "residency span ends at {end} before it starts at {}",
+                        s.start
+                    ),
+                );
+            }
+        }
+        match by_request.get_mut(s.request as usize) {
+            Some(list) => list.push((s.start, s.end)),
+            None => residency_error(
+                out,
+                Location::Request(s.request),
+                format!("residency span references unknown request {}", s.request),
+            ),
+        }
+    }
+    for run in &trace.runs {
+        for p in &run.participants {
+            let covered = by_request.get(p.request as usize).is_some_and(|spans| {
+                spans
+                    .iter()
+                    .any(|&(s, e)| s <= run.start && e.is_none_or(|e| e >= run.end))
+            });
+            if !covered {
+                residency_error(
+                    out,
+                    Location::Request(p.request),
+                    format!(
+                        "request decodes in [{}, {}] without resident KV blocks",
+                        run.start, run.end
+                    ),
+                );
+            }
+        }
+        if let Some(total) = trace.total_blocks {
+            if run.blocks_held > total {
+                residency_error(
+                    out,
+                    Location::Global,
+                    format!(
+                        "decode run ending at {} holds {} blocks of a {total}-block budget",
+                        run.end, run.blocks_held
+                    ),
+                );
+            }
+        }
+    }
+    if let Some(total) = trace.total_blocks {
+        if trace.peak_blocks > total {
+            residency_error(
+                out,
+                Location::Global,
+                format!(
+                    "peak occupancy {} blocks exceeds the {total}-block budget",
+                    trace.peak_blocks
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The load-trace rules against real simulator output: a clean run
+//! verifies clean (in both simulation modes, paged and unpaged), and
+//! every targeted corruption of the ledger trips exactly the intended
+//! rule.
+
+use madmax_engine::{Scenario, SimMode};
+use madmax_hw::catalog;
+use madmax_model::ModelId;
+use madmax_parallel::{LoadSpec, ServeConfig, Workload};
+use madmax_serve::LoadTrace;
+use madmax_verify::{verify_load, RuleId};
+
+fn simulated_trace(spec: &LoadSpec, mode: SimMode) -> LoadTrace {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let scenario = Scenario::new(&model, &sys).workload(Workload::serve(
+        ServeConfig::new(128, 24).with_decode_batch(4),
+    ));
+    let costs = scenario.price_load(spec).unwrap();
+    scenario
+        .serve_load_priced(spec, &costs, mode, None)
+        .unwrap()
+        .trace
+}
+
+fn paged_spec() -> LoadSpec {
+    LoadSpec::poisson(0.05, 10, 3)
+        .with_kv_blocks(96)
+        .with_eviction(true)
+}
+
+#[test]
+fn clean_runs_verify_clean_in_both_modes() {
+    for spec in [LoadSpec::poisson(0.2, 12, 7), paged_spec()] {
+        for mode in [SimMode::Event, SimMode::PerToken] {
+            let trace = simulated_trace(&spec, mode);
+            let report = verify_load(&trace);
+            assert!(report.is_clean(), "{mode:?}: {report}");
+        }
+    }
+}
+
+#[test]
+fn reversed_lifecycle_timestamps_are_flagged() {
+    let mut trace = simulated_trace(&LoadSpec::poisson(0.2, 8, 7), SimMode::Event);
+    let rec = trace
+        .records
+        .iter_mut()
+        .find(|r| r.completion.is_some())
+        .unwrap();
+    rec.completion = Some(rec.first_token.unwrap() - 1);
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::RequestLifecycle), "{report}");
+}
+
+#[test]
+fn admission_before_arrival_is_flagged() {
+    let mut trace = simulated_trace(&LoadSpec::poisson(0.2, 8, 7), SimMode::Event);
+    let rec = trace
+        .records
+        .iter_mut()
+        .find(|r| r.admitted.is_some() && r.arrival > 0)
+        .unwrap();
+    rec.arrival = rec.admitted.unwrap() + 1;
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::RequestLifecycle), "{report}");
+}
+
+#[test]
+fn missing_decode_steps_are_flagged() {
+    let mut trace = simulated_trace(&LoadSpec::poisson(0.2, 8, 7), SimMode::Event);
+    // Drop one decode run: its participants now complete with fewer
+    // steps than they requested.
+    let dropped = trace.runs.pop().unwrap();
+    assert!(!dropped.participants.is_empty());
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::RequestLifecycle), "{report}");
+}
+
+#[test]
+fn overlapping_execution_spans_are_flagged() {
+    let mut trace = simulated_trace(&LoadSpec::poisson(0.2, 8, 7), SimMode::Event);
+    assert!(trace.prefills.len() >= 2);
+    // Slide the second prefill into the first.
+    let first_end = trace.prefills[0].end;
+    let width = trace.prefills[1].end - trace.prefills[1].start;
+    trace.prefills[1].start = first_end - 1;
+    trace.prefills[1].end = first_end - 1 + width;
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::RequestLifecycle), "{report}");
+}
+
+#[test]
+fn decode_without_resident_blocks_is_flagged() {
+    let mut trace = simulated_trace(&paged_spec(), SimMode::Event);
+    // Close one request's residency before its decode work ends.
+    let run = trace.runs.last().unwrap();
+    let victim = run.participants[0].request;
+    let end = run.end;
+    for span in &mut trace.residency {
+        if span.request == victim && span.end.is_none_or(|e| e >= end) {
+            span.end = Some(end - 1);
+        }
+    }
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::PagedKvResidency), "{report}");
+}
+
+#[test]
+fn blown_block_budget_is_flagged() {
+    let mut trace = simulated_trace(&paged_spec(), SimMode::Event);
+    trace.total_blocks = Some(trace.peak_blocks - 1);
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::PagedKvResidency), "{report}");
+}
+
+#[test]
+fn eviction_miscount_is_flagged() {
+    let mut trace = simulated_trace(&paged_spec(), SimMode::Event);
+    let rec = trace
+        .records
+        .iter_mut()
+        .find(|r| r.admitted.is_some())
+        .unwrap();
+    rec.evictions += 1;
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::RequestLifecycle), "{report}");
+}
