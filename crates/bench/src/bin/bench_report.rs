@@ -36,8 +36,9 @@
 
 use std::time::Instant;
 
-use madmax_dse::{Explorer, LoadAxes, PipelineAxes, SearchSpace, ServeAxes};
-use madmax_engine::{Scenario, SimMode};
+use madmax_dse::{Explorer, FaultAxes, LoadAxes, PipelineAxes, SearchSpace, ServeAxes};
+use madmax_engine::{FaultSpec, RetryPolicy, Scenario, SimMode};
+use madmax_fault::materialize_faults;
 use madmax_hw::units::Seconds;
 use madmax_hw::{catalog, DeviceScaling};
 use madmax_model::{LayerClass, ModelId};
@@ -423,6 +424,67 @@ fn main() {
                 );
             },
         );
+    }
+
+    // Failure-aware paths: the goodput-ranked strategy search (one
+    // simulation + closed-form interval sweep per candidate) and the
+    // fault-injected continuous-batching simulator (fatal windows
+    // dropping in-flight requests, retries, degraded capacity) against
+    // its fault-free twin on the same stream.
+    {
+        let model = ModelId::Llama2.build();
+        let system = catalog::llama_llm_system();
+        let explorer = Explorer::new(&model, &system)
+            .space(SearchSpace::strategies())
+            .threads(threads);
+        let axes =
+            FaultAxes::new(FaultSpec::fatal(3600.0, 60.0, 7)).with_intervals([60.0, 300.0, 1800.0]);
+        let outcome = explorer
+            .explore_goodput(&axes)
+            .expect("goodput search runs");
+        record(
+            &mut records,
+            &baseline,
+            format!("goodput_search/{}", ModelId::Llama2),
+            outcome.evaluated,
+            threads,
+            reps,
+            Some(&outcome.telemetry),
+            || {
+                let o = explorer
+                    .explore_goodput(&axes)
+                    .expect("goodput search runs");
+                assert_eq!(
+                    o.best_candidate, outcome.best_candidate,
+                    "non-deterministic goodput search"
+                );
+            },
+        );
+
+        let workload = Workload::serve(ServeConfig::new(128, 24).with_decode_batch(4));
+        let spec = LoadSpec::bursty(0.4, 20.0, 10.0, 32, 7);
+        let scenario = Scenario::new(&model, &system).workload_ref(&workload);
+        let costs = scenario.price_load(&spec).expect("load prices");
+        let horizon =
+            madmax_core::steady::grid_units_round(Seconds::new(400.0)).expect("horizon on grid");
+        let events = materialize_faults(&FaultSpec::fatal(60.0, 5.0, 3), horizon).expect("faults");
+        let retry = RetryPolicy::retries(3);
+        for (label, faults) in [("faulty", events.as_slice()), ("clean", &[][..])] {
+            record(
+                &mut records,
+                &baseline,
+                format!("serve_load_fault/{}/{label}", ModelId::Llama2),
+                spec.arrivals.count(),
+                1,
+                reps,
+                None,
+                || {
+                    scenario
+                        .serve_load_faulty(&spec, &costs, SimMode::Event, faults, &retry, None)
+                        .expect("faulty load run");
+                },
+            );
+        }
     }
 
     let lines: Vec<String> = records

@@ -1,0 +1,11 @@
+//! `fig_fault` — failure-aware goodput: training goodput across MTBF and
+//! checkpoint-interval grids with a Young/Daly-vs-replay cross-check, the
+//! goodput-ranked strategy search (plan flip versus the latency ranking),
+//! and serving availability/retries under a materialized fault stream.
+//! Flags (shared across the DSE-heavy bins): `--threads N`,
+//! `--progress N`, `--telemetry PATH`.
+fn main() {
+    let cli = madmax_bench::BenchCli::from_args("fig_fault");
+    let report = cli.run(madmax_bench::experiments::fault_figs::fig_fault);
+    madmax_bench::emit("fig_fault", &report);
+}

@@ -27,6 +27,9 @@
 //!   `--arrival-count N` / `--arrival-seed S` shape the stream.
 //! - `--arrival-trace PATH` — JSONL request trace instead of Poisson,
 //!   one `{"arrival": s, "prompt_len": n, "decode_len": m}` per line.
+//! - `--burst-on S` / `--burst-off S` — modulate the Poisson stream
+//!   into an on-off bursty process (exponential on/off phases with the
+//!   given means; arrivals pause during off phases).
 //! - `--kv-blocks B`, `--queue-cap Q`, `--eviction`, `--horizon S` —
 //!   paged KV budget, admission-queue bound, eviction+recompute policy,
 //!   and run cutoff.
@@ -38,6 +41,27 @@
 //!   `paged-kv-residency` rules; with `--emit-trace PATH`, per-request
 //!   Perfetto tracks (queue wait, KV residency, engine timeline) are
 //!   exported.
+//!
+//! Fault-injection flags (active with `--mtbf`):
+//!
+//! - `--mtbf S` — fleet mean time between fatal faults, seconds. On a
+//!   `simulate` with an arrival process, fatal faults drop in-flight
+//!   requests (retried per `--retry`) and degrade capacity for
+//!   `--recovery` seconds; on a plain serve/training `simulate`, the
+//!   command reports checkpoint/restart *goodput* (closed-form
+//!   Young/Daly, cross-checked against a seeded discrete-event replay);
+//!   on `search`, candidates are ranked by goodput-optimal effective
+//!   throughput instead of iteration latency.
+//! - `--checkpoint-interval S` — seconds of useful work between
+//!   checkpoint writes (default: the Young/Daly optimum; `search`
+//!   accepts a comma ladder and sweeps it per candidate).
+//! - `--recovery S` — capacity-recovery time per fatal fault (default
+//!   30); `--slots-lost N` — serving slots lost per fault (default 1).
+//! - `--retry N` — fault-retry budget per request (default 3), with
+//!   `--retry-backoff S` / `--retry-timeout S`.
+//! - `--fault-seed S` — fault-stream PRNG seed (default 7);
+//!   `--fault-horizon S` — materialization horizon (default: the load
+//!   horizon, else 4 MTBFs).
 //!
 //! Observability flags:
 //!
@@ -64,8 +88,10 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use madmax_core::config::{ExperimentSpec, SimulationConfig};
-use madmax_dse::{Explorer, LoadAxes, SearchSpace};
-use madmax_engine::{Scenario, SimMode};
+use madmax_core::steady::grid_units_round;
+use madmax_dse::{Explorer, FaultAxes, LoadAxes, SearchSpace};
+use madmax_engine::{FaultSpec, RetryPolicy, Scenario, SimMode};
+use madmax_fault::{materialize_faults, replay_goodput};
 use madmax_hw::units::Seconds;
 use madmax_hw::{catalog, ClusterSpec};
 use madmax_model::{LayerClass, ModelArch, ModelId};
@@ -206,6 +232,19 @@ fn parse_rates(args: &Args) -> Result<Option<Vec<f64>>, String> {
 /// paged KV budget and admission queue of either process.
 fn parse_load_spec(args: &Args) -> Result<Option<LoadSpec>, String> {
     let rates = parse_rates(args)?;
+    let burst = match (
+        parse_num::<f64>(args, "burst-on")?,
+        parse_num::<f64>(args, "burst-off")?,
+    ) {
+        (Some(on), Some(off)) => Some((on, off)),
+        (None, None) => None,
+        _ => return Err("--burst-on and --burst-off must be given together".to_owned()),
+    };
+    if burst.is_some() && rates.is_none() {
+        return Err(
+            "--burst-on/--burst-off modulate a Poisson stream; add --arrival-rate".to_owned(),
+        );
+    }
     let mut spec = match (&rates, args.get("arrival-trace")) {
         (Some(_), Some(_)) => {
             return Err("--arrival-rate and --arrival-trace are mutually exclusive".to_owned());
@@ -213,7 +252,10 @@ fn parse_load_spec(args: &Args) -> Result<Option<LoadSpec>, String> {
         (Some(rates), None) => {
             let count = parse_num::<usize>(args, "arrival-count")?.unwrap_or(64);
             let seed = parse_num::<u64>(args, "arrival-seed")?.unwrap_or(42);
-            LoadSpec::poisson(rates[0], count, seed)
+            match burst {
+                Some((on, off)) => LoadSpec::bursty(rates[0], on, off, count, seed),
+                None => LoadSpec::poisson(rates[0], count, seed),
+            }
         }
         (None, Some(path)) => {
             let text =
@@ -242,14 +284,81 @@ fn parse_slo(args: &Args) -> Result<Option<Seconds>, String> {
     Ok(parse_num::<f64>(args, "slo-ttft-p99")?.map(Seconds::new))
 }
 
+/// Parses `--checkpoint-interval`: one interval for `simulate`, a
+/// comma-separated grid for `search` (e.g.
+/// `--checkpoint-interval 60,300,1800`). Empty when the flag is absent.
+fn parse_intervals(args: &Args) -> Result<Vec<f64>, String> {
+    args.get("checkpoint-interval").map_or(Ok(Vec::new()), |v| {
+        v.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("--checkpoint-interval: `{s}` is not a number"))
+            })
+            .collect()
+    })
+}
+
+/// Parses the fault-injection flags into a [`FaultSpec`], when `--mtbf`
+/// requests one. The checkpoint interval is left to the caller
+/// (`simulate` applies a single `--checkpoint-interval`; `search`
+/// sweeps the comma ladder through [`FaultAxes`]).
+fn parse_fault_spec(args: &Args) -> Result<Option<FaultSpec>, String> {
+    let Some(mtbf) = parse_num::<f64>(args, "mtbf")? else {
+        for flag in [
+            "checkpoint-interval",
+            "recovery",
+            "slots-lost",
+            "retry",
+            "retry-backoff",
+            "retry-timeout",
+            "fault-seed",
+            "fault-horizon",
+        ] {
+            if args.get(flag).is_some() {
+                return Err(format!("--{flag} needs --mtbf"));
+            }
+        }
+        return Ok(None);
+    };
+    let recovery = parse_num::<f64>(args, "recovery")?.unwrap_or(30.0);
+    let seed = parse_num::<u64>(args, "fault-seed")?.unwrap_or(7);
+    let mut spec = FaultSpec::fatal(mtbf, recovery, seed);
+    if let Some(n) = parse_num::<usize>(args, "slots-lost")? {
+        spec = spec.with_slots_lost(n);
+    }
+    spec.validate()?;
+    Ok(Some(spec))
+}
+
+/// Parses the retry flags into a [`RetryPolicy`].
+fn parse_retry(args: &Args) -> Result<RetryPolicy, String> {
+    let mut policy = match parse_num::<u32>(args, "retry")? {
+        Some(n) => RetryPolicy::retries(n),
+        None => RetryPolicy::default(),
+    };
+    if let Some(backoff) = parse_num::<f64>(args, "retry-backoff")? {
+        policy = policy.with_backoff(backoff);
+    }
+    if let Some(timeout) = parse_num::<f64>(args, "retry-timeout")? {
+        policy = policy.with_timeout(timeout);
+    }
+    policy.validate()?;
+    Ok(policy)
+}
+
 /// `simulate` with an arrival process: run the continuous-batching load
-/// simulator instead of the one-wave report.
+/// simulator instead of the one-wave report. With a [`FaultSpec`]
+/// (`--mtbf`), the stream runs through the fault-aware simulator:
+/// fatal faults interrupt in-flight requests (requeued per the retry
+/// policy) and degrade capacity until recovery.
 fn run_load_simulation(
     model: &ModelArch,
     system: &ClusterSpec,
     plan: &Plan,
     workload: &Workload,
     spec: &LoadSpec,
+    fault: Option<&FaultSpec>,
     args: &Args,
 ) -> Result<(), String> {
     let scenario = Scenario::new(model, system)
@@ -257,13 +366,44 @@ fn run_load_simulation(
         .workload_ref(workload);
     let costs = scenario.price_load(spec).map_err(|e| e.to_string())?;
     let ticker = parse_num::<u64>(args, "progress")?.map(StderrTicker::every);
+    let (events, retry) = match fault {
+        Some(f) => {
+            // Cover the whole run: the load horizon when set, else four
+            // MTBFs (capped to the exact grid's ~16384 s range).
+            let horizon_secs = match parse_num::<f64>(args, "fault-horizon")? {
+                Some(h) => h,
+                None => spec
+                    .horizon
+                    .unwrap_or_else(|| (4.0 * f.mtbf.unwrap_or(f64::INFINITY)).min(16_000.0)),
+            };
+            let horizon = grid_units_round(Seconds::new(horizon_secs))
+                .ok_or_else(|| format!("fault horizon {horizon_secs} s beyond the exact grid"))?;
+            let events = materialize_faults(f, horizon).map_err(|e| e.to_string())?;
+            (events, parse_retry(args)?)
+        }
+        None => (Vec::new(), RetryPolicy::default()),
+    };
     let started = std::time::Instant::now();
-    let outcome = match &ticker {
-        Some(t) => {
+    let outcome = match (fault.is_some(), &ticker) {
+        (true, Some(t)) => {
+            let mut hook = forward_to_sink(t);
+            scenario.serve_load_faulty(
+                spec,
+                &costs,
+                SimMode::Event,
+                &events,
+                &retry,
+                Some(&mut hook),
+            )
+        }
+        (true, None) => {
+            scenario.serve_load_faulty(spec, &costs, SimMode::Event, &events, &retry, None)
+        }
+        (false, Some(t)) => {
             let mut hook = forward_to_sink(t);
             scenario.serve_load_priced(spec, &costs, SimMode::Event, Some(&mut hook))
         }
-        None => scenario.serve_load_priced(spec, &costs, SimMode::Event, None),
+        (false, None) => scenario.serve_load_priced(spec, &costs, SimMode::Event, None),
     }
     .map_err(|e| e.to_string())?;
     let telemetry = LoadTelemetry::from_outcome(
@@ -282,6 +422,15 @@ fn run_load_simulation(
         "load:            {} arrivals | {} completed | {} rejected | {} evictions",
         r.arrivals, r.completed, r.rejected, r.evictions
     );
+    if fault.is_some() {
+        println!(
+            "faults:          {} windows | availability {:.1}% | {} retries | {} failed",
+            outcome.trace.faults.len(),
+            r.availability * 100.0,
+            r.retries,
+            r.failed
+        );
+    }
     if let Some(t) = &r.ttft {
         println!(
             "ttft:            p50 {:.1} ms | p95 {:.1} ms | p99 {:.1} ms | max {:.1} ms",
@@ -315,6 +464,15 @@ fn run_load_simulation(
             slo.as_ms(),
             r.goodput_tokens_per_sec(slo)
         );
+        if fault.is_some() {
+            for (from, to) in r.slo_violation_windows(slo) {
+                println!(
+                    "slo violation:   arrivals in [{:.1} s, {:.1} s] missed the TTFT bound",
+                    from.as_secs(),
+                    to.as_secs()
+                );
+            }
+        }
     }
     println!(
         "queue:           max depth {} | mean {:.2}",
@@ -331,6 +489,81 @@ fn run_load_simulation(
     }
     if args.is_set("verify") {
         finish_verify(&madmax_verify::verify_load(&outcome.trace))?;
+    }
+    Ok(())
+}
+
+/// `simulate` with `--mtbf` and no arrival process: the training
+/// checkpoint/restart goodput evaluation — checkpoint costs priced from
+/// the plan's memory breakdown, the closed-form Young/Daly expected
+/// goodput, and a seeded discrete-event replay cross-check.
+fn run_goodput(
+    model: &ModelArch,
+    system: &ClusterSpec,
+    plan: &Plan,
+    workload: &Workload,
+    fault: &FaultSpec,
+    args: &Args,
+) -> Result<(), String> {
+    let intervals = parse_intervals(args)?;
+    let fault = match intervals.as_slice() {
+        [] => fault.clone(),
+        [one] => fault.clone().with_checkpoint_interval(*one),
+        _ => {
+            return Err(
+                "simulate takes a single --checkpoint-interval; pass a comma ladder to search"
+                    .to_owned(),
+            )
+        }
+    };
+    let outcome = Scenario::new(model, system)
+        .plan_ref(plan)
+        .workload_ref(workload)
+        .goodput(&fault)
+        .map_err(|e| e.to_string())?;
+    let g = &outcome.goodput;
+    println!("workload:        {} ({workload})", model.name);
+    println!("system:          {}", system.name);
+    println!("plan:            {}", plan.summary());
+    println!(
+        "iteration:       {:.3} ms | checkpoint state {:.1} GB/device",
+        outcome.report.iteration_time.as_ms(),
+        outcome.ckpt.state_bytes.as_gb()
+    );
+    println!(
+        "checkpoint:      write {:.2} s | restart {:.2} s | interval {:.1} s{}",
+        g.checkpoint_write,
+        g.restart,
+        g.interval,
+        if fault.checkpoint_interval.is_some() {
+            ""
+        } else {
+            " (Young/Daly optimum)"
+        }
+    );
+    println!(
+        "goodput:         {:.2}% of {:.4} iter/s fault-free -> {:.4} iter/s at MTBF {:.0} s",
+        g.goodput_fraction * 100.0,
+        g.fault_free_throughput,
+        g.effective_throughput,
+        g.mtbf
+    );
+    const REPLAY_SEGMENTS: usize = 200_000;
+    let replayed = replay_goodput(
+        g.checkpoint_write,
+        g.restart,
+        g.mtbf,
+        g.interval,
+        fault.seed,
+        REPLAY_SEGMENTS,
+    );
+    println!(
+        "replay check:    {:.2}% goodput over {REPLAY_SEGMENTS} replayed segments (seed {})",
+        replayed * 100.0,
+        fault.seed
+    );
+    if args.is_set("verify") {
+        finish_verify(&madmax_verify::verify_goodput(g))?;
     }
     Ok(())
 }
@@ -549,8 +782,20 @@ fn run() -> Result<(), String> {
             let system = lookup_system(&args)?;
             let workload = parse_workload(&args)?;
             let plan = build_plan(&model, &args)?;
+            let fault = parse_fault_spec(&args)?;
             if let Some(spec) = parse_load_spec(&args)? {
-                return run_load_simulation(&model, &system, &plan, &workload, &spec, &args);
+                return run_load_simulation(
+                    &model,
+                    &system,
+                    &plan,
+                    &workload,
+                    &spec,
+                    fault.as_ref(),
+                    &args,
+                );
+            }
+            if let Some(fault) = &fault {
+                return run_goodput(&model, &system, &plan, &workload, fault, &args);
             }
             print_report(&model, &system, &plan, &workload)?;
             if let Some(path) = args.get("emit-trace") {
@@ -592,6 +837,57 @@ fn run() -> Result<(), String> {
             if let Some(n) = args.get("threads") {
                 let n: usize = n.parse().map_err(|_| "--threads expects a number")?;
                 explorer = explorer.threads(n);
+            }
+            if let Some(fault) = parse_fault_spec(&args)? {
+                if parse_load_spec(&args)?.is_some() {
+                    return Err(
+                        "goodput search takes no arrival process; drop the load flags or \
+                         run `simulate` for a fault-aware load simulation"
+                            .to_owned(),
+                    );
+                }
+                let mut axes = FaultAxes::new(fault);
+                let intervals = parse_intervals(&args)?;
+                if !intervals.is_empty() {
+                    axes = axes.with_intervals(intervals);
+                }
+                let r = explorer.explore_goodput(&axes).map_err(|e| e.to_string())?;
+                println!(
+                    "goodput search: {} candidates | {} goodput evaluations",
+                    r.candidates.len(),
+                    r.evaluated
+                );
+                println!("telemetry: {}", r.telemetry.summary());
+                if let Some(path) = args.get("telemetry") {
+                    let js = serde_json::to_string_pretty(&r.telemetry)
+                        .map_err(|e| format!("telemetry does not serialize: {e}"))?;
+                    std::fs::write(path, js)
+                        .map_err(|e| format!("cannot write telemetry to {path}: {e}"))?;
+                    eprintln!("telemetry written to {path}");
+                }
+                let best = r.best();
+                println!("goodput-best: {}", best.plan.summary());
+                if let Some(i) = best.best_point {
+                    let p = &best.points[i];
+                    println!(
+                        "best point:   interval {:.1} s -> {:.2}% goodput, {:.4} iter/s \
+                         effective (MTBF {:.0} s)",
+                        p.interval,
+                        p.goodput_fraction * 100.0,
+                        p.effective_throughput,
+                        p.mtbf
+                    );
+                }
+                println!("latency-best: {}", r.fault_free().plan.summary());
+                if r.plan_flip() {
+                    println!(
+                        "plan flip: the goodput-optimal plan diverges from the \
+                         latency-optimal one at this MTBF"
+                    );
+                } else {
+                    println!("no plan flip: latency-optimal stays goodput-optimal at this MTBF");
+                }
+                return Ok(());
             }
             if let Some(spec) = parse_load_spec(&args)? {
                 let mut axes = LoadAxes::new(spec, parse_rates(&args)?.unwrap_or_default());
@@ -677,6 +973,70 @@ fn run() -> Result<(), String> {
                     report.error_count(),
                     report.warning_count(),
                     cp
+                );
+                for d in &report.diagnostics {
+                    println!("    {d}");
+                }
+                if !report.is_clean() {
+                    failed += 1;
+                }
+            }
+            // The fault-injection corpus: materialized fault streams
+            // through the fault-aware load simulator, checked by the
+            // fault-ledger rules (plus the rest of the load rule set).
+            for fs in madmax_bench::fault_corpus() {
+                if only.is_some_and(|pat| !fs.name.contains(pat)) {
+                    continue;
+                }
+                ran += 1;
+                let scenario = Scenario::new(&fs.model, &fs.system)
+                    .plan_ref(&fs.plan)
+                    .workload_ref(&fs.workload);
+                let costs = scenario.price_load(&fs.load).map_err(|e| e.to_string())?;
+                let events =
+                    materialize_faults(&fs.fault, fs.horizon_units).map_err(|e| e.to_string())?;
+                let outcome = scenario
+                    .serve_load_faulty(&fs.load, &costs, SimMode::Event, &events, &fs.retry, None)
+                    .map_err(|e| e.to_string())?;
+                let report = madmax_verify::verify_load(&outcome.trace);
+                println!(
+                    "{:<28} {:>2} errors {:>2} warnings  {} fault windows",
+                    fs.name,
+                    report.error_count(),
+                    report.warning_count(),
+                    outcome.trace.faults.len()
+                );
+                for d in &report.diagnostics {
+                    println!("    {d}");
+                }
+                if !report.is_clean() {
+                    failed += 1;
+                }
+            }
+            // Closed-form goodput reports under the goodput-bound rule.
+            for (name, mtbf) in [
+                ("goodput/llama2@3600", 3600.0),
+                ("goodput/llama2@600", 600.0),
+            ] {
+                if only.is_some_and(|pat| !name.contains(pat)) {
+                    continue;
+                }
+                ran += 1;
+                let model = ModelId::Llama2.build();
+                let system = catalog::llama_llm_system();
+                let plan = Plan::fsdp_baseline(&model);
+                let outcome = Scenario::new(&model, &system)
+                    .plan_ref(&plan)
+                    .workload(Workload::pretrain())
+                    .goodput(&FaultSpec::fatal(mtbf, 60.0, 7))
+                    .map_err(|e| e.to_string())?;
+                let report = madmax_verify::verify_goodput(&outcome.goodput);
+                println!(
+                    "{:<28} {:>2} errors {:>2} warnings  goodput {:.2}%",
+                    name,
+                    report.error_count(),
+                    report.warning_count(),
+                    outcome.goodput.goodput_fraction * 100.0
                 );
                 for d in &report.diagnostics {
                     println!("    {d}");

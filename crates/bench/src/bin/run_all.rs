@@ -84,6 +84,7 @@ fn main() {
             "fig_serve_load",
             Box::new(move || e::serve_load_figs::fig_serve_load(h)),
         ),
+        ("fig_fault", Box::new(move || e::fault_figs::fig_fault(h))),
         ("ablations", Box::new(e::ablations::run)),
     ];
     let mut summary = ElapsedSummary::new();

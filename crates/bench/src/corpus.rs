@@ -10,9 +10,12 @@
 //! backbone), and `tests/verify_invariants.rs` asserts the corpus stays
 //! diagnostic-clean while mutated schedules are flagged.
 
+use madmax_core::steady::grid_units_round;
+use madmax_fault::{FaultSpec, MaintenanceWindow, RetryPolicy};
+use madmax_hw::units::Seconds;
 use madmax_hw::{catalog, ClusterSpec};
 use madmax_model::{LayerClass, ModelArch, ModelId};
-use madmax_parallel::{PipelineConfig, Plan, ServeConfig, Workload};
+use madmax_parallel::{LoadSpec, PipelineConfig, Plan, ServeConfig, Workload};
 
 /// One named scenario of the verification corpus.
 #[derive(Debug, Clone)]
@@ -213,6 +216,82 @@ pub fn verify_corpus() -> Vec<VerifyScenario> {
     ));
 
     corpus
+}
+
+/// One fault-injection scenario of the verification corpus: a serve
+/// load run with a materialized, seeded fault stream, checked by the
+/// `fault-ledger` rule family in `madmax verify`.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Stable scenario name (`fault/fatal-llama2`, ...).
+    pub name: String,
+    /// The model architecture.
+    pub model: ModelArch,
+    /// The cluster it runs on.
+    pub system: ClusterSpec,
+    /// The parallelization plan.
+    pub plan: Plan,
+    /// The serve workload.
+    pub workload: Workload,
+    /// The request stream.
+    pub load: LoadSpec,
+    /// The fault process to materialize.
+    pub fault: FaultSpec,
+    /// The retry policy applied to interrupted requests.
+    pub retry: RetryPolicy,
+    /// Fault-materialization horizon, in grid units.
+    pub horizon_units: i64,
+}
+
+/// Builds the fault-injection corpus swept by `madmax verify`: a fatal
+/// fault stream over a Poisson serve load, a transient-slowdown stream
+/// over a bursty load, and a maintenance window — every fault kind the
+/// simulator traces, each under a different arrival process.
+pub fn fault_corpus() -> Vec<FaultScenario> {
+    let model = ModelId::Llama2.build();
+    let system = catalog::llama_llm_system();
+    let plan = Plan::fsdp_baseline(&model);
+    let workload = Workload::serve(ServeConfig::new(128, 24).with_decode_batch(4));
+    // Every stream is faulted well inside its makespan: the Poisson
+    // stream spans ~80 s at 0.2 req/s, so a 400 s horizon with a 60 s
+    // MTBF lands several fatal windows inside it.
+    let horizon_units = grid_units_round(Seconds::new(400.0)).expect("horizon on grid");
+    let scenario =
+        |name: &str, load: LoadSpec, fault: FaultSpec, retry: RetryPolicy| FaultScenario {
+            name: name.to_owned(),
+            model: model.clone(),
+            system: system.clone(),
+            plan: plan.clone(),
+            workload: workload.clone(),
+            load,
+            fault,
+            retry,
+            horizon_units,
+        };
+    vec![
+        scenario(
+            "fault/fatal-llama2",
+            LoadSpec::poisson(0.2, 16, 7),
+            FaultSpec::fatal(60.0, 5.0, 3),
+            RetryPolicy::retries(3),
+        ),
+        scenario(
+            "fault/transient-bursty-llama2",
+            LoadSpec::bursty(0.4, 20.0, 10.0, 16, 7),
+            FaultSpec::fatal(90.0, 5.0, 13).with_transients(45.0, 8.0, 150),
+            RetryPolicy::retries(2).with_backoff(1.0),
+        ),
+        scenario(
+            "fault/maintenance-llama2",
+            LoadSpec::poisson(0.2, 16, 9),
+            FaultSpec::none().with_maintenance(MaintenanceWindow {
+                start: 30.0,
+                duration: 15.0,
+                slots_lost: 1,
+            }),
+            RetryPolicy::retries(3),
+        ),
+    ]
 }
 
 #[cfg(test)]

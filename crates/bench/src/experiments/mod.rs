@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod characterization;
+pub mod fault_figs;
 pub mod hardware_figs;
 pub mod pipeline_figs;
 pub mod serve_figs;

@@ -35,7 +35,7 @@ pub mod corpus;
 pub mod experiments;
 
 pub use cli::{BenchCli, SearchHooks};
-pub use corpus::{verify_corpus, VerifyScenario};
+pub use corpus::{fault_corpus, verify_corpus, FaultScenario, VerifyScenario};
 
 use std::fs;
 use std::path::PathBuf;

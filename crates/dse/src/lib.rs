@@ -21,12 +21,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod explore;
+pub mod fault;
 pub mod load;
 pub mod pareto;
 pub mod scaling;
 pub mod sweep;
 
 pub use explore::{Explorer, PipelineAxes, SearchOutcome, SearchSpace, ServeAxes};
+pub use fault::{FaultAxes, GoodputCandidate, GoodputSearchOutcome};
 pub use load::{LoadAxes, LoadCandidate, LoadPoint, LoadSearchOutcome};
 pub use madmax_obs::{
     CandidateEvent, CandidateOutcome, JsonlSink, NullSink, ProgressSink, SearchTelemetry,

@@ -22,11 +22,12 @@ use crate::explore::Explorer;
 /// horizon knobs), the arrival rates to sweep, and the TTFT SLO.
 #[derive(Debug, Clone)]
 pub struct LoadAxes {
-    /// The base load spec. A [`ArrivalSpec::Poisson`] arrival process is
-    /// re-rated per sweep point; a trace is simulated as-is (one point).
+    /// The base load spec. A [`ArrivalSpec::Poisson`] or
+    /// [`ArrivalSpec::Bursty`] arrival process is re-rated per sweep
+    /// point; a trace is simulated as-is (one point).
     pub spec: LoadSpec,
-    /// Arrival rates (requests/second) to sweep for Poisson arrivals.
-    /// Ignored for trace arrivals.
+    /// Arrival rates (requests/second) to sweep for Poisson or bursty
+    /// arrivals. Ignored for trace arrivals.
     pub rates: Vec<f64>,
     /// p99 time-to-first-token SLO; `None` ranks by unconstrained
     /// throughput.
@@ -50,20 +51,24 @@ impl LoadAxes {
         self
     }
 
-    /// The spec at one sweep rate (Poisson re-rated; traces unchanged).
+    /// The spec at one sweep rate (Poisson/bursty re-rated; traces
+    /// unchanged).
     fn spec_at(&self, rate: f64) -> LoadSpec {
         let mut spec = self.spec.clone();
-        if let ArrivalSpec::Poisson { rate: r, .. } = &mut spec.arrivals {
-            *r = rate;
+        match &mut spec.arrivals {
+            ArrivalSpec::Poisson { rate: r, .. } | ArrivalSpec::Bursty { rate: r, .. } => {
+                *r = rate;
+            }
+            ArrivalSpec::Trace { .. } => {}
         }
         spec
     }
 
-    /// The sweep points: every rate for Poisson arrivals, the trace
-    /// itself (rate reported as 0) otherwise.
+    /// The sweep points: every rate for Poisson/bursty arrivals, the
+    /// trace itself (rate reported as 0) otherwise.
     fn sweep(&self) -> Vec<(f64, LoadSpec)> {
         match &self.spec.arrivals {
-            ArrivalSpec::Poisson { .. } if !self.rates.is_empty() => {
+            ArrivalSpec::Poisson { .. } | ArrivalSpec::Bursty { .. } if !self.rates.is_empty() => {
                 self.rates.iter().map(|&r| (r, self.spec_at(r))).collect()
             }
             _ => vec![(0.0, self.spec.clone())],
@@ -288,10 +293,10 @@ impl Explorer<'_> {
         axes.spec
             .validate()
             .map_err(|reason| EngineError::InvalidLoad { reason })?;
-        if let ArrivalSpec::Poisson { .. } = &axes.spec.arrivals {
+        if let ArrivalSpec::Poisson { .. } | ArrivalSpec::Bursty { .. } = &axes.spec.arrivals {
             if axes.rates.is_empty() {
                 return Err(EngineError::InvalidLoad {
-                    reason: "Poisson load axes need at least one arrival rate".to_owned(),
+                    reason: "Poisson/bursty load axes need at least one arrival rate".to_owned(),
                 });
             }
             for &r in &axes.rates {

@@ -32,6 +32,13 @@ pub enum EngineError {
         /// What went wrong.
         reason: String,
     },
+    /// A fault process cannot be set up or evaluated: an invalid
+    /// `madmax_fault::FaultSpec`, or a fault stream leaving the exact
+    /// duration grid.
+    InvalidFault {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl EngineError {
@@ -61,6 +68,17 @@ impl EngineError {
             EngineError::InvalidLoad { reason } => PlanError::InvalidPipeline {
                 reason: format!("load: {reason}"),
             },
+            EngineError::InvalidFault { reason } => PlanError::InvalidPipeline {
+                reason: format!("fault: {reason}"),
+            },
+        }
+    }
+}
+
+impl From<madmax_fault::FaultError> for EngineError {
+    fn from(e: madmax_fault::FaultError) -> Self {
+        EngineError::InvalidFault {
+            reason: e.to_string(),
         }
     }
 }
@@ -105,6 +123,7 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
             EngineError::InvalidLoad { reason } => write!(f, "invalid load: {reason}"),
+            EngineError::InvalidFault { reason } => write!(f, "invalid fault spec: {reason}"),
         }
     }
 }
@@ -113,7 +132,9 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::InvalidPlan(e) => Some(e),
-            EngineError::OutOfMemory { .. } | EngineError::InvalidLoad { .. } => None,
+            EngineError::OutOfMemory { .. }
+            | EngineError::InvalidLoad { .. }
+            | EngineError::InvalidFault { .. } => None,
         }
     }
 }

@@ -55,12 +55,17 @@ pub mod error;
 pub mod scenario;
 
 pub use error::EngineError;
-pub use scenario::{simulate, Scenario};
+pub use scenario::{simulate, GoodputOutcome, Scenario};
 
 // Re-exported so engine consumers (the explorer, benches) can name the
 // fast-path types without a direct `madmax-core` / `madmax-pipeline`
 // dependency.
 pub use madmax_core::{CostTable, EngineScratch};
 pub use madmax_pipeline::PipelineCostTable;
-// Likewise for the continuous-batching load path (`Scenario::serve_load`).
+// Likewise for the continuous-batching load path (`Scenario::serve_load`)
+// and the failure-aware goodput path (`Scenario::goodput`,
+// `Scenario::serve_load_faulty`).
+pub use madmax_fault::{
+    CheckpointModel, FaultEvent, FaultSpec, GoodputReport, MaintenanceWindow, RetryPolicy,
+};
 pub use madmax_serve::{LoadOutcome, LoadReport, SimMode, StepCostModel};

@@ -6,6 +6,10 @@ use std::borrow::Cow;
 use madmax_core::collective::{CollectiveModel, HierarchicalNccl};
 use madmax_core::compute::UtilizationModel;
 use madmax_core::{CostTable, EngineScratch, IterationReport, Schedule, Trace};
+use madmax_fault::{
+    expected_goodput, young_daly_interval, CheckpointModel, FaultEvent, FaultSpec, GoodputReport,
+    RetryPolicy,
+};
 use madmax_hw::ClusterSpec;
 use madmax_model::ModelArch;
 use madmax_parallel::{LoadSpec, Plan, Workload};
@@ -13,6 +17,18 @@ use madmax_pipeline::PipelineCostTable;
 use madmax_serve::{LoadOutcome, SimMode, StepCostModel};
 
 use crate::error::EngineError;
+
+/// Everything a failure-aware training-goodput evaluation produces.
+#[derive(Debug, Clone)]
+pub struct GoodputOutcome {
+    /// The fault-free iteration report (its `memory` breakdown prices
+    /// the checkpoint).
+    pub report: IterationReport,
+    /// Priced checkpoint/restart costs of this plan on this cluster.
+    pub ckpt: CheckpointModel,
+    /// The closed-form expected-goodput evaluation.
+    pub goodput: GoodputReport,
+}
 
 /// One simulation scenario: a model mapped onto a system by a plan,
 /// executing a workload.
@@ -439,6 +455,85 @@ impl<'a> Scenario<'a> {
             .map_err(EngineError::from)
     }
 
+    /// [`Scenario::serve_load_priced`] under a materialized fault stream:
+    /// fatal/maintenance events interrupt in-flight requests (handled per
+    /// `retry`) and degrade capacity until recovery, transient events slow
+    /// the clock. An empty `faults` slice is byte-identical to the plain
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidLoad`] for invalid specs, unsorted or
+    /// malformed fault events, or grid-range overflows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_load_faulty(
+        &self,
+        spec: &LoadSpec,
+        costs: &StepCostModel,
+        mode: SimMode,
+        faults: &[FaultEvent],
+        retry: &RetryPolicy,
+        on_complete: Option<&mut dyn FnMut(&madmax_serve::RequestRecord)>,
+    ) -> Result<LoadOutcome, EngineError> {
+        let serve = self.load_serve_config()?;
+        madmax_serve::simulate_load_faulty(
+            spec,
+            serve,
+            self.model,
+            costs,
+            mode,
+            faults,
+            retry,
+            on_complete,
+        )
+        .map_err(EngineError::from)
+    }
+
+    /// Evaluates this scenario's **failure-aware training goodput**: runs
+    /// the fault-free simulation, prices a checkpoint write/restart from
+    /// the plan's per-device memory breakdown and the cluster fabric (via
+    /// the collective model), then folds both through the closed-form
+    /// Young/Daly expected-goodput model at `spec.mtbf`.
+    ///
+    /// The checkpoint interval is `spec.checkpoint_interval` when set,
+    /// otherwise the Young/Daly optimum `sqrt(2 * write * MTBF)`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidFault`] for an invalid spec or a spec without
+    /// a fatal-fault MTBF; otherwise the same conditions as
+    /// [`Scenario::run`].
+    pub fn goodput(&self, spec: &FaultSpec) -> Result<GoodputOutcome, EngineError> {
+        spec.validate()
+            .map_err(|reason| EngineError::InvalidFault { reason })?;
+        let Some(mtbf) = spec.mtbf else {
+            return Err(EngineError::InvalidFault {
+                reason: "goodput evaluation needs a fatal-fault MTBF (FaultSpec::mtbf)".to_owned(),
+            });
+        };
+        let report = self.run()?;
+        let ckpt = CheckpointModel::price(&report.memory, self.system, self.collectives);
+        let write = ckpt.write.as_secs();
+        // A restart reloads the checkpoint and waits out capacity
+        // recovery (node replacement / reschedule) before resuming.
+        let restart = ckpt.restart.as_secs() + spec.recovery;
+        let interval = spec
+            .checkpoint_interval
+            .unwrap_or_else(|| young_daly_interval(write, mtbf));
+        let goodput = expected_goodput(
+            report.iteration_time.as_secs(),
+            write,
+            restart,
+            mtbf,
+            interval,
+        );
+        Ok(GoodputOutcome {
+            report,
+            ckpt,
+            goodput,
+        })
+    }
+
     /// Builds the scenario's trace without scheduling it (for inspection /
     /// Fig. 6 timelines). For pipelined plans this is the multi-stream
     /// stage trace.
@@ -642,6 +737,80 @@ mod tests {
         let spec = madmax_parallel::LoadSpec::poisson(100.0, 4, 1);
         let err = Scenario::new(&model, &sys).serve_load(&spec).unwrap_err();
         assert!(matches!(err, EngineError::InvalidLoad { .. }), "{err}");
+    }
+
+    #[test]
+    fn goodput_degrades_with_mtbf_and_needs_a_fatal_stream() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let scenario = Scenario::new(&model, &sys);
+
+        let plentiful = scenario.goodput(&FaultSpec::fatal(1e9, 60.0, 1)).unwrap();
+        assert!(plentiful.goodput.goodput_fraction > 0.99);
+        assert!(plentiful.ckpt.write.as_secs() > 0.0);
+        // Fault-free throughput comes straight from the iteration report.
+        assert!(
+            (plentiful.goodput.fault_free_throughput
+                - 1.0 / plentiful.report.iteration_time.as_secs())
+            .abs()
+                < 1e-12
+        );
+
+        let scarce = scenario.goodput(&FaultSpec::fatal(600.0, 60.0, 1)).unwrap();
+        assert!(scarce.goodput.goodput_fraction < plentiful.goodput.goodput_fraction);
+        assert!(scarce.goodput.effective_throughput < scarce.goodput.fault_free_throughput);
+        // Same fault-free plan either way.
+        assert_eq!(scarce.report, plentiful.report);
+
+        // No fatal stream -> no goodput model.
+        let err = scenario.goodput(&FaultSpec::none()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidFault { .. }), "{err}");
+        let err = scenario
+            .goodput(&FaultSpec::fatal(-1.0, 0.0, 1))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidFault { .. }), "{err}");
+    }
+
+    #[test]
+    fn explicit_checkpoint_interval_overrides_young_daly() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let scenario = Scenario::new(&model, &sys);
+        let auto = scenario
+            .goodput(&FaultSpec::fatal(3600.0, 30.0, 1))
+            .unwrap();
+        let forced = scenario
+            .goodput(&FaultSpec::fatal(3600.0, 30.0, 1).with_checkpoint_interval(1.0))
+            .unwrap();
+        assert!((forced.goodput.interval - 1.0).abs() < 1e-12);
+        // The Young/Daly choice is at least as good as an arbitrary one.
+        assert!(auto.goodput.goodput_fraction >= forced.goodput.goodput_fraction);
+    }
+
+    #[test]
+    fn serve_load_faulty_with_no_events_matches_the_plain_path() {
+        let model = ModelId::Llama2.build();
+        let sys = catalog::llama_llm_system();
+        let spec = madmax_parallel::LoadSpec::poisson(200.0, 10, 3);
+        let scenario = Scenario::new(&model, &sys).workload(Workload::serve(
+            ServeConfig::new(256, 32).with_decode_batch(4),
+        ));
+        let costs = scenario.price_load(&spec).unwrap();
+        let plain = scenario
+            .serve_load_priced(&spec, &costs, SimMode::Event, None)
+            .unwrap();
+        let faulty = scenario
+            .serve_load_faulty(
+                &spec,
+                &costs,
+                SimMode::Event,
+                &[],
+                &RetryPolicy::default(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(plain.report, faulty.report);
+        assert_eq!(plain.trace, faulty.trace);
     }
 
     #[test]

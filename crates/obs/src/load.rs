@@ -8,6 +8,7 @@
 //! callbacks into a [`ProgressSink`].
 
 use madmax_core::steady::grid_seconds;
+use madmax_fault::FaultKind;
 use madmax_serve::{LoadOutcome, LoadTrace, RequestRecord, SimMode};
 use serde::{Deserialize, Serialize, Value};
 
@@ -205,6 +206,33 @@ impl ChromeTrace {
                 .push(("blocks_held".to_owned(), Value::UInt(r.blocks_held)));
             self.push(ev);
         }
+        // Fault windows as their own track (absent for fault-free runs,
+        // keeping their export byte-identical to the pre-fault layout).
+        if !trace.faults.is_empty() {
+            self.push(meta("thread_name", 2, "faults".to_owned()));
+            for f in &trace.faults {
+                let name = match f.kind {
+                    FaultKind::Fatal => format!("fatal (-{} slots)", f.slots_lost),
+                    FaultKind::Transient => {
+                        format!(
+                            "transient (x{:.2} slowdown)",
+                            f64::from(f.slowdown_pct) / 100.0
+                        )
+                    }
+                    FaultKind::Maintenance => format!("maintenance (-{} slots)", f.slots_lost),
+                };
+                // Perfetto drops zero-width slices, so give instantaneous
+                // windows one grid unit of visual width.
+                let mut ev = slice(name, "fault", 2, f.start, f.end.max(f.start + 1));
+                ev.args.push((
+                    "interrupted".to_owned(),
+                    Value::UInt(f.interrupted.len() as u64),
+                ));
+                ev.args
+                    .push(("slots_lost".to_owned(), Value::UInt(f.slots_lost as u64)));
+                self.push(ev);
+            }
+        }
         // Queue depth as a counter track.
         for &(at, depth) in &trace.queue_depth {
             self.push(TraceEvent {
@@ -290,6 +318,66 @@ mod tests {
         // Deterministic export.
         let again = ChromeTrace::from_load_trace(&out.trace);
         assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn fault_windows_export_their_own_track() {
+        use madmax_fault::{FaultEvent, RetryPolicy};
+        use madmax_serve::simulate_load_faulty;
+
+        let costs = StepCostModel {
+            prefill_base: 100,
+            prefill_slope: 1,
+            step_base: 10,
+            step_seq: 2,
+            step_rate: 1,
+            slots: 2,
+        };
+        let spec = LoadSpec::trace(
+            (0..3)
+                .map(|_| RequestSpec {
+                    arrival: 0.0,
+                    prompt_len: 8,
+                    decode_len: 4,
+                })
+                .collect(),
+        );
+        let serve = ServeConfig::new(8, 4);
+        let faults = [FaultEvent {
+            at: 250,
+            until: 300,
+            kind: FaultKind::Fatal,
+            slots_lost: 1,
+            slowdown_pct: 100,
+        }];
+        let out = simulate_load_faulty(
+            &spec,
+            &serve,
+            &ModelId::Llama2.build(),
+            &costs,
+            SimMode::Event,
+            &faults,
+            &RetryPolicy::retries(3),
+            None,
+        )
+        .unwrap();
+        assert!(!out.trace.faults.is_empty());
+        let trace = ChromeTrace::from_load_trace(&out.trace);
+        let fault_slices: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.cat.as_deref() == Some("fault"))
+            .cloned()
+            .collect();
+        assert_eq!(fault_slices.len(), out.trace.faults.len());
+        assert!(fault_slices[0].name.starts_with("fatal"));
+
+        // Fault-free exports carry no fault track at all.
+        let plain = toy_outcome(SimMode::Event);
+        assert!(ChromeTrace::from_load_trace(&plain.trace)
+            .events()
+            .iter()
+            .all(|e| e.cat.as_deref() != Some("fault")));
     }
 
     #[test]

@@ -122,6 +122,13 @@ pub struct SearchTelemetry {
     /// Warn-severity diagnostics (e.g. mostly-idle compute streams) on
     /// winner schedules.
     pub verify_warnings: u64,
+    /// Closed-form goodput evaluations executed (zero outside
+    /// failure-aware searches).
+    #[serde(default)]
+    pub goodput_evals: u64,
+    /// Fault events materialized or injected into simulations.
+    #[serde(default)]
+    pub fault_events: u64,
 }
 
 impl SearchTelemetry {
@@ -158,6 +165,8 @@ impl SearchTelemetry {
         self.wall_ms += other.wall_ms;
         self.verify_errors += other.verify_errors;
         self.verify_warnings += other.verify_warnings;
+        self.goodput_evals += other.goodput_evals;
+        self.fault_events += other.fault_events;
     }
 
     /// One-line human summary (the stderr ticker's final line).
@@ -183,6 +192,12 @@ impl SearchTelemetry {
             line.push_str(&format!(
                 "; verify: {} errors, {} warnings",
                 self.verify_errors, self.verify_warnings
+            ));
+        }
+        if self.goodput_evals > 0 || self.fault_events > 0 {
+            line.push_str(&format!(
+                "; faults: {} goodput evals, {} fault events",
+                self.goodput_evals, self.fault_events
             ));
         }
         line
@@ -296,6 +311,8 @@ mod tests {
                 },
             ],
             verify_warnings: 3,
+            goodput_evals: 2,
+            fault_events: 5,
             ..Default::default()
         };
         a.absorb(&b);
@@ -305,8 +322,12 @@ mod tests {
         assert_eq!(a.workers[0].candidates, 5);
         assert!((a.workers[0].busy_ms - 3.0).abs() < 1e-12);
         assert_eq!(a.verify_warnings, 3);
+        assert_eq!(a.goodput_evals, 2);
+        assert_eq!(a.fault_events, 5);
         assert!(a.summary().contains("verify: 0 errors, 3 warnings"));
+        assert!(a.summary().contains("2 goodput evals, 5 fault events"));
         assert!(!SearchTelemetry::default().summary().contains("verify:"));
+        assert!(!SearchTelemetry::default().summary().contains("faults:"));
     }
 
     #[test]

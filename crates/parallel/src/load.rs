@@ -39,6 +39,24 @@ pub enum ArrivalSpec {
         /// PRNG seed; equal seeds reproduce the stream exactly.
         seed: u64,
     },
+    /// A bursty on-off modulated Poisson process: the stream alternates
+    /// between ON phases (Poisson arrivals at `rate` requests/second)
+    /// and OFF phases (no arrivals), with exponentially distributed
+    /// phase lengths of mean `on_secs` and `off_secs`. Truncated after
+    /// `count` requests; prompt/decode lengths come from the workload's
+    /// `ServeConfig`.
+    Bursty {
+        /// Mean arrival rate *during ON phases*, requests per second.
+        rate: f64,
+        /// Mean ON-phase length, seconds.
+        on_secs: f64,
+        /// Mean OFF-phase length, seconds.
+        off_secs: f64,
+        /// Number of requests to generate.
+        count: usize,
+        /// PRNG seed; equal seeds reproduce the stream exactly.
+        seed: u64,
+    },
     /// An explicit request trace (e.g. parsed from JSONL), sorted by
     /// arrival time.
     Trace {
@@ -51,7 +69,7 @@ impl ArrivalSpec {
     /// Number of requests this process will emit.
     pub fn count(&self) -> usize {
         match self {
-            ArrivalSpec::Poisson { count, .. } => *count,
+            ArrivalSpec::Poisson { count, .. } | ArrivalSpec::Bursty { count, .. } => *count,
             ArrivalSpec::Trace { requests } => requests.len(),
         }
     }
@@ -93,6 +111,19 @@ impl LoadSpec {
     /// after `count` requests, with unbounded queue and unpaged KV.
     pub fn poisson(rate: f64, count: usize, seed: u64) -> Self {
         Self::with_arrivals(ArrivalSpec::Poisson { rate, count, seed })
+    }
+
+    /// A bursty on-off request stream: Poisson at `rate` requests/second
+    /// during ON phases (mean `on_secs`), silent during OFF phases (mean
+    /// `off_secs`), truncated after `count` requests.
+    pub fn bursty(rate: f64, on_secs: f64, off_secs: f64, count: usize, seed: u64) -> Self {
+        Self::with_arrivals(ArrivalSpec::Bursty {
+            rate,
+            on_secs,
+            off_secs,
+            count,
+            seed,
+        })
     }
 
     /// A trace-driven request stream.
@@ -178,6 +209,30 @@ impl LoadSpec {
                     return Err("Poisson count must be >= 1".to_owned());
                 }
             }
+            ArrivalSpec::Bursty {
+                rate,
+                on_secs,
+                off_secs,
+                count,
+                ..
+            } => {
+                if !rate.is_finite() || *rate <= 0.0 {
+                    return Err(format!("bursty rate must be finite and > 0, got {rate}"));
+                }
+                if !on_secs.is_finite() || *on_secs <= 0.0 {
+                    return Err(format!(
+                        "bursty on_secs must be finite and > 0, got {on_secs}"
+                    ));
+                }
+                if !off_secs.is_finite() || *off_secs <= 0.0 {
+                    return Err(format!(
+                        "bursty off_secs must be finite and > 0, got {off_secs}"
+                    ));
+                }
+                if *count == 0 {
+                    return Err("bursty count must be >= 1".to_owned());
+                }
+            }
             ArrivalSpec::Trace { requests } => {
                 if requests.is_empty() {
                     return Err("arrival trace is empty".to_owned());
@@ -235,6 +290,12 @@ mod tests {
         let mut spec = LoadSpec::poisson(1.0, 1, 1);
         spec.block_tokens = 0;
         assert!(spec.validate().is_err());
+        assert!(LoadSpec::bursty(0.0, 1.0, 1.0, 10, 1).validate().is_err());
+        assert!(LoadSpec::bursty(4.0, 0.0, 1.0, 10, 1).validate().is_err());
+        assert!(LoadSpec::bursty(4.0, 1.0, -1.0, 10, 1).validate().is_err());
+        assert!(LoadSpec::bursty(4.0, 1.0, 1.0, 0, 1).validate().is_err());
+        assert!(LoadSpec::bursty(4.0, 1.0, 1.0, 10, 1).validate().is_ok());
+        assert_eq!(LoadSpec::bursty(4.0, 1.0, 1.0, 10, 1).arrivals.count(), 10);
         assert!(LoadSpec::trace(vec![]).validate().is_err());
         let unsorted = LoadSpec::trace(vec![
             RequestSpec {

@@ -100,6 +100,72 @@ pub fn materialize_arrivals(
             }
             Ok(events)
         }
+        ArrivalSpec::Bursty {
+            rate,
+            on_secs,
+            off_secs,
+            count,
+            seed,
+        } => {
+            if !rate.is_finite() || *rate <= 0.0 {
+                return Err(LoadError::Spec(format!("bursty rate {rate} must be > 0")));
+            }
+            if !on_secs.is_finite() || *on_secs <= 0.0 || !off_secs.is_finite() || *off_secs <= 0.0
+            {
+                return Err(LoadError::Spec(format!(
+                    "bursty phase means on={on_secs} off={off_secs} must be > 0"
+                )));
+            }
+            let prompt_len = serve.effective_prompt_len(model);
+            let decode_len = serve.decode_len;
+            if prompt_len == 0 || decode_len == 0 {
+                return Err(LoadError::Spec(
+                    "bursty arrivals need a serve workload with prompt_len >= 1 \
+                     and decode_len >= 1"
+                        .to_owned(),
+                ));
+            }
+            let mut state = if *seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                *seed
+            };
+            let snap = |gap: f64| {
+                grid_units_round(Seconds::new(gap))
+                    .ok_or_else(|| LoadError::GridRange(format!("bursty gap {gap} s off-grid")))
+            };
+            let advance = |at: i64, delta: i64| {
+                at.checked_add(delta)
+                    .filter(|t| *t < 1 << 52)
+                    .ok_or_else(|| {
+                        LoadError::GridRange("arrival clock beyond 2^52 grid units".to_owned())
+                    })
+            };
+            // On-off modulated Poisson by time-rescaling: arrival gaps
+            // are exponential in ON-time; OFF phases are skipped over
+            // without consuming any of the gap. The run starts in an ON
+            // phase at t = 0.
+            let mut at = 0i64;
+            let mut phase_end = snap(-uniform_01(&mut state).ln() * on_secs)?;
+            let mut events = Vec::with_capacity(*count);
+            for _ in 0..*count {
+                let mut gap = snap(-uniform_01(&mut state).ln() / rate)?;
+                while advance(at, gap)? > phase_end {
+                    gap -= phase_end - at;
+                    let off = snap(-uniform_01(&mut state).ln() * off_secs)?;
+                    at = advance(phase_end, off)?;
+                    let on = snap(-uniform_01(&mut state).ln() * on_secs)?;
+                    phase_end = advance(at, on)?;
+                }
+                at = advance(at, gap)?;
+                events.push(ArrivalEvent {
+                    at,
+                    prompt_len,
+                    decode_len,
+                });
+            }
+            Ok(events)
+        }
         ArrivalSpec::Trace { requests } => requests
             .iter()
             .enumerate()
@@ -196,6 +262,69 @@ mod tests {
         let fast = mean_at(20.0);
         // 10x the rate ~ 1/10th the mean gap (same seed, same uniforms).
         assert!((slow / fast - 10.0).abs() < 0.5, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn bursty_streams_are_seed_deterministic_and_clumped() {
+        let model = ModelId::Llama2.build();
+        let spec = ArrivalSpec::Bursty {
+            rate: 20.0,
+            on_secs: 1.0,
+            off_secs: 4.0,
+            count: 400,
+            seed: 11,
+        };
+        let a = materialize_arrivals(&spec, &serve_cfg(), &model).unwrap();
+        let b = materialize_arrivals(&spec, &serve_cfg(), &model).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 400);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+        // Burstiness: an on-off stream at the same in-burst rate has a
+        // higher gap variance than the plain Poisson stream (the OFF
+        // phases insert rare, huge gaps).
+        let squared_cv = |ev: &[ArrivalEvent]| {
+            let gaps: Vec<f64> = ev.windows(2).map(|w| (w[1].at - w[0].at) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let plain = materialize_arrivals(
+            &ArrivalSpec::Poisson {
+                rate: 20.0,
+                count: 400,
+                seed: 11,
+            },
+            &serve_cfg(),
+            &model,
+        )
+        .unwrap();
+        assert!(
+            squared_cv(&a) > 2.0 * squared_cv(&plain),
+            "{} vs {}",
+            squared_cv(&a),
+            squared_cv(&plain)
+        );
+    }
+
+    #[test]
+    fn bursty_off_phases_stretch_the_stream() {
+        let model = ModelId::Llama2.build();
+        let span = |off_secs: f64| {
+            let spec = ArrivalSpec::Bursty {
+                rate: 10.0,
+                on_secs: 0.5,
+                off_secs,
+                count: 200,
+                seed: 5,
+            };
+            materialize_arrivals(&spec, &serve_cfg(), &model)
+                .unwrap()
+                .last()
+                .unwrap()
+                .at
+        };
+        // Longer OFF phases push the same request count further out.
+        assert!(span(8.0) > 2 * span(0.5), "{} vs {}", span(8.0), span(0.5));
     }
 
     #[test]

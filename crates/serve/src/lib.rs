@@ -62,9 +62,9 @@ pub mod trace;
 pub use arrival::{materialize_arrivals, parse_request_jsonl, ArrivalEvent};
 pub use cost::StepCostModel;
 pub use report::{LoadReport, Percentiles, RequestOutcome};
-pub use sim::{simulate_load, LoadOutcome, SimCounters, SimMode};
+pub use sim::{simulate_load, simulate_load_faulty, LoadOutcome, SimCounters, SimMode};
 pub use trace::{
-    LoadTrace, PrefillRun, RejectReason, RequestRecord, ResidencySpan, StepRun, StepSeq,
+    FaultSpan, LoadTrace, PrefillRun, RejectReason, RequestRecord, ResidencySpan, StepRun, StepSeq,
 };
 
 use madmax_parallel::PlanError;

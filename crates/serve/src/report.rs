@@ -74,6 +74,13 @@ pub struct RequestOutcome {
     pub rejected: bool,
     /// Times the request was evicted.
     pub evictions: u32,
+    /// Fault interruptions the request survived.
+    #[serde(default)]
+    pub retries: u32,
+    /// Whether the request was dropped by a fault (retry budget
+    /// exhausted or timeout exceeded).
+    #[serde(default)]
+    pub failed: bool,
 }
 
 /// Aggregate report of one load run.
@@ -91,6 +98,16 @@ pub struct LoadReport {
     pub queued_at_end: usize,
     /// Requests still decoding when the run ended.
     pub in_flight_at_end: usize,
+    /// Requests dropped by faults (retry budget exhausted or timeout).
+    #[serde(default)]
+    pub failed: usize,
+    /// Total fault-interruption retries across requests.
+    #[serde(default)]
+    pub retries: u64,
+    /// Fraction of the makespan with no fault window open (capacity
+    /// whole, no slowdown): `1.0` for fault-free runs.
+    #[serde(default)]
+    pub availability: f64,
     /// Total evictions across requests.
     pub evictions: u64,
     /// End of the run.
@@ -121,6 +138,7 @@ impl LoadReport {
         let mut requests = Vec::with_capacity(trace.records.len());
         let (mut admitted, mut completed, mut rejected, mut evictions) =
             (0usize, 0usize, 0usize, 0u64);
+        let (mut failed, mut retries) = (0usize, 0u64);
         let mut output_tokens = 0u64;
         for rec in &trace.records {
             let ttft_u = rec.first_token.map(|t| t - rec.arrival);
@@ -136,6 +154,10 @@ impl LoadReport {
                 rejected += 1;
             }
             evictions += u64::from(rec.evictions);
+            retries += u64::from(rec.retries);
+            if rec.failed.is_some() {
+                failed += 1;
+            }
             if rec.first_token.is_some() {
                 // The prefill's token, plus whatever decoded.
                 tokens = 1 + trace.steps_of(rec.id) as u64;
@@ -159,18 +181,23 @@ impl LoadReport {
                 completed: rec.completion.is_some(),
                 rejected: rec.rejected.is_some(),
                 evictions: rec.evictions,
+                retries: rec.retries,
+                failed: rec.failed.is_some(),
             });
         }
+        let open = |r: &&crate::trace::RequestRecord| {
+            r.admitted.is_some() && r.completion.is_none() && r.failed.is_none()
+        };
         let in_flight_at_end = trace
             .records
             .iter()
-            .filter(|r| r.admitted.is_some() && r.completion.is_none() && !requeued(trace, r.id))
+            .filter(|r| open(r) && !requeued(trace, r.id))
             .count();
         let queued_at_end = trace.records.len() - rejected - admitted
             + trace
                 .records
                 .iter()
-                .filter(|r| r.admitted.is_some() && r.completion.is_none() && requeued(trace, r.id))
+                .filter(|r| open(r) && requeued(trace, r.id))
                 .count();
         let makespan = grid_seconds(trace.end);
         let secs = makespan.as_secs();
@@ -182,6 +209,9 @@ impl LoadReport {
             rejected,
             queued_at_end,
             in_flight_at_end,
+            failed,
+            retries,
+            availability: availability(trace),
             evictions,
             makespan,
             ttft: Percentiles::from_units(ttfts),
@@ -219,6 +249,57 @@ impl LoadReport {
     pub fn meets_ttft_slo(&self, slo: Seconds) -> bool {
         self.ttft.is_none_or(|t| t.p99 <= slo)
     }
+
+    /// SLO-violation windows: maximal runs of consecutive arrivals (in
+    /// id order) that violated the TTFT `slo` — failed, or first token
+    /// later than `slo` after arrival — reported as `(first arrival,
+    /// last arrival)` spans. Requests with no verdict yet (queued or in
+    /// flight at the horizon) do not open or extend a window.
+    pub fn slo_violation_windows(&self, slo: Seconds) -> Vec<(Seconds, Seconds)> {
+        let mut windows: Vec<(Seconds, Seconds)> = Vec::new();
+        let mut open = false;
+        for r in &self.requests {
+            let verdict = if r.failed {
+                Some(true)
+            } else {
+                r.ttft.map(|t| t > slo)
+            };
+            match verdict {
+                Some(true) => {
+                    if open {
+                        windows.last_mut().expect("open window exists").1 = r.arrival;
+                    } else {
+                        windows.push((r.arrival, r.arrival));
+                        open = true;
+                    }
+                }
+                Some(false) => open = false,
+                None => {}
+            }
+        }
+        windows
+    }
+}
+
+/// Fraction of the trace's makespan with no fault window open: the
+/// complement of the union of fault spans, clipped to `[0, end]`.
+fn availability(trace: &LoadTrace) -> f64 {
+    if trace.faults.is_empty() || trace.end <= 0 {
+        return 1.0;
+    }
+    // Spans are recorded in application order, so starts are monotone;
+    // merge the union with one pass.
+    let mut degraded: i128 = 0;
+    let mut cover = 0i64;
+    for f in &trace.faults {
+        let start = f.start.max(cover);
+        let end = f.end.min(trace.end);
+        if end > start {
+            degraded += i128::from(end - start);
+        }
+        cover = cover.max(end);
+    }
+    (1.0 - degraded as f64 / trace.end as f64).clamp(0.0, 1.0)
 }
 
 /// Whether an admitted, uncompleted request sits in the queue (evicted,

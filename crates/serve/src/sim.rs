@@ -44,6 +44,7 @@
 use std::collections::VecDeque;
 
 use madmax_core::steady::{affine_series_units, first_series_crossing, grid_units_round};
+use madmax_fault::{FaultEvent, FaultKind, RetryPolicy};
 use madmax_hw::units::Seconds;
 use madmax_model::ModelArch;
 use madmax_parallel::{LoadSpec, ServeConfig};
@@ -53,7 +54,7 @@ use crate::cost::StepCostModel;
 use crate::kv::KvPager;
 use crate::report::LoadReport;
 use crate::trace::{
-    LoadTrace, PrefillRun, RejectReason, RequestRecord, ResidencySpan, StepRun, StepSeq,
+    FaultSpan, LoadTrace, PrefillRun, RejectReason, RequestRecord, ResidencySpan, StepRun, StepSeq,
 };
 use crate::LoadError;
 
@@ -98,7 +99,8 @@ pub struct LoadOutcome {
     pub counters: SimCounters,
 }
 
-/// A queued request (fresh, or evicted awaiting re-admission).
+/// A queued request (fresh, evicted, or fault-interrupted awaiting
+/// re-admission).
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     id: u32,
@@ -108,6 +110,8 @@ struct Pending {
     /// Decode steps still owed.
     remaining: i64,
     resumed: bool,
+    /// Earliest re-admission time (retry backoff), grid units.
+    eligible_at: i64,
 }
 
 /// An in-flight request.
@@ -136,6 +140,15 @@ struct Sim<'a, 'h> {
     horizon: Option<i64>,
     arrivals: &'a [ArrivalEvent],
     next_arrival: usize,
+    faults: &'a [FaultEvent],
+    next_fault: usize,
+    /// Fault windows currently open (`until > now`).
+    active: Vec<FaultEvent>,
+    retry: RetryPolicy,
+    /// Retry backoff, grid units.
+    backoff_units: i64,
+    /// Retry timeout, grid units.
+    timeout_units: Option<i64>,
     now: i64,
     queue: VecDeque<Pending>,
     inflight: Vec<Flight>,
@@ -198,10 +211,98 @@ impl Sim<'_, '_> {
                 ctx: a.prompt_len as u64,
                 remaining: a.decode_len as i64,
                 resumed: false,
+                eligible_at: a.at,
             });
             self.note_queue_depth();
         }
         changed
+    }
+
+    /// Decode slots usable right now: the priced slot count minus the
+    /// capacity drained by open fault windows.
+    fn effective_slots(&self) -> usize {
+        let lost: usize = self.active.iter().map(|f| f.slots_lost).sum();
+        self.costs.slots.saturating_sub(lost)
+    }
+
+    /// Step-cost multiplier of the open fault windows, percent (`100`
+    /// when none is open; overlapping windows take the worst factor).
+    fn slowdown_pct(&self) -> i64 {
+        self.active
+            .iter()
+            .map(|f| i64::from(f.slowdown_pct))
+            .max()
+            .unwrap_or(100)
+            .max(100)
+    }
+
+    /// Scales a grid cost by the open windows' slowdown factor (exact
+    /// identity at 100%).
+    fn slowed(&self, units: i64) -> i64 {
+        let pct = self.slowdown_pct();
+        (units * pct + 99) / 100
+    }
+
+    /// Interrupts the youngest in-flight request: frees its blocks and
+    /// either re-queues it at the front (consuming one retry) or fails
+    /// it (budget exhausted / timeout exceeded). Returns its id.
+    fn interrupt_youngest(&mut self) -> u32 {
+        let f = self.inflight.pop().expect("interruption needs a flight");
+        self.pager.release(f.blocks);
+        let span = &mut self.trace.residency[f.span];
+        span.end = Some(self.now);
+        span.blocks = f.blocks;
+        let now = self.now;
+        let rec = &mut self.trace.records[f.id as usize];
+        let timed_out = self.timeout_units.is_some_and(|t| now - rec.arrival > t);
+        if rec.retries >= self.retry.max_retries || timed_out {
+            rec.failed = Some(now);
+            return f.id;
+        }
+        rec.retries += 1;
+        self.queue.push_front(Pending {
+            id: f.id,
+            ctx: f.kv as u64,
+            remaining: f.remaining,
+            resumed: true,
+            eligible_at: now.saturating_add(self.backoff_units),
+        });
+        self.note_queue_depth();
+        f.id
+    }
+
+    /// Applies every fault event due by `now`: expires closed windows,
+    /// opens new ones (interrupting in-flight work on lost slots for
+    /// fatal and maintenance windows), and records the spans. Overshoot
+    /// past the event time is possible when it lands inside an atomic
+    /// prefill; the recorded span starts at the application time.
+    fn apply_faults(&mut self) {
+        self.active.retain(|f| f.until > self.now);
+        while let Some(f) = self.faults.get(self.next_fault) {
+            if f.at > self.now {
+                break;
+            }
+            let f = *f;
+            self.next_fault += 1;
+            let mut interrupted = Vec::new();
+            if matches!(f.kind, FaultKind::Fatal | FaultKind::Maintenance) {
+                let victims = f.slots_lost.min(self.inflight.len());
+                for _ in 0..victims {
+                    interrupted.push(self.interrupt_youngest());
+                }
+            }
+            if f.until > self.now {
+                self.active.push(f);
+            }
+            self.trace.faults.push(FaultSpan {
+                start: self.now,
+                end: f.until.max(self.now),
+                kind: f.kind,
+                slots_lost: f.slots_lost,
+                slowdown_pct: f.slowdown_pct,
+                interrupted,
+            });
+        }
     }
 
     /// Blocks the queue head needs admitted *now* (reserve: worst case;
@@ -219,7 +320,10 @@ impl Sim<'_, '_> {
         let Some(head) = self.queue.front() else {
             return false;
         };
-        if self.inflight.len() >= self.costs.slots {
+        if head.eligible_at > self.now {
+            return false;
+        }
+        if self.inflight.len() >= self.effective_slots() {
             return false;
         }
         if self.eviction {
@@ -241,7 +345,7 @@ impl Sim<'_, '_> {
         let blocks = self.admission_blocks(&head);
         assert!(self.pager.try_alloc(blocks), "checked by can_admit");
         let start = self.now;
-        let prefill = self.costs.prefill_units(head.ctx)?;
+        let prefill = self.slowed(self.costs.prefill_units(head.ctx)?);
         self.advance(prefill)?;
         let rec = &mut self.trace.records[head.id as usize];
         if !head.resumed {
@@ -289,6 +393,7 @@ impl Sim<'_, '_> {
             ctx: f.kv as u64,
             remaining: f.remaining,
             resumed: true,
+            eligible_at: self.now,
         });
         self.note_queue_depth();
     }
@@ -315,8 +420,10 @@ impl Sim<'_, '_> {
     fn decode_run(&mut self) -> Result<bool, LoadError> {
         let batch = self.inflight.len() as u64;
         let kv_total: i64 = self.inflight.iter().map(|f| f.kv).sum();
-        let c = self.costs.step_units(batch, kv_total)?;
-        let r = self.costs.step_rate * batch as i64;
+        // Open slowdown windows scale both coefficients; at 100% the
+        // scaling is the identity, so fault-free runs are untouched.
+        let c = self.slowed(self.costs.step_units(batch, kv_total)?);
+        let r = self.slowed(self.costs.step_rate * batch as i64);
 
         // Run length: next completion, capped to one step in per-token
         // mode.
@@ -341,6 +448,29 @@ impl Sim<'_, '_> {
             debug_assert!(h > self.now, "the loop stops at the horizon");
             if let Some(k) = first_series_crossing(c, r, 0, n, h - self.now) {
                 n = k;
+            }
+        }
+        // Fault boundaries: the next fault event, the close of any open
+        // window (capacity/slowdown change), and the queue head's retry
+        // eligibility are all decision points the per-token loop would
+        // stop at.
+        if let Some(f) = self.faults.get(self.next_fault) {
+            debug_assert!(f.at > self.now, "due faults are applied first");
+            if let Some(k) = first_series_crossing(c, r, 0, n, f.at - self.now) {
+                n = k;
+            }
+        }
+        if let Some(u) = self.active.iter().map(|f| f.until).min() {
+            debug_assert!(u > self.now, "closed windows are expired first");
+            if let Some(k) = first_series_crossing(c, r, 0, n, u - self.now) {
+                n = k;
+            }
+        }
+        if let Some(head) = self.queue.front() {
+            if head.eligible_at > self.now {
+                if let Some(k) = first_series_crossing(c, r, 0, n, head.eligible_at - self.now) {
+                    n = k;
+                }
             }
         }
         // Paged budget: largest prefix of the run whose cache growth
@@ -442,7 +572,67 @@ pub fn simulate_load(
     mode: SimMode,
     on_complete: Option<&mut dyn FnMut(&RequestRecord)>,
 ) -> Result<LoadOutcome, LoadError> {
+    simulate_load_faulty(
+        spec,
+        serve,
+        model,
+        costs,
+        mode,
+        &[],
+        &RetryPolicy::default(),
+        on_complete,
+    )
+}
+
+/// Executes a load spec against a priced deployment under a fault-event
+/// stream (see `madmax_fault::materialize_faults`).
+///
+/// When a **fatal** or **maintenance** window opens, the youngest
+/// in-flight requests on the lost slots are interrupted: each
+/// interruption consumes one retry of `retry` (re-queued at the front,
+/// eligible after the backoff) or fails the request outright once the
+/// budget or timeout is exhausted. Capacity stays degraded and
+/// **transient** windows scale step costs until the window closes. With
+/// an empty `faults` slice the run is byte-identical to
+/// [`simulate_load`] (pinned by `tests/engine_equivalence.rs`).
+///
+/// # Errors
+///
+/// As [`simulate_load`], plus [`LoadError::Spec`] for an invalid retry
+/// policy or an unsorted fault stream.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_load_faulty(
+    spec: &LoadSpec,
+    serve: &ServeConfig,
+    model: &ModelArch,
+    costs: &StepCostModel,
+    mode: SimMode,
+    faults: &[FaultEvent],
+    retry: &RetryPolicy,
+    on_complete: Option<&mut dyn FnMut(&RequestRecord)>,
+) -> Result<LoadOutcome, LoadError> {
     spec.validate().map_err(LoadError::Spec)?;
+    retry.validate().map_err(LoadError::Spec)?;
+    if faults.windows(2).any(|w| w[0].at > w[1].at) {
+        return Err(LoadError::Spec(
+            "fault events must be sorted by start time".to_owned(),
+        ));
+    }
+    if faults.iter().any(|f| f.at < 0 || f.until < f.at) {
+        return Err(LoadError::Spec(
+            "fault windows must have 0 <= at <= until".to_owned(),
+        ));
+    }
+    let backoff_units = grid_units_round(Seconds::new(retry.backoff)).ok_or_else(|| {
+        LoadError::GridRange(format!("retry backoff {} s off-grid", retry.backoff))
+    })?;
+    let timeout_units = match retry.timeout {
+        Some(t) => Some(
+            grid_units_round(Seconds::new(t))
+                .ok_or_else(|| LoadError::GridRange(format!("retry timeout {t} s off-grid")))?,
+        ),
+        None => None,
+    };
     let arrivals = materialize_arrivals(&spec.arrivals, serve, model)?;
     let horizon =
         match spec.horizon {
@@ -464,6 +654,8 @@ pub fn simulate_load(
             completion: None,
             rejected: None,
             evictions: 0,
+            retries: 0,
+            failed: None,
         })
         .collect();
     let pager = KvPager::new(spec.block_tokens, spec.kv_blocks);
@@ -476,6 +668,12 @@ pub fn simulate_load(
         horizon,
         arrivals: &arrivals,
         next_arrival: 0,
+        faults,
+        next_fault: 0,
+        active: Vec::new(),
+        retry: *retry,
+        backoff_units,
+        timeout_units,
         now: 0,
         queue: VecDeque::new(),
         inflight: Vec::new(),
@@ -491,6 +689,13 @@ pub fn simulate_load(
             total_blocks: spec.kv_blocks,
             peak_blocks: 0,
             end: 0,
+            faults: Vec::new(),
+            retry_limit: if faults.is_empty() {
+                None
+            } else {
+                Some(retry.max_retries)
+            },
+            slots: costs.slots,
         },
         counters: SimCounters::default(),
     };
@@ -499,6 +704,7 @@ pub fn simulate_load(
         if sim.horizon.is_some_and(|h| sim.now >= h) {
             break;
         }
+        sim.apply_faults();
         sim.ingest();
         if sim.can_admit() {
             sim.admit()?;
@@ -511,18 +717,43 @@ pub fn simulate_load(
             continue;
         }
         if !sim.queue.is_empty() {
-            // Unreachable by construction (an empty engine can always
-            // admit a feasible head); kept as a defensive livelock
-            // breaker.
+            // With faults in play an idle engine can hold an
+            // unadmittable queue: the head is backing off, or open fault
+            // windows drained the capacity. Jump to the next time
+            // anything can change.
+            let wakes = [
+                sim.arrivals.get(sim.next_arrival).map(|a| a.at),
+                sim.faults.get(sim.next_fault).map(|f| f.at),
+                sim.active.iter().map(|f| f.until).min(),
+                sim.queue
+                    .front()
+                    .map(|h| h.eligible_at)
+                    .filter(|&t| t > sim.now),
+            ];
+            if let Some(t) = wakes.into_iter().flatten().min().filter(|&t| t > sim.now) {
+                sim.now = t;
+                continue;
+            }
+            // Unreachable by construction (a fault-free empty engine can
+            // always admit a feasible head); kept as a defensive
+            // livelock breaker.
             debug_assert!(false, "queue head unadmittable with an idle engine");
             let head = sim.queue.pop_front().expect("checked non-empty");
             sim.trace.records[head.id as usize].rejected = Some(RejectReason::Infeasible);
             sim.note_queue_depth();
             continue;
         }
-        match sim.arrivals.get(sim.next_arrival) {
-            Some(a) => sim.now = a.at,
-            None => break,
+        // Fully idle: jump to the next arrival (or the next fault event,
+        // if it comes first, so its window is applied at its true start).
+        match (
+            sim.arrivals.get(sim.next_arrival),
+            sim.faults.get(sim.next_fault),
+        ) {
+            (Some(a), Some(f)) => sim.now = a.at.min(f.at),
+            (Some(a), None) => sim.now = a.at,
+            // Remaining fault events with no work left cannot affect any
+            // request; stop.
+            (None, _) => break,
         }
     }
 
@@ -704,5 +935,167 @@ mod tests {
         // Makespan covers the last arrival plus its service.
         assert!(out.report.makespan.as_secs() > 2.0);
         assert_eq!(run(&spec, SimMode::PerToken).report, out.report);
+    }
+
+    fn run_faulty(
+        spec: &LoadSpec,
+        mode: SimMode,
+        faults: &[FaultEvent],
+        retry: &RetryPolicy,
+    ) -> LoadOutcome {
+        let serve = ServeConfig::new(16, 8);
+        simulate_load_faulty(
+            spec,
+            &serve,
+            &toy_model(),
+            &toy_costs(),
+            mode,
+            faults,
+            retry,
+            None,
+        )
+        .unwrap()
+    }
+
+    /// One fatal window at `at` grid units lasting `len` units.
+    fn fatal_at(at: i64, len: i64, slots_lost: usize) -> FaultEvent {
+        FaultEvent {
+            at,
+            until: at + len,
+            kind: FaultKind::Fatal,
+            slots_lost,
+            slowdown_pct: 100,
+        }
+    }
+
+    #[test]
+    fn empty_fault_stream_is_byte_identical_to_the_plain_path() {
+        let spec = trace_spec(6, 1e-6);
+        let plain = run(&spec, SimMode::Event);
+        let faulty = run_faulty(&spec, SimMode::Event, &[], &RetryPolicy::default());
+        assert_eq!(plain.report, faulty.report);
+        assert_eq!(plain.trace, faulty.trace);
+    }
+
+    #[test]
+    fn fatal_windows_interrupt_and_retry_in_both_modes() {
+        // Simultaneous arrivals: admissions end ~464, decode runs past
+        // ~1100, so both windows land mid-decode.
+        let spec = trace_spec(6, 0.0);
+        let faults = [fatal_at(600, 50, 1), fatal_at(900, 50, 1)];
+        let retry = RetryPolicy::retries(3);
+        let ev = run_faulty(&spec, SimMode::Event, &faults, &retry);
+        let tok = run_faulty(&spec, SimMode::PerToken, &faults, &retry);
+        assert_eq!(ev.report, tok.report, "modes agree under faults");
+        assert_eq!(ev.trace.records, tok.trace.records);
+        assert_eq!(ev.trace.faults, tok.trace.faults);
+        assert!(ev.report.retries > 0, "{:?}", ev.report);
+        assert_eq!(ev.report.completed, 6, "retries recover all work");
+        assert!(ev.report.availability < 1.0);
+        // Interrupted requests re-prefill their grown context.
+        assert!(ev.trace.prefills.iter().any(|p| p.resumed));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_requests() {
+        let spec = trace_spec(4, 0.0);
+        // A zero-retry policy: the first interruption kills the request.
+        let faults = [fatal_at(600, 10, 4)];
+        let retry = RetryPolicy::retries(0);
+        let out = run_faulty(&spec, SimMode::Event, &faults, &retry);
+        assert!(out.report.failed > 0, "{:?}", out.report);
+        assert_eq!(out.report.retries, 0);
+        assert_eq!(
+            out.report.completed + out.report.failed + out.report.rejected,
+            out.report.arrivals
+        );
+        assert_eq!(
+            run_faulty(&spec, SimMode::PerToken, &faults, &retry).report,
+            out.report
+        );
+    }
+
+    #[test]
+    fn capacity_stays_degraded_until_recovery() {
+        let spec = trace_spec(8, 0.0);
+        // Lose 3 of 4 slots for a long window starting before any work.
+        let faults = [FaultEvent {
+            at: 0,
+            until: 1 << 24,
+            kind: FaultKind::Maintenance,
+            slots_lost: 3,
+            slowdown_pct: 100,
+        }];
+        let retry = RetryPolicy::default();
+        let out = run_faulty(&spec, SimMode::Event, &faults, &retry);
+        for r in out
+            .trace
+            .runs
+            .iter()
+            .filter(|r| r.end <= out.trace.faults[0].end)
+        {
+            assert!(r.participants.len() <= 1, "degraded to one slot");
+        }
+        assert_eq!(out.report.completed, 8);
+        assert_eq!(
+            run_faulty(&spec, SimMode::PerToken, &faults, &retry).report,
+            out.report
+        );
+    }
+
+    #[test]
+    fn transient_windows_slow_the_clock() {
+        let spec = trace_spec(4, 0.0);
+        let slow = [FaultEvent {
+            at: 0,
+            until: 1 << 30,
+            kind: FaultKind::Transient,
+            slots_lost: 0,
+            slowdown_pct: 200,
+        }];
+        let retry = RetryPolicy::default();
+        let normal = run(&spec, SimMode::Event);
+        let slowed = run_faulty(&spec, SimMode::Event, &slow, &retry);
+        assert_eq!(slowed.report.completed, 4);
+        assert_eq!(slowed.report.retries, 0, "transients interrupt nothing");
+        assert!(
+            slowed.report.makespan.as_secs() > 1.5 * normal.report.makespan.as_secs(),
+            "{:?} vs {:?}",
+            slowed.report.makespan,
+            normal.report.makespan
+        );
+        assert_eq!(
+            run_faulty(&spec, SimMode::PerToken, &slow, &retry).report,
+            slowed.report
+        );
+    }
+
+    #[test]
+    fn backoff_delays_readmission() {
+        let spec = trace_spec(2, 1e-6);
+        let faults = [fatal_at(300, 10, 2)];
+        let eager = run_faulty(&spec, SimMode::Event, &faults, &RetryPolicy::retries(3));
+        let lazy = run_faulty(
+            &spec,
+            SimMode::Event,
+            &faults,
+            &RetryPolicy::retries(3).with_backoff(1.0),
+        );
+        assert!(
+            lazy.report.makespan.as_secs() >= eager.report.makespan.as_secs() + 0.9,
+            "{:?} vs {:?}",
+            lazy.report.makespan,
+            eager.report.makespan
+        );
+        assert_eq!(
+            run_faulty(
+                &spec,
+                SimMode::PerToken,
+                &faults,
+                &RetryPolicy::retries(3).with_backoff(1.0),
+            )
+            .report,
+            lazy.report
+        );
     }
 }

@@ -10,6 +10,7 @@
 //! reference one per step — so traces are *structurally* mode-dependent
 //! even though every request-visible timestamp is byte-identical.
 
+use madmax_fault::FaultKind;
 use serde::{Deserialize, Serialize};
 
 /// Why a request was rejected.
@@ -43,6 +44,14 @@ pub struct RequestRecord {
     pub rejected: Option<RejectReason>,
     /// Times this request was evicted (and later re-prefilled).
     pub evictions: u32,
+    /// Fault interruptions this request survived (each consumed one
+    /// retry of the run's [`RetryPolicy`](madmax_fault::RetryPolicy)).
+    #[serde(default)]
+    pub retries: u32,
+    /// When the request was dropped by a fault (retry budget exhausted
+    /// or timeout exceeded), if it failed.
+    #[serde(default)]
+    pub failed: Option<i64>,
 }
 
 /// One prefill execution (initial admission or eviction-recompute).
@@ -102,6 +111,27 @@ pub struct ResidencySpan {
     pub blocks: u64,
 }
 
+/// One fault window as the simulator applied it: the span the
+/// deployment actually spent degraded (clock overshoot past the event
+/// time is possible when the event lands inside an atomic prefill), plus
+/// the in-flight requests the window interrupted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpan {
+    /// When the simulator applied the event, grid units.
+    pub start: i64,
+    /// When the window closed (capacity recovered / slowdown lifted),
+    /// grid units.
+    pub end: i64,
+    /// What the window did.
+    pub kind: FaultKind,
+    /// Serving slots lost for the window.
+    pub slots_lost: usize,
+    /// Step-cost multiplier for the window, percent (>= 100).
+    pub slowdown_pct: u32,
+    /// Requests interrupted when the window opened (youngest first).
+    pub interrupted: Vec<u32>,
+}
+
 /// The complete integer-time ledger of one load run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoadTrace {
@@ -125,6 +155,16 @@ pub struct LoadTrace {
     pub peak_blocks: u64,
     /// End of the run, grid units.
     pub end: i64,
+    /// Fault windows the run applied, in application order.
+    #[serde(default)]
+    pub faults: Vec<FaultSpan>,
+    /// The retry budget in force, when the run had fault events.
+    #[serde(default)]
+    pub retry_limit: Option<u32>,
+    /// Decode slots the deployment was priced for (0 in traces predating
+    /// the fault ledger).
+    #[serde(default)]
+    pub slots: usize,
 }
 
 impl LoadTrace {

@@ -88,6 +88,17 @@ pub enum RuleId {
     /// open residency interval covering the run, spans are well-formed,
     /// and block occupancy never exceeds the paged budget.
     PagedKvResidency,
+    /// Load trace: fault-ledger consistency — fault spans are well-formed
+    /// and inside the run window, per-request interruption counts match
+    /// retry/failure accounting, retries respect the policy ceiling, and
+    /// decode runs inside capacity-loss windows respect the degraded slot
+    /// count.
+    FaultLedger,
+    /// Goodput: a closed-form goodput evaluation is internally consistent
+    /// — the fraction is in (0, 1], effective throughput never exceeds
+    /// the fault-free throughput and equals fraction x fault-free, and
+    /// the model knobs (MTBF, interval, write, restart) are sane.
+    GoodputBound,
     /// Analysis: the critical-path lower bound must not exceed the
     /// makespan.
     CriticalPath,
@@ -119,6 +130,8 @@ impl RuleId {
             RuleId::SteadyPeriod => "steady-period",
             RuleId::RequestLifecycle => "request-lifecycle",
             RuleId::PagedKvResidency => "paged-kv-residency",
+            RuleId::FaultLedger => "fault-ledger",
+            RuleId::GoodputBound => "goodput-bound",
             RuleId::CriticalPath => "critical-path",
             RuleId::StreamSlack => "stream-slack",
         }

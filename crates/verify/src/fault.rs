@@ -1,0 +1,135 @@
+//! Goodput rules: internal consistency of a closed-form failure-aware
+//! goodput evaluation ([`RuleId::GoodputBound`]).
+//!
+//! The evaluation is a pure function of four knobs (MTBF, checkpoint
+//! interval, write, restart) and the fault-free iteration time, so the
+//! verifier re-derives its invariants from the report alone: faults can
+//! only *lose* throughput, and the three reported throughput numbers
+//! must reconcile exactly.
+
+use madmax_fault::GoodputReport;
+
+use crate::diag::{Diagnostic, Location, RuleId, VerifyReport};
+
+/// Relative slack for the `effective = fraction x fault-free`
+/// reconciliation: the product is computed in one multiplication, so
+/// anything beyond a few ulps means the report was tampered with or
+/// produced by a different model.
+const RECONCILE_EPS: f64 = 1e-9;
+
+fn goodput_error(out: &mut VerifyReport, message: String) {
+    out.push(Diagnostic::error(
+        RuleId::GoodputBound,
+        Location::Global,
+        message,
+    ));
+}
+
+/// Verifies a closed-form goodput evaluation: model knobs are sane
+/// (positive finite MTBF/interval/write, non-negative restart), the
+/// goodput fraction is in (0, 1], and effective throughput is bounded by
+/// — and reconciles exactly with — the fault-free throughput.
+pub fn verify_goodput(report: &GoodputReport) -> VerifyReport {
+    let mut out = VerifyReport::new();
+    for (name, v) in [
+        ("mtbf", report.mtbf),
+        ("interval", report.interval),
+        ("checkpoint_write", report.checkpoint_write),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            goodput_error(&mut out, format!("{name} {v} must be finite and positive"));
+        }
+    }
+    if !report.restart.is_finite() || report.restart < 0.0 {
+        goodput_error(
+            &mut out,
+            format!("restart {} must be finite and >= 0", report.restart),
+        );
+    }
+    if !report.fault_free_throughput.is_finite() || report.fault_free_throughput <= 0.0 {
+        goodput_error(
+            &mut out,
+            format!(
+                "fault-free throughput {} must be finite and positive",
+                report.fault_free_throughput
+            ),
+        );
+    }
+    if !(report.goodput_fraction > 0.0 && report.goodput_fraction <= 1.0) {
+        goodput_error(
+            &mut out,
+            format!(
+                "goodput fraction {} outside (0, 1]: faults cannot create work",
+                report.goodput_fraction
+            ),
+        );
+    }
+    let bound = report.fault_free_throughput * (1.0 + RECONCILE_EPS);
+    if report.effective_throughput > bound {
+        goodput_error(
+            &mut out,
+            format!(
+                "effective throughput {} exceeds the fault-free throughput {}",
+                report.effective_throughput, report.fault_free_throughput
+            ),
+        );
+    }
+    let expected = report.goodput_fraction * report.fault_free_throughput;
+    let tol = expected.abs().max(1.0) * RECONCILE_EPS;
+    if (report.effective_throughput - expected).abs() > tol {
+        goodput_error(
+            &mut out,
+            format!(
+                "effective throughput {} does not reconcile with fraction x fault-free = \
+                 {expected}",
+                report.effective_throughput
+            ),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madmax_fault::expected_goodput;
+
+    fn clean_report() -> GoodputReport {
+        expected_goodput(2.0, 30.0, 120.0, 3600.0, 600.0)
+    }
+
+    #[test]
+    fn a_genuine_evaluation_is_clean() {
+        let r = verify_goodput(&clean_report());
+        assert!(r.is_clean(), "{r}");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn inflated_effective_throughput_is_caught() {
+        let mut report = clean_report();
+        report.effective_throughput = report.fault_free_throughput * 1.5;
+        let r = verify_goodput(&report);
+        assert!(r.has(RuleId::GoodputBound), "{r}");
+        // Both the bound and the reconciliation fire.
+        assert!(r.error_count() >= 2, "{r}");
+    }
+
+    #[test]
+    fn out_of_range_fraction_is_caught() {
+        let mut report = clean_report();
+        report.goodput_fraction = 1.2;
+        report.effective_throughput = report.goodput_fraction * report.fault_free_throughput;
+        let r = verify_goodput(&report);
+        assert!(r.has(RuleId::GoodputBound), "{r}");
+    }
+
+    #[test]
+    fn bad_knobs_are_caught() {
+        let mut report = clean_report();
+        report.mtbf = 0.0;
+        report.restart = -1.0;
+        let r = verify_goodput(&report);
+        assert_eq!(r.error_count(), 2, "{r}");
+    }
+}

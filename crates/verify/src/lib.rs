@@ -30,6 +30,14 @@
 //!    completed requests decode exactly their requested tokens, prefills
 //!    and decode runs serialize, decode participants hold resident KV
 //!    blocks for whole runs, and occupancy stays within the paged budget.
+//!    Fault-aware runs add fault-ledger consistency: interruption counts
+//!    reconcile with retry/failure accounting, retries respect the policy
+//!    ceiling, and decode runs inside capacity-loss windows respect the
+//!    degraded slot count.
+//! 5. **Goodput rules** ([`verify_goodput`]) — internal consistency of a
+//!    closed-form failure-aware goodput evaluation: the goodput fraction
+//!    is in (0, 1] and effective throughput reconciles with (and never
+//!    exceeds) the fault-free throughput.
 //!
 //! The verifier is *producer-independent*: it re-derives every invariant
 //! from the IR values alone, trusting neither the trace builders nor the
@@ -72,12 +80,14 @@
 #![warn(missing_debug_implementations)]
 
 mod diag;
+mod fault;
 mod load;
 mod plan;
 mod sched;
 mod trace;
 
 pub use diag::{CriticalPath, Diagnostic, Location, RuleId, Severity, VerifyReport};
+pub use fault::verify_goodput;
 pub use load::verify_load;
 pub use plan::lint_plan;
 pub use sched::critical_path;

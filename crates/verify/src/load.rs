@@ -12,13 +12,15 @@ use madmax_serve::LoadTrace;
 use crate::diag::{Diagnostic, Location, RuleId, VerifyReport};
 
 /// Verifies a load trace: request-lifecycle causality
-/// ([`RuleId::RequestLifecycle`]) and paged-KV residency
-/// ([`RuleId::PagedKvResidency`]).
+/// ([`RuleId::RequestLifecycle`]), paged-KV residency
+/// ([`RuleId::PagedKvResidency`]), and fault-ledger consistency
+/// ([`RuleId::FaultLedger`]).
 pub fn verify_load(trace: &LoadTrace) -> VerifyReport {
     let mut out = VerifyReport::new();
     check_records(trace, &mut out);
     check_serialization(trace, &mut out);
     check_residency(trace, &mut out);
+    check_faults(trace, &mut out);
     out
 }
 
@@ -36,6 +38,10 @@ fn residency_error(out: &mut VerifyReport, location: Location, message: String) 
         location,
         message,
     ));
+}
+
+fn fault_error(out: &mut VerifyReport, location: Location, message: String) {
+    out.push(Diagnostic::error(RuleId::FaultLedger, location, message));
 }
 
 /// Per-record causality: arrival ≤ admission (prefill start) < first
@@ -158,13 +164,19 @@ fn check_records(trace: &LoadTrace, out: &mut VerifyReport) {
                 ),
             );
         }
-        if resumed[i] != r.evictions {
+        // Every eviction and every fault retry re-admits through a
+        // resumed prefill. A request still waiting at the end of the run
+        // may not have re-admitted yet, so only settled requests
+        // (completed or failed) must reconcile exactly.
+        let resumptions = r.evictions + r.retries;
+        let settled = r.completion.is_some() || r.failed.is_some();
+        if (settled && resumed[i] != resumptions) || resumed[i] > resumptions {
             lifecycle_error(
                 out,
                 id,
                 format!(
-                    "{} evictions recorded but {} resumed prefills traced",
-                    r.evictions, resumed[i]
+                    "{} evictions + {} retries recorded but {} resumed prefills traced",
+                    r.evictions, r.retries, resumed[i]
                 ),
             );
         }
@@ -217,6 +229,125 @@ fn check_serialization(trace: &LoadTrace, out: &mut VerifyReport) {
         }
         prev_end = end;
         prev_req = req;
+    }
+}
+
+/// Fault-ledger consistency: fault spans are well-formed and in
+/// application order; every interruption a span records reconciles with
+/// its victim's retry/failure accounting (interruptions = retries +
+/// failed); retries respect the policy ceiling; failed requests were
+/// admitted and never completed; and decode runs fully inside a
+/// capacity-loss window respect the degraded slot count.
+fn check_faults(trace: &LoadTrace, out: &mut VerifyReport) {
+    let n = trace.records.len();
+    let mut interruptions = vec![0u32; n];
+    let mut prev_start = i64::MIN;
+    for s in &trace.faults {
+        if s.end < s.start || s.start < 0 {
+            fault_error(
+                out,
+                Location::Global,
+                format!("malformed fault span [{}, {}]", s.start, s.end),
+            );
+        }
+        if s.start > trace.end {
+            fault_error(
+                out,
+                Location::Global,
+                format!(
+                    "fault span starts at {} beyond the run window [0, {}]",
+                    s.start, trace.end
+                ),
+            );
+        }
+        if s.start < prev_start {
+            fault_error(
+                out,
+                Location::Global,
+                format!(
+                    "fault spans out of application order: a span starting at {} \
+                     follows one starting at {prev_start}",
+                    s.start
+                ),
+            );
+        }
+        prev_start = s.start;
+        for &r in &s.interrupted {
+            match interruptions.get_mut(r as usize) {
+                Some(c) => *c += 1,
+                None => fault_error(
+                    out,
+                    Location::Request(r),
+                    format!("fault span interrupts unknown request {r}"),
+                ),
+            }
+        }
+    }
+    for (i, rec) in trace.records.iter().enumerate() {
+        let expected = rec.retries + u32::from(rec.failed.is_some());
+        if interruptions[i] != expected {
+            fault_error(
+                out,
+                Location::Request(rec.id),
+                format!(
+                    "{} recorded interruptions but retries ({}) + failed ({}) = {expected}",
+                    interruptions[i],
+                    rec.retries,
+                    u32::from(rec.failed.is_some())
+                ),
+            );
+        }
+        if let Some(limit) = trace.retry_limit {
+            if rec.retries > limit {
+                fault_error(
+                    out,
+                    Location::Request(rec.id),
+                    format!("{} retries exceed the policy ceiling {limit}", rec.retries),
+                );
+            }
+        }
+        if let Some(failed_at) = rec.failed {
+            if rec.admitted.is_none() {
+                fault_error(
+                    out,
+                    Location::Request(rec.id),
+                    "request failed without ever being admitted".to_owned(),
+                );
+            }
+            if rec.completion.is_some() {
+                fault_error(
+                    out,
+                    Location::Request(rec.id),
+                    format!("request completed yet marked failed at {failed_at}"),
+                );
+            }
+        }
+    }
+    // Degraded capacity: a decode run wholly inside slots-lost windows
+    // must fit the reduced slot count.
+    if trace.slots > 0 {
+        for run in &trace.runs {
+            let lost: usize = trace
+                .faults
+                .iter()
+                .filter(|s| s.slots_lost > 0 && s.start <= run.start && run.end <= s.end)
+                .map(|s| s.slots_lost)
+                .sum();
+            if lost > 0 && run.participants.len() > trace.slots.saturating_sub(lost) {
+                fault_error(
+                    out,
+                    Location::Global,
+                    format!(
+                        "decode run in [{}, {}] batches {} requests while {lost} of {} \
+                         slots are lost",
+                        run.start,
+                        run.end,
+                        run.participants.len(),
+                        trace.slots
+                    ),
+                );
+            }
+        }
     }
 }
 

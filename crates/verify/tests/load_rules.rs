@@ -4,6 +4,7 @@
 //! rule.
 
 use madmax_engine::{Scenario, SimMode};
+use madmax_fault::{FaultEvent, FaultKind, RetryPolicy};
 use madmax_hw::catalog;
 use madmax_model::ModelId;
 use madmax_parallel::{LoadSpec, ServeConfig, Workload};
@@ -125,4 +126,111 @@ fn eviction_miscount_is_flagged() {
     rec.evictions += 1;
     let report = verify_load(&trace);
     assert!(report.has(RuleId::RequestLifecycle), "{report}");
+}
+
+/// A run with one fatal fault dropped mid-decode: the fault interrupts
+/// at least one in-flight request, so the ledger carries real retry
+/// accounting to corrupt.
+fn faulty_trace(mode: SimMode) -> LoadTrace {
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let scenario = Scenario::new(&model, &sys).workload(Workload::serve(
+        ServeConfig::new(128, 24).with_decode_batch(4),
+    ));
+    let spec = LoadSpec::poisson(0.2, 8, 7);
+    let costs = scenario.price_load(&spec).unwrap();
+    let clean = scenario
+        .serve_load_priced(&spec, &costs, SimMode::Event, None)
+        .unwrap()
+        .trace;
+    // Drop the fault into the middle of a real decode run so someone is
+    // in flight when it lands.
+    let probe = clean.runs.first().unwrap();
+    let at = probe.start + (probe.end - probe.start) / 2;
+    let fault = FaultEvent {
+        at,
+        until: at + (probe.end - probe.start),
+        kind: FaultKind::Fatal,
+        slots_lost: 1,
+        slowdown_pct: 100,
+    };
+    let trace = scenario
+        .serve_load_faulty(
+            &spec,
+            &costs,
+            mode,
+            &[fault],
+            &RetryPolicy::retries(3),
+            None,
+        )
+        .unwrap()
+        .trace;
+    assert!(
+        trace.faults.iter().any(|s| !s.interrupted.is_empty()),
+        "the fault must interrupt someone for the corruption tests to bite"
+    );
+    trace
+}
+
+#[test]
+fn clean_faulty_runs_verify_clean_in_both_modes() {
+    for mode in [SimMode::Event, SimMode::PerToken] {
+        let trace = faulty_trace(mode);
+        let report = verify_load(&trace);
+        assert!(report.is_clean(), "{mode:?}: {report}");
+    }
+}
+
+#[test]
+fn retry_miscount_is_flagged() {
+    let mut trace = faulty_trace(SimMode::Event);
+    let victim = trace.faults[0].interrupted[0];
+    trace.records[victim as usize].retries += 1;
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::FaultLedger), "{report}");
+}
+
+#[test]
+fn retries_beyond_the_policy_ceiling_are_flagged() {
+    let mut trace = faulty_trace(SimMode::Event);
+    trace.retry_limit = Some(0);
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::FaultLedger), "{report}");
+}
+
+#[test]
+fn failed_yet_completed_requests_are_flagged() {
+    let mut trace = faulty_trace(SimMode::Event);
+    let rec = trace
+        .records
+        .iter_mut()
+        .find(|r| r.completion.is_some())
+        .unwrap();
+    rec.failed = rec.completion;
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::FaultLedger), "{report}");
+}
+
+#[test]
+fn malformed_fault_spans_are_flagged() {
+    let mut trace = faulty_trace(SimMode::Event);
+    let span = &mut trace.faults[0];
+    span.end = span.start - 1;
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::FaultLedger), "{report}");
+}
+
+#[test]
+fn overbatched_degraded_windows_are_flagged() {
+    let mut trace = faulty_trace(SimMode::Event);
+    // Stretch the fault over the whole run with every slot lost: any
+    // decode run with a participant now exceeds the degraded capacity.
+    let slots = trace.slots;
+    let end = trace.end;
+    let span = &mut trace.faults[0];
+    span.start = 0;
+    span.end = end;
+    span.slots_lost = slots;
+    let report = verify_load(&trace);
+    assert!(report.has(RuleId::FaultLedger), "{report}");
 }

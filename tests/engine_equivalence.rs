@@ -729,3 +729,38 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn absent_fault_spec_leaves_the_load_path_byte_identical() {
+    // The fault-aware entry point with an empty event stream must be a
+    // pure pass-through: same report, same trace records, in both
+    // simulation modes. This is the no-`FaultSpec` byte-identity
+    // guarantee — fault plumbing costs nothing when inactive.
+    use madmax_engine::{RetryPolicy, SimMode};
+    use madmax_parallel::LoadSpec;
+
+    let model = ModelId::Llama2.build();
+    let sys = catalog::llama_llm_system();
+    let workload = Workload::serve(ServeConfig::new(256, 32).with_decode_batch(8));
+    let scenario = Scenario::new(&model, &sys).workload_ref(&workload);
+    for spec in [
+        LoadSpec::poisson(0.1, 16, 7),
+        LoadSpec::bursty(0.3, 15.0, 5.0, 16, 7),
+    ] {
+        let costs = scenario.price_load(&spec).unwrap();
+        for mode in [SimMode::Event, SimMode::PerToken] {
+            let plain = scenario
+                .serve_load_priced(&spec, &costs, mode, None)
+                .unwrap();
+            let faulty = scenario
+                .serve_load_faulty(&spec, &costs, mode, &[], &RetryPolicy::default(), None)
+                .unwrap();
+            assert_eq!(plain.report.requests, faulty.report.requests);
+            assert_eq!(plain.report.makespan, faulty.report.makespan);
+            assert_eq!(plain.report.ttft, faulty.report.ttft);
+            assert_eq!(plain.trace.records, faulty.trace.records);
+            assert_eq!(plain.trace.runs, faulty.trace.runs);
+            assert!(faulty.trace.faults.is_empty());
+        }
+    }
+}
